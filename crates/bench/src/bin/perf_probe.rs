@@ -1,0 +1,44 @@
+// perf probe: YCSB-A on REGIONAL table, 5 regions, 50 clients, 500 ops each
+use multiregion::*;
+use mr_workload::driver::ClosedLoop;
+use mr_workload::ycsb::{self, KeyChooser, ReadMode, YcsbGen, YcsbTable};
+use mr_workload::{bulk, Zipf};
+use mr_sim::SimRng;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut db = ClusterBuilder::new().paper_regions().seed(1).build();
+    let regions: Vec<String> = RttMatrix::paper_table1_regions().iter().map(|s| s.to_string()).collect();
+    let sess = db.session_in_region("us-east1", None);
+    db.exec_sync(&sess, r#"CREATE DATABASE ycsb PRIMARY REGION "us-east1" REGIONS "us-west1", "europe-west2", "asia-northeast1", "australia-southeast1""#).unwrap();
+    db.exec_sync(&sess, &ycsb::schema("t", YcsbTable::RegionalByTable, &regions)).unwrap();
+    let rows = ycsb::dataset(YcsbTable::RegionalByTable, 100_000, |_| unreachable!());
+    bulk::load_rows(&mut db, "ycsb", "t", &rows);
+    db.cluster.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    eprintln!("setup: {:?}", t0.elapsed());
+
+    let t1 = std::time::Instant::now();
+    let mut driver = ClosedLoop::new();
+    let mut seed = SimRng::seed_from_u64(2);
+    for region in &regions {
+        for _ in 0..10 {
+            let s = db.session_in_region(region, Some("ycsb"));
+            let gen = YcsbGen {
+                table: "t".into(), variant: YcsbTable::RegionalByTable,
+                read_fraction: 0.5, insert_workload: false,
+                keys: KeyChooser::Zipf(Zipf::ycsb(100_000)),
+                read_mode: ReadMode::Fresh,
+                regions: regions.clone(), region_idx: 0,
+                remaining: Some(std::env::var("OPS").map(|v| v.parse().unwrap()).unwrap_or(500)), next_insert: 0, insert_stride: 1, nregions: 5, label_prefix: String::new(),
+            };
+            driver.add_client(s, seed.fork(), Box::new(gen));
+        }
+    }
+    let ops: u64 = std::env::var("OPS").map(|v| v.parse().unwrap()).unwrap_or(500);
+    let _ = ops;
+    driver.run(&mut db, SimTime(SimDuration::from_secs(100_000).nanos()));
+    eprintln!("metrics: {:?}", db.cluster.metrics);
+    eprintln!("run: {:?} ops={} failed={} simtime={}", t1.elapsed(), driver.stats.completed, driver.stats.failed, db.cluster.now());
+    let mut all = driver.stats.merged(|_| true);
+    eprintln!("p50={} p99={}", all.quantile(0.5), all.quantile(0.99));
+}

@@ -1,0 +1,204 @@
+//! Hybrid logical clocks and skewed physical clock sources.
+
+use mr_sim::{SimDuration, SimTime};
+
+use crate::Timestamp;
+
+/// A node's physical clock: simulated time plus a fixed skew offset.
+///
+/// Skews model imperfect clock synchronization. A well-configured cluster
+/// keeps all offsets within `max_clock_offset` of each other; tests can
+/// exceed the bound deliberately to reproduce the §6.2.3 discussion.
+#[derive(Clone, Copy, Debug)]
+pub struct SkewedClock {
+    /// Signed skew in nanoseconds added to simulated time.
+    skew: i64,
+}
+
+impl SkewedClock {
+    pub fn new(skew_nanos: i64) -> SkewedClock {
+        SkewedClock { skew: skew_nanos }
+    }
+
+    pub fn zero() -> SkewedClock {
+        SkewedClock { skew: 0 }
+    }
+
+    pub fn skew_nanos(&self) -> i64 {
+        self.skew
+    }
+
+    pub fn set_skew_nanos(&mut self, skew: i64) {
+        self.skew = skew;
+    }
+
+    /// The physical clock reading at simulated instant `now`.
+    pub fn read(&self, now: SimTime) -> u64 {
+        let base = now.nanos() as i64;
+        (base + self.skew).max(0) as u64
+    }
+}
+
+/// A hybrid logical clock (HLC).
+///
+/// `now` returns a timestamp ≥ the physical clock and strictly greater than
+/// any timestamp previously returned or observed. `update` folds in
+/// timestamps received from other nodes so causally-related events order
+/// correctly even across skewed clocks.
+#[derive(Clone, Debug)]
+pub struct Hlc {
+    clock: SkewedClock,
+    latest: Timestamp,
+}
+
+impl Hlc {
+    pub fn new(clock: SkewedClock) -> Hlc {
+        Hlc {
+            clock,
+            latest: Timestamp::ZERO,
+        }
+    }
+
+    pub fn physical_clock(&self) -> &SkewedClock {
+        &self.clock
+    }
+
+    pub fn set_skew_nanos(&mut self, skew: i64) {
+        self.clock.set_skew_nanos(skew);
+    }
+
+    /// Read the clock, advancing the logical component if the physical clock
+    /// has not moved past the latest observed timestamp.
+    pub fn now(&mut self, sim_now: SimTime) -> Timestamp {
+        let phys = self.clock.read(sim_now);
+        if phys > self.latest.wall {
+            self.latest = Timestamp::new(phys, 0);
+        } else {
+            self.latest = self.latest.next();
+        }
+        // HLC readings are always real (non-synthetic) timestamps.
+        self.latest.synthetic = false;
+        self.latest
+    }
+
+    /// Observe a remote timestamp (e.g. carried on an RPC), ratcheting the
+    /// clock forward so subsequent local readings exceed it.
+    pub fn update(&mut self, remote: Timestamp, sim_now: SimTime) {
+        let phys = self.clock.read(sim_now);
+        let phys_ts = Timestamp::new(phys, 0);
+        self.latest = self.latest.forward(remote).forward(phys_ts);
+    }
+
+    /// The most recent timestamp returned or observed (without advancing).
+    pub fn peek(&self) -> Timestamp {
+        self.latest
+    }
+
+    /// Whether the local physical clock has advanced past `ts` — the commit
+    /// wait condition (§6.2): once true, every other in-bounds clock in the
+    /// system is within `max_offset` of `ts`, so new reads will observe the
+    /// value via their uncertainty intervals.
+    pub fn has_passed(&self, ts: Timestamp, sim_now: SimTime) -> bool {
+        self.clock.read(sim_now) > ts.wall
+    }
+
+    /// Simulated-time instant at which [`Hlc::has_passed`] becomes true.
+    pub fn time_until_passed(&self, ts: Timestamp, sim_now: SimTime) -> SimDuration {
+        let phys = self.clock.read(sim_now);
+        if phys > ts.wall {
+            SimDuration::ZERO
+        } else {
+            SimDuration(ts.wall - phys + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_track_physical_time() {
+        let mut hlc = Hlc::new(SkewedClock::zero());
+        let t1 = hlc.now(SimTime(100));
+        assert_eq!(t1, Timestamp::new(100, 0));
+        let t2 = hlc.now(SimTime(200));
+        assert_eq!(t2, Timestamp::new(200, 0));
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn logical_advances_when_physical_stalls() {
+        let mut hlc = Hlc::new(SkewedClock::zero());
+        let t1 = hlc.now(SimTime(100));
+        let t2 = hlc.now(SimTime(100));
+        let t3 = hlc.now(SimTime(100));
+        assert_eq!(t2, Timestamp::new(100, 1));
+        assert_eq!(t3, Timestamp::new(100, 2));
+        assert!(t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn update_ratchets_past_remote() {
+        let mut hlc = Hlc::new(SkewedClock::zero());
+        hlc.update(Timestamp::new(1_000, 5), SimTime(100));
+        let t = hlc.now(SimTime(150));
+        assert!(t > Timestamp::new(1_000, 5));
+        assert_eq!(t, Timestamp::new(1_000, 6));
+    }
+
+    #[test]
+    fn update_with_old_remote_is_noop() {
+        let mut hlc = Hlc::new(SkewedClock::zero());
+        let t1 = hlc.now(SimTime(500));
+        hlc.update(Timestamp::new(10, 0), SimTime(500));
+        assert_eq!(hlc.peek(), t1);
+    }
+
+    #[test]
+    fn skew_shifts_readings() {
+        let mut fast = Hlc::new(SkewedClock::new(50));
+        let mut slow = Hlc::new(SkewedClock::new(-50));
+        let tf = fast.now(SimTime(1000));
+        let ts = slow.now(SimTime(1000));
+        assert_eq!(tf.wall, 1050);
+        assert_eq!(ts.wall, 950);
+    }
+
+    #[test]
+    fn negative_skew_clamps_at_zero() {
+        let c = SkewedClock::new(-100);
+        assert_eq!(c.read(SimTime(50)), 0);
+        assert_eq!(c.read(SimTime(150)), 50);
+    }
+
+    #[test]
+    fn commit_wait_condition() {
+        let mut hlc = Hlc::new(SkewedClock::zero());
+        let commit_ts = Timestamp::new(1_000, 0);
+        assert!(!hlc.has_passed(commit_ts, SimTime(900)));
+        assert!(!hlc.has_passed(commit_ts, SimTime(1_000)));
+        assert!(hlc.has_passed(commit_ts, SimTime(1_001)));
+        assert_eq!(
+            hlc.time_until_passed(commit_ts, SimTime(900)),
+            SimDuration(101)
+        );
+        assert_eq!(
+            hlc.time_until_passed(commit_ts, SimTime(2_000)),
+            SimDuration::ZERO
+        );
+        // Commit wait respects skew: a fast clock passes sooner.
+        let fast = Hlc::new(SkewedClock::new(500));
+        assert!(fast.has_passed(commit_ts, SimTime(600)));
+        let _ = hlc.now(SimTime(1)); // keep mutability used
+    }
+
+    #[test]
+    fn hlc_reads_never_synthetic() {
+        let mut hlc = Hlc::new(SkewedClock::zero());
+        hlc.update(Timestamp::new(5_000, 0).as_synthetic(), SimTime(10));
+        let t = hlc.now(SimTime(20));
+        assert!(!t.synthetic);
+        assert!(t > Timestamp::new(5_000, 0));
+    }
+}

@@ -1,0 +1,54 @@
+//! Hybrid logical clocks and MVCC timestamps.
+//!
+//! CockroachDB orders all MVCC activity with timestamps drawn from per-node
+//! hybrid logical clocks (HLCs) whose physical components are kept within a
+//! configured bound, `max_clock_offset`, of each other (§6.1). This crate
+//! provides:
+//!
+//! * [`Timestamp`] — a `(wall, logical)` pair with a *synthetic* marker used
+//!   by future-time (global-transaction) writes, whose wall component does
+//!   not certify that any clock has reached it (§6.2).
+//! * [`Hlc`] — the hybrid logical clock: reading it returns a timestamp that
+//!   is both ≥ the local physical clock and > every timestamp previously
+//!   observed via [`Hlc::update`].
+//! * [`SkewedClock`] — a physical clock source derived from simulated time
+//!   plus a fixed per-node offset, bounded by `max_clock_offset` (or
+//!   deliberately not, for the clock-skew misbehaviour tests of §6.2.3).
+
+pub mod hlc;
+pub mod timestamp;
+
+pub use hlc::{Hlc, SkewedClock};
+pub use timestamp::Timestamp;
+
+use mr_sim::SimDuration;
+
+/// Cluster-wide clock synchronization configuration.
+///
+/// `max_offset` is the maximum tolerated clock skew between any two nodes;
+/// it is also the width of transaction uncertainty intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClockConfig {
+    pub max_offset: SimDuration,
+}
+
+impl ClockConfig {
+    /// The paper's CRDB Dedicated default (§7.1).
+    pub const DEFAULT_MAX_OFFSET_MS: u64 = 250;
+
+    pub fn new(max_offset: SimDuration) -> ClockConfig {
+        ClockConfig { max_offset }
+    }
+
+    pub fn with_max_offset_ms(ms: u64) -> ClockConfig {
+        ClockConfig {
+            max_offset: SimDuration::from_millis(ms),
+        }
+    }
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        ClockConfig::with_max_offset_ms(Self::DEFAULT_MAX_OFFSET_MS)
+    }
+}

@@ -1,0 +1,270 @@
+//! Closed timestamps (§5.1.1, §6.2.1).
+//!
+//! A closed timestamp is a promise by the leaseholder that no *new* writes
+//! will be accepted at or below it. Promises travel to followers in two
+//! ways: attached to every Raft command, and via a periodic *side
+//! transport* for idle ranges. A follower may serve a read at `T` only once
+//! it has (a) received a closed timestamp ≥ `T` and (b) applied the log
+//! prefix that the promise covers.
+//!
+//! REGIONAL ranges close time in the past (`now - lag`, default 3s). GLOBAL
+//! ranges close time in the future at target
+//! `now + L_raft + L_replicate + max_clock_offset` so that present-time
+//! reads (plus their uncertainty intervals) are already closed on every
+//! replica by the time they happen (§6.2.1).
+
+use mr_clock::Timestamp;
+use mr_sim::{SimDuration, SimTime};
+
+use crate::zone::ClosedTsPolicy;
+
+/// Parameters for closed-timestamp target computation.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedTsParams {
+    /// How far in the past REGIONAL ranges close (default 3s).
+    pub lag: SimDuration,
+    /// Estimated Raft consensus latency for this range (1 RTT to the
+    /// nearest quorum; §6.2.1 cites 2-5ms ZONE / 20-30ms REGION).
+    pub raft_latency: SimDuration,
+    /// Estimated time for a committed entry to reach the furthest follower
+    /// (§6.2.1 cites 100-125ms).
+    pub replicate_latency: SimDuration,
+    /// Extra slack covering the side-transport publication interval and
+    /// residual gateway↔leaseholder clock skew, so that a promise is still
+    /// ahead of every reader's uncertainty limit when the *next* promise
+    /// arrives. (§6.2.1 folds this into its latency estimates; we make it
+    /// explicit. The cluster derives it from the side-transport interval
+    /// and the configured skew amplitude.)
+    pub lead_slack: SimDuration,
+    /// Maximum tolerated clock skew (uncertainty interval width).
+    pub max_clock_offset: SimDuration,
+}
+
+impl ClosedTsParams {
+    pub const DEFAULT_LAG_SECS: u64 = 3;
+
+    /// The future-time lead for GLOBAL ranges:
+    /// `L_raft + L_replicate + slack + max_clock_offset`.
+    pub fn lead(&self) -> SimDuration {
+        self.raft_latency + self.replicate_latency + self.lead_slack + self.max_clock_offset
+    }
+
+    /// The closed-timestamp target for a leaseholder whose clock reads
+    /// `now_ts`.
+    pub fn target(&self, policy: ClosedTsPolicy, now_ts: Timestamp) -> Timestamp {
+        match policy {
+            ClosedTsPolicy::Lag => Timestamp::new(
+                now_ts.wall.saturating_sub(self.lag.nanos()),
+                0,
+            ),
+            // Future-time targets are synthetic: no clock has reached them.
+            ClosedTsPolicy::Lead => Timestamp::new(now_ts.wall + self.lead().nanos(), 0)
+                .as_synthetic(),
+        }
+    }
+}
+
+impl Default for ClosedTsParams {
+    fn default() -> Self {
+        ClosedTsParams {
+            lag: SimDuration::from_secs(Self::DEFAULT_LAG_SECS),
+            raft_latency: SimDuration::from_millis(4),
+            replicate_latency: SimDuration::from_millis(150),
+            lead_slack: SimDuration::from_millis(175),
+            max_clock_offset: SimDuration::from_millis(250),
+        }
+    }
+}
+
+/// Follower-side tracker for the closed timestamp of one replica.
+///
+/// Closed timestamps arrive either on applied Raft entries (immediately
+/// usable: applying the entry proves the prefix is applied) or via the side
+/// transport, which references a log index that must be applied before the
+/// promise activates.
+#[derive(Clone, Debug, Default)]
+pub struct ClosedTsTracker {
+    /// Active closed timestamp: reads at or below this are safe (modulo
+    /// intents).
+    active: Timestamp,
+    /// Side-transport promise awaiting log application: `(ts, index)`.
+    pending: Option<(Timestamp, u64)>,
+}
+
+impl ClosedTsTracker {
+    pub fn new() -> ClosedTsTracker {
+        ClosedTsTracker::default()
+    }
+
+    /// The closed timestamp currently usable for follower reads.
+    pub fn closed(&self) -> Timestamp {
+        self.active
+    }
+
+    /// A Raft entry carrying `closed` was applied.
+    pub fn on_entry_applied(&mut self, closed: Timestamp, applied_index: u64) {
+        self.active = self.active.forward(closed);
+        self.activate_pending(applied_index);
+    }
+
+    /// A side-transport update arrived: `closed` holds once `index` is
+    /// applied.
+    pub fn on_side_transport(&mut self, closed: Timestamp, index: u64, applied_index: u64) {
+        if applied_index >= index {
+            self.active = self.active.forward(closed);
+        } else {
+            match self.pending {
+                Some((ts, _)) if ts >= closed => {}
+                _ => self.pending = Some((closed, index)),
+            }
+        }
+    }
+
+    fn activate_pending(&mut self, applied_index: u64) {
+        if let Some((ts, idx)) = self.pending {
+            if applied_index >= idx {
+                self.active = self.active.forward(ts);
+                self.pending = None;
+            }
+        }
+    }
+}
+
+/// Leaseholder-side closed timestamp state: the highest target ever
+/// promised. Writes must be forwarded above this.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClosedTsLeaseState {
+    promised: Timestamp,
+}
+
+impl ClosedTsLeaseState {
+    /// Compute the next closed-timestamp target at `now`, never regressing.
+    pub fn advance(
+        &mut self,
+        params: &ClosedTsParams,
+        policy: ClosedTsPolicy,
+        now: SimTime,
+        clock_skew: i64,
+    ) -> Timestamp {
+        let phys = ((now.nanos() as i64) + clock_skew).max(0) as u64;
+        let target = params.target(policy, Timestamp::new(phys, 0));
+        self.promised = self.promised.forward(target);
+        self.promised
+    }
+
+    /// The highest timestamp promised closed so far.
+    pub fn promised(&self) -> Timestamp {
+        self.promised
+    }
+
+    /// Adopt a promise made by a previous leaseholder (lease transfer or
+    /// failover): this leaseholder must never write below it.
+    pub fn inherit(&mut self, promised: Timestamp) {
+        self.promised = self.promised.forward(promised);
+    }
+
+    /// Minimum timestamp a new write may use: just above the promise.
+    pub fn min_write_ts(&self) -> Timestamp {
+        self.promised.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_target_is_in_the_past() {
+        let p = ClosedTsParams::default();
+        let now = Timestamp::new(SimDuration::from_secs(10).nanos(), 0);
+        let t = p.target(ClosedTsPolicy::Lag, now);
+        assert_eq!(t.wall, SimDuration::from_secs(7).nanos());
+        assert!(!t.synthetic);
+    }
+
+    #[test]
+    fn lag_target_saturates_at_zero() {
+        let p = ClosedTsParams::default();
+        let t = p.target(ClosedTsPolicy::Lag, Timestamp::new(5, 0));
+        assert_eq!(t.wall, 0);
+    }
+
+    #[test]
+    fn lead_target_is_future_and_synthetic() {
+        let p = ClosedTsParams {
+            raft_latency: SimDuration::from_millis(4),
+            replicate_latency: SimDuration::from_millis(125),
+            lead_slack: SimDuration::from_millis(100),
+            max_clock_offset: SimDuration::from_millis(250),
+            ..ClosedTsParams::default()
+        };
+        assert_eq!(p.lead(), SimDuration::from_millis(479));
+        let now = Timestamp::new(SimDuration::from_secs(1).nanos(), 0);
+        let t = p.target(ClosedTsPolicy::Lead, now);
+        assert_eq!(
+            t.wall,
+            SimDuration::from_secs(1).nanos() + SimDuration::from_millis(479).nanos()
+        );
+        assert!(t.synthetic);
+    }
+
+    #[test]
+    fn tracker_entry_applied() {
+        let mut t = ClosedTsTracker::new();
+        t.on_entry_applied(Timestamp::new(100, 0), 1);
+        assert_eq!(t.closed(), Timestamp::new(100, 0));
+        // Never regresses.
+        t.on_entry_applied(Timestamp::new(50, 0), 2);
+        assert_eq!(t.closed(), Timestamp::new(100, 0));
+    }
+
+    #[test]
+    fn tracker_side_transport_waits_for_application() {
+        let mut t = ClosedTsTracker::new();
+        // Promise at index 5 while only 3 applied: pending.
+        t.on_side_transport(Timestamp::new(200, 0), 5, 3);
+        assert_eq!(t.closed(), Timestamp::ZERO);
+        // Applying index 5 activates it.
+        t.on_entry_applied(Timestamp::new(150, 0), 5);
+        assert_eq!(t.closed(), Timestamp::new(200, 0));
+    }
+
+    #[test]
+    fn tracker_side_transport_immediate_when_applied() {
+        let mut t = ClosedTsTracker::new();
+        t.on_side_transport(Timestamp::new(300, 0), 2, 2);
+        assert_eq!(t.closed(), Timestamp::new(300, 0));
+    }
+
+    #[test]
+    fn lease_state_never_regresses() {
+        let p = ClosedTsParams::default();
+        let mut s = ClosedTsLeaseState::default();
+        let t1 = s.advance(
+            &p,
+            ClosedTsPolicy::Lead,
+            SimTime(SimDuration::from_secs(10).nanos()),
+            0,
+        );
+        // Clock goes "backwards" (skew change): promise holds.
+        let t2 = s.advance(
+            &p,
+            ClosedTsPolicy::Lead,
+            SimTime(SimDuration::from_secs(9).nanos()),
+            0,
+        );
+        assert_eq!(t2, t1);
+        assert!(s.min_write_ts() > s.promised());
+    }
+
+    #[test]
+    fn lease_state_applies_skew() {
+        let p = ClosedTsParams::default();
+        let mut a = ClosedTsLeaseState::default();
+        let mut b = ClosedTsLeaseState::default();
+        let now = SimTime(SimDuration::from_secs(100).nanos());
+        let ta = a.advance(&p, ClosedTsPolicy::Lag, now, 1_000_000);
+        let tb = b.advance(&p, ClosedTsPolicy::Lag, now, -1_000_000);
+        assert_eq!(ta.wall - tb.wall, 2_000_000);
+    }
+}

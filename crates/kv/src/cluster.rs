@@ -1,0 +1,1105 @@
+//! The simulated cluster: nodes, transport, event dispatch, and admin
+//! operations.
+//!
+//! A [`Cluster`] owns the event calendar, the network topology, every node
+//! (HLC + replicas), the range registry, and the gateway-side state of open
+//! transactions. All asynchrony is continuation-passing: an RPC carries a
+//! boxed continuation that fires when the response (or a timeout) arrives.
+//!
+//! Periodic machinery:
+//! * **Raft ticks** drive heartbeats and elections (failure recovery).
+//! * The **closed-timestamp side transport** (§5.1.1) batches per-node
+//!   closed-timestamp updates from leaseholders to followers so idle ranges
+//!   keep advancing; GLOBAL (lead-policy) ranges always participate,
+//!   lag-policy ranges participate when stale reads are in use.
+
+use std::collections::HashMap;
+
+use mr_clock::{ClockConfig, Hlc, SkewedClock, Timestamp};
+use mr_proto::{Key, KvError, RangeId, Request, Response, Span, TxnId, Value};
+use mr_raft::{Peer, RaftConfig, RaftMsg, RaftNode};
+use mr_sim::{EventQueue, Link, NodeId, SimDuration, SimRng, SimTime, Topology};
+
+use crate::allocator::{allocate, AllocError};
+use crate::closedts::ClosedTsParams;
+use crate::range::{RangeDescriptor, RangeRegistry};
+use crate::replica::{Command, Effect, EvalCtx, EvalOutcome, Replica, ReplyPath};
+use crate::txn::TxnState;
+use crate::zone::{ClosedTsPolicy, ZoneConfig};
+
+/// Result alias for KV operations.
+pub type KvResult<T> = Result<T, KvError>;
+
+/// A continuation fired with an operation's outcome.
+pub type Cont<T> = Box<dyn FnOnce(&mut Cluster, T)>;
+
+/// Cluster-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    pub seed: u64,
+    pub clock: ClockConfig,
+    pub closed_ts: ClosedTsParams,
+    /// Amplitude of per-node clock skew: offsets are drawn uniformly from
+    /// `[-amplitude, +amplitude]`. Must be ≤ `max_offset / 2` for the
+    /// cluster to be within spec.
+    pub skew_amplitude: SimDuration,
+    pub raft_heartbeat: SimDuration,
+    pub raft_election_timeout: SimDuration,
+    pub raft_tick_interval: SimDuration,
+    pub side_transport_interval: SimDuration,
+    /// Also run the side transport for lag-policy (REGIONAL) ranges,
+    /// enabling stale follower reads of idle ranges. On by default; turn
+    /// off for very large clusters that don't use stale reads.
+    pub lag_side_transport: bool,
+    /// If set, RPCs that receive no response within this duration fail with
+    /// `RangeUnavailable` (the dist-sender then re-routes). `None` disables
+    /// timeouts (fine when no failures are injected).
+    pub rpc_timeout: Option<SimDuration>,
+    /// Ablation (Spanner-style commit wait): hold locks through commit wait
+    /// instead of resolving intents concurrently with it (§6.2 contrasts
+    /// these; see the `ablation_commit_wait` bench).
+    pub commit_wait_holds_locks: bool,
+    /// Print one line per request evaluation (debugging).
+    pub trace: bool,
+    /// Override the derived closed-timestamp `lead_slack` (ablations).
+    pub lead_slack_override: Option<SimDuration>,
+    /// MVCC garbage collection: versions older than `gc_ttl` below the
+    /// newest are collected every `gc_interval` (CRDB's GC TTL, scaled to
+    /// simulation time). Must exceed the closed-timestamp lag plus the
+    /// oldest stale-read horizon in use.
+    pub gc_interval: SimDuration,
+    pub gc_ttl: SimDuration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let clock = ClockConfig::default();
+        ClusterConfig {
+            seed: 0,
+            clock,
+            closed_ts: ClosedTsParams {
+                max_clock_offset: clock.max_offset,
+                ..ClosedTsParams::default()
+            },
+            skew_amplitude: SimDuration(clock.max_offset.nanos() / 4),
+            raft_heartbeat: SimDuration::from_millis(500),
+            raft_election_timeout: SimDuration::from_millis(2_000),
+            raft_tick_interval: SimDuration::from_millis(250),
+            side_transport_interval: SimDuration::from_millis(50),
+            lag_side_transport: true,
+            rpc_timeout: None,
+            commit_wait_holds_locks: false,
+            trace: std::env::var("MR_TRACE").is_ok(),
+            lead_slack_override: None,
+            gc_interval: SimDuration::from_secs(60),
+            gc_ttl: SimDuration::from_secs(30),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Set `max_clock_offset`, keeping the derived fields consistent.
+    pub fn with_max_offset(mut self, offset: SimDuration) -> Self {
+        self.clock = ClockConfig::new(offset);
+        self.closed_ts.max_clock_offset = offset;
+        self.skew_amplitude = SimDuration(offset.nanos() / 4);
+        self
+    }
+}
+
+/// Staleness mode for non-transactional reads (§5.3).
+#[derive(Clone, Copy, Debug)]
+pub enum Staleness {
+    /// A fresh, linearizable read at the gateway's current timestamp.
+    Fresh,
+    /// Exact-staleness: read at `now - ago`.
+    ExactAgo(SimDuration),
+    /// Exact-staleness at an absolute timestamp.
+    ExactAt(Timestamp),
+    /// Bounded staleness via `with_max_staleness(bound)`: negotiate the
+    /// freshest locally-servable timestamp, no older than `now - bound`.
+    BoundedMaxStaleness(SimDuration),
+    /// Bounded staleness via `with_min_timestamp(ts)`: negotiate the
+    /// freshest locally-servable timestamp, no older than `ts`.
+    BoundedMinTimestamp(Timestamp),
+}
+
+/// Options for non-transactional reads.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadOptions {
+    pub staleness: Staleness,
+    /// For bounded staleness: fall back to the leaseholder when the bound
+    /// cannot be served locally (vs. returning an error).
+    pub fallback_to_leaseholder: bool,
+}
+
+impl Default for ReadOptions {
+    fn default() -> Self {
+        ReadOptions {
+            staleness: Staleness::Fresh,
+            fallback_to_leaseholder: true,
+        }
+    }
+}
+
+/// Counters exposed for tests and experiment harnesses.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Metrics {
+    pub rpcs_sent: u64,
+    pub follower_reads_served: u64,
+    pub follower_read_redirects: u64,
+    pub uncertainty_restarts: u64,
+    pub refreshes: u64,
+    pub refresh_failures: u64,
+    pub commit_waits: u64,
+    pub commit_wait_nanos: u64,
+    pub txn_commits: u64,
+    pub txn_aborts: u64,
+    pub txn_restarts: u64,
+    pub lease_transfers: u64,
+    /// Total calendar events processed (perf diagnostics).
+    pub events_processed: u64,
+    pub parked_requests: u64,
+    pub ev_rpc: u64,
+    pub ev_raft: u64,
+    pub ev_tick: u64,
+    pub ev_side: u64,
+    pub ev_wake: u64,
+    pub gc_versions_removed: u64,
+}
+
+/// One simulated node: clock + replicas.
+pub struct Node {
+    pub id: NodeId,
+    pub hlc: Hlc,
+    pub replicas: HashMap<RangeId, Replica>,
+}
+
+/// Events on the simulation calendar.
+enum Event {
+    Rpc {
+        from: NodeId,
+        to: NodeId,
+        env: Envelope,
+    },
+    Raft {
+        to_node: NodeId,
+        range: RangeId,
+        gen: u32,
+        from_peer: Peer,
+        msg: RaftMsg<Command>,
+    },
+    RaftTick,
+    SideTransport,
+    GcTick,
+    SideTransportDeliver {
+        to: NodeId,
+        updates: Vec<(RangeId, Timestamp, u64)>,
+    },
+    Wake(u64),
+    RpcTimeout {
+        req_id: u64,
+    },
+}
+
+struct Envelope {
+    req_id: u64,
+    hlc_ts: Timestamp,
+    body: Body,
+}
+
+enum Body {
+    Req { range: RangeId, req: Request },
+    Resp(KvResult<Response>),
+}
+
+struct PendingRpc {
+    cont: Cont<KvResult<Response>>,
+}
+
+/// The simulated multi-region cluster.
+pub struct Cluster {
+    pub cfg: ClusterConfig,
+    pub metrics: Metrics,
+    queue: EventQueue<Event>,
+    topo: Topology,
+    rng: SimRng,
+    nodes: Vec<Node>,
+    registry: RangeRegistry,
+    /// Reconfiguration generation per range (guards stale raft traffic).
+    range_gens: HashMap<RangeId, u32>,
+    pending: HashMap<u64, PendingRpc>,
+    wakes: HashMap<u64, Box<dyn FnOnce(&mut Cluster)>>,
+    pub(crate) txns: HashMap<TxnId, TxnState>,
+    next_req: u64,
+    next_wake: u64,
+    pub(crate) next_txn: u64,
+    /// Client operations in flight (used by `run_until_quiescent`).
+    outstanding_ops: usize,
+    /// Active txn-record pushers, keyed by the blocked (range, key).
+    pub(crate) active_pushers: std::collections::HashSet<(RangeId, Key)>,
+}
+
+impl Cluster {
+    pub fn new(topo: Topology, mut cfg: ClusterConfig) -> Cluster {
+        // A closed-timestamp promise must stay ahead of reader uncertainty
+        // limits until the next side-transport publication lands: cover the
+        // publication interval, twice the skew amplitude (gateway ahead,
+        // leaseholder behind), and a fixed margin for delivery jitter.
+        cfg.closed_ts.lead_slack = cfg.lead_slack_override.unwrap_or(
+            cfg.side_transport_interval
+                + SimDuration(2 * cfg.skew_amplitude.nanos())
+                + SimDuration::from_millis(25),
+        );
+        let mut rng = SimRng::seed_from_u64(cfg.seed);
+        let amp = cfg.skew_amplitude.nanos() as i64;
+        let nodes = topo
+            .node_ids()
+            .map(|id| {
+                let skew = if amp == 0 {
+                    0
+                } else {
+                    rng.next_below(2 * amp as u64 + 1) as i64 - amp
+                };
+                Node {
+                    id,
+                    hlc: Hlc::new(SkewedClock::new(skew)),
+                    replicas: HashMap::new(),
+                }
+            })
+            .collect();
+        let mut c = Cluster {
+            cfg,
+            metrics: Metrics::default(),
+            queue: EventQueue::new(),
+            topo,
+            rng,
+            nodes,
+            registry: RangeRegistry::new(),
+            range_gens: HashMap::new(),
+            pending: HashMap::new(),
+            wakes: HashMap::new(),
+            txns: HashMap::new(),
+            next_req: 1,
+            next_wake: 1,
+            next_txn: 1,
+            outstanding_ops: 0,
+            active_pushers: std::collections::HashSet::new(),
+        };
+        c.queue.schedule(cfg.raft_tick_interval, Event::RaftTick);
+        c.queue
+            .schedule(cfg.side_transport_interval, Event::SideTransport);
+        c.queue.schedule(cfg.gc_interval, Event::GcTick);
+        c
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    pub fn registry(&self) -> &RangeRegistry {
+        &self.registry
+    }
+
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// The gateway's current HLC reading.
+    pub fn hlc_now(&mut self, node: NodeId) -> Timestamp {
+        let now = self.queue.now();
+        self.nodes[node.0 as usize].hlc.now(now)
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Override a node's clock skew (clock-misbehaviour tests, §6.2.3).
+    pub fn set_node_skew(&mut self, node: NodeId, skew_nanos: i64) {
+        self.nodes[node.0 as usize].hlc.set_skew_nanos(skew_nanos);
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection
+    // ------------------------------------------------------------------
+
+    pub fn fail_node(&mut self, n: NodeId) {
+        self.topo.fail_node(n);
+    }
+
+    pub fn revive_node(&mut self, n: NodeId) {
+        self.topo.revive_node(n);
+    }
+
+    pub fn fail_region_by_name(&mut self, name: &str) {
+        let r = self
+            .topo
+            .region_by_name(name)
+            .unwrap_or_else(|| panic!("unknown region {name}"));
+        self.topo.fail_region(r);
+    }
+
+    pub fn revive_region_by_name(&mut self, name: &str) {
+        let r = self
+            .topo
+            .region_by_name(name)
+            .unwrap_or_else(|| panic!("unknown region {name}"));
+        self.topo.revive_region(r);
+    }
+
+    pub fn fail_zone_of(&mut self, n: NodeId) {
+        let z = self.topo.zone_of(n);
+        self.topo.fail_zone(z);
+    }
+
+    // ------------------------------------------------------------------
+    // Admin: ranges
+    // ------------------------------------------------------------------
+
+    /// Create a range covering `span`, placing replicas per `zone_config`.
+    pub fn create_range(
+        &mut self,
+        span: Span,
+        zone_config: ZoneConfig,
+    ) -> Result<RangeId, AllocError> {
+        let out = allocate(&self.topo, &zone_config)?;
+        let id = self.registry.next_range_id();
+        self.install_range(id, span, zone_config, &out.replicas, out.leaseholder, None);
+        Ok(id)
+    }
+
+    fn install_range(
+        &mut self,
+        id: RangeId,
+        span: Span,
+        zone_config: ZoneConfig,
+        replicas: &[crate::allocator::Placement],
+        leaseholder: NodeId,
+        seed_state: Option<SeedState>,
+    ) {
+        let now = self.queue.now();
+        let peer_nodes: Vec<NodeId> = replicas.iter().map(|p| p.node).collect();
+        let voters: Vec<Peer> = replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.voting)
+            .map(|(i, _)| i as Peer)
+            .collect();
+        let learners: Vec<Peer> = replicas
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.voting)
+            .map(|(i, _)| i as Peer)
+            .collect();
+        let policy = zone_config.closed_ts_policy;
+        for (i, p) in replicas.iter().enumerate() {
+            let rcfg = RaftConfig {
+                id: i as Peer,
+                voters: voters.clone(),
+                learners: learners.clone(),
+                election_timeout: self.cfg.raft_election_timeout,
+                heartbeat_interval: self.cfg.raft_heartbeat,
+            };
+            let mut raft = RaftNode::new(rcfg, now);
+            if p.node == leaseholder {
+                raft.bootstrap_leader(now);
+            }
+            let mut rep = Replica::new(id, p.node, i as Peer, peer_nodes.clone(), raft, policy);
+            if let Some(seed) = &seed_state {
+                rep.store = seed.store.clone();
+                rep.txn_records = seed.txn_records.clone();
+                rep.tracker = seed.tracker.clone();
+                if p.node == leaseholder {
+                    rep.lease.inherit(seed.promised);
+                    rep.tscache.raise_low_water(seed.tscache_low_water);
+                }
+            }
+            self.nodes[p.node.0 as usize].replicas.insert(id, rep);
+        }
+        self.registry.insert(RangeDescriptor {
+            id,
+            span,
+            replicas: replicas.to_vec(),
+            leaseholder,
+            zone_config,
+        });
+        *self.range_gens.entry(id).or_insert(0) += 1;
+    }
+
+    /// Re-place a range under a new zone configuration (used by `ALTER
+    /// TABLE ... SET LOCALITY` and survivability changes). State transfer is
+    /// instantaneous — call between workload phases.
+    pub fn reconfigure_range(
+        &mut self,
+        id: RangeId,
+        zone_config: ZoneConfig,
+    ) -> Result<(), AllocError> {
+        let out = allocate(&self.topo, &zone_config)?;
+        let desc = self
+            .registry
+            .remove(id)
+            .unwrap_or_else(|| panic!("no such range {id}"));
+        // Snapshot authoritative state from the current leaseholder.
+        let lh = &self.nodes[desc.leaseholder.0 as usize].replicas[&id];
+        let seed = SeedState {
+            store: lh.store.clone(),
+            txn_records: lh.txn_records.clone(),
+            tracker: lh.tracker.clone(),
+            promised: lh.lease.promised(),
+            tscache_low_water: lh.tscache.low_water(),
+        };
+        for n in desc.replica_nodes().collect::<Vec<_>>() {
+            self.nodes[n.0 as usize].replicas.remove(&id);
+        }
+        self.install_range(
+            id,
+            desc.span,
+            zone_config,
+            &out.replicas,
+            out.leaseholder,
+            Some(seed),
+        );
+        Ok(())
+    }
+
+    /// Move the lease (and Raft leadership) of `range` to `to`, which must
+    /// host a voting replica.
+    pub fn transfer_lease(&mut self, range: RangeId, to: NodeId) {
+        let now = self.queue.now();
+        let desc = self.registry.get(range).expect("no such range").clone();
+        if desc.leaseholder == to {
+            return;
+        }
+        assert!(
+            desc.replicas.iter().any(|p| p.node == to && p.voting),
+            "lease target must be a voting replica"
+        );
+        let old = desc.leaseholder;
+        // Snapshot what the new leaseholder must inherit.
+        let (promised, old_hlc) = {
+            let node = &mut self.nodes[old.0 as usize];
+            let hlc_now = node.hlc.now(now);
+            let rep = node.replicas.get_mut(&range).expect("leaseholder replica");
+            (rep.lease.promised(), hlc_now)
+        };
+        // Raft leadership transfer.
+        let msgs = {
+            let rep = self.nodes[old.0 as usize]
+                .replicas
+                .get_mut(&range)
+                .unwrap();
+            let target_peer = rep.peer_for_node(to).expect("target peer");
+            rep.raft.transfer_leadership(target_peer)
+        };
+        self.dispatch_raft_msgs(old, range, msgs);
+        // Lease metadata.
+        {
+            let rep = self.nodes[to.0 as usize]
+                .replicas
+                .get_mut(&range)
+                .expect("target replica");
+            rep.lease.inherit(promised);
+            rep.tscache
+                .raise_low_water(old_hlc.add_duration(self.cfg.clock.max_offset));
+        }
+        self.registry.get_mut(range).unwrap().leaseholder = to;
+        self.metrics.lease_transfers += 1;
+    }
+
+    /// Remove a range entirely (table drop or partition-layout rewrite).
+    /// Any in-flight traffic for it is dropped.
+    pub fn drop_range(&mut self, id: RangeId) {
+        if let Some(desc) = self.registry.remove(id) {
+            for n in desc.replica_nodes().collect::<Vec<_>>() {
+                self.nodes[n.0 as usize].replicas.remove(&id);
+            }
+            *self.range_gens.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Read every live row of a range directly from its leaseholder's
+    /// applied state (offline schema changes and DDL validation only).
+    pub fn admin_scan_range(&mut self, id: RangeId) -> Vec<(Key, Value)> {
+        let Some(desc) = self.registry.get(id) else {
+            return Vec::new();
+        };
+        let (span, lh) = (desc.span.clone(), desc.leaseholder);
+        let Some(rep) = self.nodes[lh.0 as usize].replicas.get(&id) else {
+            return Vec::new();
+        };
+        rep.store.scan_latest_including_intents(&span)
+    }
+
+    /// Bulk-load a committed value into every replica of the covering
+    /// range, bypassing the transaction protocol. For experiment setup only.
+    pub fn preload(&mut self, key: Key, value: Value) {
+        let ts = Timestamp::new(1, 0);
+        let desc = self
+            .registry
+            .lookup(&key)
+            .unwrap_or_else(|| panic!("no range covers {key:?}"))
+            .clone();
+        for n in desc.replica_nodes() {
+            if let Some(rep) = self.nodes[n.0 as usize].replicas.get_mut(&desc.id) {
+                rep.store.preload(key.clone(), value.clone(), ts);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    /// Process one event. Returns false when the calendar is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((_, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.metrics.events_processed += 1;
+        match &ev {
+            Event::Rpc { .. } => self.metrics.ev_rpc += 1,
+            Event::Raft { .. } => self.metrics.ev_raft += 1,
+            Event::RaftTick => self.metrics.ev_tick += 1,
+            Event::SideTransport | Event::SideTransportDeliver { .. } => {
+                self.metrics.ev_side += 1
+            }
+            Event::Wake(_) => self.metrics.ev_wake += 1,
+            Event::RpcTimeout { .. } | Event::GcTick => {}
+        }
+        match ev {
+            Event::Rpc { from, to, env } => self.handle_rpc(from, to, env),
+            Event::Raft {
+                to_node,
+                range,
+                gen,
+                from_peer,
+                msg,
+            } => {
+                if self.cfg.trace {
+                    let kind = match &msg {
+                        mr_raft::RaftMsg::AppendEntries { entries, commit, .. } => {
+                            format!("append(n={}, commit={commit})", entries.len())
+                        }
+                        mr_raft::RaftMsg::AppendResp { success, match_index, .. } => {
+                            format!("resp(ok={success}, match={match_index})")
+                        }
+                        mr_raft::RaftMsg::RequestVote { .. } => "vote?".into(),
+                        mr_raft::RaftMsg::VoteResp { .. } => "vote!".into(),
+                        mr_raft::RaftMsg::TimeoutNow { .. } => "timeoutnow".into(),
+                    };
+                    eprintln!("[{}] raft {from_peer}->{to_node} {range} {kind}", self.queue.now());
+                }
+                self.handle_raft(to_node, range, gen, from_peer, msg)
+            }
+            Event::RaftTick => self.handle_raft_tick(),
+            Event::SideTransport => self.handle_side_transport(),
+            Event::GcTick => self.handle_gc_tick(),
+            Event::SideTransportDeliver { to, updates } => {
+                self.handle_side_transport_deliver(to, updates)
+            }
+            Event::Wake(id) => {
+                if let Some(f) = self.wakes.remove(&id) {
+                    f(self);
+                }
+            }
+            Event::RpcTimeout { req_id } => {
+                if let Some(p) = self.pending.remove(&req_id) {
+                    (p.cont)(
+                        self,
+                        Err(KvError::RangeUnavailable { range: RangeId(0) }),
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until simulated time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.queue.peek_time().is_some_and(|pt| pt <= t) {
+            self.step();
+        }
+    }
+
+    /// Run until all submitted client operations have completed. Panics if
+    /// simulated time passes `deadline` first (indicates a hang).
+    pub fn run_until_quiescent(&mut self, deadline: SimTime) {
+        while self.outstanding_ops > 0 {
+            assert!(
+                self.queue.now() <= deadline,
+                "cluster did not quiesce by {deadline}: {} ops outstanding",
+                self.outstanding_ops
+            );
+            assert!(self.step(), "event queue drained with ops outstanding");
+        }
+    }
+
+    pub fn outstanding_ops(&self) -> usize {
+        self.outstanding_ops
+    }
+
+    pub(crate) fn op_started(&mut self) {
+        self.outstanding_ops += 1;
+    }
+
+    pub(crate) fn op_finished(&mut self) {
+        debug_assert!(self.outstanding_ops > 0);
+        self.outstanding_ops -= 1;
+    }
+
+    /// Schedule `f` to run after `delay`.
+    pub fn schedule(&mut self, delay: SimDuration, f: Box<dyn FnOnce(&mut Cluster)>) {
+        let id = self.next_wake;
+        self.next_wake += 1;
+        self.wakes.insert(id, f);
+        self.queue.schedule(delay, Event::Wake(id));
+    }
+
+    // ------------------------------------------------------------------
+    // Transport
+    // ------------------------------------------------------------------
+
+    /// Send `req` to the replica of `range` on `target`; `cont` fires with
+    /// the response, a routing error, or a timeout.
+    pub(crate) fn send_request(
+        &mut self,
+        gateway: NodeId,
+        target: NodeId,
+        range: RangeId,
+        req: Request,
+        cont: Cont<KvResult<Response>>,
+    ) {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.metrics.rpcs_sent += 1;
+        let now = self.queue.now();
+        let hlc_ts = self.nodes[gateway.0 as usize].hlc.now(now);
+        match self.topo.link(gateway, target, &mut self.rng) {
+            Link::Deliver(d) => {
+                self.pending.insert(req_id, PendingRpc { cont });
+                if let Some(t) = self.cfg.rpc_timeout {
+                    self.queue.schedule(t, Event::RpcTimeout { req_id });
+                }
+                self.queue.schedule(
+                    d,
+                    Event::Rpc {
+                        from: gateway,
+                        to: target,
+                        env: Envelope {
+                            req_id,
+                            hlc_ts,
+                            body: Body::Req { range, req },
+                        },
+                    },
+                );
+            }
+            Link::Unreachable => {
+                cont(self, Err(KvError::RangeUnavailable { range }));
+            }
+        }
+    }
+
+    fn send_response(&mut self, from: NodeId, path: ReplyPath, result: KvResult<Response>) {
+        let now = self.queue.now();
+        let hlc_ts = self.nodes[from.0 as usize].hlc.now(now);
+        match self.topo.link(from, path.gateway, &mut self.rng) {
+            Link::Deliver(d) => {
+                self.queue.schedule(
+                    d,
+                    Event::Rpc {
+                        from,
+                        to: path.gateway,
+                        env: Envelope {
+                            req_id: path.req_id,
+                            hlc_ts,
+                            body: Body::Resp(result),
+                        },
+                    },
+                );
+            }
+            Link::Unreachable => {
+                // Gateway unreachable; response dropped (its timeout fires).
+            }
+        }
+    }
+
+    fn dispatch_raft_msgs(
+        &mut self,
+        from_node: NodeId,
+        range: RangeId,
+        msgs: Vec<(Peer, RaftMsg<Command>)>,
+    ) {
+        if msgs.is_empty() {
+            return;
+        }
+        let gen = *self.range_gens.get(&range).unwrap_or(&0);
+        let (peer_nodes, from_peer) = {
+            match self.nodes[from_node.0 as usize].replicas.get(&range) {
+                Some(rep) => (rep.peer_nodes.clone(), rep.peer),
+                None => return,
+            }
+        };
+        for (to_peer, msg) in msgs {
+            let to_node = peer_nodes[to_peer as usize];
+            match self.topo.link(from_node, to_node, &mut self.rng) {
+                Link::Deliver(d) => {
+                    self.queue.schedule(
+                        d,
+                        Event::Raft {
+                            to_node,
+                            range,
+                            gen,
+                            from_peer,
+                            msg,
+                        },
+                    );
+                }
+                Link::Unreachable => {}
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_rpc(&mut self, from: NodeId, to: NodeId, env: Envelope) {
+        if !self.topo.is_node_alive(to) {
+            return;
+        }
+        let now = self.queue.now();
+        self.nodes[to.0 as usize].hlc.update(env.hlc_ts, now);
+        match env.body {
+            Body::Req { range, req } => {
+                let path = ReplyPath {
+                    gateway: from,
+                    req_id: env.req_id,
+                };
+                self.evaluate_at(to, range, req, path);
+            }
+            Body::Resp(result) => {
+                if let Some(p) = self.pending.remove(&env.req_id) {
+                    (p.cont)(self, result);
+                }
+            }
+        }
+    }
+
+    /// Evaluate a request on the replica of `range` at `node`, dispatching
+    /// whatever the evaluation produces.
+    pub(crate) fn evaluate_at(
+        &mut self,
+        node: NodeId,
+        range: RangeId,
+        req: Request,
+        path: ReplyPath,
+    ) {
+        let now = self.queue.now();
+        let Some(desc) = self.registry.get(range) else {
+            let key = req.routing_key().clone();
+            self.send_response(node, path, Err(KvError::NoSuchRange { key }));
+            return;
+        };
+        let is_leaseholder = desc.leaseholder == node;
+        let leaseholder = Some(desc.leaseholder);
+        let params = self.cfg.closed_ts;
+        let is_follower_read = !is_leaseholder && !req.is_write();
+        let has_replica = self.nodes[node.0 as usize].replicas.contains_key(&range);
+        if !has_replica {
+            let err = KvError::NotLeaseholder { range, leaseholder };
+            self.send_response(node, path, Err(err));
+            return;
+        }
+        let outcome = {
+            let n = &mut self.nodes[node.0 as usize];
+            let Node { hlc, replicas, .. } = n;
+            let rep = replicas.get_mut(&range).unwrap();
+            let ctx = EvalCtx {
+                now,
+                params: &params,
+                is_leaseholder,
+                leaseholder,
+            };
+            rep.evaluate(req, path, hlc, &ctx)
+        };
+        if self.cfg.trace {
+            let kind = match &outcome {
+                EvalOutcome::Reply(Ok(_)) => "reply-ok".to_string(),
+                EvalOutcome::Reply(Err(e)) => format!("reply-err {e}"),
+                EvalOutcome::Parked { .. } => "parked".to_string(),
+                EvalOutcome::Proposed { .. } => "proposed".to_string(),
+            };
+            eprintln!("[{}] eval at {node} range {range} lh={is_leaseholder} -> {kind}", self.queue.now());
+        }
+        match outcome {
+            EvalOutcome::Reply(result) => {
+                if is_follower_read {
+                    match &result {
+                        Ok(_) => self.metrics.follower_reads_served += 1,
+                        // Uncertainty is part of the protocol, not a
+                        // locality miss; count only true redirects.
+                        Err(e) if e.is_redirect() => {
+                            self.metrics.follower_read_redirects += 1
+                        }
+                        Err(_) => {}
+                    }
+                }
+                self.send_response(node, path, result);
+            }
+            EvalOutcome::Parked { key, holder } => {
+                self.metrics.parked_requests += 1;
+                self.start_pusher(node, range, key, holder);
+            }
+            EvalOutcome::Proposed { msgs } => {
+                self.dispatch_raft_msgs(node, range, msgs);
+                self.pump_replica(node, range);
+            }
+        }
+    }
+
+    fn handle_raft(
+        &mut self,
+        to_node: NodeId,
+        range: RangeId,
+        gen: u32,
+        from_peer: Peer,
+        msg: RaftMsg<Command>,
+    ) {
+        if !self.topo.is_node_alive(to_node) {
+            return;
+        }
+        if self.range_gens.get(&range).copied().unwrap_or(0) != gen {
+            return; // stale traffic from a reconfigured group
+        }
+        let now = self.queue.now();
+        let (out, noop) = {
+            let Some(rep) = self.nodes[to_node.0 as usize].replicas.get_mut(&range) else {
+                return;
+            };
+            let out = rep.raft.step(from_peer, msg, now);
+            let noop = rep.maybe_propose_leader_noop(now);
+            (out, noop)
+        };
+        self.dispatch_raft_msgs(to_node, range, out);
+        self.dispatch_raft_msgs(to_node, range, noop);
+        self.pump_replica(to_node, range);
+        self.maybe_claim_lease(to_node, range);
+    }
+
+    /// Apply committed entries on a replica and dispatch resulting effects,
+    /// looping until no more effects are produced.
+    fn pump_replica(&mut self, node: NodeId, range: RangeId) {
+        loop {
+            let effects = {
+                let Some(rep) = self.nodes[node.0 as usize].replicas.get_mut(&range) else {
+                    return;
+                };
+                rep.apply_committed()
+            };
+            if effects.is_empty() {
+                return;
+            }
+            for eff in effects {
+                match eff {
+                    Effect::Reply { path, result } => {
+                        self.send_response(node, path, result);
+                    }
+                    Effect::ReEval { waiter } => {
+                        let parked = {
+                            let rep = self.nodes[node.0 as usize]
+                                .replicas
+                                .get_mut(&range)
+                                .expect("replica vanished during pump");
+                            rep.unpark(waiter)
+                        };
+                        if let Some(p) = parked {
+                            self.evaluate_at(node, range, p.req, p.path);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// After Raft activity, align the lease with Raft leadership if the
+    /// recorded leaseholder is gone (failover).
+    fn maybe_claim_lease(&mut self, node: NodeId, range: RangeId) {
+        let Some(desc) = self.registry.get(range) else {
+            return;
+        };
+        if desc.leaseholder == node {
+            return;
+        }
+        let old = desc.leaseholder;
+        let became_leader = self.nodes[node.0 as usize]
+            .replicas
+            .get(&range)
+            .is_some_and(|r| r.raft.is_leader());
+        if !became_leader {
+            return;
+        }
+        // Only usurp the lease from an unreachable leaseholder; cooperative
+        // transfers update the registry directly.
+        if self.topo.is_node_alive(old) {
+            return;
+        }
+        let now = self.queue.now();
+        {
+            let n = &mut self.nodes[node.0 as usize];
+            let hlc_now = n.hlc.now(now);
+            let rep = n.replicas.get_mut(&range).unwrap();
+            // Respect promises the old leaseholder may have made: the best
+            // lower bound we have is our own tracker, plus the uncertainty
+            // window for reads the old leaseholder served near its demise.
+            let inherited = rep.tracker.closed();
+            rep.lease.inherit(inherited);
+            rep.tscache
+                .raise_low_water(hlc_now.add_duration(self.cfg.clock.max_offset));
+        }
+        self.registry.get_mut(range).unwrap().leaseholder = node;
+        self.metrics.lease_transfers += 1;
+    }
+
+    fn handle_raft_tick(&mut self) {
+        self.queue
+            .schedule(self.cfg.raft_tick_interval, Event::RaftTick);
+        let now = self.queue.now();
+        let mut outbox: Vec<(NodeId, RangeId, Vec<(Peer, RaftMsg<Command>)>)> = Vec::new();
+        for node in &mut self.nodes {
+            if !self.topo.is_node_alive(node.id) {
+                continue;
+            }
+            for (rid, rep) in node.replicas.iter_mut() {
+                let msgs = rep.raft.tick(now);
+                if !msgs.is_empty() {
+                    outbox.push((node.id, *rid, msgs));
+                }
+            }
+        }
+        for (node, range, msgs) in outbox {
+            self.dispatch_raft_msgs(node, range, msgs);
+            self.maybe_claim_lease(node, range);
+        }
+    }
+
+    /// Collect MVCC versions older than the GC TTL on every replica.
+    fn handle_gc_tick(&mut self) {
+        self.queue.schedule(self.cfg.gc_interval, Event::GcTick);
+        let now = self.queue.now();
+        let threshold = Timestamp::new(
+            now.nanos().saturating_sub(self.cfg.gc_ttl.nanos()),
+            0,
+        );
+        if threshold.is_zero() {
+            return;
+        }
+        let mut removed = 0;
+        for node in &mut self.nodes {
+            for rep in node.replicas.values_mut() {
+                removed += rep.store.gc(threshold);
+            }
+        }
+        self.metrics.gc_versions_removed += removed as u64;
+    }
+
+    fn handle_side_transport(&mut self) {
+        self.queue
+            .schedule(self.cfg.side_transport_interval, Event::SideTransport);
+        let now = self.queue.now();
+        let params = self.cfg.closed_ts;
+        let lag_enabled = self.cfg.lag_side_transport;
+        // Batch updates per (source leaseholder, destination) pair — the
+        // CRDB side transport is node-to-node, not per-range.
+        let mut batches: HashMap<(NodeId, NodeId), Vec<(RangeId, Timestamp, u64)>> =
+            HashMap::new();
+        let descs: Vec<(RangeId, NodeId, ClosedTsPolicy, Vec<NodeId>)> = self
+            .registry
+            .iter()
+            .map(|d| {
+                (
+                    d.id,
+                    d.leaseholder,
+                    d.zone_config.closed_ts_policy,
+                    d.replica_nodes().collect(),
+                )
+            })
+            .collect();
+        for (rid, lh, policy, replica_nodes) in descs {
+            if !self.topo.is_node_alive(lh) {
+                continue;
+            }
+            if policy == ClosedTsPolicy::Lag && !lag_enabled {
+                continue;
+            }
+            let node = &mut self.nodes[lh.0 as usize];
+            let skew = node.hlc.physical_clock().skew_nanos();
+            let Some(rep) = node.replicas.get_mut(&rid) else {
+                continue;
+            };
+            if !rep.raft.is_leader() {
+                continue;
+            }
+            let target = rep.lease.advance(&params, policy, now, skew);
+            let index = rep.raft.last_index();
+            // The leaseholder's own tracker advances immediately.
+            let applied = rep.raft.applied_index();
+            rep.tracker.on_side_transport(target, index, applied);
+            for follower in replica_nodes.into_iter().filter(|&n| n != lh) {
+                batches
+                    .entry((lh, follower))
+                    .or_default()
+                    .push((rid, target, index));
+            }
+        }
+        let mut batches: Vec<_> = batches.into_iter().collect();
+        batches.sort_unstable_by_key(|((a, b), _)| (a.0, b.0));
+        for ((from, to), updates) in batches {
+            match self.topo.link(from, to, &mut self.rng) {
+                Link::Deliver(d) => {
+                    self.queue
+                        .schedule(d, Event::SideTransportDeliver { to, updates });
+                }
+                Link::Unreachable => {}
+            }
+        }
+    }
+
+    fn handle_side_transport_deliver(
+        &mut self,
+        to: NodeId,
+        updates: Vec<(RangeId, Timestamp, u64)>,
+    ) {
+        if !self.topo.is_node_alive(to) {
+            return;
+        }
+        let node = &mut self.nodes[to.0 as usize];
+        for (range, ts, index) in updates {
+            if let Some(rep) = node.replicas.get_mut(&range) {
+                let applied = rep.raft.applied_index();
+                rep.tracker.on_side_transport(ts, index, applied);
+            }
+        }
+    }
+}
+
+/// State copied into new replicas during reconfiguration.
+struct SeedState {
+    store: mr_storage::MvccStore,
+    txn_records: HashMap<TxnId, (mr_proto::TxnStatus, Timestamp)>,
+    tracker: crate::closedts::ClosedTsTracker,
+    promised: Timestamp,
+    tscache_low_water: Timestamp,
+}

@@ -1,0 +1,40 @@
+//! The distributed KV layer: ranges, leases, placement, replication, and
+//! transactions.
+//!
+//! This crate assembles the paper's machinery on top of the substrates:
+//!
+//! * [`zone`] — zone configurations and the §3.3 automatic derivation from
+//!   (table locality, survivability goal, placement policy);
+//! * [`allocator`] — constraint-satisfying, diversity-scored replica
+//!   placement (§3.2);
+//! * [`range`] — range descriptors and the key → range routing table;
+//! * [`locks`] — per-leaseholder lock wait-queues;
+//! * [`closedts`] — closed-timestamp targets, trackers and the side
+//!   transport (§5.1.1, §6.2.1);
+//! * [`replica`] — per-node replica state: MVCC store, Raft instance,
+//!   timestamp cache, request evaluation at leaseholders and followers;
+//! * [`cluster`] — the simulated cluster: event dispatch, RPC transport,
+//!   Raft delivery, admin operations (range creation, lease transfer,
+//!   failure handling);
+//! * [`txn`] — the gateway transaction coordinator: serializable MVCC
+//!   transactions with read refreshes, uncertainty restarts, follower
+//!   reads, bounded-staleness negotiation, and the §6 *global transaction*
+//!   protocol (future-time writes + commit wait).
+
+pub mod allocator;
+pub mod closedts;
+pub mod cluster;
+pub mod locks;
+pub mod range;
+pub mod replica;
+pub mod txn;
+pub mod zone;
+
+pub use allocator::{allocate, AllocationOutcome, Placement};
+pub use closedts::{ClosedTsParams, ClosedTsTracker};
+pub use cluster::{Cluster, ClusterConfig, KvResult, ReadOptions, Staleness};
+pub use range::{RangeDescriptor, RangeRegistry};
+pub use txn::TxnHandle;
+pub use zone::{
+    derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal, ZoneConfig,
+};

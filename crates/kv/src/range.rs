@@ -1,0 +1,227 @@
+//! Range descriptors and the routing table.
+//!
+//! The keyspace is divided into contiguous Ranges, each replicated by its
+//! own Raft group (§3.1). A [`RangeDescriptor`] records the span, the
+//! replica set (with voting/non-voting type), the current leaseholder, and
+//! the zone configuration. The [`RangeRegistry`] is the routing table
+//! mapping keys to ranges; in this single-process simulation every gateway
+//! shares one authoritative registry (range caches never go stale).
+
+use std::collections::BTreeMap;
+
+use mr_sim::{NodeId, Topology};
+use mr_proto::{Key, RangeId, Span};
+
+use crate::allocator::Placement;
+use crate::zone::ZoneConfig;
+
+/// Metadata for one Range.
+#[derive(Clone, Debug)]
+pub struct RangeDescriptor {
+    pub id: RangeId,
+    pub span: Span,
+    pub replicas: Vec<Placement>,
+    pub leaseholder: NodeId,
+    pub zone_config: ZoneConfig,
+}
+
+impl RangeDescriptor {
+    pub fn voters(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.replicas.iter().filter(|p| p.voting).map(|p| p.node)
+    }
+
+    pub fn non_voters(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.replicas.iter().filter(|p| !p.voting).map(|p| p.node)
+    }
+
+    pub fn replica_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.replicas.iter().map(|p| p.node)
+    }
+
+    pub fn has_replica_on(&self, node: NodeId) -> bool {
+        self.replicas.iter().any(|p| p.node == node)
+    }
+
+    /// The replica nearest to `from` by nominal RTT (used for follower
+    /// reads). Dead nodes are skipped.
+    pub fn nearest_replica(&self, topo: &Topology, from: NodeId) -> Option<NodeId> {
+        self.replicas
+            .iter()
+            .map(|p| p.node)
+            .filter(|&n| topo.is_node_alive(n))
+            .min_by_key(|&n| (topo.nominal_rtt(from, n), n.0))
+    }
+}
+
+/// The authoritative key → range mapping.
+#[derive(Default)]
+pub struct RangeRegistry {
+    /// Ranges ordered by start key.
+    by_start: BTreeMap<Key, RangeId>,
+    ranges: BTreeMap<RangeId, RangeDescriptor>,
+    next_id: u64,
+}
+
+impl RangeRegistry {
+    pub fn new() -> RangeRegistry {
+        RangeRegistry {
+            by_start: BTreeMap::new(),
+            ranges: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    pub fn next_range_id(&mut self) -> RangeId {
+        let id = RangeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Register a descriptor. Panics if its span overlaps an existing range
+    /// (ranges partition the keyspace).
+    pub fn insert(&mut self, desc: RangeDescriptor) {
+        for other in self.ranges.values() {
+            assert!(
+                !desc.span.overlaps(&other.span),
+                "range {:?} overlaps {:?}",
+                desc.span,
+                other.span
+            );
+        }
+        self.by_start.insert(desc.span.start.clone(), desc.id);
+        self.ranges.insert(desc.id, desc);
+    }
+
+    pub fn remove(&mut self, id: RangeId) -> Option<RangeDescriptor> {
+        let desc = self.ranges.remove(&id)?;
+        self.by_start.remove(&desc.span.start);
+        Some(desc)
+    }
+
+    pub fn get(&self, id: RangeId) -> Option<&RangeDescriptor> {
+        self.ranges.get(&id)
+    }
+
+    pub fn get_mut(&mut self, id: RangeId) -> Option<&mut RangeDescriptor> {
+        self.ranges.get_mut(&id)
+    }
+
+    /// The range containing `key`.
+    pub fn lookup(&self, key: &Key) -> Option<&RangeDescriptor> {
+        let (_, id) = self.by_start.range(..=key.clone()).next_back()?;
+        let desc = &self.ranges[id];
+        desc.span.contains(key).then_some(desc)
+    }
+
+    /// All ranges overlapping `span`.
+    pub fn lookup_span(&self, span: &Span) -> Vec<&RangeDescriptor> {
+        self.ranges
+            .values()
+            .filter(|d| d.span.overlaps(span))
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &RangeDescriptor> {
+        self.ranges.values()
+    }
+
+    pub fn ids(&self) -> Vec<RangeId> {
+        self.ranges.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneConfig;
+    use mr_sim::RegionId;
+
+    fn desc(id: u64, start: &str, end: &str, lh: u32) -> RangeDescriptor {
+        RangeDescriptor {
+            id: RangeId(id),
+            span: Span::new(Key::from(start), Key::from(end)),
+            replicas: vec![
+                Placement {
+                    node: NodeId(lh),
+                    voting: true,
+                },
+                Placement {
+                    node: NodeId(lh + 1),
+                    voting: true,
+                },
+                Placement {
+                    node: NodeId(lh + 3),
+                    voting: false,
+                },
+            ],
+            leaseholder: NodeId(lh),
+            zone_config: ZoneConfig::single_region(RegionId(0)),
+        }
+    }
+
+    #[test]
+    fn lookup_routes_to_covering_range() {
+        let mut reg = RangeRegistry::new();
+        reg.insert(desc(1, "a", "m", 0));
+        reg.insert(desc(2, "m", "z", 1));
+        assert_eq!(reg.lookup(&Key::from("b")).unwrap().id, RangeId(1));
+        assert_eq!(reg.lookup(&Key::from("m")).unwrap().id, RangeId(2));
+        assert_eq!(reg.lookup(&Key::from("lzzz")).unwrap().id, RangeId(1));
+        assert!(reg.lookup(&Key::from("zz")).is_none());
+        assert!(reg.lookup(&Key::from("A")).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_ranges_rejected() {
+        let mut reg = RangeRegistry::new();
+        reg.insert(desc(1, "a", "m", 0));
+        reg.insert(desc(2, "l", "z", 1));
+    }
+
+    #[test]
+    fn lookup_span_finds_all_overlaps() {
+        let mut reg = RangeRegistry::new();
+        reg.insert(desc(1, "a", "m", 0));
+        reg.insert(desc(2, "m", "z", 1));
+        let hits = reg.lookup_span(&Span::new(Key::from("k"), Key::from("n")));
+        assert_eq!(hits.len(), 2);
+        let hits = reg.lookup_span(&Span::new(Key::from("n"), Key::from("o")));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, RangeId(2));
+    }
+
+    #[test]
+    fn remove_unroutes() {
+        let mut reg = RangeRegistry::new();
+        reg.insert(desc(1, "a", "m", 0));
+        assert!(reg.remove(RangeId(1)).is_some());
+        assert!(reg.lookup(&Key::from("b")).is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_increasing() {
+        let mut reg = RangeRegistry::new();
+        let a = reg.next_range_id();
+        let b = reg.next_range_id();
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn descriptor_replica_views() {
+        let d = desc(1, "a", "b", 0);
+        assert_eq!(d.voters().count(), 2);
+        assert_eq!(d.non_voters().count(), 1);
+        assert!(d.has_replica_on(NodeId(3)));
+        assert!(!d.has_replica_on(NodeId(9)));
+    }
+}

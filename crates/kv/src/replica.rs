@@ -1,0 +1,1282 @@
+//! Per-node replica state and request evaluation.
+//!
+//! A [`Replica`] is one copy of a Range living on a node: its MVCC store,
+//! its Raft instance, and — when it holds the lease — the timestamp cache,
+//! lock table, closed-timestamp promises, and transaction-record map.
+//!
+//! Evaluation happens in two phases, mirroring CockroachDB:
+//!
+//! 1. **Evaluate** (leaseholder, synchronous): check locks, forward the
+//!    write timestamp above the timestamp cache / closed-timestamp target /
+//!    newer committed versions, acquire the lock, and propose a fully
+//!    determined command through Raft.
+//! 2. **Apply** (every replica, on commit): deterministically apply the
+//!    command to the MVCC store, advance the closed-timestamp tracker, and
+//!    on the leaseholder, release locks, wake waiters, and answer the
+//!    parked RPC.
+//!
+//! Reads never go through Raft: the leaseholder serves them from applied
+//! state (recording them in the timestamp cache), and followers serve them
+//! when the read's whole uncertainty window is closed (§5.1).
+
+use std::collections::HashMap;
+
+use mr_clock::{Hlc, Timestamp};
+use mr_proto::{
+    Key, KvError, RangeId, ReadCtx, Request, Response, TxnId, TxnMeta, TxnStatus, Value,
+};
+use mr_raft::{Entry, Peer, RaftMsg, RaftNode};
+use mr_sim::{NodeId, SimTime};
+use mr_storage::{MvccError, MvccStore, TsCache};
+
+use crate::closedts::{ClosedTsLeaseState, ClosedTsParams, ClosedTsTracker};
+use crate::locks::{LockTable, WaiterId};
+use crate::zone::ClosedTsPolicy;
+
+/// The replicated command: an operation plus the closed-timestamp promise
+/// serialized into the log with it (§5.1.1).
+#[derive(Clone, Debug)]
+pub struct Command {
+    pub closed_ts: Timestamp,
+    pub op: CmdOp,
+}
+
+/// Replicated operations.
+#[derive(Clone, Debug)]
+pub enum CmdOp {
+    /// Lay down a write intent (the txn's write timestamp is final).
+    Put {
+        key: Key,
+        value: Option<Value>,
+        txn: TxnMeta,
+    },
+    /// Write the transaction record (commit or abort).
+    TxnRecord {
+        txn_id: TxnId,
+        status: TxnStatus,
+        commit_ts: Timestamp,
+    },
+    /// Resolve an intent after its transaction finalized.
+    Resolve {
+        key: Key,
+        txn_id: TxnId,
+        status: TxnStatus,
+        commit_ts: Timestamp,
+    },
+    /// Leader no-op: proposed by a new leader so that entries from previous
+    /// terms commit (the standard Raft leader-completeness dance).
+    Noop,
+    /// One-phase commit: writes + record + (usually) resolution in one
+    /// command. With `resolve_inline = false` the intents stay locked until
+    /// the coordinator resolves them (the Spanner-style ablation).
+    Commit1PC {
+        txn_id: TxnId,
+        commit_ts: Timestamp,
+        writes: Vec<(Key, Option<Value>)>,
+        resolve_inline: bool,
+    },
+}
+
+/// Where to send the RPC response.
+#[derive(Clone, Copy, Debug)]
+pub struct ReplyPath {
+    pub gateway: NodeId,
+    pub req_id: u64,
+}
+
+/// Deferred work produced while applying committed entries; the cluster
+/// performs these after releasing the replica borrow.
+#[derive(Debug)]
+pub enum Effect {
+    /// Answer an RPC.
+    Reply {
+        path: ReplyPath,
+        result: Result<Response, KvError>,
+    },
+    /// Re-evaluate a previously parked request.
+    ReEval { waiter: WaiterId },
+}
+
+/// Outcome of evaluating a request.
+pub enum EvalOutcome {
+    /// Answer immediately.
+    Reply(Result<Response, KvError>),
+    /// The request is parked in a lock wait-queue; it will be re-evaluated
+    /// when the lock releases. The cluster starts a txn-record pusher for
+    /// the blocking transaction so intents orphaned by a dead coordinator
+    /// are recovered.
+    Parked { key: Key, holder: TxnMeta },
+    /// A command was proposed; the response fires when it applies. The Raft
+    /// messages must be delivered by the caller.
+    Proposed {
+        msgs: Vec<(Peer, RaftMsg<Command>)>,
+    },
+}
+
+/// Context the cluster supplies for each evaluation.
+pub struct EvalCtx<'a> {
+    pub now: SimTime,
+    pub params: &'a ClosedTsParams,
+    /// Whether this replica currently holds the lease.
+    pub is_leaseholder: bool,
+    /// Routing hint attached to redirect errors.
+    pub leaseholder: Option<NodeId>,
+}
+
+struct PendingProp {
+    path: ReplyPath,
+    response: Response,
+    term: u64,
+}
+
+/// A request parked in a lock wait-queue.
+pub struct ParkedReq {
+    pub req: Request,
+    pub path: ReplyPath,
+    /// The key whose lock the request is waiting on.
+    pub key: Key,
+}
+
+/// One replica of a Range on one node.
+pub struct Replica {
+    pub range: RangeId,
+    pub node: NodeId,
+    /// This replica's Raft id.
+    pub peer: Peer,
+    /// Raft peer id → node, for message addressing.
+    pub peer_nodes: Vec<NodeId>,
+    pub store: MvccStore,
+    pub raft: RaftNode<Command>,
+    pub tscache: TsCache,
+    pub locks: LockTable,
+    pub tracker: ClosedTsTracker,
+    pub lease: ClosedTsLeaseState,
+    pub policy: ClosedTsPolicy,
+    /// Replicated transaction records (applied via `CmdOp::TxnRecord`).
+    pub txn_records: HashMap<TxnId, (TxnStatus, Timestamp)>,
+    pending_props: HashMap<u64, PendingProp>,
+    parked: HashMap<WaiterId, ParkedReq>,
+    next_waiter: WaiterId,
+}
+
+impl Replica {
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        range: RangeId,
+        node: NodeId,
+        peer: Peer,
+        peer_nodes: Vec<NodeId>,
+        raft: RaftNode<Command>,
+        policy: ClosedTsPolicy,
+    ) -> Replica {
+        Replica {
+            range,
+            node,
+            peer,
+            peer_nodes,
+            store: MvccStore::new(),
+            raft,
+            tscache: TsCache::new(Timestamp::ZERO),
+            locks: LockTable::new(),
+            tracker: ClosedTsTracker::new(),
+            lease: ClosedTsLeaseState::default(),
+            policy,
+            txn_records: HashMap::new(),
+            pending_props: HashMap::new(),
+            parked: HashMap::new(),
+            next_waiter: 1,
+        }
+    }
+
+    pub fn node_for_peer(&self, p: Peer) -> NodeId {
+        self.peer_nodes[p as usize]
+    }
+
+    pub fn peer_for_node(&self, n: NodeId) -> Option<Peer> {
+        self.peer_nodes
+            .iter()
+            .position(|&x| x == n)
+            .map(|i| i as Peer)
+    }
+
+    /// Take a parked request back out (when re-evaluating or cancelling).
+    pub fn unpark(&mut self, waiter: WaiterId) -> Option<ParkedReq> {
+        self.parked.remove(&waiter)
+    }
+
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Drop all pending proposals (leadership lost); callers time out.
+    pub fn clear_pending_props(&mut self) {
+        self.pending_props.clear();
+    }
+
+    // ---------------------------------------------------------------
+    // Evaluation
+    // ---------------------------------------------------------------
+
+    /// Evaluate `req` on this replica.
+    pub fn evaluate(
+        &mut self,
+        req: Request,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        if ctx.is_leaseholder {
+            self.evaluate_at_leaseholder(req, path, hlc, ctx)
+        } else {
+            self.evaluate_at_follower(req, ctx)
+        }
+    }
+
+    fn evaluate_at_follower(&mut self, req: Request, ctx: &EvalCtx<'_>) -> EvalOutcome {
+        match req {
+            Request::Get { ctx: rctx, key } => {
+                let closed = self.tracker.closed();
+                if closed < rctx.uncertainty_limit {
+                    return EvalOutcome::Reply(Err(KvError::FollowerReadUnavailable {
+                        range: self.range,
+                        read_ts: rctx.read_ts,
+                        closed_ts: closed,
+                        leaseholder: ctx.leaseholder,
+                    }));
+                }
+                match self.store.get(&key, &rctx) {
+                    Ok(out) => EvalOutcome::Reply(Ok(Response::Get {
+                        value: out.value,
+                        value_ts: out.value_ts,
+                    })),
+                    Err(e) => EvalOutcome::Reply(Err(self.map_mvcc_err(e, ctx.leaseholder))),
+                }
+            }
+            Request::Scan {
+                ctx: rctx,
+                span,
+                max_keys,
+            } => {
+                let closed = self.tracker.closed();
+                if closed < rctx.uncertainty_limit {
+                    return EvalOutcome::Reply(Err(KvError::FollowerReadUnavailable {
+                        range: self.range,
+                        read_ts: rctx.read_ts,
+                        closed_ts: closed,
+                        leaseholder: ctx.leaseholder,
+                    }));
+                }
+                match self.store.scan(&span, &rctx, max_keys) {
+                    Ok(rows) => EvalOutcome::Reply(Ok(Response::Scan {
+                        rows: rows.into_iter().map(|(k, v, _)| (k, v)).collect(),
+                    })),
+                    Err(e) => EvalOutcome::Reply(Err(self.map_mvcc_err(e, ctx.leaseholder))),
+                }
+            }
+            Request::Negotiate { spans } => EvalOutcome::Reply(Ok(self.negotiate(&spans))),
+            _ => EvalOutcome::Reply(Err(KvError::NotLeaseholder {
+                range: self.range,
+                leaseholder: ctx.leaseholder,
+            })),
+        }
+    }
+
+    fn negotiate(&self, spans: &[mr_proto::Span]) -> Response {
+        // §5.3.2: the highest timestamp servable locally without blocking is
+        // the closed timestamp, capped below any conflicting intent.
+        let mut max_safe = self.tracker.closed();
+        for span in spans {
+            if let Some(intent_ts) = self.store.min_intent_ts_in(span) {
+                if !intent_ts.is_zero() {
+                    max_safe = max_safe.min(intent_ts.prev());
+                }
+            }
+        }
+        Response::Negotiate {
+            max_safe_ts: max_safe,
+        }
+    }
+
+    fn map_mvcc_err(&self, e: MvccError, leaseholder: Option<NodeId>) -> KvError {
+        match e {
+            MvccError::WriteIntent { key, intent_txn } => KvError::WriteIntent {
+                key,
+                intent_txn,
+                leaseholder,
+            },
+            MvccError::Uncertainty {
+                key,
+                read_ts,
+                value_ts,
+            } => KvError::Uncertainty {
+                key,
+                read_ts,
+                value_ts,
+            },
+        }
+    }
+
+    fn evaluate_at_leaseholder(
+        &mut self,
+        req: Request,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        match req {
+            Request::Get { ctx: rctx, key } => self.lh_get(rctx, key, path),
+            Request::Scan {
+                ctx: rctx,
+                span,
+                max_keys,
+            } => self.lh_scan(rctx, span, max_keys, path),
+            Request::Put { txn, key, value } => self.lh_put(txn, key, value, path, hlc, ctx),
+            Request::EndTxn { txn, commit } => self.lh_end_txn(txn, commit, path, hlc, ctx),
+            Request::CommitInline {
+                txn,
+                writes,
+                refresh_spans,
+                local_reads_only,
+                resolve_inline,
+            } => self.lh_commit_inline(
+                txn,
+                writes,
+                refresh_spans,
+                local_reads_only,
+                resolve_inline,
+                path,
+                hlc,
+                ctx,
+            ),
+            Request::ResolveIntent {
+                key,
+                txn_id,
+                status,
+                commit_ts,
+            } => self.lh_resolve(key, txn_id, status, commit_ts, path, hlc, ctx),
+            Request::Refresh {
+                txn_id,
+                span,
+                from_ts,
+                to_ts,
+            } => self.lh_refresh(txn_id, span, from_ts, to_ts),
+            Request::PushTxn { pushee, .. } => {
+                let (status, commit_ts) = self
+                    .txn_records
+                    .get(&pushee)
+                    .copied()
+                    .unwrap_or((TxnStatus::Pending, Timestamp::ZERO));
+                EvalOutcome::Reply(Ok(Response::PushTxn { status, commit_ts }))
+            }
+            Request::Negotiate { spans } => EvalOutcome::Reply(Ok(self.negotiate(&spans))),
+        }
+    }
+
+    fn park(&mut self, req: Request, path: ReplyPath, key: Key) -> EvalOutcome {
+        let waiter = self.next_waiter;
+        self.next_waiter += 1;
+        self.locks.enqueue(&key, waiter);
+        self.parked.insert(waiter, ParkedReq {
+            req,
+            path,
+            key: key.clone(),
+        });
+        // Identify the blocking transaction: prefer the in-flight lock
+        // holder, else the applied intent. If the lock table has no holder
+        // (the intent predates this replica's lease — state copy or
+        // failover), register it so the eventual resolve releases the queue.
+        let holder = self
+            .locks
+            .holder(&key)
+            .cloned()
+            .or_else(|| self.store.intent(&key).map(|i| i.txn.clone()))
+            .expect("parked without a blocking txn");
+        self.locks.acquire(&key, holder.clone());
+        EvalOutcome::Parked { key, holder }
+    }
+
+    fn lh_get(&mut self, rctx: ReadCtx, key: Key, path: ReplyPath) -> EvalOutcome {
+        // Conflict with an in-flight (proposed, unapplied) write?
+        let own = rctx.txn.as_ref().map(|t| t.id);
+        if let Some(holder) = self.locks.holder(&key) {
+            if Some(holder.id) != own && holder.write_ts <= rctx.uncertainty_limit {
+                return self.park(
+                    Request::Get {
+                        ctx: rctx,
+                        key: key.clone(),
+                    },
+                    path,
+                    key,
+                );
+            }
+        }
+        match self.store.get(&key, &rctx) {
+            Ok(out) => {
+                self.tscache.record_read(&key, rctx.read_ts, own);
+                EvalOutcome::Reply(Ok(Response::Get {
+                    value: out.value,
+                    value_ts: out.value_ts,
+                }))
+            }
+            Err(MvccError::WriteIntent { key, .. }) => self.park(
+                Request::Get {
+                    ctx: rctx,
+                    key: key.clone(),
+                },
+                path,
+                key,
+            ),
+            Err(e @ MvccError::Uncertainty { .. }) => {
+                // The read's snapshot attempt still protects its timestamp.
+                self.tscache.record_read(&key, rctx.read_ts, own);
+                EvalOutcome::Reply(Err(self.map_mvcc_err(e, None)))
+            }
+        }
+    }
+
+    fn lh_scan(
+        &mut self,
+        rctx: ReadCtx,
+        span: mr_proto::Span,
+        max_keys: usize,
+        path: ReplyPath,
+    ) -> EvalOutcome {
+        let own = rctx.txn.as_ref().map(|t| t.id);
+        let conflict = self
+            .locks
+            .first_locked_in_span(&span, own)
+            .filter(|(_, h)| h.write_ts <= rctx.uncertainty_limit)
+            .map(|(k, _)| k.clone());
+        if let Some(k) = conflict {
+            return self.park(
+                Request::Scan {
+                    ctx: rctx,
+                    span,
+                    max_keys,
+                },
+                path,
+                k,
+            );
+        }
+        match self.store.scan(&span, &rctx, max_keys) {
+            Ok(rows) => {
+                self.tscache.record_span_read(&span, rctx.read_ts);
+                EvalOutcome::Reply(Ok(Response::Scan {
+                    rows: rows.into_iter().map(|(k, v, _)| (k, v)).collect(),
+                }))
+            }
+            Err(MvccError::WriteIntent { key, .. }) => self.park(
+                Request::Scan {
+                    ctx: rctx,
+                    span,
+                    max_keys,
+                },
+                path,
+                key,
+            ),
+            Err(e @ MvccError::Uncertainty { .. }) => {
+                self.tscache.record_span_read(&span, rctx.read_ts);
+                EvalOutcome::Reply(Err(self.map_mvcc_err(e, None)))
+            }
+        }
+    }
+
+    fn lh_put(
+        &mut self,
+        txn: TxnMeta,
+        key: Key,
+        value: Option<Value>,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        // Writes conflict with any foreign lock, regardless of timestamp.
+        if let Some(holder) = self.locks.holder(&key) {
+            if holder.id != txn.id {
+                return self.park(
+                    Request::Put {
+                        txn,
+                        key: key.clone(),
+                        value,
+                    },
+                    path,
+                    key,
+                );
+            }
+        }
+        // Determine the final write timestamp.
+        let mut ts = txn.write_ts;
+        // 1. Above any prior read of this key by another transaction
+        //    (serializability); the txn's own reads don't push its writes.
+        ts = ts.forward(self.tscache.max_read_ts(&key, Some(txn.id)).next());
+        // 2. Above the closed-timestamp promise. For GLOBAL (Lead) ranges
+        //    this is what schedules the write in the future (§6.2.1).
+        let skew = hlc.physical_clock().skew_nanos();
+        self.lease.advance(ctx.params, self.policy, ctx.now, skew);
+        ts = ts.forward(self.lease.min_write_ts());
+        // 3. Above any newer committed version (write-too-old).
+        if let Some(latest) = self.store.latest_committed_ts(&key) {
+            ts = ts.forward(latest.next());
+        }
+        let mut meta = txn;
+        meta.write_ts = ts;
+        self.locks.acquire(&key, meta.clone());
+        let cmd = Command {
+            closed_ts: self.lease.promised(),
+            op: CmdOp::Put {
+                key,
+                value,
+                txn: meta,
+            },
+        };
+        self.propose(cmd, Response::Put { written_ts: ts }, path, ctx.now)
+    }
+
+    /// One-phase commit (the CRDB 1PC fast path): evaluate every write,
+    /// forward the commit timestamp past reads/closed-timestamps/newer
+    /// versions, re-validate the transaction's read spans at the final
+    /// timestamp, and propose a single command that writes, commits, and
+    /// resolves atomically. Locks are held only from evaluation to
+    /// application — one Raft round.
+    #[allow(clippy::too_many_arguments)]
+    fn lh_commit_inline(
+        &mut self,
+        txn: TxnMeta,
+        writes: Vec<(Key, Option<Value>)>,
+        refresh_spans: Vec<(mr_proto::Span, Timestamp)>,
+        local_reads_only: bool,
+        resolve_inline: bool,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        // Conflict check across all write keys.
+        for (key, _) in &writes {
+            let blocked = self
+                .locks
+                .holder(key)
+                .is_some_and(|h| h.id != txn.id);
+            if blocked {
+                let k = key.clone();
+                return self.park(
+                    Request::CommitInline {
+                        txn,
+                        writes,
+                        refresh_spans,
+                        local_reads_only,
+                        resolve_inline,
+                    },
+                    path,
+                    k,
+                );
+            }
+        }
+        // Final commit timestamp.
+        let mut ts = txn.write_ts;
+        for (key, _) in &writes {
+            ts = ts.forward(self.tscache.max_read_ts(key, Some(txn.id)).next());
+            if let Some(latest) = self.store.latest_committed_ts(key) {
+                ts = ts.forward(latest.next());
+            }
+        }
+        let skew = hlc.physical_clock().skew_nanos();
+        self.lease.advance(ctx.params, self.policy, ctx.now, skew);
+        ts = ts.forward(self.lease.min_write_ts());
+        // If the timestamp moved and some reads live on other ranges, we
+        // cannot validate them here: refuse without side effects and let
+        // the coordinator run the two-phase path.
+        if ts > txn.write_ts && !local_reads_only {
+            return EvalOutcome::Reply(Err(KvError::WriteTooOld {
+                key: writes[0].0.clone(),
+                attempted_ts: txn.write_ts,
+                actual_ts: ts,
+            }));
+        }
+        // Validate the read set at the final timestamp.
+        for (span, from_ts) in &refresh_spans {
+            if let Err(conflict_ts) = self.store.refresh_span(span, *from_ts, ts, txn.id) {
+                return EvalOutcome::Reply(Err(KvError::RefreshFailed {
+                    span_start: span.start.clone(),
+                    conflict_ts,
+                }));
+            }
+            self.tscache.record_span_read(span, ts);
+        }
+        // Acquire and propose.
+        let mut meta = txn;
+        meta.write_ts = ts;
+        for (key, _) in &writes {
+            self.locks.acquire(key, meta.clone());
+        }
+        let cmd = Command {
+            closed_ts: self.lease.promised(),
+            op: CmdOp::Commit1PC {
+                txn_id: meta.id,
+                commit_ts: ts,
+                writes,
+                resolve_inline,
+            },
+        };
+        self.propose(cmd, Response::CommitInline { commit_ts: ts }, path, ctx.now)
+    }
+
+    fn lh_end_txn(
+        &mut self,
+        txn: TxnMeta,
+        commit: bool,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        let status = if commit {
+            TxnStatus::Committed
+        } else {
+            TxnStatus::Aborted
+        };
+        let skew = hlc.physical_clock().skew_nanos();
+        self.lease.advance(ctx.params, self.policy, ctx.now, skew);
+        let cmd = Command {
+            closed_ts: self.lease.promised(),
+            op: CmdOp::TxnRecord {
+                txn_id: txn.id,
+                status,
+                commit_ts: txn.write_ts,
+            },
+        };
+        self.propose(
+            cmd,
+            Response::EndTxn {
+                commit_ts: txn.write_ts,
+            },
+            path,
+            ctx.now,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lh_resolve(
+        &mut self,
+        key: Key,
+        txn_id: TxnId,
+        status: TxnStatus,
+        commit_ts: Timestamp,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        let skew = hlc.physical_clock().skew_nanos();
+        self.lease.advance(ctx.params, self.policy, ctx.now, skew);
+        let cmd = Command {
+            closed_ts: self.lease.promised(),
+            op: CmdOp::Resolve {
+                key,
+                txn_id,
+                status,
+                commit_ts,
+            },
+        };
+        self.propose(cmd, Response::ResolveIntent, path, ctx.now)
+    }
+
+    fn lh_refresh(
+        &mut self,
+        txn_id: TxnId,
+        span: mr_proto::Span,
+        from_ts: Timestamp,
+        to_ts: Timestamp,
+    ) -> EvalOutcome {
+        match self.store.refresh_span(&span, from_ts, to_ts, txn_id) {
+            Ok(()) => {
+                // Protect the refreshed reads against later writes below
+                // the new timestamp.
+                self.tscache.record_span_read(&span, to_ts);
+                EvalOutcome::Reply(Ok(Response::Refresh))
+            }
+            Err(conflict_ts) => EvalOutcome::Reply(Err(KvError::RefreshFailed {
+                span_start: span.start,
+                conflict_ts,
+            })),
+        }
+    }
+
+    fn propose(
+        &mut self,
+        cmd: Command,
+        response: Response,
+        path: ReplyPath,
+        now: SimTime,
+    ) -> EvalOutcome {
+        match self.raft.propose(cmd, now) {
+            Some((index, msgs)) => {
+                self.pending_props.insert(
+                    index,
+                    PendingProp {
+                        path,
+                        response,
+                        term: self.raft.term(),
+                    },
+                );
+                EvalOutcome::Proposed { msgs }
+            }
+            None => EvalOutcome::Reply(Err(KvError::NotLeaseholder {
+                range: self.range,
+                leaseholder: self.raft.leader_hint().map(|p| self.node_for_peer(p)),
+            })),
+        }
+    }
+
+    /// Propose a leader no-op if this replica leads a term whose log tail
+    /// predates it (commits earlier-term entries; required after elections
+    /// and leadership transfers).
+    pub fn maybe_propose_leader_noop(
+        &mut self,
+        now: SimTime,
+    ) -> Vec<(Peer, RaftMsg<Command>)> {
+        if !self.raft.is_leader() || self.raft.last_log_term() == self.raft.term() {
+            return Vec::new();
+        }
+        let cmd = Command {
+            closed_ts: self.tracker.closed(),
+            op: CmdOp::Noop,
+        };
+        match self.raft.propose(cmd, now) {
+            Some((_, msgs)) => msgs,
+            None => Vec::new(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Application
+    // ---------------------------------------------------------------
+
+    /// Apply all newly committed entries. Lock releases, waiter wake-ups,
+    /// and proposal responses only have observable work to do on the
+    /// replica that evaluated the requests (the leaseholder); on other
+    /// replicas those structures are empty.
+    pub fn apply_committed(&mut self) -> Vec<Effect> {
+        let entries = self.raft.take_committed();
+        let mut effects = Vec::new();
+        for entry in entries {
+            self.apply_entry(&entry, &mut effects);
+        }
+        effects
+    }
+
+    fn apply_entry(&mut self, entry: &Entry<Command>, effects: &mut Vec<Effect>) {
+        match &entry.payload.op {
+            CmdOp::Noop => {}
+            CmdOp::Put { key, value, txn } => {
+                let out = self
+                    .store
+                    .put(key, value.clone(), txn)
+                    .expect("lock table must prevent conflicting intents");
+                debug_assert_eq!(
+                    out.written_ts, txn.write_ts,
+                    "apply-time bump should be impossible under lock discipline"
+                );
+            }
+            CmdOp::TxnRecord {
+                txn_id,
+                status,
+                commit_ts,
+            } => {
+                self.txn_records.insert(*txn_id, (*status, *commit_ts));
+            }
+            CmdOp::Commit1PC {
+                txn_id,
+                commit_ts,
+                writes,
+                resolve_inline,
+            } => {
+                for (key, value) in writes {
+                    // The intent commits in the same command, so the anchor
+                    // is immaterial; use the key itself.
+                    let meta = TxnMeta::new(*txn_id, key.clone(), *commit_ts);
+                    self.store
+                        .put(key, value.clone(), &meta)
+                        .expect("1PC lock discipline");
+                    if *resolve_inline {
+                        self.store.commit_intent(key, *txn_id, *commit_ts);
+                        if self.locks.holder(key).is_some_and(|h| h.id == *txn_id) {
+                            for w in self.locks.release(key) {
+                                effects.push(Effect::ReEval { waiter: w });
+                            }
+                        }
+                    }
+                    // else: the intent stays locked until the coordinator's
+                    // post-commit-wait resolve (Spanner-style ablation).
+                }
+                self.txn_records.insert(*txn_id, (TxnStatus::Committed, *commit_ts));
+            }
+            CmdOp::Resolve {
+                key,
+                txn_id,
+                status,
+                commit_ts,
+            } => {
+                match status {
+                    TxnStatus::Committed => {
+                        self.store.commit_intent(key, *txn_id, *commit_ts);
+                    }
+                    TxnStatus::Aborted | TxnStatus::Pending => {
+                        self.store.abort_intent(key, *txn_id);
+                    }
+                }
+                // Only release if the lock is still held by that txn (a
+                // waiter may have acquired it since a stale resolve).
+                if self.locks.holder(key).is_some_and(|h| h.id == *txn_id) {
+                    for w in self.locks.release(key) {
+                        effects.push(Effect::ReEval { waiter: w });
+                    }
+                }
+            }
+        }
+        self.tracker
+            .on_entry_applied(entry.payload.closed_ts, entry.index);
+        if let Some(prop) = self.pending_props.remove(&entry.index) {
+            let result = if prop.term == entry.term {
+                Ok(prop.response)
+            } else {
+                // Our proposal was superseded by another leader's entry.
+                Err(KvError::NotLeaseholder {
+                    range: self.range,
+                    leaseholder: None,
+                })
+            };
+            effects.push(Effect::Reply {
+                path: prop.path,
+                result,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_clock::SkewedClock;
+    use mr_proto::Span;
+    use mr_raft::RaftConfig;
+    use mr_sim::SimDuration;
+
+    fn solo_replica(policy: ClosedTsPolicy) -> (Replica, Hlc) {
+        let cfg = RaftConfig {
+            id: 0,
+            voters: vec![0],
+            learners: vec![],
+            election_timeout: SimDuration::from_millis(500),
+            heartbeat_interval: SimDuration::from_millis(100),
+        };
+        let mut raft = RaftNode::new(cfg, SimTime::ZERO);
+        raft.bootstrap_leader(SimTime::ZERO);
+        let replica = Replica::new(
+            RangeId(1),
+            NodeId(0),
+            0,
+            vec![NodeId(0)],
+            raft,
+            policy,
+        );
+        (replica, Hlc::new(SkewedClock::zero()))
+    }
+
+    fn ectx(params: &ClosedTsParams, now_ms: u64) -> EvalCtx<'_> {
+        EvalCtx {
+            now: SimTime(SimDuration::from_millis(now_ms).nanos()),
+            params,
+            is_leaseholder: true,
+            leaseholder: Some(NodeId(0)),
+        }
+    }
+
+    fn path() -> ReplyPath {
+        ReplyPath {
+            gateway: NodeId(9),
+            req_id: 1,
+        }
+    }
+
+    fn txn_at(id: u64, ts: Timestamp) -> TxnMeta {
+        TxnMeta::new(TxnId(id), Key::from("k"), ts)
+    }
+
+    fn do_put(
+        r: &mut Replica,
+        hlc: &mut Hlc,
+        params: &ClosedTsParams,
+        now_ms: u64,
+        id: u64,
+        ts: Timestamp,
+        key: &str,
+        val: &str,
+    ) -> Timestamp {
+        let out = r.evaluate(
+            Request::Put {
+                txn: txn_at(id, ts),
+                key: Key::from(key),
+                value: Some(Value::from(val)),
+            },
+            path(),
+            hlc,
+            &ectx(params, now_ms),
+        );
+        assert!(matches!(out, EvalOutcome::Proposed { .. }));
+        let effects = r.apply_committed();
+        match effects
+            .iter()
+            .find_map(|e| match e {
+                Effect::Reply { result: Ok(Response::Put { written_ts }), .. } => {
+                    Some(*written_ts)
+                }
+                _ => None,
+            }) {
+            Some(ts) => ts,
+            None => panic!("no put reply in {effects:?}"),
+        }
+    }
+
+    #[test]
+    fn regional_write_lands_near_now() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let now = Timestamp::new(SimDuration::from_secs(10).nanos(), 0);
+        let wts = do_put(&mut r, &mut hlc, &params, 10_000, 1, now, "k", "v");
+        assert_eq!(wts, now);
+        assert!(!wts.synthetic);
+    }
+
+    #[test]
+    fn global_write_scheduled_in_future() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lead);
+        let params = ClosedTsParams::default();
+        let now = Timestamp::new(SimDuration::from_secs(10).nanos(), 0);
+        let wts = do_put(&mut r, &mut hlc, &params, 10_000, 1, now, "k", "v");
+        // Scheduled past now + lead.
+        assert!(wts.wall > now.wall + params.lead().nanos() - 1);
+        assert!(wts.synthetic, "future-time writes are synthetic");
+        // And the closed timestamp promised covers present time.
+        assert!(r.tracker.closed().wall >= now.wall);
+    }
+
+    #[test]
+    fn write_forwarded_above_tscache() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let read_ts = Timestamp::new(SimDuration::from_secs(20).nanos(), 0);
+        // Serve a read at t=20s.
+        let out = r.evaluate(
+            Request::Get {
+                ctx: ReadCtx::stale(read_ts),
+                key: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 10_000),
+        );
+        assert!(matches!(out, EvalOutcome::Reply(Ok(_))));
+        // A later write at t=15s must land above the read.
+        let w = Timestamp::new(SimDuration::from_secs(15).nanos(), 0);
+        let wts = do_put(&mut r, &mut hlc, &params, 10_000, 1, w, "k", "v");
+        assert!(wts > read_ts);
+    }
+
+    #[test]
+    fn conflicting_write_parks_until_resolve() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let t1 = Timestamp::new(1_000, 0);
+        let w1 = do_put(&mut r, &mut hlc, &params, 1, 1, t1, "k", "a");
+        // Second txn's write parks.
+        let out = r.evaluate(
+            Request::Put {
+                txn: txn_at(2, Timestamp::new(2_000, 0)),
+                key: Key::from("k"),
+                value: Some(Value::from("b")),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 1),
+        );
+        assert!(matches!(out, EvalOutcome::Parked { .. }));
+        assert_eq!(r.parked_count(), 1);
+        // Resolve txn 1 commit; waiter wakes.
+        let out = r.evaluate(
+            Request::ResolveIntent {
+                key: Key::from("k"),
+                txn_id: TxnId(1),
+                status: TxnStatus::Committed,
+                commit_ts: w1,
+            },
+            ReplyPath {
+                gateway: NodeId(9),
+                req_id: 2,
+            },
+            &mut hlc,
+            &ectx(&params, 2),
+        );
+        assert!(matches!(out, EvalOutcome::Proposed { .. }));
+        let effects = r.apply_committed();
+        let reeval: Vec<_> = effects
+            .iter()
+            .filter(|e| matches!(e, Effect::ReEval { .. }))
+            .collect();
+        assert_eq!(reeval.len(), 1);
+        // Value committed.
+        let out = r.evaluate(
+            Request::Get {
+                ctx: ReadCtx::stale(w1),
+                key: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 3),
+        );
+        match out {
+            EvalOutcome::Reply(Ok(Response::Get { value, .. })) => {
+                assert_eq!(value, Some(Value::from("a")))
+            }
+            _ => panic!("expected value"),
+        }
+    }
+
+    #[test]
+    fn reader_below_future_intent_not_blocked() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lead);
+        let params = ClosedTsParams::default();
+        let now = Timestamp::new(SimDuration::from_secs(10).nanos(), 0);
+        // Global write scheduled ~379ms in the future; lock held.
+        let _ = r.evaluate(
+            Request::Put {
+                txn: txn_at(1, now),
+                key: Key::from("k"),
+                value: Some(Value::from("v")),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 10_000),
+        );
+        // Present-time reader with a 250ms uncertainty interval: the intent
+        // is beyond its uncertainty limit, so it must NOT block.
+        let rctx = ReadCtx::fresh(now, now.add_duration(SimDuration::from_millis(250)));
+        let out = r.evaluate(
+            Request::Get {
+                ctx: rctx,
+                key: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 10_000),
+        );
+        match out {
+            EvalOutcome::Reply(Ok(Response::Get { value, .. })) => assert_eq!(value, None),
+            o => panic!("reader should not block: {:?}", matches!(o, EvalOutcome::Parked { .. })),
+        }
+        // A reader whose uncertainty interval does reach the intent parks.
+        let rctx = ReadCtx::fresh(now, now.add_duration(SimDuration::from_millis(700)));
+        let out = r.evaluate(
+            Request::Get {
+                ctx: rctx,
+                key: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 10_000),
+        );
+        assert!(matches!(out, EvalOutcome::Parked { .. }));
+    }
+
+    #[test]
+    fn follower_read_requires_closed_interval() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let fctx = EvalCtx {
+            now: SimTime(SimDuration::from_secs(10).nanos()),
+            params: &params,
+            is_leaseholder: false,
+            leaseholder: Some(NodeId(7)),
+        };
+        let read_ts = Timestamp::new(SimDuration::from_secs(5).nanos(), 0);
+        let out = r.evaluate(
+            Request::Get {
+                ctx: ReadCtx::stale(read_ts),
+                key: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &fctx,
+        );
+        match out {
+            EvalOutcome::Reply(Err(KvError::FollowerReadUnavailable { leaseholder, .. })) => {
+                assert_eq!(leaseholder, Some(NodeId(7)));
+            }
+            _ => panic!("expected unavailable"),
+        }
+        // Close timestamps past the read: served.
+        r.tracker.on_entry_applied(read_ts, 0);
+        let out = r.evaluate(
+            Request::Get {
+                ctx: ReadCtx::stale(read_ts),
+                key: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &fctx,
+        );
+        assert!(matches!(out, EvalOutcome::Reply(Ok(Response::Get { .. }))));
+    }
+
+    #[test]
+    fn follower_rejects_writes() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let fctx = EvalCtx {
+            now: SimTime::ZERO,
+            params: &params,
+            is_leaseholder: false,
+            leaseholder: Some(NodeId(7)),
+        };
+        let out = r.evaluate(
+            Request::Put {
+                txn: txn_at(1, Timestamp::new(10, 0)),
+                key: Key::from("k"),
+                value: None,
+            },
+            path(),
+            &mut hlc,
+            &fctx,
+        );
+        assert!(matches!(
+            out,
+            EvalOutcome::Reply(Err(KvError::NotLeaseholder { .. }))
+        ));
+    }
+
+    #[test]
+    fn negotiate_caps_below_intents() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        r.tracker.on_entry_applied(Timestamp::new(10_000, 0), 0);
+        let out = r.evaluate(
+            Request::Negotiate {
+                spans: vec![Span::point(Key::from("k"))],
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 0),
+        );
+        match out {
+            EvalOutcome::Reply(Ok(Response::Negotiate { max_safe_ts })) => {
+                assert_eq!(max_safe_ts, Timestamp::new(10_000, 0));
+            }
+            _ => panic!(),
+        }
+        // Intent at 5000 caps negotiation below it.
+        let _ = r.evaluate(
+            Request::Put {
+                txn: txn_at(1, Timestamp::new(5_000, 0)),
+                key: Key::from("k"),
+                value: Some(Value::from("v")),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 0),
+        );
+        r.apply_committed();
+        let out = r.evaluate(
+            Request::Negotiate {
+                spans: vec![Span::point(Key::from("k"))],
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 0),
+        );
+        match out {
+            EvalOutcome::Reply(Ok(Response::Negotiate { max_safe_ts })) => {
+                assert!(max_safe_ts < Timestamp::new(5_000, 0));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn refresh_protects_window() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let span = Span::new(Key::from("a"), Key::from("z"));
+        // Refresh over an empty window succeeds and protects it.
+        let out = r.evaluate(
+            Request::Refresh {
+                txn_id: TxnId(5),
+                span: span.clone(),
+                from_ts: Timestamp::new(100, 0),
+                to_ts: Timestamp::new(5_000, 0),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 0),
+        );
+        assert!(matches!(out, EvalOutcome::Reply(Ok(Response::Refresh))));
+        // A later write to a covered key is forwarded above the refresh.
+        let wts = do_put(
+            &mut r,
+            &mut hlc,
+            &params,
+            0,
+            6,
+            Timestamp::new(200, 0),
+            "m",
+            "v",
+        );
+        assert!(wts > Timestamp::new(5_000, 0));
+    }
+
+    #[test]
+    fn end_txn_writes_record_and_push_reads_it() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let commit_ts = Timestamp::new(1_000, 0);
+        let out = r.evaluate(
+            Request::EndTxn {
+                txn: txn_at(3, commit_ts),
+                commit: true,
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 0),
+        );
+        assert!(matches!(out, EvalOutcome::Proposed { .. }));
+        r.apply_committed();
+        let out = r.evaluate(
+            Request::PushTxn {
+                pushee: TxnId(3),
+                anchor: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 0),
+        );
+        match out {
+            EvalOutcome::Reply(Ok(Response::PushTxn { status, commit_ts: c })) => {
+                assert_eq!(status, TxnStatus::Committed);
+                assert_eq!(c, commit_ts);
+            }
+            _ => panic!(),
+        }
+        // Unknown txn pushes as Pending.
+        let out = r.evaluate(
+            Request::PushTxn {
+                pushee: TxnId(99),
+                anchor: Key::from("k"),
+            },
+            path(),
+            &mut hlc,
+            &ectx(&params, 0),
+        );
+        match out {
+            EvalOutcome::Reply(Ok(Response::PushTxn { status, .. })) => {
+                assert_eq!(status, TxnStatus::Pending);
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,1201 @@
+//! The gateway transaction coordinator.
+//!
+//! Implements the client-visible protocol of §5 and §6 on top of the
+//! cluster transport:
+//!
+//! * serializable MVCC transactions with a fixed uncertainty interval
+//!   (§6.1): reads that observe a committed value inside the interval bump
+//!   their timestamp, *refresh* their read set, and retry;
+//! * read refreshes at commit when the write timestamp was forwarded (by
+//!   the timestamp cache, a newer committed version, or a closed-timestamp
+//!   target);
+//! * **global transactions** (§6.2): writes to GLOBAL (lead-policy) ranges
+//!   come back with future-time timestamps; the coordinator *commit-waits*
+//!   until its local HLC passes the commit timestamp — concurrently with
+//!   asynchronous intent resolution (unlike Spanner, which holds locks for
+//!   the duration; see the `commit_wait_holds_locks` ablation flag);
+//! * readers observing future-time values commit-wait at most
+//!   `max_clock_offset` before completing (§6.2);
+//! * follower reads: fresh reads on lead-policy ranges and stale reads
+//!   route to the nearest replica, with leaseholder fallback on redirects;
+//! * bounded-staleness reads (§5.3.2): a negotiation phase picks the
+//!   freshest timestamp servable locally, then the read runs there.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mr_clock::Timestamp;
+use mr_proto::{Key, KvError, ReadCtx, Request, Response, Span, TxnId, TxnMeta, TxnStatus, Value};
+use mr_sim::{NodeId, SimDuration};
+
+use crate::cluster::{Cluster, Cont, KvResult, ReadOptions, Staleness};
+use crate::zone::ClosedTsPolicy;
+
+/// Maximum transparent re-routes before an error surfaces to the caller.
+const MAX_ATTEMPTS: u8 = 16;
+
+/// A client's handle to an open transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct TxnHandle {
+    pub id: TxnId,
+    pub gateway: NodeId,
+}
+
+/// Coordinator-side transaction state.
+pub(crate) struct TxnState {
+    pub id: TxnId,
+    pub gateway: NodeId,
+    /// MVCC snapshot the transaction reads at.
+    pub read_ts: Timestamp,
+    /// Fixed upper bound of the uncertainty interval (does not move on
+    /// restarts within the same transaction, §6.1).
+    pub uncertainty_limit: Timestamp,
+    /// Provisional commit timestamp.
+    pub write_ts: Timestamp,
+    /// Anchor key of the transaction record (first write).
+    pub anchor: Option<Key>,
+    /// Read spans with the timestamp at which each was (last) validated.
+    pub reads: Vec<(Span, Timestamp)>,
+    /// Keys with intents laid down (two-phase path only).
+    pub intents: Vec<Key>,
+    /// Writes buffered at the coordinator until commit (CRDB-style write
+    /// buffering enabling the 1PC fast path). Last write per key wins.
+    pub buffered: Vec<(Key, Option<Value>)>,
+    pub epoch: u32,
+    pub finished: bool,
+}
+
+impl TxnState {
+    fn meta(&self) -> TxnMeta {
+        TxnMeta {
+            id: self.id,
+            anchor: self.anchor.clone().unwrap_or_else(|| Key::MIN.clone()),
+            write_ts: self.write_ts,
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// Overlay a transaction's buffered writes onto scan results: buffered
+/// values replace or add rows; buffered deletes remove them.
+fn overlay_buffer(
+    rows: Vec<(Key, Value)>,
+    buffered: &[(Key, Option<Value>)],
+    span: &Span,
+) -> Vec<(Key, Value)> {
+    let relevant: Vec<&(Key, Option<Value>)> =
+        buffered.iter().filter(|(k, _)| span.contains(k)).collect();
+    if relevant.is_empty() {
+        return rows;
+    }
+    let mut out: Vec<(Key, Value)> = rows
+        .into_iter()
+        .filter(|(k, _)| !relevant.iter().any(|(bk, _)| bk == k))
+        .collect();
+    for (k, v) in relevant {
+        if let Some(v) = v {
+            out.push((k.clone(), v.clone()));
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// How to pick the serving replica.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RouteMode {
+    Leaseholder,
+    Nearest,
+}
+
+impl Cluster {
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Open a transaction coordinated by `gateway`.
+    pub fn txn_begin(&mut self, gateway: NodeId) -> TxnHandle {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let read_ts = self.hlc_now(gateway);
+        let limit = read_ts.add_duration(self.cfg.clock.max_offset);
+        self.txns.insert(
+            id,
+            TxnState {
+                id,
+                gateway,
+                read_ts,
+                uncertainty_limit: limit,
+                write_ts: read_ts,
+                anchor: None,
+                reads: Vec::new(),
+                intents: Vec::new(),
+                buffered: Vec::new(),
+                epoch: 0,
+                finished: false,
+            },
+        );
+        TxnHandle { id, gateway }
+    }
+
+    /// Transactional point read.
+    pub fn txn_get(&mut self, h: TxnHandle, key: Key, cont: Cont<KvResult<Option<Value>>>) {
+        let cont = self.wrap_op(cont);
+        self.txn_get_inner(h.id, key, cont);
+    }
+
+    /// Transactional scan (bounded by `max_keys`).
+    pub fn txn_scan(
+        &mut self,
+        h: TxnHandle,
+        span: Span,
+        max_keys: usize,
+        cont: Cont<KvResult<Vec<(Key, Value)>>>,
+    ) {
+        let cont = self.wrap_op(cont);
+        self.txn_scan_inner(h.id, span, max_keys, cont);
+    }
+
+    /// Transactional write (`None` deletes).
+    pub fn txn_put(
+        &mut self,
+        h: TxnHandle,
+        key: Key,
+        value: Option<Value>,
+        cont: Cont<KvResult<()>>,
+    ) {
+        let cont = self.wrap_op(cont);
+        self.txn_put_inner(h.id, key, value, cont);
+    }
+
+    /// Commit. Returns the commit timestamp after any required read
+    /// refresh, the EndTxn round-trip, and commit wait.
+    pub fn txn_commit(&mut self, h: TxnHandle, cont: Cont<KvResult<Timestamp>>) {
+        let cont = self.wrap_op(cont);
+        self.txn_commit_inner(h.id, cont);
+    }
+
+    /// Abort, resolving any intents.
+    pub fn txn_rollback(&mut self, h: TxnHandle, cont: Cont<KvResult<()>>) {
+        let cont = self.wrap_op(cont);
+        let Some(st) = self.txns.get_mut(&h.id) else {
+            cont(self, Ok(()));
+            return;
+        };
+        if st.finished {
+            cont(self, Ok(()));
+            return;
+        }
+        st.finished = true;
+        self.metrics.txn_aborts += 1;
+        self.finalize_intents(h.id, TxnStatus::Aborted, Timestamp::ZERO);
+        cont(self, Ok(()));
+    }
+
+    // ------------------------------------------------------------------
+    // Non-transactional reads (stale reads, §5.3)
+    // ------------------------------------------------------------------
+
+    /// A standalone read. `Fresh` runs as an implicit read-only
+    /// transaction (linearizable, commit-waits if it observes future-time
+    /// values); the stale variants run lock-free at a fixed or negotiated
+    /// timestamp on the nearest replica.
+    pub fn read(
+        &mut self,
+        gateway: NodeId,
+        key: Key,
+        opts: ReadOptions,
+        cont: Cont<KvResult<Option<Value>>>,
+    ) {
+        match opts.staleness {
+            Staleness::Fresh => {
+                let h = self.txn_begin(gateway);
+                self.txn_get(
+                    h,
+                    key,
+                    Box::new(move |c, res| match res {
+                        Ok(v) => c.txn_commit(
+                            h,
+                            Box::new(move |c2, cres| match cres {
+                                Ok(_) => cont(c2, Ok(v)),
+                                Err(e) => cont(c2, Err(e)),
+                            }),
+                        ),
+                        Err(e) => {
+                            c.txn_rollback(h, Box::new(move |c2, _| cont(c2, Err(e))));
+                        }
+                    }),
+                );
+            }
+            Staleness::ExactAt(ts) => {
+                let cont = self.wrap_op(cont);
+                self.stale_read_at(gateway, key, ts, cont);
+            }
+            Staleness::ExactAgo(ago) => {
+                let now = self.hlc_now(gateway);
+                let ts = Timestamp::new(now.wall.saturating_sub(ago.nanos()), 0);
+                let cont = self.wrap_op(cont);
+                self.stale_read_at(gateway, key, ts, cont);
+            }
+            Staleness::BoundedMaxStaleness(bound) => {
+                let now = self.hlc_now(gateway);
+                let min_ts = Timestamp::new(now.wall.saturating_sub(bound.nanos()), 0);
+                let cont = self.wrap_op(cont);
+                self.bounded_staleness_read(gateway, key, min_ts, opts, cont);
+            }
+            Staleness::BoundedMinTimestamp(min_ts) => {
+                let cont = self.wrap_op(cont);
+                self.bounded_staleness_read(gateway, key, min_ts, opts, cont);
+            }
+        }
+    }
+
+    /// A standalone scan, with the same staleness options as [`Cluster::read`].
+    pub fn scan(
+        &mut self,
+        gateway: NodeId,
+        span: Span,
+        max_keys: usize,
+        opts: ReadOptions,
+        cont: Cont<KvResult<Vec<(Key, Value)>>>,
+    ) {
+        match opts.staleness {
+            Staleness::Fresh => {
+                let h = self.txn_begin(gateway);
+                self.txn_scan(
+                    h,
+                    span,
+                    max_keys,
+                    Box::new(move |c, res| match res {
+                        Ok(rows) => c.txn_commit(
+                            h,
+                            Box::new(move |c2, cres| match cres {
+                                Ok(_) => cont(c2, Ok(rows)),
+                                Err(e) => cont(c2, Err(e)),
+                            }),
+                        ),
+                        Err(e) => {
+                            c.txn_rollback(h, Box::new(move |c2, _| cont(c2, Err(e))));
+                        }
+                    }),
+                );
+            }
+            Staleness::ExactAt(ts) => {
+                let cont = self.wrap_op(cont);
+                self.stale_scan_at(gateway, span, ts, max_keys, cont);
+            }
+            Staleness::ExactAgo(ago) => {
+                let now = self.hlc_now(gateway);
+                let ts = Timestamp::new(now.wall.saturating_sub(ago.nanos()), 0);
+                let cont = self.wrap_op(cont);
+                self.stale_scan_at(gateway, span, ts, max_keys, cont);
+            }
+            Staleness::BoundedMaxStaleness(bound) => {
+                let now_ts = self.hlc_now(gateway);
+                let min_ts = Timestamp::new(now_ts.wall.saturating_sub(bound.nanos()), 0);
+                let cont = self.wrap_op(cont);
+                self.bounded_scan(gateway, span, min_ts, now_ts, max_keys, cont);
+            }
+            Staleness::BoundedMinTimestamp(min_ts) => {
+                let now_ts = self.hlc_now(gateway);
+                let cont = self.wrap_op(cont);
+                self.bounded_scan(gateway, span, min_ts, now_ts, max_keys, cont);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bounded_scan(
+        &mut self,
+        gateway: NodeId,
+        span: Span,
+        min_ts: Timestamp,
+        now_ts: Timestamp,
+        max_keys: usize,
+        cont: Cont<KvResult<Vec<(Key, Value)>>>,
+    ) {
+        let negotiate = Request::Negotiate {
+            spans: vec![span.clone()],
+        };
+        let start = span.start.clone();
+        self.dist_send(
+            gateway,
+            start,
+            RouteMode::Nearest,
+            negotiate,
+            MAX_ATTEMPTS,
+            Box::new(move |c, res| match res {
+                Ok(Response::Negotiate { max_safe_ts }) => {
+                    let chosen = max_safe_ts.min(now_ts).forward(min_ts);
+                    c.stale_scan_at(gateway, span, chosen, max_keys, cont);
+                }
+                Ok(_) => unreachable!("negotiate returned unexpected response"),
+                Err(e) => cont(c, Err(e)),
+            }),
+        );
+    }
+
+    fn stale_scan_at(
+        &mut self,
+        gateway: NodeId,
+        span: Span,
+        ts: Timestamp,
+        max_keys: usize,
+        cont: Cont<KvResult<Vec<(Key, Value)>>>,
+    ) {
+        let rctx = ReadCtx::stale(ts);
+        let start = span.start.clone();
+        self.dist_send(
+            gateway,
+            start,
+            RouteMode::Nearest,
+            Request::Scan {
+                ctx: rctx,
+                span,
+                max_keys,
+            },
+            MAX_ATTEMPTS,
+            Box::new(move |c, res| match res {
+                Ok(Response::Scan { rows }) => cont(c, Ok(rows)),
+                Ok(_) => unreachable!("scan returned non-scan response"),
+                Err(e) => cont(c, Err(e)),
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: operation wrappers
+    // ------------------------------------------------------------------
+
+    /// Track an in-flight client operation for `run_until_quiescent`.
+    fn wrap_op<T: 'static>(&mut self, cont: Cont<T>) -> Cont<T> {
+        self.op_started();
+        Box::new(move |c, v| {
+            c.op_finished();
+            cont(c, v);
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: routing
+    // ------------------------------------------------------------------
+
+    fn route(&mut self, gateway: NodeId, key: &Key, mode: RouteMode) -> KvResult<(mr_proto::RangeId, NodeId)> {
+        let desc = self
+            .registry()
+            .lookup(key)
+            .ok_or_else(|| KvError::NoSuchRange { key: key.clone() })?;
+        let target = match mode {
+            RouteMode::Leaseholder => desc.leaseholder,
+            RouteMode::Nearest => desc
+                .nearest_replica(self.topology(), gateway)
+                .unwrap_or(desc.leaseholder),
+        };
+        Ok((desc.id, target))
+    }
+
+    /// Send with transparent redirect handling: `NotLeaseholder`,
+    /// `FollowerReadUnavailable`, and follower `WriteIntent` errors re-route
+    /// to the leaseholder; timeouts re-resolve the route and retry.
+    fn dist_send(
+        &mut self,
+        gateway: NodeId,
+        key: Key,
+        mode: RouteMode,
+        req: Request,
+        attempts: u8,
+        cont: Cont<KvResult<Response>>,
+    ) {
+        let (range, target) = match self.route(gateway, &key, mode) {
+            Ok(rt) => rt,
+            Err(e) => {
+                cont(self, Err(e));
+                return;
+            }
+        };
+        let retry_req = req.clone();
+        self.send_request(
+            gateway,
+            target,
+            range,
+            req,
+            Box::new(move |c, res| match res {
+                Ok(resp) => cont(c, Ok(resp)),
+                Err(e) if e.is_redirect() && attempts > 0 => {
+                    c.dist_send(gateway, key, RouteMode::Leaseholder, retry_req, attempts - 1, cont);
+                }
+                Err(KvError::RangeUnavailable { .. }) if attempts > 0 => {
+                    // Route may have moved (failover); back off and retry.
+                    c.schedule(
+                        SimDuration::from_millis(250),
+                        Box::new(move |c2| {
+                            c2.dist_send(gateway, key, mode, retry_req, attempts - 1, cont);
+                        }),
+                    );
+                }
+                Err(e) => cont(c, Err(e)),
+            }),
+        );
+    }
+
+    /// Routing mode for a transactional read of `key`.
+    fn read_route_mode(&self, id: TxnId, key: &Key) -> RouteMode {
+        let Some(st) = self.txns.get(&id) else {
+            return RouteMode::Leaseholder;
+        };
+        // Read-your-writes must see our own (unreplicated-yet) intent.
+        if st.intents.contains(key) {
+            return RouteMode::Leaseholder;
+        }
+        match self.registry().lookup(key) {
+            // GLOBAL tables serve consistent present-time reads from any
+            // replica (§6); REGIONAL fresh reads need the leaseholder.
+            Some(d) if d.zone_config.closed_ts_policy == ClosedTsPolicy::Lead => {
+                RouteMode::Nearest
+            }
+            _ => RouteMode::Leaseholder,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: transactional reads
+    // ------------------------------------------------------------------
+
+    fn txn_get_inner(&mut self, id: TxnId, key: Key, cont: Cont<KvResult<Option<Value>>>) {
+        let Some(st) = self.txns.get(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        if st.finished {
+            cont(self, Err(KvError::TxnAborted { id }));
+            return;
+        }
+        // Read-your-writes: buffered writes win over replicated state.
+        if let Some((_, v)) = st.buffered.iter().rev().find(|(k, _)| *k == key) {
+            let v = v.clone();
+            cont(self, Ok(v));
+            return;
+        }
+        let rctx = ReadCtx {
+            read_ts: st.read_ts,
+            uncertainty_limit: st.uncertainty_limit,
+            txn: Some(st.meta()),
+        };
+        let gateway = st.gateway;
+        let mode = self.read_route_mode(id, &key);
+        let retry_key = key.clone();
+        self.dist_send(
+            gateway,
+            key.clone(),
+            mode,
+            Request::Get { ctx: rctx, key },
+            MAX_ATTEMPTS,
+            Box::new(move |c, res| match res {
+                Ok(Response::Get { value, .. }) => {
+                    if let Some(st) = c.txns.get_mut(&id) {
+                        let at = st.read_ts;
+                        st.reads.push((Span::point(retry_key), at));
+                    }
+                    cont(c, Ok(value));
+                }
+                Ok(_) => unreachable!("get returned non-get response"),
+                Err(KvError::Uncertainty { value_ts, .. }) => {
+                    c.txn_uncertainty_restart(
+                        id,
+                        value_ts,
+                        Box::new(move |c2, r| match r {
+                            Ok(()) => c2.txn_get_inner(id, retry_key, cont),
+                            Err(e) => cont(c2, Err(e)),
+                        }),
+                    );
+                }
+                Err(e) => cont(c, Err(e)),
+            }),
+        );
+    }
+
+    fn txn_scan_inner(
+        &mut self,
+        id: TxnId,
+        span: Span,
+        max_keys: usize,
+        cont: Cont<KvResult<Vec<(Key, Value)>>>,
+    ) {
+        let Some(st) = self.txns.get(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        if st.finished {
+            cont(self, Err(KvError::TxnAborted { id }));
+            return;
+        }
+        let rctx = ReadCtx {
+            read_ts: st.read_ts,
+            uncertainty_limit: st.uncertainty_limit,
+            txn: Some(st.meta()),
+        };
+        let gateway = st.gateway;
+        // Scans always go to the leaseholder (they may span in-flight
+        // writes; simulation-scale tables keep one range per partition, so
+        // a scan never crosses ranges within a partition).
+        let retry_span = span.clone();
+        self.dist_send(
+            gateway,
+            span.start.clone(),
+            RouteMode::Leaseholder,
+            Request::Scan {
+                ctx: rctx,
+                span,
+                max_keys,
+            },
+            MAX_ATTEMPTS,
+            Box::new(move |c, res| match res {
+                Ok(Response::Scan { rows }) => {
+                    let rows = match c.txns.get_mut(&id) {
+                        Some(st) => {
+                            let at = st.read_ts;
+                            st.reads.push((retry_span.clone(), at));
+                            overlay_buffer(rows, &st.buffered, &retry_span)
+                        }
+                        None => rows,
+                    };
+                    cont(c, Ok(rows));
+                }
+                Ok(_) => unreachable!("scan returned non-scan response"),
+                Err(KvError::Uncertainty { value_ts, .. }) => {
+                    c.txn_uncertainty_restart(
+                        id,
+                        value_ts,
+                        Box::new(move |c2, r| match r {
+                            Ok(()) => c2.txn_scan_inner(id, retry_span, max_keys, cont),
+                            Err(e) => cont(c2, Err(e)),
+                        }),
+                    );
+                }
+                Err(e) => cont(c, Err(e)),
+            }),
+        );
+    }
+
+    /// Handle a read that observed a value in its uncertainty interval:
+    /// bump the read timestamp to the value's, refresh prior reads, and let
+    /// the caller retry (§6.1, §6.2).
+    fn txn_uncertainty_restart(
+        &mut self,
+        id: TxnId,
+        value_ts: Timestamp,
+        cont: Cont<KvResult<()>>,
+    ) {
+        self.metrics.uncertainty_restarts += 1;
+        let Some(st) = self.txns.get_mut(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        let new_ts = st.read_ts.forward(value_ts);
+        st.write_ts = st.write_ts.forward(new_ts);
+        self.txn_refresh_reads(id, new_ts, cont);
+    }
+
+    /// Refresh all read spans to `to_ts`; on success the transaction's read
+    /// timestamp moves there.
+    fn txn_refresh_reads(&mut self, id: TxnId, to_ts: Timestamp, cont: Cont<KvResult<()>>) {
+        let Some(st) = self.txns.get_mut(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        let gateway = st.gateway;
+        let spans: Vec<(Span, Timestamp)> = st
+            .reads
+            .iter()
+            .filter(|(_, at)| *at < to_ts)
+            .cloned()
+            .collect();
+        if spans.is_empty() {
+            st.read_ts = st.read_ts.forward(to_ts);
+            cont(self, Ok(()));
+            return;
+        }
+        self.metrics.refreshes += 1;
+        let remaining = Rc::new(RefCell::new((spans.len(), Some(cont), false)));
+        for (span, from_ts) in spans {
+            let state = Rc::clone(&remaining);
+            let req = Request::Refresh {
+                txn_id: id,
+                span: span.clone(),
+                from_ts,
+                to_ts,
+            };
+            self.dist_send(
+                gateway,
+                span.start.clone(),
+                RouteMode::Leaseholder,
+                req,
+                MAX_ATTEMPTS,
+                Box::new(move |c, res| {
+                    let mut s = state.borrow_mut();
+                    if s.2 {
+                        return; // already failed
+                    }
+                    match res {
+                        Ok(_) => {
+                            s.0 -= 1;
+                            if s.0 == 0 {
+                                let cont = s.1.take().expect("refresh cont");
+                                drop(s);
+                                if let Some(st) = c.txns.get_mut(&id) {
+                                    st.read_ts = st.read_ts.forward(to_ts);
+                                    for (_, at) in st.reads.iter_mut() {
+                                        *at = (*at).forward(to_ts);
+                                    }
+                                }
+                                cont(c, Ok(()));
+                            }
+                        }
+                        Err(e) => {
+                            s.2 = true;
+                            let cont = s.1.take().expect("refresh cont");
+                            drop(s);
+                            c.metrics.refresh_failures += 1;
+                            // The transaction must restart from scratch.
+                            c.abort_after_failure(id);
+                            cont(c, Err(e));
+                        }
+                    }
+                }),
+            );
+        }
+    }
+
+    /// Mark the transaction dead and clean up its intents.
+    fn abort_after_failure(&mut self, id: TxnId) {
+        if let Some(st) = self.txns.get_mut(&id) {
+            if !st.finished {
+                st.finished = true;
+                self.metrics.txn_restarts += 1;
+                self.finalize_intents(id, TxnStatus::Aborted, Timestamp::ZERO);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: writes and commit
+    // ------------------------------------------------------------------
+
+    fn txn_put_inner(
+        &mut self,
+        id: TxnId,
+        key: Key,
+        value: Option<Value>,
+        cont: Cont<KvResult<()>>,
+    ) {
+        let Some(st) = self.txns.get_mut(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        if st.finished {
+            cont(self, Err(KvError::TxnAborted { id }));
+            return;
+        }
+        if st.anchor.is_none() {
+            st.anchor = Some(key.clone());
+        }
+        // Buffer the write; it is flushed at commit (1PC when single-range).
+        match st.buffered.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => slot.1 = value,
+            None => st.buffered.push((key, value)),
+        }
+        cont(self, Ok(()));
+    }
+
+    fn txn_commit_inner(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+        let Some(st) = self.txns.get(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        if st.finished {
+            cont(self, Err(KvError::TxnAborted { id }));
+            return;
+        }
+        let gateway = st.gateway;
+        if st.buffered.is_empty() && st.intents.is_empty() {
+            // Read-only: complete locally. Commit-wait if the read
+            // timestamp became future-time by observing a future value
+            // (§6.2: reader-side commit wait, capped at max_clock_offset).
+            let commit_ts = st.read_ts;
+            let finish: Box<dyn FnOnce(&mut Cluster)> = Box::new(move |c: &mut Cluster| {
+                if let Some(st) = c.txns.get_mut(&id) {
+                    st.finished = true;
+                }
+                c.metrics.txn_commits += 1;
+                cont(c, Ok(commit_ts));
+            });
+            self.commit_wait(gateway, commit_ts, finish);
+            return;
+        }
+        // 1PC fast path: every buffered write lands in one range.
+        let single_range = {
+            let mut range = None;
+            let mut ok = true;
+            for (key, _) in &st.buffered {
+                match self.registry().lookup(key) {
+                    Some(d) if range.is_none() => range = Some(d.id),
+                    Some(d) if range == Some(d.id) => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                range
+            } else {
+                None
+            }
+        };
+        if let Some(range) = single_range {
+            let span = self.registry().get(range).map(|d| d.span.clone());
+            let st = self.txns.get(&id).unwrap();
+            let local_reads_only = match &span {
+                Some(span) => st.reads.iter().all(|(s, _)| span.contains_span(s)),
+                None => false,
+            };
+            let resolve_inline = !self.cfg.commit_wait_holds_locks;
+            let req = Request::CommitInline {
+                txn: st.meta(),
+                writes: st.buffered.clone(),
+                refresh_spans: if local_reads_only {
+                    st.reads.clone()
+                } else {
+                    Vec::new()
+                },
+                local_reads_only,
+                resolve_inline,
+            };
+            let anchor = st.meta().anchor;
+            self.dist_send(
+                gateway,
+                anchor,
+                RouteMode::Leaseholder,
+                req,
+                MAX_ATTEMPTS,
+                Box::new(move |c, res| match res {
+                    Ok(Response::CommitInline { commit_ts }) => {
+                        if let Some(st) = c.txns.get_mut(&id) {
+                            st.finished = true;
+                            // Spanner-style ablation: locks were kept; the
+                            // coordinator resolves them after commit wait.
+                            if c.cfg.commit_wait_holds_locks {
+                                st.intents = st.buffered.iter().map(|(k, _)| k.clone()).collect();
+                            }
+                        }
+                        c.metrics.txn_commits += 1;
+                        let finish: Box<dyn FnOnce(&mut Cluster)> =
+                            Box::new(move |c2: &mut Cluster| {
+                                if c2.cfg.commit_wait_holds_locks {
+                                    c2.finalize_intents(id, TxnStatus::Committed, commit_ts);
+                                }
+                                cont(c2, Ok(commit_ts))
+                            });
+                        c.commit_wait(gateway, commit_ts, finish);
+                    }
+                    Ok(_) => unreachable!("commit-inline returned unexpected response"),
+                    Err(KvError::WriteTooOld { .. }) => {
+                        // Timestamp must move but remote reads need a real
+                        // refresh: fall back to the two-phase path.
+                        c.txn_commit_slow(id, cont);
+                    }
+                    Err(e) => {
+                        c.abort_after_failure(id);
+                        cont(c, Err(e));
+                    }
+                }),
+            );
+            return;
+        }
+        self.txn_commit_slow(id, cont);
+    }
+
+    /// Two-phase commit: flush buffered writes as intents (in parallel),
+    /// refresh reads if the write timestamp moved, write the transaction
+    /// record, then resolve intents concurrently with commit wait (§6.2).
+    fn txn_commit_slow(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+        let Some(st) = self.txns.get_mut(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        let gateway = st.gateway;
+        let writes: Vec<(Key, Option<Value>)> = std::mem::take(&mut st.buffered);
+        let meta = st.meta();
+        if writes.is_empty() {
+            // Buffer already flushed (retried fallback): go straight on.
+            self.txn_finish_two_phase(id, cont);
+            return;
+        }
+        let total = writes.len();
+        let state = Rc::new(RefCell::new((total, Some(cont), false)));
+        for (key, value) in writes {
+            let st = Rc::clone(&state);
+            let record_key = key.clone();
+            self.dist_send(
+                gateway,
+                key.clone(),
+                RouteMode::Leaseholder,
+                Request::Put {
+                    txn: meta.clone(),
+                    key,
+                    value,
+                },
+                MAX_ATTEMPTS,
+                Box::new(move |c, res| {
+                    let mut s = st.borrow_mut();
+                    if s.2 {
+                        return;
+                    }
+                    match res {
+                        Ok(Response::Put { written_ts }) => {
+                            if let Some(txn) = c.txns.get_mut(&id) {
+                                txn.write_ts = txn.write_ts.forward(written_ts);
+                                txn.intents.push(record_key);
+                            }
+                            s.0 -= 1;
+                            if s.0 == 0 {
+                                let cont = s.1.take().expect("commit cont");
+                                drop(s);
+                                c.txn_finish_two_phase(id, cont);
+                            }
+                        }
+                        Ok(_) => unreachable!("put returned non-put response"),
+                        Err(e) => {
+                            s.2 = true;
+                            let cont = s.1.take().expect("commit cont");
+                            drop(s);
+                            c.abort_after_failure(id);
+                            cont(c, Err(e));
+                        }
+                    }
+                }),
+            );
+        }
+    }
+
+    /// After intents are in place: refresh reads if needed, then EndTxn.
+    fn txn_finish_two_phase(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+        let Some(st) = self.txns.get(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        let (read_ts, write_ts) = (st.read_ts, st.write_ts);
+        if write_ts > read_ts {
+            self.txn_refresh_reads(
+                id,
+                write_ts,
+                Box::new(move |c, r| match r {
+                    Ok(()) => c.txn_send_end(id, cont),
+                    Err(e) => cont(c, Err(e)),
+                }),
+            );
+        } else {
+            self.txn_send_end(id, cont);
+        }
+    }
+
+    fn txn_send_end(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+        let Some(st) = self.txns.get(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        let gateway = st.gateway;
+        let meta = st.meta();
+        let anchor = meta.anchor.clone();
+        self.dist_send(
+            gateway,
+            anchor,
+            RouteMode::Leaseholder,
+            Request::EndTxn {
+                txn: meta,
+                commit: true,
+            },
+            MAX_ATTEMPTS,
+            Box::new(move |c, res| match res {
+                Ok(Response::EndTxn { commit_ts }) => {
+                    if let Some(st) = c.txns.get_mut(&id) {
+                        st.finished = true;
+                    }
+                    c.metrics.txn_commits += 1;
+                    if c.cfg.commit_wait_holds_locks {
+                        // Spanner-style ablation: resolve intents (release
+                        // locks) only after commit wait completes.
+                        let finish: Box<dyn FnOnce(&mut Cluster)> =
+                            Box::new(move |c2: &mut Cluster| {
+                                c2.finalize_intents(id, TxnStatus::Committed, commit_ts);
+                                cont(c2, Ok(commit_ts));
+                            });
+                        c.commit_wait(gateway, commit_ts, finish);
+                    } else {
+                        // CRDB: intent resolution proceeds concurrently with
+                        // commit wait (§6.2) — locks release while we wait.
+                        c.finalize_intents(id, TxnStatus::Committed, commit_ts);
+                        let finish: Box<dyn FnOnce(&mut Cluster)> =
+                            Box::new(move |c2: &mut Cluster| cont(c2, Ok(commit_ts)));
+                        c.commit_wait(gateway, commit_ts, finish);
+                    }
+                }
+                Ok(_) => unreachable!("end txn returned unexpected response"),
+                Err(e) => {
+                    c.abort_after_failure(id);
+                    cont(c, Err(e));
+                }
+            }),
+        );
+    }
+
+    /// Fire-and-forget intent resolution for every write of `id`.
+    fn finalize_intents(&mut self, id: TxnId, status: TxnStatus, commit_ts: Timestamp) {
+        let Some(st) = self.txns.get(&id) else { return };
+        let gateway = st.gateway;
+        let intents = st.intents.clone();
+        for key in intents {
+            let req = Request::ResolveIntent {
+                key: key.clone(),
+                txn_id: id,
+                status,
+                commit_ts,
+            };
+            self.dist_send(gateway, key, RouteMode::Leaseholder, req, 8, Box::new(|_, _| {}));
+        }
+    }
+
+    /// Delay `f` until the gateway's HLC exceeds `ts` (no-op when already
+    /// past). This is the §6.2 commit wait: local-clock-only, unlike
+    /// Spanner's wait for global clock consensus.
+    fn commit_wait(&mut self, gateway: NodeId, ts: Timestamp, f: Box<dyn FnOnce(&mut Cluster)>) {
+        let now = self.now();
+        let wait = self.node(gateway).hlc.time_until_passed(ts, now);
+        if wait == SimDuration::ZERO {
+            f(self);
+        } else {
+            self.metrics.commit_waits += 1;
+            self.metrics.commit_wait_nanos += wait.nanos();
+            self.schedule(wait, f);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: the transaction-record pusher
+    // ------------------------------------------------------------------
+
+    /// A request parked behind `holder`'s lock on `key`. Start (at most one
+    /// per blocked key) a pusher that periodically asks the holder's anchor
+    /// range for its disposition; if the holder has finalized — e.g. its
+    /// coordinator died after committing — the pusher resolves the intent
+    /// itself, unblocking the queue. While the holder is still `Pending`
+    /// the waiters simply keep waiting (CRDB's behaviour without deadlock
+    /// detection; our workloads are single-key or key-ordered).
+    pub(crate) fn start_pusher(
+        &mut self,
+        node: NodeId,
+        range: mr_proto::RangeId,
+        key: Key,
+        holder: TxnMeta,
+    ) {
+        if !self.active_pushers.insert((range, key.clone())) {
+            if self.cfg.trace { eprintln!("[pusher] dedup {range} {key:?}"); }
+            return;
+        }
+        if self.cfg.trace { eprintln!("[pusher] start {range} {key:?} holder {}", holder.id); }
+        let delay = SimDuration::from_millis(100);
+        self.schedule(
+            delay,
+            Box::new(move |c| c.pusher_tick(node, range, key, holder)),
+        );
+    }
+
+    fn pusher_tick(
+        &mut self,
+        node: NodeId,
+        range: mr_proto::RangeId,
+        key: Key,
+        holder: TxnMeta,
+    ) {
+        // Stop when the block is gone, this replica lost the lease, or the
+        // node died (waiters will time out / re-route).
+        let still_leaseholder = self
+            .registry()
+            .get(range)
+            .is_some_and(|d| d.leaseholder == node);
+        let still_blocked = self
+            .node(node)
+            .replicas
+            .get(&range)
+            .is_some_and(|r| {
+                r.locks.holder(&key).map(|h| h.id) == Some(holder.id)
+                    || r.store.intent(&key).map(|i| i.txn.id) == Some(holder.id)
+            });
+        if !still_blocked || !still_leaseholder || !self.topology().is_node_alive(node) {
+            if self.cfg.trace { eprintln!("[pusher] stop {range} {key:?} blocked={still_blocked} lh={still_leaseholder}"); }
+            self.active_pushers.remove(&(range, key));
+            return;
+        }
+        if self.cfg.trace { eprintln!("[pusher] push {range} {key:?} -> {}", holder.id); }
+        let push = Request::PushTxn {
+            pushee: holder.id,
+            anchor: holder.anchor.clone(),
+        };
+        let anchor = holder.anchor.clone();
+        self.dist_send(
+            node,
+            anchor,
+            RouteMode::Leaseholder,
+            push,
+            4,
+            Box::new(move |c, res| match res {
+                Ok(Response::PushTxn {
+                    status: status @ (TxnStatus::Committed | TxnStatus::Aborted),
+                    commit_ts,
+                }) => {
+                    // The holder finalized: resolve its intent ourselves.
+                    c.active_pushers.remove(&(range, key.clone()));
+                    let resolve = Request::ResolveIntent {
+                        key: key.clone(),
+                        txn_id: holder.id,
+                        status,
+                        commit_ts,
+                    };
+                    c.dist_send(
+                        node,
+                        key,
+                        RouteMode::Leaseholder,
+                        resolve,
+                        4,
+                        Box::new(|_, _| {}),
+                    );
+                }
+                _ => {
+                    // Still pending (or push failed): try again later.
+                    c.schedule(
+                        SimDuration::from_millis(1_000),
+                        Box::new(move |c2| c2.pusher_tick(node, range, key, holder)),
+                    );
+                }
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Internals: stale reads
+    // ------------------------------------------------------------------
+
+    fn stale_read_at(
+        &mut self,
+        gateway: NodeId,
+        key: Key,
+        ts: Timestamp,
+        cont: Cont<KvResult<Option<Value>>>,
+    ) {
+        let rctx = ReadCtx::stale(ts);
+        self.dist_send(
+            gateway,
+            key.clone(),
+            RouteMode::Nearest,
+            Request::Get { ctx: rctx, key },
+            MAX_ATTEMPTS,
+            Box::new(move |c, res| match res {
+                Ok(Response::Get { value, .. }) => cont(c, Ok(value)),
+                Ok(_) => unreachable!("get returned non-get response"),
+                Err(e) => cont(c, Err(e)),
+            }),
+        );
+    }
+
+    fn bounded_staleness_read(
+        &mut self,
+        gateway: NodeId,
+        key: Key,
+        min_ts: Timestamp,
+        opts: ReadOptions,
+        cont: Cont<KvResult<Option<Value>>>,
+    ) {
+        let now_ts = self.hlc_now(gateway);
+        let negotiate = Request::Negotiate {
+            spans: vec![Span::point(key.clone())],
+        };
+        let nkey = key.clone();
+        self.dist_send(
+            gateway,
+            nkey,
+            RouteMode::Nearest,
+            negotiate,
+            MAX_ATTEMPTS,
+            Box::new(move |c, res| match res {
+                Ok(Response::Negotiate { max_safe_ts }) => {
+                    // Freshest locally-servable timestamp, capped at now.
+                    let chosen = max_safe_ts.min(now_ts);
+                    if chosen >= min_ts {
+                        c.stale_read_at(gateway, key, chosen, cont);
+                    } else if opts.fallback_to_leaseholder {
+                        // Serve from the leaseholder at the staleness bound.
+                        let rctx = ReadCtx::stale(min_ts);
+                        c.dist_send(
+                            gateway,
+                            key.clone(),
+                            RouteMode::Leaseholder,
+                            Request::Get { ctx: rctx, key },
+                            MAX_ATTEMPTS,
+                            Box::new(move |c2, res| match res {
+                                Ok(Response::Get { value, .. }) => cont(c2, Ok(value)),
+                                Ok(_) => unreachable!(),
+                                Err(e) => cont(c2, Err(e)),
+                            }),
+                        );
+                    } else {
+                        cont(
+                            c,
+                            Err(KvError::StalenessBoundExceeded {
+                                min_ts,
+                                max_safe_ts,
+                            }),
+                        );
+                    }
+                }
+                Ok(_) => unreachable!("negotiate returned unexpected response"),
+                Err(e) => cont(c, Err(e)),
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(k: &str, v: &str) -> (Key, Value) {
+        (Key::from(k), Value::from(v))
+    }
+
+    #[test]
+    fn overlay_replaces_adds_and_deletes() {
+        let span = Span::new(Key::from("a"), Key::from("z"));
+        let rows = vec![kv("b", "old_b"), kv("d", "old_d"), kv("f", "old_f")];
+        let buffered: Vec<(Key, Option<Value>)> = vec![
+            (Key::from("b"), Some(Value::from("new_b"))), // replace
+            (Key::from("c"), Some(Value::from("new_c"))), // add
+            (Key::from("d"), None),                       // delete
+            (Key::from("zz"), Some(Value::from("out"))),  // outside span
+        ];
+        let out = overlay_buffer(rows, &buffered, &span);
+        let keys: Vec<&[u8]> = out.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"b".as_slice(), b"c", b"f"]);
+        assert_eq!(out[0].1, Value::from("new_b"));
+        assert_eq!(out[1].1, Value::from("new_c"));
+        assert_eq!(out[2].1, Value::from("old_f"));
+    }
+
+    #[test]
+    fn overlay_noop_without_relevant_buffer() {
+        let span = Span::new(Key::from("a"), Key::from("m"));
+        let rows = vec![kv("b", "x")];
+        let buffered = vec![(Key::from("q"), Some(Value::from("y")))];
+        let out = overlay_buffer(rows.clone(), &buffered, &span);
+        assert_eq!(out, rows);
+    }
+}

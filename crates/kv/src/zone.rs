@@ -1,0 +1,251 @@
+//! Zone configurations and their automatic derivation from the paper's
+//! high-level abstractions (§3).
+//!
+//! A [`ZoneConfig`] is the low-level placement vocabulary that predates the
+//! multi-region syntax: replica counts, per-region constraints, and lease
+//! preferences (§3.2, Listing 1). The [`derive_zone_config`] function is the
+//! §3.3 translation: given a table locality's *home region*, the database's
+//! *survivability goal*, and the *placement policy*, produce the zone config
+//! the paper describes (3 voters in-home for ZONE survivability, 5 voters
+//! with 2 in-home for REGION survivability, non-voters elsewhere, etc.).
+
+use mr_sim::RegionId;
+
+/// The failure domain a database must survive (§2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SurvivalGoal {
+    /// Survive the loss of one availability zone: 3 voters, all in the home
+    /// region, spread across zones.
+    Zone,
+    /// Survive the loss of a whole region: 5 voters, at most 2 per region.
+    Region,
+}
+
+/// Data-domiciling placement policy (§3.3.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Non-voting replicas in every non-home region (fast stale reads
+    /// everywhere).
+    #[default]
+    Default,
+    /// No replicas outside the home region for REGIONAL tables (GDPR-style
+    /// domiciling). Only valid with ZONE survivability.
+    Restricted,
+}
+
+/// The closed-timestamp policy of a range, determined by its table locality
+/// (§5.1.1, §6.2.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClosedTsPolicy {
+    /// REGIONAL tables: close timestamps a fixed duration in the past.
+    Lag,
+    /// GLOBAL tables: close timestamps in the future so any replica can
+    /// serve present-time reads.
+    Lead,
+}
+
+/// Placement constraints for one range (§3.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneConfig {
+    /// Total replicas (voting + non-voting).
+    pub num_replicas: usize,
+    /// Voting replicas.
+    pub num_voters: usize,
+    /// Minimum replicas (of any kind) per region. Unlisted regions get
+    /// leftovers only if `num_replicas` exceeds the constrained total.
+    pub constraints: Vec<(RegionId, usize)>,
+    /// Minimum voting replicas per region.
+    pub voter_constraints: Vec<(RegionId, usize)>,
+    /// Regions where the leaseholder should live, in preference order.
+    pub lease_preferences: Vec<RegionId>,
+    /// Closed-timestamp policy for ranges governed by this config.
+    pub closed_ts_policy: ClosedTsPolicy,
+}
+
+impl ZoneConfig {
+    /// Number of non-voting replicas implied by the config.
+    pub fn num_non_voters(&self) -> usize {
+        self.num_replicas.saturating_sub(self.num_voters)
+    }
+
+    /// A single-region config (pre-multi-region CRDB default): 3 voters in
+    /// one region.
+    pub fn single_region(home: RegionId) -> ZoneConfig {
+        ZoneConfig {
+            num_replicas: 3,
+            num_voters: 3,
+            constraints: vec![(home, 3)],
+            voter_constraints: vec![(home, 3)],
+            lease_preferences: vec![home],
+            closed_ts_policy: ClosedTsPolicy::Lag,
+        }
+    }
+}
+
+/// Derive the automatic zone configuration of §3.3.
+///
+/// * `home` — the home region (leaseholder placement; §3.3.1).
+/// * `db_regions` — all regions of the database.
+/// * `goal` — the survivability goal.
+/// * `placement` — `Default` or `Restricted` (§3.3.4).
+/// * `policy` — closed-timestamp policy (`Lead` for GLOBAL tables).
+///
+/// PLACEMENT RESTRICTED does not apply to GLOBAL tables and cannot be
+/// combined with REGION survivability; callers enforce those rules (the SQL
+/// layer rejects such DDL), but this function debug-asserts them.
+pub fn derive_zone_config(
+    home: RegionId,
+    db_regions: &[RegionId],
+    goal: SurvivalGoal,
+    placement: PlacementPolicy,
+    policy: ClosedTsPolicy,
+) -> ZoneConfig {
+    debug_assert!(db_regions.contains(&home), "home must be a database region");
+    let n = db_regions.len();
+    let others = || db_regions.iter().copied().filter(|&r| r != home);
+
+    match goal {
+        SurvivalGoal::Zone => {
+            // §3.3.2: 3 voters in the home region (spread across zones), and
+            // one non-voter in each other region (unless RESTRICTED).
+            let restricted = placement == PlacementPolicy::Restricted
+                && policy == ClosedTsPolicy::Lag;
+            let num_non_voters = if restricted { 0 } else { n - 1 };
+            let mut constraints = vec![(home, 3)];
+            if !restricted {
+                constraints.extend(others().map(|r| (r, 1)));
+            }
+            ZoneConfig {
+                num_replicas: 3 + num_non_voters,
+                num_voters: 3,
+                constraints,
+                voter_constraints: vec![(home, 3)],
+                lease_preferences: vec![home],
+                closed_ts_policy: policy,
+            }
+        }
+        SurvivalGoal::Region => {
+            debug_assert!(n >= 3, "REGION survivability needs >= 3 regions");
+            debug_assert!(
+                placement == PlacementPolicy::Default,
+                "PLACEMENT RESTRICTED is incompatible with REGION survivability"
+            );
+            // §3.3.3: 5 voters with 2 in the home region; max(2+(N-1),
+            // num_voters) replicas with at least one replica per region so
+            // stale reads can be served everywhere.
+            let num_voters = 5;
+            let num_replicas = (2 + (n - 1)).max(num_voters);
+            let mut constraints = vec![(home, 2)];
+            constraints.extend(others().map(|r| (r, 1)));
+            ZoneConfig {
+                num_replicas,
+                num_voters,
+                constraints,
+                voter_constraints: vec![(home, 2)],
+                lease_preferences: vec![home],
+                closed_ts_policy: policy,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regions(n: u32) -> Vec<RegionId> {
+        (0..n).map(RegionId).collect()
+    }
+
+    #[test]
+    fn zone_survivability_default_placement() {
+        let cfg = derive_zone_config(
+            RegionId(0),
+            &regions(5),
+            SurvivalGoal::Zone,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        // 3 voters + (N-1) non-voters (§3.3.2).
+        assert_eq!(cfg.num_voters, 3);
+        assert_eq!(cfg.num_replicas, 7);
+        assert_eq!(cfg.num_non_voters(), 4);
+        assert_eq!(cfg.voter_constraints, vec![(RegionId(0), 3)]);
+        assert_eq!(cfg.lease_preferences, vec![RegionId(0)]);
+        // Every non-home region gets one replica.
+        for r in 1..5 {
+            assert!(cfg.constraints.contains(&(RegionId(r), 1)));
+        }
+    }
+
+    #[test]
+    fn zone_survivability_restricted_placement() {
+        let cfg = derive_zone_config(
+            RegionId(1),
+            &regions(3),
+            SurvivalGoal::Zone,
+            PlacementPolicy::Restricted,
+            ClosedTsPolicy::Lag,
+        );
+        assert_eq!(cfg.num_replicas, 3);
+        assert_eq!(cfg.num_non_voters(), 0);
+        assert_eq!(cfg.constraints, vec![(RegionId(1), 3)]);
+    }
+
+    #[test]
+    fn restricted_does_not_affect_global_tables() {
+        // §3.3.4: PLACEMENT RESTRICTED does not apply to GLOBAL tables.
+        let cfg = derive_zone_config(
+            RegionId(0),
+            &regions(3),
+            SurvivalGoal::Zone,
+            PlacementPolicy::Restricted,
+            ClosedTsPolicy::Lead,
+        );
+        assert_eq!(cfg.num_replicas, 5); // 3 voters + 2 non-voters
+        assert_eq!(cfg.closed_ts_policy, ClosedTsPolicy::Lead);
+    }
+
+    #[test]
+    fn region_survivability_five_voters_two_home() {
+        let cfg = derive_zone_config(
+            RegionId(2),
+            &regions(3),
+            SurvivalGoal::Region,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        assert_eq!(cfg.num_voters, 5);
+        // max(2 + (3-1), 5) = 5.
+        assert_eq!(cfg.num_replicas, 5);
+        assert_eq!(cfg.voter_constraints, vec![(RegionId(2), 2)]);
+        assert!(cfg.constraints.contains(&(RegionId(0), 1)));
+        assert!(cfg.constraints.contains(&(RegionId(1), 1)));
+    }
+
+    #[test]
+    fn region_survivability_many_regions_replica_formula() {
+        // N=10: max(2 + 9, 5) = 11 replicas, one per region at least.
+        let cfg = derive_zone_config(
+            RegionId(0),
+            &regions(10),
+            SurvivalGoal::Region,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        assert_eq!(cfg.num_replicas, 11);
+        assert_eq!(cfg.num_voters, 5);
+        assert_eq!(cfg.num_non_voters(), 6);
+        for r in 1..10 {
+            assert!(cfg.constraints.contains(&(RegionId(r), 1)));
+        }
+    }
+
+    #[test]
+    fn single_region_legacy_config() {
+        let cfg = ZoneConfig::single_region(RegionId(0));
+        assert_eq!(cfg.num_replicas, 3);
+        assert_eq!(cfg.num_voters, 3);
+        assert_eq!(cfg.closed_ts_policy, ClosedTsPolicy::Lag);
+    }
+}

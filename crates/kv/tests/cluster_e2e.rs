@@ -1,0 +1,798 @@
+//! End-to-end tests of the KV stack: cluster transport + Raft replication +
+//! leases + closed timestamps + the transaction coordinator, on the paper's
+//! five-region topology (Table 1 RTTs).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mr_clock::Timestamp;
+use mr_kv::cluster::{Cluster, ClusterConfig, ReadOptions, Staleness};
+use mr_kv::zone::{
+    derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal,
+};
+use mr_proto::{Key, KvError, Span, Value};
+use mr_sim::{NodeId, RegionId, RttMatrix, SimDuration, SimTime, Topology};
+
+const US_EAST: RegionId = RegionId(0);
+
+fn paper_topology() -> Topology {
+    Topology::build(
+        &RttMatrix::paper_table1_regions(),
+        3,
+        RttMatrix::paper_table1(),
+    )
+}
+
+fn all_regions() -> Vec<RegionId> {
+    (0..5).map(RegionId).collect()
+}
+
+fn cluster(cfg: ClusterConfig) -> Cluster {
+    Cluster::new(paper_topology(), cfg)
+}
+
+fn deadline() -> SimTime {
+    SimTime(SimDuration::from_secs(600).nanos())
+}
+
+/// First node of a region (clients connect to a collocated gateway).
+fn gw(region: u32) -> NodeId {
+    NodeId(region * 3)
+}
+
+/// Run a write transaction to completion, returning (commit_ts, latency).
+fn write_key(c: &mut Cluster, gateway: NodeId, key: &str, val: &str) -> (Timestamp, SimDuration) {
+    let start = c.now();
+    let result: Rc<RefCell<Option<Timestamp>>> = Rc::new(RefCell::new(None));
+    let r2 = Rc::clone(&result);
+    let h = c.txn_begin(gateway);
+    let key = Key::from(key);
+    let val = Value::from(val);
+    c.txn_put(
+        h,
+        key,
+        Some(val),
+        Box::new(move |c, res| {
+            res.unwrap();
+            c.txn_commit(
+                h,
+                Box::new(move |_c, res| {
+                    *r2.borrow_mut() = Some(res.unwrap());
+                }),
+            );
+        }),
+    );
+    c.run_until_quiescent(deadline());
+    let ts = result.borrow().expect("commit did not complete");
+    (ts, c.now() - start)
+}
+
+/// Run a read to completion, returning (value, latency).
+fn read_key(
+    c: &mut Cluster,
+    gateway: NodeId,
+    key: &str,
+    opts: ReadOptions,
+) -> (Result<Option<Value>, KvError>, SimDuration) {
+    let start = c.now();
+    let result: Rc<RefCell<Option<Result<Option<Value>, KvError>>>> = Rc::new(RefCell::new(None));
+    let r2 = Rc::clone(&result);
+    c.read(
+        gateway,
+        Key::from(key),
+        opts,
+        Box::new(move |_c, res| {
+            *r2.borrow_mut() = Some(res);
+        }),
+    );
+    c.run_until_quiescent(deadline());
+    let res = result.borrow_mut().take().expect("read did not complete");
+    (res, c.now() - start)
+}
+
+fn fresh() -> ReadOptions {
+    ReadOptions::default()
+}
+
+#[test]
+fn regional_write_and_read_from_home_region_is_fast() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    let (_, wlat) = write_key(&mut c, gw(0), "k1", "v1");
+    // Local gateway + in-region raft quorum: a few ms.
+    assert!(
+        wlat < SimDuration::from_millis(30),
+        "home-region write took {wlat}"
+    );
+    let (val, rlat) = read_key(&mut c, gw(0), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    assert!(
+        rlat < SimDuration::from_millis(10),
+        "home-region read took {rlat}"
+    );
+}
+
+#[test]
+fn regional_remote_access_pays_wan_round_trips() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    // From europe-west2 (region 2), RTT to us-east1 is 87ms.
+    let (_, wlat) = write_key(&mut c, gw(2), "k1", "v1");
+    assert!(
+        wlat >= SimDuration::from_millis(87),
+        "remote write unexpectedly fast: {wlat}"
+    );
+    let (val, rlat) = read_key(&mut c, gw(2), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    assert!(
+        rlat >= SimDuration::from_millis(80),
+        "remote fresh read should cross the WAN: {rlat}"
+    );
+}
+
+#[test]
+fn stale_read_is_served_by_local_non_voting_replica() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    write_key(&mut c, gw(0), "k1", "v1");
+    // Let replication + closed timestamps advance well past the write.
+    c.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+
+    let before = c.metrics.follower_reads_served;
+    let opts = ReadOptions {
+        staleness: Staleness::ExactAgo(SimDuration::from_secs(5)),
+        fallback_to_leaseholder: true,
+    };
+    // From australia-southeast1 (region 4) — 198ms from the leaseholder.
+    let (val, rlat) = read_key(&mut c, gw(4), "k1", opts);
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    assert!(
+        rlat < SimDuration::from_millis(5),
+        "stale read should be region-local: {rlat}"
+    );
+    assert_eq!(c.metrics.follower_reads_served, before + 1);
+}
+
+#[test]
+fn bounded_staleness_negotiates_local_timestamp() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    write_key(&mut c, gw(0), "k1", "v1");
+    c.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+
+    let opts = ReadOptions {
+        staleness: Staleness::BoundedMaxStaleness(SimDuration::from_secs(30)),
+        fallback_to_leaseholder: false,
+    };
+    let (val, rlat) = read_key(&mut c, gw(3), "k1", opts);
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    // Negotiation + read, both at the local replica.
+    assert!(
+        rlat < SimDuration::from_millis(5),
+        "bounded-staleness read should stay local: {rlat}"
+    );
+}
+
+#[test]
+fn global_table_reads_fast_everywhere_writes_pay_commit_wait() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lead,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    // Write from the primary region: commit wait ≈ closed-ts lead (≈ raft +
+    // replication + max_offset ≈ 380ms with defaults).
+    let (commit_ts, wlat) = write_key(&mut c, gw(0), "g1", "v1");
+    assert!(commit_ts.synthetic, "global commits are future-time");
+    assert!(
+        wlat >= SimDuration::from_millis(300),
+        "global write should commit-wait: {wlat}"
+    );
+    assert!(
+        wlat <= SimDuration::from_millis(800),
+        "global write unexpectedly slow: {wlat}"
+    );
+
+    // Wait for replication, then read from every region: all local & fresh.
+    c.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+    for region in 0..5u32 {
+        let (val, rlat) = read_key(&mut c, gw(region), "g1", fresh());
+        assert_eq!(val.unwrap(), Some(Value::from("v1")), "region {region}");
+        assert!(
+            rlat < SimDuration::from_millis(10),
+            "global read from region {region} took {rlat}"
+        );
+    }
+    assert!(c.metrics.follower_reads_served >= 4);
+}
+
+#[test]
+fn global_reader_observing_recent_write_commit_waits_briefly() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lead,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    // Start the write but do NOT wait for it to finish: read concurrently
+    // from a remote region once the value has replicated.
+    let h = c.txn_begin(gw(0));
+    let done = Rc::new(RefCell::new(false));
+    let d2 = Rc::clone(&done);
+    c.txn_put(
+        h,
+        Key::from("g1"),
+        Some(Value::from("v1")),
+        Box::new(move |c, res| {
+            res.unwrap();
+            c.txn_commit(h, Box::new(move |_c, res| {
+                res.unwrap();
+                *d2.borrow_mut() = true;
+            }));
+        }),
+    );
+    // Replication to the far follower takes ~1 one-way WAN delay; the write
+    // sits at a future timestamp. Read just after replication lands: the
+    // value is within the reader's uncertainty window → uncertainty restart
+    // + reader-side commit wait (bounded by max_offset).
+    c.run_until(SimTime(SimDuration::from_millis(5_450).nanos()));
+    let before_restarts = c.metrics.uncertainty_restarts;
+    let (val, rlat) = read_key(&mut c, gw(4), "g1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    assert!(
+        c.metrics.uncertainty_restarts > before_restarts,
+        "reader should have hit the uncertainty window"
+    );
+    // Reader-side commit wait is bounded by max_clock_offset (250ms) plus
+    // redirects and the uncertainty-refresh round-trip — still well below
+    // the writer's full closed-timestamp lead (~580ms).
+    assert!(
+        rlat <= SimDuration::from_millis(550),
+        "reader commit wait out of bounds: {rlat}"
+    );
+    assert!(*done.borrow(), "writer should eventually finish");
+}
+
+#[test]
+fn read_write_conflict_blocks_reader_during_two_phase_commit() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    // Two ranges so the writing transaction takes the two-phase path and
+    // holds intents while its commit crosses the WAN.
+    c.create_range(Span::new(Key::from("a"), Key::from("m")), zc.clone())
+        .unwrap();
+    c.create_range(Span::new(Key::from("m"), Key::default()), zc) // empty end = unbounded
+        .unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    // A remote (europe) transaction writes to both ranges and commits; its
+    // intents are pinned while Put/EndTxn/Resolve round-trips cross the WAN.
+    let h = c.txn_begin(gw(2));
+    let commit_done = Rc::new(RefCell::new(false));
+    let cd = Rc::clone(&commit_done);
+    c.txn_put(
+        h,
+        Key::from("k1"),
+        Some(Value::from("v1")),
+        Box::new(move |c, res| {
+            res.unwrap();
+            c.txn_put(
+                h,
+                Key::from("z1"),
+                Some(Value::from("v2")),
+                Box::new(move |c2, res| {
+                    res.unwrap();
+                    c2.txn_commit(h, Box::new(move |_c, res| {
+                        res.unwrap();
+                        *cd.borrow_mut() = true;
+                    }));
+                }),
+            );
+        }),
+    );
+    // Let the intents land at the us-east leaseholders (one-way WAN ~44ms)
+    // but not the full commit (~3 half-round-trips).
+    let t0 = c.now();
+    c.run_until(SimTime((t0 + SimDuration::from_millis(60)).nanos()));
+    assert!(!*commit_done.borrow(), "commit should still be in flight");
+
+    // A fresh read from the home region blocks on the intent.
+    let read_result: Rc<RefCell<Option<Option<Value>>>> = Rc::new(RefCell::new(None));
+    let rr = Rc::clone(&read_result);
+    c.read(
+        gw(0),
+        Key::from("k1"),
+        fresh(),
+        Box::new(move |_c, res| {
+            *rr.borrow_mut() = Some(res.unwrap());
+        }),
+    );
+    c.run_until(SimTime((t0 + SimDuration::from_millis(80)).nanos()));
+    assert!(read_result.borrow().is_none(), "read should be blocked");
+
+    // Once the writer commits and resolves, the read unblocks and observes
+    // the value.
+    c.run_until_quiescent(deadline());
+    assert!(*commit_done.borrow());
+    assert_eq!(
+        read_result.borrow().clone().flatten(),
+        Some(Value::from("v1"))
+    );
+}
+
+#[test]
+fn write_write_conflict_serializes() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    // Two concurrent writers to the same key.
+    let mut commits: Vec<Rc<RefCell<Option<Timestamp>>>> = Vec::new();
+    for i in 0..2 {
+        let h = c.txn_begin(gw(i));
+        let slot: Rc<RefCell<Option<Timestamp>>> = Rc::new(RefCell::new(None));
+        let s2 = Rc::clone(&slot);
+        commits.push(slot);
+        c.txn_put(
+            h,
+            Key::from("hot"),
+            Some(Value::from(if i == 0 { "a" } else { "b" })),
+            Box::new(move |c, res| {
+                res.unwrap();
+                c.txn_commit(h, Box::new(move |_c, res| {
+                    *s2.borrow_mut() = Some(res.unwrap());
+                }));
+            }),
+        );
+    }
+    c.run_until_quiescent(deadline());
+    let t0 = commits[0].borrow().unwrap();
+    let t1 = commits[1].borrow().unwrap();
+    assert_ne!(t0, t1, "conflicting writes must serialize");
+    // The later committer's value wins.
+    let (val, _) = read_key(&mut c, gw(0), "hot", fresh());
+    let expect = if t0 > t1 { "a" } else { "b" };
+    assert_eq!(val.unwrap(), Some(Value::from(expect)));
+}
+
+#[test]
+fn region_survivability_survives_home_region_failure() {
+    let mut cfg = ClusterConfig::default();
+    cfg.rpc_timeout = Some(SimDuration::from_secs(3));
+    let mut c = cluster(cfg);
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Region,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    write_key(&mut c, gw(0), "k1", "before");
+
+    // Kill the home region. Raft elects a new leader among the surviving
+    // voters; the lease follows it.
+    c.fail_region_by_name("us-east1");
+    c.run_until(SimTime(SimDuration::from_secs(30).nanos()));
+
+    // Writes and reads still succeed from a surviving region.
+    let (_, _) = write_key(&mut c, gw(1), "k2", "after");
+    let (val, _) = read_key(&mut c, gw(1), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("before")));
+    let (val, _) = read_key(&mut c, gw(1), "k2", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("after")));
+    assert!(c.metrics.lease_transfers >= 1);
+}
+
+#[test]
+fn zone_survivability_loses_writes_on_home_region_failure() {
+    let mut cfg = ClusterConfig::default();
+    cfg.rpc_timeout = Some(SimDuration::from_millis(500));
+    let mut c = cluster(cfg);
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    write_key(&mut c, gw(0), "k1", "v1");
+    c.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+
+    c.fail_region_by_name("us-east1");
+    c.run_until(SimTime(SimDuration::from_secs(15).nanos()));
+
+    // All three voters are gone: writes cannot find a quorum and fail.
+    let failed: Rc<RefCell<Option<KvError>>> = Rc::new(RefCell::new(None));
+    let f2 = Rc::clone(&failed);
+    let h = c.txn_begin(gw(1));
+    c.txn_put(
+        h,
+        Key::from("k2"),
+        Some(Value::from("v2")),
+        Box::new(move |c, res| {
+            res.unwrap(); // buffered locally; the commit is what fails
+            c.txn_commit(h, Box::new(move |_c, res| {
+                *f2.borrow_mut() = Some(res.unwrap_err());
+            }));
+        }),
+    );
+    c.run_until_quiescent(deadline());
+    assert!(matches!(
+        failed.borrow().as_ref(),
+        Some(KvError::RangeUnavailable { .. })
+    ));
+
+    // But stale reads from surviving non-voting replicas still work
+    // (§6.2.2), at timestamps the dead leaseholder had already closed
+    // (with the default 3s lag, anything ≤ failure_time - 3s).
+    let opts = ReadOptions {
+        staleness: Staleness::ExactAt(Timestamp::new(
+            SimDuration::from_secs(6).nanos(),
+            0,
+        )),
+        fallback_to_leaseholder: false,
+    };
+    let (val, rlat) = read_key(&mut c, gw(1), "k1", opts);
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    assert!(
+        rlat < SimDuration::from_millis(5),
+        "surviving-replica stale read should be local: {rlat}"
+    );
+}
+
+#[test]
+fn zone_survivability_survives_single_zone_failure() {
+    let mut cfg = ClusterConfig::default();
+    cfg.rpc_timeout = Some(SimDuration::from_secs(3));
+    let mut c = cluster(cfg);
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    write_key(&mut c, gw(0), "k1", "v1");
+
+    // Fail the zone of the current leaseholder.
+    let lh = c.registry().iter().next().unwrap().leaseholder;
+    c.fail_zone_of(lh);
+    c.run_until(SimTime(SimDuration::from_secs(30).nanos()));
+
+    // The two surviving in-region voters elect a leader; writes continue
+    // from another gateway in the home region.
+    let gateway = c
+        .topology()
+        .nodes_in_region(US_EAST)
+        .first()
+        .copied()
+        .expect("survivors in home region");
+    let (_, wlat) = write_key(&mut c, gateway, "k2", "v2");
+    assert!(wlat < SimDuration::from_secs(2), "write took {wlat}");
+    let (val, _) = read_key(&mut c, gateway, "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+}
+
+#[test]
+fn lease_transfer_moves_fast_reads() {
+    let mut c = cluster(ClusterConfig::default());
+    // Region-survivable so voters exist outside the home region.
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Region,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    let range = c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    write_key(&mut c, gw(0), "k1", "v1");
+
+    // Find a voter outside us-east1 and hand it the lease.
+    let target = {
+        let desc = c.registry().get(range).unwrap();
+        let topo = c.topology();
+        desc.replicas
+            .iter()
+            .filter(|p| p.voting && topo.region_of(p.node) != US_EAST)
+            .map(|p| p.node)
+            .next()
+            .expect("remote voter")
+    };
+    let target_region = c.topology().region_of(target).0;
+    c.transfer_lease(range, target);
+    c.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+
+    // Fresh reads from the new home region are now local.
+    let (val, rlat) = read_key(&mut c, gw(target_region), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    assert!(
+        rlat < SimDuration::from_millis(10),
+        "read after lease transfer took {rlat}"
+    );
+    // Writes are serializable across the transfer (tscache low-water).
+    let (_, _) = write_key(&mut c, gw(target_region), "k1", "v2");
+    let (val, _) = read_key(&mut c, gw(target_region), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v2")));
+}
+
+#[test]
+fn uncertainty_interval_enforces_real_time_order_across_skewed_clocks() {
+    // Reader's clock is slower than the writer's: without uncertainty
+    // intervals the reader would miss the write.
+    let mut cfg = ClusterConfig::default();
+    cfg.skew_amplitude = SimDuration::ZERO;
+    let mut c = cluster(cfg);
+    // Manually skew: writer gateway fast by 100ms, reader slow by 100ms
+    // (within the 250ms bound).
+    c.set_node_skew(gw(0), 100_000_000);
+    c.set_node_skew(gw(1), -100_000_000);
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    // Write completes in real time before the read begins.
+    write_key(&mut c, gw(0), "k1", "v1");
+    let (val, _) = read_key(&mut c, gw(1), "k1", fresh());
+    assert_eq!(
+        val.unwrap(),
+        Some(Value::from("v1")),
+        "linearizability: read after write must observe it"
+    );
+}
+
+#[test]
+fn read_your_writes_within_txn() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    let h = c.txn_begin(gw(0));
+    let seen: Rc<RefCell<Option<Option<Value>>>> = Rc::new(RefCell::new(None));
+    let s2 = Rc::clone(&seen);
+    c.txn_put(
+        h,
+        Key::from("k1"),
+        Some(Value::from("mine")),
+        Box::new(move |c, res| {
+            res.unwrap();
+            c.txn_get(
+                h,
+                Key::from("k1"),
+                Box::new(move |c2, res| {
+                    *s2.borrow_mut() = Some(res.unwrap());
+                    c2.txn_commit(h, Box::new(|_c, res| {
+                        res.unwrap();
+                    }));
+                }),
+            );
+        }),
+    );
+    c.run_until_quiescent(deadline());
+    assert_eq!(seen.borrow().clone().flatten(), Some(Value::from("mine")));
+}
+
+#[test]
+fn txn_scan_sees_consistent_snapshot() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    write_key(&mut c, gw(0), "a", "1");
+    write_key(&mut c, gw(0), "b", "2");
+    write_key(&mut c, gw(0), "c", "3");
+
+    let h = c.txn_begin(gw(0));
+    let rows: Rc<RefCell<Vec<(Key, Value)>>> = Rc::new(RefCell::new(Vec::new()));
+    let r2 = Rc::clone(&rows);
+    c.txn_scan(
+        h,
+        Span::new(Key::from("a"), Key::from("z")),
+        100,
+        Box::new(move |c, res| {
+            *r2.borrow_mut() = res.unwrap();
+            c.txn_commit(h, Box::new(|_c, res| {
+                res.unwrap();
+            }));
+        }),
+    );
+    c.run_until_quiescent(deadline());
+    let rows = rows.borrow();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].0, Key::from("a"));
+    assert_eq!(rows[2].1, Value::from("3"));
+}
+
+#[test]
+fn restricted_placement_denies_remote_stale_reads() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Restricted,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    write_key(&mut c, gw(0), "k1", "v1");
+    c.run_until(SimTime(SimDuration::from_secs(10).nanos()));
+
+    // All replicas are domiciled in us-east1, so a "nearest replica" stale
+    // read from asia must cross the WAN.
+    let opts = ReadOptions {
+        staleness: Staleness::ExactAgo(SimDuration::from_secs(5)),
+        fallback_to_leaseholder: true,
+    };
+    let (val, rlat) = read_key(&mut c, gw(3), "k1", opts);
+    assert_eq!(val.unwrap(), Some(Value::from("v1")));
+    assert!(
+        rlat >= SimDuration::from_millis(100),
+        "restricted placement should force remote reads: {rlat}"
+    );
+}
+
+#[test]
+fn excessive_clock_skew_permits_stale_reads_but_not_corruption() {
+    // §6.2.3: single-key linearizability relies on clocks staying within
+    // max_clock_offset. Violate the bound deliberately: a write committed
+    // in real time can fall outside a slow reader's uncertainty window and
+    // be missed (a stale read) — while serializability (and the data
+    // itself) is unaffected.
+    let mut cfg = ClusterConfig::default();
+    cfg.skew_amplitude = SimDuration::ZERO;
+    let mut c = cluster(cfg);
+    // Writer's gateway runs 200ms fast, reader's 200ms slow: pairwise skew
+    // 400ms >> the 250ms bound.
+    c.set_node_skew(gw(0), 200_000_000);
+    c.set_node_skew(gw(1), -200_000_000);
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    write_key(&mut c, gw(0), "k1", "old");
+    c.run_until(SimTime(SimDuration::from_secs(6).nanos()));
+
+    // Fresh overwrite from the fast clock...
+    write_key(&mut c, gw(0), "k1", "new");
+    // ...and an immediate fresh read via the slow clock: its read
+    // timestamp + 250ms uncertainty window ends ~150ms short of the
+    // write's timestamp, so the (completed!) write is invisible — the
+    // §6.2.3 stale-read anomaly.
+    let (val, _) = read_key(&mut c, gw(1), "k1", fresh());
+    assert_eq!(
+        val.unwrap(),
+        Some(Value::from("old")),
+        "out-of-bounds skew should reproduce the stale-read anomaly"
+    );
+
+    // The anomaly is bounded staleness, not corruption: once real time
+    // passes the write's timestamp, every reader sees it.
+    c.run_until(SimTime(c.now().nanos() + SimDuration::from_secs(1).nanos()));
+    let (val, _) = read_key(&mut c, gw(1), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("new")));
+}
+
+#[test]
+fn gc_collects_old_versions_without_breaking_reads() {
+    let mut cfg = ClusterConfig::default();
+    cfg.gc_interval = SimDuration::from_secs(10);
+    cfg.gc_ttl = SimDuration::from_secs(15);
+    let mut c = cluster(cfg);
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(2).nanos()));
+    // Ten versions of the same key over 10 seconds.
+    for i in 0..10 {
+        write_key(&mut c, gw(0), "k1", &format!("v{i}"));
+        let t = c.now();
+        c.run_until(SimTime(t.nanos() + SimDuration::from_secs(1).nanos()));
+    }
+    // Far past the TTL: old versions get collected.
+    c.run_until(SimTime(SimDuration::from_secs(60).nanos()));
+    assert!(
+        c.metrics.gc_versions_removed > 0,
+        "GC should have removed shadowed versions"
+    );
+    // Fresh reads still see the newest value...
+    let (val, _) = read_key(&mut c, gw(1), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v9")));
+    // ...and stale reads within the TTL window still work.
+    let opts = ReadOptions {
+        staleness: Staleness::ExactAgo(SimDuration::from_secs(5)),
+        fallback_to_leaseholder: true,
+    };
+    let (val, _) = read_key(&mut c, gw(2), "k1", opts);
+    assert_eq!(val.unwrap(), Some(Value::from("v9")));
+}

@@ -1,0 +1,228 @@
+//! KV request and response payloads.
+//!
+//! Requests are addressed to a Range and evaluated by one of its replicas:
+//! the leaseholder for writes and fresh reads, possibly a follower for
+//! reads at sufficiently old (closed) timestamps.
+
+use mr_clock::Timestamp;
+
+use crate::keys::{Key, Span, Value};
+use crate::txn::{TxnId, TxnMeta, TxnStatus};
+
+/// How the sender wants the request routed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RoutingPolicy {
+    /// Must be served by the leaseholder (writes, fresh reads on REGIONAL).
+    Leaseholder,
+    /// Prefer the replica nearest the gateway; it serves the read if its
+    /// closed timestamp allows, otherwise the sender is redirected
+    /// (follower reads, stale reads, GLOBAL present-time reads).
+    Nearest,
+}
+
+/// Read context common to `Get` and `Scan`.
+#[derive(Clone, Debug)]
+pub struct ReadCtx {
+    /// MVCC snapshot the read observes.
+    pub read_ts: Timestamp,
+    /// Upper bound of the uncertainty interval. Values committed in
+    /// `(read_ts, uncertainty_limit]` force an uncertainty restart. Stale
+    /// reads set `uncertainty_limit == read_ts` (no uncertainty, §5.3).
+    pub uncertainty_limit: Timestamp,
+    /// The enclosing transaction, if any. Reads within a transaction see
+    /// their own provisional writes.
+    pub txn: Option<TxnMeta>,
+}
+
+impl ReadCtx {
+    /// A non-transactional read with an uncertainty interval.
+    pub fn fresh(read_ts: Timestamp, uncertainty_limit: Timestamp) -> ReadCtx {
+        ReadCtx {
+            read_ts,
+            uncertainty_limit,
+            txn: None,
+        }
+    }
+
+    /// A stale read: fixed timestamp, no uncertainty interval.
+    pub fn stale(read_ts: Timestamp) -> ReadCtx {
+        ReadCtx {
+            read_ts,
+            uncertainty_limit: read_ts,
+            txn: None,
+        }
+    }
+}
+
+/// A request evaluated by a Range replica.
+#[derive(Clone, Debug)]
+pub enum Request {
+    Get {
+        ctx: ReadCtx,
+        key: Key,
+    },
+    Scan {
+        ctx: ReadCtx,
+        span: Span,
+        max_keys: usize,
+    },
+    /// Write (or delete, when `value` is `None`) a provisional intent.
+    Put {
+        txn: TxnMeta,
+        key: Key,
+        value: Option<Value>,
+    },
+    /// Finalize the transaction record (evaluated at the anchor range).
+    EndTxn {
+        txn: TxnMeta,
+        commit: bool,
+    },
+    /// One-phase commit: lay down all writes, validate refresh spans, and
+    /// commit atomically in a single replicated command. Only valid when
+    /// every write targets one range. `local_reads_only` is set when every
+    /// read span of the transaction lies in that range too; when it is
+    /// false and the commit timestamp must be forwarded, the evaluation
+    /// fails with `WriteTooOld` (without side effects) and the coordinator
+    /// falls back to the two-phase path.
+    CommitInline {
+        txn: TxnMeta,
+        writes: Vec<(Key, Option<Value>)>,
+        /// Read spans to re-validate if the timestamp is forwarded, with
+        /// the timestamp each was read at.
+        refresh_spans: Vec<(Span, Timestamp)>,
+        local_reads_only: bool,
+        /// Resolve (release locks) in the same command (the CRDB behaviour;
+        /// §6.2). `false` models Spanner-style commit wait holding locks:
+        /// the coordinator resolves after its wait completes.
+        resolve_inline: bool,
+    },
+    /// Resolve an intent left by a finalized transaction.
+    ResolveIntent {
+        key: Key,
+        txn_id: TxnId,
+        status: TxnStatus,
+        commit_ts: Timestamp,
+    },
+    /// Verify no committed write landed in `(from_ts, to_ts]` over `span`
+    /// (the read-refresh used when a transaction's timestamp is bumped).
+    Refresh {
+        txn_id: TxnId,
+        span: Span,
+        from_ts: Timestamp,
+        to_ts: Timestamp,
+    },
+    /// Ask the anchor range for a transaction's disposition (used by readers
+    /// blocked on an intent whose coordinator may have finished).
+    PushTxn {
+        pushee: TxnId,
+        anchor: Key,
+    },
+    /// Bounded-staleness negotiation: the highest timestamp at which all
+    /// `spans` can be served locally without blocking (§5.3.2).
+    Negotiate {
+        spans: Vec<Span>,
+    },
+}
+
+impl Request {
+    /// The key used to route this request to a Range.
+    pub fn routing_key(&self) -> &Key {
+        match self {
+            Request::Get { key, .. } => key,
+            Request::Scan { span, .. } => &span.start,
+            Request::Put { key, .. } => key,
+            Request::EndTxn { txn, .. } => &txn.anchor,
+            Request::CommitInline { txn, .. } => &txn.anchor,
+            Request::ResolveIntent { key, .. } => key,
+            Request::Refresh { span, .. } => &span.start,
+            Request::PushTxn { anchor, .. } => anchor,
+            Request::Negotiate { spans } => &spans[0].start,
+        }
+    }
+
+    /// Whether the request mutates replicated state (and therefore must be
+    /// proposed through Raft by the leaseholder).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            Request::Put { .. }
+                | Request::EndTxn { .. }
+                | Request::CommitInline { .. }
+                | Request::ResolveIntent { .. }
+        )
+    }
+}
+
+/// Successful response payloads, mirroring [`Request`] variants.
+#[derive(Clone, Debug)]
+pub enum Response {
+    Get {
+        value: Option<Value>,
+        /// Commit timestamp of the returned version (zero if absent). A
+        /// *synthetic* timestamp here signals a future-time value the
+        /// reader may need to commit-wait on.
+        value_ts: Timestamp,
+    },
+    Scan {
+        rows: Vec<(Key, Value)>,
+    },
+    Put {
+        /// The timestamp actually written (possibly bumped above the
+        /// requested one by the timestamp cache or a closed timestamp).
+        written_ts: Timestamp,
+    },
+    EndTxn {
+        commit_ts: Timestamp,
+    },
+    /// One-phase commit succeeded at this timestamp.
+    CommitInline {
+        commit_ts: Timestamp,
+    },
+    ResolveIntent,
+    Refresh,
+    PushTxn {
+        status: TxnStatus,
+        commit_ts: Timestamp,
+    },
+    Negotiate {
+        max_safe_ts: Timestamp,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_key_per_variant() {
+        let k = Key::from("k");
+        let txn = TxnMeta::new(TxnId(1), Key::from("anchor"), Timestamp::new(1, 0));
+        let get = Request::Get {
+            ctx: ReadCtx::stale(Timestamp::new(1, 0)),
+            key: k.clone(),
+        };
+        assert_eq!(get.routing_key(), &k);
+        let end = Request::EndTxn {
+            txn: txn.clone(),
+            commit: true,
+        };
+        assert_eq!(end.routing_key(), &Key::from("anchor"));
+        assert!(!get.is_write());
+        assert!(end.is_write());
+        let put = Request::Put {
+            txn,
+            key: k.clone(),
+            value: Some(Value::from("v")),
+        };
+        assert!(put.is_write());
+    }
+
+    #[test]
+    fn stale_ctx_has_no_uncertainty() {
+        let c = ReadCtx::stale(Timestamp::new(100, 0));
+        assert_eq!(c.read_ts, c.uncertainty_limit);
+        assert!(c.txn.is_none());
+        let f = ReadCtx::fresh(Timestamp::new(100, 0), Timestamp::new(350, 0));
+        assert!(f.uncertainty_limit > f.read_ts);
+    }
+}

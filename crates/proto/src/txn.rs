@@ -1,0 +1,74 @@
+//! Transaction metadata shared between coordinators and replicas.
+
+use std::fmt;
+
+use mr_clock::Timestamp;
+
+use crate::keys::Key;
+
+/// Unique transaction identifier (assigned by the coordinator).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Disposition of a transaction record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TxnStatus {
+    Pending,
+    Committed,
+    Aborted,
+}
+
+/// The subset of transaction state that rides along with requests and is
+/// stored in write intents. Mirrors CockroachDB's `TxnMeta`.
+#[derive(Clone, Debug)]
+pub struct TxnMeta {
+    pub id: TxnId,
+    /// Key of the range holding the transaction record (the anchor is the
+    /// first key the transaction wrote).
+    pub anchor: Key,
+    /// Provisional commit timestamp: MVCC timestamp of the txn's writes.
+    pub write_ts: Timestamp,
+    /// Incremented on full restarts; intents from older epochs are dead.
+    pub epoch: u32,
+}
+
+impl TxnMeta {
+    pub fn new(id: TxnId, anchor: Key, write_ts: Timestamp) -> TxnMeta {
+        TxnMeta {
+            id,
+            anchor,
+            write_ts,
+            epoch: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_meta_carries_identity() {
+        let m = TxnMeta::new(TxnId(7), Key::from("a"), Timestamp::new(10, 0));
+        assert_eq!(m.id, TxnId(7));
+        assert_eq!(m.epoch, 0);
+        assert_eq!(format!("{}", m.id), "txn7");
+    }
+
+    #[test]
+    fn status_equality() {
+        assert_eq!(TxnStatus::Pending, TxnStatus::Pending);
+        assert_ne!(TxnStatus::Committed, TxnStatus::Aborted);
+    }
+}

@@ -1,0 +1,797 @@
+//! The Raft state machine.
+
+use std::collections::HashMap;
+
+use mr_sim::{SimDuration, SimTime};
+
+/// A replica's identity within its Raft group.
+pub type Peer = u32;
+
+/// A replicated log entry carrying an opaque payload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Entry<P> {
+    pub index: u64,
+    pub term: u64,
+    pub payload: P,
+}
+
+/// Raft messages exchanged between replicas of one group. The transport
+/// wraps them in an envelope carrying `(group, from, to)`.
+#[derive(Clone, Debug)]
+pub enum RaftMsg<P> {
+    AppendEntries {
+        term: u64,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<Entry<P>>,
+        commit: u64,
+    },
+    AppendResp {
+        term: u64,
+        success: bool,
+        /// Highest index known replicated on the sender (on success), or
+        /// the sender's hint for where to back up to (on failure).
+        match_index: u64,
+    },
+    RequestVote {
+        term: u64,
+        last_index: u64,
+        last_term: u64,
+    },
+    VoteResp {
+        term: u64,
+        granted: bool,
+    },
+    /// Leadership transfer: the recipient should campaign immediately.
+    TimeoutNow {
+        term: u64,
+    },
+}
+
+/// Raft role.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// Static configuration of one replica.
+#[derive(Clone, Debug)]
+pub struct RaftConfig {
+    pub id: Peer,
+    /// Voting members of the group (must include `id` if this replica votes).
+    pub voters: Vec<Peer>,
+    /// Non-voting members: receive the log, never vote or count for quorum.
+    pub learners: Vec<Peer>,
+    /// Base election timeout; staggered per replica for determinism.
+    pub election_timeout: SimDuration,
+    pub heartbeat_interval: SimDuration,
+}
+
+impl RaftConfig {
+    pub fn is_voter(&self, p: Peer) -> bool {
+        self.voters.contains(&p)
+    }
+
+    fn quorum(&self) -> usize {
+        self.voters.len() / 2 + 1
+    }
+
+    /// All peers this replica replicates to (when leader).
+    fn peers(&self) -> impl Iterator<Item = Peer> + '_ {
+        self.voters
+            .iter()
+            .chain(self.learners.iter())
+            .copied()
+            .filter(move |&p| p != self.id)
+    }
+}
+
+/// One replica's Raft state machine.
+pub struct RaftNode<P> {
+    cfg: RaftConfig,
+    role: Role,
+    term: u64,
+    voted_for: Option<Peer>,
+    log: Vec<Entry<P>>,
+    commit_index: u64,
+    applied_index: u64,
+    /// Known leader (for redirect hints).
+    leader_hint: Option<Peer>,
+    /// Leader replication progress.
+    next_index: HashMap<Peer, u64>,
+    match_index: HashMap<Peer, u64>,
+    /// Highest log index already shipped to each peer (suppresses duplicate
+    /// streaming: an ack only triggers a follow-up append once everything
+    /// previously sent has been acknowledged).
+    sent_index: HashMap<Peer, u64>,
+    /// Candidate vote tally.
+    votes: usize,
+    last_heartbeat: SimTime,
+    last_broadcast: SimTime,
+}
+
+impl<P: Clone> RaftNode<P> {
+    pub fn new(cfg: RaftConfig, now: SimTime) -> RaftNode<P> {
+        RaftNode {
+            cfg,
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            log: Vec::new(),
+            commit_index: 0,
+            applied_index: 0,
+            leader_hint: None,
+            next_index: HashMap::new(),
+            match_index: HashMap::new(),
+            sent_index: HashMap::new(),
+            votes: 0,
+            last_heartbeat: now,
+            last_broadcast: now,
+        }
+    }
+
+    /// Force this replica to start as the group's leader at term 1 without
+    /// an election (used at range creation: the allocator designates the
+    /// initial leaseholder, mirroring CRDB's bootstrap).
+    pub fn bootstrap_leader(&mut self, now: SimTime) {
+        self.term = 1;
+        self.become_leader(now);
+    }
+
+    pub fn id(&self) -> Peer {
+        self.cfg.id
+    }
+
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    pub fn leader_hint(&self) -> Option<Peer> {
+        if self.is_leader() {
+            Some(self.cfg.id)
+        } else {
+            self.leader_hint
+        }
+    }
+
+    pub fn commit_index(&self) -> u64 {
+        self.commit_index
+    }
+
+    /// Index up to which committed entries have been drained via
+    /// [`RaftNode::take_committed`].
+    pub fn applied_index(&self) -> u64 {
+        self.applied_index
+    }
+
+    pub fn last_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Term of the last log entry (0 when the log is empty).
+    pub fn last_log_term(&self) -> u64 {
+        self.last_term()
+    }
+
+    pub fn config(&self) -> &RaftConfig {
+        &self.cfg
+    }
+
+    fn last_term(&self) -> u64 {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    fn term_at(&self, index: u64) -> Option<u64> {
+        if index == 0 {
+            Some(0)
+        } else {
+            self.log.get(index as usize - 1).map(|e| e.term)
+        }
+    }
+
+    /// Staggered election timeout: replica ids fire at different times so
+    /// deterministic simulations avoid split votes.
+    fn my_election_timeout(&self) -> SimDuration {
+        self.cfg.election_timeout
+            + SimDuration(self.cfg.heartbeat_interval.nanos() / 2 * self.cfg.id as u64)
+    }
+
+    // ---- Input: proposals ----
+
+    /// Append a payload to the leader's log and broadcast it. Returns the
+    /// assigned index, or `None` if this replica is not the leader.
+    pub fn propose(&mut self, payload: P, now: SimTime) -> Option<(u64, Vec<(Peer, RaftMsg<P>)>)> {
+        if self.role != Role::Leader {
+            return None;
+        }
+        let index = self.last_index() + 1;
+        self.log.push(Entry {
+            index,
+            term: self.term,
+            payload,
+        });
+        // Single-voter groups commit immediately.
+        self.maybe_advance_commit();
+        let msgs = self.broadcast_appends(now);
+        Some((index, msgs))
+    }
+
+    // ---- Input: timers ----
+
+    /// Advance timers. Leaders emit heartbeats; followers whose election
+    /// timeout expired campaign (voters only).
+    pub fn tick(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+        match self.role {
+            Role::Leader => {
+                if now.since(self.last_broadcast) >= self.cfg.heartbeat_interval {
+                    self.broadcast_appends(now)
+                } else {
+                    Vec::new()
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if self.cfg.is_voter(self.cfg.id)
+                    && now.since(self.last_heartbeat) >= self.my_election_timeout()
+                {
+                    self.campaign(now)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    fn campaign(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.cfg.id);
+        self.votes = 1;
+        self.leader_hint = None;
+        self.last_heartbeat = now;
+        if self.votes >= self.cfg.quorum() {
+            self.become_leader(now);
+            return self.broadcast_appends(now);
+        }
+        let msg = RaftMsg::RequestVote {
+            term: self.term,
+            last_index: self.last_index(),
+            last_term: self.last_term(),
+        };
+        self.cfg
+            .voters
+            .clone()
+            .into_iter()
+            .filter(|&p| p != self.cfg.id)
+            .map(|p| (p, msg.clone()))
+            .collect()
+    }
+
+    fn become_leader(&mut self, now: SimTime) {
+        self.role = Role::Leader;
+        self.leader_hint = Some(self.cfg.id);
+        self.next_index.clear();
+        self.match_index.clear();
+        self.sent_index.clear();
+        for p in self.cfg.peers().collect::<Vec<_>>() {
+            self.next_index.insert(p, self.last_index() + 1);
+            self.match_index.insert(p, 0);
+        }
+        self.last_broadcast = now;
+    }
+
+    fn broadcast_appends(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+        self.last_broadcast = now;
+        let peers: Vec<Peer> = self.cfg.peers().collect();
+        peers
+            .into_iter()
+            .map(|p| (p, self.append_for(p)))
+            .collect()
+    }
+
+    fn append_for(&mut self, peer: Peer) -> RaftMsg<P> {
+        self.sent_index.insert(peer, self.last_index());
+        let next = *self.next_index.get(&peer).unwrap_or(&1);
+        let prev_index = next - 1;
+        let prev_term = self.term_at(prev_index).unwrap_or(0);
+        let entries: Vec<Entry<P>> = self
+            .log
+            .get(prev_index as usize..)
+            .unwrap_or(&[])
+            .to_vec();
+        RaftMsg::AppendEntries {
+            term: self.term,
+            prev_index,
+            prev_term,
+            entries,
+            commit: self.commit_index,
+        }
+    }
+
+    // ---- Input: messages ----
+
+    /// Process an incoming message; returns outbound messages.
+    pub fn step(&mut self, from: Peer, msg: RaftMsg<P>, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+        // Any message with a newer term demotes us.
+        let msg_term = match &msg {
+            RaftMsg::AppendEntries { term, .. }
+            | RaftMsg::AppendResp { term, .. }
+            | RaftMsg::RequestVote { term, .. }
+            | RaftMsg::VoteResp { term, .. }
+            | RaftMsg::TimeoutNow { term } => *term,
+        };
+        if msg_term > self.term {
+            self.term = msg_term;
+            self.role = Role::Follower;
+            self.voted_for = None;
+            self.votes = 0;
+        }
+
+        match msg {
+            RaftMsg::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                commit,
+            } => self.handle_append(from, term, prev_index, prev_term, entries, commit, now),
+            RaftMsg::AppendResp {
+                term,
+                success,
+                match_index,
+            } => self.handle_append_resp(from, term, success, match_index),
+            RaftMsg::RequestVote {
+                term,
+                last_index,
+                last_term,
+            } => self.handle_vote_request(from, term, last_index, last_term, now),
+            RaftMsg::VoteResp { term, granted } => self.handle_vote_resp(term, granted, now),
+            RaftMsg::TimeoutNow { term } => {
+                if term >= self.term && self.cfg.is_voter(self.cfg.id) && self.role != Role::Leader
+                {
+                    self.campaign(now)
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_append(
+        &mut self,
+        from: Peer,
+        term: u64,
+        prev_index: u64,
+        prev_term: u64,
+        entries: Vec<Entry<P>>,
+        commit: u64,
+        now: SimTime,
+    ) -> Vec<(Peer, RaftMsg<P>)> {
+        if term < self.term {
+            return vec![(
+                from,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                },
+            )];
+        }
+        // Valid leader for our term.
+        self.role = Role::Follower;
+        self.leader_hint = Some(from);
+        self.last_heartbeat = now;
+
+        // Log consistency check.
+        if self.term_at(prev_index) != Some(prev_term) {
+            // Hint the leader to back up to our log end (or below the
+            // divergence point).
+            let hint = self.last_index().min(prev_index.saturating_sub(1));
+            return vec![(
+                from,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_index: hint,
+                },
+            )];
+        }
+        // Append, truncating any divergent suffix.
+        for e in entries {
+            let pos = e.index as usize - 1;
+            match self.log.get(pos) {
+                Some(existing) if existing.term == e.term => {} // already have it
+                _ => {
+                    self.log.truncate(pos);
+                    debug_assert_eq!(self.log.len(), pos, "log gap");
+                    self.log.push(e);
+                }
+            }
+        }
+        let match_index = self.last_index();
+        self.commit_index = self.commit_index.max(commit.min(match_index));
+        vec![(
+            from,
+            RaftMsg::AppendResp {
+                term: self.term,
+                success: true,
+                match_index,
+            },
+        )]
+    }
+
+    fn handle_append_resp(
+        &mut self,
+        from: Peer,
+        term: u64,
+        success: bool,
+        match_index: u64,
+    ) -> Vec<(Peer, RaftMsg<P>)> {
+        if self.role != Role::Leader || term < self.term {
+            return Vec::new();
+        }
+        if success {
+            let m = self.match_index.entry(from).or_insert(0);
+            *m = (*m).max(match_index);
+            self.next_index.insert(from, match_index + 1);
+            self.maybe_advance_commit();
+            // Continue streaming only when (a) the peer is behind and
+            // (b) everything previously shipped has been acknowledged —
+            // otherwise in-flight appends already cover the gap and a
+            // resend per ack would snowball.
+            let sent = *self.sent_index.get(&from).unwrap_or(&0);
+            if match_index < self.last_index() && match_index >= sent {
+                return vec![(from, self.append_for(from))];
+            }
+            Vec::new()
+        } else {
+            // Back up to the follower's hint (but at least one step) and
+            // retry.
+            let cur = *self.next_index.get(&from).unwrap_or(&1);
+            let backed = cur.saturating_sub(1).min(match_index + 1).max(1);
+            self.next_index.insert(from, backed);
+            vec![(from, self.append_for(from))]
+        }
+    }
+
+    fn maybe_advance_commit(&mut self) {
+        // Highest index replicated on a quorum of voters whose entry is from
+        // the current term.
+        let mut indexes: Vec<u64> = self
+            .cfg
+            .voters
+            .iter()
+            .map(|&v| {
+                if v == self.cfg.id {
+                    self.last_index()
+                } else {
+                    *self.match_index.get(&v).unwrap_or(&0)
+                }
+            })
+            .collect();
+        indexes.sort_unstable_by(|a, b| b.cmp(a));
+        let quorum_index = indexes[self.cfg.quorum() - 1];
+        if quorum_index > self.commit_index && self.term_at(quorum_index) == Some(self.term) {
+            self.commit_index = quorum_index;
+        }
+    }
+
+    fn handle_vote_request(
+        &mut self,
+        from: Peer,
+        term: u64,
+        last_index: u64,
+        last_term: u64,
+        now: SimTime,
+    ) -> Vec<(Peer, RaftMsg<P>)> {
+        let up_to_date = (last_term, last_index) >= (self.last_term(), self.last_index());
+        let granted = term >= self.term
+            && up_to_date
+            && (self.voted_for.is_none() || self.voted_for == Some(from));
+        if granted {
+            self.voted_for = Some(from);
+            self.last_heartbeat = now; // reset our own timeout
+        }
+        vec![(
+            from,
+            RaftMsg::VoteResp {
+                term: self.term,
+                granted,
+            },
+        )]
+    }
+
+    fn handle_vote_resp(&mut self, term: u64, granted: bool, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+        if self.role != Role::Candidate || term < self.term || !granted {
+            return Vec::new();
+        }
+        self.votes += 1;
+        if self.votes >= self.cfg.quorum() {
+            self.become_leader(now);
+            return self.broadcast_appends(now);
+        }
+        Vec::new()
+    }
+
+    // ---- Leadership transfer ----
+
+    /// Ask `target` to take over leadership (used for lease transfers).
+    pub fn transfer_leadership(&mut self, target: Peer) -> Vec<(Peer, RaftMsg<P>)> {
+        if self.role != Role::Leader || !self.cfg.is_voter(target) || target == self.cfg.id {
+            return Vec::new();
+        }
+        vec![(target, RaftMsg::TimeoutNow { term: self.term })]
+    }
+
+    // ---- Output: committed entries ----
+
+    /// Drain entries committed since the last call, in order.
+    pub fn take_committed(&mut self) -> Vec<Entry<P>> {
+        if self.applied_index >= self.commit_index {
+            return Vec::new();
+        }
+        let out = self.log[self.applied_index as usize..self.commit_index as usize].to_vec();
+        self.applied_index = self.commit_index;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Net = Vec<(Peer, Peer, RaftMsg<&'static str>)>; // (from, to, msg)
+
+    struct Group {
+        nodes: Vec<RaftNode<&'static str>>,
+    }
+
+    impl Group {
+        fn new(voters: Vec<Peer>, learners: Vec<Peer>) -> Group {
+            let all: Vec<Peer> = voters.iter().chain(learners.iter()).copied().collect();
+            let nodes = all
+                .iter()
+                .map(|&id| {
+                    RaftNode::new(
+                        RaftConfig {
+                            id,
+                            voters: voters.clone(),
+                            learners: learners.clone(),
+                            election_timeout: SimDuration::from_millis(150),
+                            heartbeat_interval: SimDuration::from_millis(50),
+                        },
+                        SimTime::ZERO,
+                    )
+                })
+                .collect();
+            Group { nodes }
+        }
+
+        fn node(&mut self, id: Peer) -> &mut RaftNode<&'static str> {
+            self.nodes.iter_mut().find(|n| n.id() == id).unwrap()
+        }
+
+        /// Deliver all messages until quiescent (instant network).
+        fn settle(&mut self, mut pending: Net, now: SimTime) {
+            while let Some((from, to, msg)) = pending.pop() {
+                if self.nodes.iter().all(|n| n.id() != to) {
+                    continue;
+                }
+                let out = self.node(to).step(from, msg, now);
+                for (dest, m) in out {
+                    pending.push((to, dest, m));
+                }
+            }
+        }
+
+        fn tick_all(&mut self, now: SimTime) -> Net {
+            let mut net = Vec::new();
+            for n in &mut self.nodes {
+                let id = n.id();
+                for (to, m) in n.tick(now) {
+                    net.push((id, to, m));
+                }
+            }
+            net
+        }
+    }
+
+    #[test]
+    fn bootstrap_leader_commits_with_quorum() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        let (idx, msgs) = g.node(0).propose("a", SimTime::ZERO).unwrap();
+        assert_eq!(idx, 1);
+        let net: Net = msgs.into_iter().map(|(to, m)| (0, to, m)).collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(0).commit_index(), 1);
+        let committed = g.node(0).take_committed();
+        assert_eq!(committed.len(), 1);
+        assert_eq!(committed[0].payload, "a");
+        // Followers learn the commit on the next broadcast.
+        let net = g.tick_all(SimTime::ZERO + SimDuration::from_millis(60));
+        g.settle(net, SimTime::ZERO + SimDuration::from_millis(60));
+        assert_eq!(g.node(1).commit_index(), 1);
+        assert_eq!(g.node(2).take_committed().len(), 1);
+    }
+
+    #[test]
+    fn election_after_leader_silence() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        // No leader; node 0 has the shortest staggered timeout (150ms vs
+        // 175ms and 200ms), so ticking at 160ms makes only node 0 campaign.
+        let t = SimTime::ZERO + SimDuration::from_millis(160);
+        let net = g.tick_all(t);
+        assert!(!net.is_empty());
+        g.settle(net, t);
+        assert!(g.node(0).is_leader());
+        assert_eq!(g.node(1).role(), Role::Follower);
+        assert_eq!(g.node(1).leader_hint(), Some(0));
+    }
+
+    #[test]
+    fn learner_replicates_but_does_not_count_for_quorum() {
+        // 3 voters + 1 learner; two voters are "down" (we just don't
+        // deliver to them), so nothing can commit even if the learner acks.
+        let mut g = Group::new(vec![0, 1, 2], vec![3]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        let (_, msgs) = g.node(0).propose("a", SimTime::ZERO).unwrap();
+        // Deliver only to the learner.
+        let mut net: Net = Vec::new();
+        for (to, m) in msgs {
+            if to == 3 {
+                net.push((0, to, m));
+            }
+        }
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(3).last_index(), 1, "learner received the entry");
+        assert_eq!(g.node(0).commit_index(), 0, "no voter quorum");
+        // Now deliver to one voter: 2/3 voters = quorum.
+        let msgs = g.node(0).broadcast_appends(SimTime::ZERO);
+        let net: Net = msgs
+            .into_iter()
+            .filter(|(to, _)| *to == 1)
+            .map(|(to, m)| (0, to, m))
+            .collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(0).commit_index(), 1);
+    }
+
+    #[test]
+    fn learner_never_campaigns() {
+        let mut g = Group::new(vec![0, 1], vec![2]);
+        let t = SimTime::ZERO + SimDuration::from_secs(10);
+        let msgs = g.node(2).tick(t);
+        assert!(msgs.is_empty());
+        assert_eq!(g.node(2).role(), Role::Follower);
+    }
+
+    #[test]
+    fn divergent_follower_log_is_repaired() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        // Node 1 has a stale divergent entry from a dead term.
+        g.node(1).term = 1;
+        g.node(1).log.push(Entry {
+            index: 1,
+            term: 1,
+            payload: "stale",
+        });
+        // Node 0 becomes leader at term 2 and proposes.
+        g.node(0).term = 1;
+        g.node(0).bootstrap_leader(SimTime::ZERO); // term stays, role leader
+        g.node(0).term = 2;
+        let (_, msgs) = g.node(0).propose("fresh", SimTime::ZERO).unwrap();
+        let net: Net = msgs.into_iter().map(|(to, m)| (0, to, m)).collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(1).log.len(), 1);
+        assert_eq!(g.node(1).log[0].payload, "fresh");
+        assert_eq!(g.node(0).commit_index(), 1);
+    }
+
+    #[test]
+    fn vote_denied_to_stale_log() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(1).log.push(Entry {
+            index: 1,
+            term: 1,
+            payload: "x",
+        });
+        g.node(1).term = 1;
+        // Node 0 campaigns with an empty log: node 1 must refuse.
+        let out = g.node(1).step(
+            0,
+            RaftMsg::RequestVote {
+                term: 2,
+                last_index: 0,
+                last_term: 0,
+            },
+            SimTime::ZERO,
+        );
+        match &out[0].1 {
+            RaftMsg::VoteResp { granted, .. } => assert!(!granted),
+            m => panic!("unexpected {m:?}"),
+        }
+    }
+
+    #[test]
+    fn leadership_transfer() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        let msgs = g.node(0).transfer_leadership(1);
+        let net: Net = msgs.into_iter().map(|(to, m)| (0, to, m)).collect();
+        g.settle(net, SimTime::ZERO);
+        assert!(g.node(1).is_leader());
+        assert!(!g.node(0).is_leader());
+        assert!(g.node(1).term() > 1);
+    }
+
+    #[test]
+    fn transfer_to_learner_refused() {
+        let mut g = Group::new(vec![0, 1], vec![2]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        assert!(g.node(0).transfer_leadership(2).is_empty());
+        assert!(g.node(0).transfer_leadership(0).is_empty());
+    }
+
+    #[test]
+    fn five_voter_quorum_needs_three() {
+        let mut g = Group::new(vec![0, 1, 2, 3, 4], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        let (_, msgs) = g.node(0).propose("a", SimTime::ZERO).unwrap();
+        // Deliver to just one other voter: 2 acks < quorum(3).
+        let net: Net = msgs
+            .into_iter()
+            .filter(|(to, _)| *to == 1)
+            .map(|(to, m)| (0, to, m))
+            .collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(0).commit_index(), 0);
+        // One more ack reaches quorum.
+        let msgs = g.node(0).broadcast_appends(SimTime::ZERO);
+        let net: Net = msgs
+            .into_iter()
+            .filter(|(to, _)| *to == 2)
+            .map(|(to, m)| (0, to, m))
+            .collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(0).commit_index(), 1);
+    }
+
+    #[test]
+    fn stale_term_leader_is_demoted() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        // Node 1 holds a newer term.
+        g.node(1).term = 5;
+        let (_, msgs) = g.node(0).propose("a", SimTime::ZERO).unwrap();
+        let net: Net = msgs.into_iter().map(|(to, m)| (0, to, m)).collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(0).role(), Role::Follower);
+        assert_eq!(g.node(0).term(), 5);
+    }
+
+    #[test]
+    fn take_committed_is_incremental() {
+        let mut g = Group::new(vec![0], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        g.node(0).propose("a", SimTime::ZERO);
+        g.node(0).propose("b", SimTime::ZERO);
+        let c1 = g.node(0).take_committed();
+        assert_eq!(c1.iter().map(|e| e.payload).collect::<Vec<_>>(), ["a", "b"]);
+        assert!(g.node(0).take_committed().is_empty());
+        g.node(0).propose("c", SimTime::ZERO);
+        let c2 = g.node(0).take_committed();
+        assert_eq!(c2.len(), 1);
+        assert_eq!(c2[0].index, 3);
+    }
+}

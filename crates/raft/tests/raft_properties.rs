@@ -1,0 +1,189 @@
+//! Property tests for the Raft state machine: under randomized message
+//! delivery orders, delays, drops, and leader changes, all replicas agree
+//! on the committed prefix (log matching + leader completeness).
+
+use proptest::prelude::*;
+
+use mr_raft::{RaftConfig, RaftMsg, RaftNode, Role};
+use mr_sim::{SimDuration, SimTime};
+
+type Payload = u32;
+
+struct Net {
+    /// In-flight messages: (from, to, msg).
+    queue: Vec<(u32, u32, RaftMsg<Payload>)>,
+}
+
+struct Harness {
+    nodes: Vec<RaftNode<Payload>>,
+    net: Net,
+    now: SimTime,
+}
+
+impl Harness {
+    fn new(n: u32) -> Harness {
+        let voters: Vec<u32> = (0..n).collect();
+        let nodes = voters
+            .iter()
+            .map(|&id| {
+                RaftNode::new(
+                    RaftConfig {
+                        id,
+                        voters: voters.clone(),
+                        learners: vec![],
+                        election_timeout: SimDuration::from_millis(150),
+                        heartbeat_interval: SimDuration::from_millis(50),
+                    },
+                    SimTime::ZERO,
+                )
+            })
+            .collect();
+        Harness {
+            nodes,
+            net: Net { queue: Vec::new() },
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn send(&mut self, from: u32, msgs: Vec<(u32, RaftMsg<Payload>)>) {
+        for (to, m) in msgs {
+            self.net.queue.push((from, to, m));
+        }
+    }
+
+    /// Deliver the in-flight message at `idx % len`, or drop it when
+    /// `drop` is set.
+    fn step_network(&mut self, idx: usize, drop: bool) {
+        if self.net.queue.is_empty() {
+            return;
+        }
+        let i = idx % self.net.queue.len();
+        let (from, to, msg) = self.net.queue.swap_remove(i);
+        if drop {
+            return;
+        }
+        let out = self.nodes[to as usize].step(from, msg, self.now);
+        self.send(to, out);
+    }
+
+    fn tick_all(&mut self) {
+        self.now = self.now + SimDuration::from_millis(60);
+        for i in 0..self.nodes.len() {
+            let out = self.nodes[i].tick(self.now);
+            let id = self.nodes[i].id();
+            self.send(id, out);
+        }
+    }
+
+    fn leader(&self) -> Option<usize> {
+        // The highest-term leader is the live one.
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.role() == Role::Leader)
+            .max_by_key(|(_, n)| n.term())
+            .map(|(i, _)| i)
+    }
+
+    fn drain_committed(&mut self) -> Vec<Vec<Payload>> {
+        self.nodes
+            .iter_mut()
+            .map(|n| n.take_committed().into_iter().map(|e| e.payload).collect())
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// Under any interleaving of proposals, partial delivery, drops, and
+    /// ticks, every replica's committed sequence is a prefix of every
+    /// other's — and committed entries never change.
+    #[test]
+    fn committed_prefixes_agree(
+        schedule in prop::collection::vec((any::<u16>(), 0u8..10), 20..200),
+    ) {
+        let mut h = Harness::new(3);
+        h.nodes[0].bootstrap_leader(SimTime::ZERO);
+        let mut next_payload: Payload = 1;
+        // Applied-so-far per node.
+        let mut applied: Vec<Vec<Payload>> = vec![Vec::new(); 3];
+
+        for (r, action) in schedule {
+            match action {
+                // Propose at the current leader (if any).
+                0 | 1 => {
+                    if let Some(l) = h.leader() {
+                        let now = h.now;
+                        if let Some((_, msgs)) = h.nodes[l].propose(next_payload, now) {
+                            next_payload += 1;
+                            let id = h.nodes[l].id();
+                            h.send(id, msgs);
+                        }
+                    }
+                }
+                // Deliver a random in-flight message.
+                2..=6 => h.step_network(r as usize, false),
+                // Drop one.
+                7 => h.step_network(r as usize, true),
+                // Advance time (heartbeats, elections).
+                _ => h.tick_all(),
+            }
+            for (i, new) in h.drain_committed().into_iter().enumerate() {
+                applied[i].extend(new);
+            }
+            // Invariant: pairwise prefix agreement.
+            for a in 0..3 {
+                for b in 0..3 {
+                    let (short, long) = if applied[a].len() <= applied[b].len() {
+                        (&applied[a], &applied[b])
+                    } else {
+                        (&applied[b], &applied[a])
+                    };
+                    prop_assert_eq!(
+                        &long[..short.len()],
+                        &short[..],
+                        "divergent committed prefixes"
+                    );
+                }
+            }
+        }
+
+        // Let the network quiesce fully and re-check convergence.
+        for i in 0..4000 {
+            if h.net.queue.is_empty() {
+                h.tick_all();
+            } else {
+                h.step_network(i, false);
+            }
+            for (i, new) in h.drain_committed().into_iter().enumerate() {
+                applied[i].extend(new);
+            }
+            if h.net.queue.is_empty() && h.leader().is_some() {
+                break;
+            }
+        }
+        // Whatever the leader committed, everyone eventually applies.
+        if let Some(l) = h.leader() {
+            // Flush: a few more heartbeat rounds.
+            for i in 0..2000 {
+                if h.net.queue.is_empty() {
+                    h.tick_all();
+                } else {
+                    h.step_network(i, false);
+                }
+                for (i, new) in h.drain_committed().into_iter().enumerate() {
+                    applied[i].extend(new);
+                }
+            }
+            let lead_len = applied[l].len();
+            for (i, a) in applied.iter().enumerate() {
+                prop_assert_eq!(
+                    &a[..a.len().min(lead_len)],
+                    &applied[l][..a.len().min(lead_len)],
+                    "node {} diverged from leader after quiescence", i
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! The event calendar.
+//!
+//! A min-heap over `(fire_time, sequence)` pairs. The sequence number breaks
+//! ties so that events scheduled earlier fire earlier, which keeps the whole
+//! simulation deterministic for a fixed seed and schedule order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    payload: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event calendar over payloads of type `M`.
+///
+/// `pop` advances virtual time to the fire time of the earliest event and
+/// returns it. Time never moves backwards; scheduling an event in the past
+/// clamps it to fire "now".
+pub struct EventQueue<M> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<M>>,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, payload: M) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Schedule `payload` at an absolute instant (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, payload: M) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+    }
+
+    /// Pop the earliest event, advancing virtual time to its fire time.
+    pub fn pop(&mut self) -> Option<(SimTime, M)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.at >= self.now, "event calendar went backwards");
+        self.now = ev.at;
+        Some((ev.at, ev.payload))
+    }
+
+    /// Fire time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimDuration::from_millis(30), "c");
+        q.schedule(SimDuration::from_millis(10), "a");
+        q.schedule(SimDuration::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, m)| m).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime(30_000_000));
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimDuration::from_millis(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, m)| m).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimDuration::from_millis(10), "later");
+        q.pop();
+        q.schedule_at(SimTime::ZERO, "past");
+        let (at, m) = q.pop().unwrap();
+        assert_eq!(m, "past");
+        assert_eq!(at, SimTime(10_000_000));
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimDuration::from_millis(1), 1u8);
+        q.schedule(SimDuration::from_millis(2), 2u8);
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            assert!(at >= last);
+            last = at;
+            assert_eq!(q.now(), at);
+        }
+    }
+}

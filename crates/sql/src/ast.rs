@@ -1,0 +1,225 @@
+//! The statement AST produced by the parser.
+
+use mr_sim::SimDuration;
+
+use crate::types::{ColumnType, Datum};
+
+/// Table locality (§2.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Locality {
+    Global,
+    /// `REGIONAL BY TABLE [IN "region"]`; `None` = primary region.
+    RegionalByTable(Option<String>),
+    RegionalByRow,
+}
+
+/// Scalar expressions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    Lit(Datum),
+    Col(String),
+    BinOp {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    In {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+    },
+    Case {
+        whens: Vec<(Expr, Expr)>,
+        else_: Option<Box<Expr>>,
+    },
+    FnCall {
+        name: String,
+        args: Vec<Expr>,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+/// A column definition in CREATE TABLE / ADD COLUMN.
+#[derive(Clone, Debug, Default)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: Option<ColumnType>,
+    pub not_null: bool,
+    pub primary_key: bool,
+    pub unique: bool,
+    /// `NOT VISIBLE`: hidden from `SELECT *` (like `crdb_region`).
+    pub hidden: bool,
+    pub default: Option<Expr>,
+    /// `AS (expr) STORED` computed column.
+    pub computed: Option<Expr>,
+    /// `ON UPDATE expr` (e.g. `rehome_row()`).
+    pub on_update: Option<Expr>,
+    /// `REFERENCES table (col)`.
+    pub references: Option<(String, String)>,
+}
+
+/// Table-level constraints.
+#[derive(Clone, Debug)]
+pub enum TableConstraint {
+    PrimaryKey(Vec<String>),
+    Unique(Vec<String>),
+    ForeignKey {
+        columns: Vec<String>,
+        parent: String,
+        parent_columns: Vec<String>,
+    },
+}
+
+/// `ALTER DATABASE` actions (§2.1, §2.2, §3.3.4).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AlterDbAction {
+    AddRegion(String),
+    DropRegion(String),
+    SetPrimaryRegion(String),
+    SurviveZoneFailure,
+    SurviveRegionFailure,
+    PlacementRestricted,
+    PlacementDefault,
+}
+
+/// Legacy zone-configuration overrides (§3.2, Listing 1). Parsed from
+/// `CONFIGURE ZONE USING ...`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ZoneOverrides {
+    pub num_replicas: Option<usize>,
+    pub num_voters: Option<usize>,
+    /// `constraints = '{+region=r: n, ...}'`.
+    pub constraints: Vec<(String, usize)>,
+    pub voter_constraints: Vec<(String, usize)>,
+    /// `lease_preferences = '[[+region=r]]'`.
+    pub lease_preferences: Vec<String>,
+}
+
+/// `ALTER TABLE` actions.
+#[derive(Clone, Debug)]
+pub enum AlterTableAction {
+    SetLocality(Locality),
+    AddColumn(ColumnDef),
+    /// Legacy manual partitioning: `PARTITION BY LIST (col) (PARTITION p
+    /// VALUES IN (...), ...)`.
+    PartitionByList {
+        column: String,
+        partitions: Vec<(String, Vec<Datum>)>,
+    },
+    /// Legacy `CONFIGURE ZONE USING ...` on the whole table.
+    ConfigureZone(ZoneOverrides),
+}
+
+/// `AS OF SYSTEM TIME` clause (§5.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Aost {
+    /// Negative interval: `'-30s'`.
+    ExactAgo(SimDuration),
+    /// `with_max_staleness('30s')`.
+    MaxStaleness(SimDuration),
+    /// `with_min_timestamp(<nanos>)`.
+    MinTimestamp(u64),
+    /// `follower_read_timestamp()`.
+    FollowerReadTimestamp,
+}
+
+/// Parsed statements.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    CreateDatabase {
+        name: String,
+        primary_region: Option<String>,
+        regions: Vec<String>,
+    },
+    AlterDatabase {
+        name: String,
+        action: AlterDbAction,
+    },
+    ShowRegions {
+        db: Option<String>,
+    },
+    CreateTable {
+        name: String,
+        columns: Vec<ColumnDef>,
+        constraints: Vec<TableConstraint>,
+        locality: Option<Locality>,
+    },
+    DropTable {
+        name: String,
+    },
+    AlterTable {
+        name: String,
+        action: AlterTableAction,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        unique: bool,
+        /// `STORING (cols)`: covering columns (legacy duplicate indexes
+        /// store the whole row).
+        storing: Vec<String>,
+    },
+    /// Legacy `ALTER INDEX t@idx CONFIGURE ZONE USING ...`.
+    AlterIndex {
+        table: String,
+        index: String,
+        zone: ZoneOverrides,
+    },
+    /// Legacy `ALTER PARTITION p OF TABLE t CONFIGURE ZONE USING ...`.
+    AlterPartition {
+        partition: String,
+        table: String,
+        zone: ZoneOverrides,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<Expr>>,
+        /// `UPSERT INTO ...`: overwrite on primary-key conflict. Tables
+        /// with a single (primary) unpartitioned index take a blind-write
+        /// fast path (one round trip); others read-modify-write.
+        upsert: bool,
+    },
+    Select {
+        table: String,
+        /// `None` = `*`.
+        columns: Option<Vec<String>>,
+        predicate: Option<Expr>,
+        limit: Option<u64>,
+        aost: Option<Aost>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        predicate: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        predicate: Option<Expr>,
+    },
+    /// `EXPLAIN SELECT ...`: describe the read plan (index, partition
+    /// strategy, uniqueness probes are shown by EXPLAIN on INSERT).
+    Explain(Box<Stmt>),
+    Begin,
+    Commit,
+    Rollback,
+    Use {
+        db: String,
+    },
+}

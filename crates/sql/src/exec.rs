@@ -1,0 +1,2066 @@
+//! The SQL executor and session API.
+//!
+//! [`SqlDb`] wraps a [`Cluster`] plus the catalog; [`Session`]s execute
+//! statements against it. DDL executes synchronously (offline schema
+//! changes, see [`crate::ddl`]); DML runs as transactions over the KV
+//! layer in continuation-passing style:
+//!
+//! * implicit transactions (no explicit `BEGIN`) auto-commit and
+//!   transparently retry on serialization failures (refresh failures /
+//!   uncertainty restarts that cannot refresh);
+//! * `SELECT ... AS OF SYSTEM TIME` runs lock-free as a stale read
+//!   (exact or bounded staleness, §5.3) on the nearest replica;
+//! * INSERT/UPDATE enforce global uniqueness with the planned probe set
+//!   (§4.1) and foreign keys with parent lookups;
+//! * lookups use locality-optimized search when applicable (§4.2);
+//! * `UPDATE` applies `ON UPDATE rehome_row()` columns, moving rows
+//!   between partitions (automatic rehoming, §2.3.2).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use mr_kv::cluster::{Cluster, ClusterConfig, ReadOptions, Staleness};
+use mr_kv::TxnHandle;
+use mr_proto::{Key, KvError, Span, Value};
+use mr_sim::{NodeId, Topology};
+
+use crate::ast::{Aost, Expr, Stmt};
+use crate::catalog::{Catalog, Database, Index, Table};
+use crate::ddl::{self, entry_key, DdlError, DdlOutcome};
+use crate::encoding::{decode_row, encode_row, partition_prefix};
+use crate::expr::{eval, EvalEnv};
+use crate::parser::parse;
+use crate::plan::{plan_read, plan_uniqueness_checks, PartitionStrategy, ReadPlan};
+use crate::types::{ColumnType, Datum};
+
+/// Continuation for SQL results.
+pub type SqlCont<T> = Box<dyn FnOnce(&mut Cluster, Result<T, SqlError>)>;
+
+/// Maximum automatic retries of an implicit transaction.
+const MAX_IMPLICIT_RETRIES: u32 = 10;
+
+/// SQL-level errors.
+#[derive(Clone, Debug)]
+pub enum SqlError {
+    Parse(String),
+    Catalog(String),
+    Plan(String),
+    Eval(String),
+    Kv(KvError),
+    UniqueViolation { table: String, index: String },
+    NotNullViolation { table: String, column: String },
+    FkViolation { table: String, parent: String },
+    ReadOnlyRegion(String),
+    TxnState(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Catalog(m) => write!(f, "catalog error: {m}"),
+            SqlError::Plan(m) => write!(f, "planning error: {m}"),
+            SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+            SqlError::Kv(e) => write!(f, "kv error: {e}"),
+            SqlError::UniqueViolation { table, index } => {
+                write!(f, "duplicate key violates unique constraint {index:?} on {table:?}")
+            }
+            SqlError::NotNullViolation { table, column } => {
+                write!(f, "null value in column {column:?} of {table:?}")
+            }
+            SqlError::FkViolation { table, parent } => {
+                write!(f, "insert into {table:?} violates foreign key to {parent:?}")
+            }
+            SqlError::ReadOnlyRegion(r) => {
+                write!(f, "region {r:?} is read-only (being dropped)")
+            }
+            SqlError::TxnState(m) => write!(f, "transaction state: {m}"),
+        }
+    }
+}
+impl std::error::Error for SqlError {}
+
+impl From<DdlError> for SqlError {
+    fn from(e: DdlError) -> SqlError {
+        SqlError::Catalog(e.0)
+    }
+}
+
+/// Result of a statement.
+#[derive(Clone, Debug)]
+pub enum SqlResult {
+    Ok,
+    Count(u64),
+    Rows(Vec<Vec<Datum>>),
+}
+
+impl SqlResult {
+    pub fn rows(&self) -> &[Vec<Datum>] {
+        match self {
+            SqlResult::Rows(r) => r,
+            _ => &[],
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        match self {
+            SqlResult::Count(n) => *n,
+            SqlResult::Rows(r) => r.len() as u64,
+            SqlResult::Ok => 0,
+        }
+    }
+}
+
+struct SessState {
+    gateway: NodeId,
+    db: Option<String>,
+    txn: Option<TxnHandle>,
+}
+
+/// A client session pinned to a gateway node.
+#[derive(Clone)]
+pub struct Session {
+    inner: Rc<RefCell<SessState>>,
+}
+
+impl Session {
+    pub fn gateway(&self) -> NodeId {
+        self.inner.borrow().gateway
+    }
+
+    pub fn database(&self) -> Option<String> {
+        self.inner.borrow().db.clone()
+    }
+
+    pub fn in_txn(&self) -> bool {
+        self.inner.borrow().txn.is_some()
+    }
+}
+
+/// The SQL database: a cluster plus its catalog.
+pub struct SqlDb {
+    pub cluster: Cluster,
+    pub catalog: Rc<RefCell<Catalog>>,
+    uuid_counter: Rc<Cell<u64>>,
+    /// Enforce foreign keys with parent lookups (on by default).
+    pub fk_checks: bool,
+    /// Enforce UNIQUE constraints with probe reads (on by default; the
+    /// `Unoptimized` baselines of §7.2 switch planner behaviours instead).
+    pub unique_checks: bool,
+    /// Locality-optimized search (§4.2); disabled by the `Unoptimized`
+    /// baseline of §7.2.1, which fans out to all partitions instead.
+    pub los_enabled: bool,
+}
+
+impl SqlDb {
+    pub fn new(topo: Topology, cfg: ClusterConfig) -> SqlDb {
+        SqlDb {
+            cluster: Cluster::new(topo, cfg),
+            catalog: Rc::new(RefCell::new(Catalog::new())),
+            uuid_counter: Rc::new(Cell::new(0)),
+            fk_checks: true,
+            unique_checks: true,
+            los_enabled: true,
+        }
+    }
+
+    /// Open a session whose gateway is `node` (clients connect to a
+    /// collocated node, §7.1.1).
+    pub fn session(&self, node: NodeId, db: Option<&str>) -> Session {
+        Session {
+            inner: Rc::new(RefCell::new(SessState {
+                gateway: node,
+                db: db.map(|s| s.to_string()),
+                txn: None,
+            })),
+        }
+    }
+
+    /// Convenience: open a session on the first node of `region`.
+    pub fn session_in_region(&self, region: &str, db: Option<&str>) -> Session {
+        let rid = self
+            .cluster
+            .topology()
+            .region_by_name(region)
+            .unwrap_or_else(|| panic!("unknown region {region:?}"));
+        let node = self.cluster.topology().nodes_in_region(rid)[0];
+        self.session(node, db)
+    }
+
+    /// Execute one SQL statement asynchronously; `cont` fires with the
+    /// result once the simulated operation completes.
+    pub fn exec(&mut self, sess: &Session, sql: &str, cont: SqlCont<SqlResult>) {
+        let stmt = match parse(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                cont(&mut self.cluster, Err(SqlError::Parse(e)));
+                return;
+            }
+        };
+        self.exec_stmt(sess, stmt, cont);
+    }
+
+    /// Execute a whole `;`-separated script synchronously (driving the
+    /// simulation to quiescence after each statement). Intended for schema
+    /// setup; returns the last statement's result.
+    pub fn exec_script(&mut self, sess: &Session, script: &str) -> Result<SqlResult, SqlError> {
+        let mut last = SqlResult::Ok;
+        for piece in crate::parser::split_statements(script) {
+            let piece = piece.trim();
+            if piece.is_empty() || crate::parser::is_blank(piece) {
+                continue;
+            }
+            last = self.exec_sync(sess, piece)?;
+        }
+        Ok(last)
+    }
+
+    /// Execute one statement and drive the simulation until it completes.
+    pub fn exec_sync(&mut self, sess: &Session, sql: &str) -> Result<SqlResult, SqlError> {
+        let slot: Rc<RefCell<Option<Result<SqlResult, SqlError>>>> = Rc::new(RefCell::new(None));
+        let s2 = Rc::clone(&slot);
+        self.exec(
+            sess,
+            sql,
+            Box::new(move |_c, res| {
+                *s2.borrow_mut() = Some(res);
+            }),
+        );
+        let deadline = mr_sim::SimTime(self.cluster.now().nanos() + 600_000_000_000);
+        while slot.borrow().is_none() {
+            assert!(
+                self.cluster.now() <= deadline,
+                "statement did not complete: {sql}"
+            );
+            assert!(self.cluster.step(), "simulation drained mid-statement");
+        }
+        let out = slot.borrow_mut().take().unwrap();
+        out
+    }
+
+    fn exec_stmt(&mut self, sess: &Session, stmt: Stmt, cont: SqlCont<SqlResult>) {
+        match stmt {
+            Stmt::Use { db } => {
+                sess.inner.borrow_mut().db = Some(db);
+                cont(&mut self.cluster, Ok(SqlResult::Ok));
+            }
+            Stmt::Begin => {
+                let mut st = sess.inner.borrow_mut();
+                if st.txn.is_some() {
+                    drop(st);
+                    cont(
+                        &mut self.cluster,
+                        Err(SqlError::TxnState("transaction already open".into())),
+                    );
+                    return;
+                }
+                let h = self.cluster.txn_begin(st.gateway);
+                st.txn = Some(h);
+                drop(st);
+                cont(&mut self.cluster, Ok(SqlResult::Ok));
+            }
+            Stmt::Commit => {
+                let h = sess.inner.borrow_mut().txn.take();
+                match h {
+                    None => cont(&mut self.cluster, Ok(SqlResult::Ok)),
+                    Some(h) => self.cluster.txn_commit(
+                        h,
+                        Box::new(move |c, res| match res {
+                            Ok(_) => cont(c, Ok(SqlResult::Ok)),
+                            Err(e) => cont(c, Err(SqlError::Kv(e))),
+                        }),
+                    ),
+                }
+            }
+            Stmt::Rollback => {
+                let h = sess.inner.borrow_mut().txn.take();
+                match h {
+                    None => cont(&mut self.cluster, Ok(SqlResult::Ok)),
+                    Some(h) => self.cluster.txn_rollback(
+                        h,
+                        Box::new(move |c, _| cont(c, Ok(SqlResult::Ok))),
+                    ),
+                }
+            }
+            // DDL: synchronous.
+            Stmt::CreateDatabase { .. }
+            | Stmt::AlterDatabase { .. }
+            | Stmt::ShowRegions { .. }
+            | Stmt::CreateTable { .. }
+            | Stmt::DropTable { .. }
+            | Stmt::AlterTable { .. }
+            | Stmt::CreateIndex { .. }
+            | Stmt::AlterIndex { .. }
+            | Stmt::AlterPartition { .. } => {
+                let db = sess.inner.borrow().db.clone();
+                // CREATE DATABASE implicitly selects the database.
+                if let Stmt::CreateDatabase { name, .. } = &stmt {
+                    sess.inner.borrow_mut().db = Some(name.clone());
+                }
+                let mut catalog = self.catalog.borrow_mut();
+                let res = ddl::exec_ddl(&mut self.cluster, &mut catalog, db.as_deref(), &stmt);
+                drop(catalog);
+                let res = res.map(|o| match o {
+                    DdlOutcome::Ok => SqlResult::Ok,
+                    DdlOutcome::Rows(rows) => SqlResult::Rows(rows),
+                });
+                cont(&mut self.cluster, res.map_err(Into::into));
+            }
+            Stmt::Explain(inner) => {
+                let ctx = match self.ctx(sess) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        cont(&mut self.cluster, Err(e));
+                        return;
+                    }
+                };
+                let res = explain(&mut self.cluster, &ctx, &inner);
+                cont(&mut self.cluster, res);
+            }
+            // Stale SELECTs bypass the transaction machinery (§5.3).
+            Stmt::Select {
+                aost: Some(aost), ..
+            } => {
+                let ctx = match self.ctx(sess) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        cont(&mut self.cluster, Err(e));
+                        return;
+                    }
+                };
+                exec_select_stale(&mut self.cluster, ctx, Rc::new(stmt), aost, cont);
+            }
+            // DML.
+            Stmt::Insert { .. } | Stmt::Select { .. } | Stmt::Update { .. } | Stmt::Delete { .. } => {
+                let ctx = match self.ctx(sess) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        cont(&mut self.cluster, Err(e));
+                        return;
+                    }
+                };
+                let stmt = Rc::new(stmt);
+                let open = sess.inner.borrow().txn;
+                match open {
+                    Some(txn) => {
+                        exec_dml_in_txn(&mut self.cluster, ctx, stmt, txn, cont);
+                    }
+                    None => run_implicit(&mut self.cluster, ctx, stmt, 0, cont),
+                }
+            }
+        }
+    }
+
+    fn ctx(&self, sess: &Session) -> Result<ExecCtx, SqlError> {
+        let st = sess.inner.borrow();
+        let db = st
+            .db
+            .clone()
+            .ok_or_else(|| SqlError::Catalog("no database selected (USE <db>)".into()))?;
+        let gateway = st.gateway;
+        let topo = self.cluster.topology();
+        let gateway_region = topo.region_name(topo.region_of(gateway)).to_string();
+        Ok(ExecCtx {
+            catalog: Rc::clone(&self.catalog),
+            uuid: Rc::clone(&self.uuid_counter),
+            gateway,
+            gateway_region,
+            db,
+            fk_checks: self.fk_checks,
+            unique_checks: self.unique_checks,
+            los_enabled: self.los_enabled,
+        })
+    }
+}
+
+/// Per-statement execution context, cloneable into continuations.
+#[derive(Clone)]
+struct ExecCtx {
+    catalog: Rc<RefCell<Catalog>>,
+    uuid: Rc<Cell<u64>>,
+    gateway: NodeId,
+    gateway_region: String,
+    db: String,
+    fk_checks: bool,
+    unique_checks: bool,
+    los_enabled: bool,
+}
+
+impl ExecCtx {
+    fn snapshot(&self, table_name: &str) -> Result<(Rc<Database>, Rc<Table>), SqlError> {
+        let cat = self.catalog.borrow();
+        let db = cat
+            .db(&self.db)
+            .ok_or_else(|| SqlError::Catalog(format!("unknown database {:?}", self.db)))?;
+        let table = db
+            .tables
+            .get(table_name)
+            .ok_or_else(|| SqlError::Catalog(format!("unknown table {table_name:?}")))?;
+        Ok((Rc::new(db.clone()), Rc::new(table.clone())))
+    }
+
+    fn eval(&self, table: &Table, row: &[Datum], e: &Expr) -> Result<Datum, SqlError> {
+        let uuid = Rc::clone(&self.uuid);
+        let mut src = move || {
+            let v = uuid.get() + 1;
+            uuid.set(v);
+            // Splitmix-style scramble so generated UUIDs look random but
+            // stay deterministic per simulation.
+            let x = (v as u128).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835);
+            x ^ (x >> 64)
+        };
+        let mut env = EvalEnv {
+            gateway_region: &self.gateway_region,
+            uuid_source: &mut src,
+        };
+        eval(e, table, row, &mut env).map_err(|e| SqlError::Eval(e.0))
+    }
+
+    fn eval_pred(&self, table: &Table, row: &[Datum], e: &Expr) -> Result<bool, SqlError> {
+        Ok(self.eval(table, row, e)?.as_bool() == Some(true))
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPS combinators
+// ---------------------------------------------------------------------
+
+/// Run all tasks concurrently; deliver all results (or the first error).
+fn join_all<T: 'static>(
+    cluster: &mut Cluster,
+    tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<T>)>>,
+    done: SqlCont<Vec<T>>,
+) {
+    if tasks.is_empty() {
+        done(cluster, Ok(Vec::new()));
+        return;
+    }
+    struct St<T> {
+        slots: Vec<Option<T>>,
+        remaining: usize,
+        done: Option<SqlCont<Vec<T>>>,
+    }
+    let n = tasks.len();
+    let st = Rc::new(RefCell::new(St {
+        slots: (0..n).map(|_| None).collect(),
+        remaining: n,
+        done: Some(done),
+    }));
+    for (i, t) in tasks.into_iter().enumerate() {
+        let st = Rc::clone(&st);
+        t(
+            cluster,
+            Box::new(move |c, res| {
+                let mut s = st.borrow_mut();
+                if s.done.is_none() {
+                    return; // already failed
+                }
+                match res {
+                    Ok(v) => {
+                        s.slots[i] = Some(v);
+                        s.remaining -= 1;
+                        if s.remaining == 0 {
+                            let done = s.done.take().unwrap();
+                            let vals: Vec<T> =
+                                s.slots.drain(..).map(|x| x.unwrap()).collect();
+                            drop(s);
+                            done(c, Ok(vals));
+                        }
+                    }
+                    Err(e) => {
+                        let done = s.done.take().unwrap();
+                        drop(s);
+                        done(c, Err(e));
+                    }
+                }
+            }),
+        );
+    }
+}
+
+/// Run all probe tasks concurrently, delivering as soon as `want` rows have
+/// accumulated (or all tasks finished). Late results are discarded — the
+/// locality-optimized-search fan-out needs only the partition that has the
+/// row, not the farthest empty response.
+fn race_until(
+    cluster: &mut Cluster,
+    tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Vec<Vec<Datum>>>)>>,
+    seed_rows: Vec<Vec<Datum>>,
+    want: usize,
+    done: SqlCont<Vec<Vec<Datum>>>,
+) {
+    if tasks.is_empty() {
+        done(cluster, Ok(seed_rows));
+        return;
+    }
+    struct St {
+        rows: Vec<Vec<Datum>>,
+        remaining: usize,
+        want: usize,
+        done: Option<SqlCont<Vec<Vec<Datum>>>>,
+    }
+    let n = tasks.len();
+    let st = Rc::new(RefCell::new(St {
+        rows: seed_rows,
+        remaining: n,
+        want,
+        done: Some(done),
+    }));
+    for t in tasks {
+        let st = Rc::clone(&st);
+        t(
+            cluster,
+            Box::new(move |c, res| {
+                let mut s = st.borrow_mut();
+                if s.done.is_none() {
+                    return; // already delivered
+                }
+                match res {
+                    Ok(rows) => {
+                        s.rows.extend(rows);
+                        s.remaining -= 1;
+                        if s.rows.len() >= s.want || s.remaining == 0 {
+                            let done = s.done.take().unwrap();
+                            let rows = std::mem::take(&mut s.rows);
+                            drop(s);
+                            done(c, Ok(rows));
+                        }
+                    }
+                    Err(e) => {
+                        let done = s.done.take().unwrap();
+                        drop(s);
+                        done(c, Err(e));
+                    }
+                }
+            }),
+        );
+    }
+}
+
+/// Run `f` over items sequentially, stopping on the first error.
+fn for_each_seq<I: 'static>(
+    cluster: &mut Cluster,
+    mut items: std::vec::IntoIter<I>,
+    f: Rc<dyn Fn(&mut Cluster, I, SqlCont<()>)>,
+    done: SqlCont<()>,
+) {
+    match items.next() {
+        None => done(cluster, Ok(())),
+        Some(item) => {
+            let f2 = Rc::clone(&f);
+            f(
+                cluster,
+                item,
+                Box::new(move |c, res| match res {
+                    Ok(()) => for_each_seq(c, items, f2, done),
+                    Err(e) => done(c, Err(e)),
+                }),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Implicit transactions with retry
+// ---------------------------------------------------------------------
+
+fn retryable(e: &SqlError) -> bool {
+    matches!(
+        e,
+        SqlError::Kv(KvError::RefreshFailed { .. })
+            | SqlError::Kv(KvError::TxnAborted { .. })
+            | SqlError::Kv(KvError::WriteTooOld { .. })
+    )
+}
+
+fn run_implicit(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    stmt: Rc<Stmt>,
+    attempt: u32,
+    cont: SqlCont<SqlResult>,
+) {
+    let txn = cluster.txn_begin(ctx.gateway);
+    let ctx2 = ctx.clone();
+    let stmt2 = Rc::clone(&stmt);
+    exec_dml_in_txn(
+        cluster,
+        ctx.clone(),
+        stmt,
+        txn,
+        Box::new(move |c, res| match res {
+            Ok(result) => {
+                c.txn_commit(
+                    txn,
+                    Box::new(move |c, cres| match cres {
+                        Ok(_) => cont(c, Ok(result)),
+                        Err(e) => {
+                            let e = SqlError::Kv(e);
+                            if retryable(&e) && attempt < MAX_IMPLICIT_RETRIES {
+                                run_implicit(c, ctx2, stmt2, attempt + 1, cont);
+                            } else {
+                                cont(c, Err(e));
+                            }
+                        }
+                    }),
+                );
+            }
+            Err(e) => {
+                c.txn_rollback(
+                    txn,
+                    Box::new(move |c, _| {
+                        if retryable(&e) && attempt < MAX_IMPLICIT_RETRIES {
+                            run_implicit(c, ctx2, stmt2, attempt + 1, cont);
+                        } else {
+                            cont(c, Err(e));
+                        }
+                    }),
+                );
+            }
+        }),
+    );
+}
+
+fn exec_dml_in_txn(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    stmt: Rc<Stmt>,
+    txn: TxnHandle,
+    cont: SqlCont<SqlResult>,
+) {
+    match &*stmt {
+        Stmt::Insert { .. } => exec_insert(cluster, ctx, stmt, txn, cont),
+        Stmt::Select { .. } => exec_select(cluster, ctx, stmt, txn, cont),
+        Stmt::Update { .. } => exec_update(cluster, ctx, stmt, txn, cont),
+        Stmt::Delete { .. } => exec_delete(cluster, ctx, stmt, txn, cont),
+        other => cont(
+            cluster,
+            Err(SqlError::Plan(format!("not a DML statement: {other:?}"))),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Row fetch (shared by SELECT / UPDATE / DELETE)
+// ---------------------------------------------------------------------
+
+/// How a fetch reads the KV layer: inside a transaction or as stale reads.
+#[derive(Clone, Copy)]
+enum FetchMode {
+    Txn(TxnHandle),
+    Stale(Staleness),
+}
+
+fn plan_for(
+    ctx: &ExecCtx,
+    cluster: &mut Cluster,
+    db: &Database,
+    table: &Table,
+    predicate: Option<&Expr>,
+    limit: Option<u64>,
+) -> Result<ReadPlan, SqlError> {
+    let uuid = Rc::clone(&ctx.uuid);
+    let mut src = move || {
+        let v = uuid.get() + 1;
+        uuid.set(v);
+        v as u128
+    };
+    let mut env = EvalEnv {
+        gateway_region: &ctx.gateway_region,
+        uuid_source: &mut src,
+    };
+    // Resolver for duplicate-index selection: the home region of an
+    // index's backing range.
+    let cl: &Cluster = cluster;
+    let mut resolver = |idx: &Index| ddl::index_home_region(cl, idx);
+    plan_read(
+        db,
+        table,
+        predicate,
+        limit,
+        &ctx.gateway_region,
+        ctx.los_enabled,
+        &mut env,
+        &mut resolver,
+    )
+    .map_err(|e| SqlError::Plan(e.0))
+}
+
+/// `EXPLAIN`: render the plan the optimizer would use, without executing.
+fn explain(cluster: &mut Cluster, ctx: &ExecCtx, stmt: &Stmt) -> Result<SqlResult, SqlError> {
+    let mut rows: Vec<Vec<Datum>> = Vec::new();
+    let mut line = |s: String| rows.push(vec![Datum::String(s)]);
+    match stmt {
+        Stmt::Select {
+            table: tname,
+            predicate,
+            limit,
+            aost,
+            ..
+        } => {
+            let (db, table) = ctx.snapshot(tname)?;
+            let plan = plan_for(ctx, cluster, &db, &table, predicate.as_ref(), *limit)?;
+            let index = ddl::index_by_id(&table, plan.index_id)
+                .map(|i| i.name.clone())
+                .unwrap_or_default();
+            line(format!(
+                "scan {}@{index}{}",
+                table.name,
+                if aost.is_some() { " (stale follower read)" } else { "" }
+            ));
+            line(format!(
+                "  keys: {}",
+                if plan.keys.is_empty() {
+                    "full scan".to_string()
+                } else {
+                    format!("{} point lookup(s), unique={}", plan.keys.len(), plan.unique)
+                }
+            ));
+            match &plan.strategy {
+                PartitionStrategy::Single(None) => line("  partitions: single range".into()),
+                PartitionStrategy::Single(Some(r)) => {
+                    line(format!("  partitions: {r} (region derived from predicate)"))
+                }
+                PartitionStrategy::LocalityOptimized { local, remote } => {
+                    line(format!(
+                        "  partitions: locality-optimized search — probe {local} first,                          then fan out to {}",
+                        remote.join(", ")
+                    ));
+                }
+                PartitionStrategy::AllPartitions(rs) => {
+                    line(format!("  partitions: fan out to all ({})", rs.join(", ")))
+                }
+            }
+            if plan.residual.is_some() {
+                line("  filter: residual predicate re-applied".into());
+            }
+        }
+        Stmt::Insert { table: tname, columns, rows: vrows, upsert } => {
+            let (db, table) = ctx.snapshot(tname)?;
+            line(format!(
+                "{} into {}",
+                if *upsert { "upsert" } else { "insert" },
+                table.name
+            ));
+            if let Some(exprs) = vrows.first() {
+                if let Ok((row, generated)) = build_insert_row(ctx, &db, &table, columns, exprs) {
+                    let checks = plan_uniqueness_checks(&db, &table, &row, &generated);
+                    if checks.is_empty() {
+                        line("  uniqueness checks: none (omitted by the optimizer)".into());
+                    }
+                    for c in checks {
+                        let index = ddl::index_by_id(&table, c.index_id)
+                            .map(|i| i.name.clone())
+                            .unwrap_or_default();
+                        let parts: Vec<String> = c
+                            .partitions
+                            .iter()
+                            .map(|p| p.clone().unwrap_or_else(|| "(unpartitioned)".into()))
+                            .collect();
+                        line(format!(
+                            "  uniqueness check: {index} probes [{}]",
+                            parts.join(", ")
+                        ));
+                    }
+                }
+            }
+        }
+        other => {
+            line(format!("explain not supported for {other:?}"));
+        }
+    }
+    Ok(SqlResult::Rows(rows))
+}
+
+/// One probe task: returns decoded full rows.
+fn probe_task(
+    table: &Rc<Table>,
+    index_id: u32,
+    unique: bool,
+    region: Option<String>,
+    key: Vec<Datum>,
+    mode: FetchMode,
+    gateway: NodeId,
+    limit: usize,
+) -> Box<dyn FnOnce(&mut Cluster, SqlCont<Vec<Vec<Datum>>>)> {
+    let table = Rc::clone(table);
+    Box::new(move |cluster, cont| {
+        let decode_all = move |values: Vec<Value>| -> Result<Vec<Vec<Datum>>, SqlError> {
+            values
+                .iter()
+                .map(|v| {
+                    decode_row(v)
+                        .ok_or_else(|| SqlError::Eval("corrupt row encoding".into()))
+                })
+                .collect()
+        };
+        if unique && !key.is_empty() {
+            let k = crate::encoding::index_key(table.id, index_id, region.as_deref(), &key);
+            let handle = move |c: &mut Cluster,
+                               res: Result<Option<Value>, KvError>,
+                               cont: SqlCont<Vec<Vec<Datum>>>| {
+                match res {
+                    Ok(Some(v)) => cont(c, decode_all(vec![v])),
+                    Ok(None) => cont(c, Ok(Vec::new())),
+                    Err(e) => cont(c, Err(SqlError::Kv(e))),
+                }
+            };
+            match mode {
+                FetchMode::Txn(txn) => {
+                    cluster.txn_get(txn, k, Box::new(move |c, res| handle(c, res, cont)));
+                }
+                FetchMode::Stale(staleness) => {
+                    let opts = ReadOptions {
+                        staleness,
+                        fallback_to_leaseholder: true,
+                    };
+                    cluster.read(gateway, k, opts, Box::new(move |c, res| handle(c, res, cont)));
+                }
+            }
+        } else {
+            // Prefix scan (non-unique index, partial key, or full scan).
+            let mut prefix = partition_prefix(table.id, index_id, region.as_deref());
+            for d in &key {
+                crate::encoding::encode_datum(&mut prefix, d);
+            }
+            let span = Span::prefix(Key::from_vec(prefix));
+            let handle = move |c: &mut Cluster,
+                               res: Result<Vec<(Key, Value)>, KvError>,
+                               cont: SqlCont<Vec<Vec<Datum>>>| {
+                match res {
+                    Ok(rows) => {
+                        cont(c, decode_all(rows.into_iter().map(|(_, v)| v).collect()))
+                    }
+                    Err(e) => cont(c, Err(SqlError::Kv(e))),
+                }
+            };
+            match mode {
+                FetchMode::Txn(txn) => {
+                    cluster.txn_scan(txn, span, limit, Box::new(move |c, res| handle(c, res, cont)));
+                }
+                FetchMode::Stale(staleness) => {
+                    let opts = ReadOptions {
+                        staleness,
+                        fallback_to_leaseholder: true,
+                    };
+                    cluster.scan(
+                        gateway,
+                        span,
+                        limit,
+                        opts,
+                        Box::new(move |c, res| handle(c, res, cont)),
+                    );
+                }
+            }
+        }
+    })
+}
+
+/// Fetch all rows matching `plan`, applying locality-optimized search.
+fn fetch_rows(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    table: Rc<Table>,
+    plan: ReadPlan,
+    mode: FetchMode,
+    limit: usize,
+    cont: SqlCont<Vec<Vec<Datum>>>,
+) {
+    let keys: Vec<Vec<Datum>> = if plan.keys.is_empty() {
+        vec![Vec::new()] // full scan probe (empty key prefix)
+    } else {
+        plan.keys.clone()
+    };
+    // One fetch unit per key; results concatenated.
+    let mut tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Vec<Vec<Datum>>>)>> = Vec::new();
+    for key in keys {
+        match &plan.strategy {
+            PartitionStrategy::Single(region) => {
+                tasks.push(probe_task(
+                    &table,
+                    plan.index_id,
+                    plan.unique,
+                    region.clone(),
+                    key,
+                    mode,
+                    ctx.gateway,
+                    limit,
+                ));
+            }
+            PartitionStrategy::AllPartitions(regions) => {
+                for r in regions {
+                    tasks.push(probe_task(
+                        &table,
+                        plan.index_id,
+                        plan.unique,
+                        Some(r.clone()),
+                        key.clone(),
+                        mode,
+                        ctx.gateway,
+                        limit,
+                    ));
+                }
+            }
+            PartitionStrategy::LocalityOptimized { local, remote } => {
+                // §4.2: probe the local partition; fan out only on a miss.
+                let local_task = probe_task(
+                    &table,
+                    plan.index_id,
+                    plan.unique,
+                    Some(local.clone()),
+                    key.clone(),
+                    mode,
+                    ctx.gateway,
+                    limit,
+                );
+                let remote_tasks: Vec<_> = remote
+                    .iter()
+                    .map(|r| {
+                        probe_task(
+                            &table,
+                            plan.index_id,
+                            plan.unique,
+                            Some(r.clone()),
+                            key.clone(),
+                            mode,
+                            ctx.gateway,
+                            limit,
+                        )
+                    })
+                    .collect();
+                let want = if plan.unique { 1 } else { limit };
+                tasks.push(Box::new(move |cluster, cont| {
+                    local_task(
+                        cluster,
+                        Box::new(move |c, res| match res {
+                            Ok(rows) if rows.len() >= want => cont(c, Ok(rows)),
+                            Ok(rows) => {
+                                // Fan out; a unique lookup can stop at the
+                                // first partition that has the row (§4.2) —
+                                // no need to wait for the farthest misses.
+                                race_until(c, remote_tasks, rows, want, cont);
+                            }
+                            Err(e) => cont(c, Err(e)),
+                        }),
+                    );
+                }));
+            }
+        }
+    }
+    let ctx2 = ctx.clone();
+    let table2 = Rc::clone(&table);
+    let residual = plan.residual.clone();
+    join_all(
+        cluster,
+        tasks,
+        Box::new(move |c, res| match res {
+            Ok(groups) => {
+                let mut rows: Vec<Vec<Datum>> = groups.into_iter().flatten().collect();
+                if let Some(pred) = &residual {
+                    let mut filtered = Vec::with_capacity(rows.len());
+                    for row in rows {
+                        match ctx2.eval_pred(&table2, &row, pred) {
+                            Ok(true) => filtered.push(row),
+                            Ok(false) => {}
+                            Err(e) => {
+                                cont(c, Err(e));
+                                return;
+                            }
+                        }
+                    }
+                    rows = filtered;
+                }
+                rows.truncate(limit);
+                cont(c, Ok(rows));
+            }
+            Err(e) => cont(c, Err(e)),
+        }),
+    );
+}
+
+// ---------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------
+
+fn project(
+    table: &Table,
+    columns: &Option<Vec<String>>,
+    rows: Vec<Vec<Datum>>,
+) -> Result<Vec<Vec<Datum>>, SqlError> {
+    let ords: Vec<usize> = match columns {
+        None => table.visible_columns().map(|(i, _)| i).collect(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                table
+                    .column_ordinal(n)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column {n:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    Ok(rows
+        .into_iter()
+        .map(|row| ords.iter().map(|&o| row.get(o).cloned().unwrap_or(Datum::Null)).collect())
+        .collect())
+}
+
+fn exec_select(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    stmt: Rc<Stmt>,
+    txn: TxnHandle,
+    cont: SqlCont<SqlResult>,
+) {
+    let Stmt::Select {
+        table: tname,
+        columns,
+        predicate,
+        limit,
+        ..
+    } = &*stmt
+    else {
+        unreachable!()
+    };
+    let (db, table) = match ctx.snapshot(tname) {
+        Ok(x) => x,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let plan = match plan_for(&ctx, cluster, &db, &table, predicate.as_ref(), *limit) {
+        Ok(p) => p,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let lim = limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    let columns = columns.clone();
+    let table2 = Rc::clone(&table);
+    fetch_rows(
+        cluster,
+        ctx,
+        table,
+        plan,
+        FetchMode::Txn(txn),
+        lim,
+        Box::new(move |c, res| match res {
+            Ok(rows) => cont(c, project(&table2, &columns, rows).map(SqlResult::Rows)),
+            Err(e) => cont(c, Err(e)),
+        }),
+    );
+}
+
+fn exec_select_stale(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    stmt: Rc<Stmt>,
+    aost: Aost,
+    cont: SqlCont<SqlResult>,
+) {
+    let Stmt::Select {
+        table: tname,
+        columns,
+        predicate,
+        limit,
+        ..
+    } = &*stmt
+    else {
+        unreachable!()
+    };
+    let staleness = match aost {
+        Aost::ExactAgo(d) => Staleness::ExactAgo(d),
+        Aost::MaxStaleness(d) => Staleness::BoundedMaxStaleness(d),
+        // with_min_timestamp is *bounded* staleness: negotiate the freshest
+        // locally servable timestamp at or above the floor (§5.3.2).
+        Aost::MinTimestamp(nanos) => {
+            Staleness::BoundedMinTimestamp(mr_clock::Timestamp::new(nanos, 0))
+        }
+        // follower_read_timestamp(): comfortably below the closed-ts lag.
+        Aost::FollowerReadTimestamp => Staleness::ExactAgo(mr_sim::SimDuration::from_millis(
+            mr_kv::ClosedTsParams::DEFAULT_LAG_SECS * 1000 + 500,
+        )),
+    };
+    let (db, table) = match ctx.snapshot(tname) {
+        Ok(x) => x,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let plan = match plan_for(&ctx, cluster, &db, &table, predicate.as_ref(), *limit) {
+        Ok(p) => p,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let lim = limit.map(|l| l as usize).unwrap_or(usize::MAX);
+    let columns = columns.clone();
+    let table2 = Rc::clone(&table);
+    fetch_rows(
+        cluster,
+        ctx,
+        table,
+        plan,
+        FetchMode::Stale(staleness),
+        lim,
+        Box::new(move |c, res| match res {
+            Ok(rows) => cont(c, project(&table2, &columns, rows).map(SqlResult::Rows)),
+            Err(e) => cont(c, Err(e)),
+        }),
+    );
+}
+
+// ---------------------------------------------------------------------
+// INSERT
+// ---------------------------------------------------------------------
+
+fn exec_insert(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    stmt: Rc<Stmt>,
+    txn: TxnHandle,
+    cont: SqlCont<SqlResult>,
+) {
+    let Stmt::Insert {
+        table: tname,
+        columns,
+        rows,
+        upsert,
+    } = &*stmt
+    else {
+        unreachable!()
+    };
+    let upsert = *upsert;
+    let (db, table) = match ctx.snapshot(tname) {
+        Ok(x) => x,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    // Build full rows.
+    let mut built: Vec<(Vec<Datum>, Vec<bool>)> = Vec::new();
+    for value_exprs in rows {
+        match build_insert_row(&ctx, &db, &table, columns, value_exprs) {
+            Ok(rg) => built.push(rg),
+            Err(e) => return cont(cluster, Err(e)),
+        }
+    }
+    let total = built.len() as u64;
+    // UPSERT fast path: a table whose only index is an unpartitioned
+    // primary can be blind-written in one round (no probes, no fetch) —
+    // CRDB's UPSERT, used by the YCSB driver (§7.1). Other tables take a
+    // read-modify-write path: fetch by primary key, then overwrite or
+    // insert.
+    let blind_upsert = upsert
+        && table.indexes.len() == 1
+        && !table.primary_index().region_partitioned;
+    let ctx2 = ctx.clone();
+    let table2 = Rc::clone(&table);
+    let db2 = Rc::clone(&db);
+    let per_row: Rc<dyn Fn(&mut Cluster, (Vec<Datum>, Vec<bool>), SqlCont<()>)> =
+        Rc::new(move |cluster, (row, generated), done| {
+            if blind_upsert {
+                write_row_entries(cluster, &table2, &row, None, txn, done);
+            } else if upsert {
+                upsert_one_row(
+                    cluster,
+                    ctx2.clone(),
+                    Rc::clone(&db2),
+                    Rc::clone(&table2),
+                    row,
+                    txn,
+                    done,
+                );
+            } else {
+                insert_one_row(
+                    cluster,
+                    ctx2.clone(),
+                    Rc::clone(&db2),
+                    Rc::clone(&table2),
+                    row,
+                    generated,
+                    txn,
+                    done,
+                );
+            }
+        });
+    for_each_seq(
+        cluster,
+        built.into_iter(),
+        per_row,
+        Box::new(move |c, res| match res {
+            Ok(()) => cont(c, Ok(SqlResult::Count(total))),
+            Err(e) => cont(c, Err(e)),
+        }),
+    );
+}
+
+/// Assemble a full row from the INSERT column list: provided values, then
+/// defaults, then computed columns. Returns the row plus per-column "came
+/// from gen_random_uuid()" flags (rule 1 of §4.1).
+fn build_insert_row(
+    ctx: &ExecCtx,
+    db: &Database,
+    table: &Table,
+    columns: &Option<Vec<String>>,
+    value_exprs: &[Expr],
+) -> Result<(Vec<Datum>, Vec<bool>), SqlError> {
+    let target_cols: Vec<usize> = match columns {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                table
+                    .column_ordinal(n)
+                    .ok_or_else(|| SqlError::Plan(format!("unknown column {n:?}")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => table.visible_columns().map(|(i, _)| i).collect(),
+    };
+    if target_cols.len() != value_exprs.len() {
+        return Err(SqlError::Plan(format!(
+            "INSERT has {} target columns but {} values",
+            target_cols.len(),
+            value_exprs.len()
+        )));
+    }
+    let n = table.columns.len();
+    let mut row = vec![Datum::Null; n];
+    let mut provided = vec![false; n];
+    let mut generated = vec![false; n];
+    for (&ord, e) in target_cols.iter().zip(value_exprs) {
+        row[ord] = ctx.eval(table, &row, e)?.coerce(table.columns[ord].ty);
+        provided[ord] = true;
+    }
+    // Defaults for unprovided, non-computed columns.
+    for (i, col) in table.columns.iter().enumerate() {
+        if provided[i] || col.computed.is_some() {
+            continue;
+        }
+        if let Some(d) = &col.default {
+            row[i] = ctx.eval(table, &row, d)?.coerce(col.ty);
+            if matches!(d, Expr::FnCall { name, .. } if name == "gen_random_uuid") {
+                generated[i] = true;
+            }
+        }
+    }
+    // Computed columns (may reference defaults).
+    for (i, col) in table.columns.iter().enumerate() {
+        if let Some(cexpr) = &col.computed {
+            row[i] = ctx.eval(table, &row, cexpr)?.coerce(col.ty);
+        }
+    }
+    // NOT NULL + type + region-enum validation.
+    for (i, col) in table.columns.iter().enumerate() {
+        if col.not_null && row[i].is_null() {
+            return Err(SqlError::NotNullViolation {
+                table: table.name.clone(),
+                column: col.name.clone(),
+            });
+        }
+        if !row[i].fits(col.ty) {
+            return Err(SqlError::Eval(format!(
+                "value {:?} does not fit column {:?} ({:?})",
+                row[i], col.name, col.ty
+            )));
+        }
+        if col.ty == ColumnType::Region && !row[i].is_null() {
+            let r = row[i].as_str().unwrap_or_default().to_string();
+            if !db.has_region(&r) {
+                return Err(SqlError::Eval(format!(
+                    "{r:?} is not a region of database {:?}",
+                    db.name
+                )));
+            }
+            if !db.region_writable(&r) {
+                return Err(SqlError::ReadOnlyRegion(r));
+            }
+        }
+    }
+    Ok((row, generated))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn insert_one_row(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    db: Rc<Database>,
+    table: Rc<Table>,
+    row: Vec<Datum>,
+    generated: Vec<bool>,
+    txn: TxnHandle,
+    done: SqlCont<()>,
+) {
+    // Probe tasks: uniqueness checks (§4.1) + FK parent checks.
+    let mut probes: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Option<SqlError>>)>> = Vec::new();
+    if ctx.unique_checks {
+        for check in plan_uniqueness_checks(&db, &table, &row, &generated) {
+            for partition in &check.partitions {
+                let key = crate::encoding::index_key(
+                    table.id,
+                    check.index_id,
+                    partition.as_deref(),
+                    &check.key,
+                );
+                let tname = table.name.clone();
+                let iname = ddl::index_by_id(&table, check.index_id)
+                    .map(|i| i.name.clone())
+                    .unwrap_or_default();
+                probes.push(Box::new(move |cluster, cont| {
+                    cluster.txn_get(
+                        txn,
+                        key,
+                        Box::new(move |c, res| match res {
+                            Ok(Some(_)) => cont(
+                                c,
+                                Ok(Some(SqlError::UniqueViolation {
+                                    table: tname,
+                                    index: iname,
+                                })),
+                            ),
+                            Ok(None) => cont(c, Ok(None)),
+                            Err(e) => cont(c, Err(SqlError::Kv(e))),
+                        }),
+                    );
+                }));
+            }
+        }
+    }
+    if ctx.fk_checks {
+        match fk_probe_tasks(&ctx, &db, &table, &row, txn) {
+            Ok(mut tasks) => probes.append(&mut tasks),
+            Err(e) => return done(cluster, Err(e)),
+        }
+    }
+    let table2 = Rc::clone(&table);
+    join_all(
+        cluster,
+        probes,
+        Box::new(move |c, res| match res {
+            Ok(outcomes) => {
+                if let Some(err) = outcomes.into_iter().flatten().next() {
+                    return done(c, Err(err));
+                }
+                write_row_entries(c, &table2, &row, None, txn, done);
+            }
+            Err(e) => done(c, Err(e)),
+        }),
+    );
+}
+
+/// Read-modify-write UPSERT: fetch the existing row by primary key; if
+/// present overwrite it (probing only unique indexes whose keys changed),
+/// else insert with the usual checks — the probe set still protects unique
+/// secondaries, and a concurrent insert of the same key is serialized by
+/// the read-refresh validation at commit.
+fn upsert_one_row(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    db: Rc<Database>,
+    table: Rc<Table>,
+    row: Vec<Datum>,
+    txn: TxnHandle,
+    done: SqlCont<()>,
+) {
+    let pk_key: Vec<Datum> = table
+        .primary_index()
+        .key_columns
+        .iter()
+        .map(|&o| row[o].clone())
+        .collect();
+    if pk_key.iter().any(|d| d.is_null()) {
+        return done(
+            cluster,
+            Err(SqlError::Plan("UPSERT requires all primary key columns".into())),
+        );
+    }
+    // Fetch the current row: direct partition when the region is known,
+    // else probe all partitions.
+    let region = row_region(&table, &row);
+    let probe_regions: Vec<Option<String>> = if !table.primary_index().region_partitioned {
+        vec![None]
+    } else if let Some(r) = &region {
+        let mut v = vec![Some(r.clone())];
+        v.extend(db.all_regions().into_iter().filter(|x| x != r).map(Some));
+        v
+    } else {
+        db.all_regions().into_iter().map(Some).collect()
+    };
+    let tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Vec<Vec<Datum>>>)>> = probe_regions
+        .into_iter()
+        .map(|r| {
+            probe_task(
+                &table,
+                table.primary_index().id,
+                true,
+                r,
+                pk_key.clone(),
+                FetchMode::Txn(txn),
+                ctx.gateway,
+                1,
+            )
+        })
+        .collect();
+    let ctx2 = ctx.clone();
+    join_all(
+        cluster,
+        tasks,
+        Box::new(move |c, res| {
+            let existing = match res {
+                Ok(groups) => groups.into_iter().flatten().next(),
+                Err(e) => return done(c, Err(e)),
+            };
+            match existing {
+                Some(old_row) => {
+                    // Overwrite: probe unique secondaries whose keys changed.
+                    let changed: Vec<usize> = (0..table.columns.len())
+                        .filter(|&i| row.get(i) != old_row.get(i))
+                        .collect();
+                    let mut probes: Vec<
+                        Box<dyn FnOnce(&mut Cluster, SqlCont<Option<SqlError>>)>,
+                    > = Vec::new();
+                    if ctx2.unique_checks {
+                        let generated = vec![false; table.columns.len()];
+                        for check in plan_uniqueness_checks(&db, &table, &row, &generated) {
+                            let idx = ddl::index_by_id(&table, check.index_id);
+                            let relevant = idx.is_some_and(|i| {
+                                !i.is_primary()
+                                    && i.key_columns.iter().any(|kc| changed.contains(kc))
+                            });
+                            if !relevant {
+                                continue;
+                            }
+                            for partition in &check.partitions {
+                                let key = crate::encoding::index_key(
+                                    table.id,
+                                    check.index_id,
+                                    partition.as_deref(),
+                                    &check.key,
+                                );
+                                let tname = table.name.clone();
+                                let iname = idx.map(|i| i.name.clone()).unwrap_or_default();
+                                probes.push(Box::new(move |cluster, cont| {
+                                    cluster.txn_get(
+                                        txn,
+                                        key,
+                                        Box::new(move |c, res| match res {
+                                            Ok(Some(_)) => cont(
+                                                c,
+                                                Ok(Some(SqlError::UniqueViolation {
+                                                    table: tname,
+                                                    index: iname,
+                                                })),
+                                            ),
+                                            Ok(None) => cont(c, Ok(None)),
+                                            Err(e) => cont(c, Err(SqlError::Kv(e))),
+                                        }),
+                                    );
+                                }));
+                            }
+                        }
+                    }
+                    let table2 = Rc::clone(&table);
+                    join_all(
+                        c,
+                        probes,
+                        Box::new(move |c2, res| match res {
+                            Ok(outcomes) => {
+                                if let Some(err) = outcomes.into_iter().flatten().next() {
+                                    return done(c2, Err(err));
+                                }
+                                write_row_entries(c2, &table2, &row, Some(&old_row), txn, done);
+                            }
+                            Err(e) => done(c2, Err(e)),
+                        }),
+                    );
+                }
+                None => {
+                    // No existing row: regular insert (its pk probe will
+                    // re-read the key we just saw absent — cheap, and the
+                    // refresh at commit keeps it correct under races).
+                    insert_one_row(
+                        c,
+                        ctx2,
+                        db,
+                        table,
+                        row.clone(),
+                        vec![false; row.len()],
+                        txn,
+                        done,
+                    );
+                }
+            }
+        }),
+    );
+}
+
+/// FK parent-existence probes for every referencing column of `row`.
+fn fk_probe_tasks(
+    ctx: &ExecCtx,
+    db: &Database,
+    table: &Table,
+    row: &[Datum],
+    txn: TxnHandle,
+) -> Result<Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Option<SqlError>>)>>, SqlError> {
+    let mut tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Option<SqlError>>)>> = Vec::new();
+    for (i, col) in table.columns.iter().enumerate() {
+        let Some((parent_name, parent_col)) = &col.references else {
+            continue;
+        };
+        if row[i].is_null() {
+            continue;
+        }
+        let parent = db
+            .tables
+            .get(parent_name)
+            .ok_or_else(|| SqlError::Catalog(format!("unknown parent table {parent_name:?}")))?;
+        // Find a unique index on the referenced column (default: pk).
+        let ref_col = if parent_col.is_empty() {
+            parent.primary_index().key_columns[0]
+        } else {
+            parent
+                .column_ordinal(parent_col)
+                .ok_or_else(|| SqlError::Catalog(format!("unknown parent column {parent_col:?}")))?
+        };
+        let index = parent
+            .indexes
+            .iter()
+            .find(|idx| idx.unique && idx.key_columns == vec![ref_col])
+            .ok_or_else(|| {
+                SqlError::Catalog(format!(
+                    "foreign key requires a unique index on {parent_name}.{parent_col}"
+                ))
+            })?;
+        let value = row[i].clone();
+        let tname = table.name.clone();
+        let pname = parent_name.clone();
+        // Partition strategy for the parent probe: unpartitioned parent
+        // (e.g. a GLOBAL dimension table) is a single local read — the §2.3.3
+        // pattern. Partitioned parents use LOS.
+        let parent_rc = Rc::new(parent.clone());
+        let mode = FetchMode::Txn(txn);
+        let probe_regions: Vec<Option<String>> = if index.region_partitioned {
+            let mut order: Vec<Option<String>> = Vec::new();
+            order.push(Some(ctx.gateway_region.clone()));
+            for r in db.all_regions() {
+                if r != ctx.gateway_region {
+                    order.push(Some(r));
+                }
+            }
+            order
+        } else {
+            vec![None]
+        };
+        let index_id = index.id;
+        let gw = ctx.gateway;
+        tasks.push(Box::new(move |cluster, cont| {
+            // LOS over the parent: local first, then the rest in parallel.
+            let mut iter = probe_regions.into_iter();
+            let local = iter.next().unwrap();
+            let remote: Vec<Option<String>> = iter.collect();
+            let t1 = probe_task(&parent_rc, index_id, true, local, vec![value.clone()], mode, gw, 1);
+            let parent_rc2 = Rc::clone(&parent_rc);
+            let value2 = value.clone();
+            t1(
+                cluster,
+                Box::new(move |c, res| match res {
+                    Ok(rows) if !rows.is_empty() => cont(c, Ok(None)),
+                    Ok(_) if remote.is_empty() => cont(
+                        c,
+                        Ok(Some(SqlError::FkViolation {
+                            table: tname,
+                            parent: pname,
+                        })),
+                    ),
+                    Ok(_) => {
+                        let tasks: Vec<_> = remote
+                            .into_iter()
+                            .map(|r| {
+                                probe_task(
+                                    &parent_rc2,
+                                    index_id,
+                                    true,
+                                    r,
+                                    vec![value2.clone()],
+                                    mode,
+                                    gw,
+                                    1,
+                                )
+                            })
+                            .collect();
+                        join_all(
+                            c,
+                            tasks,
+                            Box::new(move |c2, rres| match rres {
+                                Ok(groups) => {
+                                    if groups.iter().any(|g| !g.is_empty()) {
+                                        cont(c2, Ok(None))
+                                    } else {
+                                        cont(
+                                            c2,
+                                            Ok(Some(SqlError::FkViolation {
+                                                table: tname,
+                                                parent: pname,
+                                            })),
+                                        )
+                                    }
+                                }
+                                Err(e) => cont(c2, Err(e)),
+                            }),
+                        );
+                    }
+                    Err(e) => cont(c, Err(e)),
+                }),
+            );
+        }));
+    }
+    Ok(tasks)
+}
+
+/// Write (or rewrite) every index entry of `row`. When `old_row` is given,
+/// entries whose keys changed are deleted from their old locations first.
+fn write_row_entries(
+    cluster: &mut Cluster,
+    table: &Rc<Table>,
+    row: &[Datum],
+    old_row: Option<&[Datum]>,
+    txn: TxnHandle,
+    done: SqlCont<()>,
+) {
+    let value = encode_row(row);
+    let mut tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<()>)>> = Vec::new();
+    for index in &table.indexes {
+        let new_key = entry_key(table, index, row_region(table, row).as_deref(), row);
+        if let Some(old) = old_row {
+            let old_key = entry_key(table, index, row_region(table, old).as_deref(), old);
+            if old_key != new_key {
+                let k = old_key;
+                tasks.push(Box::new(move |cluster, cont| {
+                    cluster.txn_put(
+                        txn,
+                        k,
+                        None,
+                        Box::new(move |c, res| cont(c, res.map_err(SqlError::Kv))),
+                    );
+                }));
+            }
+        }
+        let v = value.clone();
+        tasks.push(Box::new(move |cluster, cont| {
+            cluster.txn_put(
+                txn,
+                new_key,
+                Some(v),
+                Box::new(move |c, res| cont(c, res.map_err(SqlError::Kv))),
+            );
+        }));
+    }
+    join_all(
+        cluster,
+        tasks,
+        Box::new(move |c, res| done(c, res.map(|_| ()))),
+    );
+}
+
+fn row_region(table: &Table, row: &[Datum]) -> Option<String> {
+    if !table.primary_index().region_partitioned {
+        return None;
+    }
+    table
+        .region_column()
+        .and_then(|o| row.get(o))
+        .and_then(|d| d.as_str())
+        .map(|s| s.to_string())
+}
+
+// ---------------------------------------------------------------------
+// UPDATE / DELETE
+// ---------------------------------------------------------------------
+
+fn exec_update(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    stmt: Rc<Stmt>,
+    txn: TxnHandle,
+    cont: SqlCont<SqlResult>,
+) {
+    let Stmt::Update {
+        table: tname,
+        sets,
+        predicate,
+    } = &*stmt
+    else {
+        unreachable!()
+    };
+    let (db, table) = match ctx.snapshot(tname) {
+        Ok(x) => x,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let plan = match plan_for(&ctx, cluster, &db, &table, predicate.as_ref(), None) {
+        Ok(p) => p,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let sets = sets.clone();
+    let ctx2 = ctx.clone();
+    let table2 = Rc::clone(&table);
+    let db2 = Rc::clone(&db);
+    fetch_rows(
+        cluster,
+        ctx.clone(),
+        Rc::clone(&table),
+        plan,
+        FetchMode::Txn(txn),
+        usize::MAX,
+        Box::new(move |c, res| {
+            let rows = match res {
+                Ok(r) => r,
+                Err(e) => return cont(c, Err(e)),
+            };
+            let count = rows.len() as u64;
+            let per_row: Rc<dyn Fn(&mut Cluster, Vec<Datum>, SqlCont<()>)> = {
+                let ctx3 = ctx2.clone();
+                let table3 = Rc::clone(&table2);
+                let db3 = Rc::clone(&db2);
+                let sets = sets.clone();
+                Rc::new(move |cluster, old_row, done| {
+                    update_one_row(
+                        cluster,
+                        ctx3.clone(),
+                        Rc::clone(&db3),
+                        Rc::clone(&table3),
+                        &sets,
+                        old_row,
+                        txn,
+                        done,
+                    );
+                })
+            };
+            for_each_seq(
+                c,
+                rows.into_iter(),
+                per_row,
+                Box::new(move |c2, res| match res {
+                    Ok(()) => cont(c2, Ok(SqlResult::Count(count))),
+                    Err(e) => cont(c2, Err(e)),
+                }),
+            );
+        }),
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn update_one_row(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    db: Rc<Database>,
+    table: Rc<Table>,
+    sets: &[(String, Expr)],
+    old_row: Vec<Datum>,
+    txn: TxnHandle,
+    done: SqlCont<()>,
+) {
+    let mut new_row = old_row.clone();
+    let mut set_ordinals = Vec::new();
+    for (col, e) in sets {
+        let Some(ord) = table.column_ordinal(col) else {
+            return done(cluster, Err(SqlError::Plan(format!("unknown column {col:?}"))));
+        };
+        if table.columns[ord].computed.is_some() {
+            return done(
+                cluster,
+                Err(SqlError::Plan(format!("cannot UPDATE computed column {col:?}"))),
+            );
+        }
+        // SET expressions see the OLD row.
+        match ctx.eval(&table, &old_row, e) {
+            Ok(v) => new_row[ord] = v.coerce(table.columns[ord].ty),
+            Err(e) => return done(cluster, Err(e)),
+        }
+        set_ordinals.push(ord);
+    }
+    // ON UPDATE columns not explicitly set (automatic rehoming, §2.3.2).
+    for (i, col) in table.columns.iter().enumerate() {
+        if set_ordinals.contains(&i) {
+            continue;
+        }
+        if let Some(e) = &col.on_update {
+            match ctx.eval(&table, &old_row, e) {
+                Ok(v) => new_row[i] = v.coerce(col.ty),
+                Err(e) => return done(cluster, Err(e)),
+            }
+        }
+    }
+    // Recompute computed columns.
+    for (i, col) in table.columns.iter().enumerate() {
+        if let Some(e) = &col.computed {
+            match ctx.eval(&table, &new_row, e) {
+                Ok(v) => new_row[i] = v.coerce(col.ty),
+                Err(e) => return done(cluster, Err(e)),
+            }
+        }
+    }
+    // Region-enum validation on change.
+    if let Some(ro) = table.region_column() {
+        if new_row[ro] != old_row[ro] {
+            let r = new_row[ro].as_str().unwrap_or_default().to_string();
+            if !db.has_region(&r) {
+                return done(
+                    cluster,
+                    Err(SqlError::Eval(format!("{r:?} is not a database region"))),
+                );
+            }
+            if !db.region_writable(&r) {
+                return done(cluster, Err(SqlError::ReadOnlyRegion(r)));
+            }
+        }
+    }
+    // Uniqueness checks for unique indexes whose keys changed.
+    let changed: Vec<usize> = (0..table.columns.len())
+        .filter(|&i| new_row[i] != old_row[i])
+        .collect();
+    let mut probes: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Option<SqlError>>)>> = Vec::new();
+    if ctx.unique_checks && !changed.is_empty() {
+        let generated = vec![false; table.columns.len()];
+        for check in plan_uniqueness_checks(&db, &table, &new_row, &generated) {
+            let index_changed = ddl::index_by_id(&table, check.index_id)
+                .is_some_and(|idx| idx.key_columns.iter().any(|kc| changed.contains(kc)));
+            if !index_changed {
+                continue;
+            }
+            for partition in &check.partitions {
+                let key = crate::encoding::index_key(
+                    table.id,
+                    check.index_id,
+                    partition.as_deref(),
+                    &check.key,
+                );
+                let tname = table.name.clone();
+                let iname = ddl::index_by_id(&table, check.index_id)
+                    .map(|i| i.name.clone())
+                    .unwrap_or_default();
+                probes.push(Box::new(move |cluster, cont| {
+                    cluster.txn_get(
+                        txn,
+                        key,
+                        Box::new(move |c, res| match res {
+                            Ok(Some(_)) => cont(
+                                c,
+                                Ok(Some(SqlError::UniqueViolation {
+                                    table: tname,
+                                    index: iname,
+                                })),
+                            ),
+                            Ok(None) => cont(c, Ok(None)),
+                            Err(e) => cont(c, Err(SqlError::Kv(e))),
+                        }),
+                    );
+                }));
+            }
+        }
+    }
+    let table2 = Rc::clone(&table);
+    join_all(
+        cluster,
+        probes,
+        Box::new(move |c, res| match res {
+            Ok(outcomes) => {
+                if let Some(err) = outcomes.into_iter().flatten().next() {
+                    return done(c, Err(err));
+                }
+                write_row_entries(c, &table2, &new_row, Some(&old_row), txn, done);
+            }
+            Err(e) => done(c, Err(e)),
+        }),
+    );
+}
+
+fn exec_delete(
+    cluster: &mut Cluster,
+    ctx: ExecCtx,
+    stmt: Rc<Stmt>,
+    txn: TxnHandle,
+    cont: SqlCont<SqlResult>,
+) {
+    let Stmt::Delete {
+        table: tname,
+        predicate,
+    } = &*stmt
+    else {
+        unreachable!()
+    };
+    let (db, table) = match ctx.snapshot(tname) {
+        Ok(x) => x,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let plan = match plan_for(&ctx, cluster, &db, &table, predicate.as_ref(), None) {
+        Ok(p) => p,
+        Err(e) => return cont(cluster, Err(e)),
+    };
+    let table2 = Rc::clone(&table);
+    fetch_rows(
+        cluster,
+        ctx,
+        Rc::clone(&table),
+        plan,
+        FetchMode::Txn(txn),
+        usize::MAX,
+        Box::new(move |c, res| {
+            let rows = match res {
+                Ok(r) => r,
+                Err(e) => return cont(c, Err(e)),
+            };
+            let count = rows.len() as u64;
+            let mut tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<()>)>> = Vec::new();
+            for row in rows {
+                for index in &table2.indexes {
+                    let key = entry_key(&table2, index, row_region(&table2, &row).as_deref(), &row);
+                    tasks.push(Box::new(move |cluster, cont| {
+                        cluster.txn_put(
+                            txn,
+                            key,
+                            None,
+                            Box::new(move |c, res| cont(c, res.map_err(SqlError::Kv))),
+                        );
+                    }));
+                }
+            }
+            join_all(
+                c,
+                tasks,
+                Box::new(move |c2, res| match res {
+                    Ok(_) => cont(c2, Ok(SqlResult::Count(count))),
+                    Err(e) => cont(c2, Err(e)),
+                }),
+            );
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_sim::{RttMatrix, SimDuration, SimTime, Topology};
+
+    fn tiny_db() -> SqlDb {
+        let topo = Topology::build(&["r0"], 3, RttMatrix::uniform(1, SimDuration::ZERO));
+        SqlDb::new(topo, ClusterConfig::default())
+    }
+
+    #[test]
+    fn join_all_collects_in_order() {
+        let mut db = tiny_db();
+        let out: Rc<RefCell<Option<Vec<u32>>>> = Rc::new(RefCell::new(None));
+        let o2 = Rc::clone(&out);
+        let tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<u32>)>> = (0..4u32)
+            .map(|i| {
+                let f: Box<dyn FnOnce(&mut Cluster, SqlCont<u32>)> =
+                    Box::new(move |c: &mut Cluster, cont: SqlCont<u32>| {
+                        // Complete in reverse order via scheduled wakeups.
+                        c.schedule(
+                            SimDuration::from_millis((10 - i as u64) * 10),
+                            Box::new(move |c2| cont(c2, Ok(i))),
+                        );
+                    });
+                f
+            })
+            .collect();
+        join_all(
+            &mut db.cluster,
+            tasks,
+            Box::new(move |_c, res| {
+                *o2.borrow_mut() = Some(res.unwrap());
+            }),
+        );
+        db.cluster.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+        // Results are slot-ordered regardless of completion order.
+        assert_eq!(out.borrow().clone().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_all_first_error_wins() {
+        let mut db = tiny_db();
+        let out: Rc<RefCell<Option<Result<Vec<u32>, SqlError>>>> = Rc::new(RefCell::new(None));
+        let o2 = Rc::clone(&out);
+        let tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<u32>)>> = vec![
+            Box::new(|c, cont| {
+                c.schedule(SimDuration::from_millis(50), Box::new(move |c2| cont(c2, Ok(1))));
+            }),
+            Box::new(|c, cont| {
+                c.schedule(
+                    SimDuration::from_millis(10),
+                    Box::new(move |c2| cont(c2, Err(SqlError::Eval("boom".into())))),
+                );
+            }),
+        ];
+        join_all(
+            &mut db.cluster,
+            tasks,
+            Box::new(move |_c, res| {
+                *o2.borrow_mut() = Some(res);
+            }),
+        );
+        db.cluster.run_until(SimTime(SimDuration::from_millis(20).nanos()));
+        // Error delivered as soon as it happens; the slow Ok is discarded.
+        assert!(matches!(out.borrow().as_ref(), Some(Err(SqlError::Eval(_)))));
+        db.cluster.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+    }
+
+    #[test]
+    fn race_until_returns_at_quota() {
+        let mut db = tiny_db();
+        let out: Rc<RefCell<Option<Vec<Vec<Datum>>>>> = Rc::new(RefCell::new(None));
+        let o2 = Rc::clone(&out);
+        let row = vec![Datum::Int(7)];
+        let slow_row = vec![Datum::Int(9)];
+        let tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Vec<Vec<Datum>>>)>> = vec![
+            {
+                let r = row.clone();
+                Box::new(move |c, cont| {
+                    c.schedule(
+                        SimDuration::from_millis(10),
+                        Box::new(move |c2| cont(c2, Ok(vec![r]))),
+                    );
+                })
+            },
+            {
+                let r = slow_row.clone();
+                Box::new(move |c, cont| {
+                    c.schedule(
+                        SimDuration::from_millis(500),
+                        Box::new(move |c2| cont(c2, Ok(vec![r]))),
+                    );
+                })
+            },
+        ];
+        let t0 = db.cluster.now();
+        race_until(
+            &mut db.cluster,
+            tasks,
+            Vec::new(),
+            1,
+            Box::new(move |_c, res| {
+                *o2.borrow_mut() = Some(res.unwrap());
+            }),
+        );
+        db.cluster.run_until(SimTime(SimDuration::from_millis(20).nanos()));
+        // Delivered after the fast task, without waiting for the slow one.
+        assert_eq!(out.borrow().clone().unwrap(), vec![vec![Datum::Int(7)]]);
+        assert!(db.cluster.now() - t0 < SimDuration::from_millis(100));
+        db.cluster.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+    }
+
+    #[test]
+    fn for_each_seq_stops_on_error() {
+        let mut db = tiny_db();
+        let seen: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let s2 = Rc::clone(&seen);
+        let f: Rc<dyn Fn(&mut Cluster, u32, SqlCont<()>)> = Rc::new(move |c, item, done| {
+            s2.borrow_mut().push(item);
+            if item == 2 {
+                done(c, Err(SqlError::Eval("stop".into())));
+            } else {
+                done(c, Ok(()));
+            }
+        });
+        let result: Rc<RefCell<Option<Result<(), SqlError>>>> = Rc::new(RefCell::new(None));
+        let r2 = Rc::clone(&result);
+        for_each_seq(
+            &mut db.cluster,
+            vec![1u32, 2, 3, 4].into_iter(),
+            f,
+            Box::new(move |_c, res| {
+                *r2.borrow_mut() = Some(res);
+            }),
+        );
+        assert_eq!(*seen.borrow(), vec![1, 2], "must stop at the failing item");
+        assert!(matches!(result.borrow().as_ref(), Some(Err(_))));
+    }
+}

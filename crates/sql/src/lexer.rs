@@ -1,0 +1,199 @@
+//! SQL tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Token {
+    /// Unquoted identifier or keyword (normalized to uppercase for keyword
+    /// matching; original preserved for identifiers).
+    Word(String),
+    /// `"quoted identifier"` (case preserved, no keyword meaning).
+    QuotedIdent(String),
+    /// `'string literal'`.
+    String(String),
+    Number(String),
+    Symbol(char),
+    /// `<=`, `>=`, `<>`, `!=`, `::`
+    Op(&'static str),
+}
+
+impl Token {
+    /// Keyword check (case-insensitive, unquoted words only).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            Token::QuotedIdent(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::QuotedIdent(w) => write!(f, "\"{w}\""),
+            Token::String(s) => write!(f, "'{s}'"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Symbol(c) => write!(f, "{c}"),
+            Token::Op(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// Tokenize `input`, or return a message describing the bad character.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if b.get(i + 1) == Some(&b'-') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        Some(&b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                        None => return Err("unterminated string literal".into()),
+                    }
+                }
+                out.push(Token::String(s));
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        Some(&b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                        None => return Err("unterminated quoted identifier".into()),
+                    }
+                }
+                out.push(Token::QuotedIdent(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                out.push(Token::Number(input[start..i].to_string()));
+            }
+            '-' if b.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                out.push(Token::Number(input[start..i].to_string()));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_string()));
+            }
+            '<' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op("<="));
+                i += 2;
+            }
+            '>' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op(">="));
+                i += 2;
+            }
+            '<' if b.get(i + 1) == Some(&b'>') => {
+                out.push(Token::Op("<>"));
+                i += 2;
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Op("<>"));
+                i += 2;
+            }
+            ':' if b.get(i + 1) == Some(&b':') => {
+                out.push(Token::Op("::"));
+                i += 2;
+            }
+            '(' | ')' | ',' | ';' | '=' | '<' | '>' | '*' | '+' | '-' | '/' | '%' => {
+                out.push(Token::Symbol(c));
+                i += 1;
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statement() {
+        let toks = tokenize("SELECT * FROM users WHERE id = 5;").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert_eq!(toks[1], Token::Symbol('*'));
+        assert_eq!(toks[3].ident(), Some("users"));
+        assert_eq!(toks[6], Token::Symbol('='));
+        assert_eq!(toks[7], Token::Number("5".into()));
+    }
+
+    #[test]
+    fn strings_and_quoted_idents() {
+        let toks = tokenize(r#"CREATE DATABASE movr PRIMARY REGION "us-east1""#).unwrap();
+        assert_eq!(toks.last().unwrap(), &Token::QuotedIdent("us-east1".into()));
+        let toks = tokenize("SELECT 'it''s'").unwrap();
+        assert_eq!(toks[1], Token::String("it's".into()));
+    }
+
+    #[test]
+    fn comments_and_ops() {
+        let toks = tokenize("a <= b -- trailing\n c <> d != e").unwrap();
+        assert_eq!(toks[1], Token::Op("<="));
+        assert_eq!(toks[4], Token::Op("<>"));
+        assert_eq!(toks[6], Token::Op("<>"));
+    }
+
+    #[test]
+    fn negative_numbers_and_floats() {
+        let toks = tokenize("-30 1.5").unwrap();
+        assert_eq!(toks[0], Token::Number("-30".into()));
+        assert_eq!(toks[1], Token::Number("1.5".into()));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(tokenize("select #").is_err());
+        assert!(tokenize("'unterminated").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+//! Declarative multi-region SQL on the distributed KV layer.
+//!
+//! This crate implements the paper's user-facing surface (§2): multi-region
+//! databases with a PRIMARY region, survivability goals, and per-table
+//! localities (`GLOBAL`, `REGIONAL BY TABLE`, `REGIONAL BY ROW`), plus the
+//! locality-aware optimizations of §4 (global uniqueness checks over
+//! implicitly partitioned indexes, locality-optimized search) and the
+//! legacy imperative surface (PARTITION BY, CONFIGURE ZONE, duplicate
+//! indexes) used as the paper's baseline and for the Table 2 DDL counts.
+//!
+//! Modules:
+//! * [`types`] — datums and column types (including `crdb_internal_region`);
+//! * [`encoding`] — order-preserving key encoding and row values;
+//! * [`lexer`] / [`ast`] / [`parser`] — a hand-rolled SQL dialect parser;
+//! * [`expr`] — expression evaluation (defaults, computed columns,
+//!   predicates, `gateway_region()`, `gen_random_uuid()`);
+//! * [`catalog`] — databases, region enums (with `READ ONLY` drop states),
+//!   tables, columns, indexes, partitions, localities;
+//! * [`plan`] — the locality-aware planner;
+//! * [`exec`] — the executor and [`exec::Session`] API over the cluster;
+//! * [`ddl`] — DDL execution: range layout, automatic zone configs, online
+//!   region add/drop, locality changes.
+
+pub mod ast;
+pub mod catalog;
+pub mod ddl;
+pub mod encoding;
+pub mod exec;
+pub mod expr;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod types;
+
+pub use catalog::{Catalog, TableLocality};
+pub use exec::{Session, SqlDb, SqlError, SqlResult};
+pub use types::{ColumnType, Datum};

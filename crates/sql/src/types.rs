@@ -1,0 +1,166 @@
+//! SQL datums and column types.
+
+use std::fmt;
+
+/// Column types supported by the dialect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColumnType {
+    Int,
+    Float,
+    String,
+    Bool,
+    Uuid,
+    Bytes,
+    /// `crdb_internal_region`: the per-database region enum (§2.1). Values
+    /// are region names constrained to the database's configured regions.
+    Region,
+    /// Nanoseconds since epoch (simulated time).
+    Timestamp,
+}
+
+/// A SQL value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Datum {
+    Null,
+    Int(i64),
+    Float(f64),
+    String(String),
+    Bool(bool),
+    Uuid(u128),
+    Bytes(Vec<u8>),
+    /// A region name (value of the `crdb_internal_region` enum).
+    Region(String),
+    Timestamp(i64),
+}
+
+impl Datum {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    pub fn type_of(&self) -> Option<ColumnType> {
+        match self {
+            Datum::Null => None,
+            Datum::Int(_) => Some(ColumnType::Int),
+            Datum::Float(_) => Some(ColumnType::Float),
+            Datum::String(_) => Some(ColumnType::String),
+            Datum::Bool(_) => Some(ColumnType::Bool),
+            Datum::Uuid(_) => Some(ColumnType::Uuid),
+            Datum::Bytes(_) => Some(ColumnType::Bytes),
+            Datum::Region(_) => Some(ColumnType::Region),
+            Datum::Timestamp(_) => Some(ColumnType::Timestamp),
+        }
+    }
+
+    /// Whether this datum can be stored in a column of type `ty` (with the
+    /// implicit string→region coercion used by the region enum).
+    pub fn fits(&self, ty: ColumnType) -> bool {
+        match (self, ty) {
+            (Datum::Null, _) => true,
+            (Datum::String(_), ColumnType::Region) => true,
+            (Datum::Region(_), ColumnType::String) => true,
+            (Datum::Int(_), ColumnType::Float) => true,
+            (d, t) => d.type_of() == Some(t),
+        }
+    }
+
+    /// Coerce into the column type where an implicit conversion exists.
+    pub fn coerce(self, ty: ColumnType) -> Datum {
+        match (self, ty) {
+            (Datum::String(s), ColumnType::Region) => Datum::Region(s),
+            (Datum::Region(r), ColumnType::String) => Datum::String(r),
+            (Datum::Int(i), ColumnType::Float) => Datum::Float(i as f64),
+            (d, _) => d,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::String(s) | Datum::Region(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Float(x) => write!(f, "{x}"),
+            Datum::String(s) => write!(f, "'{s}'"),
+            Datum::Bool(b) => write!(f, "{b}"),
+            Datum::Uuid(u) => write!(f, "{u:032x}"),
+            Datum::Bytes(b) => write!(f, "x'{}'", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Datum::Region(r) => write!(f, "'{r}'"),
+            Datum::Timestamp(t) => write!(f, "ts({t})"),
+        }
+    }
+}
+
+impl ColumnType {
+    pub fn parse(name: &str) -> Option<ColumnType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INT" | "INT8" | "INTEGER" | "BIGINT" | "SMALLINT" | "SERIAL" => Some(ColumnType::Int),
+            "FLOAT" | "FLOAT8" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" => {
+                Some(ColumnType::Float)
+            }
+            "STRING" | "TEXT" | "VARCHAR" | "CHAR" => Some(ColumnType::String),
+            "BOOL" | "BOOLEAN" => Some(ColumnType::Bool),
+            "UUID" => Some(ColumnType::Uuid),
+            "BYTES" | "BLOB" => Some(ColumnType::Bytes),
+            "CRDB_INTERNAL_REGION" => Some(ColumnType::Region),
+            "TIMESTAMP" | "TIMESTAMPTZ" => Some(ColumnType::Timestamp),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_parsing_aliases() {
+        assert_eq!(ColumnType::parse("int8"), Some(ColumnType::Int));
+        assert_eq!(ColumnType::parse("TEXT"), Some(ColumnType::String));
+        assert_eq!(
+            ColumnType::parse("crdb_internal_region"),
+            Some(ColumnType::Region)
+        );
+        assert_eq!(ColumnType::parse("nope"), None);
+    }
+
+    #[test]
+    fn coercion_between_string_and_region() {
+        assert!(Datum::String("us-east1".into()).fits(ColumnType::Region));
+        assert_eq!(
+            Datum::String("us-east1".into()).coerce(ColumnType::Region),
+            Datum::Region("us-east1".into())
+        );
+        assert!(Datum::Int(3).fits(ColumnType::Int));
+        assert!(!Datum::Int(3).fits(ColumnType::String));
+        assert!(Datum::Null.fits(ColumnType::Uuid));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Datum::Int(42).to_string(), "42");
+        assert_eq!(Datum::String("x".into()).to_string(), "'x'");
+        assert_eq!(Datum::Null.to_string(), "NULL");
+    }
+}

@@ -1,0 +1,641 @@
+//! The multi-version key-value map with write intents.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use mr_clock::Timestamp;
+use mr_proto::{Key, ReadCtx, Span, TxnId, TxnMeta, Value};
+
+/// A provisional write: the exclusive lock + pending value of an open
+/// transaction.
+#[derive(Clone, Debug)]
+pub struct Intent {
+    pub txn: TxnMeta,
+    /// `None` is a deletion tombstone.
+    pub value: Option<Value>,
+}
+
+/// One committed version. `value: None` is a tombstone.
+#[derive(Clone, Debug)]
+struct Version {
+    ts: Timestamp,
+    value: Option<Value>,
+}
+
+/// Per-key state: an optional intent plus committed versions, newest first.
+#[derive(Clone, Debug, Default)]
+struct VersionChain {
+    intent: Option<Intent>,
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// Latest committed version at or below `ts`. Versions are sorted
+    /// newest-first, so binary search keeps hot keys (long chains) cheap.
+    fn visible_at(&self, ts: Timestamp) -> Option<&Version> {
+        let idx = self.versions.partition_point(|v| v.ts > ts);
+        self.versions.get(idx)
+    }
+
+    /// Earliest committed version strictly above `lo` and at or below `hi`.
+    fn committed_in(&self, lo: Timestamp, hi: Timestamp) -> Option<&Version> {
+        // Newest-first order: everything before `start` is above `hi`,
+        // everything from `end` on is at or below `lo`.
+        let start = self.versions.partition_point(|v| v.ts > hi);
+        let end = self.versions.partition_point(|v| v.ts > lo);
+        if start < end {
+            self.versions.get(end - 1)
+        } else {
+            None
+        }
+    }
+
+    fn latest_ts(&self) -> Option<Timestamp> {
+        self.versions.first().map(|v| v.ts)
+    }
+
+    fn insert_version(&mut self, ts: Timestamp, value: Option<Value>) {
+        let pos = self.versions.partition_point(|v| v.ts > ts);
+        self.versions.insert(pos, Version { ts, value });
+    }
+
+    fn is_empty(&self) -> bool {
+        self.intent.is_none() && self.versions.is_empty()
+    }
+}
+
+/// Errors surfaced by MVCC reads and writes. The replica layer maps these
+/// onto the wire-level [`mr_proto::KvError`] taxonomy.
+#[derive(Clone, Debug)]
+pub enum MvccError {
+    /// A conflicting intent blocks this operation.
+    WriteIntent { key: Key, intent_txn: TxnMeta },
+    /// A committed value lies in the read's uncertainty interval.
+    Uncertainty {
+        key: Key,
+        read_ts: Timestamp,
+        value_ts: Timestamp,
+    },
+}
+
+/// Result of a successful point read.
+#[derive(Clone, Debug)]
+pub struct ReadOutcome {
+    pub value: Option<Value>,
+    /// Timestamp of the returned version; zero when no version is visible.
+    /// Synthetic when the version was written future-time.
+    pub value_ts: Timestamp,
+}
+
+/// Result of laying down an intent.
+#[derive(Clone, Copy, Debug)]
+pub struct PutOutcome {
+    /// Timestamp at which the intent was actually written (forwarded above
+    /// any newer committed version).
+    pub written_ts: Timestamp,
+    /// True if the requested timestamp was below an existing committed
+    /// version — the transaction must refresh before committing.
+    pub write_too_old: bool,
+}
+
+/// The MVCC store for one replica.
+#[derive(Clone, Debug, Default)]
+pub struct MvccStore {
+    data: BTreeMap<Key, VersionChain>,
+}
+
+impl MvccStore {
+    pub fn new() -> MvccStore {
+        MvccStore::default()
+    }
+
+    /// Point read at `ctx.read_ts` with uncertainty detection.
+    pub fn get(&self, key: &Key, ctx: &ReadCtx) -> Result<ReadOutcome, MvccError> {
+        let Some(chain) = self.data.get(key) else {
+            return Ok(ReadOutcome {
+                value: None,
+                value_ts: Timestamp::ZERO,
+            });
+        };
+        self.read_chain(key, chain, ctx)
+    }
+
+    fn read_chain(
+        &self,
+        key: &Key,
+        chain: &VersionChain,
+        ctx: &ReadCtx,
+    ) -> Result<ReadOutcome, MvccError> {
+        if let Some(intent) = &chain.intent {
+            let own = ctx
+                .txn
+                .as_ref()
+                .is_some_and(|t| t.id == intent.txn.id && t.epoch == intent.txn.epoch);
+            if own {
+                // Read-your-writes: the provisional value, at its write ts.
+                return Ok(ReadOutcome {
+                    value: intent.value.clone(),
+                    value_ts: intent.txn.write_ts,
+                });
+            }
+            // An intent at or below the uncertainty limit cannot be skipped:
+            // it may commit at a timestamp the reader must observe.
+            if intent.txn.write_ts <= ctx.uncertainty_limit {
+                return Err(MvccError::WriteIntent {
+                    key: key.clone(),
+                    intent_txn: intent.txn.clone(),
+                });
+            }
+        }
+        // Committed value inside the uncertainty interval forces a restart.
+        if ctx.uncertainty_limit > ctx.read_ts {
+            if let Some(v) = chain.committed_in(ctx.read_ts, ctx.uncertainty_limit) {
+                return Err(MvccError::Uncertainty {
+                    key: key.clone(),
+                    read_ts: ctx.read_ts,
+                    value_ts: v.ts,
+                });
+            }
+        }
+        match chain.visible_at(ctx.read_ts) {
+            Some(v) => Ok(ReadOutcome {
+                value: v.value.clone(),
+                value_ts: v.ts,
+            }),
+            None => Ok(ReadOutcome {
+                value: None,
+                value_ts: Timestamp::ZERO,
+            }),
+        }
+    }
+
+    /// Scan `[span.start, span.end)` at `ctx.read_ts`, returning up to
+    /// `max_keys` live rows. Tombstoned keys are skipped but still subject
+    /// to intent/uncertainty checks.
+    pub fn scan(
+        &self,
+        span: &Span,
+        ctx: &ReadCtx,
+        max_keys: usize,
+    ) -> Result<Vec<(Key, Value, Timestamp)>, MvccError> {
+        let mut out = Vec::new();
+        for (key, chain) in self.range(span) {
+            let r = self.read_chain(key, chain, ctx)?;
+            if let Some(v) = r.value {
+                out.push((key.clone(), v, r.value_ts));
+                if out.len() >= max_keys {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn range<'a>(&'a self, span: &Span) -> impl Iterator<Item = (&'a Key, &'a VersionChain)> {
+        let start = Bound::Included(span.start.clone());
+        let end = if span.end.is_empty() {
+            Bound::Unbounded
+        } else {
+            Bound::Excluded(span.end.clone())
+        };
+        self.data.range((start, end))
+    }
+
+    /// Lay down (or update) an intent for `txn` at `txn.write_ts`.
+    ///
+    /// Returns an error if another transaction holds an intent on the key
+    /// (the lock table normally prevents this). If a committed version
+    /// exists at or above the requested timestamp, the intent is written
+    /// just above it and `write_too_old` is set.
+    pub fn put(
+        &mut self,
+        key: &Key,
+        value: Option<Value>,
+        txn: &TxnMeta,
+    ) -> Result<PutOutcome, MvccError> {
+        let chain = self.data.entry(key.clone()).or_default();
+        if let Some(intent) = &chain.intent {
+            if intent.txn.id != txn.id {
+                return Err(MvccError::WriteIntent {
+                    key: key.clone(),
+                    intent_txn: intent.txn.clone(),
+                });
+            }
+        }
+        let mut write_ts = txn.write_ts;
+        let mut write_too_old = false;
+        if let Some(latest) = chain.latest_ts() {
+            if latest >= write_ts {
+                write_ts = latest.next();
+                write_too_old = true;
+            }
+        }
+        let mut meta = txn.clone();
+        meta.write_ts = write_ts;
+        chain.intent = Some(Intent { txn: meta, value });
+        Ok(PutOutcome {
+            written_ts: write_ts,
+            write_too_old,
+        })
+    }
+
+    /// Promote `txn_id`'s intent on `key` to a committed version at
+    /// `commit_ts`. Returns false if no matching intent exists (resolution
+    /// is idempotent).
+    pub fn commit_intent(&mut self, key: &Key, txn_id: TxnId, commit_ts: Timestamp) -> bool {
+        let Some(chain) = self.data.get_mut(key) else {
+            return false;
+        };
+        match &chain.intent {
+            Some(intent) if intent.txn.id == txn_id => {
+                let value = chain.intent.take().unwrap().value;
+                chain.insert_version(commit_ts, value);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Discard `txn_id`'s intent on `key`.
+    pub fn abort_intent(&mut self, key: &Key, txn_id: TxnId) -> bool {
+        let Some(chain) = self.data.get_mut(key) else {
+            return false;
+        };
+        match &chain.intent {
+            Some(intent) if intent.txn.id == txn_id => {
+                chain.intent = None;
+                if chain.is_empty() {
+                    self.data.remove(key);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The intent currently on `key`, if any.
+    pub fn intent(&self, key: &Key) -> Option<&Intent> {
+        self.data.get(key).and_then(|c| c.intent.as_ref())
+    }
+
+    /// Validate that no committed version or foreign intent landed in
+    /// `(from_ts, to_ts]` anywhere in `span` — the read-refresh check.
+    /// On conflict returns the offending timestamp.
+    pub fn refresh_span(
+        &self,
+        span: &Span,
+        from_ts: Timestamp,
+        to_ts: Timestamp,
+        txn_id: TxnId,
+    ) -> Result<(), Timestamp> {
+        for (_, chain) in self.range(span) {
+            if let Some(v) = chain.committed_in(from_ts, to_ts) {
+                return Err(v.ts);
+            }
+            if let Some(intent) = &chain.intent {
+                if intent.txn.id != txn_id && intent.txn.write_ts <= to_ts {
+                    return Err(intent.txn.write_ts);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Latest committed timestamp on `key` (for negotiation and tests).
+    pub fn latest_committed_ts(&self, key: &Key) -> Option<Timestamp> {
+        self.data.get(key).and_then(|c| c.latest_ts())
+    }
+
+    /// The lowest intent timestamp in `span`, if any — used by the
+    /// bounded-staleness negotiation phase (§5.3.2) to pick a timestamp
+    /// below every conflicting intent.
+    pub fn min_intent_ts_in(&self, span: &Span) -> Option<Timestamp> {
+        self.range(span)
+            .filter_map(|(_, c)| c.intent.as_ref().map(|i| i.txn.write_ts))
+            .min()
+    }
+
+    /// Scan live rows, treating open intents as their provisional values
+    /// (newest state wins). Used by offline DDL validation/rewrites, which
+    /// run when the range is quiescent or nearly so: a row mid-write counts
+    /// as present.
+    pub fn scan_latest_including_intents(&self, span: &Span) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        for (key, chain) in self.range(span) {
+            let candidate = match &chain.intent {
+                Some(intent) => intent.value.clone(),
+                None => chain.versions.first().and_then(|v| v.value.clone()),
+            };
+            if let Some(v) = candidate {
+                out.push((key.clone(), v));
+            }
+        }
+        out
+    }
+
+    /// Directly install a committed version, bypassing the intent protocol.
+    /// Used only for bulk preloading of experiment datasets (the paper's
+    /// "initial import"); never during simulated execution.
+    pub fn preload(&mut self, key: Key, value: Value, ts: Timestamp) {
+        self.data
+            .entry(key)
+            .or_default()
+            .insert_version(ts, Some(value));
+    }
+
+    /// Number of keys with any state (intents or versions).
+    pub fn key_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total committed versions across all keys.
+    pub fn version_count(&self) -> usize {
+        self.data.values().map(|c| c.versions.len()).sum()
+    }
+
+    /// Garbage-collect committed versions strictly older than the latest
+    /// version at or below `threshold` (keeping that one as the visible
+    /// value for reads at the threshold). Returns versions removed.
+    pub fn gc(&mut self, threshold: Timestamp) -> usize {
+        let mut removed = 0;
+        self.data.retain(|_, chain| {
+            let keep_from = chain.versions.partition_point(|v| v.ts > threshold);
+            // Keep everything above the threshold plus one version at/below.
+            let keep = (keep_from + 1).min(chain.versions.len());
+            removed += chain.versions.len() - keep;
+            chain.versions.truncate(keep);
+            // Drop fully-tombstoned singleton chains.
+            if chain.intent.is_none()
+                && chain.versions.len() == 1
+                && chain.versions[0].ts <= threshold
+                && chain.versions[0].value.is_none()
+            {
+                removed += 1;
+                return false;
+            }
+            !chain.is_empty()
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(id: u64, ts: u64) -> TxnMeta {
+        TxnMeta::new(TxnId(id), Key::from("anchor"), Timestamp::new(ts, 0))
+    }
+
+    fn commit_put(store: &mut MvccStore, key: &str, val: &str, id: u64, ts: u64) {
+        let t = txn(id, ts);
+        let out = store.put(&Key::from(key), Some(Value::from(val)), &t).unwrap();
+        assert!(store.commit_intent(&Key::from(key), t.id, out.written_ts));
+    }
+
+    fn read(store: &MvccStore, key: &str, ts: u64) -> Option<Value> {
+        store
+            .get(&Key::from(key), &ReadCtx::stale(Timestamp::new(ts, 0)))
+            .unwrap()
+            .value
+    }
+
+    #[test]
+    fn reads_see_snapshot() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "v1", 1, 10);
+        commit_put(&mut s, "k", "v2", 2, 20);
+        assert_eq!(read(&s, "k", 5), None);
+        assert_eq!(read(&s, "k", 10), Some(Value::from("v1")));
+        assert_eq!(read(&s, "k", 15), Some(Value::from("v1")));
+        assert_eq!(read(&s, "k", 20), Some(Value::from("v2")));
+        assert_eq!(read(&s, "k", 100), Some(Value::from("v2")));
+    }
+
+    #[test]
+    fn deletion_tombstones() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "v1", 1, 10);
+        let t = txn(2, 20);
+        let out = s.put(&Key::from("k"), None, &t).unwrap();
+        s.commit_intent(&Key::from("k"), t.id, out.written_ts);
+        assert_eq!(read(&s, "k", 15), Some(Value::from("v1")));
+        assert_eq!(read(&s, "k", 25), None);
+    }
+
+    #[test]
+    fn foreign_intent_blocks_read_at_or_below_limit() {
+        let mut s = MvccStore::new();
+        let t = txn(1, 10);
+        s.put(&Key::from("k"), Some(Value::from("v")), &t).unwrap();
+        // Read above the intent ts: blocked.
+        let err = s
+            .get(&Key::from("k"), &ReadCtx::stale(Timestamp::new(15, 0)))
+            .unwrap_err();
+        assert!(matches!(err, MvccError::WriteIntent { .. }));
+        // Read below the intent ts: proceeds (sees nothing).
+        assert_eq!(read(&s, "k", 5), None);
+        // Uncertain intent (above read_ts, inside limit) also blocks.
+        let ctx = ReadCtx::fresh(Timestamp::new(5, 0), Timestamp::new(12, 0));
+        assert!(matches!(
+            s.get(&Key::from("k"), &ctx),
+            Err(MvccError::WriteIntent { .. })
+        ));
+        // Intent above the limit is ignorable.
+        let ctx = ReadCtx::fresh(Timestamp::new(5, 0), Timestamp::new(9, 0));
+        assert!(s.get(&Key::from("k"), &ctx).unwrap().value.is_none());
+    }
+
+    #[test]
+    fn own_intent_is_readable() {
+        let mut s = MvccStore::new();
+        let t = txn(1, 10);
+        s.put(&Key::from("k"), Some(Value::from("mine")), &t).unwrap();
+        let ctx = ReadCtx {
+            read_ts: t.write_ts,
+            uncertainty_limit: t.write_ts,
+            txn: Some(t.clone()),
+        };
+        let r = s.get(&Key::from("k"), &ctx).unwrap();
+        assert_eq!(r.value, Some(Value::from("mine")));
+        // A different epoch of the same txn does not see the old intent as
+        // its own... but storage treats mismatched epoch as foreign.
+        let mut t2 = t.clone();
+        t2.epoch = 1;
+        let ctx2 = ReadCtx {
+            read_ts: Timestamp::new(15, 0),
+            uncertainty_limit: Timestamp::new(15, 0),
+            txn: Some(t2),
+        };
+        assert!(matches!(
+            s.get(&Key::from("k"), &ctx2),
+            Err(MvccError::WriteIntent { .. })
+        ));
+    }
+
+    #[test]
+    fn uncertainty_detection() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "v", 1, 100);
+        // Value at 100 is inside [50, 150]: uncertain.
+        let ctx = ReadCtx::fresh(Timestamp::new(50, 0), Timestamp::new(150, 0));
+        match s.get(&Key::from("k"), &ctx).unwrap_err() {
+            MvccError::Uncertainty { value_ts, .. } => {
+                assert_eq!(value_ts, Timestamp::new(100, 0))
+            }
+            e => panic!("unexpected: {e:?}"),
+        }
+        // Limit below the value: certain, invisible.
+        let ctx = ReadCtx::fresh(Timestamp::new(50, 0), Timestamp::new(99, 0));
+        assert!(s.get(&Key::from("k"), &ctx).unwrap().value.is_none());
+        // Read at/above the value: visible, no uncertainty.
+        let ctx = ReadCtx::fresh(Timestamp::new(100, 0), Timestamp::new(150, 0));
+        assert_eq!(
+            s.get(&Key::from("k"), &ctx).unwrap().value,
+            Some(Value::from("v"))
+        );
+    }
+
+    #[test]
+    fn uncertainty_reports_earliest_uncertain_version() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "a", 1, 100);
+        commit_put(&mut s, "k", "b", 2, 120);
+        let ctx = ReadCtx::fresh(Timestamp::new(50, 0), Timestamp::new(150, 0));
+        match s.get(&Key::from("k"), &ctx).unwrap_err() {
+            MvccError::Uncertainty { value_ts, .. } => {
+                assert_eq!(value_ts, Timestamp::new(100, 0))
+            }
+            e => panic!("unexpected: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn write_too_old_bumps() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "new", 1, 100);
+        let t = txn(2, 50);
+        let out = s.put(&Key::from("k"), Some(Value::from("late")), &t).unwrap();
+        assert!(out.write_too_old);
+        assert_eq!(out.written_ts, Timestamp::new(100, 1));
+        s.commit_intent(&Key::from("k"), t.id, out.written_ts);
+        assert_eq!(read(&s, "k", 101), Some(Value::from("late")));
+        assert_eq!(read(&s, "k", 100), Some(Value::from("new")));
+    }
+
+    #[test]
+    fn put_conflicts_with_foreign_intent() {
+        let mut s = MvccStore::new();
+        let t1 = txn(1, 10);
+        s.put(&Key::from("k"), Some(Value::from("a")), &t1).unwrap();
+        let t2 = txn(2, 20);
+        assert!(matches!(
+            s.put(&Key::from("k"), Some(Value::from("b")), &t2),
+            Err(MvccError::WriteIntent { .. })
+        ));
+        // Same txn can overwrite its own intent.
+        let out = s.put(&Key::from("k"), Some(Value::from("a2")), &t1).unwrap();
+        assert!(!out.write_too_old);
+    }
+
+    #[test]
+    fn abort_discards_intent() {
+        let mut s = MvccStore::new();
+        let t = txn(1, 10);
+        s.put(&Key::from("k"), Some(Value::from("v")), &t).unwrap();
+        assert!(s.abort_intent(&Key::from("k"), t.id));
+        assert_eq!(read(&s, "k", 100), None);
+        assert_eq!(s.key_count(), 0);
+        // Idempotent.
+        assert!(!s.abort_intent(&Key::from("k"), t.id));
+    }
+
+    #[test]
+    fn commit_at_higher_ts_than_intent() {
+        let mut s = MvccStore::new();
+        let t = txn(1, 10);
+        s.put(&Key::from("k"), Some(Value::from("v")), &t).unwrap();
+        // Txn got pushed: commits at 30.
+        assert!(s.commit_intent(&Key::from("k"), t.id, Timestamp::new(30, 0)));
+        assert_eq!(read(&s, "k", 10), None);
+        assert_eq!(read(&s, "k", 30), Some(Value::from("v")));
+    }
+
+    #[test]
+    fn scan_respects_snapshot_and_limit() {
+        let mut s = MvccStore::new();
+        for (i, k) in ["a", "b", "c", "d"].iter().enumerate() {
+            commit_put(&mut s, k, "v", i as u64, 10 * (i as u64 + 1));
+        }
+        let span = Span::new(Key::from("a"), Key::from("z"));
+        let rows = s.scan(&span, &ReadCtx::stale(Timestamp::new(25, 0)), 100).unwrap();
+        assert_eq!(rows.len(), 2); // a@10, b@20
+        let rows = s.scan(&span, &ReadCtx::stale(Timestamp::new(100, 0)), 3).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, Key::from("a"));
+    }
+
+    #[test]
+    fn refresh_span_detects_conflicts() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "v", 1, 100);
+        let span = Span::new(Key::from("a"), Key::from("z"));
+        // Window excluding the commit: ok.
+        assert!(s
+            .refresh_span(&span, Timestamp::new(100, 0), Timestamp::new(200, 0), TxnId(9))
+            .is_ok());
+        // Window including the commit: conflict.
+        assert_eq!(
+            s.refresh_span(&span, Timestamp::new(50, 0), Timestamp::new(150, 0), TxnId(9)),
+            Err(Timestamp::new(100, 0))
+        );
+        // Foreign intent in window: conflict; own intent ignored.
+        let t = txn(2, 120);
+        s.put(&Key::from("m"), Some(Value::from("x")), &t).unwrap();
+        assert!(s
+            .refresh_span(&span, Timestamp::new(110, 0), Timestamp::new(130, 0), t.id)
+            .is_ok());
+        assert_eq!(
+            s.refresh_span(&span, Timestamp::new(110, 0), Timestamp::new(130, 0), TxnId(9)),
+            Err(Timestamp::new(120, 0))
+        );
+    }
+
+    #[test]
+    fn synthetic_value_ts_survives_roundtrip() {
+        let mut s = MvccStore::new();
+        let mut t = txn(1, 0);
+        t.write_ts = Timestamp::new(500, 0).as_synthetic();
+        let out = s.put(&Key::from("k"), Some(Value::from("v")), &t).unwrap();
+        assert!(out.written_ts.synthetic);
+        s.commit_intent(&Key::from("k"), t.id, out.written_ts);
+        let ctx = ReadCtx::fresh(Timestamp::new(400, 0), Timestamp::new(600, 0));
+        match s.get(&Key::from("k"), &ctx).unwrap_err() {
+            MvccError::Uncertainty { value_ts, .. } => assert!(value_ts.synthetic),
+            e => panic!("unexpected: {e:?}"),
+        }
+    }
+
+    #[test]
+    fn gc_keeps_visible_version() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "v1", 1, 10);
+        commit_put(&mut s, "k", "v2", 2, 20);
+        commit_put(&mut s, "k", "v3", 3, 30);
+        let removed = s.gc(Timestamp::new(25, 0));
+        assert_eq!(removed, 1); // v1 dropped; v2 visible at 25; v3 above.
+        assert_eq!(read(&s, "k", 25), Some(Value::from("v2")));
+        assert_eq!(read(&s, "k", 35), Some(Value::from("v3")));
+    }
+
+    #[test]
+    fn gc_drops_old_tombstoned_keys() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "k", "v1", 1, 10);
+        let t = txn(2, 20);
+        let out = s.put(&Key::from("k"), None, &t).unwrap();
+        s.commit_intent(&Key::from("k"), t.id, out.written_ts);
+        s.gc(Timestamp::new(100, 0));
+        assert_eq!(s.key_count(), 0);
+    }
+}

