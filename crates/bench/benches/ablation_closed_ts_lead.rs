@@ -31,31 +31,44 @@ fn run(replicate_ms: u64, seed: u64) {
         })
         .build();
     let regions = paper_regions();
-    setup_ycsb(&mut db, &regions, "usertable", YcsbTable::Global, KEYS, |_| {
-        unreachable!()
-    });
+    setup_ycsb(
+        &mut db,
+        &regions,
+        "usertable",
+        YcsbTable::Global,
+        KEYS,
+        |_| unreachable!(),
+    );
     let mut driver = ClosedLoop::new();
     let mut rng = SimRng::seed_from_u64(seed);
     let ops = ops_per_client();
-    add_clients(&db, &mut driver, &regions, "ycsb", 10, &mut rng, |ri, _, _| {
-        Box::new(YcsbGen {
-            table: "usertable".into(),
-            variant: YcsbTable::Global,
-            read_fraction: 0.5,
-            insert_workload: false,
-            keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
-            read_mode: ReadMode::Fresh,
-            regions: paper_regions(),
-            region_idx: ri,
-            remaining: Some(ops),
-            next_insert: 0,
-            insert_stride: 1,
-            nregions: 5,
-            label_prefix: String::new(),
-        })
-    });
+    add_clients(
+        &db,
+        &mut driver,
+        &regions,
+        "ycsb",
+        10,
+        &mut rng,
+        |ri, _, _| {
+            Box::new(YcsbGen {
+                table: "usertable".into(),
+                variant: YcsbTable::Global,
+                read_fraction: 0.5,
+                insert_workload: false,
+                keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
+                read_mode: ReadMode::Fresh,
+                regions: paper_regions(),
+                region_idx: ri,
+                remaining: Some(ops),
+                next_insert: 0,
+                insert_stride: 1,
+                nregions: 5,
+                label_prefix: String::new(),
+            })
+        },
+    );
     run_to_completion(&mut db, &mut driver);
-    let m = db.cluster.metrics;
+    let m = db.cluster.metrics();
     let served = m.follower_reads_served as f64;
     let redirected = m.follower_read_redirects as f64;
     let hit = 100.0 * served / (served + redirected).max(1.0);

@@ -24,29 +24,42 @@ fn run(holds_locks: bool, seed: u64) -> DriverStats {
         .config(|c| c.commit_wait_holds_locks = holds_locks)
         .build();
     let regions = paper_regions();
-    setup_ycsb(&mut db, &regions, "usertable", YcsbTable::Global, KEYS, |_| {
-        unreachable!()
-    });
+    setup_ycsb(
+        &mut db,
+        &regions,
+        "usertable",
+        YcsbTable::Global,
+        KEYS,
+        |_| unreachable!(),
+    );
     let mut driver = ClosedLoop::new();
     let mut rng = SimRng::seed_from_u64(seed);
     let ops = ops_per_client();
-    add_clients(&db, &mut driver, &regions, "ycsb", 10, &mut rng, |ri, _, _| {
-        Box::new(YcsbGen {
-            table: "usertable".into(),
-            variant: YcsbTable::Global,
-            read_fraction: 0.5,
-            insert_workload: false,
-            keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
-            read_mode: ReadMode::Fresh,
-            regions: paper_regions(),
-            region_idx: ri,
-            remaining: Some(ops),
-            next_insert: 0,
-            insert_stride: 1,
-            nregions: 5,
-            label_prefix: String::new(),
-        })
-    });
+    add_clients(
+        &db,
+        &mut driver,
+        &regions,
+        "ycsb",
+        10,
+        &mut rng,
+        |ri, _, _| {
+            Box::new(YcsbGen {
+                table: "usertable".into(),
+                variant: YcsbTable::Global,
+                read_fraction: 0.5,
+                insert_workload: false,
+                keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
+                read_mode: ReadMode::Fresh,
+                regions: paper_regions(),
+                region_idx: ri,
+                remaining: Some(ops),
+                next_insert: 0,
+                insert_stride: 1,
+                nregions: 5,
+                label_prefix: String::new(),
+            })
+        },
+    );
     run_to_completion(&mut db, &mut driver);
     driver.stats
 }
@@ -57,7 +70,10 @@ fn main() {
          (Spanner-style), GLOBAL table, YCSB-A, {} ops/client\n",
         ops_per_client()
     );
-    for (name, holds) in [("CRDB (release during wait)", false), ("Spanner-style (hold)", true)] {
+    for (name, holds) in [
+        ("CRDB (release during wait)", false),
+        ("Spanner-style (hold)", true),
+    ] {
         let stats = run(holds, 81);
         report_errors(name, &stats);
         let mut reads = stats.merged(|l| l.contains("read"));

@@ -33,28 +33,36 @@ fn run_config(name: &str, variant: YcsbTable, read_mode: ReadMode, seed: u64) {
     let mut driver = ClosedLoop::new();
     let mut rng = SimRng::seed_from_u64(seed);
     let ops = ops_per_client();
-    add_clients(&db, &mut driver, &regions, "ycsb", 10, &mut rng, |ri, _, _| {
-        Box::new(YcsbGen {
-            table: "usertable".into(),
-            variant,
-            read_fraction: 0.5,
-            insert_workload: false,
-            keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
-            read_mode,
-            regions: paper_regions(),
-            region_idx: ri,
-            remaining: Some(ops),
-            next_insert: 0,
-            insert_stride: 1,
-            nregions: 5,
-            // Region 0 hosts the PRIMARY (all leaseholders).
-            label_prefix: if ri == 0 {
-                "primary/".into()
-            } else {
-                "nonprimary/".into()
-            },
-        })
-    });
+    add_clients(
+        &db,
+        &mut driver,
+        &regions,
+        "ycsb",
+        10,
+        &mut rng,
+        |ri, _, _| {
+            Box::new(YcsbGen {
+                table: "usertable".into(),
+                variant,
+                read_fraction: 0.5,
+                insert_workload: false,
+                keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
+                read_mode,
+                regions: paper_regions(),
+                region_idx: ri,
+                remaining: Some(ops),
+                next_insert: 0,
+                insert_stride: 1,
+                nregions: 5,
+                // Region 0 hosts the PRIMARY (all leaseholders).
+                label_prefix: if ri == 0 {
+                    "primary/".into()
+                } else {
+                    "nonprimary/".into()
+                },
+            })
+        },
+    );
     run_to_completion(&mut db, &mut driver);
     report_errors(name, &driver.stats);
     for origin in ["primary", "nonprimary"] {

@@ -22,13 +22,7 @@ use mr_workload::ycsb::{KeyChooser, ReadMode, YcsbGen, YcsbTable};
 const KEYS: u64 = 30_000;
 const CLIENTS_PER_REGION: usize = 3;
 
-fn run_variant(
-    name: &str,
-    variant: YcsbTable,
-    los: bool,
-    locality: f64,
-    seed: u64,
-) -> DriverStats {
+fn run_variant(name: &str, variant: YcsbTable, los: bool, locality: f64, seed: u64) -> DriverStats {
     let mut db = three_region_db(seed);
     db.los_enabled = los;
     let (regions, _) = three_regions();
@@ -44,49 +38,49 @@ fn run_variant(
     // measured pass — mirroring the paper's steady-state measurements.
     for phase in 0..2 {
         let measuring = phase == 1;
-    let mut driver = ClosedLoop::new();
-    add_clients(
-        &db,
-        &mut driver,
-        &regions,
-        "ycsb",
-        CLIENTS_PER_REGION,
-        &mut rng,
-        |ri, _, global| {
-            Box::new(YcsbGen {
-                table: "usertable".into(),
-                variant,
-                read_fraction: 0.95,
-                insert_workload: false,
-                keys: KeyChooser::Locality {
-                    n: KEYS,
+        let mut driver = ClosedLoop::new();
+        add_clients(
+            &db,
+            &mut driver,
+            &regions,
+            "ycsb",
+            CLIENTS_PER_REGION,
+            &mut rng,
+            |ri, _, global| {
+                Box::new(YcsbGen {
+                    table: "usertable".into(),
+                    variant,
+                    read_fraction: 0.95,
+                    insert_workload: false,
+                    keys: KeyChooser::Locality {
+                        n: KEYS,
+                        nregions,
+                        region_idx: ri as u64,
+                        locality,
+                        client_idx: global as u64,
+                        nclients,
+                        shared_remote: None,
+                        // A bounded remote working set per client: lets the
+                        // Rehoming variant reach its converged (re-homed)
+                        // steady state within the run.
+                        remote_set: Some(25),
+                    },
+                    read_mode: ReadMode::Fresh,
+                    regions: three_regions().0,
+                    region_idx: ri,
+                    remaining: Some(ops),
+                    next_insert: 0,
+                    insert_stride: 1,
                     nregions,
-                    region_idx: ri as u64,
-                    locality,
-                    client_idx: global as u64,
-                    nclients,
-                    shared_remote: None,
-                    // A bounded remote working set per client: lets the
-                    // Rehoming variant reach its converged (re-homed)
-                    // steady state within the run.
-                    remote_set: Some(25),
-                },
-                read_mode: ReadMode::Fresh,
-                regions: three_regions().0,
-                region_idx: ri,
-                remaining: Some(ops),
-                next_insert: 0,
-                insert_stride: 1,
-                nregions,
-                label_prefix: String::new(),
-            })
-        },
-    );
-    run_to_completion(&mut db, &mut driver);
-    if measuring {
-        report_errors(name, &driver.stats);
-        return driver.stats;
-    }
+                    label_prefix: String::new(),
+                })
+            },
+        );
+        run_to_completion(&mut db, &mut driver);
+        if measuring {
+            report_errors(name, &driver.stats);
+            return driver.stats;
+        }
     }
     unreachable!()
 }
@@ -104,9 +98,21 @@ fn print_variant(name: &str, stats: &DriverStats) {
 fn run_locality_block(locality: f64, seed0: u64) {
     println!("--- locality of access = {:.0}% ---", locality * 100.0);
     let variants: Vec<(&str, YcsbTable, bool)> = vec![
-        ("Unoptimized", YcsbTable::RegionalByRow { rehoming: false }, false),
-        ("Default", YcsbTable::RegionalByRow { rehoming: false }, true),
-        ("Rehoming", YcsbTable::RegionalByRow { rehoming: true }, true),
+        (
+            "Unoptimized",
+            YcsbTable::RegionalByRow { rehoming: false },
+            false,
+        ),
+        (
+            "Default",
+            YcsbTable::RegionalByRow { rehoming: false },
+            true,
+        ),
+        (
+            "Rehoming",
+            YcsbTable::RegionalByRow { rehoming: true },
+            true,
+        ),
         ("Baseline", YcsbTable::ManualPartition, true),
     ];
     for (i, (name, variant, los)) in variants.into_iter().enumerate() {

@@ -29,9 +29,14 @@ fn run_variant(name: &str, rehoming: bool, contenders: usize, seed: u64) -> Driv
     let regions: Vec<String> = all_regions[..contenders].to_vec();
     let nregions = all_regions.len() as u64;
     let regions_for_home = all_regions.clone();
-    setup_ycsb(&mut db, &all_regions, "usertable", variant, KEYS, move |k| {
-        regions_for_home[(k % nregions) as usize].clone()
-    });
+    setup_ycsb(
+        &mut db,
+        &all_regions,
+        "usertable",
+        variant,
+        KEYS,
+        move |k| regions_for_home[(k % nregions) as usize].clone(),
+    );
     let mut rng = SimRng::seed_from_u64(seed);
     let ops = ops_per_client();
     let nclients = regions.len() as u64;
@@ -39,46 +44,46 @@ fn run_variant(name: &str, rehoming: bool, contenders: usize, seed: u64) -> Driv
     // paper's 10-minute runs do.
     for phase in 0..2 {
         let measuring = phase == 1;
-    let mut driver = ClosedLoop::new();
-    add_clients(
-        &db,
-        &mut driver,
-        &regions,
-        "ycsb",
-        1,
-        &mut rng,
-        |ri, _, global| {
-            Box::new(YcsbGen {
-                table: "usertable".into(),
-                variant,
-                read_fraction: 0.95,
-                insert_workload: false,
-                keys: KeyChooser::Locality {
-                    n: KEYS,
+        let mut driver = ClosedLoop::new();
+        add_clients(
+            &db,
+            &mut driver,
+            &regions,
+            "ycsb",
+            1,
+            &mut rng,
+            |ri, _, global| {
+                Box::new(YcsbGen {
+                    table: "usertable".into(),
+                    variant,
+                    read_fraction: 0.95,
+                    insert_workload: false,
+                    keys: KeyChooser::Locality {
+                        n: KEYS,
+                        nregions,
+                        region_idx: ri as u64,
+                        locality: 0.5,
+                        client_idx: global as u64,
+                        nclients,
+                        shared_remote: Some(SHARED),
+                        remote_set: None,
+                    },
+                    read_mode: ReadMode::Fresh,
+                    regions: three_regions().0,
+                    region_idx: ri,
+                    remaining: Some(ops),
+                    next_insert: 0,
+                    insert_stride: 1,
                     nregions,
-                    region_idx: ri as u64,
-                    locality: 0.5,
-                    client_idx: global as u64,
-                    nclients,
-                    shared_remote: Some(SHARED),
-                    remote_set: None,
-                },
-                read_mode: ReadMode::Fresh,
-                regions: three_regions().0,
-                region_idx: ri,
-                remaining: Some(ops),
-                next_insert: 0,
-                insert_stride: 1,
-                nregions,
-                label_prefix: String::new(),
-            })
-        },
-    );
-    run_to_completion(&mut db, &mut driver);
-    if measuring {
-        report_errors(name, &driver.stats);
-        return driver.stats;
-    }
+                    label_prefix: String::new(),
+                })
+            },
+        );
+        run_to_completion(&mut db, &mut driver);
+        if measuring {
+            report_errors(name, &driver.stats);
+            return driver.stats;
+        }
     }
     unreachable!()
 }

@@ -21,29 +21,43 @@ use mr_workload::Zipf;
 
 const KEYS: u64 = 100_000;
 
-fn drive(db: &mut SqlDb, table: &str, variant: YcsbTable, read_mode: ReadMode, seed: u64) -> DriverStats {
+fn drive(
+    db: &mut SqlDb,
+    table: &str,
+    variant: YcsbTable,
+    read_mode: ReadMode,
+    seed: u64,
+) -> DriverStats {
     let regions = paper_regions();
     let mut driver = ClosedLoop::new();
     let mut rng = SimRng::seed_from_u64(seed);
     let ops = ops_per_client();
     let table = table.to_string();
-    add_clients(db, &mut driver, &regions, "ycsb", 10, &mut rng, |ri, _, _| {
-        Box::new(YcsbGen {
-            table: table.clone(),
-            variant,
-            read_fraction: 0.5,
-            insert_workload: false,
-            keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
-            read_mode,
-            regions: paper_regions(),
-            region_idx: ri,
-            remaining: Some(ops),
-            next_insert: 0,
-            insert_stride: 1,
-            nregions: 5,
-            label_prefix: String::new(),
-        })
-    });
+    add_clients(
+        db,
+        &mut driver,
+        &regions,
+        "ycsb",
+        10,
+        &mut rng,
+        |ri, _, _| {
+            Box::new(YcsbGen {
+                table: table.clone(),
+                variant,
+                read_fraction: 0.5,
+                insert_workload: false,
+                keys: KeyChooser::Zipf(Zipf::ycsb(KEYS)),
+                read_mode,
+                regions: paper_regions(),
+                region_idx: ri,
+                remaining: Some(ops),
+                next_insert: 0,
+                insert_stride: 1,
+                nregions: 5,
+                label_prefix: String::new(),
+            })
+        },
+    );
     run_to_completion(db, &mut driver);
     driver.stats
 }
@@ -51,10 +65,21 @@ fn drive(db: &mut SqlDb, table: &str, variant: YcsbTable, read_mode: ReadMode, s
 fn global_config(offset_ms: u64, seed: u64) -> DriverStats {
     let mut db = five_region_db(offset_ms, seed);
     let regions = paper_regions();
-    setup_ycsb(&mut db, &regions, "usertable", YcsbTable::Global, KEYS, |_| {
-        unreachable!()
-    });
-    drive(&mut db, "usertable", YcsbTable::Global, ReadMode::Fresh, seed)
+    setup_ycsb(
+        &mut db,
+        &regions,
+        "usertable",
+        YcsbTable::Global,
+        KEYS,
+        |_| unreachable!(),
+    );
+    drive(
+        &mut db,
+        "usertable",
+        YcsbTable::Global,
+        ReadMode::Fresh,
+        seed,
+    )
 }
 
 fn regional_config(read_mode: ReadMode, seed: u64) -> DriverStats {
@@ -68,7 +93,13 @@ fn regional_config(read_mode: ReadMode, seed: u64) -> DriverStats {
         KEYS,
         |_| unreachable!(),
     );
-    drive(&mut db, "usertable", YcsbTable::RegionalByTable, read_mode, seed)
+    drive(
+        &mut db,
+        "usertable",
+        YcsbTable::RegionalByTable,
+        read_mode,
+        seed,
+    )
 }
 
 /// The legacy duplicate-indexes topology (§7.3.1): one covering unique
@@ -103,9 +134,16 @@ fn duplicate_indexes_config(seed: u64) -> DriverStats {
         .unwrap();
     }
     let t = db.cluster.now();
-    db.cluster
-        .run_until(multiregion::SimTime(t.nanos() + SimDuration::from_secs(2).nanos()));
-    drive(&mut db, "usertable", YcsbTable::RegionalByTable, ReadMode::Fresh, seed)
+    db.cluster.run_until(multiregion::SimTime(
+        t.nanos() + SimDuration::from_secs(2).nanos(),
+    ));
+    drive(
+        &mut db,
+        "usertable",
+        YcsbTable::RegionalByTable,
+        ReadMode::Fresh,
+        seed,
+    )
 }
 
 fn main() {

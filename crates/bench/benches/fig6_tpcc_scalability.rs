@@ -12,13 +12,13 @@
 //! ceiling exactly as TPC-C does. `MR_TPCC_SECS` lengthens the run,
 //! `MR_TPCC_WH` raises warehouses per region.
 
-use multiregion::{ClusterBuilder, RttMatrix, SimDuration, SimTime};
 use mr_bench::*;
 use mr_sim::SimRng;
 use mr_sql::exec::SqlDb;
 use mr_workload::bulk;
 use mr_workload::driver::ClosedLoop;
 use mr_workload::tpcc::{TpccConfig, TpccTerminal};
+use multiregion::{ClusterBuilder, RttMatrix, SimDuration, SimTime};
 
 fn warehouses_per_region() -> u32 {
     std::env::var("MR_TPCC_WH")
@@ -177,10 +177,7 @@ fn main() {
     );
     // Linearity check printed explicitly.
     if results.len() == 3 {
-        let per_region: Vec<f64> = results
-            .iter()
-            .map(|r| r.tpmc / r.regions as f64)
-            .collect();
+        let per_region: Vec<f64> = results.iter().map(|r| r.tpmc / r.regions as f64).collect();
         println!(
             "tpmC per region: {:.1} / {:.1} / {:.1} (flat = linear scaling)",
             per_region[0], per_region[1], per_region[2]

@@ -138,7 +138,7 @@ fn bench_event_queue(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             q.schedule(SimDuration::from_micros(i % 500), i);
-            if i % 2 == 0 {
+            if i.is_multiple_of(2) {
                 black_box(q.pop());
             }
         });

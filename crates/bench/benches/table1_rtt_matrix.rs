@@ -9,8 +9,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use multiregion::{ClusterBuilder, Datum, SimDuration};
 use mr_sim::RegionId;
+use multiregion::{ClusterBuilder, Datum, SimDuration};
 
 fn main() {
     let regions = mr_sim::RttMatrix::paper_table1_regions();

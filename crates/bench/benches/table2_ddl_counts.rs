@@ -10,8 +10,8 @@
 //! magnitude fewer statements, and region add/drop becoming a single
 //! statement) is the result.
 
-use multiregion::{ClusterBuilder, SqlDb};
 use mr_workload::movr;
+use multiregion::{ClusterBuilder, SqlDb};
 
 struct Schema {
     name: &'static str,
@@ -174,17 +174,11 @@ fn main() {
         ),
         (
             "Adding a region",
-            schemas
-                .iter()
-                .map(|s| (legacy_add_region(s), 1))
-                .collect(),
+            schemas.iter().map(|s| (legacy_add_region(s), 1)).collect(),
         ),
         (
             "Dropping a region",
-            schemas
-                .iter()
-                .map(|s| (legacy_drop_region(s), 1))
-                .collect(),
+            schemas.iter().map(|s| (legacy_drop_region(s), 1)).collect(),
         ),
     ];
 
@@ -192,10 +186,7 @@ fn main() {
         print!("{op:<36}");
         for (si, (before, after)) in counts.iter().enumerate() {
             let (pb, pa) = paper[ri][si];
-            print!(
-                " {:>18}",
-                format!("{before}/{after} [{pb}/{pa}]")
-            );
+            print!(" {:>18}", format!("{before}/{after} [{pb}/{pa}]"));
         }
         println!();
     }
@@ -209,12 +200,14 @@ fn main() {
     // And one-statement region add/drop, for real.
     let sess = db.session_in_region(REGIONS[0], Some("movr"));
     db.exec_sync(&sess, r#"ALTER DATABASE movr ADD REGION "us-east1""#)
-        .err()
-        .expect("already present");
+        .expect_err("already present");
     // Add a region that exists in the topology? Only 3 regions built; so
     // demonstrate drop+re-add of a non-primary region instead.
-    db.exec_sync(&sess, r#"ALTER DATABASE movr DROP REGION "asia-northeast1""#)
-        .unwrap();
+    db.exec_sync(
+        &sess,
+        r#"ALTER DATABASE movr DROP REGION "asia-northeast1""#,
+    )
+    .unwrap();
     db.exec_sync(&sess, r#"ALTER DATABASE movr ADD REGION "asia-northeast1""#)
         .unwrap();
     println!("executed single-statement DROP REGION and ADD REGION round-trip");

@@ -1,44 +1,138 @@
-// perf probe: YCSB-A on REGIONAL table, 5 regions, 50 clients, 500 ops each
-use multiregion::*;
-use mr_workload::driver::ClosedLoop;
-use mr_workload::ycsb::{self, KeyChooser, ReadMode, YcsbGen, YcsbTable};
-use mr_workload::{bulk, Zipf};
+// perf probe: YCSB over a REGIONAL and a GLOBAL table on the paper's five
+// regions. Latency classes are read from the cluster's own kv.op.latency
+// histograms (not harness-side timers) and summarized into BENCH_obs.json:
+// regional reads (lag policy), global reads (lead policy), and
+// global-transaction commits (commit wait included).
+use mr_bench::{
+    add_clients, five_region_db, obs_hist_json, paper_regions, run_to_completion, setup_ycsb,
+    write_obs_exports,
+};
 use mr_sim::SimRng;
+use mr_workload::driver::ClosedLoop;
+use mr_workload::ycsb::{KeyChooser, ReadMode, YcsbGen, YcsbTable};
+use mr_workload::Zipf;
+
+const REGIONAL_KEYS: u64 = 100_000;
+const GLOBAL_KEYS: u64 = 10_000;
+
+fn ops() -> u64 {
+    std::env::var("OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    db: &mut multiregion::SqlDb,
+    regions: &[String],
+    table: &str,
+    variant: YcsbTable,
+    keys: u64,
+    clients_per_region: usize,
+    ops_per_client: u64,
+    seed: &mut SimRng,
+) {
+    let t = std::time::Instant::now();
+    let mut driver = ClosedLoop::new();
+    let nregions = regions.len() as u64;
+    let regions_owned: Vec<String> = regions.to_vec();
+    add_clients(
+        db,
+        &mut driver,
+        regions,
+        "ycsb",
+        clients_per_region,
+        seed,
+        |ri, _, _| {
+            Box::new(YcsbGen {
+                table: table.into(),
+                variant,
+                read_fraction: 0.5,
+                insert_workload: false,
+                keys: KeyChooser::Zipf(Zipf::ycsb(keys)),
+                read_mode: ReadMode::Fresh,
+                regions: regions_owned.clone(),
+                region_idx: ri,
+                remaining: Some(ops_per_client),
+                next_insert: 0,
+                insert_stride: 1,
+                nregions,
+                label_prefix: String::new(),
+            })
+        },
+    );
+    run_to_completion(db, &mut driver);
+    eprintln!(
+        "{table} phase: {:?} ops={} failed={} simtime={}",
+        t.elapsed(),
+        driver.stats.completed,
+        driver.stats.failed,
+        db.cluster.now()
+    );
+}
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let mut db = ClusterBuilder::new().paper_regions().seed(1).build();
-    let regions: Vec<String> = RttMatrix::paper_table1_regions().iter().map(|s| s.to_string()).collect();
-    let sess = db.session_in_region("us-east1", None);
-    db.exec_sync(&sess, r#"CREATE DATABASE ycsb PRIMARY REGION "us-east1" REGIONS "us-west1", "europe-west2", "asia-northeast1", "australia-southeast1""#).unwrap();
-    db.exec_sync(&sess, &ycsb::schema("t", YcsbTable::RegionalByTable, &regions)).unwrap();
-    let rows = ycsb::dataset(YcsbTable::RegionalByTable, 100_000, |_| unreachable!());
-    bulk::load_rows(&mut db, "ycsb", "t", &rows);
-    db.cluster.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    let mut db = five_region_db(250, 1);
+    let regions = paper_regions();
+    setup_ycsb(
+        &mut db,
+        &regions,
+        "t",
+        YcsbTable::RegionalByTable,
+        REGIONAL_KEYS,
+        |_| unreachable!(),
+    );
+    setup_ycsb(
+        &mut db,
+        &regions,
+        "g",
+        YcsbTable::Global,
+        GLOBAL_KEYS,
+        |_| unreachable!(),
+    );
     eprintln!("setup: {:?}", t0.elapsed());
 
-    let t1 = std::time::Instant::now();
-    let mut driver = ClosedLoop::new();
     let mut seed = SimRng::seed_from_u64(2);
-    for region in &regions {
-        for _ in 0..10 {
-            let s = db.session_in_region(region, Some("ycsb"));
-            let gen = YcsbGen {
-                table: "t".into(), variant: YcsbTable::RegionalByTable,
-                read_fraction: 0.5, insert_workload: false,
-                keys: KeyChooser::Zipf(Zipf::ycsb(100_000)),
-                read_mode: ReadMode::Fresh,
-                regions: regions.clone(), region_idx: 0,
-                remaining: Some(std::env::var("OPS").map(|v| v.parse().unwrap()).unwrap_or(500)), next_insert: 0, insert_stride: 1, nregions: 5, label_prefix: String::new(),
-            };
-            driver.add_client(s, seed.fork(), Box::new(gen));
-        }
-    }
-    let ops: u64 = std::env::var("OPS").map(|v| v.parse().unwrap()).unwrap_or(500);
-    let _ = ops;
-    driver.run(&mut db, SimTime(SimDuration::from_secs(100_000).nanos()));
-    eprintln!("metrics: {:?}", db.cluster.metrics);
-    eprintln!("run: {:?} ops={} failed={} simtime={}", t1.elapsed(), driver.stats.completed, driver.stats.failed, db.cluster.now());
-    let mut all = driver.stats.merged(|_| true);
-    eprintln!("p50={} p99={}", all.quantile(0.5), all.quantile(0.99));
+    // Phase 1: REGIONAL table, YCSB-A mix (lag-policy reads and commits).
+    run_phase(
+        &mut db,
+        &regions,
+        "t",
+        YcsbTable::RegionalByTable,
+        REGIONAL_KEYS,
+        10,
+        ops(),
+        &mut seed,
+    );
+    // Phase 2: GLOBAL table (lead-policy reads; commits pay commit wait).
+    run_phase(
+        &mut db,
+        &regions,
+        "g",
+        YcsbTable::Global,
+        GLOBAL_KEYS,
+        5,
+        ops() / 5,
+        &mut seed,
+    );
+
+    let reg = &db.cluster.obs.registry;
+    let regional_reads =
+        reg.histogram_merged_where("kv.op.latency", &[("op", "kv.get"), ("policy", "lag")]);
+    let global_reads =
+        reg.histogram_merged_where("kv.op.latency", &[("op", "kv.get"), ("policy", "lead")]);
+    let global_commits =
+        reg.histogram_merged_where("kv.op.latency", &[("op", "kv.commit"), ("policy", "lead")]);
+    let json = format!(
+        "{{\n  \"regional_reads\": {},\n  \"global_reads\": {},\n  \"global_txn_commits\": {}\n}}\n",
+        obs_hist_json(&regional_reads),
+        obs_hist_json(&global_reads),
+        obs_hist_json(&global_commits)
+    );
+    std::fs::write("BENCH_obs.json", &json).unwrap();
+    write_obs_exports(&db, "perf_probe");
+    eprintln!("metrics: {:?}", db.cluster.metrics());
+    print!("{json}");
 }

@@ -10,11 +10,11 @@
 //! single-digit-minute wall time. Set `MR_OPS_PER_CLIENT` (and
 //! `MR_TPCC_SECS`) to raise the sample counts toward paper scale.
 
-use multiregion::{ClusterBuilder, RttMatrix, SimDuration, SimTime, SqlDb};
 use mr_sim::SimRng;
 use mr_workload::bulk;
 use mr_workload::driver::{ClosedLoop, DriverStats, OpSource};
 use mr_workload::ycsb::{self, YcsbTable};
+use multiregion::{ClusterBuilder, RttMatrix, SimDuration, SimTime, SqlDb};
 
 /// Ops each closed-loop client issues (paper: 50k).
 pub fn ops_per_client() -> u64 {
@@ -159,6 +159,35 @@ pub fn print_cdf(name: &str, rec: &mut mr_sim::LatencyRecorder) {
         print!(" {:>5.1}%:{ms:>8.1}", q * 100.0);
     }
     println!();
+}
+
+/// JSON object for one merged latency histogram (nanosecond values).
+pub fn obs_hist_json(h: &mr_obs::Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+        h.count(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        h.max()
+    )
+}
+
+/// Write a finished run's observability exports next to the bench output:
+/// `<prefix>_metrics.json` / `.csv` (registry dump), `<prefix>_scrapes.csv`
+/// (time series), and `<prefix>_trace.json` (Chrome trace, only when spans
+/// were recorded). All four are deterministic for a fixed seed.
+pub fn write_obs_exports(db: &SqlDb, prefix: &str) {
+    let obs = &db.cluster.obs;
+    std::fs::write(format!("{prefix}_metrics.json"), obs.registry.dump_json()).unwrap();
+    std::fs::write(format!("{prefix}_metrics.csv"), obs.registry.dump_csv()).unwrap();
+    std::fs::write(format!("{prefix}_scrapes.csv"), obs.scraper.export_csv()).unwrap();
+    if !obs.tracer.is_empty() {
+        std::fs::write(
+            format!("{prefix}_trace.json"),
+            obs.tracer.export_chrome_json(),
+        )
+        .unwrap();
+    }
 }
 
 /// Errors-to-stderr summary for a finished run.

@@ -53,6 +53,7 @@
 
 pub use mr_clock as clock;
 pub use mr_kv as kv;
+pub use mr_obs as obs;
 pub use mr_proto as proto;
 pub use mr_raft as raft;
 pub use mr_sim as sim;

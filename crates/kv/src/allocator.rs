@@ -141,8 +141,7 @@ pub fn allocate(topo: &Topology, cfg: &ZoneConfig) -> Result<AllocationOutcome, 
                     .find(|(r, _)| *r == topo.region_of(n))
                     .map(|(_, c)| *c)
                     .unwrap_or(0);
-                region_voter_count(topo.region_of(n), &voters)
-                    < minority_cap.max(constrained)
+                region_voter_count(topo.region_of(n), &voters) < minority_cap.max(constrained)
             })
             .collect();
         all.sort_unstable_by_key(|n| n.0);
@@ -154,7 +153,10 @@ pub fn allocate(topo: &Topology, cfg: &ZoneConfig) -> Result<AllocationOutcome, 
                 available: voters.len(),
             });
         };
-        pools.get_mut(&topo.region_of(n)).unwrap().retain(|&x| x != n);
+        pools
+            .get_mut(&topo.region_of(n))
+            .unwrap()
+            .retain(|&x| x != n);
         voters.push(n);
     }
 
@@ -186,7 +188,10 @@ pub fn allocate(topo: &Topology, cfg: &ZoneConfig) -> Result<AllocationOutcome, 
         all.sort_unstable_by_key(|n| n.0);
         let got = pick_diverse(topo, &mut placed, &mut all, 1);
         let Some(&n) = got.first() else { break };
-        pools.get_mut(&topo.region_of(n)).unwrap().retain(|&x| x != n);
+        pools
+            .get_mut(&topo.region_of(n))
+            .unwrap()
+            .retain(|&x| x != n);
         non_voters.push(n);
     }
 
@@ -326,7 +331,11 @@ mod tests {
 
     #[test]
     fn allocation_fails_without_enough_nodes() {
-        let topo = Topology::build(&["only"], 2, RttMatrix::uniform(1, mr_sim::SimDuration::ZERO));
+        let topo = Topology::build(
+            &["only"],
+            2,
+            RttMatrix::uniform(1, mr_sim::SimDuration::ZERO),
+        );
         let cfg = ZoneConfig::single_region(RegionId(0));
         let err = allocate(&topo, &cfg).unwrap_err();
         assert_eq!(err.missing_region, Some(RegionId(0)));

@@ -53,13 +53,11 @@ impl ClosedTsParams {
     /// `now_ts`.
     pub fn target(&self, policy: ClosedTsPolicy, now_ts: Timestamp) -> Timestamp {
         match policy {
-            ClosedTsPolicy::Lag => Timestamp::new(
-                now_ts.wall.saturating_sub(self.lag.nanos()),
-                0,
-            ),
+            ClosedTsPolicy::Lag => Timestamp::new(now_ts.wall.saturating_sub(self.lag.nanos()), 0),
             // Future-time targets are synthetic: no clock has reached them.
-            ClosedTsPolicy::Lead => Timestamp::new(now_ts.wall + self.lead().nanos(), 0)
-                .as_synthetic(),
+            ClosedTsPolicy::Lead => {
+                Timestamp::new(now_ts.wall + self.lead().nanos(), 0).as_synthetic()
+            }
         }
     }
 }
@@ -99,6 +97,14 @@ impl ClosedTsTracker {
     /// The closed timestamp currently usable for follower reads.
     pub fn closed(&self) -> Timestamp {
         self.active
+    }
+
+    /// Signed distance from `now_wall` back to the closed frontier, in
+    /// nanoseconds. Negative when the frontier *leads* present time, as on
+    /// lead-policy (GLOBAL) ranges. Exposed as the `kv.closedts.lag_nanos`
+    /// gauge at every observability scrape.
+    pub fn lag_nanos(&self, now_wall: u64) -> i64 {
+        now_wall as i64 - self.active.wall as i64
     }
 
     /// A Raft entry carrying `closed` was applied.

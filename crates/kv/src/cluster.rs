@@ -16,12 +16,14 @@
 use std::collections::HashMap;
 
 use mr_clock::{ClockConfig, Hlc, SkewedClock, Timestamp};
+use mr_obs::{Obs, SpanId};
 use mr_proto::{Key, KvError, RangeId, Request, Response, Span, TxnId, Value};
 use mr_raft::{Peer, RaftConfig, RaftMsg, RaftNode};
 use mr_sim::{EventQueue, Link, NodeId, SimDuration, SimRng, SimTime, Topology};
 
 use crate::allocator::{allocate, AllocError};
 use crate::closedts::ClosedTsParams;
+use crate::metrics::{req_kind_index, rpc_span_name, KvMetrics, MetricsView};
 use crate::range::{RangeDescriptor, RangeRegistry};
 use crate::replica::{Command, Effect, EvalCtx, EvalOutcome, Replica, ReplyPath};
 use crate::txn::TxnState;
@@ -69,6 +71,12 @@ pub struct ClusterConfig {
     /// oldest stale-read horizon in use.
     pub gc_interval: SimDuration,
     pub gc_ttl: SimDuration,
+    /// Record structured trace spans from construction on (equivalent to
+    /// `cluster.obs.tracer.set_enabled(true)` right after `new`).
+    pub tracing: bool,
+    /// Snapshot every registry instrument into the scrape series on this
+    /// sim-time interval (`None` disables periodic scrapes).
+    pub obs_scrape_interval: Option<SimDuration>,
 }
 
 impl Default for ClusterConfig {
@@ -93,6 +101,8 @@ impl Default for ClusterConfig {
             lead_slack_override: None,
             gc_interval: SimDuration::from_secs(60),
             gc_ttl: SimDuration::from_secs(30),
+            tracing: false,
+            obs_scrape_interval: Some(SimDuration::from_secs(1)),
         }
     }
 }
@@ -142,32 +152,6 @@ impl Default for ReadOptions {
     }
 }
 
-/// Counters exposed for tests and experiment harnesses.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Metrics {
-    pub rpcs_sent: u64,
-    pub follower_reads_served: u64,
-    pub follower_read_redirects: u64,
-    pub uncertainty_restarts: u64,
-    pub refreshes: u64,
-    pub refresh_failures: u64,
-    pub commit_waits: u64,
-    pub commit_wait_nanos: u64,
-    pub txn_commits: u64,
-    pub txn_aborts: u64,
-    pub txn_restarts: u64,
-    pub lease_transfers: u64,
-    /// Total calendar events processed (perf diagnostics).
-    pub events_processed: u64,
-    pub parked_requests: u64,
-    pub ev_rpc: u64,
-    pub ev_raft: u64,
-    pub ev_tick: u64,
-    pub ev_side: u64,
-    pub ev_wake: u64,
-    pub gc_versions_removed: u64,
-}
-
 /// One simulated node: clock + replicas.
 pub struct Node {
     pub id: NodeId,
@@ -200,6 +184,9 @@ enum Event {
     RpcTimeout {
         req_id: u64,
     },
+    /// Periodic observability scrape: refresh derived gauges and snapshot
+    /// the registry into the scrape series.
+    ObsScrape,
 }
 
 struct Envelope {
@@ -215,12 +202,22 @@ enum Body {
 
 struct PendingRpc {
     cont: Cont<KvResult<Response>>,
+    /// The RPC's trace span, finished when the response/timeout arrives.
+    /// Server-side evaluation attaches events to it via the request id.
+    span: Option<SpanId>,
 }
 
 /// The simulated multi-region cluster.
 pub struct Cluster {
     pub cfg: ClusterConfig,
-    pub metrics: Metrics,
+    /// Observability bundle: metrics registry, tracer, scrape series.
+    pub obs: Obs,
+    /// Pre-bound instrument handles (hot-path increments).
+    pub(crate) m: KvMetrics,
+    /// Ambient trace parent: the span under which synchronously-entered
+    /// client operations (txn begin, stale reads) open their spans. The SQL
+    /// layer points this at the current statement's span.
+    pub trace_parent: Option<SpanId>,
     queue: EventQueue<Event>,
     topo: Topology,
     rng: SimRng,
@@ -268,9 +265,16 @@ impl Cluster {
                 }
             })
             .collect();
+        let obs = Obs::new();
+        if cfg.tracing {
+            obs.tracer.set_enabled(true);
+        }
+        let m = KvMetrics::bind(&obs.registry);
         let mut c = Cluster {
             cfg,
-            metrics: Metrics::default(),
+            obs,
+            m,
+            trace_parent: None,
             queue: EventQueue::new(),
             topo,
             rng,
@@ -290,6 +294,9 @@ impl Cluster {
         c.queue
             .schedule(cfg.side_transport_interval, Event::SideTransport);
         c.queue.schedule(cfg.gc_interval, Event::GcTick);
+        if let Some(interval) = cfg.obs_scrape_interval {
+            c.queue.schedule(interval, Event::ObsScrape);
+        }
         c
     }
 
@@ -311,6 +318,17 @@ impl Cluster {
 
     pub fn rng_mut(&mut self) -> &mut SimRng {
         &mut self.rng
+    }
+
+    /// Point-in-time copy of the KV counters (tests, harnesses). Richer
+    /// queries — labels, histograms, dumps — go through `obs.registry`.
+    pub fn metrics(&self) -> MetricsView {
+        self.m.view()
+    }
+
+    /// The region name of a node's locality.
+    pub fn region_name_of(&self, n: NodeId) -> &str {
+        self.topo.region_name(self.topo.region_of(n))
     }
 
     /// The gateway's current HLC reading.
@@ -497,10 +515,7 @@ impl Cluster {
         };
         // Raft leadership transfer.
         let msgs = {
-            let rep = self.nodes[old.0 as usize]
-                .replicas
-                .get_mut(&range)
-                .unwrap();
+            let rep = self.nodes[old.0 as usize].replicas.get_mut(&range).unwrap();
             let target_peer = rep.peer_for_node(to).expect("target peer");
             rep.raft.transfer_leadership(target_peer)
         };
@@ -516,7 +531,7 @@ impl Cluster {
                 .raise_low_water(old_hlc.add_duration(self.cfg.clock.max_offset));
         }
         self.registry.get_mut(range).unwrap().leaseholder = to;
-        self.metrics.lease_transfers += 1;
+        self.m.lease_transfers.inc();
     }
 
     /// Remove a range entirely (table drop or partition-layout rewrite).
@@ -568,16 +583,14 @@ impl Cluster {
         let Some((_, ev)) = self.queue.pop() else {
             return false;
         };
-        self.metrics.events_processed += 1;
+        self.m.events_processed.inc();
         match &ev {
-            Event::Rpc { .. } => self.metrics.ev_rpc += 1,
-            Event::Raft { .. } => self.metrics.ev_raft += 1,
-            Event::RaftTick => self.metrics.ev_tick += 1,
-            Event::SideTransport | Event::SideTransportDeliver { .. } => {
-                self.metrics.ev_side += 1
-            }
-            Event::Wake(_) => self.metrics.ev_wake += 1,
-            Event::RpcTimeout { .. } | Event::GcTick => {}
+            Event::Rpc { .. } => self.m.ev_rpc.inc(),
+            Event::Raft { .. } => self.m.ev_raft.inc(),
+            Event::RaftTick => self.m.ev_tick.inc(),
+            Event::SideTransport | Event::SideTransportDeliver { .. } => self.m.ev_side.inc(),
+            Event::Wake(_) => self.m.ev_wake.inc(),
+            Event::RpcTimeout { .. } | Event::GcTick | Event::ObsScrape => {}
         }
         match ev {
             Event::Rpc { from, to, env } => self.handle_rpc(from, to, env),
@@ -590,17 +603,26 @@ impl Cluster {
             } => {
                 if self.cfg.trace {
                     let kind = match &msg {
-                        mr_raft::RaftMsg::AppendEntries { entries, commit, .. } => {
+                        mr_raft::RaftMsg::AppendEntries {
+                            entries, commit, ..
+                        } => {
                             format!("append(n={}, commit={commit})", entries.len())
                         }
-                        mr_raft::RaftMsg::AppendResp { success, match_index, .. } => {
+                        mr_raft::RaftMsg::AppendResp {
+                            success,
+                            match_index,
+                            ..
+                        } => {
                             format!("resp(ok={success}, match={match_index})")
                         }
                         mr_raft::RaftMsg::RequestVote { .. } => "vote?".into(),
                         mr_raft::RaftMsg::VoteResp { .. } => "vote!".into(),
                         mr_raft::RaftMsg::TimeoutNow { .. } => "timeoutnow".into(),
                     };
-                    eprintln!("[{}] raft {from_peer}->{to_node} {range} {kind}", self.queue.now());
+                    eprintln!(
+                        "[{}] raft {from_peer}->{to_node} {range} {kind}",
+                        self.queue.now()
+                    );
                 }
                 self.handle_raft(to_node, range, gen, from_peer, msg)
             }
@@ -617,12 +639,12 @@ impl Cluster {
             }
             Event::RpcTimeout { req_id } => {
                 if let Some(p) = self.pending.remove(&req_id) {
-                    (p.cont)(
-                        self,
-                        Err(KvError::RangeUnavailable { range: RangeId(0) }),
-                    );
+                    self.obs.tracer.attr(p.span, "result", "timeout");
+                    self.obs.tracer.finish(p.span, self.queue.now());
+                    (p.cont)(self, Err(KvError::RangeUnavailable { range: RangeId(0) }));
                 }
             }
+            Event::ObsScrape => self.handle_obs_scrape(),
         }
         true
     }
@@ -673,23 +695,42 @@ impl Cluster {
     // ------------------------------------------------------------------
 
     /// Send `req` to the replica of `range` on `target`; `cont` fires with
-    /// the response, a routing error, or a timeout.
+    /// the response, a routing error, or a timeout. Opens an `rpc.<kind>`
+    /// span under `parent` covering the full round trip.
     pub(crate) fn send_request(
         &mut self,
         gateway: NodeId,
         target: NodeId,
         range: RangeId,
         req: Request,
+        parent: Option<SpanId>,
         cont: Cont<KvResult<Response>>,
     ) {
         let req_id = self.next_req;
         self.next_req += 1;
-        self.metrics.rpcs_sent += 1;
+        self.m.rpcs_sent.inc();
+        self.m.rpcs_by_kind[req_kind_index(&req)].inc();
         let now = self.queue.now();
+        let span = self.obs.tracer.start(rpc_span_name(&req), parent, now);
+        if span.is_some() {
+            self.obs
+                .tracer
+                .attr(span, "from", format!("n{}", gateway.0));
+            self.obs.tracer.attr(
+                span,
+                "from_region",
+                self.region_name_of(gateway).to_string(),
+            );
+            self.obs.tracer.attr(span, "to", format!("n{}", target.0));
+            self.obs
+                .tracer
+                .attr(span, "to_region", self.region_name_of(target).to_string());
+            self.obs.tracer.attr(span, "range", format!("{range}"));
+        }
         let hlc_ts = self.nodes[gateway.0 as usize].hlc.now(now);
         match self.topo.link(gateway, target, &mut self.rng) {
             Link::Deliver(d) => {
-                self.pending.insert(req_id, PendingRpc { cont });
+                self.pending.insert(req_id, PendingRpc { cont, span });
                 if let Some(t) = self.cfg.rpc_timeout {
                     self.queue.schedule(t, Event::RpcTimeout { req_id });
                 }
@@ -707,6 +748,8 @@ impl Cluster {
                 );
             }
             Link::Unreachable => {
+                self.obs.tracer.attr(span, "result", "unreachable");
+                self.obs.tracer.finish(span, now);
                 cont(self, Err(KvError::RangeUnavailable { range }));
             }
         }
@@ -792,6 +835,14 @@ impl Cluster {
             }
             Body::Resp(result) => {
                 if let Some(p) = self.pending.remove(&env.req_id) {
+                    if p.span.is_some() {
+                        let outcome = match &result {
+                            Ok(_) => "ok".to_string(),
+                            Err(e) => format!("err: {e}"),
+                        };
+                        self.obs.tracer.attr(p.span, "result", outcome);
+                    }
+                    self.obs.tracer.finish(p.span, now);
                     (p.cont)(self, result);
                 }
             }
@@ -842,25 +893,43 @@ impl Cluster {
                 EvalOutcome::Parked { .. } => "parked".to_string(),
                 EvalOutcome::Proposed { .. } => "proposed".to_string(),
             };
-            eprintln!("[{}] eval at {node} range {range} lh={is_leaseholder} -> {kind}", self.queue.now());
+            eprintln!(
+                "[{}] eval at {node} range {range} lh={is_leaseholder} -> {kind}",
+                self.queue.now()
+            );
+        }
+        // Server-side causality: annotate the in-flight RPC's span with
+        // where and how the request evaluated.
+        let rpc_span = self.pending.get(&path.req_id).and_then(|p| p.span);
+        if rpc_span.is_some() {
+            let kind = match &outcome {
+                EvalOutcome::Reply(Ok(_)) => "reply-ok".to_string(),
+                EvalOutcome::Reply(Err(e)) => format!("reply-err: {e}"),
+                EvalOutcome::Parked { holder, .. } => format!("parked behind {}", holder.id),
+                EvalOutcome::Proposed { .. } => "proposed to raft".to_string(),
+            };
+            let msg = format!(
+                "eval at n{} ({}) lh={is_leaseholder}: {kind}",
+                node.0,
+                self.region_name_of(node)
+            );
+            self.obs.tracer.event(rpc_span, now, msg);
         }
         match outcome {
             EvalOutcome::Reply(result) => {
                 if is_follower_read {
                     match &result {
-                        Ok(_) => self.metrics.follower_reads_served += 1,
+                        Ok(_) => self.m.follower_reads_served.inc(),
                         // Uncertainty is part of the protocol, not a
                         // locality miss; count only true redirects.
-                        Err(e) if e.is_redirect() => {
-                            self.metrics.follower_read_redirects += 1
-                        }
+                        Err(e) if e.is_redirect() => self.m.follower_read_redirects.inc(),
                         Err(_) => {}
                     }
                 }
                 self.send_response(node, path, result);
             }
             EvalOutcome::Parked { key, holder } => {
-                self.metrics.parked_requests += 1;
+                self.m.parked_requests.inc();
                 self.start_pusher(node, range, key, holder);
             }
             EvalOutcome::Proposed { msgs } => {
@@ -915,6 +984,16 @@ impl Cluster {
             for eff in effects {
                 match eff {
                     Effect::Reply { path, result } => {
+                        let rpc_span = self.pending.get(&path.req_id).and_then(|p| p.span);
+                        if rpc_span.is_some() {
+                            let now = self.queue.now();
+                            let msg = format!(
+                                "raft applied at n{} ({}), replying",
+                                node.0,
+                                self.region_name_of(node)
+                            );
+                            self.obs.tracer.event(rpc_span, now, msg);
+                        }
                         self.send_response(node, path, result);
                     }
                     Effect::ReEval { waiter } => {
@@ -970,7 +1049,7 @@ impl Cluster {
                 .raise_low_water(hlc_now.add_duration(self.cfg.clock.max_offset));
         }
         self.registry.get_mut(range).unwrap().leaseholder = node;
-        self.metrics.lease_transfers += 1;
+        self.m.lease_transfers.inc();
     }
 
     fn handle_raft_tick(&mut self) {
@@ -999,10 +1078,7 @@ impl Cluster {
     fn handle_gc_tick(&mut self) {
         self.queue.schedule(self.cfg.gc_interval, Event::GcTick);
         let now = self.queue.now();
-        let threshold = Timestamp::new(
-            now.nanos().saturating_sub(self.cfg.gc_ttl.nanos()),
-            0,
-        );
+        let threshold = Timestamp::new(now.nanos().saturating_sub(self.cfg.gc_ttl.nanos()), 0);
         if threshold.is_zero() {
             return;
         }
@@ -1012,7 +1088,53 @@ impl Cluster {
                 removed += rep.store.gc(threshold);
             }
         }
-        self.metrics.gc_versions_removed += removed as u64;
+        self.m.gc_versions_removed.add(removed as u64);
+    }
+
+    /// Refresh derived gauges (closed-timestamp lag per policy, lock
+    /// contention, in-flight ops) and snapshot the registry into the scrape
+    /// series. Runs on `obs_scrape_interval`.
+    fn handle_obs_scrape(&mut self) {
+        if let Some(interval) = self.cfg.obs_scrape_interval {
+            self.queue.schedule(interval, Event::ObsScrape);
+        }
+        let now = self.queue.now();
+        // Worst (largest) closed-timestamp lag across replicas, split by
+        // policy. Negative values mean the closed frontier leads present
+        // time, as lead-policy (GLOBAL) ranges are designed to.
+        let mut worst_lag: Option<i64> = None;
+        let mut worst_lead: Option<i64> = None;
+        let mut waiters = 0u64;
+        let mut locked_keys = 0u64;
+        for d in self.registry.iter() {
+            let lead_policy = d.zone_config.closed_ts_policy == ClosedTsPolicy::Lead;
+            for n in d.replica_nodes() {
+                let Some(rep) = self.nodes[n.0 as usize].replicas.get(&d.id) else {
+                    continue;
+                };
+                let lag = rep.tracker.lag_nanos(now.nanos());
+                let worst = if lead_policy {
+                    &mut worst_lead
+                } else {
+                    &mut worst_lag
+                };
+                *worst = Some(worst.map_or(lag, |w| w.max(lag)));
+                if n == d.leaseholder {
+                    waiters += rep.locks.total_waiters() as u64;
+                    locked_keys += rep.locks.locked_key_count() as u64;
+                }
+            }
+        }
+        let r = &self.obs.registry;
+        r.gauge("kv.closedts.lag_nanos", &[("policy", "lag")])
+            .set(worst_lag.unwrap_or(0));
+        r.gauge("kv.closedts.lag_nanos", &[("policy", "lead")])
+            .set(worst_lead.unwrap_or(0));
+        r.gauge("kv.locks.waiters", &[]).set(waiters as i64);
+        r.gauge("kv.locks.held_keys", &[]).set(locked_keys as i64);
+        r.gauge("kv.ops.outstanding", &[])
+            .set(self.outstanding_ops as i64);
+        self.obs.scrape(now);
     }
 
     fn handle_side_transport(&mut self) {
@@ -1023,8 +1145,7 @@ impl Cluster {
         let lag_enabled = self.cfg.lag_side_transport;
         // Batch updates per (source leaseholder, destination) pair — the
         // CRDB side transport is node-to-node, not per-range.
-        let mut batches: HashMap<(NodeId, NodeId), Vec<(RangeId, Timestamp, u64)>> =
-            HashMap::new();
+        let mut batches: HashMap<(NodeId, NodeId), Vec<(RangeId, Timestamp, u64)>> = HashMap::new();
         let descs: Vec<(RangeId, NodeId, ClosedTsPolicy, Vec<NodeId>)> = self
             .registry
             .iter()

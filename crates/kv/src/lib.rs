@@ -9,6 +9,8 @@
 //!   placement (§3.2);
 //! * [`range`] — range descriptors and the key → range routing table;
 //! * [`locks`] — per-leaseholder lock wait-queues;
+//! * [`metrics`] — pre-bound [`mr_obs`] instrument handles shared by the
+//!   event loop and the transaction coordinator;
 //! * [`closedts`] — closed-timestamp targets, trackers and the side
 //!   transport (§5.1.1, §6.2.1);
 //! * [`replica`] — per-node replica state: MVCC store, Raft instance,
@@ -25,6 +27,7 @@ pub mod allocator;
 pub mod closedts;
 pub mod cluster;
 pub mod locks;
+pub mod metrics;
 pub mod range;
 pub mod replica;
 pub mod txn;
@@ -33,8 +36,7 @@ pub mod zone;
 pub use allocator::{allocate, AllocationOutcome, Placement};
 pub use closedts::{ClosedTsParams, ClosedTsTracker};
 pub use cluster::{Cluster, ClusterConfig, KvResult, ReadOptions, Staleness};
+pub use metrics::MetricsView;
 pub use range::{RangeDescriptor, RangeRegistry};
 pub use txn::TxnHandle;
-pub use zone::{
-    derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal, ZoneConfig,
-};
+pub use zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal, ZoneConfig};

@@ -49,7 +49,11 @@ impl LockTable {
 
     /// Record that `waiter` is blocked on `key`.
     pub fn enqueue(&mut self, key: &Key, waiter: WaiterId) {
-        self.queues.entry(key.clone()).or_default().waiters.push_back(waiter);
+        self.queues
+            .entry(key.clone())
+            .or_default()
+            .waiters
+            .push_back(waiter);
     }
 
     /// The transaction currently holding the lock on `key`.
@@ -67,10 +71,7 @@ impl LockTable {
         self.queues
             .iter()
             .filter(|(k, q)| {
-                span.contains(k)
-                    && q.holder
-                        .as_ref()
-                        .is_some_and(|h| Some(h.id) != exclude)
+                span.contains(k) && q.holder.as_ref().is_some_and(|h| Some(h.id) != exclude)
             })
             .map(|(k, q)| (k, q.holder.as_ref().unwrap()))
             .min_by_key(|(k, _)| (*k).clone())

@@ -1,0 +1,201 @@
+//! Pre-bound [`mr_obs`] instrument handles for the KV layer.
+//!
+//! The cluster event loop and the transaction coordinator used to keep two
+//! separate sets of ad-hoc `u64` counters; both now increment the same
+//! registry instruments through the handles below. Handles are bound once at
+//! cluster construction so the hot paths (one `Cell` store per increment)
+//! never touch the registry's maps.
+//!
+//! Naming scheme: `kv.<component>.<what>`, labels sorted. See DESIGN.md
+//! ("Observability") for the full metric table.
+
+use mr_obs::{Counter, HistogramHandle, Registry};
+
+/// Request kinds, used as the `kind` label on `kv.rpc.sent_by_kind` and as
+/// RPC span names (`rpc.<kind>`).
+pub(crate) const REQ_KINDS: [&str; 9] = [
+    "get",
+    "scan",
+    "put",
+    "end_txn",
+    "commit_inline",
+    "resolve_intent",
+    "refresh",
+    "push_txn",
+    "negotiate",
+];
+
+/// Map a request to its `REQ_KINDS` index.
+pub(crate) fn req_kind_index(req: &mr_proto::Request) -> usize {
+    use mr_proto::Request::*;
+    match req {
+        Get { .. } => 0,
+        Scan { .. } => 1,
+        Put { .. } => 2,
+        EndTxn { .. } => 3,
+        CommitInline { .. } => 4,
+        ResolveIntent { .. } => 5,
+        Refresh { .. } => 6,
+        PushTxn { .. } => 7,
+        Negotiate { .. } => 8,
+    }
+}
+
+/// Span name for an RPC carrying `req` (`"rpc.get"`, `"rpc.put"`, …).
+pub(crate) fn rpc_span_name(req: &mr_proto::Request) -> &'static str {
+    const NAMES: [&str; 9] = [
+        "rpc.get",
+        "rpc.scan",
+        "rpc.put",
+        "rpc.end_txn",
+        "rpc.commit_inline",
+        "rpc.resolve_intent",
+        "rpc.refresh",
+        "rpc.push_txn",
+        "rpc.negotiate",
+    ];
+    NAMES[req_kind_index(req)]
+}
+
+/// Every KV instrument, bound once per cluster.
+pub(crate) struct KvMetrics {
+    pub rpcs_sent: Counter,
+    pub rpcs_by_kind: [Counter; 9],
+    pub follower_reads_served: Counter,
+    pub follower_read_redirects: Counter,
+    pub uncertainty_restarts: Counter,
+    pub refreshes: Counter,
+    pub refresh_failures: Counter,
+    pub commit_waits: Counter,
+    pub commit_wait_nanos: Counter,
+    pub txn_commits: Counter,
+    pub txn_aborts: Counter,
+    pub txn_restarts: Counter,
+    pub lease_transfers: Counter,
+    pub events_processed: Counter,
+    pub parked_requests: Counter,
+    pub ev_rpc: Counter,
+    pub ev_raft: Counter,
+    pub ev_tick: Counter,
+    pub ev_side: Counter,
+    pub ev_wake: Counter,
+    pub gc_versions_removed: Counter,
+    /// Commit-wait durations in nanoseconds (§6.2).
+    pub commit_wait_latency: HistogramHandle,
+}
+
+impl KvMetrics {
+    pub fn bind(r: &Registry) -> KvMetrics {
+        let ev = |kind: &str| r.counter("kv.events.by_kind", &[("kind", kind)]);
+        KvMetrics {
+            rpcs_sent: r.counter("kv.rpc.sent", &[]),
+            rpcs_by_kind: REQ_KINDS.map(|kind| r.counter("kv.rpc.sent_by_kind", &[("kind", kind)])),
+            follower_reads_served: r.counter("kv.read.follower.served", &[]),
+            follower_read_redirects: r.counter("kv.read.follower.redirects", &[]),
+            uncertainty_restarts: r.counter("kv.txn.uncertainty_restarts", &[]),
+            refreshes: r.counter("kv.txn.refreshes", &[]),
+            refresh_failures: r.counter("kv.txn.refresh_failures", &[]),
+            commit_waits: r.counter("kv.txn.commit_waits", &[]),
+            commit_wait_nanos: r.counter("kv.txn.commit_wait_nanos", &[]),
+            txn_commits: r.counter("kv.txn.commits", &[]),
+            txn_aborts: r.counter("kv.txn.aborts", &[]),
+            txn_restarts: r.counter("kv.txn.restarts", &[]),
+            lease_transfers: r.counter("kv.lease.transfers", &[]),
+            events_processed: r.counter("kv.events.processed", &[]),
+            parked_requests: r.counter("kv.requests.parked", &[]),
+            ev_rpc: ev("rpc"),
+            ev_raft: ev("raft"),
+            ev_tick: ev("tick"),
+            ev_side: ev("side"),
+            ev_wake: ev("wake"),
+            gc_versions_removed: r.counter("kv.gc.versions_removed", &[]),
+            commit_wait_latency: r.histogram("kv.txn.commit_wait.latency", &[]),
+        }
+    }
+}
+
+/// Point-in-time copy of the KV counters, field-compatible with the old
+/// `Metrics` struct so tests and harnesses read `cluster.metrics().X`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsView {
+    pub rpcs_sent: u64,
+    pub follower_reads_served: u64,
+    pub follower_read_redirects: u64,
+    pub uncertainty_restarts: u64,
+    pub refreshes: u64,
+    pub refresh_failures: u64,
+    pub commit_waits: u64,
+    pub commit_wait_nanos: u64,
+    pub txn_commits: u64,
+    pub txn_aborts: u64,
+    pub txn_restarts: u64,
+    pub lease_transfers: u64,
+    /// Total calendar events processed (perf diagnostics).
+    pub events_processed: u64,
+    pub parked_requests: u64,
+    pub ev_rpc: u64,
+    pub ev_raft: u64,
+    pub ev_tick: u64,
+    pub ev_side: u64,
+    pub ev_wake: u64,
+    pub gc_versions_removed: u64,
+}
+
+impl KvMetrics {
+    pub fn view(&self) -> MetricsView {
+        MetricsView {
+            rpcs_sent: self.rpcs_sent.get(),
+            follower_reads_served: self.follower_reads_served.get(),
+            follower_read_redirects: self.follower_read_redirects.get(),
+            uncertainty_restarts: self.uncertainty_restarts.get(),
+            refreshes: self.refreshes.get(),
+            refresh_failures: self.refresh_failures.get(),
+            commit_waits: self.commit_waits.get(),
+            commit_wait_nanos: self.commit_wait_nanos.get(),
+            txn_commits: self.txn_commits.get(),
+            txn_aborts: self.txn_aborts.get(),
+            txn_restarts: self.txn_restarts.get(),
+            lease_transfers: self.lease_transfers.get(),
+            events_processed: self.events_processed.get(),
+            parked_requests: self.parked_requests.get(),
+            ev_rpc: self.ev_rpc.get(),
+            ev_raft: self.ev_raft.get(),
+            ev_tick: self.ev_tick.get(),
+            ev_side: self.ev_side.get(),
+            ev_wake: self.ev_wake.get(),
+            gc_versions_removed: self.gc_versions_removed.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_handles_share_the_registry() {
+        let r = Registry::new();
+        let m = KvMetrics::bind(&r);
+        m.txn_commits.inc();
+        m.rpcs_by_kind[req_kind_index(&mr_proto::Request::PushTxn {
+            pushee: mr_proto::TxnId(1),
+            anchor: mr_proto::Key::from("a"),
+        })]
+        .inc();
+        assert_eq!(r.counter_total("kv.txn.commits"), 1);
+        assert_eq!(r.counter_total("kv.rpc.sent_by_kind"), 1);
+        // A second bind sees the same instruments (single source of truth).
+        let m2 = KvMetrics::bind(&r);
+        assert_eq!(m2.txn_commits.get(), 1);
+        assert_eq!(m.view().txn_commits, 1);
+    }
+
+    #[test]
+    fn rpc_span_names_align_with_kinds() {
+        let req = mr_proto::Request::Negotiate {
+            spans: vec![mr_proto::Span::point(mr_proto::Key::from("k"))],
+        };
+        assert_eq!(rpc_span_name(&req), "rpc.negotiate");
+        assert_eq!(REQ_KINDS[req_kind_index(&req)], "negotiate");
+    }
+}

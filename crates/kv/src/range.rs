@@ -9,8 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use mr_sim::{NodeId, Topology};
 use mr_proto::{Key, RangeId, Span};
+use mr_sim::{NodeId, Topology};
 
 use crate::allocator::Placement;
 use crate::zone::ZoneConfig;

@@ -108,9 +108,7 @@ pub enum EvalOutcome {
     Parked { key: Key, holder: TxnMeta },
     /// A command was proposed; the response fires when it applies. The Raft
     /// messages must be delivered by the caller.
-    Proposed {
-        msgs: Vec<(Peer, RaftMsg<Command>)>,
-    },
+    Proposed { msgs: Vec<(Peer, RaftMsg<Command>)> },
 }
 
 /// Context the cluster supplies for each evaluation.
@@ -376,11 +374,14 @@ impl Replica {
         let waiter = self.next_waiter;
         self.next_waiter += 1;
         self.locks.enqueue(&key, waiter);
-        self.parked.insert(waiter, ParkedReq {
-            req,
-            path,
-            key: key.clone(),
-        });
+        self.parked.insert(
+            waiter,
+            ParkedReq {
+                req,
+                path,
+                key: key.clone(),
+            },
+        );
         // Identify the blocking transaction: prefer the in-flight lock
         // holder, else the applied intent. If the lock table has no holder
         // (the intent predates this replica's lease — state copy or
@@ -552,10 +553,7 @@ impl Replica {
     ) -> EvalOutcome {
         // Conflict check across all write keys.
         for (key, _) in &writes {
-            let blocked = self
-                .locks
-                .holder(key)
-                .is_some_and(|h| h.id != txn.id);
+            let blocked = self.locks.holder(key).is_some_and(|h| h.id != txn.id);
             if blocked {
                 let k = key.clone();
                 return self.park(
@@ -728,10 +726,7 @@ impl Replica {
     /// Propose a leader no-op if this replica leads a term whose log tail
     /// predates it (commits earlier-term entries; required after elections
     /// and leadership transfers).
-    pub fn maybe_propose_leader_noop(
-        &mut self,
-        now: SimTime,
-    ) -> Vec<(Peer, RaftMsg<Command>)> {
+    pub fn maybe_propose_leader_noop(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<Command>)> {
         if !self.raft.is_leader() || self.raft.last_log_term() == self.raft.term() {
             return Vec::new();
         }
@@ -806,7 +801,8 @@ impl Replica {
                     // else: the intent stays locked until the coordinator's
                     // post-commit-wait resolve (Spanner-style ablation).
                 }
-                self.txn_records.insert(*txn_id, (TxnStatus::Committed, *commit_ts));
+                self.txn_records
+                    .insert(*txn_id, (TxnStatus::Committed, *commit_ts));
             }
             CmdOp::Resolve {
                 key,
@@ -869,14 +865,7 @@ mod tests {
         };
         let mut raft = RaftNode::new(cfg, SimTime::ZERO);
         raft.bootstrap_leader(SimTime::ZERO);
-        let replica = Replica::new(
-            RangeId(1),
-            NodeId(0),
-            0,
-            vec![NodeId(0)],
-            raft,
-            policy,
-        );
+        let replica = Replica::new(RangeId(1), NodeId(0), 0, vec![NodeId(0)], raft, policy);
         (replica, Hlc::new(SkewedClock::zero()))
     }
 
@@ -900,6 +889,7 @@ mod tests {
         TxnMeta::new(TxnId(id), Key::from("k"), ts)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn do_put(
         r: &mut Replica,
         hlc: &mut Hlc,
@@ -922,14 +912,13 @@ mod tests {
         );
         assert!(matches!(out, EvalOutcome::Proposed { .. }));
         let effects = r.apply_committed();
-        match effects
-            .iter()
-            .find_map(|e| match e {
-                Effect::Reply { result: Ok(Response::Put { written_ts }), .. } => {
-                    Some(*written_ts)
-                }
-                _ => None,
-            }) {
+        match effects.iter().find_map(|e| match e {
+            Effect::Reply {
+                result: Ok(Response::Put { written_ts }),
+                ..
+            } => Some(*written_ts),
+            _ => None,
+        }) {
             Some(ts) => ts,
             None => panic!("no put reply in {effects:?}"),
         }
@@ -1069,7 +1058,10 @@ mod tests {
         );
         match out {
             EvalOutcome::Reply(Ok(Response::Get { value, .. })) => assert_eq!(value, None),
-            o => panic!("reader should not block: {:?}", matches!(o, EvalOutcome::Parked { .. })),
+            o => panic!(
+                "reader should not block: {:?}",
+                matches!(o, EvalOutcome::Parked { .. })
+            ),
         }
         // A reader whose uncertainty interval does reach the intent parks.
         let rctx = ReadCtx::fresh(now, now.add_duration(SimDuration::from_millis(700)));
@@ -1256,7 +1248,10 @@ mod tests {
             &ectx(&params, 0),
         );
         match out {
-            EvalOutcome::Reply(Ok(Response::PushTxn { status, commit_ts: c })) => {
+            EvalOutcome::Reply(Ok(Response::PushTxn {
+                status,
+                commit_ts: c,
+            })) => {
                 assert_eq!(status, TxnStatus::Committed);
                 assert_eq!(c, commit_ts);
             }

@@ -25,6 +25,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use mr_clock::Timestamp;
+use mr_obs::SpanId;
 use mr_proto::{Key, KvError, ReadCtx, Request, Response, Span, TxnId, TxnMeta, TxnStatus, Value};
 use mr_sim::{NodeId, SimDuration};
 
@@ -63,6 +64,8 @@ pub(crate) struct TxnState {
     pub buffered: Vec<(Key, Option<Value>)>,
     pub epoch: u32,
     pub finished: bool,
+    /// The transaction's trace span (operation spans nest under it).
+    pub span: Option<SpanId>,
 }
 
 impl TxnState {
@@ -113,12 +116,25 @@ impl Cluster {
     // Transaction lifecycle
     // ------------------------------------------------------------------
 
-    /// Open a transaction coordinated by `gateway`.
+    /// Open a transaction coordinated by `gateway`. Its trace span nests
+    /// under the ambient `trace_parent` (the SQL statement, if any).
     pub fn txn_begin(&mut self, gateway: NodeId) -> TxnHandle {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         let read_ts = self.hlc_now(gateway);
         let limit = read_ts.add_duration(self.cfg.clock.max_offset);
+        let span = self.obs.tracer.start("txn", self.trace_parent, self.now());
+        if span.is_some() {
+            self.obs.tracer.attr(span, "txn", format!("{id}"));
+            self.obs
+                .tracer
+                .attr(span, "gateway", format!("n{}", gateway.0));
+            self.obs.tracer.attr(
+                span,
+                "gateway_region",
+                self.region_name_of(gateway).to_string(),
+            );
+        }
         self.txns.insert(
             id,
             TxnState {
@@ -133,6 +149,7 @@ impl Cluster {
                 buffered: Vec::new(),
                 epoch: 0,
                 finished: false,
+                span,
             },
         );
         TxnHandle { id, gateway }
@@ -140,8 +157,10 @@ impl Cluster {
 
     /// Transactional point read.
     pub fn txn_get(&mut self, h: TxnHandle, key: Key, cont: Cont<KvResult<Option<Value>>>) {
-        let cont = self.wrap_op(cont);
-        self.txn_get_inner(h.id, key, cont);
+        let policy = self.policy_of(&key);
+        let parent = self.txn_span(h.id);
+        let (span, cont) = self.instrument_op("kv.get", policy, h.gateway, parent, cont);
+        self.txn_get_inner(h.id, key, span, cont);
     }
 
     /// Transactional scan (bounded by `max_keys`).
@@ -152,8 +171,10 @@ impl Cluster {
         max_keys: usize,
         cont: Cont<KvResult<Vec<(Key, Value)>>>,
     ) {
-        let cont = self.wrap_op(cont);
-        self.txn_scan_inner(h.id, span, max_keys, cont);
+        let policy = self.policy_of(&span.start);
+        let parent = self.txn_span(h.id);
+        let (tspan, cont) = self.instrument_op("kv.scan", policy, h.gateway, parent, cont);
+        self.txn_scan_inner(h.id, span, max_keys, tspan, cont);
     }
 
     /// Transactional write (`None` deletes).
@@ -164,20 +185,37 @@ impl Cluster {
         value: Option<Value>,
         cont: Cont<KvResult<()>>,
     ) {
-        let cont = self.wrap_op(cont);
+        let policy = self.policy_of(&key);
+        let parent = self.txn_span(h.id);
+        let (_, cont) = self.instrument_op("kv.put", policy, h.gateway, parent, cont);
         self.txn_put_inner(h.id, key, value, cont);
     }
 
     /// Commit. Returns the commit timestamp after any required read
     /// refresh, the EndTxn round-trip, and commit wait.
     pub fn txn_commit(&mut self, h: TxnHandle, cont: Cont<KvResult<Timestamp>>) {
-        let cont = self.wrap_op(cont);
-        self.txn_commit_inner(h.id, cont);
+        // Label commit latency by the policy of the written ranges: a
+        // lead-policy key anywhere makes this a global transaction (§6.2).
+        let policy = match self.txns.get(&h.id) {
+            Some(st) if st.buffered.is_empty() && st.intents.is_empty() => "ro",
+            Some(st) => {
+                let key = st.buffered.first().map(|(k, _)| k.clone());
+                match key {
+                    Some(k) => self.policy_of(&k),
+                    None => "ro",
+                }
+            }
+            None => "ro",
+        };
+        let parent = self.txn_span(h.id);
+        let (span, cont) = self.instrument_op("kv.commit", policy, h.gateway, parent, cont);
+        self.txn_commit_inner(h.id, span, cont);
     }
 
     /// Abort, resolving any intents.
     pub fn txn_rollback(&mut self, h: TxnHandle, cont: Cont<KvResult<()>>) {
-        let cont = self.wrap_op(cont);
+        let parent = self.txn_span(h.id);
+        let (_, cont) = self.instrument_op("kv.rollback", "none", h.gateway, parent, cont);
         let Some(st) = self.txns.get_mut(&h.id) else {
             cont(self, Ok(()));
             return;
@@ -187,8 +225,9 @@ impl Cluster {
             return;
         }
         st.finished = true;
-        self.metrics.txn_aborts += 1;
+        self.m.txn_aborts.inc();
         self.finalize_intents(h.id, TxnStatus::Aborted, Timestamp::ZERO);
+        self.finish_txn_span(h.id);
         cont(self, Ok(()));
     }
 
@@ -228,26 +267,39 @@ impl Cluster {
                 );
             }
             Staleness::ExactAt(ts) => {
-                let cont = self.wrap_op(cont);
-                self.stale_read_at(gateway, key, ts, cont);
+                let (span, cont) = self.instrument_read(gateway, "kv.read.stale", &key, cont);
+                self.stale_read_at(gateway, key, ts, span, cont);
             }
             Staleness::ExactAgo(ago) => {
                 let now = self.hlc_now(gateway);
                 let ts = Timestamp::new(now.wall.saturating_sub(ago.nanos()), 0);
-                let cont = self.wrap_op(cont);
-                self.stale_read_at(gateway, key, ts, cont);
+                let (span, cont) = self.instrument_read(gateway, "kv.read.stale", &key, cont);
+                self.stale_read_at(gateway, key, ts, span, cont);
             }
             Staleness::BoundedMaxStaleness(bound) => {
                 let now = self.hlc_now(gateway);
                 let min_ts = Timestamp::new(now.wall.saturating_sub(bound.nanos()), 0);
-                let cont = self.wrap_op(cont);
-                self.bounded_staleness_read(gateway, key, min_ts, opts, cont);
+                let (span, cont) = self.instrument_read(gateway, "kv.read.bounded", &key, cont);
+                self.bounded_staleness_read(gateway, key, min_ts, opts, span, cont);
             }
             Staleness::BoundedMinTimestamp(min_ts) => {
-                let cont = self.wrap_op(cont);
-                self.bounded_staleness_read(gateway, key, min_ts, opts, cont);
+                let (span, cont) = self.instrument_read(gateway, "kv.read.bounded", &key, cont);
+                self.bounded_staleness_read(gateway, key, min_ts, opts, span, cont);
             }
         }
+    }
+
+    /// Instrument a standalone stale read/scan under the ambient parent.
+    fn instrument_read<T: 'static>(
+        &mut self,
+        gateway: NodeId,
+        op: &'static str,
+        key: &Key,
+        cont: Cont<KvResult<T>>,
+    ) -> (Option<SpanId>, Cont<KvResult<T>>) {
+        let policy = self.policy_of(key);
+        let parent = self.trace_parent;
+        self.instrument_op(op, policy, gateway, parent, cont)
     }
 
     /// A standalone scan, with the same staleness options as [`Cluster::read`].
@@ -281,25 +333,29 @@ impl Cluster {
                 );
             }
             Staleness::ExactAt(ts) => {
-                let cont = self.wrap_op(cont);
-                self.stale_scan_at(gateway, span, ts, max_keys, cont);
+                let (tspan, cont) =
+                    self.instrument_read(gateway, "kv.scan.stale", &span.start, cont);
+                self.stale_scan_at(gateway, span, ts, max_keys, tspan, cont);
             }
             Staleness::ExactAgo(ago) => {
                 let now = self.hlc_now(gateway);
                 let ts = Timestamp::new(now.wall.saturating_sub(ago.nanos()), 0);
-                let cont = self.wrap_op(cont);
-                self.stale_scan_at(gateway, span, ts, max_keys, cont);
+                let (tspan, cont) =
+                    self.instrument_read(gateway, "kv.scan.stale", &span.start, cont);
+                self.stale_scan_at(gateway, span, ts, max_keys, tspan, cont);
             }
             Staleness::BoundedMaxStaleness(bound) => {
                 let now_ts = self.hlc_now(gateway);
                 let min_ts = Timestamp::new(now_ts.wall.saturating_sub(bound.nanos()), 0);
-                let cont = self.wrap_op(cont);
-                self.bounded_scan(gateway, span, min_ts, now_ts, max_keys, cont);
+                let (tspan, cont) =
+                    self.instrument_read(gateway, "kv.scan.bounded", &span.start, cont);
+                self.bounded_scan(gateway, span, min_ts, now_ts, max_keys, tspan, cont);
             }
             Staleness::BoundedMinTimestamp(min_ts) => {
                 let now_ts = self.hlc_now(gateway);
-                let cont = self.wrap_op(cont);
-                self.bounded_scan(gateway, span, min_ts, now_ts, max_keys, cont);
+                let (tspan, cont) =
+                    self.instrument_read(gateway, "kv.scan.bounded", &span.start, cont);
+                self.bounded_scan(gateway, span, min_ts, now_ts, max_keys, tspan, cont);
             }
         }
     }
@@ -312,6 +368,7 @@ impl Cluster {
         min_ts: Timestamp,
         now_ts: Timestamp,
         max_keys: usize,
+        tspan: Option<SpanId>,
         cont: Cont<KvResult<Vec<(Key, Value)>>>,
     ) {
         let negotiate = Request::Negotiate {
@@ -324,10 +381,11 @@ impl Cluster {
             RouteMode::Nearest,
             negotiate,
             MAX_ATTEMPTS,
+            tspan,
             Box::new(move |c, res| match res {
                 Ok(Response::Negotiate { max_safe_ts }) => {
                     let chosen = max_safe_ts.min(now_ts).forward(min_ts);
-                    c.stale_scan_at(gateway, span, chosen, max_keys, cont);
+                    c.stale_scan_at(gateway, span, chosen, max_keys, tspan, cont);
                 }
                 Ok(_) => unreachable!("negotiate returned unexpected response"),
                 Err(e) => cont(c, Err(e)),
@@ -341,6 +399,7 @@ impl Cluster {
         span: Span,
         ts: Timestamp,
         max_keys: usize,
+        tspan: Option<SpanId>,
         cont: Cont<KvResult<Vec<(Key, Value)>>>,
     ) {
         let rctx = ReadCtx::stale(ts);
@@ -355,6 +414,7 @@ impl Cluster {
                 max_keys,
             },
             MAX_ATTEMPTS,
+            tspan,
             Box::new(move |c, res| match res {
                 Ok(Response::Scan { rows }) => cont(c, Ok(rows)),
                 Ok(_) => unreachable!("scan returned non-scan response"),
@@ -367,20 +427,87 @@ impl Cluster {
     // Internals: operation wrappers
     // ------------------------------------------------------------------
 
-    /// Track an in-flight client operation for `run_until_quiescent`.
-    fn wrap_op<T: 'static>(&mut self, cont: Cont<T>) -> Cont<T> {
+    /// Wrap a client operation: track it for `run_until_quiescent`, open an
+    /// operation span under `parent`, and — on success — record its latency
+    /// in `kv.op.latency{op, policy, region}`. Returns the operation span
+    /// (the parent for the operation's RPCs) and the wrapped continuation.
+    fn instrument_op<T: 'static>(
+        &mut self,
+        op: &'static str,
+        policy: &'static str,
+        gateway: NodeId,
+        parent: Option<SpanId>,
+        cont: Cont<KvResult<T>>,
+    ) -> (Option<SpanId>, Cont<KvResult<T>>) {
         self.op_started();
-        Box::new(move |c, v| {
+        let start = self.now();
+        let span = self.obs.tracer.start(op, parent, start);
+        if span.is_some() {
+            self.obs
+                .tracer
+                .attr(span, "gateway", format!("n{}", gateway.0));
+            self.obs.tracer.attr(
+                span,
+                "gateway_region",
+                self.region_name_of(gateway).to_string(),
+            );
+            self.obs.tracer.attr(span, "policy", policy);
+        }
+        let wrapped: Cont<KvResult<T>> = Box::new(move |c, v| {
             c.op_finished();
+            let now = c.now();
+            match &v {
+                Ok(_) => {
+                    let region = c.region_name_of(gateway).to_string();
+                    c.obs
+                        .registry
+                        .histogram(
+                            "kv.op.latency",
+                            &[("op", op), ("policy", policy), ("region", &region)],
+                        )
+                        .record((now - start).nanos());
+                    c.obs.tracer.attr(span, "result", "ok");
+                }
+                Err(e) => c.obs.tracer.attr(span, "result", format!("err: {e}")),
+            }
+            c.obs.tracer.finish(span, now);
             cont(c, v);
-        })
+        });
+        (span, wrapped)
+    }
+
+    /// The closed-timestamp policy label for the range covering `key`.
+    fn policy_of(&self, key: &Key) -> &'static str {
+        match self.registry().lookup(key) {
+            Some(d) => match d.zone_config.closed_ts_policy {
+                ClosedTsPolicy::Lead => "lead",
+                ClosedTsPolicy::Lag => "lag",
+            },
+            None => "none",
+        }
+    }
+
+    /// The trace span of an open transaction, if any.
+    pub(crate) fn txn_span(&self, id: TxnId) -> Option<SpanId> {
+        self.txns.get(&id).and_then(|st| st.span)
+    }
+
+    /// Close a transaction's span once it reaches a terminal state.
+    fn finish_txn_span(&mut self, id: TxnId) {
+        let span = self.txn_span(id);
+        self.obs.tracer.finish(span, self.now());
     }
 
     // ------------------------------------------------------------------
     // Internals: routing
     // ------------------------------------------------------------------
 
-    fn route(&mut self, gateway: NodeId, key: &Key, mode: RouteMode) -> KvResult<(mr_proto::RangeId, NodeId)> {
+    fn route(
+        &mut self,
+        gateway: NodeId,
+        key: &Key,
+        mode: RouteMode,
+    ) -> KvResult<(mr_proto::RangeId, NodeId)> {
         let desc = self
             .registry()
             .lookup(key)
@@ -396,7 +523,10 @@ impl Cluster {
 
     /// Send with transparent redirect handling: `NotLeaseholder`,
     /// `FollowerReadUnavailable`, and follower `WriteIntent` errors re-route
-    /// to the leaseholder; timeouts re-resolve the route and retry.
+    /// to the leaseholder; timeouts re-resolve the route and retry. Every
+    /// attempt's RPC span nests under `parent` (usually the operation span),
+    /// so traces show the whole re-route history of one logical send.
+    #[allow(clippy::too_many_arguments)]
     fn dist_send(
         &mut self,
         gateway: NodeId,
@@ -404,6 +534,7 @@ impl Cluster {
         mode: RouteMode,
         req: Request,
         attempts: u8,
+        parent: Option<SpanId>,
         cont: Cont<KvResult<Response>>,
     ) {
         let (range, target) = match self.route(gateway, &key, mode) {
@@ -419,17 +550,32 @@ impl Cluster {
             target,
             range,
             req,
+            parent,
             Box::new(move |c, res| match res {
                 Ok(resp) => cont(c, Ok(resp)),
                 Err(e) if e.is_redirect() && attempts > 0 => {
-                    c.dist_send(gateway, key, RouteMode::Leaseholder, retry_req, attempts - 1, cont);
+                    let now = c.now();
+                    c.obs
+                        .tracer
+                        .event(parent, now, format!("redirect to leaseholder: {e}"));
+                    c.dist_send(
+                        gateway,
+                        key,
+                        RouteMode::Leaseholder,
+                        retry_req,
+                        attempts - 1,
+                        parent,
+                        cont,
+                    );
                 }
                 Err(KvError::RangeUnavailable { .. }) if attempts > 0 => {
                     // Route may have moved (failover); back off and retry.
+                    let now = c.now();
+                    c.obs.tracer.event(parent, now, "unavailable, backing off");
                     c.schedule(
                         SimDuration::from_millis(250),
                         Box::new(move |c2| {
-                            c2.dist_send(gateway, key, mode, retry_req, attempts - 1, cont);
+                            c2.dist_send(gateway, key, mode, retry_req, attempts - 1, parent, cont);
                         }),
                     );
                 }
@@ -450,9 +596,7 @@ impl Cluster {
         match self.registry().lookup(key) {
             // GLOBAL tables serve consistent present-time reads from any
             // replica (§6); REGIONAL fresh reads need the leaseholder.
-            Some(d) if d.zone_config.closed_ts_policy == ClosedTsPolicy::Lead => {
-                RouteMode::Nearest
-            }
+            Some(d) if d.zone_config.closed_ts_policy == ClosedTsPolicy::Lead => RouteMode::Nearest,
             _ => RouteMode::Leaseholder,
         }
     }
@@ -461,7 +605,13 @@ impl Cluster {
     // Internals: transactional reads
     // ------------------------------------------------------------------
 
-    fn txn_get_inner(&mut self, id: TxnId, key: Key, cont: Cont<KvResult<Option<Value>>>) {
+    fn txn_get_inner(
+        &mut self,
+        id: TxnId,
+        key: Key,
+        tspan: Option<SpanId>,
+        cont: Cont<KvResult<Option<Value>>>,
+    ) {
         let Some(st) = self.txns.get(&id) else {
             cont(self, Err(KvError::TxnNotFound { id }));
             return;
@@ -490,6 +640,7 @@ impl Cluster {
             mode,
             Request::Get { ctx: rctx, key },
             MAX_ATTEMPTS,
+            tspan,
             Box::new(move |c, res| match res {
                 Ok(Response::Get { value, .. }) => {
                     if let Some(st) = c.txns.get_mut(&id) {
@@ -504,7 +655,7 @@ impl Cluster {
                         id,
                         value_ts,
                         Box::new(move |c2, r| match r {
-                            Ok(()) => c2.txn_get_inner(id, retry_key, cont),
+                            Ok(()) => c2.txn_get_inner(id, retry_key, tspan, cont),
                             Err(e) => cont(c2, Err(e)),
                         }),
                     );
@@ -519,6 +670,7 @@ impl Cluster {
         id: TxnId,
         span: Span,
         max_keys: usize,
+        tspan: Option<SpanId>,
         cont: Cont<KvResult<Vec<(Key, Value)>>>,
     ) {
         let Some(st) = self.txns.get(&id) else {
@@ -549,6 +701,7 @@ impl Cluster {
                 max_keys,
             },
             MAX_ATTEMPTS,
+            tspan,
             Box::new(move |c, res| match res {
                 Ok(Response::Scan { rows }) => {
                     let rows = match c.txns.get_mut(&id) {
@@ -567,7 +720,7 @@ impl Cluster {
                         id,
                         value_ts,
                         Box::new(move |c2, r| match r {
-                            Ok(()) => c2.txn_scan_inner(id, retry_span, max_keys, cont),
+                            Ok(()) => c2.txn_scan_inner(id, retry_span, max_keys, tspan, cont),
                             Err(e) => cont(c2, Err(e)),
                         }),
                     );
@@ -586,7 +739,14 @@ impl Cluster {
         value_ts: Timestamp,
         cont: Cont<KvResult<()>>,
     ) {
-        self.metrics.uncertainty_restarts += 1;
+        self.m.uncertainty_restarts.inc();
+        let span = self.txn_span(id);
+        let now = self.now();
+        self.obs.tracer.event(
+            span,
+            now,
+            format!("uncertainty restart: value at {value_ts}"),
+        );
         let Some(st) = self.txns.get_mut(&id) else {
             cont(self, Err(KvError::TxnNotFound { id }));
             return;
@@ -615,7 +775,14 @@ impl Cluster {
             cont(self, Ok(()));
             return;
         }
-        self.metrics.refreshes += 1;
+        self.m.refreshes.inc();
+        let tspan = self.txn_span(id);
+        let now = self.now();
+        self.obs.tracer.event(
+            tspan,
+            now,
+            format!("refreshing {} read span(s) to {to_ts}", spans.len()),
+        );
         let remaining = Rc::new(RefCell::new((spans.len(), Some(cont), false)));
         for (span, from_ts) in spans {
             let state = Rc::clone(&remaining);
@@ -631,6 +798,7 @@ impl Cluster {
                 RouteMode::Leaseholder,
                 req,
                 MAX_ATTEMPTS,
+                tspan,
                 Box::new(move |c, res| {
                     let mut s = state.borrow_mut();
                     if s.2 {
@@ -655,7 +823,7 @@ impl Cluster {
                             s.2 = true;
                             let cont = s.1.take().expect("refresh cont");
                             drop(s);
-                            c.metrics.refresh_failures += 1;
+                            c.m.refresh_failures.inc();
                             // The transaction must restart from scratch.
                             c.abort_after_failure(id);
                             cont(c, Err(e));
@@ -671,8 +839,12 @@ impl Cluster {
         if let Some(st) = self.txns.get_mut(&id) {
             if !st.finished {
                 st.finished = true;
-                self.metrics.txn_restarts += 1;
+                self.m.txn_restarts.inc();
+                let span = self.txn_span(id);
+                let now = self.now();
+                self.obs.tracer.event(span, now, "aborted for client retry");
                 self.finalize_intents(id, TxnStatus::Aborted, Timestamp::ZERO);
+                self.finish_txn_span(id);
             }
         }
     }
@@ -707,7 +879,12 @@ impl Cluster {
         cont(self, Ok(()));
     }
 
-    fn txn_commit_inner(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+    fn txn_commit_inner(
+        &mut self,
+        id: TxnId,
+        tspan: Option<SpanId>,
+        cont: Cont<KvResult<Timestamp>>,
+    ) {
         let Some(st) = self.txns.get(&id) else {
             cont(self, Err(KvError::TxnNotFound { id }));
             return;
@@ -726,10 +903,11 @@ impl Cluster {
                 if let Some(st) = c.txns.get_mut(&id) {
                     st.finished = true;
                 }
-                c.metrics.txn_commits += 1;
+                c.m.txn_commits.inc();
+                c.finish_txn_span(id);
                 cont(c, Ok(commit_ts));
             });
-            self.commit_wait(gateway, commit_ts, finish);
+            self.commit_wait(gateway, commit_ts, tspan, finish);
             return;
         }
         // 1PC fast path: every buffered write lands in one range.
@@ -778,6 +956,7 @@ impl Cluster {
                 RouteMode::Leaseholder,
                 req,
                 MAX_ATTEMPTS,
+                tspan,
                 Box::new(move |c, res| match res {
                     Ok(Response::CommitInline { commit_ts }) => {
                         if let Some(st) = c.txns.get_mut(&id) {
@@ -788,21 +967,22 @@ impl Cluster {
                                 st.intents = st.buffered.iter().map(|(k, _)| k.clone()).collect();
                             }
                         }
-                        c.metrics.txn_commits += 1;
+                        c.m.txn_commits.inc();
                         let finish: Box<dyn FnOnce(&mut Cluster)> =
                             Box::new(move |c2: &mut Cluster| {
                                 if c2.cfg.commit_wait_holds_locks {
                                     c2.finalize_intents(id, TxnStatus::Committed, commit_ts);
                                 }
+                                c2.finish_txn_span(id);
                                 cont(c2, Ok(commit_ts))
                             });
-                        c.commit_wait(gateway, commit_ts, finish);
+                        c.commit_wait(gateway, commit_ts, tspan, finish);
                     }
                     Ok(_) => unreachable!("commit-inline returned unexpected response"),
                     Err(KvError::WriteTooOld { .. }) => {
                         // Timestamp must move but remote reads need a real
                         // refresh: fall back to the two-phase path.
-                        c.txn_commit_slow(id, cont);
+                        c.txn_commit_slow(id, tspan, cont);
                     }
                     Err(e) => {
                         c.abort_after_failure(id);
@@ -812,13 +992,18 @@ impl Cluster {
             );
             return;
         }
-        self.txn_commit_slow(id, cont);
+        self.txn_commit_slow(id, tspan, cont);
     }
 
     /// Two-phase commit: flush buffered writes as intents (in parallel),
     /// refresh reads if the write timestamp moved, write the transaction
     /// record, then resolve intents concurrently with commit wait (§6.2).
-    fn txn_commit_slow(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+    fn txn_commit_slow(
+        &mut self,
+        id: TxnId,
+        tspan: Option<SpanId>,
+        cont: Cont<KvResult<Timestamp>>,
+    ) {
         let Some(st) = self.txns.get_mut(&id) else {
             cont(self, Err(KvError::TxnNotFound { id }));
             return;
@@ -828,7 +1013,7 @@ impl Cluster {
         let meta = st.meta();
         if writes.is_empty() {
             // Buffer already flushed (retried fallback): go straight on.
-            self.txn_finish_two_phase(id, cont);
+            self.txn_finish_two_phase(id, tspan, cont);
             return;
         }
         let total = writes.len();
@@ -846,6 +1031,7 @@ impl Cluster {
                     value,
                 },
                 MAX_ATTEMPTS,
+                tspan,
                 Box::new(move |c, res| {
                     let mut s = st.borrow_mut();
                     if s.2 {
@@ -861,7 +1047,7 @@ impl Cluster {
                             if s.0 == 0 {
                                 let cont = s.1.take().expect("commit cont");
                                 drop(s);
-                                c.txn_finish_two_phase(id, cont);
+                                c.txn_finish_two_phase(id, tspan, cont);
                             }
                         }
                         Ok(_) => unreachable!("put returned non-put response"),
@@ -879,7 +1065,12 @@ impl Cluster {
     }
 
     /// After intents are in place: refresh reads if needed, then EndTxn.
-    fn txn_finish_two_phase(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+    fn txn_finish_two_phase(
+        &mut self,
+        id: TxnId,
+        tspan: Option<SpanId>,
+        cont: Cont<KvResult<Timestamp>>,
+    ) {
         let Some(st) = self.txns.get(&id) else {
             cont(self, Err(KvError::TxnNotFound { id }));
             return;
@@ -890,16 +1081,16 @@ impl Cluster {
                 id,
                 write_ts,
                 Box::new(move |c, r| match r {
-                    Ok(()) => c.txn_send_end(id, cont),
+                    Ok(()) => c.txn_send_end(id, tspan, cont),
                     Err(e) => cont(c, Err(e)),
                 }),
             );
         } else {
-            self.txn_send_end(id, cont);
+            self.txn_send_end(id, tspan, cont);
         }
     }
 
-    fn txn_send_end(&mut self, id: TxnId, cont: Cont<KvResult<Timestamp>>) {
+    fn txn_send_end(&mut self, id: TxnId, tspan: Option<SpanId>, cont: Cont<KvResult<Timestamp>>) {
         let Some(st) = self.txns.get(&id) else {
             cont(self, Err(KvError::TxnNotFound { id }));
             return;
@@ -916,28 +1107,33 @@ impl Cluster {
                 commit: true,
             },
             MAX_ATTEMPTS,
+            tspan,
             Box::new(move |c, res| match res {
                 Ok(Response::EndTxn { commit_ts }) => {
                     if let Some(st) = c.txns.get_mut(&id) {
                         st.finished = true;
                     }
-                    c.metrics.txn_commits += 1;
+                    c.m.txn_commits.inc();
                     if c.cfg.commit_wait_holds_locks {
                         // Spanner-style ablation: resolve intents (release
                         // locks) only after commit wait completes.
                         let finish: Box<dyn FnOnce(&mut Cluster)> =
                             Box::new(move |c2: &mut Cluster| {
                                 c2.finalize_intents(id, TxnStatus::Committed, commit_ts);
+                                c2.finish_txn_span(id);
                                 cont(c2, Ok(commit_ts));
                             });
-                        c.commit_wait(gateway, commit_ts, finish);
+                        c.commit_wait(gateway, commit_ts, tspan, finish);
                     } else {
                         // CRDB: intent resolution proceeds concurrently with
                         // commit wait (§6.2) — locks release while we wait.
                         c.finalize_intents(id, TxnStatus::Committed, commit_ts);
                         let finish: Box<dyn FnOnce(&mut Cluster)> =
-                            Box::new(move |c2: &mut Cluster| cont(c2, Ok(commit_ts)));
-                        c.commit_wait(gateway, commit_ts, finish);
+                            Box::new(move |c2: &mut Cluster| {
+                                c2.finish_txn_span(id);
+                                cont(c2, Ok(commit_ts))
+                            });
+                        c.commit_wait(gateway, commit_ts, tspan, finish);
                     }
                 }
                 Ok(_) => unreachable!("end txn returned unexpected response"),
@@ -961,22 +1157,50 @@ impl Cluster {
                 status,
                 commit_ts,
             };
-            self.dist_send(gateway, key, RouteMode::Leaseholder, req, 8, Box::new(|_, _| {}));
+            let tspan = self.txn_span(id);
+            self.dist_send(
+                gateway,
+                key,
+                RouteMode::Leaseholder,
+                req,
+                8,
+                tspan,
+                Box::new(|_, _| {}),
+            );
         }
     }
 
     /// Delay `f` until the gateway's HLC exceeds `ts` (no-op when already
     /// past). This is the §6.2 commit wait: local-clock-only, unlike
     /// Spanner's wait for global clock consensus.
-    fn commit_wait(&mut self, gateway: NodeId, ts: Timestamp, f: Box<dyn FnOnce(&mut Cluster)>) {
+    fn commit_wait(
+        &mut self,
+        gateway: NodeId,
+        ts: Timestamp,
+        parent: Option<SpanId>,
+        f: Box<dyn FnOnce(&mut Cluster)>,
+    ) {
         let now = self.now();
         let wait = self.node(gateway).hlc.time_until_passed(ts, now);
         if wait == SimDuration::ZERO {
             f(self);
         } else {
-            self.metrics.commit_waits += 1;
-            self.metrics.commit_wait_nanos += wait.nanos();
-            self.schedule(wait, f);
+            self.m.commit_waits.inc();
+            self.m.commit_wait_nanos.add(wait.nanos());
+            self.m.commit_wait_latency.record(wait.nanos());
+            let span = self.obs.tracer.start("txn.commit_wait", parent, now);
+            self.obs.tracer.attr(span, "commit_ts", format!("{ts}"));
+            self.obs
+                .tracer
+                .attr(span, "wait_nanos", wait.nanos().to_string());
+            self.schedule(
+                wait,
+                Box::new(move |c| {
+                    let now = c.now();
+                    c.obs.tracer.finish(span, now);
+                    f(c)
+                }),
+            );
         }
     }
 
@@ -999,10 +1223,14 @@ impl Cluster {
         holder: TxnMeta,
     ) {
         if !self.active_pushers.insert((range, key.clone())) {
-            if self.cfg.trace { eprintln!("[pusher] dedup {range} {key:?}"); }
+            if self.cfg.trace {
+                eprintln!("[pusher] dedup {range} {key:?}");
+            }
             return;
         }
-        if self.cfg.trace { eprintln!("[pusher] start {range} {key:?} holder {}", holder.id); }
+        if self.cfg.trace {
+            eprintln!("[pusher] start {range} {key:?} holder {}", holder.id);
+        }
         let delay = SimDuration::from_millis(100);
         self.schedule(
             delay,
@@ -1010,33 +1238,29 @@ impl Cluster {
         );
     }
 
-    fn pusher_tick(
-        &mut self,
-        node: NodeId,
-        range: mr_proto::RangeId,
-        key: Key,
-        holder: TxnMeta,
-    ) {
+    fn pusher_tick(&mut self, node: NodeId, range: mr_proto::RangeId, key: Key, holder: TxnMeta) {
         // Stop when the block is gone, this replica lost the lease, or the
         // node died (waiters will time out / re-route).
         let still_leaseholder = self
             .registry()
             .get(range)
             .is_some_and(|d| d.leaseholder == node);
-        let still_blocked = self
-            .node(node)
-            .replicas
-            .get(&range)
-            .is_some_and(|r| {
-                r.locks.holder(&key).map(|h| h.id) == Some(holder.id)
-                    || r.store.intent(&key).map(|i| i.txn.id) == Some(holder.id)
-            });
+        let still_blocked = self.node(node).replicas.get(&range).is_some_and(|r| {
+            r.locks.holder(&key).map(|h| h.id) == Some(holder.id)
+                || r.store.intent(&key).map(|i| i.txn.id) == Some(holder.id)
+        });
         if !still_blocked || !still_leaseholder || !self.topology().is_node_alive(node) {
-            if self.cfg.trace { eprintln!("[pusher] stop {range} {key:?} blocked={still_blocked} lh={still_leaseholder}"); }
+            if self.cfg.trace {
+                eprintln!(
+                    "[pusher] stop {range} {key:?} blocked={still_blocked} lh={still_leaseholder}"
+                );
+            }
             self.active_pushers.remove(&(range, key));
             return;
         }
-        if self.cfg.trace { eprintln!("[pusher] push {range} {key:?} -> {}", holder.id); }
+        if self.cfg.trace {
+            eprintln!("[pusher] push {range} {key:?} -> {}", holder.id);
+        }
         let push = Request::PushTxn {
             pushee: holder.id,
             anchor: holder.anchor.clone(),
@@ -1048,6 +1272,7 @@ impl Cluster {
             RouteMode::Leaseholder,
             push,
             4,
+            None,
             Box::new(move |c, res| match res {
                 Ok(Response::PushTxn {
                     status: status @ (TxnStatus::Committed | TxnStatus::Aborted),
@@ -1067,6 +1292,7 @@ impl Cluster {
                         RouteMode::Leaseholder,
                         resolve,
                         4,
+                        None,
                         Box::new(|_, _| {}),
                     );
                 }
@@ -1090,6 +1316,7 @@ impl Cluster {
         gateway: NodeId,
         key: Key,
         ts: Timestamp,
+        tspan: Option<SpanId>,
         cont: Cont<KvResult<Option<Value>>>,
     ) {
         let rctx = ReadCtx::stale(ts);
@@ -1099,6 +1326,7 @@ impl Cluster {
             RouteMode::Nearest,
             Request::Get { ctx: rctx, key },
             MAX_ATTEMPTS,
+            tspan,
             Box::new(move |c, res| match res {
                 Ok(Response::Get { value, .. }) => cont(c, Ok(value)),
                 Ok(_) => unreachable!("get returned non-get response"),
@@ -1113,6 +1341,7 @@ impl Cluster {
         key: Key,
         min_ts: Timestamp,
         opts: ReadOptions,
+        tspan: Option<SpanId>,
         cont: Cont<KvResult<Option<Value>>>,
     ) {
         let now_ts = self.hlc_now(gateway);
@@ -1126,12 +1355,13 @@ impl Cluster {
             RouteMode::Nearest,
             negotiate,
             MAX_ATTEMPTS,
+            tspan,
             Box::new(move |c, res| match res {
                 Ok(Response::Negotiate { max_safe_ts }) => {
                     // Freshest locally-servable timestamp, capped at now.
                     let chosen = max_safe_ts.min(now_ts);
                     if chosen >= min_ts {
-                        c.stale_read_at(gateway, key, chosen, cont);
+                        c.stale_read_at(gateway, key, chosen, tspan, cont);
                     } else if opts.fallback_to_leaseholder {
                         // Serve from the leaseholder at the staleness bound.
                         let rctx = ReadCtx::stale(min_ts);
@@ -1141,6 +1371,7 @@ impl Cluster {
                             RouteMode::Leaseholder,
                             Request::Get { ctx: rctx, key },
                             MAX_ATTEMPTS,
+                            tspan,
                             Box::new(move |c2, res| match res {
                                 Ok(Response::Get { value, .. }) => cont(c2, Ok(value)),
                                 Ok(_) => unreachable!(),

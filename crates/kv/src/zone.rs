@@ -108,8 +108,8 @@ pub fn derive_zone_config(
         SurvivalGoal::Zone => {
             // §3.3.2: 3 voters in the home region (spread across zones), and
             // one non-voter in each other region (unless RESTRICTED).
-            let restricted = placement == PlacementPolicy::Restricted
-                && policy == ClosedTsPolicy::Lag;
+            let restricted =
+                placement == PlacementPolicy::Restricted && policy == ClosedTsPolicy::Lag;
             let num_non_voters = if restricted { 0 } else { n - 1 };
             let mut constraints = vec![(home, 3)];
             if !restricted {

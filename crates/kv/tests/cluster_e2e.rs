@@ -7,9 +7,7 @@ use std::rc::Rc;
 
 use mr_clock::Timestamp;
 use mr_kv::cluster::{Cluster, ClusterConfig, ReadOptions, Staleness};
-use mr_kv::zone::{
-    derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal,
-};
+use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal};
 use mr_proto::{Key, KvError, Span, Value};
 use mr_sim::{NodeId, RegionId, RttMatrix, SimDuration, SimTime, Topology};
 
@@ -163,7 +161,7 @@ fn stale_read_is_served_by_local_non_voting_replica() {
     // Let replication + closed timestamps advance well past the write.
     c.run_until(SimTime(SimDuration::from_secs(10).nanos()));
 
-    let before = c.metrics.follower_reads_served;
+    let before = c.metrics().follower_reads_served;
     let opts = ReadOptions {
         staleness: Staleness::ExactAgo(SimDuration::from_secs(5)),
         fallback_to_leaseholder: true,
@@ -175,7 +173,7 @@ fn stale_read_is_served_by_local_non_voting_replica() {
         rlat < SimDuration::from_millis(5),
         "stale read should be region-local: {rlat}"
     );
-    assert_eq!(c.metrics.follower_reads_served, before + 1);
+    assert_eq!(c.metrics().follower_reads_served, before + 1);
 }
 
 #[test]
@@ -241,7 +239,7 @@ fn global_table_reads_fast_everywhere_writes_pay_commit_wait() {
             "global read from region {region} took {rlat}"
         );
     }
-    assert!(c.metrics.follower_reads_served >= 4);
+    assert!(c.metrics().follower_reads_served >= 4);
 }
 
 #[test]
@@ -268,10 +266,13 @@ fn global_reader_observing_recent_write_commit_waits_briefly() {
         Some(Value::from("v1")),
         Box::new(move |c, res| {
             res.unwrap();
-            c.txn_commit(h, Box::new(move |_c, res| {
-                res.unwrap();
-                *d2.borrow_mut() = true;
-            }));
+            c.txn_commit(
+                h,
+                Box::new(move |_c, res| {
+                    res.unwrap();
+                    *d2.borrow_mut() = true;
+                }),
+            );
         }),
     );
     // Replication to the far follower takes ~1 one-way WAN delay; the write
@@ -279,11 +280,11 @@ fn global_reader_observing_recent_write_commit_waits_briefly() {
     // value is within the reader's uncertainty window → uncertainty restart
     // + reader-side commit wait (bounded by max_offset).
     c.run_until(SimTime(SimDuration::from_millis(5_450).nanos()));
-    let before_restarts = c.metrics.uncertainty_restarts;
+    let before_restarts = c.metrics().uncertainty_restarts;
     let (val, rlat) = read_key(&mut c, gw(4), "g1", fresh());
     assert_eq!(val.unwrap(), Some(Value::from("v1")));
     assert!(
-        c.metrics.uncertainty_restarts > before_restarts,
+        c.metrics().uncertainty_restarts > before_restarts,
         "reader should have hit the uncertainty window"
     );
     // Reader-side commit wait is bounded by max_clock_offset (250ms) plus
@@ -331,10 +332,13 @@ fn read_write_conflict_blocks_reader_during_two_phase_commit() {
                 Some(Value::from("v2")),
                 Box::new(move |c2, res| {
                     res.unwrap();
-                    c2.txn_commit(h, Box::new(move |_c, res| {
-                        res.unwrap();
-                        *cd.borrow_mut() = true;
-                    }));
+                    c2.txn_commit(
+                        h,
+                        Box::new(move |_c, res| {
+                            res.unwrap();
+                            *cd.borrow_mut() = true;
+                        }),
+                    );
                 }),
             );
         }),
@@ -395,9 +399,12 @@ fn write_write_conflict_serializes() {
             Some(Value::from(if i == 0 { "a" } else { "b" })),
             Box::new(move |c, res| {
                 res.unwrap();
-                c.txn_commit(h, Box::new(move |_c, res| {
-                    *s2.borrow_mut() = Some(res.unwrap());
-                }));
+                c.txn_commit(
+                    h,
+                    Box::new(move |_c, res| {
+                        *s2.borrow_mut() = Some(res.unwrap());
+                    }),
+                );
             }),
         );
     }
@@ -413,8 +420,10 @@ fn write_write_conflict_serializes() {
 
 #[test]
 fn region_survivability_survives_home_region_failure() {
-    let mut cfg = ClusterConfig::default();
-    cfg.rpc_timeout = Some(SimDuration::from_secs(3));
+    let cfg = ClusterConfig {
+        rpc_timeout: Some(SimDuration::from_secs(3)),
+        ..ClusterConfig::default()
+    };
     let mut c = cluster(cfg);
     let zc = derive_zone_config(
         US_EAST,
@@ -438,13 +447,15 @@ fn region_survivability_survives_home_region_failure() {
     assert_eq!(val.unwrap(), Some(Value::from("before")));
     let (val, _) = read_key(&mut c, gw(1), "k2", fresh());
     assert_eq!(val.unwrap(), Some(Value::from("after")));
-    assert!(c.metrics.lease_transfers >= 1);
+    assert!(c.metrics().lease_transfers >= 1);
 }
 
 #[test]
 fn zone_survivability_loses_writes_on_home_region_failure() {
-    let mut cfg = ClusterConfig::default();
-    cfg.rpc_timeout = Some(SimDuration::from_millis(500));
+    let cfg = ClusterConfig {
+        rpc_timeout: Some(SimDuration::from_millis(500)),
+        ..ClusterConfig::default()
+    };
     let mut c = cluster(cfg);
     let zc = derive_zone_config(
         US_EAST,
@@ -471,9 +482,12 @@ fn zone_survivability_loses_writes_on_home_region_failure() {
         Some(Value::from("v2")),
         Box::new(move |c, res| {
             res.unwrap(); // buffered locally; the commit is what fails
-            c.txn_commit(h, Box::new(move |_c, res| {
-                *f2.borrow_mut() = Some(res.unwrap_err());
-            }));
+            c.txn_commit(
+                h,
+                Box::new(move |_c, res| {
+                    *f2.borrow_mut() = Some(res.unwrap_err());
+                }),
+            );
         }),
     );
     c.run_until_quiescent(deadline());
@@ -486,10 +500,7 @@ fn zone_survivability_loses_writes_on_home_region_failure() {
     // (§6.2.2), at timestamps the dead leaseholder had already closed
     // (with the default 3s lag, anything ≤ failure_time - 3s).
     let opts = ReadOptions {
-        staleness: Staleness::ExactAt(Timestamp::new(
-            SimDuration::from_secs(6).nanos(),
-            0,
-        )),
+        staleness: Staleness::ExactAt(Timestamp::new(SimDuration::from_secs(6).nanos(), 0)),
         fallback_to_leaseholder: false,
     };
     let (val, rlat) = read_key(&mut c, gw(1), "k1", opts);
@@ -502,8 +513,10 @@ fn zone_survivability_loses_writes_on_home_region_failure() {
 
 #[test]
 fn zone_survivability_survives_single_zone_failure() {
-    let mut cfg = ClusterConfig::default();
-    cfg.rpc_timeout = Some(SimDuration::from_secs(3));
+    let cfg = ClusterConfig {
+        rpc_timeout: Some(SimDuration::from_secs(3)),
+        ..ClusterConfig::default()
+    };
     let mut c = cluster(cfg);
     let zc = derive_zone_config(
         US_EAST,
@@ -582,8 +595,10 @@ fn lease_transfer_moves_fast_reads() {
 fn uncertainty_interval_enforces_real_time_order_across_skewed_clocks() {
     // Reader's clock is slower than the writer's: without uncertainty
     // intervals the reader would miss the write.
-    let mut cfg = ClusterConfig::default();
-    cfg.skew_amplitude = SimDuration::ZERO;
+    let cfg = ClusterConfig {
+        skew_amplitude: SimDuration::ZERO,
+        ..ClusterConfig::default()
+    };
     let mut c = cluster(cfg);
     // Manually skew: writer gateway fast by 100ms, reader slow by 100ms
     // (within the 250ms bound).
@@ -636,9 +651,12 @@ fn read_your_writes_within_txn() {
                 Key::from("k1"),
                 Box::new(move |c2, res| {
                     *s2.borrow_mut() = Some(res.unwrap());
-                    c2.txn_commit(h, Box::new(|_c, res| {
-                        res.unwrap();
-                    }));
+                    c2.txn_commit(
+                        h,
+                        Box::new(|_c, res| {
+                            res.unwrap();
+                        }),
+                    );
                 }),
             );
         }),
@@ -672,9 +690,12 @@ fn txn_scan_sees_consistent_snapshot() {
         100,
         Box::new(move |c, res| {
             *r2.borrow_mut() = res.unwrap();
-            c.txn_commit(h, Box::new(|_c, res| {
-                res.unwrap();
-            }));
+            c.txn_commit(
+                h,
+                Box::new(|_c, res| {
+                    res.unwrap();
+                }),
+            );
         }),
     );
     c.run_until_quiescent(deadline());
@@ -719,8 +740,10 @@ fn excessive_clock_skew_permits_stale_reads_but_not_corruption() {
     // in real time can fall outside a slow reader's uncertainty window and
     // be missed (a stale read) — while serializability (and the data
     // itself) is unaffected.
-    let mut cfg = ClusterConfig::default();
-    cfg.skew_amplitude = SimDuration::ZERO;
+    let cfg = ClusterConfig {
+        skew_amplitude: SimDuration::ZERO,
+        ..ClusterConfig::default()
+    };
     let mut c = cluster(cfg);
     // Writer's gateway runs 200ms fast, reader's 200ms slow: pairwise skew
     // 400ms >> the 250ms bound.
@@ -760,9 +783,11 @@ fn excessive_clock_skew_permits_stale_reads_but_not_corruption() {
 
 #[test]
 fn gc_collects_old_versions_without_breaking_reads() {
-    let mut cfg = ClusterConfig::default();
-    cfg.gc_interval = SimDuration::from_secs(10);
-    cfg.gc_ttl = SimDuration::from_secs(15);
+    let cfg = ClusterConfig {
+        gc_interval: SimDuration::from_secs(10),
+        gc_ttl: SimDuration::from_secs(15),
+        ..ClusterConfig::default()
+    };
     let mut c = cluster(cfg);
     let zc = derive_zone_config(
         US_EAST,
@@ -782,7 +807,7 @@ fn gc_collects_old_versions_without_breaking_reads() {
     // Far past the TTL: old versions get collected.
     c.run_until(SimTime(SimDuration::from_secs(60).nanos()));
     assert!(
-        c.metrics.gc_versions_removed > 0,
+        c.metrics().gc_versions_removed > 0,
         "GC should have removed shadowed versions"
     );
     // Fresh reads still see the newest value...

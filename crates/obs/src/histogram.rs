@@ -1,0 +1,292 @@
+//! Log-linear bucketed histogram for latency values in nanoseconds.
+//!
+//! Layout (HDR-style, 16 sub-buckets per octave): values below 16 get exact
+//! unit buckets; above that, each power-of-two octave is split into 16 linear
+//! sub-buckets, bounding relative quantile error at 1/16 (6.25%). Bucket
+//! boundaries depend only on the value, so merging histograms is element-wise
+//! addition and exports are deterministic.
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Highest possible bucket index for u64 values (octave 63, sub-bucket 15).
+#[cfg(test)]
+const MAX_BUCKETS: usize = (SUB_BUCKETS as usize) * (64 - SUB_BITS as usize) + SUB_BUCKETS as usize;
+
+/// Map a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = octave - SUB_BITS;
+    let sub = (v >> shift) - SUB_BUCKETS; // 0..16
+    (SUB_BUCKETS as usize) * (octave - SUB_BITS + 1) as usize + sub as usize
+}
+
+/// Inclusive upper bound of the value range mapped to `index`.
+fn bucket_upper_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS as usize {
+        return index as u64;
+    }
+    let octave = (index / SUB_BUCKETS as usize) as u32 - 1 + SUB_BITS;
+    let sub = (index % SUB_BUCKETS as usize) as u128;
+    let shift = octave - SUB_BITS;
+    // u128 arithmetic: the top octave's last bucket bound is exactly 2^64.
+    let bound = (((SUB_BUCKETS as u128 + sub + 1) << shift) - 1).min(u64::MAX as u128);
+    bound as u64
+}
+
+/// A latency histogram. `record` is O(1); quantiles walk the bucket array.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, value: u64) {
+        let idx = bucket_index(value);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Nearest-rank quantile estimate, clamped to the observed min/max so
+    /// `quantile(0.0)` and `quantile(1.0)` are exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_bound(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Element-wise addition; equivalent to having recorded both streams into
+    /// one histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Raw `(bucket_upper_bound, count)` pairs for non-empty buckets.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper_bound(i), n))
+            .collect()
+    }
+}
+
+/// Integer-only summary of a histogram; what exports serialize.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_roundtrip_at_boundaries() {
+        // Every value must land in a bucket whose range contains it, and
+        // bucket upper bounds must be monotone.
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            1023,
+            1024,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let idx = bucket_index(v);
+            let upper = bucket_upper_bound(idx);
+            assert!(upper >= v, "upper bound {upper} below value {v}");
+            if idx > 0 {
+                let prev_upper = bucket_upper_bound(idx - 1);
+                assert!(
+                    prev_upper < v,
+                    "value {v} should not fit bucket {}",
+                    idx - 1
+                );
+            }
+        }
+        assert!(bucket_index(u64::MAX) < MAX_BUCKETS);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for q in [0.1f64, 0.5, 0.9] {
+            let rank = (q * 16.0).ceil() as u64;
+            assert_eq!(h.quantile(q), rank - 1);
+        }
+    }
+
+    #[test]
+    fn quantile_error_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000); // 1µs .. 10ms in ns
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = ((q * 10_000f64).ceil() as u64) * 1000;
+            let est = h.quantile(q);
+            let err = est.abs_diff(exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / 16.0, "q={q} exact={exact} est={est} err={err}");
+        }
+        assert_eq!(h.quantile(1.0), 10_000_000);
+        assert_eq!(h.quantile(0.0), 1000);
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..5000u64 {
+            let value = v * v % 100_000;
+            if v % 2 == 0 {
+                a.record(value);
+            } else {
+                b.record(value);
+            }
+            whole.record(value);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.snapshot(), whole.snapshot());
+        assert_eq!(a.nonzero_buckets(), whole.nonzero_buckets());
+    }
+
+    #[test]
+    fn merge_into_empty() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        b.record(42);
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 7);
+        assert_eq!(a.max(), 42);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0);
+    }
+}

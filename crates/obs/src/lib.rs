@@ -1,0 +1,60 @@
+//! # mr-obs — deterministic observability
+//!
+//! Metrics and tracing for the simulated multi-region database. Everything
+//! here is keyed on **sim-time** ([`mr_sim::SimTime`]), never wall-clock, and
+//! every export iterates sorted maps and formats integers only — so two runs
+//! with the same seed produce **byte-identical** dumps. That determinism is
+//! load-bearing: tests diff whole exports, and paper figures regenerate
+//! exactly.
+//!
+//! Three pieces:
+//!
+//! * [`Registry`] — labeled counters, gauges, and log-bucketed latency
+//!   histograms (p50/p90/p99/max). Handles are `Rc`-backed cells, so the hot
+//!   path is a single integer store; the registry itself is only walked at
+//!   export/scrape time. Metric names follow `layer.component.what`
+//!   (e.g. `kv.txn.commits`), labels are sorted `(key, value)` pairs.
+//! * [`Tracer`] — parent/child spans in sim-time following a request from SQL
+//!   through the txn coordinator, replica, raft quorum, and closed-timestamp
+//!   pipeline. Exports Chrome-trace JSON (`chrome://tracing`, Perfetto) and
+//!   human-readable trees; query helpers let tests assert causal properties
+//!   (e.g. "this follower read never crossed a region boundary").
+//! * [`Scraper`] — periodic snapshots of the registry over sim-time, giving
+//!   benches time series (closed-ts lag, lease transfers, restarts) instead
+//!   of end-of-run totals only.
+//!
+//! [`Obs`] bundles the three with shared ownership (`Rc` clones) so the
+//! cluster, SQL layer, and bench harness observe the same instruments.
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+pub mod scrape;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, HistogramHandle, MetricKey, Registry, Snapshot};
+pub use scrape::{ScrapePoint, Scraper};
+pub use trace::{SpanData, SpanId, Tracer};
+
+use mr_sim::SimTime;
+
+/// The observability bundle a cluster carries: one registry, one tracer, one
+/// scrape series. Cloning shares the underlying state.
+#[derive(Clone, Default)]
+pub struct Obs {
+    pub registry: Registry,
+    pub tracer: Tracer,
+    pub scraper: Scraper,
+}
+
+impl Obs {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one scrape point at `now` from the current registry contents.
+    pub fn scrape(&self, now: SimTime) {
+        self.scraper.scrape(now, &self.registry);
+    }
+}

@@ -1,0 +1,116 @@
+//! Periodic registry scrapes: time series over sim-time.
+//!
+//! The cluster schedules a scrape event on a fixed sim-time interval; each
+//! scrape copies every counter and gauge (and histogram count/sum, so rates
+//! are derivable) into an append-only series. Benches export the series as
+//! CSV to plot closed-ts lag, lease transfers, or restart rates over the run
+//! instead of only end-of-run totals.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::export::csv_field;
+use crate::registry::Registry;
+use mr_sim::SimTime;
+
+/// One scrape: every instrument's value at `at`, in registry (sorted) order.
+/// Histograms contribute `<name>.count` and `<name>.sum` rows.
+#[derive(Clone, Debug)]
+pub struct ScrapePoint {
+    pub at: SimTime,
+    pub values: Vec<(String, i64)>,
+}
+
+/// Append-only scrape series. Cloning shares the underlying store.
+#[derive(Clone, Default)]
+pub struct Scraper {
+    points: Rc<RefCell<Vec<ScrapePoint>>>,
+}
+
+impl Scraper {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn scrape(&self, at: SimTime, registry: &Registry) {
+        let snap = registry.snapshot();
+        let mut values = Vec::new();
+        for (k, v) in &snap.counters {
+            values.push((k.to_string(), *v as i64));
+        }
+        for (k, v) in &snap.gauges {
+            values.push((k.to_string(), *v));
+        }
+        for (k, h) in &snap.histograms {
+            values.push((format!("{k}.count"), h.count as i64));
+            values.push((format!("{k}.sum"), h.sum as i64));
+        }
+        self.points.borrow_mut().push(ScrapePoint { at, values });
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.borrow().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn points(&self) -> Vec<ScrapePoint> {
+        self.points.borrow().clone()
+    }
+
+    /// The series of one metric: `(time, value)` per scrape that carried it.
+    pub fn series(&self, metric: &str) -> Vec<(SimTime, i64)> {
+        self.points
+            .borrow()
+            .iter()
+            .filter_map(|p| {
+                p.values
+                    .iter()
+                    .find(|(name, _)| name == metric)
+                    .map(|(_, v)| (p.at, *v))
+            })
+            .collect()
+    }
+
+    /// Long-format CSV: `time_ns,metric,value`, deterministic row order.
+    pub fn export_csv(&self) -> String {
+        let mut out = String::from("time_ns,metric,value\n");
+        for p in self.points.borrow().iter() {
+            for (name, v) in &p.values {
+                out.push_str(&format!("{},{},{v}\n", p.at.0, csv_field(name)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mr_sim::SimDuration;
+
+    #[test]
+    fn scrape_series_and_csv() {
+        let r = Registry::new();
+        let c = r.counter("kv.lease.transfers", &[]);
+        let sc = Scraper::new();
+
+        sc.scrape(SimTime(0), &r);
+        c.add(2);
+        sc.scrape(SimTime(SimDuration::from_secs(1).nanos()), &r);
+        c.inc();
+        sc.scrape(SimTime(SimDuration::from_secs(2).nanos()), &r);
+
+        assert_eq!(sc.len(), 3);
+        let series = sc.series("kv.lease.transfers");
+        assert_eq!(
+            series.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![0, 2, 3]
+        );
+        let csv = sc.export_csv();
+        assert!(csv.starts_with("time_ns,metric,value\n"));
+        assert!(csv.contains("2000000000,kv.lease.transfers,3\n"));
+    }
+}

@@ -120,7 +120,9 @@ impl fmt::Display for KvError {
                 f,
                 "{range}: follower read at {read_ts} unavailable (closed {closed_ts})"
             ),
-            KvError::WriteIntent { key, intent_txn, .. } => {
+            KvError::WriteIntent {
+                key, intent_txn, ..
+            } => {
                 write!(f, "conflicting intent on {key:?} by {}", intent_txn.id)
             }
             KvError::Uncertainty {
@@ -135,10 +137,7 @@ impl fmt::Display for KvError {
                 key,
                 attempted_ts,
                 actual_ts,
-            } => write!(
-                f,
-                "write too old on {key:?}: {attempted_ts} -> {actual_ts}"
-            ),
+            } => write!(f, "write too old on {key:?}: {attempted_ts} -> {actual_ts}"),
             KvError::RefreshFailed {
                 span_start,
                 conflict_ts,

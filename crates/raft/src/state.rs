@@ -292,10 +292,7 @@ impl<P: Clone> RaftNode<P> {
     fn broadcast_appends(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
         self.last_broadcast = now;
         let peers: Vec<Peer> = self.cfg.peers().collect();
-        peers
-            .into_iter()
-            .map(|p| (p, self.append_for(p)))
-            .collect()
+        peers.into_iter().map(|p| (p, self.append_for(p))).collect()
     }
 
     fn append_for(&mut self, peer: Peer) -> RaftMsg<P> {
@@ -303,11 +300,7 @@ impl<P: Clone> RaftNode<P> {
         let next = *self.next_index.get(&peer).unwrap_or(&1);
         let prev_index = next - 1;
         let prev_term = self.term_at(prev_index).unwrap_or(0);
-        let entries: Vec<Entry<P>> = self
-            .log
-            .get(prev_index as usize..)
-            .unwrap_or(&[])
-            .to_vec();
+        let entries: Vec<Entry<P>> = self.log.get(prev_index as usize..).unwrap_or(&[]).to_vec();
         RaftMsg::AppendEntries {
             term: self.term,
             prev_index,
@@ -511,7 +504,12 @@ impl<P: Clone> RaftNode<P> {
         )]
     }
 
-    fn handle_vote_resp(&mut self, term: u64, granted: bool, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+    fn handle_vote_resp(
+        &mut self,
+        term: u64,
+        granted: bool,
+        now: SimTime,
+    ) -> Vec<(Peer, RaftMsg<P>)> {
         if self.role != Role::Candidate || term < self.term || !granted {
             return Vec::new();
         }

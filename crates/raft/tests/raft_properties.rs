@@ -67,7 +67,7 @@ impl Harness {
     }
 
     fn tick_all(&mut self) {
-        self.now = self.now + SimDuration::from_millis(60);
+        self.now += SimDuration::from_millis(60);
         for i in 0..self.nodes.len() {
             let out = self.nodes[i].tick(self.now);
             let id = self.nodes[i].id();

@@ -136,11 +136,11 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_millis(5);
         assert_eq!(t.nanos(), 5_000_000);
         assert_eq!(t - SimTime::ZERO, SimDuration::from_millis(5));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(
-            SimDuration::from_secs(1),
-            SimDuration::from_millis(1000)
+            SimDuration::from_micros(1500),
+            SimDuration::from_nanos(1_500_000)
         );
-        assert_eq!(SimDuration::from_micros(1500), SimDuration::from_nanos(1_500_000));
     }
 
     #[test]

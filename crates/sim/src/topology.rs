@@ -229,7 +229,8 @@ impl Topology {
         for (ri, rname) in region_names.iter().enumerate() {
             for zi in 0..nodes_per_region {
                 let zone = ZoneId(t.zone_names.len() as u32);
-                t.zone_names.push(format!("{rname}-{}", (b'a' + zi as u8) as char));
+                t.zone_names
+                    .push(format!("{rname}-{}", (b'a' + zi as u8) as char));
                 t.nodes.push(NodeLocality {
                     region: RegionId(ri as u32),
                     zone,
@@ -294,7 +295,9 @@ impl Topology {
 
     /// All nodes in `r`, including dead ones.
     pub fn all_nodes_in_region(&self, r: RegionId) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.region_of(n) == r).collect()
+        self.node_ids()
+            .filter(|&n| self.region_of(n) == r)
+            .collect()
     }
 
     pub fn rtt_matrix(&self) -> &RttMatrix {
@@ -391,7 +394,13 @@ mod tests {
     #[test]
     fn paper_table1_is_symmetric_and_matches() {
         let m = RttMatrix::paper_table1();
-        let (ue, uw, ew, an, as_) = (RegionId(0), RegionId(1), RegionId(2), RegionId(3), RegionId(4));
+        let (ue, uw, ew, an, as_) = (
+            RegionId(0),
+            RegionId(1),
+            RegionId(2),
+            RegionId(3),
+            RegionId(4),
+        );
         assert_eq!(m.rtt(ue, uw), SimDuration::from_millis(63));
         assert_eq!(m.rtt(uw, ue), SimDuration::from_millis(63));
         assert_eq!(m.rtt(ue, ew), SimDuration::from_millis(87));
@@ -454,14 +463,26 @@ mod tests {
         let mut t = topo();
         let mut rng = SimRng::seed_from_u64(0);
         t.fail_node(NodeId(3));
-        assert!(matches!(t.link(NodeId(0), NodeId(3), &mut rng), Link::Unreachable));
-        assert!(matches!(t.link(NodeId(3), NodeId(0), &mut rng), Link::Unreachable));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(3), &mut rng),
+            Link::Unreachable
+        ));
+        assert!(matches!(
+            t.link(NodeId(3), NodeId(0), &mut rng),
+            Link::Unreachable
+        ));
         t.revive_node(NodeId(3));
-        assert!(matches!(t.link(NodeId(0), NodeId(3), &mut rng), Link::Deliver(_)));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(3), &mut rng),
+            Link::Deliver(_)
+        ));
 
         t.fail_region(RegionId(1));
         assert_eq!(t.nodes_in_region(RegionId(1)).len(), 0);
-        assert!(matches!(t.link(NodeId(0), NodeId(4), &mut rng), Link::Unreachable));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(4), &mut rng),
+            Link::Unreachable
+        ));
         t.revive_region(RegionId(1));
         assert_eq!(t.nodes_in_region(RegionId(1)).len(), 3);
     }
@@ -471,12 +492,24 @@ mod tests {
         let mut t = topo();
         let mut rng = SimRng::seed_from_u64(0);
         t.partition_regions(RegionId(1), RegionId(0));
-        assert!(matches!(t.link(NodeId(0), NodeId(3), &mut rng), Link::Unreachable));
-        assert!(matches!(t.link(NodeId(3), NodeId(0), &mut rng), Link::Unreachable));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(3), &mut rng),
+            Link::Unreachable
+        ));
+        assert!(matches!(
+            t.link(NodeId(3), NodeId(0), &mut rng),
+            Link::Unreachable
+        ));
         // Other links unaffected.
-        assert!(matches!(t.link(NodeId(0), NodeId(6), &mut rng), Link::Deliver(_)));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(6), &mut rng),
+            Link::Deliver(_)
+        ));
         t.heal_partition(RegionId(0), RegionId(1));
-        assert!(matches!(t.link(NodeId(0), NodeId(3), &mut rng), Link::Deliver(_)));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(3), &mut rng),
+            Link::Deliver(_)
+        ));
     }
 
     #[test]

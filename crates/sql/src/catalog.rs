@@ -257,7 +257,10 @@ mod tests {
         assert_eq!(d.public_regions(), vec!["us-east1"]);
         assert_eq!(d.all_regions().len(), 2);
         assert!(d.region_writable("us-east1"));
-        assert!(!d.region_writable("us-west1"), "READ ONLY regions reject writes");
+        assert!(
+            !d.region_writable("us-west1"),
+            "READ ONLY regions reject writes"
+        );
         assert!(!d.region_writable("nowhere"));
     }
 

@@ -20,9 +20,7 @@
 use std::collections::HashMap;
 
 use mr_kv::cluster::Cluster;
-use mr_kv::zone::{
-    derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal, ZoneConfig,
-};
+use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal, ZoneConfig};
 use mr_proto::RangeId;
 use mr_sim::RegionId;
 
@@ -31,12 +29,10 @@ use crate::ast::{
     ZoneOverrides,
 };
 use crate::catalog::{
-    Catalog, Column, Database, Index, ManualPartitioning, PartitionKey, RegionState,
-    RegionStatus, Table, TableLocality, REGION_COLUMN,
+    Catalog, Column, Database, Index, ManualPartitioning, PartitionKey, RegionState, RegionStatus,
+    Table, TableLocality, REGION_COLUMN,
 };
-use crate::encoding::{
-    decode_row, encode_row, index_key, partition_span, IndexId,
-};
+use crate::encoding::{decode_row, encode_row, index_key, partition_span, IndexId};
 use crate::types::{ColumnType, Datum};
 
 /// DDL error.
@@ -295,7 +291,13 @@ fn add_region(
     }
     // New partitions for every RBR table; re-derived configs everywhere
     // (non-voters in the new region).
-    let tables: Vec<String> = catalog.db(db_name).unwrap().tables.keys().cloned().collect();
+    let tables: Vec<String> = catalog
+        .db(db_name)
+        .unwrap()
+        .tables
+        .keys()
+        .cloned()
+        .collect();
     for t in &tables {
         let is_rbr = matches!(
             catalog.table(db_name, t).unwrap().locality,
@@ -336,7 +338,13 @@ fn drop_region(
     // region's partitions, not whole tables), and no REGIONAL BY TABLE
     // table may have its home there.
     let mut violation = None;
-    let tables: Vec<String> = catalog.db(db_name).unwrap().tables.keys().cloned().collect();
+    let tables: Vec<String> = catalog
+        .db(db_name)
+        .unwrap()
+        .tables
+        .keys()
+        .cloned()
+        .collect();
     'outer: for t in &tables {
         let table = catalog.table(db_name, t).unwrap();
         if let TableLocality::RegionalByTable(home) = &table.locality {
@@ -452,7 +460,10 @@ fn override_zone_config(
     fallback_home: RegionId,
 ) -> Result<ZoneConfig, DdlError> {
     let num_replicas = z.num_replicas.unwrap_or(3);
-    let num_voters = z.num_voters.unwrap_or(num_replicas.min(3)).min(num_replicas);
+    let num_voters = z
+        .num_voters
+        .unwrap_or(num_replicas.min(3))
+        .min(num_replicas);
     let mut constraints = Vec::new();
     for (r, n) in &z.constraints {
         constraints.push((region_id(cluster, r)?, *n));
@@ -602,8 +613,7 @@ fn create_table(
 
     // RBR tables get the hidden partitioning column automatically (§2.3.2)
     // unless the user defined one (computed partitioning).
-    if locality == TableLocality::RegionalByRow
-        && !columns.iter().any(|c| c.name == REGION_COLUMN)
+    if locality == TableLocality::RegionalByRow && !columns.iter().any(|c| c.name == REGION_COLUMN)
     {
         columns.push(Column {
             name: REGION_COLUMN.into(),
@@ -621,7 +631,9 @@ fn create_table(
     }
     if let Some(rc) = columns.iter().find(|c| c.name == REGION_COLUMN) {
         if rc.ty != ColumnType::Region {
-            return err(format!("{REGION_COLUMN} must have type crdb_internal_region"));
+            return err(format!(
+                "{REGION_COLUMN} must have type crdb_internal_region"
+            ));
         }
     }
 
@@ -640,19 +652,40 @@ fn create_table(
 
     // Primary index.
     let pk_ordinals = ordinals(&table, &pk_cols)?;
-    push_index(&mut table, "primary", pk_ordinals, true, vec![], region_partitioned);
+    push_index(
+        &mut table,
+        "primary",
+        pk_ordinals,
+        true,
+        vec![],
+        region_partitioned,
+    );
 
     // Unique secondary indexes from column/table constraints.
     for col in unique_cols {
         let ords = ordinals(&table, std::slice::from_ref(&col))?;
         let idx_name = format!("{name}_{col}_key");
-        push_index(&mut table, &idx_name, ords, true, vec![], region_partitioned);
+        push_index(
+            &mut table,
+            &idx_name,
+            ords,
+            true,
+            vec![],
+            region_partitioned,
+        );
     }
     for c in constraints {
         if let TableConstraint::Unique(cols) = c {
             let ords = ordinals(&table, cols)?;
             let idx_name = format!("{name}_{}_key", cols.join("_"));
-            push_index(&mut table, &idx_name, ords, true, vec![], region_partitioned);
+            push_index(
+                &mut table,
+                &idx_name,
+                ords,
+                true,
+                vec![],
+                region_partitioned,
+            );
         }
     }
 
@@ -672,10 +705,7 @@ fn create_table(
     Ok(DdlOutcome::Ok)
 }
 
-fn resolve_locality(
-    db: &Database,
-    locality: Option<&Locality>,
-) -> Result<TableLocality, DdlError> {
+fn resolve_locality(db: &Database, locality: Option<&Locality>) -> Result<TableLocality, DdlError> {
     Ok(match locality {
         None | Some(Locality::RegionalByTable(None)) => {
             TableLocality::RegionalByTable(db.primary_region.clone())
@@ -1251,11 +1281,7 @@ pub fn entry_key(
     region: Option<&str>,
     row: &[Datum],
 ) -> mr_proto::Key {
-    let mut cols: Vec<Datum> = index
-        .key_columns
-        .iter()
-        .map(|&o| row[o].clone())
-        .collect();
+    let mut cols: Vec<Datum> = index.key_columns.iter().map(|&o| row[o].clone()).collect();
     if !index.unique && !index.is_primary() {
         for &o in &table.primary_index().key_columns {
             cols.push(row[o].clone());
@@ -1266,10 +1292,7 @@ pub fn entry_key(
 
 /// The home region of the range backing `index` (used by the planner to
 /// prefer local duplicate indexes).
-pub fn index_home_region(
-    cluster: &Cluster,
-    index: &Index,
-) -> Option<String> {
+pub fn index_home_region(cluster: &Cluster, index: &Index) -> Option<String> {
     let rid = index.ranges.values().next()?;
     let desc = cluster.registry().get(*rid)?;
     let region = cluster.topology().region_of(desc.leaseholder);

@@ -181,12 +181,7 @@ pub fn partition_prefix(table: TableId, index: IndexId, region: Option<&str>) ->
 }
 
 /// Full index key: partition prefix plus the encoded key columns.
-pub fn index_key(
-    table: TableId,
-    index: IndexId,
-    region: Option<&str>,
-    key_cols: &[Datum],
-) -> Key {
+pub fn index_key(table: TableId, index: IndexId, region: Option<&str>, key_cols: &[Datum]) -> Key {
     let mut v = partition_prefix(table, index, region);
     for d in key_cols {
         encode_datum(&mut v, d);

@@ -36,6 +36,30 @@ use crate::types::{ColumnType, Datum};
 /// Continuation for SQL results.
 pub type SqlCont<T> = Box<dyn FnOnce(&mut Cluster, Result<T, SqlError>)>;
 
+/// Statement kind label for the `sql.stmt` trace span.
+fn stmt_kind(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::CreateDatabase { .. } => "create_database",
+        Stmt::AlterDatabase { .. } => "alter_database",
+        Stmt::ShowRegions { .. } => "show_regions",
+        Stmt::CreateTable { .. } => "create_table",
+        Stmt::DropTable { .. } => "drop_table",
+        Stmt::AlterTable { .. } => "alter_table",
+        Stmt::CreateIndex { .. } => "create_index",
+        Stmt::AlterIndex { .. } => "alter_index",
+        Stmt::AlterPartition { .. } => "alter_partition",
+        Stmt::Insert { .. } => "insert",
+        Stmt::Select { .. } => "select",
+        Stmt::Update { .. } => "update",
+        Stmt::Delete { .. } => "delete",
+        Stmt::Begin => "begin",
+        Stmt::Commit => "commit",
+        Stmt::Rollback => "rollback",
+        Stmt::Use { .. } => "use",
+        Stmt::Explain(_) => "explain",
+    }
+}
+
 /// Maximum automatic retries of an implicit transaction.
 const MAX_IMPLICIT_RETRIES: u32 = 10;
 
@@ -63,13 +87,19 @@ impl std::fmt::Display for SqlError {
             SqlError::Eval(m) => write!(f, "evaluation error: {m}"),
             SqlError::Kv(e) => write!(f, "kv error: {e}"),
             SqlError::UniqueViolation { table, index } => {
-                write!(f, "duplicate key violates unique constraint {index:?} on {table:?}")
+                write!(
+                    f,
+                    "duplicate key violates unique constraint {index:?} on {table:?}"
+                )
             }
             SqlError::NotNullViolation { table, column } => {
                 write!(f, "null value in column {column:?} of {table:?}")
             }
             SqlError::FkViolation { table, parent } => {
-                write!(f, "insert into {table:?} violates foreign key to {parent:?}")
+                write!(
+                    f,
+                    "insert into {table:?} violates foreign key to {parent:?}"
+                )
             }
             SqlError::ReadOnlyRegion(r) => {
                 write!(f, "region {r:?} is read-only (being dropped)")
@@ -189,6 +219,10 @@ impl SqlDb {
 
     /// Execute one SQL statement asynchronously; `cont` fires with the
     /// result once the simulated operation completes.
+    ///
+    /// Each statement opens a root `sql.stmt` trace span; the KV operations
+    /// it issues (via the ambient `trace_parent`) become its children, so a
+    /// trace reads gateway-down: statement → txn → op → RPC hops.
     pub fn exec(&mut self, sess: &Session, sql: &str, cont: SqlCont<SqlResult>) {
         let stmt = match parse(sql) {
             Ok(s) => s,
@@ -197,7 +231,27 @@ impl SqlDb {
                 return;
             }
         };
+        let gateway = sess.inner.borrow().gateway;
+        let now = self.cluster.now();
+        let span = self.cluster.obs.tracer.start("sql.stmt", None, now);
+        self.cluster.obs.tracer.attr(span, "stmt", stmt_kind(&stmt));
+        self.cluster
+            .obs
+            .tracer
+            .attr(span, "gateway_region", self.cluster.region_name_of(gateway));
+        let prev_parent = std::mem::replace(&mut self.cluster.trace_parent, span);
+        let cont: SqlCont<SqlResult> = Box::new(move |c, res| {
+            let now = c.now();
+            if let Err(e) = &res {
+                c.obs.tracer.event(span, now, format!("err: {e}"));
+            }
+            c.obs.tracer.finish(span, now);
+            cont(c, res)
+        });
         self.exec_stmt(sess, stmt, cont);
+        // The statement entry path is synchronous up to its first KV op, so
+        // the ambient parent can be restored as soon as exec_stmt returns.
+        self.cluster.trace_parent = prev_parent;
     }
 
     /// Execute a whole `;`-separated script synchronously (driving the
@@ -276,10 +330,9 @@ impl SqlDb {
                 let h = sess.inner.borrow_mut().txn.take();
                 match h {
                     None => cont(&mut self.cluster, Ok(SqlResult::Ok)),
-                    Some(h) => self.cluster.txn_rollback(
-                        h,
-                        Box::new(move |c, _| cont(c, Ok(SqlResult::Ok))),
-                    ),
+                    Some(h) => self
+                        .cluster
+                        .txn_rollback(h, Box::new(move |c, _| cont(c, Ok(SqlResult::Ok)))),
                 }
             }
             // DDL: synchronous.
@@ -331,7 +384,10 @@ impl SqlDb {
                 exec_select_stale(&mut self.cluster, ctx, Rc::new(stmt), aost, cont);
             }
             // DML.
-            Stmt::Insert { .. } | Stmt::Select { .. } | Stmt::Update { .. } | Stmt::Delete { .. } => {
+            Stmt::Insert { .. }
+            | Stmt::Select { .. }
+            | Stmt::Update { .. }
+            | Stmt::Delete { .. } => {
                 let ctx = match self.ctx(sess) {
                     Ok(c) => c,
                     Err(e) => {
@@ -461,8 +517,7 @@ fn join_all<T: 'static>(
                         s.remaining -= 1;
                         if s.remaining == 0 {
                             let done = s.done.take().unwrap();
-                            let vals: Vec<T> =
-                                s.slots.drain(..).map(|x| x.unwrap()).collect();
+                            let vals: Vec<T> = s.slots.drain(..).map(|x| x.unwrap()).collect();
                             drop(s);
                             done(c, Ok(vals));
                         }
@@ -706,14 +761,22 @@ fn explain(cluster: &mut Cluster, ctx: &ExecCtx, stmt: &Stmt) -> Result<SqlResul
             line(format!(
                 "scan {}@{index}{}",
                 table.name,
-                if aost.is_some() { " (stale follower read)" } else { "" }
+                if aost.is_some() {
+                    " (stale follower read)"
+                } else {
+                    ""
+                }
             ));
             line(format!(
                 "  keys: {}",
                 if plan.keys.is_empty() {
                     "full scan".to_string()
                 } else {
-                    format!("{} point lookup(s), unique={}", plan.keys.len(), plan.unique)
+                    format!(
+                        "{} point lookup(s), unique={}",
+                        plan.keys.len(),
+                        plan.unique
+                    )
                 }
             ));
             match &plan.strategy {
@@ -735,7 +798,12 @@ fn explain(cluster: &mut Cluster, ctx: &ExecCtx, stmt: &Stmt) -> Result<SqlResul
                 line("  filter: residual predicate re-applied".into());
             }
         }
-        Stmt::Insert { table: tname, columns, rows: vrows, upsert } => {
+        Stmt::Insert {
+            table: tname,
+            columns,
+            rows: vrows,
+            upsert,
+        } => {
             let (db, table) = ctx.snapshot(tname)?;
             line(format!(
                 "{} into {}",
@@ -773,6 +841,7 @@ fn explain(cluster: &mut Cluster, ctx: &ExecCtx, stmt: &Stmt) -> Result<SqlResul
 }
 
 /// One probe task: returns decoded full rows.
+#[allow(clippy::too_many_arguments)]
 fn probe_task(
     table: &Rc<Table>,
     index_id: u32,
@@ -788,10 +857,7 @@ fn probe_task(
         let decode_all = move |values: Vec<Value>| -> Result<Vec<Vec<Datum>>, SqlError> {
             values
                 .iter()
-                .map(|v| {
-                    decode_row(v)
-                        .ok_or_else(|| SqlError::Eval("corrupt row encoding".into()))
-                })
+                .map(|v| decode_row(v).ok_or_else(|| SqlError::Eval("corrupt row encoding".into())))
                 .collect()
         };
         if unique && !key.is_empty() {
@@ -814,7 +880,12 @@ fn probe_task(
                         staleness,
                         fallback_to_leaseholder: true,
                     };
-                    cluster.read(gateway, k, opts, Box::new(move |c, res| handle(c, res, cont)));
+                    cluster.read(
+                        gateway,
+                        k,
+                        opts,
+                        Box::new(move |c, res| handle(c, res, cont)),
+                    );
                 }
             }
         } else {
@@ -828,15 +899,18 @@ fn probe_task(
                                res: Result<Vec<(Key, Value)>, KvError>,
                                cont: SqlCont<Vec<Vec<Datum>>>| {
                 match res {
-                    Ok(rows) => {
-                        cont(c, decode_all(rows.into_iter().map(|(_, v)| v).collect()))
-                    }
+                    Ok(rows) => cont(c, decode_all(rows.into_iter().map(|(_, v)| v).collect())),
                     Err(e) => cont(c, Err(SqlError::Kv(e))),
                 }
             };
             match mode {
                 FetchMode::Txn(txn) => {
-                    cluster.txn_scan(txn, span, limit, Box::new(move |c, res| handle(c, res, cont)));
+                    cluster.txn_scan(
+                        txn,
+                        span,
+                        limit,
+                        Box::new(move |c, res| handle(c, res, cont)),
+                    );
                 }
                 FetchMode::Stale(staleness) => {
                     let opts = ReadOptions {
@@ -1000,7 +1074,11 @@ fn project(
     };
     Ok(rows
         .into_iter()
-        .map(|row| ords.iter().map(|&o| row.get(o).cloned().unwrap_or(Datum::Null)).collect())
+        .map(|row| {
+            ords.iter()
+                .map(|&o| row.get(o).cloned().unwrap_or(Datum::Null))
+                .collect()
+        })
         .collect())
 }
 
@@ -1140,9 +1218,8 @@ fn exec_insert(
     // CRDB's UPSERT, used by the YCSB driver (§7.1). Other tables take a
     // read-modify-write path: fetch by primary key, then overwrite or
     // insert.
-    let blind_upsert = upsert
-        && table.indexes.len() == 1
-        && !table.primary_index().region_partitioned;
+    let blind_upsert =
+        upsert && table.indexes.len() == 1 && !table.primary_index().region_partitioned;
     let ctx2 = ctx.clone();
     let table2 = Rc::clone(&table);
     let db2 = Rc::clone(&db);
@@ -1359,7 +1436,9 @@ fn upsert_one_row(
     if pk_key.iter().any(|d| d.is_null()) {
         return done(
             cluster,
-            Err(SqlError::Plan("UPSERT requires all primary key columns".into())),
+            Err(SqlError::Plan(
+                "UPSERT requires all primary key columns".into(),
+            )),
         );
     }
     // Fetch the current row: direct partition when the region is known,
@@ -1404,9 +1483,8 @@ fn upsert_one_row(
                     let changed: Vec<usize> = (0..table.columns.len())
                         .filter(|&i| row.get(i) != old_row.get(i))
                         .collect();
-                    let mut probes: Vec<
-                        Box<dyn FnOnce(&mut Cluster, SqlCont<Option<SqlError>>)>,
-                    > = Vec::new();
+                    let mut probes: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<Option<SqlError>>)>> =
+                        Vec::new();
                     if ctx2.unique_checks {
                         let generated = vec![false; table.columns.len()];
                         for check in plan_uniqueness_checks(&db, &table, &row, &generated) {
@@ -1546,7 +1624,16 @@ fn fk_probe_tasks(
             let mut iter = probe_regions.into_iter();
             let local = iter.next().unwrap();
             let remote: Vec<Option<String>> = iter.collect();
-            let t1 = probe_task(&parent_rc, index_id, true, local, vec![value.clone()], mode, gw, 1);
+            let t1 = probe_task(
+                &parent_rc,
+                index_id,
+                true,
+                local,
+                vec![value.clone()],
+                mode,
+                gw,
+                1,
+            );
             let parent_rc2 = Rc::clone(&parent_rc);
             let value2 = value.clone();
             t1(
@@ -1751,12 +1838,17 @@ fn update_one_row(
     let mut set_ordinals = Vec::new();
     for (col, e) in sets {
         let Some(ord) = table.column_ordinal(col) else {
-            return done(cluster, Err(SqlError::Plan(format!("unknown column {col:?}"))));
+            return done(
+                cluster,
+                Err(SqlError::Plan(format!("unknown column {col:?}"))),
+            );
         };
         if table.columns[ord].computed.is_some() {
             return done(
                 cluster,
-                Err(SqlError::Plan(format!("cannot UPDATE computed column {col:?}"))),
+                Err(SqlError::Plan(format!(
+                    "cannot UPDATE computed column {col:?}"
+                ))),
             );
         }
         // SET expressions see the OLD row.
@@ -1959,7 +2051,8 @@ mod tests {
                 *o2.borrow_mut() = Some(res.unwrap());
             }),
         );
-        db.cluster.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+        db.cluster
+            .run_until(SimTime(SimDuration::from_secs(1).nanos()));
         // Results are slot-ordered regardless of completion order.
         assert_eq!(out.borrow().clone().unwrap(), vec![0, 1, 2, 3]);
     }
@@ -1971,7 +2064,10 @@ mod tests {
         let o2 = Rc::clone(&out);
         let tasks: Vec<Box<dyn FnOnce(&mut Cluster, SqlCont<u32>)>> = vec![
             Box::new(|c, cont| {
-                c.schedule(SimDuration::from_millis(50), Box::new(move |c2| cont(c2, Ok(1))));
+                c.schedule(
+                    SimDuration::from_millis(50),
+                    Box::new(move |c2| cont(c2, Ok(1))),
+                );
             }),
             Box::new(|c, cont| {
                 c.schedule(
@@ -1987,10 +2083,15 @@ mod tests {
                 *o2.borrow_mut() = Some(res);
             }),
         );
-        db.cluster.run_until(SimTime(SimDuration::from_millis(20).nanos()));
+        db.cluster
+            .run_until(SimTime(SimDuration::from_millis(20).nanos()));
         // Error delivered as soon as it happens; the slow Ok is discarded.
-        assert!(matches!(out.borrow().as_ref(), Some(Err(SqlError::Eval(_)))));
-        db.cluster.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+        assert!(matches!(
+            out.borrow().as_ref(),
+            Some(Err(SqlError::Eval(_)))
+        ));
+        db.cluster
+            .run_until(SimTime(SimDuration::from_secs(1).nanos()));
     }
 
     #[test]
@@ -2030,11 +2131,13 @@ mod tests {
                 *o2.borrow_mut() = Some(res.unwrap());
             }),
         );
-        db.cluster.run_until(SimTime(SimDuration::from_millis(20).nanos()));
+        db.cluster
+            .run_until(SimTime(SimDuration::from_millis(20).nanos()));
         // Delivered after the fast task, without waiting for the slow one.
         assert_eq!(out.borrow().clone().unwrap(), vec![vec![Datum::Int(7)]]);
         assert!(db.cluster.now() - t0 < SimDuration::from_millis(100));
-        db.cluster.run_until(SimTime(SimDuration::from_secs(1).nanos()));
+        db.cluster
+            .run_until(SimTime(SimDuration::from_secs(1).nanos()));
     }
 
     #[test]

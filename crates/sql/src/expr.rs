@@ -191,61 +191,53 @@ fn eval_binop(op: BinOp, l: Datum, r: Datum) -> Result<Datum, EvalError> {
 
 fn eval_arith(op: BinOp, l: Datum, r: Datum) -> Result<Datum, EvalError> {
     match (&l, &r) {
-            (Datum::Int(x), Datum::Int(y)) => {
-                let v = match op {
-                    BinOp::Add => x.wrapping_add(*y),
-                    BinOp::Sub => x.wrapping_sub(*y),
-                    BinOp::Mul => x.wrapping_mul(*y),
-                    BinOp::Div => {
-                        if *y == 0 {
-                            return err("division by zero");
-                        }
-                        x / y
+        (Datum::Int(x), Datum::Int(y)) => {
+            let v = match op {
+                BinOp::Add => x.wrapping_add(*y),
+                BinOp::Sub => x.wrapping_sub(*y),
+                BinOp::Mul => x.wrapping_mul(*y),
+                BinOp::Div => {
+                    if *y == 0 {
+                        return err("division by zero");
                     }
-                    BinOp::Mod => {
-                        if *y == 0 {
-                            return err("division by zero");
-                        }
-                        x.rem_euclid(*y)
+                    x / y
+                }
+                BinOp::Mod => {
+                    if *y == 0 {
+                        return err("division by zero");
                     }
-                    _ => unreachable!(),
-                };
-                Ok(Datum::Int(v))
-            }
-            (Datum::Float(x), Datum::Float(y)) => Ok(Datum::Float(match op {
-                BinOp::Add => x + y,
-                BinOp::Sub => x - y,
-                BinOp::Mul => x * y,
-                BinOp::Div => x / y,
-                BinOp::Mod => x % y,
+                    x.rem_euclid(*y)
+                }
                 _ => unreachable!(),
-            })),
-            (Datum::String(x), Datum::String(y)) if op == BinOp::Add => {
-                Ok(Datum::String(format!("{x}{y}")))
-            }
-            _ => err(format!("arithmetic on {l:?} and {r:?}")),
+            };
+            Ok(Datum::Int(v))
+        }
+        (Datum::Float(x), Datum::Float(y)) => Ok(Datum::Float(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            BinOp::Mod => x % y,
+            _ => unreachable!(),
+        })),
+        (Datum::String(x), Datum::String(y)) if op == BinOp::Add => {
+            Ok(Datum::String(format!("{x}{y}")))
+        }
+        _ => err(format!("arithmetic on {l:?} and {r:?}")),
     }
 }
 
 /// Extract the conjunction of equality constraints `col = lit` / `col IN
 /// (lits)` from a predicate, for index selection. Returns `(col, values)`
 /// pairs; non-extractable conjuncts are reported via `residual`.
-pub fn extract_equalities(
-    pred: &Expr,
-    table: &Table,
-) -> (Vec<(usize, Vec<Datum>)>, bool) {
+pub fn extract_equalities(pred: &Expr, table: &Table) -> (Vec<(usize, Vec<Datum>)>, bool) {
     let mut out = Vec::new();
     let mut residual = false;
     collect_eq(pred, table, &mut out, &mut residual);
     (out, residual)
 }
 
-fn collect_eq(
-    e: &Expr,
-    table: &Table,
-    out: &mut Vec<(usize, Vec<Datum>)>,
-    residual: &mut bool,
-) {
+fn collect_eq(e: &Expr, table: &Table, out: &mut Vec<(usize, Vec<Datum>)>, residual: &mut bool) {
     match e {
         Expr::BinOp {
             op: BinOp::And,
@@ -421,7 +413,10 @@ mod tests {
         assert_eq!(eqs[0], (0, vec![Datum::Int(5)]));
         assert_eq!(
             eqs[1],
-            (1, vec![Datum::String("a".into()), Datum::String("b".into())])
+            (
+                1,
+                vec![Datum::String("a".into()), Datum::String("b".into())]
+            )
         );
         // A non-equality conjunct leaves a residual.
         let pred = match parse("SELECT * FROM t WHERE k = 5 AND k < 9").unwrap() {

@@ -384,7 +384,10 @@ impl Parser {
             } else if self.kw("REFERENCES") {
                 let parent = self.ident()?;
                 let col = if self.peek() == Some(&Token::Symbol('(')) {
-                    self.paren_ident_list()?.first().cloned().unwrap_or_default()
+                    self.paren_ident_list()?
+                        .first()
+                        .cloned()
+                        .unwrap_or_default()
                 } else {
                     String::new()
                 };
@@ -943,7 +946,9 @@ pub fn parse_interval(s: &str) -> Result<SimDuration, String> {
         .find(|c: char| !c.is_ascii_digit() && c != '.')
         .ok_or_else(|| format!("interval {s:?} missing unit"))?;
     let (num, unit) = s.split_at(split);
-    let num: f64 = num.parse().map_err(|e| format!("bad interval {s:?}: {e}"))?;
+    let num: f64 = num
+        .parse()
+        .map_err(|e| format!("bad interval {s:?}: {e}"))?;
     let nanos = match unit {
         "ns" => num,
         "us" | "µs" => num * 1e3,
@@ -1077,10 +1082,12 @@ mod tests {
             }
             _ => panic!(),
         }
-        match parse(r#"CREATE TABLE t (a INT) LOCALITY REGIONAL BY TABLE IN "us-west1""#).unwrap()
-        {
+        match parse(r#"CREATE TABLE t (a INT) LOCALITY REGIONAL BY TABLE IN "us-west1""#).unwrap() {
             Stmt::CreateTable { locality, .. } => {
-                assert_eq!(locality, Some(Locality::RegionalByTable(Some("us-west1".into()))))
+                assert_eq!(
+                    locality,
+                    Some(Locality::RegionalByTable(Some("us-west1".into())))
+                )
             }
             _ => panic!(),
         }
@@ -1124,10 +1131,7 @@ mod tests {
                 columns, predicate, ..
             } => {
                 assert!(columns.is_none());
-                assert!(matches!(
-                    predicate,
-                    Some(Expr::BinOp { op: BinOp::Eq, .. })
-                ));
+                assert!(matches!(predicate, Some(Expr::BinOp { op: BinOp::Eq, .. })));
             }
             _ => panic!(),
         }
@@ -1164,7 +1168,9 @@ mod tests {
             _ => panic!(),
         }
         match parse("UPDATE t SET v = v + 1, w = 2 WHERE k = 7 AND z = 'a'").unwrap() {
-            Stmt::Update { sets, predicate, .. } => {
+            Stmt::Update {
+                sets, predicate, ..
+            } => {
                 assert_eq!(sets.len(), 2);
                 assert!(matches!(
                     predicate,
@@ -1214,12 +1220,11 @@ mod tests {
             }
             _ => panic!(),
         }
-        let s = parse(
-            "CREATE INDEX idx_west ON promo_codes (code) STORING (description)",
-        )
-        .unwrap();
+        let s = parse("CREATE INDEX idx_west ON promo_codes (code) STORING (description)").unwrap();
         match s {
-            Stmt::CreateIndex { storing, unique, .. } => {
+            Stmt::CreateIndex {
+                storing, unique, ..
+            } => {
                 assert_eq!(storing, vec!["description"]);
                 assert!(!unique);
             }
@@ -1251,9 +1256,7 @@ mod tests {
                         ..
                     } => match *lhs {
                         Expr::BinOp {
-                            op: BinOp::Eq,
-                            lhs,
-                            ..
+                            op: BinOp::Eq, lhs, ..
                         } => {
                             assert!(matches!(*lhs, Expr::BinOp { op: BinOp::Mod, .. }))
                         }
@@ -1269,7 +1272,10 @@ mod tests {
     #[test]
     fn intervals() {
         assert_eq!(parse_interval("-30s").unwrap(), SimDuration::from_secs(30));
-        assert_eq!(parse_interval("500ms").unwrap(), SimDuration::from_millis(500));
+        assert_eq!(
+            parse_interval("500ms").unwrap(),
+            SimDuration::from_millis(500)
+        );
         assert_eq!(parse_interval("2m").unwrap(), SimDuration::from_secs(120));
         assert!(parse_interval("xyz").is_err());
     }

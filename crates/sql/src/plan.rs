@@ -27,10 +27,7 @@ pub enum PartitionStrategy {
     Single(Option<String>),
     /// Locality-optimized search: probe `local` first; fan out to `remote`
     /// only if fewer than the row limit were found (§4.2).
-    LocalityOptimized {
-        local: String,
-        remote: Vec<String>,
-    },
+    LocalityOptimized { local: String, remote: Vec<String> },
     /// No bound on result count and unknown region: visit everything.
     AllPartitions(Vec<String>),
 }
@@ -121,22 +118,18 @@ fn determinants_bound(e: &Expr, table: &Table, row: &[Datum]) -> bool {
                 && list.iter().all(|e| determinants_bound(e, table, row))
         }
         Expr::Case { whens, else_ } => {
-            whens
-                .iter()
-                .all(|(c, v)| determinants_bound(c, table, row) && determinants_bound(v, table, row))
-                && else_
-                    .as_ref()
-                    .is_none_or(|e| determinants_bound(e, table, row))
+            whens.iter().all(|(c, v)| {
+                determinants_bound(c, table, row) && determinants_bound(v, table, row)
+            }) && else_
+                .as_ref()
+                .is_none_or(|e| determinants_bound(e, table, row))
         }
         Expr::FnCall { args, .. } => args.iter().all(|e| determinants_bound(e, table, row)),
     }
 }
 
 /// All indexes whose key columns are fully bound by the equalities.
-fn fully_bound_indexes<'t>(
-    table: &'t Table,
-    bound: &[(usize, Vec<Datum>)],
-) -> Vec<&'t Index> {
+fn fully_bound_indexes<'t>(table: &'t Table, bound: &[(usize, Vec<Datum>)]) -> Vec<&'t Index> {
     table
         .indexes
         .iter()
@@ -174,6 +167,7 @@ fn expand_keys(index: &Index, bound: &[(usize, Vec<Datum>)]) -> Vec<Vec<Datum>> 
 /// Plan a read of `table` given a predicate (already parsed). `prefer_local`
 /// selects among duplicate covering indexes (legacy duplicate-index
 /// topology): the caller passes the home-region resolver.
+#[allow(clippy::too_many_arguments)]
 pub fn plan_read(
     db: &Database,
     table: &Table,
@@ -204,10 +198,7 @@ pub fn plan_read(
         let strategy = match &table.locality {
             TableLocality::RegionalByRow => {
                 let regions = db.all_regions();
-                if los_enabled
-                    && limit.is_some()
-                    && regions.iter().any(|r| r == gateway_region)
-                {
+                if los_enabled && limit.is_some() && regions.iter().any(|r| r == gateway_region) {
                     PartitionStrategy::LocalityOptimized {
                         local: gateway_region.to_string(),
                         remote: regions
@@ -452,7 +443,11 @@ mod tests {
         if let Some(expr) = computed_region {
             let sql = format!("SELECT * FROM t WHERE x = ({expr})");
             let parsed = parse(&sql).unwrap();
-            if let crate::ast::Stmt::Select { predicate: Some(crate::ast::Expr::BinOp { rhs, .. }), .. } = parsed {
+            if let crate::ast::Stmt::Select {
+                predicate: Some(crate::ast::Expr::BinOp { rhs, .. }),
+                ..
+            } = parsed
+            {
                 region_col.computed = Some(*rhs);
             } else {
                 panic!("fixture parse");
@@ -543,15 +538,16 @@ mod tests {
 
     #[test]
     fn computed_region_derived_from_determinants() {
-        let t = rbr_table(Some(
-            "CASE WHEN name = 'west' THEN 'r2' ELSE 'r0' END",
-        ));
+        let t = rbr_table(Some("CASE WHEN name = 'west' THEN 'r2' ELSE 'r0' END"));
         // Determinant (name) bound: partition computable.
         let p = plan(&t, "id = 5 AND name = 'west'", None, "r1");
         assert_eq!(p.strategy, PartitionStrategy::Single(Some("r2".into())));
         // Determinant unbound: fall back to LOS (pk is unique).
         let p = plan(&t, "id = 5", None, "r1");
-        assert!(matches!(p.strategy, PartitionStrategy::LocalityOptimized { .. }));
+        assert!(matches!(
+            p.strategy,
+            PartitionStrategy::LocalityOptimized { .. }
+        ));
     }
 
     #[test]
@@ -562,7 +558,10 @@ mod tests {
         assert!(p.residual.is_some());
         // A LIMIT bounds the row count: LOS applies (§4.2).
         let p = plan(&t, "name = 'x'", Some(3), "r0");
-        assert!(matches!(p.strategy, PartitionStrategy::LocalityOptimized { .. }));
+        assert!(matches!(
+            p.strategy,
+            PartitionStrategy::LocalityOptimized { .. }
+        ));
     }
 
     #[test]
@@ -611,8 +610,7 @@ mod tests {
             gateway_region: "r2",
             uuid_source: &mut src,
         };
-        let homes: HashMap<u32, &str> =
-            [(2u32, "r0"), (3u32, "r2")].into_iter().collect();
+        let homes: HashMap<u32, &str> = [(2u32, "r0"), (3u32, "r2")].into_iter().collect();
         let p = plan_read(
             &database(),
             &t,

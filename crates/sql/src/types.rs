@@ -105,7 +105,11 @@ impl fmt::Display for Datum {
             Datum::String(s) => write!(f, "'{s}'"),
             Datum::Bool(b) => write!(f, "{b}"),
             Datum::Uuid(u) => write!(f, "{u:032x}"),
-            Datum::Bytes(b) => write!(f, "x'{}'", b.iter().map(|x| format!("{x:02x}")).collect::<String>()),
+            Datum::Bytes(b) => write!(
+                f,
+                "x'{}'",
+                b.iter().map(|x| format!("{x:02x}")).collect::<String>()
+            ),
             Datum::Region(r) => write!(f, "'{r}'"),
             Datum::Timestamp(t) => write!(f, "ts({t})"),
         }

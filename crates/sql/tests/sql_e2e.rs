@@ -3,9 +3,9 @@
 //! rehoming, stale reads, and region lifecycle.
 
 use mr_kv::cluster::ClusterConfig;
+use mr_sim::{RttMatrix, SimDuration, SimTime, Topology};
 use mr_sql::exec::{SqlDb, SqlError, SqlResult};
 use mr_sql::types::Datum;
-use mr_sim::{RttMatrix, SimDuration, SimTime, Topology};
 
 fn db() -> SqlDb {
     let topo = Topology::build(
@@ -36,7 +36,8 @@ fn movr_db() -> SqlDb {
     )
     .unwrap();
     // Settle replication & closed timestamps.
-    d.cluster.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    d.cluster
+        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
     d
 }
 
@@ -97,8 +98,11 @@ fn rbr_rows_are_homed_where_inserted() {
     let mut d = movr_db();
     let s_east = d.session_in_region("us-east1", Some("movr"));
     let s_eu = d.session_in_region("europe-west2", Some("movr"));
-    d.exec_sync(&s_east, "INSERT INTO users (id, email) VALUES (1, 'e@x.com')")
-        .unwrap();
+    d.exec_sync(
+        &s_east,
+        "INSERT INTO users (id, email) VALUES (1, 'e@x.com')",
+    )
+    .unwrap();
     d.exec_sync(&s_eu, "INSERT INTO users (id, email) VALUES (2, 'w@x.com')")
         .unwrap();
     let res = d
@@ -112,13 +116,17 @@ fn local_rbr_access_is_fast_remote_is_not() {
     let mut d = movr_db();
     let s_east = d.session_in_region("us-east1", Some("movr"));
     let s_eu = d.session_in_region("europe-west2", Some("movr"));
-    d.exec_sync(&s_eu, "INSERT INTO users (id, email) VALUES (9, 'eu@x.com')")
-        .unwrap();
+    d.exec_sync(
+        &s_eu,
+        "INSERT INTO users (id, email) VALUES (9, 'eu@x.com')",
+    )
+    .unwrap();
 
     // Local read (from europe, where the row is homed): LOS finds it in the
     // local partition without leaving the region.
     let t0 = d.cluster.now();
-    d.exec_sync(&s_eu, "SELECT * FROM users WHERE id = 9").unwrap();
+    d.exec_sync(&s_eu, "SELECT * FROM users WHERE id = 9")
+        .unwrap();
     let local_lat = d.cluster.now() - t0;
     assert!(
         local_lat < SimDuration::from_millis(10),
@@ -127,7 +135,9 @@ fn local_rbr_access_is_fast_remote_is_not() {
 
     // Remote read (from us-east): local probe misses, fan-out pays the WAN.
     let t0 = d.cluster.now();
-    let res = d.exec_sync(&s_east, "SELECT * FROM users WHERE id = 9").unwrap();
+    let res = d
+        .exec_sync(&s_east, "SELECT * FROM users WHERE id = 9")
+        .unwrap();
     assert_eq!(res.rows().len(), 1);
     let remote_lat = d.cluster.now() - t0;
     assert!(
@@ -141,12 +151,18 @@ fn unique_constraint_enforced_globally() {
     let mut d = movr_db();
     let s_east = d.session_in_region("us-east1", Some("movr"));
     let s_eu = d.session_in_region("europe-west2", Some("movr"));
-    d.exec_sync(&s_east, "INSERT INTO users (id, email) VALUES (1, 'dup@x.com')")
-        .unwrap();
+    d.exec_sync(
+        &s_east,
+        "INSERT INTO users (id, email) VALUES (1, 'dup@x.com')",
+    )
+    .unwrap();
     // Same email inserted from another region: must fail even though the
     // rows live in different partitions (§4.1).
     let err = d
-        .exec_sync(&s_eu, "INSERT INTO users (id, email) VALUES (2, 'dup@x.com')")
+        .exec_sync(
+            &s_eu,
+            "INSERT INTO users (id, email) VALUES (2, 'dup@x.com')",
+        )
         .unwrap_err();
     assert!(
         matches!(err, SqlError::UniqueViolation { .. }),
@@ -154,7 +170,10 @@ fn unique_constraint_enforced_globally() {
     );
     // Duplicate primary key also fails across regions.
     let err = d
-        .exec_sync(&s_eu, "INSERT INTO users (id, email) VALUES (1, 'other@x.com')")
+        .exec_sync(
+            &s_eu,
+            "INSERT INTO users (id, email) VALUES (1, 'other@x.com')",
+        )
         .unwrap_err();
     assert!(matches!(err, SqlError::UniqueViolation { .. }));
 }
@@ -174,7 +193,9 @@ fn global_table_fast_reads_everywhere_slow_writes() {
         wlat >= SimDuration::from_millis(300),
         "global write should commit-wait: {wlat}"
     );
-    d.cluster.run_until(SimTime(d.cluster.now().nanos() + SimDuration::from_secs(2).nanos()));
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(2).nanos(),
+    ));
     for region in ["us-east1", "europe-west2", "asia-northeast1"] {
         let s = d.session_in_region(region, Some("movr"));
         let t0 = d.cluster.now();
@@ -197,10 +218,14 @@ fn stale_reads_with_aost() {
     // asia-northeast1 is a database region: its non-voting replicas can
     // serve stale reads locally. Insert, wait out the closed-ts lag, read.
     let s_au = d.session_in_region("asia-northeast1", Some("movr"));
-    d.exec_sync(&s_east, "INSERT INTO users (id, email) VALUES (5, 's@x.com')")
-        .unwrap();
-    d.cluster
-        .run_until(SimTime(d.cluster.now().nanos() + SimDuration::from_secs(6).nanos()));
+    d.exec_sync(
+        &s_east,
+        "INSERT INTO users (id, email) VALUES (5, 's@x.com')",
+    )
+    .unwrap();
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(6).nanos(),
+    ));
     let t0 = d.cluster.now();
     let res = d
         .exec_sync(
@@ -287,15 +312,21 @@ fn automatic_rehoming_moves_rows_on_update() {
     d.exec_sync(&s_eu, "UPDATE sessions SET data = 'z' WHERE id = 1")
         .unwrap();
     let lat = d.cluster.now() - t0;
-    assert!(lat < SimDuration::from_millis(15), "rehomed update took {lat}");
+    assert!(
+        lat < SimDuration::from_millis(15),
+        "rehomed update took {lat}"
+    );
 }
 
 #[test]
 fn update_and_delete_maintain_secondary_indexes() {
     let mut d = movr_db();
     let sess = d.session_in_region("us-east1", Some("movr"));
-    d.exec_sync(&sess, "INSERT INTO users (id, email, name) VALUES (1, 'old@x.com', 'A')")
-        .unwrap();
+    d.exec_sync(
+        &sess,
+        "INSERT INTO users (id, email, name) VALUES (1, 'old@x.com', 'A')",
+    )
+    .unwrap();
     d.exec_sync(&sess, "UPDATE users SET email = 'new@x.com' WHERE id = 1")
         .unwrap();
     let res = d
@@ -307,11 +338,17 @@ fn update_and_delete_maintain_secondary_indexes() {
         .unwrap();
     assert_eq!(res.rows().len(), 0, "old index entry must be gone");
     // Email is free for reuse now.
-    d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (2, 'old@x.com')")
-        .unwrap();
+    d.exec_sync(
+        &sess,
+        "INSERT INTO users (id, email) VALUES (2, 'old@x.com')",
+    )
+    .unwrap();
     // Delete removes all entries.
-    d.exec_sync(&sess, "DELETE FROM users WHERE id = 1").unwrap();
-    let res = d.exec_sync(&sess, "SELECT * FROM users WHERE id = 1").unwrap();
+    d.exec_sync(&sess, "DELETE FROM users WHERE id = 1")
+        .unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT * FROM users WHERE id = 1")
+        .unwrap();
     assert_eq!(res.rows().len(), 0);
     let res = d
         .exec_sync(&sess, "SELECT * FROM users WHERE email = 'new@x.com'")
@@ -327,10 +364,14 @@ fn explicit_transactions() {
     d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 't@x.com')")
         .unwrap();
     // Read-your-writes inside the transaction.
-    let res = d.exec_sync(&sess, "SELECT * FROM users WHERE id = 1").unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT * FROM users WHERE id = 1")
+        .unwrap();
     assert_eq!(res.rows().len(), 1);
     d.exec_sync(&sess, "COMMIT").unwrap();
-    let res = d.exec_sync(&sess, "SELECT * FROM users WHERE id = 1").unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT * FROM users WHERE id = 1")
+        .unwrap();
     assert_eq!(res.rows().len(), 1);
 
     // Rollback discards.
@@ -338,7 +379,9 @@ fn explicit_transactions() {
     d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (2, 'r@x.com')")
         .unwrap();
     d.exec_sync(&sess, "ROLLBACK").unwrap();
-    let res = d.exec_sync(&sess, "SELECT * FROM users WHERE id = 2").unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT * FROM users WHERE id = 2")
+        .unwrap();
     assert_eq!(res.rows().len(), 0);
 }
 
@@ -358,12 +401,16 @@ fn foreign_keys_to_global_parent() {
     let s_east = d.session_in_region("us-east1", Some("movr"));
     d.exec_sync(&s_east, "INSERT INTO promo_codes VALUES ('OK', 'fine')")
         .unwrap();
-    d.cluster
-        .run_until(SimTime(d.cluster.now().nanos() + SimDuration::from_secs(2).nanos()));
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(2).nanos(),
+    ));
     // Valid FK: parent is GLOBAL, so the check reads locally in europe.
     let t0 = d.cluster.now();
-    d.exec_sync(&sess, "INSERT INTO redemptions (tag, code) VALUES (1, 'OK')")
-        .unwrap();
+    d.exec_sync(
+        &sess,
+        "INSERT INTO redemptions (tag, code) VALUES (1, 'OK')",
+    )
+    .unwrap();
     let lat = d.cluster.now() - t0;
     assert!(
         lat < SimDuration::from_millis(20),
@@ -371,7 +418,10 @@ fn foreign_keys_to_global_parent() {
     );
     // Invalid FK rejected.
     let err = d
-        .exec_sync(&sess, "INSERT INTO redemptions (tag, code) VALUES (2, 'NOPE')")
+        .exec_sync(
+            &sess,
+            "INSERT INTO redemptions (tag, code) VALUES (2, 'NOPE')",
+        )
         .unwrap_err();
     assert!(matches!(err, SqlError::FkViolation { .. }), "{err}");
 }
@@ -386,27 +436,41 @@ fn add_and_drop_region_lifecycle() {
     assert_eq!(res.rows().len(), 4);
     // Rows can now be homed there.
     let s_west = d.session_in_region("us-west1", Some("movr"));
-    d.exec_sync(&s_west, "INSERT INTO users (id, email) VALUES (1, 'w@x.com')")
-        .unwrap();
+    d.exec_sync(
+        &s_west,
+        "INSERT INTO users (id, email) VALUES (1, 'w@x.com')",
+    )
+    .unwrap();
     // Dropping a region with homed rows fails (all-or-nothing, §2.4.1)...
     let err = d
         .exec_sync(&sess, r#"ALTER DATABASE movr DROP REGION "us-west1""#)
         .unwrap_err();
     assert!(matches!(err, SqlError::Catalog(_)), "{err}");
     // ...and the region is still usable afterwards (rollback restored it).
-    d.exec_sync(&s_west, "INSERT INTO users (id, email) VALUES (2, 'w2@x.com')")
-        .unwrap();
+    d.exec_sync(
+        &s_west,
+        "INSERT INTO users (id, email) VALUES (2, 'w2@x.com')",
+    )
+    .unwrap();
     // Re-home the rows elsewhere, then the drop succeeds.
-    d.exec_sync(&s_west, "UPDATE users SET crdb_region = 'us-east1' WHERE id = 1")
-        .unwrap();
-    d.exec_sync(&s_west, "UPDATE users SET crdb_region = 'us-east1' WHERE id = 2")
-        .unwrap();
+    d.exec_sync(
+        &s_west,
+        "UPDATE users SET crdb_region = 'us-east1' WHERE id = 1",
+    )
+    .unwrap();
+    d.exec_sync(
+        &s_west,
+        "UPDATE users SET crdb_region = 'us-east1' WHERE id = 2",
+    )
+    .unwrap();
     d.exec_sync(&sess, r#"ALTER DATABASE movr DROP REGION "us-west1""#)
         .unwrap();
     let res = d.exec_sync(&sess, "SHOW REGIONS").unwrap();
     assert_eq!(res.rows().len(), 3);
     // Rows survived in their new home.
-    let res = d.exec_sync(&sess, "SELECT * FROM users WHERE id = 1").unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT * FROM users WHERE id = 1")
+        .unwrap();
     assert_eq!(res.rows().len(), 1);
 }
 
@@ -419,10 +483,14 @@ fn alter_locality_between_forms() {
         "CREATE TABLE flex (k INT PRIMARY KEY, v STRING) LOCALITY REGIONAL BY TABLE",
     )
     .unwrap();
-    d.exec_sync(&sess, "INSERT INTO flex VALUES (1, 'a'), (2, 'b')").unwrap();
+    d.exec_sync(&sess, "INSERT INTO flex VALUES (1, 'a'), (2, 'b')")
+        .unwrap();
     // → GLOBAL: metadata + zone change; data survives.
-    d.exec_sync(&sess, "ALTER TABLE flex SET LOCALITY GLOBAL").unwrap();
-    let res = d.exec_sync(&sess, "SELECT * FROM flex WHERE k = 1").unwrap();
+    d.exec_sync(&sess, "ALTER TABLE flex SET LOCALITY GLOBAL")
+        .unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT * FROM flex WHERE k = 1")
+        .unwrap();
     assert_eq!(res.rows().len(), 1);
     // → REGIONAL BY ROW: rows get a region column (homed in the primary).
     d.exec_sync(&sess, "ALTER TABLE flex SET LOCALITY REGIONAL BY ROW")
@@ -437,14 +505,20 @@ fn alter_locality_between_forms() {
         r#"ALTER TABLE flex SET LOCALITY REGIONAL BY TABLE IN "europe-west2""#,
     )
     .unwrap();
-    let res = d.exec_sync(&sess, "SELECT * FROM flex WHERE k = 1").unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT * FROM flex WHERE k = 1")
+        .unwrap();
     assert_eq!(res.rows().len(), 1);
     // Leaseholder moved to europe: local reads from there are fast.
     let s_eu = d.session_in_region("europe-west2", Some("movr"));
     let t0 = d.cluster.now();
-    d.exec_sync(&s_eu, "SELECT * FROM flex WHERE k = 1").unwrap();
+    d.exec_sync(&s_eu, "SELECT * FROM flex WHERE k = 1")
+        .unwrap();
     let lat = d.cluster.now() - t0;
-    assert!(lat < SimDuration::from_millis(10), "post-move read took {lat}");
+    assert!(
+        lat < SimDuration::from_millis(10),
+        "post-move read took {lat}"
+    );
 }
 
 #[test]
@@ -468,15 +542,21 @@ fn legacy_manual_partitioning_and_duplicate_indexes() {
         "#,
     )
     .unwrap();
-    d.cluster.run_until(SimTime(d.cluster.now().nanos() + SimDuration::from_secs(1).nanos()));
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(1).nanos(),
+    ));
     let s_eu = d.session_in_region("europe-west2", Some("movr"));
-    d.exec_sync(&s_eu, "INSERT INTO legacy VALUES ('eu', 1, 'x')").unwrap();
+    d.exec_sync(&s_eu, "INSERT INTO legacy VALUES ('eu', 1, 'x')")
+        .unwrap();
     // Partition-local access is fast from its pinned region.
     let t0 = d.cluster.now();
     d.exec_sync(&s_eu, "SELECT * FROM legacy WHERE part = 'eu' AND k = 1")
         .unwrap();
     let lat = d.cluster.now() - t0;
-    assert!(lat < SimDuration::from_millis(10), "pinned partition read took {lat}");
+    assert!(
+        lat < SimDuration::from_millis(10),
+        "pinned partition read took {lat}"
+    );
 
     // Duplicate indexes (§7.3.1): per-region covering indexes pinned by
     // CONFIGURE ZONE; reads pick the local one.
@@ -491,12 +571,16 @@ fn legacy_manual_partitioning_and_duplicate_indexes() {
         "#,
     )
     .unwrap();
-    d.cluster.run_until(SimTime(d.cluster.now().nanos() + SimDuration::from_secs(1).nanos()));
-    d.exec_sync(&sess, "INSERT INTO codes VALUES ('C1', 'desc')").unwrap();
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(1).nanos(),
+    ));
+    d.exec_sync(&sess, "INSERT INTO codes VALUES ('C1', 'desc')")
+        .unwrap();
     // Settle past the uncertainty window (a fresh read of a just-committed
     // value legitimately pays a commit wait under skewed clocks).
-    d.cluster
-        .run_until(SimTime(d.cluster.now().nanos() + SimDuration::from_secs(1).nanos()));
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(1).nanos(),
+    ));
     // Read from europe hits the pinned duplicate index: local latency.
     let t0 = d.cluster.now();
     let res = d
@@ -514,7 +598,8 @@ fn legacy_manual_partitioning_and_duplicate_indexes() {
 fn survivability_ddl() {
     let mut d = movr_db();
     let sess = d.session_in_region("us-east1", Some("movr"));
-    d.exec_sync(&sess, "ALTER DATABASE movr SURVIVE REGION FAILURE").unwrap();
+    d.exec_sync(&sess, "ALTER DATABASE movr SURVIVE REGION FAILURE")
+        .unwrap();
     // Region-survivable ranges have 5 voters.
     {
         let cat = d.catalog.borrow();
@@ -529,8 +614,10 @@ fn survivability_ddl() {
         .exec_sync(&sess, "ALTER DATABASE movr PLACEMENT RESTRICTED")
         .unwrap_err();
     assert!(matches!(err, SqlError::Catalog(_)));
-    d.exec_sync(&sess, "ALTER DATABASE movr SURVIVE ZONE FAILURE").unwrap();
-    d.exec_sync(&sess, "ALTER DATABASE movr PLACEMENT RESTRICTED").unwrap();
+    d.exec_sync(&sess, "ALTER DATABASE movr SURVIVE ZONE FAILURE")
+        .unwrap();
+    d.exec_sync(&sess, "ALTER DATABASE movr PLACEMENT RESTRICTED")
+        .unwrap();
     // REGIONAL tables now have no replicas outside their home region.
     {
         let cat = d.catalog.borrow();
@@ -587,9 +674,10 @@ fn uuid_default_skips_uniqueness_checks() {
         ) LOCALITY REGIONAL BY ROW",
     )
     .unwrap();
-    let before = d.cluster.metrics.rpcs_sent;
+    let before = d.cluster.metrics().rpcs_sent;
     let t0 = d.cluster.now();
-    d.exec_sync(&sess, "INSERT INTO tokens (v) VALUES ('x')").unwrap();
+    d.exec_sync(&sess, "INSERT INTO tokens (v) VALUES ('x')")
+        .unwrap();
     let lat = d.cluster.now() - t0;
     // No cross-region uniqueness probes: the insert stays local.
     assert!(
@@ -605,10 +693,14 @@ fn uuid_default_skips_uniqueness_checks() {
 fn with_min_timestamp_bounded_read() {
     let mut d = movr_db();
     let s_east = d.session_in_region("us-east1", Some("movr"));
-    d.exec_sync(&s_east, "INSERT INTO users (id, email) VALUES (7, 'm@x.com')")
-        .unwrap();
-    d.cluster
-        .run_until(SimTime(d.cluster.now().nanos() + SimDuration::from_secs(6).nanos()));
+    d.exec_sync(
+        &s_east,
+        "INSERT INTO users (id, email) VALUES (7, 'm@x.com')",
+    )
+    .unwrap();
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(6).nanos(),
+    ));
     // Floor well in the past: negotiation picks something fresher but
     // locally servable.
     let s_asia = d.session_in_region("asia-northeast1", Some("movr"));
@@ -632,9 +724,13 @@ fn alter_database_set_primary_region_moves_leaseholders() {
     let mut d = movr_db();
     let sess = d.session_in_region("us-east1", Some("movr"));
     // promo_codes is GLOBAL: its home is the primary region.
-    d.exec_sync(&sess, "INSERT INTO promo_codes VALUES ('X', 'y')").unwrap();
-    d.exec_sync(&sess, r#"ALTER DATABASE movr SET PRIMARY REGION "europe-west2""#)
+    d.exec_sync(&sess, "INSERT INTO promo_codes VALUES ('X', 'y')")
         .unwrap();
+    d.exec_sync(
+        &sess,
+        r#"ALTER DATABASE movr SET PRIMARY REGION "europe-west2""#,
+    )
+    .unwrap();
     {
         let cat = d.catalog.borrow();
         let t = cat.table("movr", "promo_codes").unwrap();
@@ -646,18 +742,25 @@ fn alter_database_set_primary_region_moves_leaseholders() {
     }
     // Data survived the move and writes still work.
     let res = d
-        .exec_sync(&sess, "SELECT description FROM promo_codes WHERE code = 'X'")
+        .exec_sync(
+            &sess,
+            "SELECT description FROM promo_codes WHERE code = 'X'",
+        )
         .unwrap();
     assert_eq!(res.rows().len(), 1);
-    d.exec_sync(&sess, "INSERT INTO promo_codes VALUES ('Z', 'w')").unwrap();
+    d.exec_sync(&sess, "INSERT INTO promo_codes VALUES ('Z', 'w')")
+        .unwrap();
 }
 
 #[test]
 fn upsert_on_rbr_table_read_modify_writes() {
     let mut d = movr_db();
     let sess = d.session_in_region("us-east1", Some("movr"));
-    d.exec_sync(&sess, "INSERT INTO users (id, email, name) VALUES (1, 'u@x.com', 'old')")
-        .unwrap();
+    d.exec_sync(
+        &sess,
+        "INSERT INTO users (id, email, name) VALUES (1, 'u@x.com', 'old')",
+    )
+    .unwrap();
     // UPSERT over an existing row: overwrites in place (read-modify-write
     // path, since the table is region-partitioned with a secondary index).
     d.exec_sync(
@@ -665,19 +768,27 @@ fn upsert_on_rbr_table_read_modify_writes() {
         "UPSERT INTO users (id, email, name) VALUES (1, 'u@x.com', 'new')",
     )
     .unwrap();
-    let res = d.exec_sync(&sess, "SELECT name FROM users WHERE id = 1").unwrap();
+    let res = d
+        .exec_sync(&sess, "SELECT name FROM users WHERE id = 1")
+        .unwrap();
     assert_eq!(res.rows()[0][0], Datum::String("new".into()));
     // Only one row exists.
     let res = d.exec_sync(&sess, "SELECT * FROM users").unwrap();
     assert_eq!(res.rows().len(), 1);
     // UPSERT of an absent key inserts.
-    d.exec_sync(&sess, "UPSERT INTO users (id, email, name) VALUES (2, 'b@x.com', 'B')")
-        .unwrap();
+    d.exec_sync(
+        &sess,
+        "UPSERT INTO users (id, email, name) VALUES (2, 'b@x.com', 'B')",
+    )
+    .unwrap();
     let res = d.exec_sync(&sess, "SELECT * FROM users").unwrap();
     assert_eq!(res.rows().len(), 2);
     // UPSERT that would steal an existing unique email is rejected.
     let err = d
-        .exec_sync(&sess, "UPSERT INTO users (id, email, name) VALUES (2, 'u@x.com', 'B')")
+        .exec_sync(
+            &sess,
+            "UPSERT INTO users (id, email, name) VALUES (2, 'u@x.com', 'B')",
+        )
         .unwrap_err();
     assert!(matches!(err, SqlError::UniqueViolation { .. }), "{err}");
 }
@@ -687,10 +798,14 @@ fn drop_table_frees_ranges() {
     let mut d = movr_db();
     let sess = d.session_in_region("us-east1", Some("movr"));
     let before = d.cluster.registry().len();
-    d.exec_sync(&sess, "CREATE TABLE scratch (k INT PRIMARY KEY) LOCALITY REGIONAL BY ROW")
-        .unwrap();
+    d.exec_sync(
+        &sess,
+        "CREATE TABLE scratch (k INT PRIMARY KEY) LOCALITY REGIONAL BY ROW",
+    )
+    .unwrap();
     assert!(d.cluster.registry().len() > before);
-    d.exec_sync(&sess, "INSERT INTO scratch VALUES (1)").unwrap();
+    d.exec_sync(&sess, "INSERT INTO scratch VALUES (1)")
+        .unwrap();
     d.exec_sync(&sess, "DROP TABLE scratch").unwrap();
     assert_eq!(d.cluster.registry().len(), before);
     let err = d.exec_sync(&sess, "SELECT * FROM scratch").unwrap_err();
@@ -701,11 +816,18 @@ fn drop_table_frees_ranges() {
 fn create_index_backfills_existing_rows() {
     let mut d = movr_db();
     let sess = d.session_in_region("us-east1", Some("movr"));
-    d.exec_sync(&sess, "INSERT INTO users (id, email, name) VALUES (1, 'a@x.com', 'Ann')")
+    d.exec_sync(
+        &sess,
+        "INSERT INTO users (id, email, name) VALUES (1, 'a@x.com', 'Ann')",
+    )
+    .unwrap();
+    d.exec_sync(
+        &sess,
+        "INSERT INTO users (id, email, name) VALUES (2, 'b@x.com', 'Bob')",
+    )
+    .unwrap();
+    d.exec_sync(&sess, "CREATE INDEX by_name ON users (name)")
         .unwrap();
-    d.exec_sync(&sess, "INSERT INTO users (id, email, name) VALUES (2, 'b@x.com', 'Bob')")
-        .unwrap();
-    d.exec_sync(&sess, "CREATE INDEX by_name ON users (name)").unwrap();
     // The new index serves lookups over pre-existing rows.
     let res = d
         .exec_sync(&sess, "SELECT email FROM users WHERE name = 'Bob'")
@@ -713,7 +835,8 @@ fn create_index_backfills_existing_rows() {
     assert_eq!(res.rows().len(), 1);
     assert_eq!(res.rows()[0][0], Datum::String("b@x.com".into()));
     // And is maintained by subsequent writes.
-    d.exec_sync(&sess, "UPDATE users SET name = 'Robert' WHERE id = 2").unwrap();
+    d.exec_sync(&sess, "UPDATE users SET name = 'Robert' WHERE id = 2")
+        .unwrap();
     let res = d
         .exec_sync(&sess, "SELECT email FROM users WHERE name = 'Robert'")
         .unwrap();
@@ -750,7 +873,11 @@ fn explain_describes_locality_plans() {
             "EXPLAIN SELECT * FROM users WHERE id = 1 AND crdb_region = 'us-east1'",
         )
         .unwrap();
-    assert!(text(&res).contains("partitions: us-east1"), "{}", text(&res));
+    assert!(
+        text(&res).contains("partitions: us-east1"),
+        "{}",
+        text(&res)
+    );
     // INSERT with an INT pk: probes every region; GLOBAL insert: none shown
     // as partitioned probes.
     let res = d
@@ -761,7 +888,10 @@ fn explain_describes_locality_plans() {
         .unwrap();
     let t = text(&res);
     assert!(t.contains("uniqueness check: primary probes"), "{t}");
-    assert!(t.contains("us-east1") && t.contains("asia-northeast1"), "{t}");
+    assert!(
+        t.contains("us-east1") && t.contains("asia-northeast1"),
+        "{t}"
+    );
 }
 
 #[test]
@@ -779,8 +909,11 @@ fn drop_region_rejected_while_tables_homed_there() {
         .unwrap_err();
     assert!(matches!(err, SqlError::Catalog(_)), "{err}");
     // Re-home the table; the drop then succeeds.
-    d.exec_sync(&sess, "ALTER TABLE eu_only SET LOCALITY REGIONAL BY TABLE IN PRIMARY REGION")
-        .unwrap();
+    d.exec_sync(
+        &sess,
+        "ALTER TABLE eu_only SET LOCALITY REGIONAL BY TABLE IN PRIMARY REGION",
+    )
+    .unwrap();
     d.exec_sync(&sess, r#"ALTER DATABASE movr DROP REGION "europe-west2""#)
         .unwrap();
 }

@@ -389,7 +389,9 @@ mod tests {
 
     fn commit_put(store: &mut MvccStore, key: &str, val: &str, id: u64, ts: u64) {
         let t = txn(id, ts);
-        let out = store.put(&Key::from(key), Some(Value::from(val)), &t).unwrap();
+        let out = store
+            .put(&Key::from(key), Some(Value::from(val)), &t)
+            .unwrap();
         assert!(store.commit_intent(&Key::from(key), t.id, out.written_ts));
     }
 
@@ -450,7 +452,8 @@ mod tests {
     fn own_intent_is_readable() {
         let mut s = MvccStore::new();
         let t = txn(1, 10);
-        s.put(&Key::from("k"), Some(Value::from("mine")), &t).unwrap();
+        s.put(&Key::from("k"), Some(Value::from("mine")), &t)
+            .unwrap();
         let ctx = ReadCtx {
             read_ts: t.write_ts,
             uncertainty_limit: t.write_ts,
@@ -515,7 +518,9 @@ mod tests {
         let mut s = MvccStore::new();
         commit_put(&mut s, "k", "new", 1, 100);
         let t = txn(2, 50);
-        let out = s.put(&Key::from("k"), Some(Value::from("late")), &t).unwrap();
+        let out = s
+            .put(&Key::from("k"), Some(Value::from("late")), &t)
+            .unwrap();
         assert!(out.write_too_old);
         assert_eq!(out.written_ts, Timestamp::new(100, 1));
         s.commit_intent(&Key::from("k"), t.id, out.written_ts);
@@ -534,7 +539,9 @@ mod tests {
             Err(MvccError::WriteIntent { .. })
         ));
         // Same txn can overwrite its own intent.
-        let out = s.put(&Key::from("k"), Some(Value::from("a2")), &t1).unwrap();
+        let out = s
+            .put(&Key::from("k"), Some(Value::from("a2")), &t1)
+            .unwrap();
         assert!(!out.write_too_old);
     }
 
@@ -568,9 +575,13 @@ mod tests {
             commit_put(&mut s, k, "v", i as u64, 10 * (i as u64 + 1));
         }
         let span = Span::new(Key::from("a"), Key::from("z"));
-        let rows = s.scan(&span, &ReadCtx::stale(Timestamp::new(25, 0)), 100).unwrap();
+        let rows = s
+            .scan(&span, &ReadCtx::stale(Timestamp::new(25, 0)), 100)
+            .unwrap();
         assert_eq!(rows.len(), 2); // a@10, b@20
-        let rows = s.scan(&span, &ReadCtx::stale(Timestamp::new(100, 0)), 3).unwrap();
+        let rows = s
+            .scan(&span, &ReadCtx::stale(Timestamp::new(100, 0)), 3)
+            .unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].0, Key::from("a"));
     }
@@ -582,11 +593,21 @@ mod tests {
         let span = Span::new(Key::from("a"), Key::from("z"));
         // Window excluding the commit: ok.
         assert!(s
-            .refresh_span(&span, Timestamp::new(100, 0), Timestamp::new(200, 0), TxnId(9))
+            .refresh_span(
+                &span,
+                Timestamp::new(100, 0),
+                Timestamp::new(200, 0),
+                TxnId(9)
+            )
             .is_ok());
         // Window including the commit: conflict.
         assert_eq!(
-            s.refresh_span(&span, Timestamp::new(50, 0), Timestamp::new(150, 0), TxnId(9)),
+            s.refresh_span(
+                &span,
+                Timestamp::new(50, 0),
+                Timestamp::new(150, 0),
+                TxnId(9)
+            ),
             Err(Timestamp::new(100, 0))
         );
         // Foreign intent in window: conflict; own intent ignored.
@@ -596,7 +617,12 @@ mod tests {
             .refresh_span(&span, Timestamp::new(110, 0), Timestamp::new(130, 0), t.id)
             .is_ok());
         assert_eq!(
-            s.refresh_span(&span, Timestamp::new(110, 0), Timestamp::new(130, 0), TxnId(9)),
+            s.refresh_span(
+                &span,
+                Timestamp::new(110, 0),
+                Timestamp::new(130, 0),
+                TxnId(9)
+            ),
             Err(Timestamp::new(120, 0))
         );
     }

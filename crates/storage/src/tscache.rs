@@ -159,13 +159,13 @@ mod tests {
     #[test]
     fn span_reads_cover_all_keys() {
         let mut c = TsCache::new(Timestamp::ZERO);
-        c.record_span_read(
-            &Span::new(k("a"), k("z")),
-            Timestamp::new(40, 0),
-        );
+        c.record_span_read(&Span::new(k("a"), k("z")), Timestamp::new(40, 0));
         assert_eq!(c.max_read_ts(&k("q"), None), Timestamp::new(40, 0));
         // Span high-water ignores txn exclusion (coarse).
-        assert_eq!(c.max_read_ts(&k("q"), Some(TxnId(9))), Timestamp::new(40, 0));
+        assert_eq!(
+            c.max_read_ts(&k("q"), Some(TxnId(9))),
+            Timestamp::new(40, 0)
+        );
     }
 
     #[test]

@@ -20,10 +20,25 @@ struct Model {
 
 #[derive(Clone, Debug)]
 enum OpKind {
-    Put { key: u8, txn: u64, ts: u64, value: Option<u8> },
-    Commit { key: u8, txn: u64, commit_ts: u64 },
-    Abort { key: u8, txn: u64 },
-    Get { key: u8, ts: u64 },
+    Put {
+        key: u8,
+        txn: u64,
+        ts: u64,
+        value: Option<u8>,
+    },
+    Commit {
+        key: u8,
+        txn: u64,
+        commit_ts: u64,
+    },
+    Abort {
+        key: u8,
+        txn: u64,
+    },
+    Get {
+        key: u8,
+        ts: u64,
+    },
 }
 
 fn key(k: u8) -> Key {

@@ -89,7 +89,8 @@ mod tests {
             .unwrap();
         assert_eq!(res.rows()[0][0].to_string(), "'europe-west2'");
         // Rows are updatable through the normal path afterwards.
-        d.exec_sync(&sess, "UPDATE kv SET v = 'new' WHERE k = 42").unwrap();
+        d.exec_sync(&sess, "UPDATE kv SET v = 'new' WHERE k = 42")
+            .unwrap();
         let res = d.exec_sync(&sess, "SELECT v FROM kv WHERE k = 42").unwrap();
         assert_eq!(res.rows()[0][0], Datum::String("new".into()));
     }

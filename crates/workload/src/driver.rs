@@ -137,6 +137,7 @@ struct ClientState {
     pending_after_think: Option<Op>,
 }
 
+#[allow(clippy::enum_variant_names)]
 enum Signal {
     StmtDone { client: usize, failed: bool },
     ThinkDone { client: usize },
@@ -284,9 +285,7 @@ impl ClosedLoop {
                                     &sess,
                                     "ROLLBACK",
                                     Box::new(move |_c, _res| {
-                                        signals
-                                            .borrow_mut()
-                                            .push(Signal::RollbackDone { client });
+                                        signals.borrow_mut().push(Signal::RollbackDone { client });
                                     }),
                                 );
                             } else {

@@ -127,16 +127,11 @@ mod tests {
             1
         );
         assert_eq!(
-            ddl.iter()
-                .filter(|s| s.contains("REGIONAL BY ROW"))
-                .count(),
+            ddl.iter().filter(|s| s.contains("REGIONAL BY ROW")).count(),
             5
         );
         // Five of the six tables carry the computed city→region column.
-        assert_eq!(
-            ddl.iter().filter(|s| s.contains("AS (CASE")).count(),
-            5
-        );
+        assert_eq!(ddl.iter().filter(|s| s.contains("AS (CASE")).count(), 5);
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl TpccConfig {
             "CREATE TABLE item (i_id INT PRIMARY KEY, i_name STRING, i_price FLOAT) \
              LOCALITY GLOBAL"
                 .to_string(),
-            rbr("warehouse (w_id INT, w_name STRING, w_ytd FLOAT", "w_id", "w_id"),
+            rbr(
+                "warehouse (w_id INT, w_name STRING, w_ytd FLOAT",
+                "w_id",
+                "w_id",
+            ),
             rbr(
                 "district (d_w_id INT, d_id INT, d_next_o_id INT, d_ytd FLOAT",
                 "d_w_id, d_id",
@@ -274,9 +278,7 @@ impl TpccTerminal {
                 "INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_ol_cnt) \
                  VALUES ({w}, {d}, {o_id}, {c}, {n_lines})"
             ),
-            format!(
-                "INSERT INTO new_order (no_w_id, no_d_id, no_o_id) VALUES ({w}, {d}, {o_id})"
-            ),
+            format!("INSERT INTO new_order (no_w_id, no_d_id, no_o_id) VALUES ({w}, {d}, {o_id})"),
         ];
         let mut remote = false;
         for line in 0..n_lines {
@@ -302,7 +304,11 @@ impl TpccTerminal {
             ));
         }
         stmts.push("COMMIT".to_string());
-        let label = if remote { "new-order-remote" } else { "new-order" };
+        let label = if remote {
+            "new-order-remote"
+        } else {
+            "new-order"
+        };
         Op::script(stmts, format!("{}{label}", self.label_prefix)).with_think(self.think(rng))
     }
 
@@ -342,8 +348,7 @@ impl TpccTerminal {
             "SELECT c_name, c_balance FROM customer \
              WHERE c_w_id = {w} AND c_d_id = {d} AND c_id = {c}"
         )];
-        Op::script(stmts, format!("{}order-status", self.label_prefix))
-            .with_think(self.think(rng))
+        Op::script(stmts, format!("{}order-status", self.label_prefix)).with_think(self.think(rng))
     }
 
     fn think(&self, rng: &mut SimRng) -> SimDuration {

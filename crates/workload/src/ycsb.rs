@@ -40,11 +40,15 @@ pub fn schema(table: &str, variant: YcsbTable, regions: &[String]) -> String {
             "CREATE TABLE {table} (k INT PRIMARY KEY, v STRING) \
              LOCALITY REGIONAL BY TABLE IN PRIMARY REGION"
         ),
-        YcsbTable::Global => format!(
-            "CREATE TABLE {table} (k INT PRIMARY KEY, v STRING) LOCALITY GLOBAL"
-        ),
+        YcsbTable::Global => {
+            format!("CREATE TABLE {table} (k INT PRIMARY KEY, v STRING) LOCALITY GLOBAL")
+        }
         YcsbTable::RegionalByRow { rehoming } => {
-            let on_update = if rehoming { " ON UPDATE rehome_row()" } else { "" };
+            let on_update = if rehoming {
+                " ON UPDATE rehome_row()"
+            } else {
+                ""
+            };
             format!(
                 "CREATE TABLE {table} (k INT PRIMARY KEY, v STRING, \
                  crdb_region crdb_internal_region NOT VISIBLE NOT NULL \
@@ -68,9 +72,9 @@ pub fn schema(table: &str, variant: YcsbTable, regions: &[String]) -> String {
                  LOCALITY REGIONAL BY ROW"
             )
         }
-        YcsbTable::ManualPartition => format!(
-            "CREATE TABLE {table} (part STRING, k INT, v STRING, PRIMARY KEY (part, k))"
-        ),
+        YcsbTable::ManualPartition => {
+            format!("CREATE TABLE {table} (part STRING, k INT, v STRING, PRIMARY KEY (part, k))")
+        }
     }
 }
 
@@ -85,7 +89,9 @@ pub fn manual_partition_ddl(table: &str, regions: &[String]) -> Vec<String> {
         }
         parts.push_str(&format!("PARTITION p{i} VALUES IN ('{r}')"));
     }
-    out.push(format!("ALTER TABLE {table} PARTITION BY LIST (part) ({parts})"));
+    out.push(format!(
+        "ALTER TABLE {table} PARTITION BY LIST (part) ({parts})"
+    ));
     for (i, r) in regions.iter().enumerate() {
         out.push(format!(
             "ALTER PARTITION p{i} OF TABLE {table} CONFIGURE ZONE USING \
@@ -98,11 +104,7 @@ pub fn manual_partition_ddl(table: &str, regions: &[String]) -> Vec<String> {
 
 /// Pre-built rows for bulk loading `n` keys. `home(k)` gives the region of
 /// key `k` (ignored for unpartitioned variants).
-pub fn dataset(
-    variant: YcsbTable,
-    n: u64,
-    home: impl Fn(u64) -> String,
-) -> Vec<Vec<Datum>> {
+pub fn dataset(variant: YcsbTable, n: u64, home: impl Fn(u64) -> String) -> Vec<Vec<Datum>> {
     (0..n)
         .map(|k| {
             let v = Datum::String(format!("value-{k}"));
@@ -246,7 +248,10 @@ impl YcsbGen {
         match self.variant {
             YcsbTable::ManualPartition => {
                 let part = &self.regions[self.key_home(k)];
-                format!("SELECT v FROM {}{aost} WHERE part = '{part}' AND k = {k}", self.table)
+                format!(
+                    "SELECT v FROM {}{aost} WHERE part = '{part}' AND k = {k}",
+                    self.table
+                )
             }
             _ => format!("SELECT v FROM {}{aost} WHERE k = {k}", self.table),
         }
@@ -263,10 +268,9 @@ impl YcsbGen {
             }
             // Unpartitioned tables: blind one-round UPSERT, matching the
             // CRDB YCSB driver the paper used (§7.1).
-            YcsbTable::RegionalByTable | YcsbTable::Global => format!(
-                "UPSERT INTO {} (k, v) VALUES ({k}, 'w{tag}')",
-                self.table
-            ),
+            YcsbTable::RegionalByTable | YcsbTable::Global => {
+                format!("UPSERT INTO {} (k, v) VALUES ({k}, 'w{tag}')", self.table)
+            }
             _ => format!("UPDATE {} SET v = 'w{tag}' WHERE k = {k}", self.table),
         }
     }
@@ -277,7 +281,10 @@ impl YcsbGen {
         match self.variant {
             YcsbTable::ManualPartition => {
                 let part = &self.regions[self.region_idx];
-                format!("INSERT INTO {} (part, k, v) VALUES ('{part}', {k}, 'new')", self.table)
+                format!(
+                    "INSERT INTO {} (part, k, v) VALUES ('{part}', {k}, 'new')",
+                    self.table
+                )
             }
             _ => format!("INSERT INTO {} (k, v) VALUES ({k}, 'new')", self.table),
         }
@@ -304,7 +311,10 @@ impl OpSource for YcsbGen {
             let (k, local) = self.keys.pick(rng);
             let locality = if local { "local" } else { "remote" };
             let tag = rng.next_u64() % 1_000_000;
-            Some(Op::new(self.sql_update(k, tag), format!("{p}write-{locality}")))
+            Some(Op::new(
+                self.sql_update(k, tag),
+                format!("{p}write-{locality}"),
+            ))
         }
     }
 }
@@ -333,12 +343,13 @@ mod tests {
     #[test]
     fn dataset_shapes() {
         let rows = dataset(YcsbTable::Global, 10, |_| unreachable!());
-        assert_eq!(rows[3], vec![Datum::Int(3), Datum::String("value-3".into())]);
-        let rows = dataset(
-            YcsbTable::RegionalByRow { rehoming: false },
-            4,
-            |k| format!("r{}", k % 2),
+        assert_eq!(
+            rows[3],
+            vec![Datum::Int(3), Datum::String("value-3".into())]
         );
+        let rows = dataset(YcsbTable::RegionalByRow { rehoming: false }, 4, |k| {
+            format!("r{}", k % 2)
+        });
         assert_eq!(rows[3][2], Datum::Region("r1".into()));
         let rows = dataset(YcsbTable::ManualPartition, 4, |k| format!("r{}", k % 2));
         assert_eq!(rows[2][0], Datum::String("r0".into()));

@@ -22,8 +22,10 @@ fn db3() -> SqlDb {
     let names = ["us-east1", "europe-west2", "asia-northeast1"];
     let rtt = RttMatrix::from_upper_millis(3, &[&[87, 155], &[222]]);
     let topo = Topology::build(&names, 3, rtt);
-    let mut cfg = ClusterConfig::default();
-    cfg.seed = 42;
+    let cfg = ClusterConfig {
+        seed: 42,
+        ..ClusterConfig::default()
+    };
     SqlDb::new(topo, cfg)
 }
 
@@ -43,7 +45,8 @@ fn ycsb_b_closed_loop_on_rbr() {
     let n_keys = 3_000u64;
     let rows = ycsb::dataset(variant, n_keys, |k| regions[(k % 3) as usize].clone());
     bulk::load_rows(&mut d, "ycsb", "usertable", &rows);
-    d.cluster.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    d.cluster
+        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
 
     // 2 clients per region, 95% locality, 40 ops each.
     let mut driver = ClosedLoop::new();
@@ -88,7 +91,7 @@ fn ycsb_b_closed_loop_on_rbr() {
     let mut local = stats.merged(|l| l == "read-local");
     let mut remote = stats.merged(|l| l == "read-remote");
     assert!(local.len() > 100);
-    assert!(remote.len() > 0);
+    assert!(!remote.is_empty());
     let p50_local = local.quantile(0.5);
     let p50_remote = remote.quantile(0.5);
     assert!(
@@ -116,7 +119,8 @@ fn ycsb_a_on_global_table_with_zipf() {
     let n_keys = 1_000u64;
     let rows = ycsb::dataset(YcsbTable::Global, n_keys, |_| unreachable!());
     bulk::load_rows(&mut d, "ycsb", "gtable", &rows);
-    d.cluster.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    d.cluster
+        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
 
     let mut driver = ClosedLoop::new();
     let mut seed = SimRng::seed_from_u64(8);
@@ -180,7 +184,8 @@ fn tpcc_terminals_drive_transactions() {
     for (table, rows) in cfg.datasets() {
         bulk::load_rows(&mut d, "tpcc", table, &rows);
     }
-    d.cluster.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    d.cluster
+        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
 
     let mut driver = ClosedLoop::new();
     let mut seed = SimRng::seed_from_u64(9);
@@ -207,7 +212,10 @@ fn tpcc_terminals_drive_transactions() {
     // The database really recorded the orders.
     let s = d.session_in_region("us-east1", Some("tpcc"));
     let res = d
-        .exec_sync(&s, "SELECT * FROM orders WHERE o_w_id = 0 AND o_d_id = 0 AND o_id = 1")
+        .exec_sync(
+            &s,
+            "SELECT * FROM orders WHERE o_w_id = 0 AND o_d_id = 0 AND o_id = 1",
+        )
         .unwrap();
     // Some terminal in warehouse 0 placed order 1 in district 0 (or not —
     // district choice is random — so accept either, just require the query

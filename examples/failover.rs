@@ -30,7 +30,8 @@ fn main() {
     db.cluster
         .run_until(SimTime(SimDuration::from_secs(5).nanos()));
     let east = db.session_in_region("us-east1", Some("bank"));
-    db.exec_sync(&east, "INSERT INTO accounts VALUES (1, 100)").unwrap();
+    db.exec_sync(&east, "INSERT INTO accounts VALUES (1, 100)")
+        .unwrap();
     println!("== ZONE survivability (the default): 3 voters, all in us-east1 ==");
 
     // Kill one zone of the home region: writes keep working.
@@ -88,5 +89,8 @@ fn main() {
     let rows = db
         .exec_sync(&west, "SELECT balance FROM accounts WHERE id = 1")
         .unwrap();
-    println!("us-east1 revived; data intact: balance = {:?}", rows.rows()[0][0]);
+    println!(
+        "us-east1 revived; data intact: balance = {:?}",
+        rows.rows()[0][0]
+    );
 }

@@ -96,9 +96,7 @@ fn main() {
         for n in 0..5 {
             db.exec_sync(
                 &s,
-                &format!(
-                    "INSERT INTO device_events (device_id, payload) VALUES ({i}, 'tick-{n}')"
-                ),
+                &format!("INSERT INTO device_events (device_id, payload) VALUES ({i}, 'tick-{n}')"),
             )
             .unwrap();
         }
@@ -112,7 +110,10 @@ fn main() {
     let tokyo = db.session_in_region("asia-northeast1", Some("assistant"));
     let t0 = db.cluster.now();
     let rows = db
-        .exec_sync(&tokyo, "SELECT preferences FROM user_profiles WHERE user_id = 1")
+        .exec_sync(
+            &tokyo,
+            "SELECT preferences FROM user_profiles WHERE user_id = 1",
+        )
         .unwrap();
     println!(
         "profile read from asia: {:?} in {:.1}ms — GLOBAL tables read locally everywhere",

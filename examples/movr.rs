@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example movr`
 
-use multiregion::{ClusterBuilder, SimDuration, SimTime};
 use mr_workload::movr;
+use multiregion::{ClusterBuilder, SimDuration, SimTime};
 
 fn main() {
     let regions = ["us-east1", "us-west1", "europe-west1"];
@@ -50,8 +50,11 @@ fn main() {
         "INSERT INTO users (city, name, email) VALUES ('city-1', 'Bob', 'bob@movr.com')",
     )
     .unwrap();
-    db.exec_sync(&ny, "INSERT INTO promo_codes VALUES ('FIRST_RIDE', 'first ride free', '{}')")
-        .unwrap();
+    db.exec_sync(
+        &ny,
+        "INSERT INTO promo_codes VALUES ('FIRST_RIDE', 'first ride free', '{}')",
+    )
+    .unwrap();
 
     // Global email uniqueness is enforced across partitions (§4.1) — the
     // Fig. 1b problem a traditional partitioned DB cannot solve.
@@ -82,8 +85,11 @@ fn main() {
     for region in regions {
         let s = db.session_in_region(region, Some("movr"));
         let t0 = db.cluster.now();
-        db.exec_sync(&s, "SELECT description FROM promo_codes WHERE code = 'FIRST_RIDE'")
-            .unwrap();
+        db.exec_sync(
+            &s,
+            "SELECT description FROM promo_codes WHERE code = 'FIRST_RIDE'",
+        )
+        .unwrap();
         println!(
             "promo_codes read from {region}: {:.2}ms",
             (db.cluster.now() - t0).as_millis_f64()

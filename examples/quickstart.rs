@@ -59,24 +59,47 @@ fn main() {
 
     println!("-- from us-east1 (the primary):");
     let east = db.session_in_region("us-east1", Some("movr"));
-    timed(&mut db, &east, "INSERT INTO users (id, email, name) VALUES (1, 'ann@example.com', 'Ann')");
-    timed(&mut db, &east, "INSERT INTO promo_codes VALUES ('SAVE10', 'ten percent off')");
-    timed(&mut db, &east, "SELECT * FROM users WHERE email = 'ann@example.com'");
+    timed(
+        &mut db,
+        &east,
+        "INSERT INTO users (id, email, name) VALUES (1, 'ann@example.com', 'Ann')",
+    );
+    timed(
+        &mut db,
+        &east,
+        "INSERT INTO promo_codes VALUES ('SAVE10', 'ten percent off')",
+    );
+    timed(
+        &mut db,
+        &east,
+        "SELECT * FROM users WHERE email = 'ann@example.com'",
+    );
 
     println!("-- from europe-west2:");
     let eu = db.session_in_region("europe-west2", Some("movr"));
-    timed(&mut db, &eu, "INSERT INTO users (id, email, name) VALUES (2, 'bob@example.eu', 'Bob')");
+    timed(
+        &mut db,
+        &eu,
+        "INSERT INTO users (id, email, name) VALUES (2, 'bob@example.eu', 'Bob')",
+    );
     // Bob's row is homed in Europe: reading it from Europe is local.
     timed(&mut db, &eu, "SELECT * FROM users WHERE id = 2");
     // The GLOBAL table reads locally from every region.
-    timed(&mut db, &eu, "SELECT description FROM promo_codes WHERE code = 'SAVE10'");
+    timed(
+        &mut db,
+        &eu,
+        "SELECT description FROM promo_codes WHERE code = 'SAVE10'",
+    );
     // Ann's row lives in us-east1: locality-optimized search probes the
     // local partition first, misses, and pays one WAN fan-out.
     timed(&mut db, &eu, "SELECT * FROM users WHERE id = 1");
 
     println!("-- global uniqueness holds across regions:");
     let err = db
-        .exec_sync(&eu, "INSERT INTO users (id, email) VALUES (3, 'ann@example.com')")
+        .exec_sync(
+            &eu,
+            "INSERT INTO users (id, email) VALUES (3, 'ann@example.com')",
+        )
         .unwrap_err();
     println!("   duplicate email rejected: {err}");
 

@@ -19,7 +19,8 @@ fn main() {
     )
     .unwrap();
     let east = db.session_in_region("us-east1", Some("metrics"));
-    db.exec_sync(&east, "INSERT INTO gauges VALUES ('qps', 1000)").unwrap();
+    db.exec_sync(&east, "INSERT INTO gauges VALUES ('qps', 1000)")
+        .unwrap();
 
     // Let closed timestamps propagate (REGIONAL ranges close `now - 3s`).
     db.cluster
@@ -37,7 +38,11 @@ fn main() {
 
     println!("reads from australia-southeast1 (198ms RTT to the leaseholder):\n");
     // Fresh read: linearizable, must visit the leaseholder in us-east1.
-    timed(&mut db, &sydney, "SELECT value FROM gauges WHERE name = 'qps'");
+    timed(
+        &mut db,
+        &sydney,
+        "SELECT value FROM gauges WHERE name = 'qps'",
+    );
     // Exact staleness: fixed timestamp 5s ago → served by the local
     // non-voting replica.
     timed(
@@ -61,8 +66,11 @@ fn main() {
     );
 
     // Staleness is visible: update, then immediately stale-read.
-    db.exec_sync(&east, "UPSERT INTO gauges (name, value) VALUES ('qps', 2000)")
-        .unwrap();
+    db.exec_sync(
+        &east,
+        "UPSERT INTO gauges (name, value) VALUES ('qps', 2000)",
+    )
+    .unwrap();
     let stale = db
         .exec_sync(
             &sydney,

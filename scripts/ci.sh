@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints (warnings are errors), and the full test
+# suite. Run from anywhere; operates on the repository root. Offline-safe:
+# all external deps are vendored under third_party/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "CI OK"

@@ -5,9 +5,9 @@
 
 use proptest::prelude::*;
 
-use multiregion::{ClusterBuilder, SimDuration, SimTime, SqlDb};
 use mr_sql::encoding::{encode_datum, index_key};
 use mr_sql::types::Datum;
+use multiregion::{ClusterBuilder, SimDuration, SimTime, SqlDb};
 
 fn db(seed: u64) -> SqlDb {
     ClusterBuilder::new()

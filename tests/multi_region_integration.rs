@@ -50,7 +50,8 @@ fn end_to_end_multi_region_lifecycle() {
         .unwrap();
     }
     let east = db.session_in_region("us-east1", Some("app"));
-    db.exec_sync(&east, "INSERT INTO config VALUES ('theme', 'dark')").unwrap();
+    db.exec_sync(&east, "INSERT INTO config VALUES ('theme', 'dark')")
+        .unwrap();
     settle(&mut db, 2);
 
     for region in ["us-east1", "europe-west2", "asia-northeast1"] {
@@ -68,10 +69,14 @@ fn end_to_end_multi_region_lifecycle() {
     }
 
     // Survivability change, then continue operating.
-    db.exec_sync(&sess, "ALTER DATABASE app SURVIVE REGION FAILURE").unwrap();
-    settle(&mut db, 2);
-    db.exec_sync(&east, "INSERT INTO users (id, email) VALUES (10, 'post@x.com')")
+    db.exec_sync(&sess, "ALTER DATABASE app SURVIVE REGION FAILURE")
         .unwrap();
+    settle(&mut db, 2);
+    db.exec_sync(
+        &east,
+        "INSERT INTO users (id, email) VALUES (10, 'post@x.com')",
+    )
+    .unwrap();
     let rows = db
         .exec_sync(&east, "SELECT * FROM users WHERE id = 10")
         .unwrap();
@@ -142,8 +147,10 @@ fn serializable_bank_transfers_conserve_money() {
     settle(&mut db, 5);
     let east = db.session_in_region("us-east1", Some("bank"));
     let eu = db.session_in_region("europe-west2", Some("bank"));
-    db.exec_sync(&east, "INSERT INTO accounts VALUES (1, 500)").unwrap();
-    db.exec_sync(&eu, "INSERT INTO accounts VALUES (2, 500)").unwrap();
+    db.exec_sync(&east, "INSERT INTO accounts VALUES (1, 500)")
+        .unwrap();
+    db.exec_sync(&eu, "INSERT INTO accounts VALUES (2, 500)")
+        .unwrap();
 
     // Interleave transfers in both directions; retry on serialization
     // conflicts like a real application.
@@ -173,9 +180,13 @@ fn serializable_bank_transfers_conserve_money() {
         transfer(&mut db, &east, 1, 2, 10 + i);
         transfer(&mut db, &eu, 2, 1, 5 + i);
     }
-    let rows = db.exec_sync(&east, "SELECT balance FROM accounts WHERE id = 1").unwrap();
+    let rows = db
+        .exec_sync(&east, "SELECT balance FROM accounts WHERE id = 1")
+        .unwrap();
     let b1 = rows.rows()[0][0].as_int().unwrap();
-    let rows = db.exec_sync(&east, "SELECT balance FROM accounts WHERE id = 2").unwrap();
+    let rows = db
+        .exec_sync(&east, "SELECT balance FROM accounts WHERE id = 2")
+        .unwrap();
     let b2 = rows.rows()[0][0].as_int().unwrap();
     assert_eq!(b1 + b2, 1000, "money conserved (b1={b1}, b2={b2})");
 }
@@ -201,13 +212,15 @@ fn region_failure_with_region_survivability() {
     .unwrap();
     settle(&mut dbx, 5);
     let east = dbx.session_in_region("us-east1", Some("app"));
-    dbx.exec_sync(&east, "INSERT INTO t VALUES (1, 'before')").unwrap();
+    dbx.exec_sync(&east, "INSERT INTO t VALUES (1, 'before')")
+        .unwrap();
 
     dbx.cluster.fail_region_by_name("us-east1");
     settle(&mut dbx, 30);
 
     let eu = dbx.session_in_region("europe-west2", Some("app"));
-    dbx.exec_sync(&eu, "UPSERT INTO t (k, v) VALUES (2, 'after')").unwrap();
+    dbx.exec_sync(&eu, "UPSERT INTO t (k, v) VALUES (2, 'after')")
+        .unwrap();
     let rows = dbx.exec_sync(&eu, "SELECT v FROM t WHERE k = 1").unwrap();
     assert_eq!(rows.rows()[0][0], Datum::String("before".into()));
     let rows = dbx.exec_sync(&eu, "SELECT v FROM t WHERE k = 2").unwrap();
@@ -235,11 +248,16 @@ fn read_after_write_is_linearizable_across_regions() {
 
     for round in 1..=3 {
         let writer = db.session_in_region("europe-west2", Some("app"));
-        db.exec_sync(&writer, &format!("UPSERT INTO t (k, v) VALUES (1, {round})"))
-            .unwrap();
+        db.exec_sync(
+            &writer,
+            &format!("UPSERT INTO t (k, v) VALUES (1, {round})"),
+        )
+        .unwrap();
         // Immediately after the write returns, read from a third region.
         let reader = db.session_in_region("asia-northeast1", Some("app"));
-        let rows = db.exec_sync(&reader, "SELECT v FROM t WHERE k = 1").unwrap();
+        let rows = db
+            .exec_sync(&reader, "SELECT v FROM t WHERE k = 1")
+            .unwrap();
         assert_eq!(
             rows.rows()[0][0],
             Datum::Int(round),
@@ -267,7 +285,7 @@ fn metrics_reflect_protocol_activity() {
     let eu = db.session_in_region("europe-west2", Some("app"));
     db.exec_sync(&eu, "SELECT v FROM g WHERE k = 1").unwrap();
 
-    let m = db.cluster.metrics;
+    let m = db.cluster.metrics();
     assert!(m.txn_commits > 0);
     assert!(m.commit_waits > 0, "global write must commit-wait");
     assert!(

@@ -1,0 +1,236 @@
+//! Strategy trait and combinators (generation only, no shrink trees).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Type-erased strategy, used by `prop_oneof!` to mix concrete types.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn new_value(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// Uniform choice among type-erased strategies (the `prop_oneof!` backend).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $as_u64:expr, $from_u64:expr;)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let width = $as_u64(self.end).wrapping_sub($as_u64(self.start));
+                $from_u64($as_u64(self.start).wrapping_add(rng.below(width)))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let width = $as_u64(hi).wrapping_sub($as_u64(lo)).wrapping_add(1);
+                if width == 0 {
+                    // Full-domain inclusive range.
+                    return $from_u64(rng.next_u64());
+                }
+                $from_u64($as_u64(lo).wrapping_add(rng.below(width)))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy! {
+    u8 => (|v| v as u64), (|v: u64| v as u8);
+    u16 => (|v| v as u64), (|v: u64| v as u16);
+    u32 => (|v| v as u64), (|v: u64| v as u32);
+    u64 => (|v| v), (|v: u64| v);
+    usize => (|v| v as u64), (|v: u64| v as usize);
+    // Signed types map through an offset so `below` sees an unsigned width.
+    i8 => (|v| (v as u8) as u64), (|v: u64| v as u8 as i8);
+    i16 => (|v| (v as u16) as u64), (|v: u64| v as u16 as i16);
+    i32 => (|v| (v as u32) as u64), (|v: u64| v as u32 as i32);
+    i64 => (|v| v as u64), (|v: u64| v as i64);
+    isize => (|v| v as u64), (|v: u64| v as isize);
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+}
+
+/// `&str` regex strategies for the character-class subset the tests use,
+/// e.g. `"[a-z]{0,8}"`. Supported: literal characters, one or more
+/// `[class]{m,n}` / `{n}` / `*` / `+` / `?` terms, classes of single chars
+/// and ASCII ranges.
+impl Strategy for &str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let (alternatives, next) = if chars[i] == '[' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+            (parse_class(&chars[i + 1..close], pattern), close + 1)
+        } else {
+            (vec![chars[i]], i + 1)
+        };
+        let (min, max, next) = parse_quantifier(&chars, next, pattern);
+        let n = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..n {
+            let idx = rng.below(alternatives.len() as u64) as usize;
+            out.push(alternatives[idx]);
+        }
+        i = next;
+    }
+    out
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut alternatives = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+            assert!(lo <= hi, "bad class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                alternatives.push(char::from_u32(c).unwrap());
+            }
+            j += 3;
+        } else {
+            alternatives.push(body[j]);
+            j += 1;
+        }
+    }
+    assert!(
+        !alternatives.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    alternatives
+}
+
+/// Returns `(min, max, next_index)` for the quantifier at `i`, defaulting to
+/// `{1,1}` when none is present. Unbounded `*`/`+` cap at 8 repetitions.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('?') => (0, 1, i + 1),
+        Some('{') => {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier min"),
+                    hi.trim().parse().expect("bad quantifier max"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("bad quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}

@@ -1,0 +1,150 @@
+//! Deterministic case runner: generate `cases` inputs, run the test closure,
+//! report the first failing input (no shrinking).
+
+use crate::strategy::Strategy;
+use std::fmt::Debug;
+
+/// Configuration accepted by `#![proptest_config(..)]`. Only `cases` changes
+/// behaviour here; the other fields exist so real-proptest configs parse.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (there is no shrinking).
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; unused (there are no rejections).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Generation RNG handed to strategies (xoshiro256++, splitmix64-seeded).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut st = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Unbiased uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample from an empty range");
+        if n.is_power_of_two() {
+            return self.next_u64() & (n - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Seeds deterministically from the test function's name so each property
+    /// sees a distinct but reproducible stream.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), String>
+    where
+        S: Strategy,
+        S::Value: Debug,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let value = strategy.new_value(&mut self.rng);
+            let rendered = format!("{value:?}");
+            match test(value) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "proptest case {}/{} failed: {}\ninput: {}",
+                        case + 1,
+                        self.config.cases,
+                        message,
+                        rendered
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

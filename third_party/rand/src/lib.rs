@@ -1,0 +1,266 @@
+//! Offline stand-in for the subset of the `rand` 0.10 API used by this
+//! workspace. The workspace builds hermetically (no registry access), so the
+//! external deps are vendored as small, deterministic reimplementations of
+//! exactly the surface the code consumes: `SmallRng`, `SeedableRng`, `Rng`,
+//! `RngExt::{random, random_range}`, and `rand_core::TryRng`.
+//!
+//! The generator is xoshiro256++ seeded through splitmix64 — the same family
+//! the real `SmallRng` uses on 64-bit targets — so streams are well mixed and
+//! fully reproducible from a `u64` seed.
+
+use std::convert::Infallible;
+
+pub mod rand_core {
+    /// Fallible generator interface. The simulator's `SimRng` implements this
+    /// directly; infallible generators get [`crate::Rng`] via a blanket impl.
+    pub trait TryRng {
+        type Error;
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// Seeding interface: everything here seeds from a single `u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Infallible generator interface.
+pub trait Rng {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R> Rng for R
+where
+    R: rand_core::TryRng<Error = Infallible>,
+{
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => (),
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`'s `random*` family.
+pub trait RngExt: Rng {
+    /// Uniform value in `[range.start, range.end)`.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self, range)
+    }
+
+    /// A value drawn from the type's standard distribution
+    /// (`f64`/`f32` in `[0, 1)`, ints over their full range).
+    fn random<T: StandardDistribution>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+/// Types that can be drawn uniformly from a half-open range.
+pub trait SampleUniform: Sized {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+/// Unbiased uniform draw in `[0, n)` by rejection sampling.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let width = (range.end - range.start) as u64;
+                range.start + uniform_below(rng, width) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let width = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                (range.start as $u).wrapping_add(uniform_below(rng, width) as $u) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Types drawable from the "standard" distribution.
+pub trait StandardDistribution: Sized {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardDistribution for f64 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardDistribution for f32 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardDistribution for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardDistribution for $t {
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod rngs {
+    use super::{rand_core::TryRng, SeedableRng};
+    use std::convert::Infallible;
+
+    /// xoshiro256++ — small, fast, and statistically solid; the same family
+    /// the real `SmallRng` uses on 64-bit platforms.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl SmallRng {
+        fn step(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl TryRng for SmallRng {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.step() >> 32) as u32)
+        }
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            Ok(self.step())
+        }
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            for chunk in dst.chunks_mut(8) {
+                let bytes = self.step().to_le_bytes();
+                chunk.copy_from_slice(&bytes[..chunk.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v: u64 = r.random_range(10..20);
+            assert!((10..20).contains(&v));
+            let s: i64 = r.random_range(-5..5);
+            assert!((-5..5).contains(&s));
+            let f: f64 = r.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
