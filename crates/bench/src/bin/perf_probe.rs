@@ -2,7 +2,8 @@
 // regions. Latency classes are read from the cluster's own kv.op.latency
 // histograms (not harness-side timers) and summarized into BENCH_obs.json:
 // regional reads (lag policy), global reads (lead policy), and
-// global-transaction commits (commit wait included).
+// global-transaction commits (commit wait included), plus conformance
+// counters (replication_violations, monitor_violations).
 use mr_bench::{
     add_clients, five_region_db, obs_hist_json, paper_regions, run_to_completion, setup_ycsb,
     write_obs_exports,
@@ -75,6 +76,13 @@ fn run_phase(
 fn main() {
     let t0 = std::time::Instant::now();
     let mut db = five_region_db(250, 1);
+    // MR_STRICT_MONITORS=1 escalates any online-invariant violation
+    // (closed-timestamp regression, bad follower read, short commit wait,
+    // non-conforming placement) to a panic, turning the probe into an
+    // invariant smoke test.
+    if std::env::var("MR_STRICT_MONITORS").is_ok_and(|v| v == "1") {
+        db.cluster.obs.monitors.set_strict(true);
+    }
     let regions = paper_regions();
     setup_ycsb(
         &mut db,
@@ -125,11 +133,14 @@ fn main() {
         reg.histogram_merged_where("kv.op.latency", &[("op", "kv.get"), ("policy", "lead")]);
     let global_commits =
         reg.histogram_merged_where("kv.op.latency", &[("op", "kv.commit"), ("policy", "lead")]);
+    let report = db.cluster.replication_report();
     let json = format!(
-        "{{\n  \"regional_reads\": {},\n  \"global_reads\": {},\n  \"global_txn_commits\": {}\n}}\n",
+        "{{\n  \"regional_reads\": {},\n  \"global_reads\": {},\n  \"global_txn_commits\": {},\n  \"replication_violations\": {},\n  \"monitor_violations\": {}\n}}\n",
         obs_hist_json(&regional_reads),
         obs_hist_json(&global_reads),
-        obs_hist_json(&global_commits)
+        obs_hist_json(&global_commits),
+        report.violations(),
+        db.cluster.obs.monitors.violation_count()
     );
     std::fs::write("BENCH_obs.json", &json).unwrap();
     write_obs_exports(&db, "perf_probe");

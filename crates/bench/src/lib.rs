@@ -174,13 +174,25 @@ pub fn obs_hist_json(h: &mr_obs::Histogram) -> String {
 
 /// Write a finished run's observability exports next to the bench output:
 /// `<prefix>_metrics.json` / `.csv` (registry dump), `<prefix>_scrapes.csv`
-/// (time series), and `<prefix>_trace.json` (Chrome trace, only when spans
-/// were recorded). All four are deterministic for a fixed seed.
+/// (time series), `<prefix>_events.json` (cluster event log),
+/// `<prefix>_replication_report.json` (conformance report), and
+/// `<prefix>_trace.json` (Chrome trace, only when spans were recorded).
+/// All are deterministic for a fixed seed.
 pub fn write_obs_exports(db: &SqlDb, prefix: &str) {
     let obs = &db.cluster.obs;
     std::fs::write(format!("{prefix}_metrics.json"), obs.registry.dump_json()).unwrap();
     std::fs::write(format!("{prefix}_metrics.csv"), obs.registry.dump_csv()).unwrap();
     std::fs::write(format!("{prefix}_scrapes.csv"), obs.scraper.export_csv()).unwrap();
+    std::fs::write(
+        format!("{prefix}_events.json"),
+        db.cluster.events.export_json(),
+    )
+    .unwrap();
+    std::fs::write(
+        format!("{prefix}_replication_report.json"),
+        db.cluster.replication_report().export_json(),
+    )
+    .unwrap();
     if !obs.tracer.is_empty() {
         std::fs::write(
             format!("{prefix}_trace.json"),

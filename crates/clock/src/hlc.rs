@@ -106,10 +106,14 @@ impl Hlc {
     pub fn time_until_passed(&self, ts: Timestamp, sim_now: SimTime) -> SimDuration {
         let phys = self.clock.read(sim_now);
         if phys > ts.wall {
-            SimDuration::ZERO
-        } else {
-            SimDuration(ts.wall - phys + 1)
+            return SimDuration::ZERO;
         }
+        // Solve `read(sim_now + wait) > ts.wall` in sim-time. `read` clamps
+        // negative readings to zero, so near sim start a slow clock can sit
+        // at 0 for a while; `ts.wall - phys + 1` would under-estimate there.
+        let target_sim = ts.wall as i64 + 1 - self.clock.skew_nanos();
+        let wait = target_sim - sim_now.nanos() as i64;
+        SimDuration(wait.max(1) as u64)
     }
 }
 

@@ -20,26 +20,53 @@ pub struct Placement {
     pub voting: bool,
 }
 
-/// Allocation failure: not enough live nodes to satisfy the config.
+/// Role of the replica slot an allocation constraint applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaRole {
+    Voter,
+    NonVoter,
+}
+
+impl std::fmt::Display for ReplicaRole {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaRole::Voter => write!(f, "voter"),
+            ReplicaRole::NonVoter => write!(f, "non-voter"),
+        }
+    }
+}
+
+/// Allocation failure: not enough live nodes to satisfy the config. Names
+/// the unsatisfiable constraint — which region (if any) and which replica
+/// role — so conformance reports can say *why* a range cannot be placed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllocError {
     pub missing_region: Option<RegionId>,
+    /// Resolved name of `missing_region`, for human-readable errors.
+    pub region_name: Option<String>,
+    /// Which replica role the failed constraint wanted.
+    pub role: ReplicaRole,
     pub wanted: usize,
     pub available: usize,
 }
 
 impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.missing_region {
-            Some(r) => write!(
+        match (&self.region_name, self.missing_region) {
+            (Some(name), _) => write!(
                 f,
-                "cannot place {} replicas in {r}: only {} nodes available",
-                self.wanted, self.available
+                "cannot place {} {} replica(s) in region {name:?}: only {} available",
+                self.wanted, self.role, self.available
             ),
-            None => write!(
+            (None, Some(r)) => write!(
                 f,
-                "cannot place {} replicas: only {} nodes available",
-                self.wanted, self.available
+                "cannot place {} {} replica(s) in {r}: only {} available",
+                self.wanted, self.role, self.available
+            ),
+            (None, None) => write!(
+                f,
+                "cannot place {} {} replica(s): only {} nodes available",
+                self.wanted, self.role, self.available
             ),
         }
     }
@@ -113,6 +140,8 @@ pub fn allocate(topo: &Topology, cfg: &ZoneConfig) -> Result<AllocationOutcome, 
         if got.len() < want {
             return Err(AllocError {
                 missing_region: Some(region),
+                region_name: Some(topo.region_name(region).to_string()),
+                role: ReplicaRole::Voter,
                 wanted: want,
                 available: got.len(),
             });
@@ -149,6 +178,8 @@ pub fn allocate(topo: &Topology, cfg: &ZoneConfig) -> Result<AllocationOutcome, 
         let Some(&n) = got.first() else {
             return Err(AllocError {
                 missing_region: None,
+                region_name: None,
+                role: ReplicaRole::Voter,
                 wanted: cfg.num_voters,
                 available: voters.len(),
             });
@@ -175,6 +206,8 @@ pub fn allocate(topo: &Topology, cfg: &ZoneConfig) -> Result<AllocationOutcome, 
         if got.len() < want - have {
             return Err(AllocError {
                 missing_region: Some(region),
+                region_name: Some(topo.region_name(region).to_string()),
+                role: ReplicaRole::NonVoter,
                 wanted: want,
                 available: have + got.len(),
             });
@@ -339,8 +372,13 @@ mod tests {
         let cfg = ZoneConfig::single_region(RegionId(0));
         let err = allocate(&topo, &cfg).unwrap_err();
         assert_eq!(err.missing_region, Some(RegionId(0)));
+        assert_eq!(err.region_name.as_deref(), Some("only"));
+        assert_eq!(err.role, ReplicaRole::Voter);
         assert_eq!(err.wanted, 3);
         assert_eq!(err.available, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("\"only\""), "error names the region: {msg}");
+        assert!(msg.contains("voter"), "error names the role: {msg}");
     }
 
     #[test]
@@ -353,6 +391,36 @@ mod tests {
         let cfg = ZoneConfig::single_region(RegionId(0));
         let err = allocate(&topo, &cfg).unwrap_err();
         assert_eq!(err.available, 2);
+        assert_eq!(err.role, ReplicaRole::Voter);
+    }
+
+    #[test]
+    fn region_survival_unsatisfiable_names_region_and_role() {
+        // Three regions with one node each: SURVIVE REGION FAILURE derives
+        // two home-region voters, but the home region only has one node.
+        let topo = Topology::build(
+            &["us-east1", "europe-west2", "asia-northeast1"],
+            1,
+            RttMatrix::uniform(3, mr_sim::SimDuration::from_millis(50)),
+        );
+        let cfg = derive_zone_config(
+            RegionId(0),
+            &regions(3),
+            SurvivalGoal::Region,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        let err = allocate(&topo, &cfg).unwrap_err();
+        assert_eq!(err.missing_region, Some(RegionId(0)));
+        assert_eq!(err.region_name.as_deref(), Some("us-east1"));
+        assert_eq!(err.role, ReplicaRole::Voter);
+        assert_eq!(err.wanted, 2);
+        assert_eq!(err.available, 1);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("\"us-east1\"") && msg.contains("voter"),
+            "constraint not named: {msg}"
+        );
     }
 
     #[test]

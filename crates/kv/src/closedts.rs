@@ -126,6 +126,14 @@ impl ClosedTsTracker {
         }
     }
 
+    /// Fault injection for the online invariant monitors: forcibly move the
+    /// active closed timestamp *backwards* by `delta_nanos`. Real trackers
+    /// only ever `forward`; tests use this to prove that the
+    /// `closed_ts_monotonic` monitor detects a regressing frontier.
+    pub fn fault_regress(&mut self, delta_nanos: u64) {
+        self.active = Timestamp::new(self.active.wall.saturating_sub(delta_nanos), 0);
+    }
+
     fn activate_pending(&mut self, applied_index: u64) {
         if let Some((ts, idx)) = self.pending {
             if applied_index >= idx {

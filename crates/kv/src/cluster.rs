@@ -23,9 +23,11 @@ use mr_sim::{EventQueue, Link, NodeId, SimDuration, SimRng, SimTime, Topology};
 
 use crate::allocator::{allocate, AllocError};
 use crate::closedts::ClosedTsParams;
+use crate::events::{EventKind, EventLog};
 use crate::metrics::{req_kind_index, rpc_span_name, KvMetrics, MetricsView};
 use crate::range::{RangeDescriptor, RangeRegistry};
 use crate::replica::{Command, Effect, EvalCtx, EvalOutcome, Replica, ReplyPath};
+use crate::report::{self, RangeStatus, ReplicationReport};
 use crate::txn::TxnState;
 use crate::zone::{ClosedTsPolicy, ZoneConfig};
 
@@ -77,6 +79,13 @@ pub struct ClusterConfig {
     /// Snapshot every registry instrument into the scrape series on this
     /// sim-time interval (`None` disables periodic scrapes).
     pub obs_scrape_interval: Option<SimDuration>,
+    /// Escalate online invariant-monitor violations (closed-timestamp
+    /// regressions, follower reads above the closed frontier, short commit
+    /// waits, non-conforming placements) to panics. On by default so every
+    /// test doubles as an invariant check; fault-injection tests that
+    /// deliberately break an invariant turn it off and inspect
+    /// `obs.monitors` instead.
+    pub strict_monitors: bool,
 }
 
 impl Default for ClusterConfig {
@@ -103,6 +112,7 @@ impl Default for ClusterConfig {
             gc_ttl: SimDuration::from_secs(30),
             tracing: false,
             obs_scrape_interval: Some(SimDuration::from_secs(1)),
+            strict_monitors: true,
         }
     }
 }
@@ -210,8 +220,12 @@ struct PendingRpc {
 /// The simulated multi-region cluster.
 pub struct Cluster {
     pub cfg: ClusterConfig,
-    /// Observability bundle: metrics registry, tracer, scrape series.
+    /// Observability bundle: metrics registry, tracer, scrape series,
+    /// invariant monitors.
     pub obs: Obs,
+    /// Append-only admin-plane event log (range lifecycle, lease transfers,
+    /// row rehoming) backing `crdb_internal.cluster_events`.
+    pub events: EventLog,
     /// Pre-bound instrument handles (hot-path increments).
     pub(crate) m: KvMetrics,
     /// Ambient trace parent: the span under which synchronously-entered
@@ -235,6 +249,9 @@ pub struct Cluster {
     outstanding_ops: usize,
     /// Active txn-record pushers, keyed by the blocked (range, key).
     pub(crate) active_pushers: std::collections::HashSet<(RangeId, Key)>,
+    /// Last closed timestamp observed per replica by the scrape-time
+    /// monotonicity monitor.
+    monitor_closed: HashMap<(RangeId, NodeId), u64>,
 }
 
 impl Cluster {
@@ -269,10 +286,12 @@ impl Cluster {
         if cfg.tracing {
             obs.tracer.set_enabled(true);
         }
+        obs.monitors.set_strict(cfg.strict_monitors);
         let m = KvMetrics::bind(&obs.registry);
         let mut c = Cluster {
             cfg,
             obs,
+            events: EventLog::new(),
             m,
             trace_parent: None,
             queue: EventQueue::new(),
@@ -289,6 +308,7 @@ impl Cluster {
             next_txn: 1,
             outstanding_ops: 0,
             active_pushers: std::collections::HashSet::new(),
+            monitor_closed: HashMap::new(),
         };
         c.queue.schedule(cfg.raft_tick_interval, Event::RaftTick);
         c.queue
@@ -324,6 +344,32 @@ impl Cluster {
     /// queries — labels, histograms, dumps — go through `obs.registry`.
     pub fn metrics(&self) -> MetricsView {
         self.m.view()
+    }
+
+    /// Replication conformance report over every range, classified against
+    /// its own zone config at the current sim-time.
+    pub fn replication_report(&self) -> ReplicationReport {
+        ReplicationReport::build(self.queue.now(), &self.registry, &self.topo)
+    }
+
+    /// Invariant check after (re)placement: the allocator must never emit a
+    /// placement that violates per-region constraints or puts the
+    /// leaseholder outside the preferred regions. (Falling short of
+    /// `num_replicas` is legal in clusters too small for the leftover
+    /// stage, so under-replication is not checked here.)
+    fn monitor_placement(&self, id: RangeId) {
+        let Some(desc) = self.registry.get(id) else {
+            return;
+        };
+        let c = report::classify(desc, &self.topo);
+        let ok = !c.has(RangeStatus::ViolatingConstraints) && !c.has(RangeStatus::WrongLeaseholder);
+        self.obs.monitors.check(
+            &self.obs.registry,
+            "placement_conformance",
+            self.queue.now(),
+            ok,
+            || format!("range {id}: {}", c.detail()),
+        );
     }
 
     /// The region name of a node's locality.
@@ -383,6 +429,17 @@ impl Cluster {
         self.topo.fail_zone(z);
     }
 
+    /// Fault injection for the invariant monitors: forcibly regress the
+    /// closed-timestamp frontier of one replica. The `closed_ts_monotonic`
+    /// monitor must flag this at the next observability scrape.
+    pub fn fault_regress_closed_ts(&mut self, range: RangeId, node: NodeId, delta: SimDuration) {
+        let rep = self.nodes[node.0 as usize]
+            .replicas
+            .get_mut(&range)
+            .unwrap_or_else(|| panic!("no replica of {range} on {node}"));
+        rep.tracker.fault_regress(delta.nanos());
+    }
+
     // ------------------------------------------------------------------
     // Admin: ranges
     // ------------------------------------------------------------------
@@ -396,6 +453,14 @@ impl Cluster {
         let out = allocate(&self.topo, &zone_config)?;
         let id = self.registry.next_range_id();
         self.install_range(id, span, zone_config, &out.replicas, out.leaseholder, None);
+        self.events.record(
+            self.queue.now(),
+            EventKind::RangeCreated {
+                range: id,
+                leaseholder: out.leaseholder,
+            },
+        );
+        self.monitor_placement(id);
         Ok(id)
     }
 
@@ -490,6 +555,16 @@ impl Cluster {
             out.leaseholder,
             Some(seed),
         );
+        // The replica set changed; restart the monotonicity baseline.
+        self.monitor_closed.retain(|&(rid, _), _| rid != id);
+        self.events.record(
+            self.queue.now(),
+            EventKind::ZoneConfigChanged {
+                range: id,
+                leaseholder: out.leaseholder,
+            },
+        );
+        self.monitor_placement(id);
         Ok(())
     }
 
@@ -532,6 +607,15 @@ impl Cluster {
         }
         self.registry.get_mut(range).unwrap().leaseholder = to;
         self.m.lease_transfers.inc();
+        self.events.record(
+            now,
+            EventKind::LeaseTransfer {
+                range,
+                from: old,
+                to,
+                cooperative: true,
+            },
+        );
     }
 
     /// Remove a range entirely (table drop or partition-layout rewrite).
@@ -542,6 +626,9 @@ impl Cluster {
                 self.nodes[n.0 as usize].replicas.remove(&id);
             }
             *self.range_gens.entry(id).or_insert(0) += 1;
+            self.monitor_closed.retain(|&(rid, _), _| rid != id);
+            self.events
+                .record(self.queue.now(), EventKind::RangeDropped { range: id });
         }
     }
 
@@ -868,6 +955,13 @@ impl Cluster {
         let leaseholder = Some(desc.leaseholder);
         let params = self.cfg.closed_ts;
         let is_follower_read = !is_leaseholder && !req.is_write();
+        // For the follower-read invariant monitor: the uncertainty limit a
+        // point read or scan evaluates under (the follower gate requires the
+        // closed frontier to have reached it).
+        let read_limit = match &req {
+            Request::Get { ctx, .. } | Request::Scan { ctx, .. } => Some(ctx.uncertainty_limit),
+            _ => None,
+        };
         let has_replica = self.nodes[node.0 as usize].replicas.contains_key(&range);
         if !has_replica {
             let err = KvError::NotLeaseholder { range, leaseholder };
@@ -919,7 +1013,33 @@ impl Cluster {
             EvalOutcome::Reply(result) => {
                 if is_follower_read {
                     match &result {
-                        Ok(_) => self.m.follower_reads_served.inc(),
+                        Ok(_) => {
+                            self.m.follower_reads_served.inc();
+                            // A follower may only serve a read once its
+                            // closed frontier covers the read's uncertainty
+                            // limit (§5.1).
+                            if let Some(limit) = read_limit {
+                                let closed = self.nodes[node.0 as usize]
+                                    .replicas
+                                    .get(&range)
+                                    .map(|r| r.tracker.closed());
+                                if let Some(closed) = closed {
+                                    self.obs.monitors.check(
+                                        &self.obs.registry,
+                                        "follower_read_closed",
+                                        now,
+                                        limit <= closed,
+                                        || {
+                                            format!(
+                                                "range {range} at n{}: read limit {limit} above \
+                                             closed frontier {closed}",
+                                                node.0
+                                            )
+                                        },
+                                    );
+                                }
+                            }
+                        }
                         // Uncertainty is part of the protocol, not a
                         // locality miss; count only true redirects.
                         Err(e) if e.is_redirect() => self.m.follower_read_redirects.inc(),
@@ -1050,6 +1170,15 @@ impl Cluster {
         }
         self.registry.get_mut(range).unwrap().leaseholder = node;
         self.m.lease_transfers.inc();
+        self.events.record(
+            now,
+            EventKind::LeaseTransfer {
+                range,
+                from: old,
+                to: node,
+                cooperative: false,
+            },
+        );
     }
 
     fn handle_raft_tick(&mut self) {
@@ -1106,6 +1235,7 @@ impl Cluster {
         let mut worst_lead: Option<i64> = None;
         let mut waiters = 0u64;
         let mut locked_keys = 0u64;
+        let mut closed_walls: Vec<(RangeId, NodeId, u64)> = Vec::new();
         for d in self.registry.iter() {
             let lead_policy = d.zone_config.closed_ts_policy == ClosedTsPolicy::Lead;
             for n in d.replica_nodes() {
@@ -1113,6 +1243,7 @@ impl Cluster {
                     continue;
                 };
                 let lag = rep.tracker.lag_nanos(now.nanos());
+                closed_walls.push((d.id, n, rep.tracker.closed().wall));
                 let worst = if lead_policy {
                     &mut worst_lead
                 } else {
@@ -1123,6 +1254,24 @@ impl Cluster {
                     waiters += rep.locks.total_waiters() as u64;
                     locked_keys += rep.locks.locked_key_count() as u64;
                 }
+            }
+        }
+        // The closed-timestamp frontier of a replica must never move
+        // backwards between scrapes (trackers only `forward`).
+        for (rid, n, wall) in closed_walls {
+            if let Some(prev) = self.monitor_closed.insert((rid, n), wall) {
+                self.obs.monitors.check(
+                    &self.obs.registry,
+                    "closed_ts_monotonic",
+                    now,
+                    wall >= prev,
+                    || {
+                        format!(
+                            "range {rid} replica n{}: closed frontier regressed {prev} -> {wall}",
+                            n.0
+                        )
+                    },
+                );
             }
         }
         let r = &self.obs.registry;

@@ -15,6 +15,11 @@
 //!   transport (§5.1.1, §6.2.1);
 //! * [`replica`] — per-node replica state: MVCC store, Raft instance,
 //!   timestamp cache, request evaluation at leaseholders and followers;
+//! * [`events`] — the append-only cluster event log (range creation, lease
+//!   transfers, zone-config changes, row rehoming) backing
+//!   `crdb_internal.cluster_events`;
+//! * [`report`] — replication conformance reports classifying every range
+//!   against its derived zone config;
 //! * [`cluster`] — the simulated cluster: event dispatch, RPC transport,
 //!   Raft delivery, admin operations (range creation, lease transfer,
 //!   failure handling);
@@ -26,17 +31,21 @@
 pub mod allocator;
 pub mod closedts;
 pub mod cluster;
+pub mod events;
 pub mod locks;
 pub mod metrics;
 pub mod range;
 pub mod replica;
+pub mod report;
 pub mod txn;
 pub mod zone;
 
-pub use allocator::{allocate, AllocationOutcome, Placement};
+pub use allocator::{allocate, AllocError, AllocationOutcome, Placement, ReplicaRole};
 pub use closedts::{ClosedTsParams, ClosedTsTracker};
 pub use cluster::{Cluster, ClusterConfig, KvResult, ReadOptions, Staleness};
+pub use events::{ClusterEvent, EventKind, EventLog};
 pub use metrics::MetricsView;
 pub use range::{RangeDescriptor, RangeRegistry};
+pub use report::{RangeConformance, RangeStatus, ReplicationReport};
 pub use txn::TxnHandle;
 pub use zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal, ZoneConfig};

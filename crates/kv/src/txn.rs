@@ -1198,6 +1198,24 @@ impl Cluster {
                 Box::new(move |c| {
                     let now = c.now();
                     c.obs.tracer.finish(span, now);
+                    // §6.2 correctness hinges on the wait being long enough:
+                    // once it elapses, the gateway clock must have passed the
+                    // (future-time) commit timestamp, so no later reader can
+                    // see the value before real time reaches it.
+                    let remaining = c.node(gateway).hlc.time_until_passed(ts, now);
+                    c.obs.monitors.check(
+                        &c.obs.registry,
+                        "commit_wait",
+                        now,
+                        remaining == SimDuration::ZERO,
+                        || {
+                            format!(
+                                "commit wait at n{} ended {} ns before clock passed commit ts {ts}",
+                                gateway.0,
+                                remaining.nanos()
+                            )
+                        },
+                    );
                     f(c)
                 }),
             );

@@ -28,11 +28,13 @@
 
 pub mod export;
 pub mod histogram;
+pub mod monitor;
 pub mod registry;
 pub mod scrape;
 pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use monitor::{MonitorSet, Violation};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricKey, Registry, Snapshot};
 pub use scrape::{ScrapePoint, Scraper};
 pub use trace::{SpanData, SpanId, Tracer};
@@ -40,12 +42,14 @@ pub use trace::{SpanData, SpanId, Tracer};
 use mr_sim::SimTime;
 
 /// The observability bundle a cluster carries: one registry, one tracer, one
-/// scrape series. Cloning shares the underlying state.
+/// scrape series, one set of online invariant monitors. Cloning shares the
+/// underlying state.
 #[derive(Clone, Default)]
 pub struct Obs {
     pub registry: Registry,
     pub tracer: Tracer,
     pub scraper: Scraper,
+    pub monitors: MonitorSet,
 }
 
 impl Obs {

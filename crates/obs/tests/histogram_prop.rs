@@ -1,0 +1,109 @@
+//! Property tests for the log-linear histogram, concentrating on bucket
+//! boundaries: 0, 1, i64::MAX, u64::MAX, and powers of two ± 1. `record`
+//! followed by any quantile must never panic, quantiles must stay inside
+//! the observed [min, max], and the bucket layout must be monotone.
+
+use mr_obs::Histogram;
+use proptest::prelude::*;
+
+/// A mix of bucket-boundary values (0, 1, i64::MAX, u64::MAX, powers of
+/// two and their neighbours across every octave) and arbitrary values.
+fn value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(i64::MAX as u64),
+        Just(i64::MAX as u64 - 1),
+        Just(i64::MAX as u64 + 1),
+        Just(u64::MAX),
+        (0u32..64).prop_map(|e| 1u64 << e),
+        (0u32..64).prop_map(|e| (1u64 << e).saturating_sub(1)),
+        (0u32..64).prop_map(|e| (1u64 << e).saturating_add(1)),
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    /// Recording any value sequence and asking for any quantile never
+    /// panics, and every quantile is clamped into [min, max].
+    #[test]
+    fn record_then_quantile_never_panics(
+        values in prop::collection::vec(value(), 1..200),
+        qs in prop::collection::vec((0u32..=1000).prop_map(|m| m as f64 / 1000.0), 1..20),
+    ) {
+        let mut h = Histogram::new();
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for &v in &values {
+            h.record(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), min);
+        prop_assert_eq!(h.max(), max);
+        for &q in &qs {
+            let est = h.quantile(q);
+            prop_assert!(est >= min && est <= max,
+                "quantile({q}) = {est} outside [{min}, {max}]");
+        }
+        prop_assert_eq!(h.quantile(0.0), min);
+        prop_assert_eq!(h.quantile(1.0), max);
+    }
+
+    /// Bucket upper bounds are strictly monotone, each recorded value fits
+    /// under some bucket bound, and quantiles are monotone in q.
+    #[test]
+    fn buckets_are_monotone(values in prop::collection::vec(value(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let buckets = h.nonzero_buckets();
+        prop_assert!(!buckets.is_empty());
+        let total: u64 = buckets.iter().map(|&(_, n)| n).sum();
+        prop_assert_eq!(total, values.len() as u64);
+        for pair in buckets.windows(2) {
+            prop_assert!(pair[0].0 < pair[1].0,
+                "bucket bounds not strictly increasing: {} then {}",
+                pair[0].0, pair[1].0);
+        }
+        let top = buckets.last().unwrap().0;
+        for &v in &values {
+            prop_assert!(v <= top, "recorded {v} above highest bound {top}");
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let q = h.quantile(i as f64 / 20.0);
+            prop_assert!(q >= last, "quantiles regressed: {q} < {last}");
+            last = q;
+        }
+    }
+
+    /// Merging two histograms is equivalent to one combined stream, even
+    /// when both contain extreme boundary values.
+    #[test]
+    fn merge_matches_combined_stream(
+        a in prop::collection::vec(value(), 0..100),
+        b in prop::collection::vec(value(), 0..100),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut whole = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            whole.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            whole.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), whole.count());
+        prop_assert_eq!(ha.sum(), whole.sum());
+        prop_assert_eq!(ha.nonzero_buckets(), whole.nonzero_buckets());
+        if ha.count() > 0 {
+            prop_assert_eq!(ha.snapshot(), whole.snapshot());
+        }
+    }
+}

@@ -153,6 +153,15 @@ pub enum Stmt {
     ShowRegions {
         db: Option<String>,
     },
+    /// `SHOW RANGES FROM TABLE t`: one row per range of the table, with
+    /// placement (home region, leaseholder, voters, non-voters).
+    ShowRanges {
+        table: String,
+    },
+    /// `SHOW SURVIVAL GOAL [FROM DATABASE db]`.
+    ShowSurvivalGoal {
+        db: Option<String>,
+    },
     CreateTable {
         name: String,
         columns: Vec<ColumnDef>,

@@ -99,6 +99,26 @@ pub fn exec_ddl(
                 .collect();
             Ok(DdlOutcome::Rows(rows))
         }
+        Stmt::ShowRanges { table } => {
+            let db_name = required_db(current_db)?;
+            let rows =
+                crate::vtable::show_ranges(cluster, catalog, &db_name, table).map_err(DdlError)?;
+            Ok(DdlOutcome::Rows(rows))
+        }
+        Stmt::ShowSurvivalGoal { db } => {
+            let db_name = db
+                .as_deref()
+                .or(current_db)
+                .ok_or_else(|| DdlError("no database selected".into()))?;
+            let db = catalog
+                .db(db_name)
+                .ok_or_else(|| DdlError(format!("unknown database {db_name:?}")))?;
+            let goal = match db.survival {
+                SurvivalGoal::Zone => "zone",
+                SurvivalGoal::Region => "region",
+            };
+            Ok(DdlOutcome::Rows(vec![vec![Datum::String(goal.into())]]))
+        }
         Stmt::CreateTable {
             name,
             columns,

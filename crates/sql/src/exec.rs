@@ -42,6 +42,8 @@ fn stmt_kind(stmt: &Stmt) -> &'static str {
         Stmt::CreateDatabase { .. } => "create_database",
         Stmt::AlterDatabase { .. } => "alter_database",
         Stmt::ShowRegions { .. } => "show_regions",
+        Stmt::ShowRanges { .. } => "show_ranges",
+        Stmt::ShowSurvivalGoal { .. } => "show_survival_goal",
         Stmt::CreateTable { .. } => "create_table",
         Stmt::DropTable { .. } => "drop_table",
         Stmt::AlterTable { .. } => "alter_table",
@@ -339,6 +341,8 @@ impl SqlDb {
             Stmt::CreateDatabase { .. }
             | Stmt::AlterDatabase { .. }
             | Stmt::ShowRegions { .. }
+            | Stmt::ShowRanges { .. }
+            | Stmt::ShowSurvivalGoal { .. }
             | Stmt::CreateTable { .. }
             | Stmt::DropTable { .. }
             | Stmt::AlterTable { .. }
@@ -368,6 +372,30 @@ impl SqlDb {
                     }
                 };
                 let res = explain(&mut self.cluster, &ctx, &inner);
+                cont(&mut self.cluster, res);
+            }
+            // Virtual tables: materialized synchronously from live cluster
+            // and catalog state — no KV reads, no transaction.
+            Stmt::Select { ref table, .. } if crate::vtable::is_virtual(table) => {
+                let (gateway, db) = {
+                    let st = sess.inner.borrow();
+                    (st.gateway, st.db.clone().unwrap_or_default())
+                };
+                let topo = self.cluster.topology();
+                let gateway_region = topo.region_name(topo.region_of(gateway)).to_string();
+                // Virtual tables work without a selected database, so build
+                // the context directly instead of going through `ctx`.
+                let ctx = ExecCtx {
+                    catalog: Rc::clone(&self.catalog),
+                    uuid: Rc::clone(&self.uuid_counter),
+                    gateway,
+                    gateway_region,
+                    db,
+                    fk_checks: self.fk_checks,
+                    unique_checks: self.unique_checks,
+                    los_enabled: self.los_enabled,
+                };
+                let res = exec_select_virtual(&mut self.cluster, &ctx, &stmt);
                 cont(&mut self.cluster, res);
             }
             // Stale SELECTs bypass the transaction machinery (§5.3).
@@ -475,6 +503,65 @@ impl ExecCtx {
     fn eval_pred(&self, table: &Table, row: &[Datum], e: &Expr) -> Result<bool, SqlError> {
         Ok(self.eval(table, row, e)?.as_bool() == Some(true))
     }
+}
+
+/// Execute a `SELECT` against a `crdb_internal.*` virtual table:
+/// materialize all rows from live state, then filter / project / limit
+/// with the regular expression machinery.
+fn exec_select_virtual(
+    cluster: &mut Cluster,
+    ctx: &ExecCtx,
+    stmt: &Stmt,
+) -> Result<SqlResult, SqlError> {
+    let Stmt::Select {
+        table,
+        columns,
+        predicate,
+        limit,
+        aost,
+    } = stmt
+    else {
+        unreachable!("exec_select_virtual requires a SELECT");
+    };
+    if aost.is_some() {
+        return Err(SqlError::Plan(
+            "AS OF SYSTEM TIME is not supported on virtual tables".into(),
+        ));
+    }
+    let (schema, rows) = {
+        let catalog = ctx.catalog.borrow();
+        crate::vtable::build(cluster, &catalog, table).map_err(SqlError::Catalog)?
+    };
+    let proj: Option<Vec<usize>> = match columns {
+        None => None,
+        Some(cols) => Some(
+            cols.iter()
+                .map(|c| {
+                    schema
+                        .column_ordinal(c)
+                        .ok_or_else(|| SqlError::Plan(format!("unknown column {c:?}")))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+    };
+    let mut out = Vec::new();
+    for row in rows {
+        if let Some(p) = predicate {
+            if !ctx.eval_pred(&schema, &row, p)? {
+                continue;
+            }
+        }
+        out.push(match &proj {
+            None => row,
+            Some(ords) => ords.iter().map(|&i| row[i].clone()).collect(),
+        });
+        if let Some(l) = limit {
+            if out.len() as u64 >= *l {
+                break;
+            }
+        }
+    }
+    Ok(SqlResult::Rows(out))
 }
 
 // ---------------------------------------------------------------------
@@ -1892,6 +1979,15 @@ fn update_one_row(
             if !db.region_writable(&r) {
                 return done(cluster, Err(SqlError::ReadOnlyRegion(r)));
             }
+            let from = old_row[ro].as_str().unwrap_or_default().to_string();
+            let now = cluster.now();
+            cluster.events.record(
+                now,
+                mr_kv::events::EventKind::RowRehomed {
+                    from_region: from,
+                    to_region: r,
+                },
+            );
         }
     }
     // Uniqueness checks for unique indexes whose keys changed.

@@ -19,7 +19,9 @@
 //! * [`plan`] — the locality-aware planner;
 //! * [`exec`] — the executor and [`exec::Session`] API over the cluster;
 //! * [`ddl`] — DDL execution: range layout, automatic zone configs, online
-//!   region add/drop, locality changes.
+//!   region add/drop, locality changes;
+//! * [`vtable`] — `crdb_internal.*` virtual tables and `SHOW RANGES` /
+//!   `SHOW SURVIVAL GOAL` introspection.
 
 pub mod ast;
 pub mod catalog;
@@ -31,6 +33,7 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 pub mod types;
+pub mod vtable;
 
 pub use catalog::{Catalog, TableLocality};
 pub use exec::{Session, SqlDb, SqlError, SqlResult};

@@ -165,6 +165,22 @@ impl Parser {
             return Ok(Stmt::DropTable { name });
         }
         if self.kw("SHOW") {
+            if self.kw("RANGES") {
+                self.expect_kw("FROM")?;
+                self.expect_kw("TABLE")?;
+                let table = self.ident()?;
+                return Ok(Stmt::ShowRanges { table });
+            }
+            if self.kw("SURVIVAL") {
+                self.expect_kw("GOAL")?;
+                let db = if self.kw("FROM") {
+                    self.expect_kw("DATABASE")?;
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                return Ok(Stmt::ShowSurvivalGoal { db });
+            }
             self.expect_kw("REGIONS")?;
             let db = if self.kw("FROM") {
                 self.expect_kw("DATABASE")?;
@@ -679,7 +695,11 @@ impl Parser {
             Some(cols)
         };
         self.expect_kw("FROM")?;
-        let table = self.ident()?;
+        // Allow one qualification level (`crdb_internal.ranges`).
+        let mut table = self.ident()?;
+        if self.eat_symbol('.') {
+            table = format!("{table}.{}", self.ident()?);
+        }
         let mut aost = None;
         if self.kw("AS") {
             self.expect_kw("OF")?;

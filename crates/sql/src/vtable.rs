@@ -1,0 +1,346 @@
+//! Read-only `crdb_internal` virtual tables and the `SHOW RANGES` /
+//! `SHOW SURVIVAL GOAL` introspection surface.
+//!
+//! Virtual tables are computed from live cluster + catalog state at
+//! execution time — no KV reads, no transactions:
+//!
+//! * `crdb_internal.ranges` — every range with its schema object (database,
+//!   table, index, partition), home region, leaseholder placement, and
+//!   voter / non-voter sets;
+//! * `crdb_internal.node_metrics` — a SQL view over the observability
+//!   registry (counters, gauges, histogram percentiles);
+//! * `crdb_internal.cluster_events` — the append-only admin event log
+//!   (range lifecycle, lease transfers, zone-config changes, row rehoming);
+//! * `crdb_internal.replication_report` — per-range conformance
+//!   classification against the derived zone configs.
+//!
+//! Row order is deterministic (sorted by id / registry order), so
+//! same-seed runs produce identical results.
+
+use std::collections::BTreeMap;
+
+use mr_kv::cluster::Cluster;
+use mr_kv::range::RangeDescriptor;
+use mr_proto::RangeId;
+use mr_sim::NodeId;
+
+use crate::catalog::{Catalog, Column, Database, PartitionKey, Table, TableLocality};
+use crate::types::{ColumnType, Datum};
+
+/// Namespace prefix routing a `SELECT` to the virtual-table executor.
+pub const PREFIX: &str = "crdb_internal.";
+
+/// Whether a FROM-clause name refers to a virtual table.
+pub fn is_virtual(name: &str) -> bool {
+    name.starts_with(PREFIX)
+}
+
+/// Synthetic schema for one virtual table (predicate evaluation and
+/// projection reuse the regular [`Table`] machinery).
+fn vtab(name: &str, cols: &[(&str, ColumnType)]) -> Table {
+    Table {
+        id: 0,
+        name: name.to_string(),
+        columns: cols
+            .iter()
+            .map(|&(n, ty)| Column {
+                name: n.to_string(),
+                ty,
+                not_null: false,
+                hidden: false,
+                default: None,
+                computed: None,
+                on_update: None,
+                references: None,
+            })
+            .collect(),
+        locality: TableLocality::Global,
+        indexes: Vec::new(),
+        manual_partitioning: None,
+        zone_override: None,
+        next_index_id: 1,
+    }
+}
+
+/// Schema-object names for one range.
+struct RangeNames {
+    db: String,
+    table: String,
+    index: String,
+    partition: String,
+}
+
+fn partition_label(key: &PartitionKey) -> String {
+    match key {
+        PartitionKey::Whole => String::new(),
+        PartitionKey::Region(r) => r.clone(),
+        PartitionKey::Manual(m) => m.clone(),
+    }
+}
+
+/// Reverse map range id → (database, table, index, partition), iterating
+/// the catalog in sorted order.
+fn range_names(catalog: &Catalog) -> BTreeMap<RangeId, RangeNames> {
+    let mut out = BTreeMap::new();
+    let mut dbs: Vec<(&String, &Database)> = catalog.databases.iter().collect();
+    dbs.sort_by_key(|&(n, _)| n.clone());
+    for (db_name, db) in dbs {
+        let mut tables: Vec<(&String, &Table)> = db.tables.iter().collect();
+        tables.sort_by_key(|&(n, _)| n.clone());
+        for (table_name, table) in tables {
+            for index in &table.indexes {
+                for (key, rid) in &index.ranges {
+                    out.insert(
+                        *rid,
+                        RangeNames {
+                            db: db_name.clone(),
+                            table: table_name.clone(),
+                            index: index.name.clone(),
+                            partition: partition_label(key),
+                        },
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+fn node_list(mut nodes: Vec<NodeId>) -> String {
+    nodes.sort();
+    nodes
+        .iter()
+        .map(|n| format!("n{}", n.0))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Home region (first lease preference), leaseholder node + region, and
+/// sorted voter / non-voter lists of a range.
+fn placement(cluster: &Cluster, desc: &RangeDescriptor) -> [Datum; 5] {
+    let topo = cluster.topology();
+    let home = desc
+        .zone_config
+        .lease_preferences
+        .first()
+        .map(|&r| topo.region_name(r).to_string())
+        .unwrap_or_default();
+    let lh_region = topo
+        .region_name(topo.region_of(desc.leaseholder))
+        .to_string();
+    [
+        Datum::String(home),
+        Datum::Int(desc.leaseholder.0 as i64),
+        Datum::String(lh_region),
+        Datum::String(node_list(desc.voters().collect())),
+        Datum::String(node_list(desc.non_voters().collect())),
+    ]
+}
+
+/// `crdb_internal.ranges`.
+fn ranges(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.ranges",
+        &[
+            ("range_id", ColumnType::Int),
+            ("database_name", ColumnType::String),
+            ("table_name", ColumnType::String),
+            ("index_name", ColumnType::String),
+            ("partition", ColumnType::String),
+            ("home_region", ColumnType::String),
+            ("leaseholder_node", ColumnType::Int),
+            ("leaseholder_region", ColumnType::String),
+            ("voters", ColumnType::String),
+            ("non_voters", ColumnType::String),
+        ],
+    );
+    let names = range_names(catalog);
+    let rows = cluster
+        .registry()
+        .iter()
+        .map(|desc| {
+            let mut row = vec![Datum::Int(desc.id.0 as i64)];
+            match names.get(&desc.id) {
+                Some(n) => row.extend([
+                    Datum::String(n.db.clone()),
+                    Datum::String(n.table.clone()),
+                    Datum::String(n.index.clone()),
+                    Datum::String(n.partition.clone()),
+                ]),
+                None => row.extend([Datum::Null, Datum::Null, Datum::Null, Datum::Null]),
+            }
+            row.extend(placement(cluster, desc));
+            row
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// `crdb_internal.node_metrics`.
+fn node_metrics(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.node_metrics",
+        &[
+            ("kind", ColumnType::String),
+            ("metric", ColumnType::String),
+            ("value", ColumnType::Int),
+        ],
+    );
+    let snap = cluster.obs.registry.snapshot();
+    let mut rows = Vec::new();
+    for (k, v) in &snap.counters {
+        rows.push(vec![
+            Datum::String("counter".into()),
+            Datum::String(k.to_string()),
+            Datum::Int(*v as i64),
+        ]);
+    }
+    for (k, v) in &snap.gauges {
+        rows.push(vec![
+            Datum::String("gauge".into()),
+            Datum::String(k.to_string()),
+            Datum::Int(*v),
+        ]);
+    }
+    for (k, h) in &snap.histograms {
+        for (stat, v) in [
+            ("count", h.count),
+            ("p50", h.p50),
+            ("p99", h.p99),
+            ("max", h.max),
+        ] {
+            rows.push(vec![
+                Datum::String("histogram".into()),
+                Datum::String(format!("{k}#{stat}")),
+                Datum::Int(v as i64),
+            ]);
+        }
+    }
+    (schema, rows)
+}
+
+/// `crdb_internal.cluster_events`.
+fn cluster_events(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.cluster_events",
+        &[
+            ("seq", ColumnType::Int),
+            ("time_ns", ColumnType::Int),
+            ("kind", ColumnType::String),
+            ("range_id", ColumnType::Int),
+            ("detail", ColumnType::String),
+        ],
+    );
+    let rows = cluster
+        .events
+        .events()
+        .iter()
+        .map(|e| {
+            vec![
+                Datum::Int(e.seq as i64),
+                Datum::Int(e.at.0 as i64),
+                Datum::String(e.kind.label().into()),
+                e.kind
+                    .range()
+                    .map(|r| Datum::Int(r.0 as i64))
+                    .unwrap_or(Datum::Null),
+                Datum::String(e.kind.detail()),
+            ]
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// `crdb_internal.replication_report`.
+fn replication_report(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.replication_report",
+        &[
+            ("range_id", ColumnType::Int),
+            ("table_name", ColumnType::String),
+            ("partition", ColumnType::String),
+            ("status", ColumnType::String),
+            ("detail", ColumnType::String),
+        ],
+    );
+    let names = range_names(catalog);
+    let report = cluster.replication_report();
+    let rows = report
+        .ranges
+        .iter()
+        .map(|c| {
+            let (table, partition) = names
+                .get(&c.range)
+                .map(|n| {
+                    (
+                        Datum::String(n.table.clone()),
+                        Datum::String(n.partition.clone()),
+                    )
+                })
+                .unwrap_or((Datum::Null, Datum::Null));
+            vec![
+                Datum::Int(c.range.0 as i64),
+                table,
+                partition,
+                Datum::String(c.status().label().into()),
+                Datum::String(c.detail()),
+            ]
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// Materialize the named virtual table: its synthetic schema plus all rows
+/// in deterministic order. `Err` for unknown names.
+pub fn build(
+    cluster: &Cluster,
+    catalog: &Catalog,
+    name: &str,
+) -> Result<(Table, Vec<Vec<Datum>>), String> {
+    match name {
+        "crdb_internal.ranges" => Ok(ranges(cluster, catalog)),
+        "crdb_internal.node_metrics" => Ok(node_metrics(cluster)),
+        "crdb_internal.cluster_events" => Ok(cluster_events(cluster)),
+        "crdb_internal.replication_report" => Ok(replication_report(cluster, catalog)),
+        _ => Err(format!("unknown virtual table {name:?}")),
+    }
+}
+
+/// Rows for `SHOW RANGES FROM TABLE t`: (range_id, index, partition,
+/// home_region, leaseholder_node, leaseholder_region, voters, non_voters),
+/// sorted by range id.
+pub fn show_ranges(
+    cluster: &Cluster,
+    catalog: &Catalog,
+    db: &str,
+    table: &str,
+) -> Result<Vec<Vec<Datum>>, String> {
+    let database = catalog
+        .db(db)
+        .ok_or_else(|| format!("unknown database {db:?}"))?;
+    let t = database
+        .tables
+        .get(table)
+        .ok_or_else(|| format!("unknown table {table:?}"))?;
+    let mut ids: Vec<(RangeId, String, String)> = Vec::new();
+    for index in &t.indexes {
+        for (key, rid) in &index.ranges {
+            ids.push((*rid, index.name.clone(), partition_label(key)));
+        }
+    }
+    ids.sort_by_key(|(rid, _, _)| rid.0);
+    let rows = ids
+        .into_iter()
+        .filter_map(|(rid, index, part)| {
+            let desc = cluster.registry().get(rid)?;
+            let mut row = vec![
+                Datum::Int(rid.0 as i64),
+                Datum::String(index),
+                Datum::String(part),
+            ];
+            row.extend(placement(cluster, desc));
+            Some(row)
+        })
+        .collect();
+    Ok(rows)
+}

@@ -1,0 +1,327 @@
+//! End-to-end tests for the introspection surface: `SHOW RANGES` /
+//! `SHOW SURVIVAL GOAL`, the `crdb_internal.*` virtual tables, replication
+//! conformance reports, and the online invariant monitors.
+
+use mr_kv::cluster::ClusterConfig;
+use mr_kv::report::RangeStatus;
+use mr_proto::RangeId;
+use mr_sim::{NodeId, RttMatrix, SimDuration, SimTime, Topology};
+use mr_sql::exec::SqlDb;
+use mr_sql::types::Datum;
+
+fn three_region_db(cfg: ClusterConfig) -> SqlDb {
+    let topo = Topology::build(
+        &["us-east1", "europe-west2", "asia-northeast1"],
+        3,
+        RttMatrix::uniform(3, SimDuration::from_millis(60)),
+    );
+    let mut d = SqlDb::new(topo, cfg);
+    let sess = d.session(NodeId(0), None);
+    d.exec_script(
+        &sess,
+        r#"
+        CREATE DATABASE movr PRIMARY REGION "us-east1"
+            REGIONS "europe-west2", "asia-northeast1";
+        CREATE TABLE users (
+            id INT PRIMARY KEY,
+            email STRING UNIQUE NOT NULL
+        ) LOCALITY REGIONAL BY ROW;
+        CREATE TABLE promo_codes (
+            code STRING PRIMARY KEY,
+            description STRING
+        ) LOCALITY GLOBAL;
+        "#,
+    )
+    .unwrap();
+    d.cluster
+        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    d
+}
+
+fn as_int(d: &Datum) -> i64 {
+    d.as_int().unwrap_or_else(|| panic!("not an int: {d:?}"))
+}
+
+fn as_str(d: &Datum) -> &str {
+    d.as_str().unwrap_or_else(|| panic!("not a string: {d:?}"))
+}
+
+/// `SHOW RANGES FROM TABLE` and `crdb_internal.ranges` must agree with the
+/// allocator's actual placement in the range registry.
+#[test]
+fn show_ranges_matches_allocator_placement() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+
+    let show = d.exec_sync(&sess, "SHOW RANGES FROM TABLE users").unwrap();
+    // REGIONAL BY ROW: primary index partitioned into one range per region,
+    // plus one per region for the unique email index (implicitly
+    // partitioned, §4.1).
+    assert_eq!(show.rows().len(), 6);
+    let mut partitions: Vec<&str> = show
+        .rows()
+        .iter()
+        .filter(|r| as_str(&r[1]) == "primary")
+        .map(|r| as_str(&r[2]))
+        .collect();
+    partitions.sort();
+    assert_eq!(
+        partitions,
+        vec!["asia-northeast1", "europe-west2", "us-east1"]
+    );
+    for row in show.rows() {
+        let rid = RangeId(as_int(&row[0]) as u64);
+        let desc = d.cluster.registry().get(rid).expect("range exists");
+        // home region = first lease preference of the derived zone config.
+        let topo = d.cluster.topology();
+        let home = topo.region_name(desc.zone_config.lease_preferences[0]);
+        assert_eq!(as_str(&row[3]), home, "home_region of {rid}");
+        assert_eq!(as_int(&row[4]), desc.leaseholder.0 as i64);
+        assert_eq!(
+            as_str(&row[5]),
+            topo.region_name(topo.region_of(desc.leaseholder))
+        );
+        let mut voters: Vec<String> = desc.voters().map(|n| format!("n{}", n.0)).collect();
+        voters.sort();
+        assert_eq!(as_str(&row[6]), voters.join(","), "voters of {rid}");
+    }
+
+    // The virtual table agrees, and is filterable with SQL predicates.
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT range_id, partition, leaseholder_node, voters \
+             FROM crdb_internal.ranges WHERE table_name = 'users'",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 6);
+    for row in vt.rows() {
+        let rid = RangeId(as_int(&row[0]) as u64);
+        let desc = d.cluster.registry().get(rid).expect("range exists");
+        assert_eq!(as_int(&row[2]), desc.leaseholder.0 as i64);
+        let mut voters: Vec<String> = desc.voters().map(|n| format!("n{}", n.0)).collect();
+        voters.sort();
+        assert_eq!(as_str(&row[3]), voters.join(","));
+    }
+
+    // GLOBAL tables surface too.
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT home_region FROM crdb_internal.ranges \
+             WHERE table_name = 'promo_codes'",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 1);
+    assert_eq!(as_str(&vt.rows()[0][0]), "us-east1");
+}
+
+#[test]
+fn show_survival_goal_tracks_alter_database() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    let res = d.exec_sync(&sess, "SHOW SURVIVAL GOAL").unwrap();
+    assert_eq!(res.rows(), [[Datum::String("zone".into())]]);
+    d.exec_sync(&sess, "ALTER DATABASE movr SURVIVE REGION FAILURE")
+        .unwrap();
+    let res = d
+        .exec_sync(&sess, "SHOW SURVIVAL GOAL FROM DATABASE movr")
+        .unwrap();
+    assert_eq!(res.rows(), [[Datum::String("region".into())]]);
+}
+
+/// The conformance report is clean for a healthy cluster and flags a
+/// deliberately mis-homed range as wrong-leaseholder.
+#[test]
+fn replication_report_flags_mishomed_range() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    // Region survival spreads voters across regions, so a lease can land
+    // outside the home region.
+    d.exec_sync(&sess, "ALTER DATABASE movr SURVIVE REGION FAILURE")
+        .unwrap();
+
+    let report = d.cluster.replication_report();
+    assert_eq!(report.violations(), 0, "healthy cluster: {report:?}");
+
+    // Mis-home one users range: move its lease to a voter outside the
+    // preferred region. (Lease placement is a conformance property, not an
+    // online invariant — strict monitors stay on.)
+    let show = d.exec_sync(&sess, "SHOW RANGES FROM TABLE users").unwrap();
+    let row = &show.rows()[0];
+    let rid = RangeId(as_int(&row[0]) as u64);
+    let home = as_str(&row[3]).to_string();
+    let desc = d.cluster.registry().get(rid).unwrap().clone();
+    let topo = d.cluster.topology();
+    let stray = desc
+        .voters()
+        .find(|&n| topo.region_name(topo.region_of(n)) != home)
+        .expect("region survival places voters outside the home region");
+    d.cluster.transfer_lease(rid, stray);
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(1).nanos(),
+    ));
+
+    let report = d.cluster.replication_report();
+    assert_eq!(report.count(RangeStatus::WrongLeaseholder), 1);
+    let flagged = report.violations();
+    assert_eq!(flagged, 1, "only the mis-homed range: {report:?}");
+
+    // And it is visible through SQL.
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT range_id, status FROM crdb_internal.replication_report \
+             WHERE status = 'wrong-leaseholder'",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 1);
+    assert_eq!(as_int(&vt.rows()[0][0]), rid.0 as i64);
+
+    // Moving the lease back restores conformance.
+    d.cluster.transfer_lease(rid, desc.leaseholder);
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(1).nanos(),
+    ));
+    assert_eq!(d.cluster.replication_report().violations(), 0);
+}
+
+/// Metrics and the event log are queryable via virtual tables.
+#[test]
+fn node_metrics_and_cluster_events_are_queryable() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 'a@x.com')")
+        .unwrap();
+
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT metric, value FROM crdb_internal.node_metrics \
+             WHERE metric = 'kv.txn.commits'",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 1);
+    assert!(as_int(&vt.rows()[0][1]) >= 1);
+
+    // Range creation during DDL left an audit trail.
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT seq, kind, range_id FROM crdb_internal.cluster_events \
+             WHERE kind = 'range_created'",
+        )
+        .unwrap();
+    assert!(!vt.rows().is_empty());
+    // Sequence numbers are unique and ascending.
+    let seqs: Vec<i64> = vt.rows().iter().map(|r| as_int(&r[0])).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+
+    // Rehoming an RBR row records a row_rehomed event (§2.3.2).
+    d.exec_sync(
+        &sess,
+        "UPDATE users SET crdb_region = 'europe-west2' WHERE id = 1",
+    )
+    .unwrap();
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT detail FROM crdb_internal.cluster_events \
+             WHERE kind = 'row_rehomed'",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 1);
+    assert_eq!(as_str(&vt.rows()[0][0]), "us-east1 -> europe-west2");
+}
+
+/// A deliberately regressed closed timestamp is caught by the
+/// `closed_ts_monotonic` monitor at the next scrape.
+#[test]
+fn seeded_closed_ts_regression_is_detected() {
+    let cfg = ClusterConfig {
+        // This test injects a fault, so violations must not panic.
+        strict_monitors: false,
+        // Scrape faster than the side transport repairs the regression.
+        obs_scrape_interval: Some(SimDuration::from_millis(10)),
+        ..ClusterConfig::default()
+    };
+    let mut d = three_region_db(cfg);
+    assert_eq!(d.cluster.obs.monitors.violation_count(), 0);
+
+    let desc = d.cluster.registry().iter().next().unwrap().clone();
+    let node = desc.leaseholder;
+    d.cluster
+        .fault_regress_closed_ts(desc.id, node, SimDuration::from_secs(2));
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_millis(100).nanos(),
+    ));
+
+    let n = d.cluster.obs.monitors.violations_for("closed_ts_monotonic");
+    assert!(n > 0, "regression not caught");
+    let v = d.cluster.obs.monitors.violations();
+    let hit = v
+        .iter()
+        .find(|v| v.invariant == "closed_ts_monotonic")
+        .unwrap();
+    assert!(hit.detail.contains(&format!("{}", desc.id)));
+}
+
+/// Strict-monitor smoke: a mixed workload on the paper topology runs clean —
+/// monitors perform checks and find nothing.
+#[test]
+fn strict_monitors_run_clean_on_mixed_workload() {
+    let mut d = three_region_db(ClusterConfig::default());
+    assert!(d.cluster.obs.monitors.strict());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    let eu = d.session_in_region("europe-west2", Some("movr"));
+    for i in 0..10 {
+        d.exec_sync(
+            &sess,
+            &format!("INSERT INTO users (id, email) VALUES ({i}, 'u{i}@x.com')"),
+        )
+        .unwrap();
+    }
+    d.exec_sync(&sess, "INSERT INTO promo_codes (code) VALUES ('x')")
+        .unwrap();
+    // Follower reads from another region exercise the follower-read monitor.
+    for _ in 0..3 {
+        d.exec_sync(
+            &eu,
+            "SELECT * FROM promo_codes AS OF SYSTEM TIME follower_read_timestamp()",
+        )
+        .unwrap();
+    }
+    d.cluster.run_until(SimTime(
+        d.cluster.now().nanos() + SimDuration::from_secs(5).nanos(),
+    ));
+
+    let checks = d.cluster.obs.registry.counter_total("obs.monitor.checks");
+    assert!(checks > 0, "monitors never ran");
+    assert_eq!(d.cluster.obs.monitors.violation_count(), 0);
+    assert_eq!(d.cluster.replication_report().violations(), 0);
+}
+
+/// All introspection exports are byte-identical across same-seed runs.
+#[test]
+fn exports_are_deterministic_across_same_seed_runs() {
+    let run = || {
+        let mut d = three_region_db(ClusterConfig::default());
+        let sess = d.session_in_region("us-east1", Some("movr"));
+        d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 'a@x.com')")
+            .unwrap();
+        d.exec_sync(
+            &sess,
+            "UPDATE users SET crdb_region = 'asia-northeast1' WHERE id = 1",
+        )
+        .unwrap();
+        (
+            d.cluster.events.export_json(),
+            d.cluster.replication_report().export_json(),
+        )
+    };
+    let (e1, r1) = run();
+    let (e2, r2) = run();
+    assert_eq!(e1, e2, "event log diverged");
+    assert_eq!(r1, r2, "replication report diverged");
+    assert!(r1.contains("\"violations\": 0"), "unexpected: {r1}");
+}

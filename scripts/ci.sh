@@ -14,4 +14,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> strict-monitor perf_probe smoke"
+# Short probe run with every online invariant monitor escalated to a panic:
+# a closed-timestamp regression, an over-fresh follower read, a short commit
+# wait, or a non-conforming placement fails CI here.
+ROOT="$(pwd)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+(cd "$SMOKE_DIR" && OPS=50 MR_STRICT_MONITORS=1 \
+    cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin perf_probe >/dev/null)
+
 echo "CI OK"
