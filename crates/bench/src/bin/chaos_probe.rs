@@ -1,0 +1,70 @@
+// chaos probe: five fixed-seed nemesis schedules through the full chaos
+// harness (seeded faults + workload + offline history checker), summarized
+// into BENCH_chaos.json: committed ops/sec, recovery-time p99 (latency of
+// operations invoked while a disruption was active), and steady-state p99
+// per scenario. Any checker violation fails the probe with the violating
+// seed and schedule rendered, so CI catches consistency regressions that
+// only appear under faults.
+use mr_chaos::{run_chaos, ChaosConfig, CheckerConfig, FaultSchedule, ScheduleBounds};
+use mr_sim::SimDuration;
+
+/// Fixed scenario seeds: small primes spread across the schedule space.
+/// Each derives a different disrupt/heal sequence (crashes, partitions,
+/// isolations, clock skews) from `FaultSchedule::random`.
+const SEEDS: [u64; 5] = [11, 23, 37, 41, 53];
+
+fn ms(d: SimDuration) -> f64 {
+    d.nanos() as f64 / 1e6
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    // MR_STRICT_MONITORS=0 downgrades online invariant violations from
+    // panics to recorded violations; CI runs with MR_STRICT_MONITORS=1 so
+    // both the online monitors and the offline checker gate the run.
+    let strict = std::env::var("MR_STRICT_MONITORS").map_or(true, |v| v != "0");
+
+    let bounds = ScheduleBounds::default();
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for seed in SEEDS {
+        let schedule = FaultSchedule::random(seed, &bounds);
+        let cfg = ChaosConfig {
+            seed,
+            run_for: schedule.span() + SimDuration::from_secs(8),
+            strict_monitors: strict,
+            ..ChaosConfig::default()
+        };
+        let t = std::time::Instant::now();
+        let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+        eprintln!(
+            "seed {seed}: {:?} ops_ok={} ops/sec={:.1} recovery_p99={} steady_p99={}",
+            t.elapsed(),
+            outcome.ops_ok,
+            outcome.ops_per_sec,
+            outcome.recovery_p99,
+            outcome.steady_p99
+        );
+        if !outcome.passed() {
+            eprintln!("CHECKER VIOLATIONS (seed {seed}):\n{}", outcome.render());
+            failed = true;
+        }
+        rows.push(format!(
+            "    {{\n      \"seed\": {seed},\n      \"ops_ok\": {},\n      \"ops_failed\": {},\n      \"ops_per_sec\": {:.2},\n      \"recovery_p99_ms\": {:.3},\n      \"steady_p99_ms\": {:.3},\n      \"checker_violations\": {}\n    }}",
+            outcome.ops_ok,
+            outcome.ops_failed,
+            outcome.ops_per_sec,
+            ms(outcome.recovery_p99),
+            ms(outcome.steady_p99),
+            outcome.report.violations.len()
+        ));
+    }
+
+    let json = format!("{{\n  \"scenarios\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    std::fs::write("BENCH_chaos.json", &json).unwrap();
+    eprintln!("total: {:?}", t0.elapsed());
+    print!("{json}");
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,689 @@
+//! Offline transactional history checker.
+//!
+//! Validates a register history (unique write values == writer op ids) for
+//! serializability with per-key real-time order, plus the paper's staleness
+//! invariants. The checks, in order:
+//!
+//! * **version order** — committed writes to a key must carry distinct
+//!   commit timestamps (MVCC forbids two versions of a key at one ts);
+//! * **read observation** — every observed value must have been written to
+//!   that key by a committed or ambiguous write (no garbage reads);
+//! * **fresh-read recency** — a linearizable read must observe a version at
+//!   least as new as every same-key write that *completed before the read
+//!   was invoked* (per-key real time; same-key ops serialize through one
+//!   leaseholder, so commit-ts order must respect it);
+//! * **per-key real-time sweep** — commit timestamps of same-key committed
+//!   writes must be monotone w.r.t. completion→invocation order;
+//! * **stale-read consistency** — an exact-staleness read at ts `t` must
+//!   observe the latest committed write with commit ts `<= t` (the
+//!   follower-read gate guarantees the closed frontier covers `t`); the
+//!   intentionally injected follower-read bug violates exactly this;
+//! * **serialization graph** — cycle detection over ww (per-key version
+//!   order), wr (writer → observer), rw (observer → next version), and rts
+//!   (latest version at read ts → stale reader) edges;
+//! * **bounded-read locality** — bounded-staleness reads are served by the
+//!   nearest replica without blocking on a (possibly partitioned)
+//!   leaseholder, so any that complete must do so within a local-latency
+//!   budget;
+//! * **availability expectations** — scripted scenarios assert that a key
+//!   class stayed writable (REGION survival goal under a region failure) or
+//!   correctly lost availability (ZONE survival goal) during a window.
+//!
+//! Ambiguous writes (`info`) may or may not have committed; reads observing
+//! their values are excluded from version-order judgements rather than
+//! flagged, so the checker never reports a false positive. Every violation
+//! names the schedule seed, the schedule step active when the offending op
+//! ran, and the op ids involved.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mr_clock::Timestamp;
+use mr_sim::{SimDuration, SimTime};
+
+use crate::history::{OpId, OpKind, OpRecord, Phase};
+use crate::schedule::FaultSchedule;
+
+/// What a scripted scenario expects of a key class during a window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Expect {
+    /// At least one write invoked in the window must succeed.
+    Available,
+    /// No write invoked in the window may complete successfully before the
+    /// window closes (retries that straddle a heal are allowed to succeed
+    /// afterwards).
+    Unavailable,
+}
+
+/// An availability expectation over `[from, until)` for keys with `prefix`.
+#[derive(Clone, Debug)]
+pub struct AvailabilityExpectation {
+    pub prefix: String,
+    pub from: SimTime,
+    pub until: SimTime,
+    pub expect: Expect,
+}
+
+/// Checker tuning.
+#[derive(Clone, Debug)]
+pub struct CheckerConfig {
+    /// Budget for a completed bounded-staleness read. Serving from the
+    /// nearest replica is usually an intra-region hop, but when that
+    /// replica's node is down the nearest *surviving* replica can be an
+    /// inter-region round trip away (~2 × 132ms worst case in the paper's
+    /// topology). Anything near the leaseholder-retry timescale (the 1s rpc
+    /// timeout) means the read blocked on a leaseholder.
+    pub bounded_read_max: Option<SimDuration>,
+    pub expectations: Vec<AvailabilityExpectation>,
+}
+
+impl Default for CheckerConfig {
+    fn default() -> Self {
+        CheckerConfig {
+            bounded_read_max: Some(SimDuration::from_millis(400)),
+            expectations: Vec::new(),
+        }
+    }
+}
+
+/// One invariant violation, naming everything needed to replay it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub kind: &'static str,
+    /// Ids of the offending ops.
+    pub ops: Vec<OpId>,
+    /// When the anomaly happened (the offending op's invocation).
+    pub at: SimTime,
+    pub detail: String,
+}
+
+/// The checker's verdict over one run.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    pub seed: u64,
+    pub schedule_name: String,
+    pub ops_total: usize,
+    pub ops_ok: usize,
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable summary; violations name seed, schedule step, and ops.
+    pub fn render(&self, schedule: &FaultSchedule) -> String {
+        let mut out = format!(
+            "history check: schedule {} seed {} ({} ops, {} ok): {}\n",
+            self.schedule_name,
+            self.seed,
+            self.ops_total,
+            self.ops_ok,
+            if self.passed() { "PASS" } else { "FAIL" }
+        );
+        for v in &self.violations {
+            let step = match schedule.step_before(v.at) {
+                Some((i, s)) => format!("step {i} ({})", s.fault),
+                None => "no fault yet".to_string(),
+            };
+            out.push_str(&format!(
+                "  violation [{}] seed {} {} at {}: {} (ops {:?})\n",
+                v.kind, self.seed, step, v.at, v.detail, v.ops
+            ));
+        }
+        out
+    }
+}
+
+/// A committed version of a key.
+#[derive(Clone, Copy, Debug)]
+struct Version {
+    writer: OpId,
+    ts: Timestamp,
+}
+
+/// Check `ops` against the serializability + staleness invariants.
+pub fn check(ops: &[OpRecord], schedule: &FaultSchedule, config: &CheckerConfig) -> CheckReport {
+    let mut violations = Vec::new();
+
+    // Index writes by the (unique) value they wrote.
+    let mut writer_of: HashMap<u64, &OpRecord> = HashMap::new();
+    for op in ops.iter().filter(|o| o.kind == OpKind::Write) {
+        if let Some(v) = op.value {
+            writer_of.insert(v, op);
+        }
+    }
+
+    // Committed versions per key, sorted by commit ts.
+    let mut versions: BTreeMap<&str, Vec<Version>> = BTreeMap::new();
+    for op in ops {
+        if op.kind == OpKind::Write && op.ok() {
+            if let (Some(v), Some(ts)) = (op.value, op.ts) {
+                versions
+                    .entry(&op.key)
+                    .or_default()
+                    .push(Version { writer: v, ts });
+            }
+        }
+    }
+    for vs in versions.values_mut() {
+        vs.sort_by_key(|v| (v.ts, v.writer));
+    }
+
+    // Version order: distinct commit timestamps per key.
+    for (key, vs) in &versions {
+        for w in vs.windows(2) {
+            if w[0].ts == w[1].ts {
+                violations.push(Violation {
+                    kind: "duplicate-version-ts",
+                    ops: vec![w[0].writer, w[1].writer],
+                    at: SimTime::ZERO,
+                    detail: format!(
+                        "writes {} and {} to {key} both committed at {}",
+                        w[0].writer, w[1].writer, w[0].ts
+                    ),
+                });
+            }
+        }
+    }
+
+    // Read observations.
+    for op in ops.iter().filter(|o| o.kind.is_read() && o.ok()) {
+        let observed = match op.value {
+            Some(v) => match writer_of.get(&v) {
+                Some(w) if w.key == op.key => Some(*w),
+                Some(w) => {
+                    violations.push(Violation {
+                        kind: "wrong-key-read",
+                        ops: vec![op.id, w.id],
+                        at: op.invoke_at,
+                        detail: format!(
+                            "{} {} observed value {v}, which write {} put at key {}",
+                            op.kind.label(),
+                            op.key,
+                            w.id,
+                            w.key
+                        ),
+                    });
+                    continue;
+                }
+                None => {
+                    violations.push(Violation {
+                        kind: "garbage-read",
+                        ops: vec![op.id],
+                        at: op.invoke_at,
+                        detail: format!(
+                            "{} {} observed value {v}, which no write produced",
+                            op.kind.label(),
+                            op.key
+                        ),
+                    });
+                    continue;
+                }
+            },
+            None => None,
+        };
+        // Reads of ambiguous writes can't be placed in the version order.
+        let observed_ambiguous =
+            observed.is_some_and(|w| w.outcome == Phase::Info || w.outcome == Phase::Invoke);
+        if observed_ambiguous {
+            continue;
+        }
+        let observed_ts = observed.and_then(|w| w.ts);
+        let empty = Vec::new();
+        let vs = versions.get(op.key.as_str()).unwrap_or(&empty);
+
+        match op.kind {
+            OpKind::FreshRead => {
+                // Must observe a version >= every same-key write that
+                // completed before this read was invoked.
+                for w in ops.iter().filter(|w| {
+                    w.kind == OpKind::Write
+                        && w.ok()
+                        && w.key == op.key
+                        && w.complete_at.is_some_and(|c| c < op.invoke_at)
+                }) {
+                    let wts = w.ts.expect("ok write has a commit ts");
+                    if observed_ts.is_none() || observed_ts.unwrap() < wts {
+                        violations.push(Violation {
+                            kind: "stale-fresh-read",
+                            ops: vec![op.id, w.id],
+                            at: op.invoke_at,
+                            detail: format!(
+                                "fresh read of {} observed {} but write {} (value {}, ts {}) \
+                                 completed at {} before the read was invoked at {}",
+                                op.key,
+                                match observed {
+                                    Some(o) => format!("value {} (ts {})", o.id, o.ts.unwrap()),
+                                    None => "nothing".to_string(),
+                                },
+                                w.id,
+                                w.value.unwrap_or(0),
+                                wts,
+                                w.complete_at.unwrap(),
+                                op.invoke_at
+                            ),
+                        });
+                        break;
+                    }
+                }
+            }
+            OpKind::StaleRead => {
+                // Must observe the latest committed version at the read ts.
+                if let Some(read_ts) = op.read_ts {
+                    let latest = vs.iter().rev().find(|v| v.ts <= read_ts);
+                    let expected = latest.map(|v| v.writer);
+                    let got = observed.map(|w| w.id);
+                    if expected != got {
+                        violations.push(Violation {
+                            kind: "stale-read-skew",
+                            ops: got.into_iter().chain(expected).chain(Some(op.id)).collect(),
+                            at: op.invoke_at,
+                            detail: format!(
+                                "stale read of {} at ts {} observed {} but the latest committed \
+                                 version at that ts is {}",
+                                op.key,
+                                read_ts,
+                                match observed {
+                                    Some(o) => format!("write {} (ts {})", o.id, o.ts.unwrap()),
+                                    None => "nothing".to_string(),
+                                },
+                                match latest {
+                                    Some(v) => format!("write {} (ts {})", v.writer, v.ts),
+                                    None => "nothing".to_string(),
+                                }
+                            ),
+                        });
+                    }
+                }
+            }
+            OpKind::BoundedRead | OpKind::Write => {}
+        }
+    }
+
+    // Per-key real-time sweep: same-key committed *writes* serialize through
+    // one leaseholder and each new MVCC version lands above the existing
+    // ones, so write commit-ts order must respect completion -> invocation.
+    // Fresh reads are excluded: a read-only commit ts comes from the (skewed)
+    // gateway clock and is only guaranteed >= the observed version's ts.
+    for key in versions.keys().copied().collect::<Vec<_>>() {
+        let mut timed: Vec<&OpRecord> = ops
+            .iter()
+            .filter(|o| o.key == key && o.ok() && o.ts.is_some() && o.kind == OpKind::Write)
+            .collect();
+        timed.sort_by_key(|o| (o.invoke_at, o.id));
+        // max commit ts among ops completed before each invocation.
+        let mut done: Vec<(SimTime, Timestamp, OpId)> = timed
+            .iter()
+            .map(|o| (o.complete_at.unwrap(), o.ts.unwrap(), o.id))
+            .collect();
+        done.sort();
+        let mut hi: Option<(Timestamp, OpId)> = None;
+        let mut di = 0;
+        for op in &timed {
+            while di < done.len() && done[di].0 < op.invoke_at {
+                if hi.is_none_or(|(t, _)| done[di].1 > t) {
+                    hi = Some((done[di].1, done[di].2));
+                }
+                di += 1;
+            }
+            if let Some((hts, hop)) = hi {
+                if op.ts.unwrap() < hts && op.id != hop {
+                    violations.push(Violation {
+                        kind: "real-time-order",
+                        ops: vec![hop, op.id],
+                        at: op.invoke_at,
+                        detail: format!(
+                            "op {} on {key} committed at ts {} although op {} had already \
+                             completed with the later ts {}",
+                            op.id,
+                            op.ts.unwrap(),
+                            hop,
+                            hts
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Serialization graph: ww + wr + rw + rts edges, then cycle detection.
+    let mut edges: Vec<(OpId, OpId, &'static str)> = Vec::new();
+    for vs in versions.values() {
+        for w in vs.windows(2) {
+            edges.push((w[0].writer, w[1].writer, "ww"));
+        }
+    }
+    for op in ops.iter().filter(|o| o.kind.is_read() && o.ok()) {
+        let Some(vs) = versions.get(op.key.as_str()) else {
+            continue;
+        };
+        let observed = op
+            .value
+            .and_then(|v| vs.iter().position(|ver| ver.writer == v));
+        if let Some(i) = observed {
+            edges.push((vs[i].writer, op.id, "wr"));
+            if let Some(next) = vs.get(i + 1) {
+                edges.push((op.id, next.writer, "rw"));
+            }
+        }
+        if op.kind == OpKind::StaleRead {
+            if let Some(read_ts) = op.read_ts {
+                if let Some(latest) = vs.iter().rev().find(|v| v.ts <= read_ts) {
+                    edges.push((latest.writer, op.id, "rts"));
+                }
+            }
+        }
+    }
+    if let Some(cycle) = find_cycle(&edges) {
+        let at = cycle
+            .iter()
+            .filter_map(|id| ops.get(*id as usize - 1))
+            .map(|o| o.invoke_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        violations.push(Violation {
+            kind: "serialization-cycle",
+            ops: cycle.clone(),
+            at,
+            detail: format!("dependency cycle through ops {cycle:?}"),
+        });
+    }
+
+    // Bounded-read locality.
+    if let Some(budget) = config.bounded_read_max {
+        for op in ops
+            .iter()
+            .filter(|o| o.kind == OpKind::BoundedRead && o.ok())
+        {
+            let lat = op.latency().unwrap();
+            if lat > budget {
+                violations.push(Violation {
+                    kind: "bounded-read-blocked",
+                    ops: vec![op.id],
+                    at: op.invoke_at,
+                    detail: format!(
+                        "bounded-staleness read of {} took {lat} (budget {budget}); it must be \
+                         served by the nearest replica, never block on a leaseholder",
+                        op.key
+                    ),
+                });
+            }
+        }
+    }
+
+    // Availability expectations.
+    for exp in &config.expectations {
+        let in_window: Vec<&OpRecord> = ops
+            .iter()
+            .filter(|o| {
+                o.kind == OpKind::Write
+                    && o.key.starts_with(&exp.prefix)
+                    && o.invoke_at >= exp.from
+                    && o.invoke_at < exp.until
+            })
+            .collect();
+        let ok_write = in_window.iter().find(|o| o.ok());
+        match exp.expect {
+            Expect::Available => {
+                if ok_write.is_none() {
+                    violations.push(Violation {
+                        kind: "availability-lost",
+                        ops: in_window.iter().map(|o| o.id).collect(),
+                        at: exp.from,
+                        detail: format!(
+                            "expected writes to {}* to stay available in [{}, {}) but none of \
+                             the {} attempts succeeded",
+                            exp.prefix,
+                            exp.from,
+                            exp.until,
+                            in_window.len()
+                        ),
+                    });
+                }
+            }
+            Expect::Unavailable => {
+                // Only a success *completing inside the window* proves the
+                // class was served during it: an attempt invoked mid-outage
+                // keeps retrying across the heal and may legitimately
+                // succeed once the fault is gone.
+                let served = in_window
+                    .iter()
+                    .find(|o| o.ok() && o.complete_at.is_some_and(|t| t < exp.until));
+                if let Some(w) = served {
+                    violations.push(Violation {
+                        kind: "unexpected-availability",
+                        ops: vec![w.id],
+                        at: w.invoke_at,
+                        detail: format!(
+                            "expected writes to {}* to be unavailable in [{}, {}) but op {} \
+                             succeeded",
+                            exp.prefix, exp.from, exp.until, w.id
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    violations.sort_by_key(|v| (v.at, v.ops.first().copied().unwrap_or(0)));
+    CheckReport {
+        seed: schedule.seed,
+        schedule_name: schedule.name.clone(),
+        ops_total: ops.len(),
+        ops_ok: ops.iter().filter(|o| o.ok()).count(),
+        violations,
+    }
+}
+
+/// Iterative DFS cycle detection; returns one cycle's op ids if any.
+fn find_cycle(edges: &[(OpId, OpId, &'static str)]) -> Option<Vec<OpId>> {
+    let mut adj: BTreeMap<OpId, Vec<OpId>> = BTreeMap::new();
+    for (a, b, _) in edges {
+        adj.entry(*a).or_default().push(*b);
+        adj.entry(*b).or_default();
+    }
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color: HashMap<OpId, u8> = HashMap::new();
+    let nodes: Vec<OpId> = adj.keys().copied().collect();
+    for &start in &nodes {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // Stack of (node, next child index); `path` mirrors the grey chain.
+        let mut stack: Vec<(OpId, usize)> = vec![(start, 0)];
+        let mut path: Vec<OpId> = vec![start];
+        color.insert(start, 1);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let children = &adj[&node];
+            if *next < children.len() {
+                let child = children[*next];
+                *next += 1;
+                match color.get(&child).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(child, 1);
+                        stack.push((child, 0));
+                        path.push(child);
+                    }
+                    1 => {
+                        let pos = path.iter().position(|&n| n == child).unwrap();
+                        return Some(path[pos..].to_vec());
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(node, 2);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+
+    fn sched() -> FaultSchedule {
+        FaultSchedule::scripted("unit", Vec::new())
+    }
+
+    fn ts(wall: u64) -> Timestamp {
+        Timestamp::new(wall, 0)
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = History::new();
+        let w1 = h.invoke(SimTime(10), 0, OpKind::Write, "k", Some(1), None);
+        h.ok(SimTime(20), w1, Some(1), Some(ts(15)));
+        let w2 = h.invoke(SimTime(30), 0, OpKind::Write, "k", Some(2), None);
+        h.ok(SimTime(40), w2, Some(2), Some(ts(35)));
+        let r = h.invoke(SimTime(50), 1, OpKind::FreshRead, "k", None, None);
+        h.ok(SimTime(60), r, Some(2), Some(ts(55)));
+        let s = h.invoke(SimTime(70), 1, OpKind::StaleRead, "k", None, Some(ts(20)));
+        h.ok(SimTime(75), s, Some(1), None);
+        let report = check(&h.ops(), &sched(), &CheckerConfig::default());
+        assert!(report.passed(), "{}", report.render(&sched()));
+        assert_eq!(report.ops_ok, 4);
+    }
+
+    #[test]
+    fn fresh_read_missing_completed_write_is_flagged() {
+        let h = History::new();
+        let w1 = h.invoke(SimTime(10), 0, OpKind::Write, "k", Some(1), None);
+        h.ok(SimTime(20), w1, Some(1), Some(ts(15)));
+        let w2 = h.invoke(SimTime(30), 0, OpKind::Write, "k", Some(2), None);
+        h.ok(SimTime(40), w2, Some(2), Some(ts(35)));
+        // Invoked after w2 completed, but observes w1.
+        let r = h.invoke(SimTime(50), 1, OpKind::FreshRead, "k", None, None);
+        h.ok(SimTime(60), r, Some(1), Some(ts(55)));
+        let report = check(&h.ops(), &sched(), &CheckerConfig::default());
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == "stale-fresh-read" && v.ops.contains(&r)));
+    }
+
+    #[test]
+    fn stale_read_skew_is_flagged_with_cycle() {
+        let h = History::new();
+        let w1 = h.invoke(SimTime(10), 0, OpKind::Write, "k", Some(1), None);
+        h.ok(SimTime(20), w1, Some(1), Some(ts(15)));
+        let w2 = h.invoke(SimTime(30), 0, OpKind::Write, "k", Some(2), None);
+        h.ok(SimTime(40), w2, Some(2), Some(ts(35)));
+        // Stale read at ts 50 must see w2 (ts 35); seeing w1 is the
+        // injected follower-read bug's signature.
+        let s = h.invoke(SimTime(60), 1, OpKind::StaleRead, "k", None, Some(ts(50)));
+        h.ok(SimTime(65), s, Some(1), None);
+        let report = check(&h.ops(), &sched(), &CheckerConfig::default());
+        assert!(!report.passed());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == "stale-read-skew"));
+        // rw (s -> w2) + rts (w2 -> s) closes a cycle.
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == "serialization-cycle"));
+    }
+
+    #[test]
+    fn ambiguous_writes_do_not_false_positive() {
+        let h = History::new();
+        let w1 = h.invoke(SimTime(10), 0, OpKind::Write, "k", Some(1), None);
+        h.info(SimTime(20), w1, "commit rpc timed out");
+        // Read observes the ambiguous write's value: legal (it may have
+        // committed), and must not be judged against the version order.
+        let r = h.invoke(SimTime(30), 1, OpKind::FreshRead, "k", None, None);
+        h.ok(SimTime(40), r, Some(1), Some(ts(35)));
+        let report = check(&h.ops(), &sched(), &CheckerConfig::default());
+        assert!(report.passed(), "{}", report.render(&sched()));
+    }
+
+    #[test]
+    fn garbage_and_wrong_key_reads_are_flagged() {
+        let h = History::new();
+        let w = h.invoke(SimTime(10), 0, OpKind::Write, "a", Some(1), None);
+        h.ok(SimTime(20), w, Some(1), Some(ts(15)));
+        let r1 = h.invoke(SimTime(30), 1, OpKind::FreshRead, "b", None, None);
+        h.ok(SimTime(40), r1, Some(1), Some(ts(35)));
+        let r2 = h.invoke(SimTime(50), 1, OpKind::FreshRead, "a", None, None);
+        h.ok(SimTime(60), r2, Some(99), Some(ts(55)));
+        let report = check(&h.ops(), &sched(), &CheckerConfig::default());
+        let kinds: Vec<&str> = report.violations.iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&"wrong-key-read"));
+        assert!(kinds.contains(&"garbage-read"));
+    }
+
+    #[test]
+    fn real_time_order_violation_is_flagged() {
+        let h = History::new();
+        let w1 = h.invoke(SimTime(10), 0, OpKind::Write, "k", Some(1), None);
+        h.ok(SimTime(20), w1, Some(1), Some(ts(100)));
+        // Invoked after w1 completed yet committed at an earlier ts.
+        let w2 = h.invoke(SimTime(30), 0, OpKind::Write, "k", Some(2), None);
+        h.ok(SimTime(40), w2, Some(2), Some(ts(90)));
+        let report = check(&h.ops(), &sched(), &CheckerConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == "real-time-order" && v.ops == vec![w1, w2]));
+    }
+
+    #[test]
+    fn bounded_read_budget_is_enforced() {
+        let h = History::new();
+        let b = h.invoke(SimTime(0), 0, OpKind::BoundedRead, "k", None, None);
+        h.ok(
+            SimTime(SimDuration::from_millis(900).nanos()),
+            b,
+            None,
+            None,
+        );
+        let report = check(&h.ops(), &sched(), &CheckerConfig::default());
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.kind == "bounded-read-blocked"));
+    }
+
+    #[test]
+    fn availability_expectations() {
+        let h = History::new();
+        let w = h.invoke(SimTime(100), 0, OpKind::Write, "zs/k", Some(1), None);
+        h.ok(SimTime(120), w, Some(1), Some(ts(110)));
+        let cfg = CheckerConfig {
+            expectations: vec![
+                AvailabilityExpectation {
+                    prefix: "rs/".into(),
+                    from: SimTime(0),
+                    until: SimTime(1000),
+                    expect: Expect::Available,
+                },
+                AvailabilityExpectation {
+                    prefix: "zs/".into(),
+                    from: SimTime(0),
+                    until: SimTime(1000),
+                    expect: Expect::Unavailable,
+                },
+            ],
+            ..CheckerConfig::default()
+        };
+        let report = check(&h.ops(), &sched(), &cfg);
+        let kinds: Vec<&str> = report.violations.iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&"availability-lost"));
+        assert!(kinds.contains(&"unexpected-availability"));
+    }
+
+    #[test]
+    fn find_cycle_detects_and_clears() {
+        assert!(find_cycle(&[(1, 2, "ww"), (2, 3, "ww")]).is_none());
+        let cycle = find_cycle(&[(1, 2, "ww"), (2, 3, "wr"), (3, 1, "rw")]).unwrap();
+        assert_eq!(cycle.len(), 3);
+    }
+}

@@ -1,0 +1,436 @@
+//! The nemesis runner: seeded fault schedule + register workload + checker.
+//!
+//! [`run_chaos`] builds a 3-region × 3-node cluster (the first three
+//! regions of the paper's Table 1) with two ranges — `rs/*` under REGION
+//! survivability (5 voters, ≤2 per region) and `zs/*` under ZONE
+//! survivability (3 voters, all in the home region) — then drives
+//! closed-loop register clients from every region while the schedule
+//! injects faults on the simulation calendar. Every client operation is
+//! recorded in the append-only [`History`]; after a final heal and drain,
+//! the offline [`checker`](crate::checker) validates the history.
+//!
+//! Everything derives from `ChaosConfig::seed` + the schedule: the same
+//! seed replays the identical run, byte for byte, including the history
+//! export.
+
+use mr_clock::Timestamp;
+use mr_kv::cluster::{Cluster, ClusterConfig, ReadOptions, Staleness};
+use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal};
+use mr_proto::{Key, KvError, Span, Value};
+use mr_sim::{
+    LatencyRecorder, NodeId, RegionId, RttMatrix, SimDuration, SimRng, SimTime, Topology,
+};
+
+use crate::checker::{check, CheckReport, CheckerConfig};
+use crate::history::{History, OpKind, Phase};
+use crate::schedule::FaultSchedule;
+
+/// Key prefix of the REGION-survivable range.
+pub const REGION_SURVIVABLE_PREFIX: &str = "rs/";
+/// Key prefix of the ZONE-survivable range.
+pub const ZONE_SURVIVABLE_PREFIX: &str = "zs/";
+
+/// Nemesis run parameters. Everything is derived from `seed`.
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    pub seed: u64,
+    pub clients_per_region: u32,
+    /// Distinct keys per survivability class.
+    pub keys_per_class: u64,
+    /// Closed-loop think time between a completion and the next invoke.
+    pub think: SimDuration,
+    /// How long clients keep issuing operations (from workload start).
+    pub run_for: SimDuration,
+    /// RPC timeout — must be set for chaos runs, or operations against
+    /// dead/partitioned nodes would hang forever.
+    pub rpc_timeout: SimDuration,
+    /// Escalate online invariant-monitor violations to panics. Turn off
+    /// for runs that deliberately break an invariant (the injected-bug
+    /// test), where the offline checker is the detector under test.
+    pub strict_monitors: bool,
+    /// Arm the intentionally injected follower-read bug (requires the
+    /// `injected-bug` feature; panics otherwise). Used to prove the
+    /// checker catches a real stale read.
+    pub arm_injected_bug: bool,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 1,
+            clients_per_region: 2,
+            keys_per_class: 4,
+            think: SimDuration::from_millis(40),
+            run_for: SimDuration::from_secs(60),
+            rpc_timeout: SimDuration::from_secs(1),
+            strict_monitors: true,
+            arm_injected_bug: false,
+        }
+    }
+}
+
+/// Everything a chaos run produces.
+pub struct ChaosOutcome {
+    pub schedule: FaultSchedule,
+    pub history: History,
+    pub report: CheckReport,
+    pub ops_ok: usize,
+    pub ops_failed: usize,
+    pub ops_info: usize,
+    /// Committed client operations per simulated second.
+    pub ops_per_sec: f64,
+    /// p99 latency of operations invoked while a disruption was active —
+    /// the paper-style recovery-time proxy.
+    pub recovery_p99: SimDuration,
+    /// p99 latency of operations invoked outside disruption windows.
+    pub steady_p99: SimDuration,
+}
+
+impl ChaosOutcome {
+    pub fn passed(&self) -> bool {
+        self.report.passed()
+    }
+
+    pub fn render(&self) -> String {
+        format!(
+            "{}ops/sec {:.1}, recovery p99 {}, steady p99 {}\n",
+            self.report.render(&self.schedule),
+            self.ops_per_sec,
+            self.recovery_p99,
+            self.steady_p99
+        )
+    }
+}
+
+/// Build the standard chaos cluster: the first three Table-1 regions,
+/// three nodes each, `rs/*` REGION-survivable and `zs/*` ZONE-survivable
+/// ranges homed in region 0.
+pub fn build_chaos_cluster(cfg: &ChaosConfig) -> Cluster {
+    let regions = RttMatrix::paper_table1_regions();
+    let topo = Topology::build(
+        &regions[..3],
+        3,
+        // 3x3 corner of Table 1: us-east1, us-west1, europe-west2.
+        RttMatrix::from_upper_millis(3, &[&[63, 87], &[132]]),
+    );
+    let mut cluster = Cluster::new(
+        topo,
+        ClusterConfig {
+            seed: cfg.seed,
+            rpc_timeout: Some(cfg.rpc_timeout),
+            strict_monitors: cfg.strict_monitors,
+            ..ClusterConfig::default()
+        },
+    );
+    if cfg.arm_injected_bug {
+        arm_bug(&mut cluster);
+    }
+    let db_regions: Vec<RegionId> = (0..3).map(RegionId).collect();
+    let home = RegionId(0);
+    let rs = derive_zone_config(
+        home,
+        &db_regions,
+        SurvivalGoal::Region,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    cluster
+        .create_range(Span::new(Key::from("rs/"), Key::from("rs0")), rs)
+        .expect("allocate rs range");
+    let zs = derive_zone_config(
+        home,
+        &db_regions,
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    cluster
+        .create_range(Span::new(Key::from("zs/"), Key::from("zs0")), zs)
+        .expect("allocate zs range");
+    cluster
+}
+
+#[cfg(feature = "injected-bug")]
+fn arm_bug(cluster: &mut Cluster) {
+    cluster.arm_stale_read_bug();
+}
+
+#[cfg(not(feature = "injected-bug"))]
+fn arm_bug(_cluster: &mut Cluster) {
+    panic!("arm_injected_bug requires building mr-chaos with --features injected-bug");
+}
+
+/// One closed-loop register client, moved through its continuation chain.
+struct Client {
+    id: u32,
+    gateway: NodeId,
+    rng: SimRng,
+    until: SimTime,
+    think: SimDuration,
+    keys_per_class: u64,
+    hist: History,
+}
+
+fn fmt_err(e: &KvError) -> String {
+    format!("{e:?}")
+}
+
+fn parse_value(v: &Option<Value>) -> Option<u64> {
+    v.as_ref()
+        .and_then(|v| std::str::from_utf8(&v.0).ok())
+        .and_then(|s| s.parse().ok())
+}
+
+/// Park the client until its next invocation.
+fn schedule_next(c: &mut Cluster, mut cl: Client) {
+    let jitter = SimDuration::from_millis(cl.rng.next_below(10));
+    c.schedule(cl.think + jitter, Box::new(move |c| step(c, cl)));
+}
+
+/// Issue the client's next operation (or retire it past `until`).
+fn step(c: &mut Cluster, mut cl: Client) {
+    if c.now() >= cl.until {
+        return;
+    }
+    if !c.topology().is_node_alive(cl.gateway) {
+        // The gateway is crashed: a real client would fail to connect.
+        // Idle until it comes back rather than spamming the history.
+        let retry = SimDuration::from_millis(400 + cl.rng.next_below(200));
+        c.schedule(retry, Box::new(move |c| step(c, cl)));
+        return;
+    }
+    let class = if cl.rng.chance(0.5) {
+        REGION_SURVIVABLE_PREFIX
+    } else {
+        ZONE_SURVIVABLE_PREFIX
+    };
+    let key = format!("{class}k{}", cl.rng.next_below(cl.keys_per_class));
+    // Stale reads need history to read (closed-ts lag is 3s) — before the
+    // 12s mark fall back to fresh reads.
+    let warmed_up = c.now() >= SimTime(SimDuration::from_secs(12).nanos());
+    match cl.rng.next_below(100) {
+        0..=39 => write(c, cl, key),
+        40..=64 => fresh_read(c, cl, key),
+        65..=84 if warmed_up => stale_read(c, cl, key),
+        // Bounded reads only touch the REGION-survivable range, which has
+        // a replica in every region (local negotiation everywhere).
+        85..=99 if warmed_up => {
+            let key = format!(
+                "{REGION_SURVIVABLE_PREFIX}k{}",
+                cl.rng.next_below(cl.keys_per_class)
+            );
+            bounded_read(c, cl, key)
+        }
+        _ => fresh_read(c, cl, key),
+    }
+}
+
+fn write(c: &mut Cluster, cl: Client, key: String) {
+    let hist = cl.hist.clone();
+    let op = hist.invoke_write(c.now(), cl.id, &key);
+    let h = c.txn_begin(cl.gateway);
+    let value = Value::from(op.to_string().as_str());
+    c.txn_put(
+        h,
+        Key::from(key.as_str()),
+        Some(value),
+        Box::new(move |c, res| match res {
+            Ok(()) => c.txn_commit(
+                h,
+                Box::new(move |c, res| {
+                    let now = c.now();
+                    match res {
+                        Ok(ts) => hist.ok(now, op, Some(op), Some(ts)),
+                        // The commit RPC may have applied before the
+                        // response was lost — outcome unknown.
+                        Err(e) => hist.info(now, op, &fmt_err(&e)),
+                    }
+                    schedule_next(c, cl);
+                }),
+            ),
+            Err(e) => c.txn_rollback(
+                h,
+                Box::new(move |c, _| {
+                    let now = c.now();
+                    hist.fail(now, op, &fmt_err(&e));
+                    schedule_next(c, cl);
+                }),
+            ),
+        }),
+    );
+}
+
+fn fresh_read(c: &mut Cluster, cl: Client, key: String) {
+    let hist = cl.hist.clone();
+    let op = hist.invoke(c.now(), cl.id, OpKind::FreshRead, &key, None, None);
+    let h = c.txn_begin(cl.gateway);
+    c.txn_get(
+        h,
+        Key::from(key.as_str()),
+        Box::new(move |c, res| match res {
+            Ok(v) => {
+                let value = parse_value(&v);
+                c.txn_commit(
+                    h,
+                    Box::new(move |c, res| {
+                        let now = c.now();
+                        match res {
+                            Ok(ts) => hist.ok(now, op, value, Some(ts)),
+                            // Read-only: nothing can have been written.
+                            Err(e) => hist.fail(now, op, &fmt_err(&e)),
+                        }
+                        schedule_next(c, cl);
+                    }),
+                );
+            }
+            Err(e) => c.txn_rollback(
+                h,
+                Box::new(move |c, _| {
+                    let now = c.now();
+                    hist.fail(now, op, &fmt_err(&e));
+                    schedule_next(c, cl);
+                }),
+            ),
+        }),
+    );
+}
+
+fn stale_read(c: &mut Cluster, mut cl: Client, key: String) {
+    // Read 4–8s into the past: past the 3s closed-ts lag when healthy, and
+    // ahead of a frontier frozen by a partition — exactly what the
+    // follower-read gate must refuse to serve.
+    let ago = SimDuration::from_millis(4_000 + cl.rng.next_below(4_000));
+    let now_ts = c.hlc_now(cl.gateway);
+    let read_ts = Timestamp::new(now_ts.wall.saturating_sub(ago.nanos()), 0);
+    let hist = cl.hist.clone();
+    let op = hist.invoke(c.now(), cl.id, OpKind::StaleRead, &key, None, Some(read_ts));
+    c.read(
+        cl.gateway,
+        Key::from(key.as_str()),
+        ReadOptions {
+            staleness: Staleness::ExactAt(read_ts),
+            fallback_to_leaseholder: true,
+        },
+        Box::new(move |c, res| {
+            let now = c.now();
+            match res {
+                Ok(v) => hist.ok(now, op, parse_value(&v), None),
+                Err(e) => hist.fail(now, op, &fmt_err(&e)),
+            }
+            schedule_next(c, cl);
+        }),
+    );
+}
+
+fn bounded_read(c: &mut Cluster, mut cl: Client, key: String) {
+    let bound = SimDuration::from_secs(5 + cl.rng.next_below(5));
+    let hist = cl.hist.clone();
+    let op = hist.invoke(c.now(), cl.id, OpKind::BoundedRead, &key, None, None);
+    c.read(
+        cl.gateway,
+        Key::from(key.as_str()),
+        ReadOptions {
+            staleness: Staleness::BoundedMaxStaleness(bound),
+            // Never fall back: the point of bounded staleness is serving
+            // locally even when the leaseholder is partitioned away.
+            fallback_to_leaseholder: false,
+        },
+        Box::new(move |c, res| {
+            let now = c.now();
+            match res {
+                Ok(v) => hist.ok(now, op, parse_value(&v), None),
+                Err(e) => hist.fail(now, op, &fmt_err(&e)),
+            }
+            schedule_next(c, cl);
+        }),
+    );
+}
+
+/// Run one full nemesis experiment: cluster, schedule, workload, drain,
+/// offline check.
+pub fn run_chaos(
+    cfg: &ChaosConfig,
+    schedule: &FaultSchedule,
+    checker_cfg: &CheckerConfig,
+) -> ChaosOutcome {
+    let mut c = build_chaos_cluster(cfg);
+    // Let replication, leases, and closed timestamps stabilize.
+    let start = SimTime(SimDuration::from_secs(3).nanos());
+    c.run_until(start);
+
+    // Fault steps and client ops both measure offsets from `start`.
+    schedule.install(&mut c);
+    let hist = History::new();
+    let until = start + cfg.run_for;
+    let mut rng = SimRng::seed_from_u64(cfg.seed ^ 0x636c69_656e7473); // "clients"
+    let mut id = 0u32;
+    for region in 0..3u32 {
+        for i in 0..cfg.clients_per_region {
+            let cl = Client {
+                id,
+                gateway: NodeId(region * 3 + (i % 3)),
+                rng: rng.fork(),
+                until,
+                think: cfg.think,
+                keys_per_class: cfg.keys_per_class,
+                hist: hist.clone(),
+            };
+            id += 1;
+            // Stagger starts so clients don't phase-lock.
+            let offset = SimDuration::from_millis(20 + 7 * id as u64);
+            c.schedule(offset, Box::new(move |c| step(c, cl)));
+        }
+    }
+
+    // Run the workload window, then drain every in-flight operation. The
+    // schedule ends with a heal, so the drain converges quickly; the
+    // generous deadline only bounds a genuine hang.
+    let tail = until + (schedule.span().saturating_sub(cfg.run_for)) + SimDuration::from_secs(5);
+    c.run_until(tail);
+    c.run_until_quiescent(tail + SimDuration::from_secs(120));
+
+    let ops = hist.ops();
+    debug_assert!(
+        ops.iter().all(|o| o.outcome != Phase::Invoke),
+        "drained run must complete every op"
+    );
+    let mut report = check(&ops, schedule, checker_cfg);
+    // Scripted schedules carry seed 0; the run seed is what reproduces.
+    report.seed = cfg.seed;
+
+    // Latency split: ops invoked during a disruption window vs outside.
+    let windows: Vec<(SimTime, SimTime)> = schedule
+        .disruption_windows()
+        .into_iter()
+        .map(|(a, b)| (start + a, start + b))
+        .collect();
+    let mut recovery = LatencyRecorder::new();
+    let mut steady = LatencyRecorder::new();
+    for op in ops.iter().filter(|o| o.ok()) {
+        let lat = op.latency().unwrap();
+        if windows
+            .iter()
+            .any(|(a, b)| op.invoke_at >= *a && op.invoke_at < *b)
+        {
+            recovery.record(lat);
+        } else {
+            steady.record(lat);
+        }
+    }
+
+    let ops_ok = ops.iter().filter(|o| o.ok()).count();
+    ChaosOutcome {
+        schedule: schedule.clone(),
+        history: hist,
+        report,
+        ops_ok,
+        ops_failed: ops.iter().filter(|o| o.outcome == Phase::Fail).count(),
+        ops_info: ops
+            .iter()
+            .filter(|o| matches!(o.outcome, Phase::Info | Phase::Invoke))
+            .count(),
+        ops_per_sec: ops_ok as f64 * 1e9 / cfg.run_for.nanos() as f64,
+        recovery_p99: recovery.quantile(0.99),
+        steady_p99: steady.quantile(0.99),
+    }
+}

@@ -1,0 +1,275 @@
+//! Seeded fault schedules.
+//!
+//! A [`FaultSchedule`] is a deterministic sequence of timed
+//! [`FaultKind`] injections — either scripted by hand or derived entirely
+//! from a seed via [`FaultSchedule::random`]. Random schedules are built as
+//! *disrupt → hold → heal* blocks with at most one major disruption active
+//! at a time, and always end with a `HealAll`, so a quorum-respecting
+//! schedule never takes down a majority of any range's voters. Installing a
+//! schedule turns each step into a first-class timed event on the
+//! simulation calendar; the step index travels with the injection so
+//! checker violations can name the exact fault that preceded them.
+
+use std::fmt;
+
+use mr_kv::cluster::Cluster;
+use mr_kv::FaultKind;
+use mr_sim::{NodeId, RegionId, SimDuration, SimRng, SimTime, ZoneId};
+
+/// One timed step of a schedule.
+#[derive(Clone, Debug)]
+pub struct FaultStep {
+    /// Offset from schedule installation.
+    pub at: SimDuration,
+    pub fault: FaultKind,
+}
+
+/// A named, seeded sequence of timed fault injections.
+#[derive(Clone, Debug)]
+pub struct FaultSchedule {
+    pub name: String,
+    /// The seed the schedule was derived from (0 for scripted schedules).
+    pub seed: u64,
+    pub steps: Vec<FaultStep>,
+}
+
+/// Bounds for random schedule generation.
+#[derive(Clone, Debug)]
+pub struct ScheduleBounds {
+    /// Regions in the target cluster.
+    pub regions: u32,
+    /// Nodes (== zones) per region.
+    pub nodes_per_region: u32,
+    /// Number of disrupt→heal blocks.
+    pub blocks: u32,
+    /// Offset of the first disruption.
+    pub first_at: SimDuration,
+    /// How long each disruption is held before its heal.
+    pub hold: SimDuration,
+    /// Quiet gap between a heal and the next disruption.
+    pub gap: SimDuration,
+    /// Maximum clock skew injected (absolute value, nanoseconds). Keep this
+    /// at or below half the configured `max_clock_offset` for schedules
+    /// that must pass the strict invariant monitors.
+    pub max_skew_nanos: i64,
+    /// Allow whole-region crashes (kills ZONE-survivable ranges homed
+    /// there; REGION-survivable ranges must ride through).
+    pub allow_region_crash: bool,
+}
+
+impl Default for ScheduleBounds {
+    fn default() -> Self {
+        ScheduleBounds {
+            regions: 3,
+            nodes_per_region: 3,
+            blocks: 3,
+            first_at: SimDuration::from_secs(5),
+            hold: SimDuration::from_secs(8),
+            gap: SimDuration::from_secs(6),
+            max_skew_nanos: 100_000_000, // 100ms, within the 250ms offset spec
+            allow_region_crash: false,
+        }
+    }
+}
+
+impl ScheduleBounds {
+    /// Total simulated time the schedule spans, including the final heal.
+    pub fn span(&self) -> SimDuration {
+        self.first_at + SimDuration((self.hold + self.gap).nanos() * self.blocks as u64)
+    }
+}
+
+impl FaultSchedule {
+    /// A hand-written schedule (seed recorded as 0).
+    pub fn scripted(name: &str, steps: Vec<FaultStep>) -> FaultSchedule {
+        FaultSchedule {
+            name: name.to_string(),
+            seed: 0,
+            steps,
+        }
+    }
+
+    /// Derive a schedule entirely from `seed`: `bounds.blocks` disrupt→heal
+    /// blocks, one major disruption at a time, ending with a `HealAll`.
+    /// The same seed and bounds always produce the identical schedule.
+    pub fn random(seed: u64, bounds: &ScheduleBounds) -> FaultSchedule {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x6e656d65_73697321); // "nemesis!"
+        let nodes = bounds.regions * bounds.nodes_per_region;
+        let mut steps = Vec::new();
+        let mut t = bounds.first_at;
+        let variants = if bounds.allow_region_crash { 6 } else { 5 };
+        for _ in 0..bounds.blocks {
+            let (disrupt, heal) = match rng.next_below(variants) {
+                0 => {
+                    let n = NodeId(rng.next_below(nodes as u64) as u32);
+                    (FaultKind::CrashNode(n), FaultKind::RestartNode(n))
+                }
+                1 => {
+                    // One zone per node, so this crashes a single node too,
+                    // but exercises the zone-scoped plumbing.
+                    let z = ZoneId(rng.next_below(nodes as u64) as u32);
+                    (FaultKind::CrashZone(z), FaultKind::RestartZone(z))
+                }
+                2 => {
+                    let a = rng.next_below(bounds.regions as u64) as u32;
+                    let b =
+                        (a + 1 + rng.next_below(bounds.regions as u64 - 1) as u32) % bounds.regions;
+                    (
+                        FaultKind::PartitionRegions(RegionId(a), RegionId(b)),
+                        FaultKind::HealPartition(RegionId(a), RegionId(b)),
+                    )
+                }
+                3 => {
+                    let r = RegionId(rng.next_below(bounds.regions as u64) as u32);
+                    (FaultKind::IsolateRegion(r), FaultKind::RejoinRegion(r))
+                }
+                4 => {
+                    let node = NodeId(rng.next_below(nodes as u64) as u32);
+                    let mag = rng.next_below(bounds.max_skew_nanos.unsigned_abs() + 1) as i64;
+                    let skew_nanos = if rng.chance(0.5) { mag } else { -mag };
+                    (
+                        FaultKind::SkewClock { node, skew_nanos },
+                        FaultKind::SkewClock {
+                            node,
+                            skew_nanos: 0,
+                        },
+                    )
+                }
+                _ => {
+                    let r = RegionId(rng.next_below(bounds.regions as u64) as u32);
+                    (FaultKind::CrashRegion(r), FaultKind::RestartRegion(r))
+                }
+            };
+            steps.push(FaultStep {
+                at: t,
+                fault: disrupt,
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep { at: t, fault: heal });
+            t = t + bounds.gap;
+        }
+        steps.push(FaultStep {
+            at: t,
+            fault: FaultKind::HealAll,
+        });
+        FaultSchedule {
+            name: format!("random-{seed}"),
+            seed,
+            steps,
+        }
+    }
+
+    /// Install every step on the cluster's calendar, tagged with its index.
+    pub fn install(&self, cluster: &mut Cluster) {
+        for (i, step) in self.steps.iter().enumerate() {
+            cluster.schedule_fault(step.at, step.fault.clone(), Some(i as u32));
+        }
+    }
+
+    /// Offset of the last step (the final heal, by construction).
+    pub fn span(&self) -> SimDuration {
+        self.steps.last().map(|s| s.at).unwrap_or(SimDuration::ZERO)
+    }
+
+    /// The last step at or before `at` (offsets are relative to an install
+    /// at time zero), for naming the fault active when an anomaly happened.
+    pub fn step_before(&self, at: SimTime) -> Option<(usize, &FaultStep)> {
+        self.steps
+            .iter()
+            .enumerate()
+            .rfind(|(_, s)| s.at.nanos() <= at.nanos())
+    }
+
+    /// Windows `[disrupt, heal)` during which a disruptive fault was active,
+    /// as offsets. Used for recovery-latency stats.
+    pub fn disruption_windows(&self) -> Vec<(SimDuration, SimDuration)> {
+        let mut windows = Vec::new();
+        let mut open: Option<SimDuration> = None;
+        for step in &self.steps {
+            if step.fault.is_heal() {
+                if let Some(start) = open.take() {
+                    windows.push((start, step.at));
+                }
+            } else if open.is_none() {
+                open = Some(step.at);
+            }
+        }
+        if let Some(start) = open {
+            windows.push((start, self.span()));
+        }
+        windows
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule {} (seed {}):", self.name, self.seed)?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  step {i} @ {}: {}", s.at, s.fault)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let b = ScheduleBounds::default();
+        let a1 = FaultSchedule::random(42, &b);
+        let a2 = FaultSchedule::random(42, &b);
+        assert_eq!(format!("{a1}"), format!("{a2}"));
+        let other = FaultSchedule::random(43, &b);
+        assert_ne!(format!("{a1}"), format!("{other}"));
+    }
+
+    #[test]
+    fn random_alternates_disrupt_and_heal_and_ends_healed() {
+        for seed in 0..50 {
+            let s = FaultSchedule::random(seed, &ScheduleBounds::default());
+            assert_eq!(s.steps.len(), 7); // 3 blocks x 2 + final HealAll
+            for pair in s.steps.chunks(2) {
+                if pair.len() == 2 {
+                    assert!(!pair[0].fault.is_heal(), "{}", s);
+                    assert!(pair[1].fault.is_heal(), "{}", s);
+                }
+            }
+            assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
+            let windows = s.disruption_windows();
+            assert_eq!(windows.len(), 3);
+            assert!(windows.iter().all(|(a, b)| a < b));
+        }
+    }
+
+    #[test]
+    fn step_before_names_the_active_fault() {
+        let s = FaultSchedule::scripted(
+            "demo",
+            vec![
+                FaultStep {
+                    at: SimDuration::from_secs(5),
+                    fault: FaultKind::CrashNode(NodeId(0)),
+                },
+                FaultStep {
+                    at: SimDuration::from_secs(10),
+                    fault: FaultKind::HealAll,
+                },
+            ],
+        );
+        assert!(s
+            .step_before(SimTime(SimDuration::from_secs(1).nanos()))
+            .is_none());
+        let (i, step) = s
+            .step_before(SimTime(SimDuration::from_secs(7).nanos()))
+            .unwrap();
+        assert_eq!(i, 0);
+        assert_eq!(step.fault, FaultKind::CrashNode(NodeId(0)));
+        let (i, _) = s
+            .step_before(SimTime(SimDuration::from_secs(30).nanos()))
+            .unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(s.span(), SimDuration::from_secs(10));
+    }
+}

@@ -1,0 +1,300 @@
+//! End-to-end nemesis runs: seeded fault schedules driven through the full
+//! cluster, histories validated by the offline checker.
+//!
+//! The headline test runs 20 seed-derived schedules — crashes, partitions,
+//! region isolation, clock skew, zone failures — and requires a clean
+//! checker verdict on every one. Scripted scenarios then pin down the
+//! paper's survivability matrix: REGION-survivable ranges stay available
+//! through a full region failure while ZONE-survivable ranges correctly do
+//! not, and bounded-staleness reads keep serving locally while the primary
+//! region is partitioned away.
+
+use mr_chaos::{
+    run_chaos, AvailabilityExpectation, ChaosConfig, CheckerConfig, Expect, FaultSchedule,
+    FaultStep, OpKind, Phase, ScheduleBounds,
+};
+use mr_kv::FaultKind;
+use mr_sim::{RegionId, SimDuration, SimTime};
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+/// Workload start offset inside `run_chaos` (stabilization period): fault
+/// offsets and availability windows are both relative to it.
+const START: SimDuration = SimDuration::from_secs(3);
+
+fn at(offset: SimDuration) -> SimTime {
+    SimTime(START.nanos() + offset.nanos())
+}
+
+#[test]
+fn twenty_seeded_schedules_produce_clean_histories() {
+    let bounds = ScheduleBounds::default();
+    let mut total_ops = 0usize;
+    for seed in 1..=20u64 {
+        let schedule = FaultSchedule::random(seed, &bounds);
+        let cfg = ChaosConfig {
+            seed,
+            run_for: schedule.span() + secs(10),
+            ..ChaosConfig::default()
+        };
+        let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+        assert!(
+            outcome.passed(),
+            "seed {seed} failed:\n{}\n{schedule}",
+            outcome.render()
+        );
+        assert!(
+            outcome.ops_ok > 100,
+            "seed {seed}: workload barely ran ({} ok ops)",
+            outcome.ops_ok
+        );
+        total_ops += outcome.ops_ok;
+    }
+    assert!(
+        total_ops > 5_000,
+        "suspiciously little traffic: {total_ops}"
+    );
+}
+
+#[test]
+fn same_seed_replays_byte_identical_history() {
+    let schedule = FaultSchedule::random(7, &ScheduleBounds::default());
+    let cfg = ChaosConfig {
+        seed: 7,
+        run_for: secs(30),
+        ..ChaosConfig::default()
+    };
+    let a = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    let b = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    let ja = a.history.export_json();
+    assert!(!ja.is_empty() && ja.len() > 1_000);
+    assert_eq!(ja, b.history.export_json(), "same seed must replay exactly");
+
+    // A different seed diverges (different faults, clients, jitter).
+    let schedule2 = FaultSchedule::random(8, &ScheduleBounds::default());
+    let cfg2 = ChaosConfig { seed: 8, ..cfg };
+    let c = run_chaos(&cfg2, &schedule2, &CheckerConfig::default());
+    assert_ne!(ja, c.history.export_json());
+}
+
+#[test]
+fn region_crash_respects_the_survivability_matrix() {
+    // Crash the home region outright: the REGION-survivable range must
+    // keep serving writes from the surviving majority, the ZONE-survivable
+    // range (all 3 voters in the home region) must not.
+    let schedule = FaultSchedule::scripted(
+        "home-region-crash",
+        vec![
+            FaultStep {
+                at: secs(10),
+                fault: FaultKind::CrashRegion(RegionId(0)),
+            },
+            FaultStep {
+                at: secs(40),
+                fault: FaultKind::HealAll,
+            },
+        ],
+    );
+    let checker_cfg = CheckerConfig {
+        expectations: vec![
+            // Grace for lease failover (election timeout 2s + retries).
+            AvailabilityExpectation {
+                prefix: "rs/".into(),
+                from: at(secs(18)),
+                until: at(secs(40)),
+                expect: Expect::Available,
+            },
+            AvailabilityExpectation {
+                prefix: "zs/".into(),
+                from: at(secs(12)),
+                until: at(secs(40)),
+                expect: Expect::Unavailable,
+            },
+            // After the heal (plus recovery grace) both classes serve again.
+            AvailabilityExpectation {
+                prefix: "zs/".into(),
+                from: at(secs(50)),
+                until: at(secs(70)),
+                expect: Expect::Available,
+            },
+        ],
+        ..CheckerConfig::default()
+    };
+    let cfg = ChaosConfig {
+        seed: 100,
+        run_for: secs(70),
+        ..ChaosConfig::default()
+    };
+    let outcome = run_chaos(&cfg, &schedule, &checker_cfg);
+    assert!(outcome.passed(), "{}", outcome.render());
+    // The run must actually have exercised both classes during the outage.
+    assert!(outcome.ops_failed + outcome.ops_info > 0, "no faults felt");
+}
+
+#[test]
+fn bounded_staleness_reads_stay_local_through_primary_partition() {
+    // Cut the home region off. Bounded-staleness reads from the other
+    // regions negotiate against local replicas and must never block on the
+    // unreachable leaseholder — enforced by the checker's latency budget
+    // on every completed bounded read.
+    let schedule = FaultSchedule::scripted(
+        "primary-isolated",
+        vec![
+            FaultStep {
+                at: secs(15),
+                fault: FaultKind::IsolateRegion(RegionId(0)),
+            },
+            FaultStep {
+                at: secs(45),
+                fault: FaultKind::HealAll,
+            },
+        ],
+    );
+    let cfg = ChaosConfig {
+        seed: 200,
+        run_for: secs(60),
+        ..ChaosConfig::default()
+    };
+    let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    assert!(outcome.passed(), "{}", outcome.render());
+    let ops = outcome.history.ops();
+    let in_window = |t: SimTime| t >= at(secs(16)) && t < at(secs(45));
+    let bounded_ok = ops
+        .iter()
+        .filter(|o| o.kind == OpKind::BoundedRead && o.ok() && in_window(o.invoke_at))
+        .count();
+    assert!(
+        bounded_ok > 0,
+        "expected bounded reads to keep succeeding during the partition"
+    );
+}
+
+#[test]
+fn recovery_latency_is_measured_per_window() {
+    let schedule = FaultSchedule::scripted(
+        "one-node-crash",
+        vec![
+            FaultStep {
+                at: secs(10),
+                fault: FaultKind::CrashNode(mr_sim::NodeId(1)),
+            },
+            FaultStep {
+                at: secs(25),
+                fault: FaultKind::RestartNode(mr_sim::NodeId(1)),
+            },
+        ],
+    );
+    let cfg = ChaosConfig {
+        seed: 300,
+        run_for: secs(40),
+        ..ChaosConfig::default()
+    };
+    let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    assert!(outcome.passed(), "{}", outcome.render());
+    assert!(outcome.ops_per_sec > 10.0);
+    assert!(outcome.steady_p99 > SimDuration::ZERO);
+    assert!(outcome.recovery_p99 > SimDuration::ZERO);
+}
+
+#[test]
+fn ambiguous_commits_are_recorded_as_info_not_ok() {
+    // A region crash mid-run interrupts in-flight commits: their outcomes
+    // must be recorded as info (unknown), never silently dropped.
+    let schedule = FaultSchedule::scripted(
+        "crash-for-ambiguity",
+        vec![
+            FaultStep {
+                at: secs(10),
+                fault: FaultKind::CrashRegion(RegionId(0)),
+            },
+            FaultStep {
+                at: secs(30),
+                fault: FaultKind::HealAll,
+            },
+        ],
+    );
+    let cfg = ChaosConfig {
+        seed: 400,
+        run_for: secs(45),
+        ..ChaosConfig::default()
+    };
+    let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    assert!(outcome.passed(), "{}", outcome.render());
+    let ops = outcome.history.ops();
+    // Every op completed (invoke-only records would mean a lost client).
+    assert!(ops.iter().all(|o| o.outcome != Phase::Invoke));
+}
+
+/// The acceptance gate for the checker itself: with the intentionally
+/// injected follower-read bug armed, stale reads from a partitioned region
+/// are served above the replica's closed frontier and miss committed
+/// writes. The checker must catch it and name the seed and schedule step.
+#[cfg(feature = "injected-bug")]
+#[test]
+fn injected_stale_read_bug_is_caught_with_seed_and_step() {
+    let schedule = FaultSchedule::scripted(
+        "bug-hunt",
+        vec![
+            FaultStep {
+                at: secs(10),
+                fault: FaultKind::IsolateRegion(RegionId(1)),
+            },
+            FaultStep {
+                at: secs(40),
+                fault: FaultKind::HealAll,
+            },
+        ],
+    );
+    let cfg = ChaosConfig {
+        seed: 666,
+        run_for: secs(50),
+        arm_injected_bug: true,
+        // The online follower-read monitor would panic on the bug; this
+        // test is about the *offline checker* catching it.
+        strict_monitors: false,
+        ..ChaosConfig::default()
+    };
+    let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    assert!(!outcome.passed(), "the armed bug must be detected");
+    let report = &outcome.report;
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.kind == "stale-read-skew" || v.kind == "serialization-cycle"));
+    let rendered = outcome.render();
+    // The rendering names the seed and the offending schedule step.
+    assert!(rendered.contains("seed 666"), "{rendered}");
+    assert!(
+        rendered.contains("step 0 (isolate region r1)"),
+        "{rendered}"
+    );
+}
+
+/// Control for the bug test: the identical scenario without the bug armed
+/// yields a clean history (partitioned stale reads fail over or error out
+/// instead of returning stale data).
+#[test]
+fn partitioned_stale_reads_without_bug_are_clean() {
+    let schedule = FaultSchedule::scripted(
+        "bug-hunt-control",
+        vec![
+            FaultStep {
+                at: secs(10),
+                fault: FaultKind::IsolateRegion(RegionId(1)),
+            },
+            FaultStep {
+                at: secs(40),
+                fault: FaultKind::HealAll,
+            },
+        ],
+    );
+    let cfg = ChaosConfig {
+        seed: 666,
+        run_for: secs(50),
+        ..ChaosConfig::default()
+    };
+    let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    assert!(outcome.passed(), "{}", outcome.render());
+}

@@ -252,6 +252,21 @@ pub struct Cluster {
     /// Last closed timestamp observed per replica by the scrape-time
     /// monotonicity monitor.
     monitor_closed: HashMap<(RangeId, NodeId), u64>,
+    /// Whether the feature-gated follower-read bug is armed (see
+    /// `arm_stale_read_bug`). Always false in normal builds.
+    stale_read_bug: bool,
+    /// Ranges whose recorded leaseholder crashed while holding the lease.
+    /// An orphaned lease may be usurped by the next Raft leader even after
+    /// the old holder restarts: the registry still names the old node, but
+    /// a revived whole-region group can elect a *different* leader, and
+    /// without this mark the alive-and-reachable guard in
+    /// `maybe_claim_lease` would leave the lease pointing at a Raft
+    /// follower forever (every proposal stalls, the range never recovers).
+    orphaned_leases: std::collections::HashSet<RangeId>,
+    /// Highest applied `ClaimLease` log index per range (all replicas of a
+    /// range apply the same claim entry; only the first application moves
+    /// the lease).
+    lease_claims: HashMap<RangeId, u64>,
 }
 
 impl Cluster {
@@ -309,6 +324,9 @@ impl Cluster {
             outstanding_ops: 0,
             active_pushers: std::collections::HashSet::new(),
             monitor_closed: HashMap::new(),
+            stale_read_bug: false,
+            orphaned_leases: std::collections::HashSet::new(),
+            lease_claims: HashMap::new(),
         };
         c.queue.schedule(cfg.raft_tick_interval, Event::RaftTick);
         c.queue
@@ -330,6 +348,11 @@ impl Cluster {
 
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Mutable topology access for the fault-injection API (`fault.rs`).
+    pub(crate) fn topo_mut(&mut self) -> &mut Topology {
+        &mut self.topo
     }
 
     pub fn registry(&self) -> &RangeRegistry {
@@ -402,6 +425,7 @@ impl Cluster {
 
     pub fn fail_node(&mut self, n: NodeId) {
         self.topo.fail_node(n);
+        self.mark_orphaned_leases();
     }
 
     pub fn revive_node(&mut self, n: NodeId) {
@@ -414,6 +438,7 @@ impl Cluster {
             .region_by_name(name)
             .unwrap_or_else(|| panic!("unknown region {name}"));
         self.topo.fail_region(r);
+        self.mark_orphaned_leases();
     }
 
     pub fn revive_region_by_name(&mut self, name: &str) {
@@ -427,17 +452,59 @@ impl Cluster {
     pub fn fail_zone_of(&mut self, n: NodeId) {
         let z = self.topo.zone_of(n);
         self.topo.fail_zone(z);
+        self.mark_orphaned_leases();
+    }
+
+    /// Record every range whose current leaseholder is dead. Called after
+    /// each crash-style fault: a lease held by a crashed node stays
+    /// usurpable (see `maybe_claim_lease`) until a new leaseholder is
+    /// established, even if the old holder is revived in the meantime.
+    pub(crate) fn mark_orphaned_leases(&mut self) {
+        let dead: Vec<RangeId> = self
+            .registry
+            .iter()
+            .filter(|d| !self.topo.is_node_alive(d.leaseholder))
+            .map(|d| d.id)
+            .collect();
+        self.orphaned_leases.extend(dead);
     }
 
     /// Fault injection for the invariant monitors: forcibly regress the
     /// closed-timestamp frontier of one replica. The `closed_ts_monotonic`
     /// monitor must flag this at the next observability scrape.
+    ///
+    /// Thin wrapper over the fault-injection API so callers get the
+    /// `fault_injected` event for free; prefer
+    /// [`Cluster::inject_fault`] with [`crate::fault::FaultKind::RegressClosedTs`].
     pub fn fault_regress_closed_ts(&mut self, range: RangeId, node: NodeId, delta: SimDuration) {
+        self.inject_fault(
+            &crate::fault::FaultKind::RegressClosedTs { range, node, delta },
+            None,
+        );
+    }
+
+    /// The regression itself, shared by the fault-injection API.
+    pub(crate) fn regress_closed_ts_internal(
+        &mut self,
+        range: RangeId,
+        node: NodeId,
+        delta: SimDuration,
+    ) {
         let rep = self.nodes[node.0 as usize]
             .replicas
             .get_mut(&range)
             .unwrap_or_else(|| panic!("no replica of {range} on {node}"));
         rep.tracker.fault_regress(delta.nanos());
+    }
+
+    /// Arm the intentionally injected follower-read bug: followers serve
+    /// reads even when their closed frontier has not reached the read's
+    /// uncertainty limit, so lagging or partitioned followers return stale
+    /// data for reads that claim freshness. Exists solely to prove the
+    /// chaos history checker catches real consistency violations.
+    #[cfg(feature = "chaos-bug-stale-read")]
+    pub fn arm_stale_read_bug(&mut self) {
+        self.stale_read_bug = true;
     }
 
     // ------------------------------------------------------------------
@@ -606,6 +673,7 @@ impl Cluster {
                 .raise_low_water(old_hlc.add_duration(self.cfg.clock.max_offset));
         }
         self.registry.get_mut(range).unwrap().leaseholder = to;
+        self.orphaned_leases.remove(&range);
         self.m.lease_transfers.inc();
         self.events.record(
             now,
@@ -968,6 +1036,7 @@ impl Cluster {
             self.send_response(node, path, Err(err));
             return;
         }
+        let stale_read_bug = self.stale_read_bug;
         let outcome = {
             let n = &mut self.nodes[node.0 as usize];
             let Node { hlc, replicas, .. } = n;
@@ -977,6 +1046,7 @@ impl Cluster {
                 params: &params,
                 is_leaseholder,
                 leaseholder,
+                stale_read_bug,
             };
             rep.evaluate(req, path, hlc, &ctx)
         };
@@ -1128,6 +1198,12 @@ impl Cluster {
                             self.evaluate_at(node, range, p.req, p.path);
                         }
                     }
+                    Effect::LeaseApplied {
+                        node: claimant,
+                        index,
+                    } => {
+                        self.apply_lease_claim(range, claimant, index);
+                    }
                 }
             }
         }
@@ -1140,6 +1216,12 @@ impl Cluster {
             return;
         };
         if desc.leaseholder == node {
+            // Note: the orphan mark (below) is deliberately NOT cleared
+            // here even when this node's Raft claims leadership — after a
+            // whole-group restart the old leaseholder still believes it
+            // leads at its stale term until a competing election deposes
+            // it, and clearing on that stale claim would re-wedge the
+            // range. The mark only clears on an actual lease movement.
             return;
         }
         let old = desc.leaseholder;
@@ -1150,14 +1232,62 @@ impl Cluster {
         if !became_leader {
             return;
         }
-        // Only usurp the lease from an unreachable leaseholder; cooperative
-        // transfers update the registry directly.
-        if self.topo.is_node_alive(old) {
+        // Only usurp the lease from a dead or partitioned-away leaseholder;
+        // cooperative transfers update the registry directly. A leaseholder
+        // cut off by a region partition cannot commit (no quorum), so the
+        // majority-side leader takes over — this is what keeps
+        // REGION-survivable ranges available through a full region
+        // partition, not just a region crash. One exception: a lease
+        // orphaned by its holder's crash stays usurpable after the holder
+        // restarts — a revived whole-region group can elect a different
+        // leader, and the lease must follow it or the range stays wedged
+        // (writes would propose into a Raft follower forever).
+        if !self.orphaned_leases.contains(&range)
+            && self.topo.is_node_alive(old)
+            && self.topo.reachable(node, old)
+        {
+            return;
+        }
+        // The claim replicates through Raft rather than editing the
+        // registry here: committing it proves this leader still reaches a
+        // quorum (a stale minority-side leader would flap the lease back
+        // and forth otherwise), and log order guarantees the claimant has
+        // applied every earlier entry before it starts serving — a fresh
+        // read served right after failover must observe writes that
+        // committed just before it. The registry moves when the claim
+        // applies (`apply_lease_claim`).
+        let now = self.queue.now();
+        let msgs = {
+            let rep = self.nodes[node.0 as usize]
+                .replicas
+                .get_mut(&range)
+                .unwrap();
+            rep.maybe_propose_lease_claim(now)
+        };
+        self.dispatch_raft_msgs(node, range, msgs);
+        self.pump_replica(node, range);
+    }
+
+    /// A replicated `ClaimLease` entry applied on some replica: move the
+    /// lease to the claimant. Every replica of the range applies the same
+    /// entry, so claims are deduplicated by log index.
+    fn apply_lease_claim(&mut self, range: RangeId, to: NodeId, index: u64) {
+        let last = self.lease_claims.get(&range).copied().unwrap_or(0);
+        if index <= last {
+            return;
+        }
+        self.lease_claims.insert(range, index);
+        let Some(desc) = self.registry.get(range) else {
+            return;
+        };
+        let old = desc.leaseholder;
+        self.orphaned_leases.remove(&range);
+        if old == to {
             return;
         }
         let now = self.queue.now();
         {
-            let n = &mut self.nodes[node.0 as usize];
+            let n = &mut self.nodes[to.0 as usize];
             let hlc_now = n.hlc.now(now);
             let rep = n.replicas.get_mut(&range).unwrap();
             // Respect promises the old leaseholder may have made: the best
@@ -1168,17 +1298,56 @@ impl Cluster {
             rep.tscache
                 .raise_low_water(hlc_now.add_duration(self.cfg.clock.max_offset));
         }
-        self.registry.get_mut(range).unwrap().leaseholder = node;
+        self.registry.get_mut(range).unwrap().leaseholder = to;
         self.m.lease_transfers.inc();
         self.events.record(
             now,
             EventKind::LeaseTransfer {
                 range,
                 from: old,
-                to: node,
+                to,
                 cooperative: false,
             },
         );
+        self.repair_lease_preference(to, range);
+    }
+
+    /// After a failover usurpation, re-home the lease into the
+    /// most-preferred region that still has a reachable voting replica.
+    /// Raft elections pick whoever times out first, which may be outside
+    /// the configured lease preferences; CRDB's allocator would move the
+    /// lease back, and so do we. Applies only to the failover path —
+    /// cooperative transfers are allowed to mis-home a lease (the
+    /// replication report must be able to flag that).
+    fn repair_lease_preference(&mut self, usurper: NodeId, range: RangeId) {
+        let Some(desc) = self.registry.get(range) else {
+            return;
+        };
+        let prefs = desc.zone_config.lease_preferences.clone();
+        if prefs.is_empty() {
+            return;
+        }
+        let usurper_region = self.topo.region_of(usurper);
+        let mut target = None;
+        'prefs: for pref in prefs {
+            if pref == usurper_region {
+                // Already in the best reachable preferred region.
+                return;
+            }
+            for p in &desc.replicas {
+                if p.voting
+                    && self.topo.region_of(p.node) == pref
+                    && self.topo.is_node_alive(p.node)
+                    && self.topo.reachable(usurper, p.node)
+                {
+                    target = Some(p.node);
+                    break 'prefs;
+                }
+            }
+        }
+        if let Some(to) = target {
+            self.transfer_lease(range, to);
+        }
     }
 
     fn handle_raft_tick(&mut self) {
@@ -1190,10 +1359,18 @@ impl Cluster {
             if !self.topo.is_node_alive(node.id) {
                 continue;
             }
-            for (rid, rep) in node.replicas.iter_mut() {
+            // Tick replicas in range-id order: HashMap iteration order is
+            // not stable across processes, and the order of the resulting
+            // messages decides the order of RNG draws (link jitter), which
+            // same-seed determinism — and the chaos history replays built
+            // on it — depend on.
+            let mut rids: Vec<RangeId> = node.replicas.keys().copied().collect();
+            rids.sort_unstable();
+            for rid in rids {
+                let rep = node.replicas.get_mut(&rid).unwrap();
                 let msgs = rep.raft.tick(now);
                 if !msgs.is_empty() {
-                    outbox.push((node.id, *rid, msgs));
+                    outbox.push((node.id, rid, msgs));
                 }
             }
         }

@@ -37,6 +37,14 @@ pub enum EventKind {
         from_region: String,
         to_region: String,
     },
+    /// A fault was injected through the fault-injection API (nemesis
+    /// schedules, chaos tests). `step` is the 0-based index within the
+    /// injecting `FaultSchedule`, when one drove the injection.
+    FaultInjected {
+        range: Option<RangeId>,
+        step: Option<u32>,
+        detail: String,
+    },
 }
 
 impl EventKind {
@@ -48,6 +56,7 @@ impl EventKind {
             EventKind::ZoneConfigChanged { .. } => "zone_config_changed",
             EventKind::LeaseTransfer { .. } => "lease_transfer",
             EventKind::RowRehomed { .. } => "row_rehomed",
+            EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
 
@@ -59,6 +68,7 @@ impl EventKind {
             | EventKind::ZoneConfigChanged { range, .. }
             | EventKind::LeaseTransfer { range, .. } => Some(*range),
             EventKind::RowRehomed { .. } => None,
+            EventKind::FaultInjected { range, .. } => *range,
         }
     }
 
@@ -91,6 +101,10 @@ impl EventKind {
                 from_region,
                 to_region,
             } => format!("{from_region} -> {to_region}"),
+            EventKind::FaultInjected { step, detail, .. } => match step {
+                Some(s) => format!("step {s}: {detail}"),
+                None => detail.clone(),
+            },
         }
     }
 }

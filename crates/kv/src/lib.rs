@@ -5,6 +5,9 @@
 //!
 //! * [`zone`] — zone configurations and the §3.3 automatic derivation from
 //!   (table locality, survivability goal, placement policy);
+//! * [`fault`] — the fault-injection API: node/zone/region crashes,
+//!   region partitions and isolation, clock skew, closed-timestamp
+//!   regression — injectable immediately or as timed calendar events;
 //! * [`allocator`] — constraint-satisfying, diversity-scored replica
 //!   placement (§3.2);
 //! * [`range`] — range descriptors and the key → range routing table;
@@ -32,6 +35,7 @@ pub mod allocator;
 pub mod closedts;
 pub mod cluster;
 pub mod events;
+pub mod fault;
 pub mod locks;
 pub mod metrics;
 pub mod range;
@@ -44,6 +48,7 @@ pub use allocator::{allocate, AllocError, AllocationOutcome, Placement, ReplicaR
 pub use closedts::{ClosedTsParams, ClosedTsTracker};
 pub use cluster::{Cluster, ClusterConfig, KvResult, ReadOptions, Staleness};
 pub use events::{ClusterEvent, EventKind, EventLog};
+pub use fault::FaultKind;
 pub use metrics::MetricsView;
 pub use range::{RangeDescriptor, RangeRegistry};
 pub use report::{RangeConformance, RangeStatus, ReplicationReport};

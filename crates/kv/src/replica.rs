@@ -66,6 +66,12 @@ pub enum CmdOp {
     /// Leader no-op: proposed by a new leader so that entries from previous
     /// terms commit (the standard Raft leader-completeness dance).
     Noop,
+    /// Lease claim after a failover, replicated through Raft like CRDB's
+    /// lease acquisitions. Committing it proves the claimant can reach a
+    /// quorum (an isolated stale leader's claim never commits), and log
+    /// order guarantees every prior-term entry is applied on the claimant
+    /// before the lease — and with it the right to serve reads — moves.
+    ClaimLease { node: NodeId },
     /// One-phase commit: writes + record + (usually) resolution in one
     /// command. With `resolve_inline = false` the intents stay locked until
     /// the coordinator resolves them (the Spanner-style ablation).
@@ -95,6 +101,10 @@ pub enum Effect {
     },
     /// Re-evaluate a previously parked request.
     ReEval { waiter: WaiterId },
+    /// A replicated lease claim applied; the cluster updates the range
+    /// registry (deduplicated by log index — every replica applies the
+    /// same entry).
+    LeaseApplied { node: NodeId, index: u64 },
 }
 
 /// Outcome of evaluating a request.
@@ -119,6 +129,9 @@ pub struct EvalCtx<'a> {
     pub is_leaseholder: bool,
     /// Routing hint attached to redirect errors.
     pub leaseholder: Option<NodeId>,
+    /// Intentionally injected bug (chaos-checker validation only): skip the
+    /// follower closed-frontier gate, serving possibly-stale data.
+    pub stale_read_bug: bool,
 }
 
 struct PendingProp {
@@ -155,6 +168,9 @@ pub struct Replica {
     pending_props: HashMap<u64, PendingProp>,
     parked: HashMap<WaiterId, ParkedReq>,
     next_waiter: WaiterId,
+    /// Term in which this replica last proposed a `ClaimLease` (dedups
+    /// re-proposals while the claim is in flight; a new term re-arms).
+    lease_claim_term: Option<u64>,
 }
 
 impl Replica {
@@ -183,6 +199,7 @@ impl Replica {
             pending_props: HashMap::new(),
             parked: HashMap::new(),
             next_waiter: 1,
+            lease_claim_term: None,
         }
     }
 
@@ -234,7 +251,7 @@ impl Replica {
         match req {
             Request::Get { ctx: rctx, key } => {
                 let closed = self.tracker.closed();
-                if closed < rctx.uncertainty_limit {
+                if closed < rctx.uncertainty_limit && !ctx.stale_read_bug {
                     return EvalOutcome::Reply(Err(KvError::FollowerReadUnavailable {
                         range: self.range,
                         read_ts: rctx.read_ts,
@@ -256,7 +273,7 @@ impl Replica {
                 max_keys,
             } => {
                 let closed = self.tracker.closed();
-                if closed < rctx.uncertainty_limit {
+                if closed < rctx.uncertainty_limit && !ctx.stale_read_bug {
                     return EvalOutcome::Reply(Err(KvError::FollowerReadUnavailable {
                         range: self.range,
                         read_ts: rctx.read_ts,
@@ -551,6 +568,20 @@ impl Replica {
         hlc: &mut Hlc,
         ctx: &EvalCtx<'_>,
     ) -> EvalOutcome {
+        // Replay protection: a timed-out first attempt may have left a
+        // proposal that survives a leadership change and commits later. The
+        // txn record is authoritative — a retry of an already-finalized
+        // transaction must report the original outcome, never commit again
+        // at a new timestamp.
+        match self.txn_records.get(&txn.id) {
+            Some(&(TxnStatus::Committed, cts)) => {
+                return EvalOutcome::Reply(Ok(Response::CommitInline { commit_ts: cts }));
+            }
+            Some(&(TxnStatus::Aborted | TxnStatus::Pending, _)) => {
+                return EvalOutcome::Reply(Err(KvError::TxnAborted { id: txn.id }));
+            }
+            None => {}
+        }
         // Conflict check across all write keys.
         for (key, _) in &writes {
             let blocked = self.locks.holder(key).is_some_and(|h| h.id != txn.id);
@@ -626,6 +657,22 @@ impl Replica {
         hlc: &mut Hlc,
         ctx: &EvalCtx<'_>,
     ) -> EvalOutcome {
+        // Replay protection: finalized txn records are immutable. A retried
+        // EndTxn reports the recorded outcome instead of re-proposing.
+        match self.txn_records.get(&txn.id) {
+            Some(&(TxnStatus::Committed, cts)) if commit => {
+                return EvalOutcome::Reply(Ok(Response::EndTxn { commit_ts: cts }));
+            }
+            Some(&(TxnStatus::Aborted | TxnStatus::Pending, _)) if !commit => {
+                return EvalOutcome::Reply(Ok(Response::EndTxn {
+                    commit_ts: Timestamp::ZERO,
+                }));
+            }
+            Some(_) => {
+                return EvalOutcome::Reply(Err(KvError::TxnAborted { id: txn.id }));
+            }
+            None => {}
+        }
         let status = if commit {
             TxnStatus::Committed
         } else {
@@ -740,6 +787,26 @@ impl Replica {
         }
     }
 
+    /// Propose a replicated lease claim for this node (failover path). The
+    /// caller decides *whether* a claim is warranted; this only guards
+    /// against duplicate in-flight proposals within one term.
+    pub fn maybe_propose_lease_claim(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<Command>)> {
+        if !self.raft.is_leader() || self.lease_claim_term == Some(self.raft.term()) {
+            return Vec::new();
+        }
+        let cmd = Command {
+            closed_ts: self.tracker.closed(),
+            op: CmdOp::ClaimLease { node: self.node },
+        };
+        match self.raft.propose(cmd, now) {
+            Some((_, msgs)) => {
+                self.lease_claim_term = Some(self.raft.term());
+                msgs
+            }
+            None => Vec::new(),
+        }
+    }
+
     // ---------------------------------------------------------------
     // Application
     // ---------------------------------------------------------------
@@ -760,6 +827,13 @@ impl Replica {
     fn apply_entry(&mut self, entry: &Entry<Command>, effects: &mut Vec<Effect>) {
         match &entry.payload.op {
             CmdOp::Noop => {}
+            CmdOp::ClaimLease { node } => {
+                self.lease_claim_term = None;
+                effects.push(Effect::LeaseApplied {
+                    node: *node,
+                    index: entry.index,
+                });
+            }
             CmdOp::Put { key, value, txn } => {
                 let out = self
                     .store
@@ -775,7 +849,17 @@ impl Replica {
                 status,
                 commit_ts,
             } => {
-                self.txn_records.insert(*txn_id, (*status, *commit_ts));
+                if let Some(&(_, cts)) = self.txn_records.get(txn_id) {
+                    // Finalized records are immutable; a replayed EndTxn
+                    // entry reports the original commit timestamp.
+                    if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                        if let Response::EndTxn { commit_ts } = &mut prop.response {
+                            *commit_ts = cts;
+                        }
+                    }
+                } else {
+                    self.txn_records.insert(*txn_id, (*status, *commit_ts));
+                }
             }
             CmdOp::Commit1PC {
                 txn_id,
@@ -783,26 +867,34 @@ impl Replica {
                 writes,
                 resolve_inline,
             } => {
-                for (key, value) in writes {
-                    // The intent commits in the same command, so the anchor
-                    // is immaterial; use the key itself.
-                    let meta = TxnMeta::new(*txn_id, key.clone(), *commit_ts);
-                    self.store
-                        .put(key, value.clone(), &meta)
-                        .expect("1PC lock discipline");
-                    if *resolve_inline {
-                        self.store.commit_intent(key, *txn_id, *commit_ts);
+                if let Some(&(status, cts)) = self.txn_records.get(txn_id) {
+                    // Replayed commit: a stalled first attempt and its retry
+                    // both made it into the log (leadership change mid-commit).
+                    // The first entry finalized the txn; drop the duplicate's
+                    // writes, release any locks its evaluation acquired, and
+                    // report the original timestamp to the waiting client.
+                    for (key, _) in writes {
                         if self.locks.holder(key).is_some_and(|h| h.id == *txn_id) {
                             for w in self.locks.release(key) {
                                 effects.push(Effect::ReEval { waiter: w });
                             }
                         }
                     }
-                    // else: the intent stays locked until the coordinator's
-                    // post-commit-wait resolve (Spanner-style ablation).
+                    if status == TxnStatus::Committed {
+                        if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                            if let Response::CommitInline { commit_ts } = &mut prop.response {
+                                *commit_ts = cts;
+                            }
+                        }
+                    } else if let Some(prop) = self.pending_props.remove(&entry.index) {
+                        effects.push(Effect::Reply {
+                            path: prop.path,
+                            result: Err(KvError::TxnAborted { id: *txn_id }),
+                        });
+                    }
+                } else {
+                    self.apply_commit_1pc(txn_id, commit_ts, writes, *resolve_inline, effects);
                 }
-                self.txn_records
-                    .insert(*txn_id, (TxnStatus::Committed, *commit_ts));
             }
             CmdOp::Resolve {
                 key,
@@ -845,6 +937,37 @@ impl Replica {
             });
         }
     }
+
+    /// Apply a first-time (non-replayed) 1PC commit entry.
+    fn apply_commit_1pc(
+        &mut self,
+        txn_id: &TxnId,
+        commit_ts: &Timestamp,
+        writes: &[(Key, Option<Value>)],
+        resolve_inline: bool,
+        effects: &mut Vec<Effect>,
+    ) {
+        for (key, value) in writes {
+            // The intent commits in the same command, so the anchor
+            // is immaterial; use the key itself.
+            let meta = TxnMeta::new(*txn_id, key.clone(), *commit_ts);
+            self.store
+                .put(key, value.clone(), &meta)
+                .expect("1PC lock discipline");
+            if resolve_inline {
+                self.store.commit_intent(key, *txn_id, *commit_ts);
+                if self.locks.holder(key).is_some_and(|h| h.id == *txn_id) {
+                    for w in self.locks.release(key) {
+                        effects.push(Effect::ReEval { waiter: w });
+                    }
+                }
+            }
+            // else: the intent stays locked until the coordinator's
+            // post-commit-wait resolve (Spanner-style ablation).
+        }
+        self.txn_records
+            .insert(*txn_id, (TxnStatus::Committed, *commit_ts));
+    }
 }
 
 #[cfg(test)]
@@ -875,6 +998,7 @@ mod tests {
             params,
             is_leaseholder: true,
             leaseholder: Some(NodeId(0)),
+            stale_read_bug: false,
         }
     }
 
@@ -1086,6 +1210,7 @@ mod tests {
             params: &params,
             is_leaseholder: false,
             leaseholder: Some(NodeId(7)),
+            stale_read_bug: false,
         };
         let read_ts = Timestamp::new(SimDuration::from_secs(5).nanos(), 0);
         let out = r.evaluate(
@@ -1126,6 +1251,7 @@ mod tests {
             params: &params,
             is_leaseholder: false,
             leaseholder: Some(NodeId(7)),
+            stale_read_bug: false,
         };
         let out = r.evaluate(
             Request::Put {

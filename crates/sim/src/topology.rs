@@ -210,6 +210,8 @@ pub struct Topology {
     dead_nodes: HashSet<NodeId>,
     /// Unordered pairs of partitioned regions.
     partitions: HashSet<(RegionId, RegionId)>,
+    /// Regions cut off from every other region (intra-region links stay up).
+    isolated_regions: HashSet<RegionId>,
 }
 
 impl Topology {
@@ -225,6 +227,7 @@ impl Topology {
             params: NetworkParams::default(),
             dead_nodes: HashSet::new(),
             partitions: HashSet::new(),
+            isolated_regions: HashSet::new(),
         };
         for (ri, rname) in region_names.iter().enumerate() {
             for zi in 0..nodes_per_region {
@@ -319,14 +322,29 @@ impl Topology {
         }
     }
 
-    /// One-way delivery decision for a message from `a` to `b`.
-    pub fn link(&self, a: NodeId, b: NodeId, rng: &mut SimRng) -> Link {
+    /// Whether a message from `a` can reach `b` at all: both endpoints
+    /// alive, and no region partition or isolation severs the path. This is
+    /// the jitter-free reachability predicate underlying [`Topology::link`];
+    /// failover logic consults it to avoid handing leases to nodes it
+    /// cannot talk to.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
         if self.dead_nodes.contains(&a) || self.dead_nodes.contains(&b) {
-            return Link::Unreachable;
+            return false;
         }
         let (ra, rb) = (self.region_of(a), self.region_of(b));
+        if ra == rb {
+            return true;
+        }
+        if self.isolated_regions.contains(&ra) || self.isolated_regions.contains(&rb) {
+            return false;
+        }
         let pair = if ra <= rb { (ra, rb) } else { (rb, ra) };
-        if ra != rb && self.partitions.contains(&pair) {
+        !self.partitions.contains(&pair)
+    }
+
+    /// One-way delivery decision for a message from `a` to `b`.
+    pub fn link(&self, a: NodeId, b: NodeId, rng: &mut SimRng) -> Link {
+        if !self.reachable(a, b) {
             return Link::Unreachable;
         }
         let one_way = SimDuration(self.nominal_rtt(a, b).nanos() / 2);
@@ -364,6 +382,14 @@ impl Topology {
         }
     }
 
+    /// Revive every node in one zone.
+    pub fn revive_zone(&mut self, z: ZoneId) {
+        let alive: Vec<NodeId> = self.node_ids().filter(|&n| self.zone_of(n) == z).collect();
+        for n in alive {
+            self.dead_nodes.remove(&n);
+        }
+    }
+
     pub fn is_node_alive(&self, n: NodeId) -> bool {
         !self.dead_nodes.contains(&n)
     }
@@ -376,6 +402,28 @@ impl Topology {
     pub fn heal_partition(&mut self, a: RegionId, b: RegionId) {
         let pair = if a <= b { (a, b) } else { (b, a) };
         self.partitions.remove(&pair);
+    }
+
+    /// Cut `r` off from every other region in one step (a full-region
+    /// network partition). Nodes inside `r` keep talking to each other.
+    pub fn isolate_region(&mut self, r: RegionId) {
+        self.isolated_regions.insert(r);
+    }
+
+    /// Undo [`Topology::isolate_region`].
+    pub fn rejoin_region(&mut self, r: RegionId) {
+        self.isolated_regions.remove(&r);
+    }
+
+    pub fn is_region_isolated(&self, r: RegionId) -> bool {
+        self.isolated_regions.contains(&r)
+    }
+
+    /// Heal every pairwise partition and region isolation. Dead nodes stay
+    /// dead (healing the network does not restart crashed machines).
+    pub fn heal_all_partitions(&mut self) {
+        self.partitions.clear();
+        self.isolated_regions.clear();
     }
 }
 
@@ -539,5 +587,60 @@ mod tests {
         assert!(!t.is_node_alive(NodeId(1)));
         assert!(t.is_node_alive(NodeId(0)));
         assert_eq!(t.nodes_in_region(RegionId(0)).len(), 2);
+        t.revive_zone(z);
+        assert!(t.is_node_alive(NodeId(1)));
+        assert_eq!(t.nodes_in_region(RegionId(0)).len(), 3);
+    }
+
+    #[test]
+    fn region_isolation_cuts_all_external_links_only() {
+        let mut t = topo();
+        let mut rng = SimRng::seed_from_u64(0);
+        t.isolate_region(RegionId(0));
+        assert!(t.is_region_isolated(RegionId(0)));
+        // External links dropped in both directions.
+        assert!(!t.reachable(NodeId(0), NodeId(3)));
+        assert!(!t.reachable(NodeId(3), NodeId(0)));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(3), &mut rng),
+            Link::Unreachable
+        ));
+        // Intra-region links stay up.
+        assert!(t.reachable(NodeId(0), NodeId(1)));
+        assert!(matches!(
+            t.link(NodeId(0), NodeId(1), &mut rng),
+            Link::Deliver(_)
+        ));
+        // Links not involving the isolated region are untouched.
+        assert!(t.reachable(NodeId(3), NodeId(6)));
+        t.rejoin_region(RegionId(0));
+        assert!(t.reachable(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn heal_all_partitions_clears_isolation_but_not_deaths() {
+        let mut t = topo();
+        t.partition_regions(RegionId(0), RegionId(1));
+        t.isolate_region(RegionId(2));
+        t.fail_node(NodeId(4));
+        t.heal_all_partitions();
+        assert!(t.reachable(NodeId(0), NodeId(3)));
+        assert!(t.reachable(NodeId(6), NodeId(0)));
+        assert!(!t.is_node_alive(NodeId(4)));
+        assert!(!t.reachable(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn reachable_matches_link() {
+        let mut t = topo();
+        let mut rng = SimRng::seed_from_u64(7);
+        t.partition_regions(RegionId(1), RegionId(3));
+        t.fail_node(NodeId(0));
+        for a in t.node_ids().collect::<Vec<_>>() {
+            for b in t.node_ids().collect::<Vec<_>>() {
+                let deliver = matches!(t.link(a, b, &mut rng), Link::Deliver(_));
+                assert_eq!(deliver, t.reachable(a, b), "{a} -> {b}");
+            }
+        }
     }
 }

@@ -4,6 +4,7 @@
 
 use mr_kv::cluster::ClusterConfig;
 use mr_kv::report::RangeStatus;
+use mr_kv::FaultKind;
 use mr_proto::RangeId;
 use mr_sim::{NodeId, RttMatrix, SimDuration, SimTime, Topology};
 use mr_sql::exec::SqlDb;
@@ -250,8 +251,14 @@ fn seeded_closed_ts_regression_is_detected() {
 
     let desc = d.cluster.registry().iter().next().unwrap().clone();
     let node = desc.leaseholder;
-    d.cluster
-        .fault_regress_closed_ts(desc.id, node, SimDuration::from_secs(2));
+    d.cluster.inject_fault(
+        &FaultKind::RegressClosedTs {
+            range: desc.id,
+            node,
+            delta: SimDuration::from_secs(2),
+        },
+        None,
+    );
     d.cluster.run_until(SimTime(
         d.cluster.now().nanos() + SimDuration::from_millis(100).nanos(),
     ));

@@ -24,4 +24,17 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 (cd "$SMOKE_DIR" && OPS=50 MR_STRICT_MONITORS=1 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin perf_probe >/dev/null)
 
+echo "==> chaos_smoke: seeded nemesis schedules + history checker"
+# Five fixed-seed fault schedules through the full chaos harness with every
+# online invariant monitor escalated to a panic. The offline checker gates
+# too: any serializability/recency/availability violation fails CI with the
+# seed and schedule step named.
+(cd "$SMOKE_DIR" && MR_STRICT_MONITORS=1 \
+    cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin chaos_probe >/dev/null)
+
+echo "==> injected-bug canary: the checker must catch the armed stale read"
+# Compile the deliberate follower-read bug in and verify the history
+# checker still detects it — guards against the checker itself rotting.
+cargo test -q -p mr-chaos --features injected-bug >/dev/null
+
 echo "CI OK"
