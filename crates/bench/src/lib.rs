@@ -213,3 +213,256 @@ pub fn report_errors(name: &str, stats: &DriverStats) {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Commit-latency probe (parallel commits ablation)
+// ---------------------------------------------------------------------------
+
+/// One measured latency cell: client-observed transaction latency from
+/// `txn_begin` to the commit acknowledgement, in simulated milliseconds.
+pub struct CommitCell {
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub n: usize,
+}
+
+/// One probe row: a (gateway region, write-shape) scenario measured under
+/// both commit modes against the home region's RTT.
+pub struct CommitRow {
+    pub gateway_region: String,
+    /// `"single"`: one write — the legacy 1PC fast path already commits
+    /// this in one round trip, so pipelining must merely not regress it.
+    /// `"multi"`: writes to two ZONE-survivable ranges homed in the same
+    /// region — the paper's 2-RTT→1-RTT headline (legacy flushes intents,
+    /// then writes the record; parallel commits overlap them). `"cross"`:
+    /// a ZONE-survivable plus a REGION-survivable write, whose WAN quorum
+    /// dominates but still hides the commit-record round trip.
+    pub scenario: &'static str,
+    /// Gateway-region ↔ home-region round trip.
+    pub rtt_ms: f64,
+    pub legacy: CommitCell,
+    pub pipelined: CommitCell,
+}
+
+fn quantile_ms(sorted_nanos: &[u64], q: f64) -> f64 {
+    assert!(!sorted_nanos.is_empty());
+    let idx = ((sorted_nanos.len() - 1) as f64 * q).round() as usize;
+    sorted_nanos[idx] as f64 / 1e6
+}
+
+/// Drive `shapes.len()` transactions sequentially from `gateway`, each
+/// writing the keys of its shape in order, and return the per-transaction
+/// begin→commit-ack latencies (nanoseconds of simulated time).
+fn drive_commit_txns(
+    c: &mut mr_kv::Cluster,
+    gateway: mr_sim::NodeId,
+    shapes: Vec<Vec<mr_proto::Key>>,
+) -> Vec<u64> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Drive {
+        gateway: mr_sim::NodeId,
+        remaining: Vec<Vec<mr_proto::Key>>,
+        samples: Vec<u64>,
+    }
+
+    fn put_chain(
+        c: &mut mr_kv::Cluster,
+        h: mr_kv::TxnHandle,
+        mut keys: std::vec::IntoIter<mr_proto::Key>,
+        started: mr_sim::SimTime,
+        st: Rc<RefCell<Drive>>,
+    ) {
+        match keys.next() {
+            Some(key) => {
+                let val = mr_proto::Value::from("probe");
+                c.txn_put(
+                    h,
+                    key,
+                    Some(val),
+                    Box::new(move |c, res| {
+                        res.unwrap_or_else(|e| panic!("probe put failed: {e}"));
+                        put_chain(c, h, keys, started, st);
+                    }),
+                );
+            }
+            None => c.txn_commit(
+                h,
+                Box::new(move |c, res| {
+                    res.unwrap_or_else(|e| panic!("probe commit failed: {e}"));
+                    let dt = c.now().nanos() - started.nanos();
+                    st.borrow_mut().samples.push(dt);
+                    next_txn(c, st);
+                }),
+            ),
+        }
+    }
+
+    fn next_txn(c: &mut mr_kv::Cluster, st: Rc<RefCell<Drive>>) {
+        let (gateway, shape) = {
+            let mut s = st.borrow_mut();
+            if s.remaining.is_empty() {
+                return;
+            }
+            (s.gateway, s.remaining.remove(0))
+        };
+        let started = c.now();
+        let h = c.txn_begin(gateway);
+        put_chain(c, h, shape.into_iter(), started, st);
+    }
+
+    let st = Rc::new(RefCell::new(Drive {
+        gateway,
+        remaining: shapes,
+        samples: Vec::new(),
+    }));
+    next_txn(c, st.clone());
+    let deadline = SimTime(c.now().nanos() + SimDuration::from_secs(600).nanos());
+    c.run_until_quiescent(deadline);
+    // Drain any straggling async intent resolutions before the next cell.
+    let settle = SimTime(c.now().nanos() + SimDuration::from_secs(2).nanos());
+    c.run_until(settle);
+    Rc::try_unwrap(st)
+        .ok()
+        .expect("probe continuations still pending")
+        .into_inner()
+        .samples
+}
+
+/// Measure client-observed transaction latency (begin → commit ack) for
+/// single-range and multi-range write transactions from every gateway
+/// region, once with legacy synchronous commits and once with pipelining +
+/// parallel commits. Deterministic for a fixed seed.
+pub fn commit_probe(seed: u64, txns_per_cell: usize) -> Vec<CommitRow> {
+    use mr_chaos::{build_chaos_cluster, ChaosConfig};
+    use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal};
+
+    let scenarios: [(&'static str, fn(u32, usize) -> Vec<mr_proto::Key>); 3] = [
+        ("single", |r, i| {
+            vec![mr_proto::Key::from(format!("zs/p{r}_{i}").as_str())]
+        }),
+        ("multi", |r, i| {
+            vec![
+                mr_proto::Key::from(format!("zs/p{r}_{i}").as_str()),
+                mr_proto::Key::from(format!("za/p{r}_{i}").as_str()),
+            ]
+        }),
+        ("cross", |r, i| {
+            vec![
+                mr_proto::Key::from(format!("zs/p{r}_{i}").as_str()),
+                mr_proto::Key::from(format!("rs/p{r}_{i}").as_str()),
+            ]
+        }),
+    ];
+
+    // cells[scenario][region] -> (legacy, pipelined) samples.
+    let mut cells: Vec<Vec<(Vec<u64>, Vec<u64>)>> = scenarios
+        .iter()
+        .map(|_| (0..3).map(|_| (Vec::new(), Vec::new())).collect())
+        .collect();
+    let mut rtts = [0.0f64; 3];
+    let mut region_names = vec![String::new(); 3];
+
+    for pipelined in [false, true] {
+        let cfg = ChaosConfig {
+            seed,
+            pipelined_writes: pipelined,
+            parallel_commits: pipelined,
+            ..ChaosConfig::default()
+        };
+        let mut c = build_chaos_cluster(&cfg);
+        // A second ZONE-survivable range homed alongside `zs/*`: the
+        // `multi` scenario spans the two so the transaction cannot take
+        // the 1PC fast path yet both intent quorums stay in-region.
+        let za = derive_zone_config(
+            mr_sim::RegionId(0),
+            &[
+                mr_sim::RegionId(0),
+                mr_sim::RegionId(1),
+                mr_sim::RegionId(2),
+            ],
+            SurvivalGoal::Zone,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        c.create_range(
+            mr_proto::Span::new(mr_proto::Key::from("za/"), mr_proto::Key::from("za0")),
+            za,
+        )
+        .expect("allocate za range");
+        c.run_until(SimTime(SimDuration::from_secs(3).nanos()));
+        for (si, (_, mk)) in scenarios.iter().enumerate() {
+            for region in 0..3u32 {
+                let gateway = mr_sim::NodeId(region * 3);
+                if !pipelined {
+                    region_names[region as usize] = c
+                        .topology()
+                        .region_name(mr_sim::RegionId(region))
+                        .to_string();
+                    rtts[region as usize] =
+                        c.topology().nominal_rtt(gateway, mr_sim::NodeId(0)).nanos() as f64 / 1e6;
+                }
+                let shapes: Vec<Vec<mr_proto::Key>> = (0..txns_per_cell)
+                    .map(|i| mk(region, i + if pipelined { txns_per_cell } else { 0 }))
+                    .collect();
+                let samples = drive_commit_txns(&mut c, gateway, shapes);
+                assert_eq!(samples.len(), txns_per_cell, "probe txns went missing");
+                let slot = &mut cells[si][region as usize];
+                if pipelined {
+                    slot.1 = samples;
+                } else {
+                    slot.0 = samples;
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (si, (name, _)) in scenarios.iter().enumerate() {
+        for region in 0..3usize {
+            let (mut legacy, mut piped) =
+                (cells[si][region].0.clone(), cells[si][region].1.clone());
+            legacy.sort_unstable();
+            piped.sort_unstable();
+            rows.push(CommitRow {
+                gateway_region: region_names[region].clone(),
+                scenario: name,
+                rtt_ms: rtts[region],
+                legacy: CommitCell {
+                    p50_ms: quantile_ms(&legacy, 0.5),
+                    p99_ms: quantile_ms(&legacy, 0.99),
+                    n: legacy.len(),
+                },
+                pipelined: CommitCell {
+                    p50_ms: quantile_ms(&piped, 0.5),
+                    p99_ms: quantile_ms(&piped, 0.99),
+                    n: piped.len(),
+                },
+            });
+        }
+    }
+    rows
+}
+
+/// Render probe rows as the deterministic `BENCH_commit.json` document.
+pub fn commit_probe_json(rows: &[CommitRow]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\n      \"gateway_region\": \"{}\",\n      \"scenario\": \"{}\",\n      \"rtt_ms\": {:.3},\n      \"legacy\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"n\": {}}},\n      \"pipelined\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"n\": {}}}\n    }}",
+                r.gateway_region,
+                r.scenario,
+                r.rtt_ms,
+                r.legacy.p50_ms,
+                r.legacy.p99_ms,
+                r.legacy.n,
+                r.pipelined.p50_ms,
+                r.pipelined.p99_ms,
+                r.pipelined.n
+            )
+        })
+        .collect();
+    format!("{{\n  \"rows\": [\n{}\n  ]\n}}\n", body.join(",\n"))
+}

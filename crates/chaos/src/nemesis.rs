@@ -52,6 +52,14 @@ pub struct ChaosConfig {
     /// `injected-bug` feature; panics otherwise). Used to prove the
     /// checker catches a real stale read.
     pub arm_injected_bug: bool,
+    /// Arm the intentionally injected parallel-commit bug (client acked
+    /// before in-flight writes replicate; requires the `injected-bug`
+    /// feature; panics otherwise).
+    pub arm_premature_ack_bug: bool,
+    /// Issue transactional writes as pipelined intents (async consensus).
+    pub pipelined_writes: bool,
+    /// Commit with a STAGING record in parallel with in-flight writes.
+    pub parallel_commits: bool,
 }
 
 impl Default for ChaosConfig {
@@ -65,6 +73,9 @@ impl Default for ChaosConfig {
             rpc_timeout: SimDuration::from_secs(1),
             strict_monitors: true,
             arm_injected_bug: false,
+            arm_premature_ack_bug: false,
+            pipelined_writes: true,
+            parallel_commits: true,
         }
     }
 }
@@ -119,11 +130,16 @@ pub fn build_chaos_cluster(cfg: &ChaosConfig) -> Cluster {
             seed: cfg.seed,
             rpc_timeout: Some(cfg.rpc_timeout),
             strict_monitors: cfg.strict_monitors,
+            pipelined_writes: cfg.pipelined_writes,
+            parallel_commits: cfg.parallel_commits,
             ..ClusterConfig::default()
         },
     );
     if cfg.arm_injected_bug {
         arm_bug(&mut cluster);
+    }
+    if cfg.arm_premature_ack_bug {
+        arm_ack_bug(&mut cluster);
     }
     let db_regions: Vec<RegionId> = (0..3).map(RegionId).collect();
     let home = RegionId(0);
@@ -158,6 +174,16 @@ fn arm_bug(cluster: &mut Cluster) {
 #[cfg(not(feature = "injected-bug"))]
 fn arm_bug(_cluster: &mut Cluster) {
     panic!("arm_injected_bug requires building mr-chaos with --features injected-bug");
+}
+
+#[cfg(feature = "injected-bug")]
+fn arm_ack_bug(cluster: &mut Cluster) {
+    cluster.arm_premature_ack_bug();
+}
+
+#[cfg(not(feature = "injected-bug"))]
+fn arm_ack_bug(_cluster: &mut Cluster) {
+    panic!("arm_premature_ack_bug requires building mr-chaos with --features injected-bug");
 }
 
 /// One closed-loop register client, moved through its continuation chain.
@@ -209,7 +235,12 @@ fn step(c: &mut Cluster, mut cl: Client) {
     // 12s mark fall back to fresh reads.
     let warmed_up = c.now() >= SimTime(SimDuration::from_secs(12).nanos());
     match cl.rng.next_below(100) {
-        0..=39 => write(c, cl, key),
+        0..=29 => write(c, cl, key),
+        // Multi-range transactions are the only ones whose parallel
+        // commit genuinely races the STAGING record against in-flight
+        // writes (a single-range put precedes the record in the same
+        // raft log, so the stage ack implies the put committed).
+        30..=39 => multi_write(c, cl),
         40..=64 => fresh_read(c, cl, key),
         65..=84 if warmed_up => stale_read(c, cl, key),
         // Bounded reads only touch the REGION-survivable range, which has
@@ -253,6 +284,84 @@ fn write(c: &mut Cluster, cl: Client, key: String) {
                 Box::new(move |c, _| {
                     let now = c.now();
                     hist.fail(now, op, &fmt_err(&e));
+                    schedule_next(c, cl);
+                }),
+            ),
+        }),
+    );
+}
+
+/// A two-key transaction spanning both key classes — and therefore two
+/// ranges, so the transaction record and the second write live in
+/// different raft logs. The ZONE-survivable key comes first: the record
+/// anchors on the fast intra-region-quorum range while the
+/// REGION-survivable put crosses the WAN, which is the widest window
+/// between a STAGING ack and the last in-flight write landing.
+fn multi_write(c: &mut Cluster, mut cl: Client) {
+    let k1 = format!(
+        "{ZONE_SURVIVABLE_PREFIX}k{}",
+        cl.rng.next_below(cl.keys_per_class)
+    );
+    let k2 = format!(
+        "{REGION_SURVIVABLE_PREFIX}k{}",
+        cl.rng.next_below(cl.keys_per_class)
+    );
+    let hist = cl.hist.clone();
+    let now = c.now();
+    let op1 = hist.invoke_write(now, cl.id, &k1);
+    let op2 = hist.invoke_write(now, cl.id, &k2);
+    let h = c.txn_begin(cl.gateway);
+    let v1 = Value::from(op1.to_string().as_str());
+    let v2 = Value::from(op2.to_string().as_str());
+    c.txn_put(
+        h,
+        Key::from(k1.as_str()),
+        Some(v1),
+        Box::new(move |c, res| match res {
+            Ok(()) => c.txn_put(
+                h,
+                Key::from(k2.as_str()),
+                Some(v2),
+                Box::new(move |c, res| match res {
+                    Ok(()) => c.txn_commit(
+                        h,
+                        Box::new(move |c, res| {
+                            let now = c.now();
+                            match res {
+                                Ok(ts) => {
+                                    // Atomicity: both writes share the
+                                    // commit verdict and timestamp.
+                                    hist.ok(now, op1, Some(op1), Some(ts));
+                                    hist.ok(now, op2, Some(op2), Some(ts));
+                                }
+                                Err(e) => {
+                                    let msg = fmt_err(&e);
+                                    hist.info(now, op1, &msg);
+                                    hist.info(now, op2, &msg);
+                                }
+                            }
+                            schedule_next(c, cl);
+                        }),
+                    ),
+                    Err(e) => c.txn_rollback(
+                        h,
+                        Box::new(move |c, _| {
+                            let now = c.now();
+                            let msg = fmt_err(&e);
+                            hist.fail(now, op1, &msg);
+                            hist.fail(now, op2, &msg);
+                            schedule_next(c, cl);
+                        }),
+                    ),
+                }),
+            ),
+            Err(e) => c.txn_rollback(
+                h,
+                Box::new(move |c, _| {
+                    let now = c.now();
+                    let msg = fmt_err(&e);
+                    hist.fail(now, op1, &msg);
+                    hist.fail(now, op2, &msg);
                     schedule_next(c, cl);
                 }),
             ),

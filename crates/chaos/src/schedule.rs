@@ -55,6 +55,12 @@ pub struct ScheduleBounds {
     /// Allow whole-region crashes (kills ZONE-survivable ranges homed
     /// there; REGION-survivable ranges must ride through).
     pub allow_region_crash: bool,
+    /// Append a dedicated coordinator-crash block: crash one random
+    /// gateway node (killing every transaction it coordinates — including
+    /// parallel commits caught between STAGING and the explicit commit,
+    /// whose intents only a contender-driven status recovery can release)
+    /// and restart it one hold later.
+    pub coordinator_crash: bool,
 }
 
 impl Default for ScheduleBounds {
@@ -68,6 +74,7 @@ impl Default for ScheduleBounds {
             gap: SimDuration::from_secs(6),
             max_skew_nanos: 100_000_000, // 100ms, within the 250ms offset spec
             allow_region_crash: false,
+            coordinator_crash: false,
         }
     }
 }
@@ -75,7 +82,8 @@ impl Default for ScheduleBounds {
 impl ScheduleBounds {
     /// Total simulated time the schedule spans, including the final heal.
     pub fn span(&self) -> SimDuration {
-        self.first_at + SimDuration((self.hold + self.gap).nanos() * self.blocks as u64)
+        let blocks = self.blocks + u32::from(self.coordinator_crash);
+        self.first_at + SimDuration((self.hold + self.gap).nanos() * blocks as u64)
     }
 }
 
@@ -146,6 +154,23 @@ impl FaultSchedule {
             });
             t = t + bounds.hold;
             steps.push(FaultStep { at: t, fault: heal });
+            t = t + bounds.gap;
+        }
+        if bounds.coordinator_crash {
+            // A gateway crash is a coordinator crash: every transaction it
+            // was driving dies mid-flight, at whatever commit stage the
+            // timing lands on — including between the STAGING record and
+            // the explicit commit.
+            let n = NodeId(rng.next_below(nodes as u64) as u32);
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::CrashNode(n),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::RestartNode(n),
+            });
             t = t + bounds.gap;
         }
         steps.push(FaultStep {
@@ -240,6 +265,31 @@ mod tests {
             let windows = s.disruption_windows();
             assert_eq!(windows.len(), 3);
             assert!(windows.iter().all(|(a, b)| a < b));
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_appends_a_crash_restart_block() {
+        let b = ScheduleBounds {
+            coordinator_crash: true,
+            ..ScheduleBounds::default()
+        };
+        for seed in 0..50 {
+            let s = FaultSchedule::random(seed, &b);
+            // 3 blocks x 2 + crash/restart pair + final HealAll.
+            assert_eq!(s.steps.len(), 9, "{s}");
+            let crash = &s.steps[6].fault;
+            let restart = &s.steps[7].fault;
+            assert!(matches!(crash, FaultKind::CrashNode(_)), "{s}");
+            match (crash, restart) {
+                (FaultKind::CrashNode(a), FaultKind::RestartNode(b)) => {
+                    assert_eq!(a, b, "{s}");
+                }
+                other => panic!("unexpected pair {other:?} in {s}"),
+            }
+            assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
+            // The extra block extends the declared span.
+            assert_eq!(s.span(), b.span());
         }
     }
 

@@ -1,0 +1,64 @@
+//! Pinned regression seeds for the parallel-commit path.
+//!
+//! Each seed here once produced a checker violation during development and
+//! is pinned against the exact commit-mode matrix that exposed it:
+//!
+//! * **Seed 5** (crash-heavy schedule): the recovery probe (`QueryIntent`)
+//!   must not trust a deposed leaseholder's lock table — an eval-time lock
+//!   entry can describe a doomed proposal whose retry re-evaluated
+//!   elsewhere at a higher timestamp. Trusting it let a contender recover
+//!   the record as committed at the stale timestamp while the coordinator
+//!   restaged: two verdicts for one transaction.
+//! * **Seed 30029** (clock-skew-only schedule, found by the schedule
+//!   proptest): deciding the probe via a raft proposal is also unsound —
+//!   a pipelined write can evaluate after the probe proposes but before
+//!   it applies, slotting the write after the probe in the log. Recovery
+//!   aborted while the write applied below the staged timestamp and the
+//!   coordinator acked.
+//!
+//! The fix for both is the three-way eval-time probe: applied intent →
+//! found; lock held by the probed txn → in-flight (retry); neither →
+//! a miss made stable by bumping the timestamp cache at evaluation.
+
+use mr_chaos::{run_chaos, ChaosConfig, CheckerConfig, FaultSchedule, ScheduleBounds};
+use mr_sim::SimDuration;
+
+fn run(seed: u64, pipelined: bool, parallel: bool) -> bool {
+    let bounds = ScheduleBounds::default();
+    let schedule = FaultSchedule::random(seed, &bounds);
+    let cfg = ChaosConfig {
+        seed,
+        run_for: schedule.span() + SimDuration::from_secs(10),
+        pipelined_writes: pipelined,
+        parallel_commits: parallel,
+        ..ChaosConfig::default()
+    };
+    let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+    if !outcome.passed() {
+        eprintln!(
+            "seed {seed} pipelined={pipelined} parallel={parallel}:\n{}",
+            outcome.render()
+        );
+    }
+    outcome.passed()
+}
+
+#[test]
+fn seed5_legacy() {
+    assert!(run(5, false, false));
+}
+
+#[test]
+fn seed5_pipeline_only() {
+    assert!(run(5, true, false));
+}
+
+#[test]
+fn seed5_parallel() {
+    assert!(run(5, true, true));
+}
+
+#[test]
+fn seed30029_parallel() {
+    assert!(run(30029, true, true));
+}

@@ -63,6 +63,22 @@ pub struct ClusterConfig {
     /// instead of resolving intents concurrently with it (§6.2 contrasts
     /// these; see the `ablation_commit_wait` bench).
     pub commit_wait_holds_locks: bool,
+    /// Write pipelining: intent writes are proposed to Raft at statement
+    /// time and tracked in flight by the coordinator, so statements return
+    /// before replication completes. Off = every Put replicates before its
+    /// statement returns (the pre-pipelining 2-RTT ablation baseline).
+    pub pipelined_writes: bool,
+    /// Parallel commits: commit writes a STAGING transaction record
+    /// carrying the in-flight write set concurrently with the last
+    /// pipelined intents, and acks the client once all of them succeed —
+    /// one consensus round instead of two. Requires `pipelined_writes`.
+    pub parallel_commits: bool,
+    /// Delay between a leaseholder's first batched Raft proposal and the
+    /// broadcast that ships it (group commit). The default of zero still
+    /// coalesces proposals arriving at the same sim-instant — a txn's
+    /// pipelined intents plus its STAGING record — into one consensus
+    /// round, at no added latency.
+    pub raft_flush_interval: SimDuration,
     /// Print one line per request evaluation (debugging).
     pub trace: bool,
     /// Override the derived closed-timestamp `lead_slack` (ablations).
@@ -106,6 +122,9 @@ impl Default for ClusterConfig {
             lag_side_transport: true,
             rpc_timeout: None,
             commit_wait_holds_locks: false,
+            pipelined_writes: true,
+            parallel_commits: true,
+            raft_flush_interval: SimDuration::ZERO,
             trace: std::env::var("MR_TRACE").is_ok(),
             lead_slack_override: None,
             gc_interval: SimDuration::from_secs(60),
@@ -184,6 +203,11 @@ enum Event {
         msg: RaftMsg<Command>,
     },
     RaftTick,
+    /// Ship one replica's batched Raft proposals (group-commit flush).
+    RaftFlush {
+        node: NodeId,
+        range: RangeId,
+    },
     SideTransport,
     GcTick,
     SideTransportDeliver {
@@ -255,6 +279,9 @@ pub struct Cluster {
     /// Whether the feature-gated follower-read bug is armed (see
     /// `arm_stale_read_bug`). Always false in normal builds.
     stale_read_bug: bool,
+    /// Whether the feature-gated premature-ack bug is armed (see
+    /// `arm_premature_ack_bug`). Always false in normal builds.
+    pub(crate) premature_ack_bug: bool,
     /// Ranges whose recorded leaseholder crashed while holding the lease.
     /// An orphaned lease may be usurped by the next Raft leader even after
     /// the old holder restarts: the registry still names the old node, but
@@ -325,6 +352,7 @@ impl Cluster {
             active_pushers: std::collections::HashSet::new(),
             monitor_closed: HashMap::new(),
             stale_read_bug: false,
+            premature_ack_bug: false,
             orphaned_leases: std::collections::HashSet::new(),
             lease_claims: HashMap::new(),
         };
@@ -505,6 +533,16 @@ impl Cluster {
     #[cfg(feature = "chaos-bug-stale-read")]
     pub fn arm_stale_read_bug(&mut self) {
         self.stale_read_bug = true;
+    }
+
+    /// Arm the intentionally injected parallel-commit bug: the coordinator
+    /// acknowledges a commit as soon as the STAGING record is written,
+    /// without waiting for the in-flight pipelined writes to replicate, so
+    /// a crash in the wrong moment loses acknowledged writes. Exists solely
+    /// to prove the chaos history checker catches a premature ack.
+    #[cfg(feature = "chaos-bug-premature-ack")]
+    pub fn arm_premature_ack_bug(&mut self) {
+        self.premature_ack_bug = true;
     }
 
     // ------------------------------------------------------------------
@@ -741,7 +779,7 @@ impl Cluster {
         self.m.events_processed.inc();
         match &ev {
             Event::Rpc { .. } => self.m.ev_rpc.inc(),
-            Event::Raft { .. } => self.m.ev_raft.inc(),
+            Event::Raft { .. } | Event::RaftFlush { .. } => self.m.ev_raft.inc(),
             Event::RaftTick => self.m.ev_tick.inc(),
             Event::SideTransport | Event::SideTransportDeliver { .. } => self.m.ev_side.inc(),
             Event::Wake(_) => self.m.ev_wake.inc(),
@@ -782,6 +820,7 @@ impl Cluster {
                 self.handle_raft(to_node, range, gen, from_peer, msg)
             }
             Event::RaftTick => self.handle_raft_tick(),
+            Event::RaftFlush { node, range } => self.handle_raft_flush(node, range),
             Event::SideTransport => self.handle_side_transport(),
             Event::GcTick => self.handle_gc_tick(),
             Event::SideTransportDeliver { to, updates } => {
@@ -1125,8 +1164,43 @@ impl Cluster {
             EvalOutcome::Proposed { msgs } => {
                 self.dispatch_raft_msgs(node, range, msgs);
                 self.pump_replica(node, range);
+                self.schedule_raft_flush(node, range);
             }
         }
+    }
+
+    /// Schedule a group-commit flush for a replica holding batched Raft
+    /// proposals. One flush event serves every proposal accepted before it
+    /// fires, so proposals landing at the same sim-instant — a txn's
+    /// pipelined intents plus its STAGING record — replicate in a single
+    /// consensus round. The heartbeat tick rebroadcast is the safety net if
+    /// the flush is lost to a crash.
+    fn schedule_raft_flush(&mut self, node: NodeId, range: RangeId) {
+        let delay = self.cfg.raft_flush_interval;
+        let Some(rep) = self.nodes[node.0 as usize].replicas.get_mut(&range) else {
+            return;
+        };
+        if !rep.raft.has_pending_broadcast() || rep.flush_scheduled {
+            return;
+        }
+        rep.flush_scheduled = true;
+        self.queue.schedule(delay, Event::RaftFlush { node, range });
+    }
+
+    fn handle_raft_flush(&mut self, node: NodeId, range: RangeId) {
+        let now = self.queue.now();
+        let msgs = {
+            let Some(rep) = self.nodes[node.0 as usize].replicas.get_mut(&range) else {
+                return;
+            };
+            rep.flush_scheduled = false;
+            rep.raft.flush_appends(now)
+        };
+        if !self.topo.is_node_alive(node) {
+            return;
+        }
+        self.dispatch_raft_msgs(node, range, msgs);
+        self.pump_replica(node, range);
     }
 
     fn handle_raft(
@@ -1545,7 +1619,7 @@ impl Cluster {
 /// State copied into new replicas during reconfiguration.
 struct SeedState {
     store: mr_storage::MvccStore,
-    txn_records: HashMap<TxnId, (mr_proto::TxnStatus, Timestamp)>,
+    txn_records: HashMap<TxnId, crate::replica::TxnRecord>,
     tracker: crate::closedts::ClosedTsTracker,
     promised: Timestamp,
     tscache_low_water: Timestamp,

@@ -13,12 +13,15 @@ use mr_obs::{Counter, HistogramHandle, Registry};
 
 /// Request kinds, used as the `kind` label on `kv.rpc.sent_by_kind` and as
 /// RPC span names (`rpc.<kind>`).
-pub(crate) const REQ_KINDS: [&str; 9] = [
+pub(crate) const REQ_KINDS: [&str; 12] = [
     "get",
     "scan",
     "put",
     "end_txn",
     "commit_inline",
+    "stage_txn",
+    "query_intent",
+    "recover_txn",
     "resolve_intent",
     "refresh",
     "push_txn",
@@ -34,21 +37,27 @@ pub(crate) fn req_kind_index(req: &mr_proto::Request) -> usize {
         Put { .. } => 2,
         EndTxn { .. } => 3,
         CommitInline { .. } => 4,
-        ResolveIntent { .. } => 5,
-        Refresh { .. } => 6,
-        PushTxn { .. } => 7,
-        Negotiate { .. } => 8,
+        StageTxn { .. } => 5,
+        QueryIntent { .. } => 6,
+        RecoverTxn { .. } => 7,
+        ResolveIntent { .. } => 8,
+        Refresh { .. } => 9,
+        PushTxn { .. } => 10,
+        Negotiate { .. } => 11,
     }
 }
 
 /// Span name for an RPC carrying `req` (`"rpc.get"`, `"rpc.put"`, …).
 pub(crate) fn rpc_span_name(req: &mr_proto::Request) -> &'static str {
-    const NAMES: [&str; 9] = [
+    const NAMES: [&str; 12] = [
         "rpc.get",
         "rpc.scan",
         "rpc.put",
         "rpc.end_txn",
         "rpc.commit_inline",
+        "rpc.stage_txn",
+        "rpc.query_intent",
+        "rpc.recover_txn",
         "rpc.resolve_intent",
         "rpc.refresh",
         "rpc.push_txn",
@@ -60,7 +69,7 @@ pub(crate) fn rpc_span_name(req: &mr_proto::Request) -> &'static str {
 /// Every KV instrument, bound once per cluster.
 pub(crate) struct KvMetrics {
     pub rpcs_sent: Counter,
-    pub rpcs_by_kind: [Counter; 9],
+    pub rpcs_by_kind: [Counter; 12],
     pub follower_reads_served: Counter,
     pub follower_read_redirects: Counter,
     pub uncertainty_restarts: Counter,
@@ -80,6 +89,20 @@ pub(crate) struct KvMetrics {
     pub ev_side: Counter,
     pub ev_wake: Counter,
     pub gc_versions_removed: Counter,
+    /// Intent writes sent asynchronously at statement time (pipelining).
+    pub pipelined_writes: Counter,
+    /// Commits acknowledged off a STAGING record + in-flight writes (one
+    /// consensus round instead of two).
+    pub parallel_commit_acks: Counter,
+    /// Parallel commits that had to fall back to an explicit commit because
+    /// a pipelined write landed above the staged timestamp.
+    pub parallel_commit_restages: Counter,
+    /// Status-recovery procedures run against abandoned STAGING records.
+    pub staging_recoveries: Counter,
+    /// Recoveries that finalized the record as committed.
+    pub staging_recovery_commits: Counter,
+    /// Recoveries that aborted the record.
+    pub staging_recovery_aborts: Counter,
     /// Commit-wait durations in nanoseconds (§6.2).
     pub commit_wait_latency: HistogramHandle,
 }
@@ -109,6 +132,12 @@ impl KvMetrics {
             ev_side: ev("side"),
             ev_wake: ev("wake"),
             gc_versions_removed: r.counter("kv.gc.versions_removed", &[]),
+            pipelined_writes: r.counter("kv.txn.pipelined_writes", &[]),
+            parallel_commit_acks: r.counter("kv.txn.parallel_commit.acks", &[]),
+            parallel_commit_restages: r.counter("kv.txn.parallel_commit.restages", &[]),
+            staging_recoveries: r.counter("kv.txn.staging_recovery.runs", &[]),
+            staging_recovery_commits: r.counter("kv.txn.staging_recovery.commits", &[]),
+            staging_recovery_aborts: r.counter("kv.txn.staging_recovery.aborts", &[]),
             commit_wait_latency: r.histogram("kv.txn.commit_wait.latency", &[]),
         }
     }
@@ -139,6 +168,12 @@ pub struct MetricsView {
     pub ev_side: u64,
     pub ev_wake: u64,
     pub gc_versions_removed: u64,
+    pub pipelined_writes: u64,
+    pub parallel_commit_acks: u64,
+    pub parallel_commit_restages: u64,
+    pub staging_recoveries: u64,
+    pub staging_recovery_commits: u64,
+    pub staging_recovery_aborts: u64,
 }
 
 impl KvMetrics {
@@ -164,6 +199,12 @@ impl KvMetrics {
             ev_side: self.ev_side.get(),
             ev_wake: self.ev_wake.get(),
             gc_versions_removed: self.gc_versions_removed.get(),
+            pipelined_writes: self.pipelined_writes.get(),
+            parallel_commit_acks: self.parallel_commit_acks.get(),
+            parallel_commit_restages: self.parallel_commit_restages.get(),
+            staging_recoveries: self.staging_recoveries.get(),
+            staging_recovery_commits: self.staging_recovery_commits.get(),
+            staging_recovery_aborts: self.staging_recovery_aborts.get(),
         }
     }
 }

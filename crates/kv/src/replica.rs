@@ -50,11 +50,21 @@ pub enum CmdOp {
         value: Option<Value>,
         txn: TxnMeta,
     },
-    /// Write the transaction record (commit or abort).
+    /// Write the transaction record (stage, commit, or abort). `in_flight`
+    /// is the parallel-commit write set and only meaningful for STAGING.
     TxnRecord {
         txn_id: TxnId,
         status: TxnStatus,
         commit_ts: Timestamp,
+        in_flight: Vec<Key>,
+    },
+    /// Finalize an abandoned STAGING record: commit or abort, guarded at
+    /// apply time on the record still being staged at `staged_ts` (log
+    /// order at the anchor decides races against a coordinator re-stage).
+    RecoverTxn {
+        txn_id: TxnId,
+        staged_ts: Timestamp,
+        commit: bool,
     },
     /// Resolve an intent after its transaction finalized.
     Resolve {
@@ -140,6 +150,27 @@ struct PendingProp {
     term: u64,
 }
 
+/// A transaction record stored at the anchor range.
+#[derive(Clone, Debug)]
+pub struct TxnRecord {
+    pub status: TxnStatus,
+    pub commit_ts: Timestamp,
+    /// The in-flight write set carried by a STAGING record (empty once
+    /// finalized): the keys a status recovery must query to decide the
+    /// outcome.
+    pub in_flight: Vec<Key>,
+}
+
+impl TxnRecord {
+    pub fn finalized(status: TxnStatus, commit_ts: Timestamp) -> TxnRecord {
+        TxnRecord {
+            status,
+            commit_ts,
+            in_flight: Vec::new(),
+        }
+    }
+}
+
 /// A request parked in a lock wait-queue.
 pub struct ParkedReq {
     pub req: Request,
@@ -164,13 +195,16 @@ pub struct Replica {
     pub lease: ClosedTsLeaseState,
     pub policy: ClosedTsPolicy,
     /// Replicated transaction records (applied via `CmdOp::TxnRecord`).
-    pub txn_records: HashMap<TxnId, (TxnStatus, Timestamp)>,
+    pub txn_records: HashMap<TxnId, TxnRecord>,
     pending_props: HashMap<u64, PendingProp>,
     parked: HashMap<WaiterId, ParkedReq>,
     next_waiter: WaiterId,
     /// Term in which this replica last proposed a `ClaimLease` (dedups
     /// re-proposals while the claim is in flight; a new term re-arms).
     lease_claim_term: Option<u64>,
+    /// Whether a raft group-commit flush event is already on the calendar
+    /// for this replica (dedups flush scheduling per batch).
+    pub flush_scheduled: bool,
 }
 
 impl Replica {
@@ -200,6 +234,7 @@ impl Replica {
             parked: HashMap::new(),
             next_waiter: 1,
             lease_claim_term: None,
+            flush_scheduled: false,
         }
     }
 
@@ -363,6 +398,44 @@ impl Replica {
                 hlc,
                 ctx,
             ),
+            Request::StageTxn { txn, in_flight } => {
+                self.lh_stage_txn(txn, in_flight, path, hlc, ctx)
+            }
+            Request::QueryIntent { key, txn_id, ts } => {
+                // Three-way verdict, decided in evaluation order at the
+                // leaseholder (the sim's analogue of CRDB's latching):
+                //  - the intent applied at or below `ts` → found;
+                //  - the write is evaluated but not applied (lock held,
+                //    proposal in flight) → undecidable now, retry — the
+                //    proposal either lands (→ found) or dies with a
+                //    leadership change (→ the new leaseholder has no lock
+                //    and no intent, → miss);
+                //  - neither → miss, made *stable* by bumping the timestamp
+                //    cache: a late (re-)evaluation of the write is forwarded
+                //    above `ts` and can no longer satisfy the staged commit.
+                if self
+                    .store
+                    .intent(&key)
+                    .is_some_and(|i| i.txn.id == txn_id && i.txn.write_ts <= ts)
+                {
+                    EvalOutcome::Reply(Ok(Response::QueryIntent { found: true }))
+                } else if self
+                    .locks
+                    .holder(&key)
+                    .is_some_and(|h| h.id == txn_id && h.write_ts <= ts)
+                {
+                    EvalOutcome::Reply(Err(KvError::WriteInFlight { key }))
+                } else {
+                    self.tscache.record_read(&key, ts, None);
+                    EvalOutcome::Reply(Ok(Response::QueryIntent { found: false }))
+                }
+            }
+            Request::RecoverTxn {
+                txn_id,
+                staged_ts,
+                commit,
+                ..
+            } => self.lh_recover_txn(txn_id, staged_ts, commit, path, hlc, ctx),
             Request::ResolveIntent {
                 key,
                 txn_id,
@@ -376,12 +449,15 @@ impl Replica {
                 to_ts,
             } => self.lh_refresh(txn_id, span, from_ts, to_ts),
             Request::PushTxn { pushee, .. } => {
-                let (status, commit_ts) = self
-                    .txn_records
-                    .get(&pushee)
-                    .copied()
-                    .unwrap_or((TxnStatus::Pending, Timestamp::ZERO));
-                EvalOutcome::Reply(Ok(Response::PushTxn { status, commit_ts }))
+                let (status, commit_ts, in_flight) = match self.txn_records.get(&pushee) {
+                    Some(rec) => (rec.status, rec.commit_ts, rec.in_flight.clone()),
+                    None => (TxnStatus::Pending, Timestamp::ZERO, Vec::new()),
+                };
+                EvalOutcome::Reply(Ok(Response::PushTxn {
+                    status,
+                    commit_ts,
+                    in_flight,
+                }))
             }
             Request::Negotiate { spans } => EvalOutcome::Reply(Ok(self.negotiate(&spans))),
         }
@@ -574,10 +650,11 @@ impl Replica {
         // transaction must report the original outcome, never commit again
         // at a new timestamp.
         match self.txn_records.get(&txn.id) {
-            Some(&(TxnStatus::Committed, cts)) => {
+            Some(rec) if rec.status == TxnStatus::Committed => {
+                let cts = rec.commit_ts;
                 return EvalOutcome::Reply(Ok(Response::CommitInline { commit_ts: cts }));
             }
-            Some(&(TxnStatus::Aborted | TxnStatus::Pending, _)) => {
+            Some(_) => {
                 return EvalOutcome::Reply(Err(KvError::TxnAborted { id: txn.id }));
             }
             None => {}
@@ -658,12 +735,17 @@ impl Replica {
         ctx: &EvalCtx<'_>,
     ) -> EvalOutcome {
         // Replay protection: finalized txn records are immutable. A retried
-        // EndTxn reports the recorded outcome instead of re-proposing.
+        // EndTxn reports the recorded outcome instead of re-proposing. A
+        // STAGING record is the normal precursor here — the explicit commit
+        // (or abort) that finalizes a parallel commit falls through and
+        // proposes.
         match self.txn_records.get(&txn.id) {
-            Some(&(TxnStatus::Committed, cts)) if commit => {
+            Some(rec) if rec.status == TxnStatus::Staging => {}
+            Some(rec) if rec.status == TxnStatus::Committed && commit => {
+                let cts = rec.commit_ts;
                 return EvalOutcome::Reply(Ok(Response::EndTxn { commit_ts: cts }));
             }
-            Some(&(TxnStatus::Aborted | TxnStatus::Pending, _)) if !commit => {
+            Some(rec) if rec.status != TxnStatus::Committed && !commit => {
                 return EvalOutcome::Reply(Ok(Response::EndTxn {
                     commit_ts: Timestamp::ZERO,
                 }));
@@ -686,12 +768,115 @@ impl Replica {
                 txn_id: txn.id,
                 status,
                 commit_ts: txn.write_ts,
+                in_flight: Vec::new(),
             },
         };
         self.propose(
             cmd,
             Response::EndTxn {
                 commit_ts: txn.write_ts,
+            },
+            path,
+            ctx.now,
+        )
+    }
+
+    /// Write a STAGING record carrying the parallel commit's in-flight
+    /// write set. Staged at the txn's current write timestamp — the
+    /// coordinator compares each pipelined write's actual timestamp against
+    /// it to decide whether the commit is implicit.
+    fn lh_stage_txn(
+        &mut self,
+        txn: TxnMeta,
+        in_flight: Vec<Key>,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        // Replay / race protection: a recovery may have finalized the txn
+        // before a (re-)stage arrives. Re-staging over an existing STAGING
+        // record is allowed (timestamp moved after a refresh).
+        match self.txn_records.get(&txn.id) {
+            Some(rec) if rec.status == TxnStatus::Committed => {
+                let cts = rec.commit_ts;
+                return EvalOutcome::Reply(Ok(Response::StageTxn { commit_ts: cts }));
+            }
+            Some(rec) if rec.status == TxnStatus::Aborted => {
+                return EvalOutcome::Reply(Err(KvError::TxnAborted { id: txn.id }));
+            }
+            _ => {}
+        }
+        let skew = hlc.physical_clock().skew_nanos();
+        self.lease.advance(ctx.params, self.policy, ctx.now, skew);
+        let cmd = Command {
+            closed_ts: self.lease.promised(),
+            op: CmdOp::TxnRecord {
+                txn_id: txn.id,
+                status: TxnStatus::Staging,
+                commit_ts: txn.write_ts,
+                in_flight,
+            },
+        };
+        self.propose(
+            cmd,
+            Response::StageTxn {
+                commit_ts: txn.write_ts,
+            },
+            path,
+            ctx.now,
+        )
+    }
+
+    /// Finalize an abandoned STAGING record on behalf of a contender. The
+    /// decisive check reruns at apply time (guarded on the record still
+    /// being staged at `staged_ts`), so a coordinator re-stage racing this
+    /// proposal wins or loses by log order — never both outcomes.
+    fn lh_recover_txn(
+        &mut self,
+        txn_id: TxnId,
+        staged_ts: Timestamp,
+        commit: bool,
+        path: ReplyPath,
+        hlc: &mut Hlc,
+        ctx: &EvalCtx<'_>,
+    ) -> EvalOutcome {
+        match self.txn_records.get(&txn_id) {
+            Some(rec) if rec.status.is_finalized() => {
+                return EvalOutcome::Reply(Ok(Response::RecoverTxn {
+                    status: rec.status,
+                    commit_ts: rec.commit_ts,
+                }));
+            }
+            Some(rec) if rec.status == TxnStatus::Staging && rec.commit_ts != staged_ts => {
+                // Re-staged at a different timestamp: the coordinator is
+                // alive and this recovery's evidence is stale.
+                return EvalOutcome::Reply(Ok(Response::RecoverTxn {
+                    status: TxnStatus::Staging,
+                    commit_ts: rec.commit_ts,
+                }));
+            }
+            _ => {}
+        }
+        let skew = hlc.physical_clock().skew_nanos();
+        self.lease.advance(ctx.params, self.policy, ctx.now, skew);
+        let (status, cts) = if commit {
+            (TxnStatus::Committed, staged_ts)
+        } else {
+            (TxnStatus::Aborted, Timestamp::ZERO)
+        };
+        let cmd = Command {
+            closed_ts: self.lease.promised(),
+            op: CmdOp::RecoverTxn {
+                txn_id,
+                staged_ts,
+                commit,
+            },
+        };
+        self.propose(
+            cmd,
+            Response::RecoverTxn {
+                status,
+                commit_ts: cts,
             },
             path,
             ctx.now,
@@ -749,10 +934,14 @@ impl Replica {
         cmd: Command,
         response: Response,
         path: ReplyPath,
-        now: SimTime,
+        _now: SimTime,
     ) -> EvalOutcome {
-        match self.raft.propose(cmd, now) {
-            Some((index, msgs)) => {
+        // Proposals append without broadcasting (raft group commit): the
+        // cluster schedules a flush, so proposals arriving close together —
+        // a transaction's pipelined intents and its STAGING record — ship
+        // in one consensus round.
+        match self.raft.propose_batched(cmd) {
+            Some(index) => {
                 self.pending_props.insert(
                     index,
                     PendingProp {
@@ -761,7 +950,7 @@ impl Replica {
                         term: self.raft.term(),
                     },
                 );
-                EvalOutcome::Proposed { msgs }
+                EvalOutcome::Proposed { msgs: Vec::new() }
             }
             None => EvalOutcome::Reply(Err(KvError::NotLeaseholder {
                 range: self.range,
@@ -835,30 +1024,140 @@ impl Replica {
                 });
             }
             CmdOp::Put { key, value, txn } => {
-                let out = self
-                    .store
-                    .put(key, value.clone(), txn)
-                    .expect("lock table must prevent conflicting intents");
-                debug_assert_eq!(
-                    out.written_ts, txn.write_ts,
-                    "apply-time bump should be impossible under lock discipline"
-                );
+                // Lock discipline prevents conflicts while this replica
+                // holds the lease, but a pipelined proposal can commit
+                // *after* a lease failover — by then another transaction may
+                // hold the key (locks are leaseholder-local, not
+                // replicated). The store state is replicated, so the checks
+                // below are deterministic across replicas.
+                match self.store.put(key, value.clone(), txn) {
+                    Ok(out) => {
+                        if out.written_ts != txn.write_ts {
+                            // Bumped above a later committed value: report
+                            // the real timestamp so the coordinator refreshes
+                            // (or a parallel commit restages) instead of
+                            // acking at the staged timestamp.
+                            if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                                if let Response::Put { written_ts } = &mut prop.response {
+                                    *written_ts = out.written_ts;
+                                }
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Another transaction's intent occupies the key: the
+                        // late write is dropped. Fail the proposal so the
+                        // coordinator aborts rather than acking a write that
+                        // never landed.
+                        if let Some(prop) = self.pending_props.remove(&entry.index) {
+                            let holder = self
+                                .store
+                                .intent(key)
+                                .map(|i| i.txn.clone())
+                                .expect("put only fails on a conflicting intent");
+                            effects.push(Effect::Reply {
+                                path: prop.path,
+                                result: Err(KvError::WriteIntent {
+                                    key: key.clone(),
+                                    intent_txn: holder,
+                                    leaseholder: None,
+                                }),
+                            });
+                        }
+                    }
+                }
             }
             CmdOp::TxnRecord {
                 txn_id,
                 status,
                 commit_ts,
+                in_flight,
             } => {
-                if let Some(&(_, cts)) = self.txn_records.get(txn_id) {
-                    // Finalized records are immutable; a replayed EndTxn
-                    // entry reports the original commit timestamp.
-                    if let Some(prop) = self.pending_props.get_mut(&entry.index) {
-                        if let Response::EndTxn { commit_ts } = &mut prop.response {
-                            *commit_ts = cts;
+                match self.txn_records.get(txn_id) {
+                    Some(rec) if rec.status.is_finalized() => {
+                        // Finalized records are immutable. A replayed entry
+                        // agreeing with the recorded outcome reports the
+                        // original commit timestamp; one that conflicts
+                        // (e.g. a late stage after a recovery abort) fails.
+                        let (rstatus, cts) = (rec.status, rec.commit_ts);
+                        let agrees = match status {
+                            TxnStatus::Committed => rstatus == TxnStatus::Committed,
+                            TxnStatus::Aborted => rstatus == TxnStatus::Aborted,
+                            // A stage landing on a committed record means a
+                            // recovery already committed at the staged ts.
+                            TxnStatus::Staging => rstatus == TxnStatus::Committed,
+                            TxnStatus::Pending => false,
+                        };
+                        if agrees {
+                            if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                                match &mut prop.response {
+                                    Response::EndTxn { commit_ts }
+                                    | Response::StageTxn { commit_ts } => *commit_ts = cts,
+                                    _ => {}
+                                }
+                            }
+                        } else if let Some(prop) = self.pending_props.remove(&entry.index) {
+                            effects.push(Effect::Reply {
+                                path: prop.path,
+                                result: Err(KvError::TxnAborted { id: *txn_id }),
+                            });
                         }
                     }
-                } else {
-                    self.txn_records.insert(*txn_id, (*status, *commit_ts));
+                    // No record yet, or a STAGING record being re-staged or
+                    // finalized: the new entry takes effect.
+                    _ => {
+                        self.txn_records.insert(
+                            *txn_id,
+                            TxnRecord {
+                                status: *status,
+                                commit_ts: *commit_ts,
+                                in_flight: in_flight.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+            CmdOp::RecoverTxn {
+                txn_id,
+                staged_ts,
+                commit,
+            } => {
+                let (status, cts) = match self.txn_records.get(txn_id) {
+                    Some(rec)
+                        if rec.status == TxnStatus::Staging && rec.commit_ts == *staged_ts =>
+                    {
+                        // Still staged at the timestamp the recovery
+                        // examined: its verdict applies.
+                        let (s, c) = if *commit {
+                            (TxnStatus::Committed, *staged_ts)
+                        } else {
+                            (TxnStatus::Aborted, Timestamp::ZERO)
+                        };
+                        self.txn_records.insert(*txn_id, TxnRecord::finalized(s, c));
+                        (s, c)
+                    }
+                    // Re-staged or already finalized: leave the record and
+                    // report its current disposition.
+                    Some(rec) => (rec.status, rec.commit_ts),
+                    None => {
+                        // Never staged (the stage proposal was lost): write
+                        // an abort so a late stage can no longer commit.
+                        self.txn_records.insert(
+                            *txn_id,
+                            TxnRecord::finalized(TxnStatus::Aborted, Timestamp::ZERO),
+                        );
+                        (TxnStatus::Aborted, Timestamp::ZERO)
+                    }
+                };
+                if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                    if let Response::RecoverTxn {
+                        status: s,
+                        commit_ts: c,
+                    } = &mut prop.response
+                    {
+                        *s = status;
+                        *c = cts;
+                    }
                 }
             }
             CmdOp::Commit1PC {
@@ -867,7 +1166,11 @@ impl Replica {
                 writes,
                 resolve_inline,
             } => {
-                if let Some(&(status, cts)) = self.txn_records.get(txn_id) {
+                if let Some((status, cts)) = self
+                    .txn_records
+                    .get(txn_id)
+                    .map(|r| (r.status, r.commit_ts))
+                {
                     // Replayed commit: a stalled first attempt and its retry
                     // both made it into the log (leadership change mid-commit).
                     // The first entry finalized the txn; drop the duplicate's
@@ -906,7 +1209,7 @@ impl Replica {
                     TxnStatus::Committed => {
                         self.store.commit_intent(key, *txn_id, *commit_ts);
                     }
-                    TxnStatus::Aborted | TxnStatus::Pending => {
+                    TxnStatus::Aborted | TxnStatus::Pending | TxnStatus::Staging => {
                         self.store.abort_intent(key, *txn_id);
                     }
                 }
@@ -965,8 +1268,10 @@ impl Replica {
             // else: the intent stays locked until the coordinator's
             // post-commit-wait resolve (Spanner-style ablation).
         }
-        self.txn_records
-            .insert(*txn_id, (TxnStatus::Committed, *commit_ts));
+        self.txn_records.insert(
+            *txn_id,
+            TxnRecord::finalized(TxnStatus::Committed, *commit_ts),
+        );
     }
 }
 
@@ -1348,6 +1653,229 @@ mod tests {
         assert!(wts > Timestamp::new(5_000, 0));
     }
 
+    /// Evaluate a proposal-producing request, apply it, and return the reply.
+    fn eval_apply(
+        r: &mut Replica,
+        hlc: &mut Hlc,
+        params: &ClosedTsParams,
+        req: Request,
+    ) -> Result<Response, KvError> {
+        let out = r.evaluate(req, path(), hlc, &ectx(params, 0));
+        match out {
+            EvalOutcome::Proposed { .. } => {
+                let effects = r.apply_committed();
+                effects
+                    .into_iter()
+                    .find_map(|e| match e {
+                        Effect::Reply { result, .. } => Some(result),
+                        _ => None,
+                    })
+                    .expect("no reply effect")
+            }
+            EvalOutcome::Reply(result) => result,
+            EvalOutcome::Parked { .. } => panic!("unexpected park"),
+        }
+    }
+
+    #[test]
+    fn stage_then_explicit_end_txn_finalizes() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let ts = Timestamp::new(1_000, 0);
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::StageTxn {
+                txn: txn_at(1, ts),
+                in_flight: vec![Key::from("a"), Key::from("b")],
+            },
+        );
+        match resp {
+            Ok(Response::StageTxn { commit_ts }) => assert_eq!(commit_ts, ts),
+            r => panic!("{r:?}"),
+        }
+        // A pusher sees the staged record with its in-flight write set.
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::PushTxn {
+                pushee: TxnId(1),
+                anchor: Key::from("k"),
+            },
+        );
+        match resp {
+            Ok(Response::PushTxn {
+                status, in_flight, ..
+            }) => {
+                assert_eq!(status, TxnStatus::Staging);
+                assert_eq!(in_flight, vec![Key::from("a"), Key::from("b")]);
+            }
+            r => panic!("{r:?}"),
+        }
+        // The explicit commit finalizes the staging record.
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::EndTxn {
+                txn: txn_at(1, ts),
+                commit: true,
+            },
+        );
+        assert!(matches!(resp, Ok(Response::EndTxn { commit_ts }) if commit_ts == ts));
+        let rec = r.txn_records.get(&TxnId(1)).unwrap();
+        assert_eq!(rec.status, TxnStatus::Committed);
+        assert!(rec.in_flight.is_empty());
+    }
+
+    #[test]
+    fn recovery_commits_when_every_intent_landed() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let ts = Timestamp::new(1_000, 0);
+        let wts = do_put(&mut r, &mut hlc, &params, 1, 1, ts, "k", "v");
+        let _ = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::StageTxn {
+                txn: txn_at(1, wts),
+                in_flight: vec![Key::from("k")],
+            },
+        );
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::QueryIntent {
+                key: Key::from("k"),
+                txn_id: TxnId(1),
+                ts: wts,
+            },
+        );
+        assert!(matches!(resp, Ok(Response::QueryIntent { found: true })));
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::RecoverTxn {
+                txn_id: TxnId(1),
+                anchor: Key::from("k"),
+                staged_ts: wts,
+                commit: true,
+            },
+        );
+        match resp {
+            Ok(Response::RecoverTxn { status, commit_ts }) => {
+                assert_eq!(status, TxnStatus::Committed);
+                assert_eq!(commit_ts, wts);
+            }
+            r => panic!("{r:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_abort_prevents_a_late_write_from_landing() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let ts = Timestamp::new(1_000, 0);
+        let _ = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::StageTxn {
+                txn: txn_at(1, ts),
+                in_flight: vec![Key::from("k")],
+            },
+        );
+        // The write never arrived: not found, and the miss is protected.
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::QueryIntent {
+                key: Key::from("k"),
+                txn_id: TxnId(1),
+                ts,
+            },
+        );
+        assert!(matches!(resp, Ok(Response::QueryIntent { found: false })));
+        // A late arrival of the txn's own write is forwarded above the
+        // queried timestamp — it can no longer satisfy the staged commit.
+        let wts = do_put(&mut r, &mut hlc, &params, 1, 1, ts, "k", "v");
+        assert!(wts > ts, "late write must land above the query-intent ts");
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::RecoverTxn {
+                txn_id: TxnId(1),
+                anchor: Key::from("k"),
+                staged_ts: ts,
+                commit: false,
+            },
+        );
+        assert!(
+            matches!(resp, Ok(Response::RecoverTxn { status, .. }) if status == TxnStatus::Aborted)
+        );
+        // A replayed stage after the recovery abort fails loudly.
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::StageTxn {
+                txn: txn_at(1, ts),
+                in_flight: vec![Key::from("k")],
+            },
+        );
+        assert!(matches!(resp, Err(KvError::TxnAborted { .. })));
+    }
+
+    #[test]
+    fn recovery_skips_a_restaged_record() {
+        let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
+        let params = ClosedTsParams::default();
+        let s1 = Timestamp::new(1_000, 0);
+        let s2 = Timestamp::new(2_000, 0);
+        for ts in [s1, s2] {
+            let _ = eval_apply(
+                &mut r,
+                &mut hlc,
+                &params,
+                Request::StageTxn {
+                    txn: txn_at(1, ts),
+                    in_flight: vec![Key::from("k")],
+                },
+            );
+        }
+        // Recovery evidence gathered against the first stage is stale: the
+        // record must be left staged (the coordinator is alive).
+        let resp = eval_apply(
+            &mut r,
+            &mut hlc,
+            &params,
+            Request::RecoverTxn {
+                txn_id: TxnId(1),
+                anchor: Key::from("k"),
+                staged_ts: s1,
+                commit: false,
+            },
+        );
+        match resp {
+            Ok(Response::RecoverTxn { status, commit_ts }) => {
+                assert_eq!(status, TxnStatus::Staging);
+                assert_eq!(commit_ts, s2);
+            }
+            r => panic!("{r:?}"),
+        }
+        assert_eq!(
+            r.txn_records.get(&TxnId(1)).unwrap().status,
+            TxnStatus::Staging
+        );
+    }
+
     #[test]
     fn end_txn_writes_record_and_push_reads_it() {
         let (mut r, mut hlc) = solo_replica(ClosedTsPolicy::Lag);
@@ -1377,6 +1905,7 @@ mod tests {
             EvalOutcome::Reply(Ok(Response::PushTxn {
                 status,
                 commit_ts: c,
+                ..
             })) => {
                 assert_eq!(status, TxnStatus::Committed);
                 assert_eq!(c, commit_ts);

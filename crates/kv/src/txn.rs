@@ -42,6 +42,40 @@ pub struct TxnHandle {
     pub gateway: NodeId,
 }
 
+/// Coordinator-side tracking of pipelined (in-flight) intent writes: Put
+/// RPCs issued at statement time that the commit must join (§ write
+/// pipelining / parallel commits).
+pub(crate) struct PipelineState {
+    /// Pipelined Put RPCs issued but not yet acknowledged.
+    outstanding: usize,
+    /// Highest timestamp an acknowledged pipelined write landed at.
+    max_written_ts: Timestamp,
+    /// First terminal error a pipelined write reported.
+    failed: Option<KvError>,
+    /// Continuation armed by commit/rollback, fired when `outstanding`
+    /// drains to zero.
+    waiter: Option<Box<dyn FnOnce(&mut Cluster)>>,
+}
+
+impl Default for PipelineState {
+    fn default() -> Self {
+        PipelineState {
+            outstanding: 0,
+            max_written_ts: Timestamp::ZERO,
+            failed: None,
+            waiter: None,
+        }
+    }
+}
+
+/// Join of the two arms of a parallel commit: the STAGING record write and
+/// the outstanding pipelined intents.
+struct StageJoin {
+    stage: Option<KvResult<Timestamp>>,
+    puts_done: bool,
+    cont: Option<Cont<KvResult<Timestamp>>>,
+}
+
 /// Coordinator-side transaction state.
 pub(crate) struct TxnState {
     pub id: TxnId,
@@ -66,6 +100,14 @@ pub(crate) struct TxnState {
     pub finished: bool,
     /// The transaction's trace span (operation spans nest under it).
     pub span: Option<SpanId>,
+    /// In-flight pipelined writes (`cfg.pipelined_writes`).
+    pub pipeline: Rc<RefCell<PipelineState>>,
+    /// Keys with a pipelined intent write issued — the in-flight write set
+    /// a parallel commit stages.
+    pub sent: Vec<Key>,
+    /// A sent key was written again: its issued intent holds a stale value,
+    /// so commit falls back to re-putting every buffered write.
+    pub rewrote_sent: bool,
 }
 
 impl TxnState {
@@ -150,6 +192,9 @@ impl Cluster {
                 epoch: 0,
                 finished: false,
                 span,
+                pipeline: Rc::new(RefCell::new(PipelineState::default())),
+                sent: Vec::new(),
+                rewrote_sent: false,
             },
         );
         TxnHandle { id, gateway }
@@ -226,9 +271,17 @@ impl Cluster {
         }
         st.finished = true;
         self.m.txn_aborts.inc();
-        self.finalize_intents(h.id, TxnStatus::Aborted, Timestamp::ZERO);
-        self.finish_txn_span(h.id);
-        cont(self, Ok(()));
+        let id = h.id;
+        // Join any in-flight pipelined writes before resolving: resolving a
+        // key whose Put is still in flight would race and orphan the intent.
+        self.join_pipeline(
+            id,
+            Box::new(move |c| {
+                c.finalize_intents(id, TxnStatus::Aborted, Timestamp::ZERO);
+                c.finish_txn_span(id);
+                cont(c, Ok(()));
+            }),
+        );
     }
 
     // ------------------------------------------------------------------
@@ -871,11 +924,89 @@ impl Cluster {
         if st.anchor.is_none() {
             st.anchor = Some(key.clone());
         }
-        // Buffer the write; it is flushed at commit (1PC when single-range).
+        // Buffer the write: read-your-writes always serves from the buffer.
         match st.buffered.iter_mut().find(|(k, _)| *k == key) {
-            Some(slot) => slot.1 = value,
-            None => st.buffered.push((key, value)),
+            Some(slot) => slot.1 = value.clone(),
+            None => st.buffered.push((key.clone(), value.clone())),
         }
+        if !self.cfg.pipelined_writes {
+            // Legacy: writes flush at commit (1PC when single-range).
+            cont(self, Ok(()));
+            return;
+        }
+        // Write pipelining: propose the intent now and return before it
+        // replicates; the commit joins the in-flight set.
+        let st = self.txns.get_mut(&id).unwrap();
+        if st.sent.contains(&key) {
+            // The issued intent now holds a stale value; commit falls back
+            // to the re-putting slow path.
+            st.rewrote_sent = true;
+            cont(self, Ok(()));
+            return;
+        }
+        st.sent.push(key.clone());
+        let meta = st.meta();
+        let gateway = st.gateway;
+        let pl = Rc::clone(&st.pipeline);
+        pl.borrow_mut().outstanding += 1;
+        self.m.pipelined_writes.inc();
+        let tspan = self.txn_span(id);
+        let record_key = key.clone();
+        self.dist_send(
+            gateway,
+            key.clone(),
+            RouteMode::Leaseholder,
+            Request::Put {
+                txn: meta,
+                key,
+                value,
+            },
+            MAX_ATTEMPTS,
+            tspan,
+            Box::new(move |c, res| {
+                if c.cfg.trace {
+                    eprintln!("[pc] put txn={id} key={record_key:?} res={res:?}");
+                }
+                match res {
+                    Ok(Response::Put { written_ts }) => {
+                        {
+                            let mut p = pl.borrow_mut();
+                            p.max_written_ts = p.max_written_ts.forward(written_ts);
+                        }
+                        if let Some(txn) = c.txns.get_mut(&id) {
+                            txn.write_ts = txn.write_ts.forward(written_ts);
+                            txn.intents.push(record_key);
+                        }
+                    }
+                    Ok(_) => unreachable!("put returned non-put response"),
+                    Err(e) => {
+                        {
+                            let mut p = pl.borrow_mut();
+                            if p.failed.is_none() {
+                                p.failed = Some(e);
+                            }
+                        }
+                        // The intent may have landed anyway; remember the
+                        // key so an abort resolves it.
+                        if let Some(txn) = c.txns.get_mut(&id) {
+                            txn.intents.push(record_key);
+                        }
+                    }
+                }
+                let waiter = {
+                    let mut p = pl.borrow_mut();
+                    p.outstanding -= 1;
+                    if p.outstanding == 0 {
+                        p.waiter.take()
+                    } else {
+                        None
+                    }
+                };
+                if let Some(w) = waiter {
+                    w(c);
+                }
+            }),
+        );
         cont(self, Ok(()));
     }
 
@@ -908,6 +1039,12 @@ impl Cluster {
                 cont(c, Ok(commit_ts));
             });
             self.commit_wait(gateway, commit_ts, tspan, finish);
+            return;
+        }
+        // Pipelined writes are already in flight as intents: join them and
+        // commit via the parallel-commits (or explicit two-phase) path.
+        if !st.sent.is_empty() {
+            self.txn_commit_pipelined(id, tspan, cont);
             return;
         }
         // 1PC fast path: every buffered write lands in one range.
@@ -993,6 +1130,328 @@ impl Cluster {
             return;
         }
         self.txn_commit_slow(id, tspan, cont);
+    }
+
+    /// Run `f` once every pipelined write has been acknowledged. The
+    /// non-parallel commit paths and rollback join the pipeline before
+    /// touching the write set.
+    fn join_pipeline(&mut self, id: TxnId, f: Box<dyn FnOnce(&mut Cluster)>) {
+        let Some(st) = self.txns.get(&id) else {
+            f(self);
+            return;
+        };
+        let pl = Rc::clone(&st.pipeline);
+        let mut p = pl.borrow_mut();
+        if p.outstanding == 0 {
+            drop(p);
+            f(self);
+        } else {
+            debug_assert!(p.waiter.is_none(), "one pipeline joiner at a time");
+            p.waiter = Some(f);
+        }
+    }
+
+    /// Commit a transaction whose writes were pipelined.
+    fn txn_commit_pipelined(
+        &mut self,
+        id: TxnId,
+        tspan: Option<SpanId>,
+        cont: Cont<KvResult<Timestamp>>,
+    ) {
+        let st = self.txns.get(&id).expect("checked by caller");
+        if st.rewrote_sent {
+            // A pipelined intent holds a stale value. Join the in-flight
+            // set (so a late old-value Put cannot overwrite a fresh one),
+            // then re-put every buffered write and finish two-phase.
+            self.join_pipeline(
+                id,
+                Box::new(move |c| {
+                    let failed = c
+                        .txns
+                        .get(&id)
+                        .and_then(|st| st.pipeline.borrow_mut().failed.take());
+                    if let Some(e) = failed {
+                        c.abort_after_failure(id);
+                        cont(c, Err(e));
+                        return;
+                    }
+                    c.txn_commit_slow(id, tspan, cont);
+                }),
+            );
+            return;
+        }
+        if !self.cfg.parallel_commits {
+            // Pipelining without parallel commits (ablation): join, then
+            // the ordinary refresh + EndTxn round — two consensus rounds.
+            self.join_pipeline(
+                id,
+                Box::new(move |c| {
+                    let failed = c
+                        .txns
+                        .get(&id)
+                        .and_then(|st| st.pipeline.borrow_mut().failed.take());
+                    if let Some(e) = failed {
+                        c.abort_after_failure(id);
+                        cont(c, Err(e));
+                        return;
+                    }
+                    if let Some(st) = c.txns.get_mut(&id) {
+                        st.buffered.clear();
+                    }
+                    c.txn_finish_two_phase(id, tspan, cont);
+                }),
+            );
+            return;
+        }
+        // Parallel commit. If the write timestamp already moved above the
+        // read snapshot (tscache bump, closed-timestamp target), refresh
+        // before staging: the staged timestamp must be one the transaction's
+        // reads are valid at.
+        let (read_ts, write_ts) = (st.read_ts, st.write_ts);
+        if write_ts > read_ts {
+            self.txn_refresh_reads(
+                id,
+                write_ts,
+                Box::new(move |c, r| match r {
+                    Ok(()) => c.txn_stage(id, tspan, cont),
+                    // Refresh failure already aborted the transaction.
+                    Err(e) => cont(c, Err(e)),
+                }),
+            );
+        } else {
+            self.txn_stage(id, tspan, cont);
+        }
+    }
+
+    /// The parallel-commit hinge: write the STAGING record (carrying the
+    /// in-flight write set) concurrently with the outstanding pipelined
+    /// intents and ack the client once both arms succeed — the transaction
+    /// is then *implicitly committed* after a single consensus round. An
+    /// explicit EndTxn finalizes the record asynchronously after the ack;
+    /// contenders that find the STAGING record first run status recovery
+    /// (`staging_recover`) instead of waiting.
+    fn txn_stage(&mut self, id: TxnId, tspan: Option<SpanId>, cont: Cont<KvResult<Timestamp>>) {
+        let Some(st) = self.txns.get_mut(&id) else {
+            cont(self, Err(KvError::TxnNotFound { id }));
+            return;
+        };
+        let gateway = st.gateway;
+        let meta = st.meta();
+        let staged_ts = meta.write_ts;
+        let in_flight = st.sent.clone();
+        // Every write is in flight as an intent; nothing left to flush.
+        st.buffered.clear();
+        let pl = Rc::clone(&st.pipeline);
+        let now = self.now();
+        let pspan = self.obs.tracer.start("txn.pipeline", tspan, now);
+        if pspan.is_some() {
+            self.obs.tracer.attr(pspan, "txn", format!("{id}"));
+            self.obs
+                .tracer
+                .attr(pspan, "staged_ts", format!("{staged_ts}"));
+            self.obs
+                .tracer
+                .attr(pspan, "in_flight", in_flight.len().to_string());
+            self.obs
+                .tracer
+                .attr(pspan, "outstanding", pl.borrow().outstanding.to_string());
+        }
+        let join = Rc::new(RefCell::new(StageJoin {
+            stage: None,
+            puts_done: false,
+            cont: Some(cont),
+        }));
+        {
+            let mut p = pl.borrow_mut();
+            if p.outstanding == 0 || self.premature_ack_bug {
+                // No writes outstanding — or (injected bug) don't wait for
+                // them: the ack then races replication and a crash can lose
+                // acknowledged writes. The chaos checker must catch this.
+                join.borrow_mut().puts_done = true;
+            } else {
+                let join2 = Rc::clone(&join);
+                let pl2 = Rc::clone(&pl);
+                p.waiter = Some(Box::new(move |c| {
+                    join2.borrow_mut().puts_done = true;
+                    Cluster::stage_try_complete(c, id, staged_ts, tspan, pspan, &join2, &pl2);
+                }));
+            }
+        }
+        let join2 = Rc::clone(&join);
+        let pl2 = Rc::clone(&pl);
+        let anchor = meta.anchor.clone();
+        self.dist_send(
+            gateway,
+            anchor,
+            RouteMode::Leaseholder,
+            Request::StageTxn {
+                txn: meta,
+                in_flight,
+            },
+            MAX_ATTEMPTS,
+            pspan,
+            Box::new(move |c, res| {
+                join2.borrow_mut().stage = Some(match res {
+                    Ok(Response::StageTxn { commit_ts }) => Ok(commit_ts),
+                    Ok(_) => unreachable!("stage returned unexpected response"),
+                    Err(e) => Err(e),
+                });
+                Cluster::stage_try_complete(c, id, staged_ts, tspan, pspan, &join2, &pl2);
+            }),
+        );
+    }
+
+    /// Complete a parallel commit once both arms of the join have reported.
+    fn stage_try_complete(
+        c: &mut Cluster,
+        id: TxnId,
+        staged_ts: Timestamp,
+        tspan: Option<SpanId>,
+        pspan: Option<SpanId>,
+        join: &Rc<RefCell<StageJoin>>,
+        pl: &Rc<RefCell<PipelineState>>,
+    ) {
+        let (stage_res, cont) = {
+            let mut j = join.borrow_mut();
+            if j.stage.is_none() || !j.puts_done || j.cont.is_none() {
+                return;
+            }
+            (j.stage.take().unwrap(), j.cont.take().unwrap())
+        };
+        let now = c.now();
+        c.obs.tracer.finish(pspan, now);
+        let (failed, max_written) = {
+            let mut p = pl.borrow_mut();
+            (p.failed.take(), p.max_written_ts)
+        };
+        let gateway = c.txns.get(&id).map(|st| st.gateway).expect("txn state");
+        if c.cfg.trace {
+            eprintln!(
+                "[pc] stage-complete txn={id} staged={staged_ts} res={stage_res:?} failed={failed:?} maxw={max_written}"
+            );
+        }
+        if let Err(e) = stage_res {
+            // The record's fate is unknown (timeout, failover): write an
+            // explicit ABORT — it beats zombie stage retries and pins
+            // any concurrent recovery to one outcome.
+            c.txn_abort_staged(id);
+            cont(c, Err(e));
+            return;
+        }
+        if let Some(e) = failed {
+            // A pipelined write failed terminally: the STAGING record must
+            // not stay recoverable-as-committed.
+            c.txn_abort_staged(id);
+            cont(c, Err(e));
+            return;
+        }
+        if max_written > staged_ts {
+            // A pipelined write landed above the staged timestamp, so the
+            // commit is not implicit. Refresh reads to the higher timestamp
+            // and commit explicitly (the restage path — one extra round).
+            c.m.parallel_commit_restages.inc();
+            c.obs.tracer.event(
+                tspan,
+                now,
+                format!("restage: write at {max_written} above staged {staged_ts}"),
+            );
+            c.txn_finish_two_phase(id, tspan, cont);
+            return;
+        }
+        // Implicitly committed: STAGING record written and every in-flight
+        // write at or below the staged timestamp. Ack after commit wait;
+        // make the commit explicit asynchronously.
+        c.m.parallel_commit_acks.inc();
+        c.m.txn_commits.inc();
+        if let Some(st) = c.txns.get_mut(&id) {
+            st.finished = true;
+        }
+        let finish: Box<dyn FnOnce(&mut Cluster)> = Box::new(move |c2: &mut Cluster| {
+            c2.txn_make_explicit(id, staged_ts);
+            c2.finish_txn_span(id);
+            cont(c2, Ok(staged_ts));
+        });
+        c.commit_wait(gateway, staged_ts, tspan, finish);
+    }
+
+    /// Asynchronously convert an implicit commit (STAGING record + all
+    /// writes landed) into an explicit one, then resolve the intents. The
+    /// record must finalize *before* any intent resolves: a recovery that
+    /// finds the record STAGING probes for the in-flight intents, and
+    /// resolving one early would read as "write lost" and abort a committed
+    /// transaction.
+    fn txn_make_explicit(&mut self, id: TxnId, commit_ts: Timestamp) {
+        let Some(st) = self.txns.get(&id) else { return };
+        let gateway = st.gateway;
+        let meta = st.meta();
+        let anchor = meta.anchor.clone();
+        let tspan = self.txn_span(id);
+        // Track as an op so `run_until_quiescent` covers finalization.
+        self.op_started();
+        self.dist_send(
+            gateway,
+            anchor,
+            RouteMode::Leaseholder,
+            Request::EndTxn {
+                txn: meta,
+                commit: true,
+            },
+            8,
+            tspan,
+            Box::new(move |c, res| {
+                if c.cfg.trace {
+                    eprintln!("[pc] make-explicit txn={id} cts={commit_ts} res={res:?}");
+                }
+                if let Ok(Response::EndTxn { .. }) = res {
+                    c.finalize_intents(id, TxnStatus::Committed, commit_ts);
+                }
+                // On error the intents stay; contenders' pushers recover.
+                c.op_finished();
+            }),
+        );
+    }
+
+    /// Abort a transaction whose STAGING record may exist: write an
+    /// explicit ABORT record first, then resolve the intents. If the record
+    /// turns out COMMITTED — a recovery raced us and found every write —
+    /// the intents are left to the contenders' pushers; the client already
+    /// received an ambiguous error.
+    fn txn_abort_staged(&mut self, id: TxnId) {
+        let Some(st) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if st.finished {
+            return;
+        }
+        st.finished = true;
+        self.m.txn_restarts.inc();
+        let gateway = st.gateway;
+        let meta = st.meta();
+        let anchor = meta.anchor.clone();
+        let tspan = self.txn_span(id);
+        let now = self.now();
+        self.obs
+            .tracer
+            .event(tspan, now, "parallel commit failed: aborting");
+        self.op_started();
+        self.dist_send(
+            gateway,
+            anchor,
+            RouteMode::Leaseholder,
+            Request::EndTxn {
+                txn: meta,
+                commit: false,
+            },
+            8,
+            tspan,
+            Box::new(move |c, res| {
+                if let Ok(Response::EndTxn { .. }) = res {
+                    c.finalize_intents(id, TxnStatus::Aborted, Timestamp::ZERO);
+                }
+                c.op_finished();
+            }),
+        );
+        self.finish_txn_span(id);
     }
 
     /// Two-phase commit: flush buffered writes as intents (in parallel),
@@ -1295,6 +1754,7 @@ impl Cluster {
                 Ok(Response::PushTxn {
                     status: status @ (TxnStatus::Committed | TxnStatus::Aborted),
                     commit_ts,
+                    ..
                 }) => {
                     // The holder finalized: resolve its intent ourselves.
                     c.active_pushers.remove(&(range, key.clone()));
@@ -1314,12 +1774,217 @@ impl Cluster {
                         Box::new(|_, _| {}),
                     );
                 }
+                Ok(Response::PushTxn {
+                    status: TxnStatus::Staging,
+                    commit_ts,
+                    in_flight,
+                }) => {
+                    // The holder staged a parallel commit but its coordinator
+                    // hasn't finalized (it may be dead): run status recovery.
+                    c.staging_recover(node, range, key, holder, commit_ts, in_flight);
+                }
                 _ => {
                     // Still pending (or push failed): try again later.
                     c.schedule(
                         SimDuration::from_millis(1_000),
                         Box::new(move |c2| c2.pusher_tick(node, range, key, holder)),
                     );
+                }
+            }),
+        );
+    }
+
+    /// Status recovery for a transaction found in STAGING (§ parallel
+    /// commits). Probe every in-flight write with QueryIntent at the staged
+    /// timestamp: if all landed, the transaction is implicitly committed and
+    /// we finalize it as COMMITTED; if any is missing, the probe's timestamp
+    /// -cache bump guarantees it can never land at or below the staged
+    /// timestamp, so the transaction can be finalized as ABORTED. Exactly
+    /// one outcome wins: RecoverTxn is an apply-time CAS on the record.
+    fn staging_recover(
+        &mut self,
+        node: NodeId,
+        range: mr_proto::RangeId,
+        key: Key,
+        holder: TxnMeta,
+        staged_ts: Timestamp,
+        in_flight: Vec<Key>,
+    ) {
+        self.m.staging_recoveries.inc();
+        if self.cfg.trace {
+            eprintln!(
+                "[pc] recover txn={} staged={staged_ts} in_flight={in_flight:?}",
+                holder.id
+            );
+        }
+        let now = self.now();
+        let rspan = self.obs.tracer.start("txn.staging_recovery", None, now);
+        if rspan.is_some() {
+            self.obs.tracer.attr(rspan, "txn", format!("{}", holder.id));
+            self.obs
+                .tracer
+                .attr(rspan, "staged_ts", format!("{staged_ts}"));
+            self.obs
+                .tracer
+                .attr(rspan, "in_flight", in_flight.len().to_string());
+        }
+        if in_flight.is_empty() {
+            // Nothing was in flight when the record staged: implicit commit.
+            self.recover_finalize(node, range, key, holder, staged_ts, true, in_flight, rspan);
+            return;
+        }
+        // (remaining probes, all found so far, any probe errored)
+        let state = Rc::new(RefCell::new((in_flight.len(), true, false)));
+        for qkey in in_flight.clone() {
+            let state2 = Rc::clone(&state);
+            let key2 = key.clone();
+            let holder2 = holder.clone();
+            let in_flight2 = in_flight.clone();
+            let probe = Request::QueryIntent {
+                key: qkey.clone(),
+                txn_id: holder.id,
+                ts: staged_ts,
+            };
+            self.dist_send(
+                node,
+                qkey,
+                RouteMode::Leaseholder,
+                probe,
+                4,
+                rspan,
+                Box::new(move |c, res| {
+                    let done = {
+                        let mut s = state2.borrow_mut();
+                        match res {
+                            Ok(Response::QueryIntent { found }) => s.1 &= found,
+                            Ok(_) => unreachable!("query intent returned wrong response"),
+                            Err(_) => s.2 = true,
+                        }
+                        s.0 -= 1;
+                        s.0 == 0
+                    };
+                    if !done {
+                        return;
+                    }
+                    let (_, all_found, any_err) = *state2.borrow();
+                    if !all_found {
+                        // A definitive miss trumps probe errors: the
+                        // QueryIntent miss bumped the timestamp cache, so
+                        // the write can never land below the staged ts.
+                        c.recover_finalize(
+                            node, range, key2, holder2, staged_ts, false, in_flight2, rspan,
+                        );
+                    } else if any_err {
+                        // Inconclusive: retry the push later.
+                        let now = c.now();
+                        c.obs.tracer.event(rspan, now, "probe inconclusive; retry");
+                        c.obs.tracer.finish(rspan, now);
+                        c.schedule(
+                            SimDuration::from_millis(1_000),
+                            Box::new(move |c2| c2.pusher_tick(node, range, key2, holder2)),
+                        );
+                    } else {
+                        c.recover_finalize(
+                            node, range, key2, holder2, staged_ts, true, in_flight2, rspan,
+                        );
+                    }
+                }),
+            );
+        }
+    }
+
+    /// Write the recovery verdict through RecoverTxn and resolve the
+    /// holder's intents with whatever status the record actually finalized
+    /// to (the coordinator may have won the race with a different verdict).
+    #[allow(clippy::too_many_arguments)]
+    fn recover_finalize(
+        &mut self,
+        node: NodeId,
+        range: mr_proto::RangeId,
+        key: Key,
+        holder: TxnMeta,
+        staged_ts: Timestamp,
+        commit: bool,
+        in_flight: Vec<Key>,
+        rspan: Option<SpanId>,
+    ) {
+        let recover = Request::RecoverTxn {
+            txn_id: holder.id,
+            anchor: holder.anchor.clone(),
+            staged_ts,
+            commit,
+        };
+        let anchor = holder.anchor.clone();
+        self.dist_send(
+            node,
+            anchor,
+            RouteMode::Leaseholder,
+            recover,
+            4,
+            rspan,
+            Box::new(move |c, res| {
+                if c.cfg.trace {
+                    eprintln!(
+                        "[pc] recover-finalize txn={} staged={staged_ts} verdict_commit={commit} res={res:?}",
+                        holder.id
+                    );
+                }
+                let now = c.now();
+                match res {
+                    Ok(Response::RecoverTxn { status, commit_ts }) if status.is_finalized() => {
+                        if status == TxnStatus::Committed {
+                            c.m.staging_recovery_commits.inc();
+                        } else {
+                            c.m.staging_recovery_aborts.inc();
+                        }
+                        c.obs.tracer.attr(rspan, "outcome", format!("{status:?}"));
+                        c.obs.tracer.finish(rspan, now);
+                        c.active_pushers.remove(&(range, key.clone()));
+                        // Resolve the blocked key and every in-flight write
+                        // with the *record's* status — authoritative even if
+                        // it differs from our verdict.
+                        let mut keys = in_flight;
+                        if !keys.contains(&key) {
+                            keys.push(key);
+                        }
+                        for rkey in keys {
+                            let resolve = Request::ResolveIntent {
+                                key: rkey.clone(),
+                                txn_id: holder.id,
+                                status,
+                                commit_ts,
+                            };
+                            c.dist_send(
+                                node,
+                                rkey,
+                                RouteMode::Leaseholder,
+                                resolve,
+                                4,
+                                None,
+                                Box::new(|_, _| {}),
+                            );
+                        }
+                    }
+                    Ok(Response::RecoverTxn { .. }) => {
+                        // The record re-staged at a new timestamp (the
+                        // coordinator is alive and restarting the commit):
+                        // back off and push again.
+                        c.obs.tracer.event(rspan, now, "record re-staged; retry");
+                        c.obs.tracer.finish(rspan, now);
+                        c.schedule(
+                            SimDuration::from_millis(1_000),
+                            Box::new(move |c2| c2.pusher_tick(node, range, key, holder)),
+                        );
+                    }
+                    Ok(_) => unreachable!("recover returned wrong response"),
+                    Err(_) => {
+                        c.obs.tracer.event(rspan, now, "recover failed; retry");
+                        c.obs.tracer.finish(rspan, now);
+                        c.schedule(
+                            SimDuration::from_millis(1_000),
+                            Box::new(move |c2| c2.pusher_tick(node, range, key, holder)),
+                        );
+                    }
                 }
             }),
         );

@@ -78,6 +78,10 @@ pub enum KvError {
     },
     /// The request waited too long in a lock queue and was rejected.
     LockWaitTimeout { key: Key, holder: TxnId },
+    /// A recovery probe (QueryIntent) found the queried write evaluated but
+    /// not yet applied (lock held, proposal in flight): the outcome cannot
+    /// be decided yet — retry after the proposal lands or is lost.
+    WriteInFlight { key: Key },
 }
 
 impl KvError {
@@ -155,6 +159,9 @@ impl fmt::Display for KvError {
             ),
             KvError::LockWaitTimeout { key, holder } => {
                 write!(f, "lock wait timeout on {key:?} held by {holder}")
+            }
+            KvError::WriteInFlight { key } => {
+                write!(f, "queried write on {key:?} still in flight")
             }
         }
     }

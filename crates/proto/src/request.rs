@@ -96,6 +96,35 @@ pub enum Request {
         /// the coordinator resolves after its wait completes.
         resolve_inline: bool,
     },
+    /// Write a STAGING transaction record carrying the in-flight write set
+    /// (the parallel-commits protocol, evaluated at the anchor range). Sent
+    /// concurrently with the final pipelined intents; the transaction is
+    /// implicitly committed once every in-flight write has succeeded at or
+    /// below the staged timestamp.
+    StageTxn {
+        txn: TxnMeta,
+        in_flight: Vec<Key>,
+    },
+    /// Ask whether an intent of `txn_id` exists at `key` at or below `ts`.
+    /// When the intent is missing, the evaluation records a read of `key`
+    /// at `ts` in the timestamp cache, *preventing* a late write from
+    /// landing at or below `ts` — this is what makes a recovery verdict of
+    /// "write never happened" stable against in-flight RPCs.
+    QueryIntent {
+        key: Key,
+        txn_id: TxnId,
+        ts: Timestamp,
+    },
+    /// Finalize an abandoned STAGING record (evaluated at the anchor
+    /// range): commit it at `staged_ts` if the recovery found every
+    /// in-flight write, abort it otherwise. A record already finalized, or
+    /// re-staged at a different timestamp, is left untouched.
+    RecoverTxn {
+        txn_id: TxnId,
+        anchor: Key,
+        staged_ts: Timestamp,
+        commit: bool,
+    },
     /// Resolve an intent left by a finalized transaction.
     ResolveIntent {
         key: Key,
@@ -133,6 +162,9 @@ impl Request {
             Request::Put { key, .. } => key,
             Request::EndTxn { txn, .. } => &txn.anchor,
             Request::CommitInline { txn, .. } => &txn.anchor,
+            Request::StageTxn { txn, .. } => &txn.anchor,
+            Request::QueryIntent { key, .. } => key,
+            Request::RecoverTxn { anchor, .. } => anchor,
             Request::ResolveIntent { key, .. } => key,
             Request::Refresh { span, .. } => &span.start,
             Request::PushTxn { anchor, .. } => anchor,
@@ -148,6 +180,8 @@ impl Request {
             Request::Put { .. }
                 | Request::EndTxn { .. }
                 | Request::CommitInline { .. }
+                | Request::StageTxn { .. }
+                | Request::RecoverTxn { .. }
                 | Request::ResolveIntent { .. }
         )
     }
@@ -178,11 +212,26 @@ pub enum Response {
     CommitInline {
         commit_ts: Timestamp,
     },
+    /// STAGING record written at this timestamp.
+    StageTxn {
+        commit_ts: Timestamp,
+    },
+    QueryIntent {
+        found: bool,
+    },
+    /// Disposition the recovery left the record in.
+    RecoverTxn {
+        status: TxnStatus,
+        commit_ts: Timestamp,
+    },
     ResolveIntent,
     Refresh,
     PushTxn {
         status: TxnStatus,
         commit_ts: Timestamp,
+        /// In-flight write set when `status` is STAGING (empty otherwise):
+        /// everything a contender needs to run status recovery itself.
+        in_flight: Vec<Key>,
     },
     Negotiate {
         max_safe_ts: Timestamp,
@@ -215,6 +264,43 @@ mod tests {
             value: Some(Value::from("v")),
         };
         assert!(put.is_write());
+    }
+
+    #[test]
+    fn parallel_commit_requests_route_and_classify() {
+        let txn = TxnMeta::new(TxnId(2), Key::from("anchor"), Timestamp::new(5, 0));
+        let stage = Request::StageTxn {
+            txn,
+            in_flight: vec![Key::from("a"), Key::from("b")],
+        };
+        assert_eq!(stage.routing_key(), &Key::from("anchor"));
+        assert!(stage.is_write());
+        let query = Request::QueryIntent {
+            key: Key::from("b"),
+            txn_id: TxnId(2),
+            ts: Timestamp::new(5, 0),
+        };
+        assert_eq!(query.routing_key(), &Key::from("b"));
+        assert!(
+            !query.is_write(),
+            "QueryIntent reads (and bumps the tscache)"
+        );
+        let recover = Request::RecoverTxn {
+            txn_id: TxnId(2),
+            anchor: Key::from("anchor"),
+            staged_ts: Timestamp::new(5, 0),
+            commit: true,
+        };
+        assert_eq!(recover.routing_key(), &Key::from("anchor"));
+        assert!(recover.is_write());
+    }
+
+    #[test]
+    fn staging_is_not_finalized() {
+        assert!(!TxnStatus::Staging.is_finalized());
+        assert!(!TxnStatus::Pending.is_finalized());
+        assert!(TxnStatus::Committed.is_finalized());
+        assert!(TxnStatus::Aborted.is_finalized());
     }
 
     #[test]

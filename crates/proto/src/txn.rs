@@ -25,8 +25,22 @@ impl fmt::Display for TxnId {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TxnStatus {
     Pending,
+    /// Parallel commit in progress: the record lists the in-flight writes
+    /// and the transaction is implicitly committed iff every one of them
+    /// succeeded at or below the staged timestamp. Readers that find a
+    /// STAGING record run the status-recovery procedure to finalize it.
+    Staging,
     Committed,
     Aborted,
+}
+
+impl TxnStatus {
+    /// Whether the record has reached a terminal disposition. Finalized
+    /// records are immutable; STAGING records may still be re-staged,
+    /// committed, or aborted.
+    pub fn is_finalized(&self) -> bool {
+        matches!(self, TxnStatus::Committed | TxnStatus::Aborted)
+    }
 }
 
 /// The subset of transaction state that rides along with requests and is

@@ -110,6 +110,9 @@ pub struct RaftNode<P> {
     votes: usize,
     last_heartbeat: SimTime,
     last_broadcast: SimTime,
+    /// Entries appended via [`RaftNode::propose_batched`] that have not
+    /// been shipped yet (group commit: one broadcast covers them all).
+    pending_broadcast: bool,
 }
 
 impl<P: Clone> RaftNode<P> {
@@ -129,6 +132,7 @@ impl<P: Clone> RaftNode<P> {
             votes: 0,
             last_heartbeat: now,
             last_broadcast: now,
+            pending_broadcast: false,
         }
     }
 
@@ -226,6 +230,43 @@ impl<P: Clone> RaftNode<P> {
         Some((index, msgs))
     }
 
+    /// Append a payload to the leader's log *without* broadcasting it:
+    /// group commit. The entry ships on the next [`RaftNode::flush_appends`]
+    /// (or the heartbeat rebroadcast, which acts as the safety net), so
+    /// several proposals arriving close together amortize into a single
+    /// consensus round. Returns the assigned index, or `None` if this
+    /// replica is not the leader.
+    pub fn propose_batched(&mut self, payload: P) -> Option<u64> {
+        if self.role != Role::Leader {
+            return None;
+        }
+        let index = self.last_index() + 1;
+        self.log.push(Entry {
+            index,
+            term: self.term,
+            payload,
+        });
+        // Single-voter groups commit immediately.
+        self.maybe_advance_commit();
+        self.pending_broadcast = true;
+        Some(index)
+    }
+
+    /// Ship every entry appended since the last broadcast. Returns no
+    /// messages when nothing is pending (or this replica lost leadership —
+    /// in that case the new leader's log reconciliation takes over).
+    pub fn flush_appends(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+        if self.role != Role::Leader || !self.pending_broadcast {
+            return Vec::new();
+        }
+        self.broadcast_appends(now)
+    }
+
+    /// Whether batched proposals are waiting for a flush.
+    pub fn has_pending_broadcast(&self) -> bool {
+        self.pending_broadcast
+    }
+
     // ---- Input: timers ----
 
     /// Advance timers. Leaders emit heartbeats; followers whose election
@@ -291,6 +332,7 @@ impl<P: Clone> RaftNode<P> {
 
     fn broadcast_appends(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
         self.last_broadcast = now;
+        self.pending_broadcast = false;
         let peers: Vec<Peer> = self.cfg.peers().collect();
         peers.into_iter().map(|p| (p, self.append_for(p))).collect()
     }
@@ -776,6 +818,63 @@ mod tests {
         g.settle(net, SimTime::ZERO);
         assert_eq!(g.node(0).role(), Role::Follower);
         assert_eq!(g.node(0).term(), 5);
+    }
+
+    #[test]
+    fn batched_proposals_share_one_broadcast() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        let i1 = g.node(0).propose_batched("a").unwrap();
+        let i2 = g.node(0).propose_batched("b").unwrap();
+        let i3 = g.node(0).propose_batched("c").unwrap();
+        assert_eq!((i1, i2, i3), (1, 2, 3));
+        assert!(g.node(0).has_pending_broadcast());
+        assert_eq!(g.node(0).commit_index(), 0, "no quorum yet");
+        // One flush ships all three entries in a single append per peer.
+        let msgs = g.node(0).flush_appends(SimTime::ZERO);
+        assert_eq!(msgs.len(), 2, "one append per follower");
+        for (_, m) in &msgs {
+            match m {
+                RaftMsg::AppendEntries { entries, .. } => assert_eq!(entries.len(), 3),
+                m => panic!("unexpected {m:?}"),
+            }
+        }
+        assert!(!g.node(0).has_pending_broadcast());
+        let net: Net = msgs.into_iter().map(|(to, m)| (0, to, m)).collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(0).commit_index(), 3);
+        // A second flush with nothing pending is a no-op.
+        assert!(g.node(0).flush_appends(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn batched_proposal_commits_instantly_on_single_voter() {
+        let mut g = Group::new(vec![0], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        g.node(0).propose_batched("a").unwrap();
+        assert_eq!(g.node(0).commit_index(), 1);
+        assert_eq!(g.node(0).take_committed().len(), 1);
+    }
+
+    #[test]
+    fn heartbeat_tick_ships_unflushed_batch() {
+        // If the flush never fires, the periodic heartbeat rebroadcast
+        // still carries the batched entries (the safety net).
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        g.node(0).propose_batched("a").unwrap();
+        let t = SimTime::ZERO + SimDuration::from_millis(60);
+        let net = g.tick_all(t);
+        g.settle(net, t);
+        assert_eq!(g.node(0).commit_index(), 1);
+        assert!(!g.node(0).has_pending_broadcast());
+    }
+
+    #[test]
+    fn follower_cannot_propose_batched() {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        assert!(g.node(1).propose_batched("a").is_none());
+        assert!(g.node(1).flush_appends(SimTime::ZERO).is_empty());
     }
 
     #[test]

@@ -196,6 +196,23 @@ impl SqlDb {
         }
     }
 
+    /// Toggle write pipelining and parallel commits (both on by default).
+    ///
+    /// With pipelining on, a DML statement's result means its writes were
+    /// *evaluated* at their leaseholders and their intents are replicating
+    /// asynchronously — not that they are durable. COMMIT is the only
+    /// durability point: it joins every in-flight intent (and, with
+    /// parallel commits, overlaps the transaction-record write with the
+    /// last of them), so a successful COMMIT retains exactly the
+    /// traditional guarantee while intermediate statements return a WAN
+    /// round-trip earlier. Turning pipelining off restores synchronous
+    /// per-statement replication; parallel commits require pipelining's
+    /// in-flight bookkeeping, so disabling pipelining disables both.
+    pub fn set_write_pipelining(&mut self, pipelined: bool, parallel_commits: bool) {
+        self.cluster.cfg.pipelined_writes = pipelined;
+        self.cluster.cfg.parallel_commits = pipelined && parallel_commits;
+    }
+
     /// Open a session whose gateway is `node` (clients connect to a
     /// collocated node, §7.1.1).
     pub fn session(&self, node: NodeId, db: Option<&str>) -> Session {

@@ -6,46 +6,9 @@ use mr_kv::cluster::ClusterConfig;
 use mr_kv::report::RangeStatus;
 use mr_kv::FaultKind;
 use mr_proto::RangeId;
-use mr_sim::{NodeId, RttMatrix, SimDuration, SimTime, Topology};
-use mr_sql::exec::SqlDb;
+use mr_sim::{SimDuration, SimTime};
 use mr_sql::types::Datum;
-
-fn three_region_db(cfg: ClusterConfig) -> SqlDb {
-    let topo = Topology::build(
-        &["us-east1", "europe-west2", "asia-northeast1"],
-        3,
-        RttMatrix::uniform(3, SimDuration::from_millis(60)),
-    );
-    let mut d = SqlDb::new(topo, cfg);
-    let sess = d.session(NodeId(0), None);
-    d.exec_script(
-        &sess,
-        r#"
-        CREATE DATABASE movr PRIMARY REGION "us-east1"
-            REGIONS "europe-west2", "asia-northeast1";
-        CREATE TABLE users (
-            id INT PRIMARY KEY,
-            email STRING UNIQUE NOT NULL
-        ) LOCALITY REGIONAL BY ROW;
-        CREATE TABLE promo_codes (
-            code STRING PRIMARY KEY,
-            description STRING
-        ) LOCALITY GLOBAL;
-        "#,
-    )
-    .unwrap();
-    d.cluster
-        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
-    d
-}
-
-fn as_int(d: &Datum) -> i64 {
-    d.as_int().unwrap_or_else(|| panic!("not an int: {d:?}"))
-}
-
-fn as_str(d: &Datum) -> &str {
-    d.as_str().unwrap_or_else(|| panic!("not a string: {d:?}"))
-}
+use mr_testutil::{as_int, as_str, three_region_db};
 
 /// `SHOW RANGES FROM TABLE` and `crdb_internal.ranges` must agree with the
 /// allocator's actual placement in the range registry.

@@ -7,63 +7,8 @@
 use mr_kv::cluster::ClusterConfig;
 use mr_kv::FaultKind;
 use mr_proto::RangeId;
-use mr_sim::{NodeId, RegionId, RttMatrix, SimDuration, SimTime, Topology};
-use mr_sql::exec::SqlDb;
-use mr_sql::types::Datum;
-
-fn three_region_db(cfg: ClusterConfig) -> SqlDb {
-    let topo = Topology::build(
-        &["us-east1", "europe-west2", "asia-northeast1"],
-        3,
-        RttMatrix::uniform(3, SimDuration::from_millis(60)),
-    );
-    let mut d = SqlDb::new(topo, cfg);
-    let sess = d.session(NodeId(0), None);
-    d.exec_script(
-        &sess,
-        r#"
-        CREATE DATABASE movr PRIMARY REGION "us-east1"
-            REGIONS "europe-west2", "asia-northeast1";
-        CREATE TABLE users (
-            id INT PRIMARY KEY,
-            email STRING UNIQUE NOT NULL
-        ) LOCALITY REGIONAL BY ROW;
-        CREATE TABLE promo_codes (
-            code STRING PRIMARY KEY,
-            description STRING
-        ) LOCALITY GLOBAL;
-        "#,
-    )
-    .unwrap();
-    d.cluster
-        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
-    d
-}
-
-fn as_int(d: &Datum) -> i64 {
-    d.as_int().unwrap_or_else(|| panic!("not an int: {d:?}"))
-}
-
-fn as_str(d: &Datum) -> &str {
-    d.as_str().unwrap_or_else(|| panic!("not a string: {d:?}"))
-}
-
-fn settle(d: &mut SqlDb, dur: SimDuration) {
-    d.cluster
-        .run_until(SimTime(d.cluster.now().nanos() + dur.nanos()));
-}
-
-fn follower_reads_served(d: &mut SqlDb, sess: &mr_sql::exec::Session) -> i64 {
-    let vt = d
-        .exec_sync(
-            sess,
-            "SELECT metric, value FROM crdb_internal.node_metrics \
-             WHERE metric = 'kv.read.follower.served'",
-        )
-        .unwrap();
-    assert_eq!(vt.rows().len(), 1);
-    as_int(&vt.rows()[0][1])
-}
+use mr_sim::{NodeId, RegionId, SimDuration};
+use mr_testutil::{as_int, as_str, follower_reads_served, settle, three_region_db};
 
 /// Isolate europe-west2 from the other regions. Its gateway must keep
 /// serving `follower_read_timestamp()` reads from the local replica — the

@@ -917,3 +917,91 @@ fn drop_region_rejected_while_tables_homed_there() {
     d.exec_sync(&sess, r#"ALTER DATABASE movr DROP REGION "europe-west2""#)
         .unwrap();
 }
+
+/// Write pipelining + parallel commits (on by default) change *when* a DML
+/// statement returns — after intent evaluation, with replication joined at
+/// COMMIT — but never *what* transactions observe. The toggle must flip
+/// the commit path (visible through the pipelined-write and
+/// parallel-commit-ack counters) while leaving results identical, and a
+/// mid-transaction statement must still read its own pipelined writes.
+#[test]
+fn write_pipelining_toggle_changes_commit_path_not_results() {
+    fn metric(d: &mut SqlDb, name: &str) -> i64 {
+        let sess = d.session_in_region("us-east1", Some("movr"));
+        let vt = d
+            .exec_sync(
+                &sess,
+                &format!(
+                    "SELECT metric, value FROM crdb_internal.node_metrics \
+                     WHERE metric = '{name}'"
+                ),
+            )
+            .unwrap();
+        assert_eq!(vt.rows().len(), 1, "metric {name} missing");
+        vt.rows()[0][1].as_int().unwrap()
+    }
+
+    fn workload(d: &mut SqlDb) -> Vec<Vec<String>> {
+        let sess = d.session_in_region("us-east1", Some("movr"));
+        // One explicit transaction writing two rows (plus their UNIQUE
+        // index entries): every write pipelines, and the commit's STAGING
+        // record races the in-flight intents.
+        d.exec_sync(&sess, "BEGIN").unwrap();
+        d.exec_sync(
+            &sess,
+            "INSERT INTO users (id, email) VALUES (100, 'pipe@x.com')",
+        )
+        .unwrap();
+        // Read-your-writes must hold even while the intent replicates.
+        let mid = d
+            .exec_sync(&sess, "SELECT id FROM users WHERE id = 100")
+            .unwrap();
+        assert_eq!(mid.rows().len(), 1);
+        d.exec_sync(
+            &sess,
+            "INSERT INTO users (id, email) VALUES (101, 'line@x.com')",
+        )
+        .unwrap();
+        d.exec_sync(&sess, "COMMIT").unwrap();
+        let mut rows = Vec::new();
+        for id in [100, 101] {
+            let res = d
+                .exec_sync(
+                    &sess,
+                    &format!("SELECT id, email FROM users WHERE id = {id}"),
+                )
+                .unwrap();
+            rows.extend(row_strings(&res));
+        }
+        rows
+    }
+
+    let mut pipelined = movr_db();
+    let got_pipelined = workload(&mut pipelined);
+    assert!(metric(&mut pipelined, "kv.txn.pipelined_writes") > 0);
+    assert!(metric(&mut pipelined, "kv.txn.parallel_commit.acks") > 0);
+
+    // A GLOBAL-table write lands at a future (synthetic) timestamp, above
+    // whatever the commit staged at — the parallel commit must *restage*
+    // through the two-phase path (and commit-wait), never ack at the
+    // staged timestamp.
+    let restages_before = metric(&mut pipelined, "kv.txn.parallel_commit.restages");
+    let sess = pipelined.session_in_region("us-east1", Some("movr"));
+    pipelined.exec_sync(&sess, "BEGIN").unwrap();
+    pipelined
+        .exec_sync(
+            &sess,
+            "INSERT INTO promo_codes (code, description) VALUES ('p100', 'd')",
+        )
+        .unwrap();
+    pipelined.exec_sync(&sess, "COMMIT").unwrap();
+    assert!(metric(&mut pipelined, "kv.txn.parallel_commit.restages") > restages_before);
+
+    let mut legacy = movr_db();
+    legacy.set_write_pipelining(false, false);
+    let got_legacy = workload(&mut legacy);
+    assert_eq!(metric(&mut legacy, "kv.txn.pipelined_writes"), 0);
+    assert_eq!(metric(&mut legacy, "kv.txn.parallel_commit.acks"), 0);
+
+    assert_eq!(got_pipelined, got_legacy);
+}

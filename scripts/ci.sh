@@ -32,6 +32,14 @@ echo "==> chaos_smoke: seeded nemesis schedules + history checker"
 (cd "$SMOKE_DIR" && MR_STRICT_MONITORS=1 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin chaos_probe >/dev/null)
 
+echo "==> commit_probe: parallel-commit round-trip regression guard"
+# Measures begin→commit-ack latency per gateway region under legacy vs
+# pipelined+parallel commits and fails if the round-trip structure
+# regresses: multi-range commits must cost ~1 WAN RTT pipelined (~2
+# legacy), and pipelining must never be slower than the legacy path.
+(cd "$SMOKE_DIR" && MR_COMMIT_TXNS=10 \
+    cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin commit_probe >/dev/null)
+
 echo "==> injected-bug canary: the checker must catch the armed stale read"
 # Compile the deliberate follower-read bug in and verify the history
 # checker still detects it — guards against the checker itself rotting.
