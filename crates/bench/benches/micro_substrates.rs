@@ -108,6 +108,9 @@ fn bench_raft(c: &mut Criterion) {
                     learners: vec![],
                     election_timeout: SimDuration::from_millis(150),
                     heartbeat_interval: SimDuration::from_millis(50),
+                    // The microbench measures raw propose/commit cost;
+                    // quiescence would park the idle group mid-iteration.
+                    quiesce: false,
                 },
                 SimTime::ZERO,
             )

@@ -445,6 +445,296 @@ pub fn commit_probe(seed: u64, txns_per_cell: usize) -> Vec<CommitRow> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Raft machinery probe (group commit + quiescence)
+// ---------------------------------------------------------------------------
+
+/// One batching phase: concurrent multi-range writers driven closed-loop,
+/// Raft entry and command counts read from the registry afterwards.
+pub struct RaftPhase {
+    /// Commands proposed through the batched path.
+    pub commands: u64,
+    /// Raft entries those commands were coalesced into.
+    pub entries: u64,
+    /// `commands / entries` — group commit works when this exceeds 1.
+    pub mean_occupancy: f64,
+    /// Commands per simulated second (client-observed throughput proxy).
+    pub proposals_per_sec: f64,
+    /// Transactions the phase committed.
+    pub txns: u64,
+    /// Leaseholder reads served without a Raft proposal (each txn opens
+    /// with one read, so this should equal `txns`).
+    pub read_fast_path: u64,
+}
+
+/// The full probe: group-commit occupancy with and without a flush window,
+/// plus heartbeat rates over a cold cluster with and without quiescence.
+pub struct RaftProbeReport {
+    /// Flush window of [`RAFT_PROBE_FLUSH_MS`] ms: concurrent proposals
+    /// coalesce into multi-command entries.
+    pub batched: RaftPhase,
+    /// Zero flush window: only same-instant arrivals share an entry — the
+    /// baseline the batched phase must beat on occupancy.
+    pub unbatched: RaftPhase,
+    /// Leaseholder reads served without a Raft proposal (read fast path)
+    /// across both phases.
+    pub read_fast_path: u64,
+    /// Idle ranges in the quiescence A/B cluster.
+    pub cold_ranges: u32,
+    /// Heartbeat (empty AppendEntries) messages per simulated second over
+    /// the idle window with quiescence disabled / enabled.
+    pub hb_per_sec_off: f64,
+    pub hb_per_sec_on: f64,
+    /// `hb_off / max(hb_on, 1)` as totals — the suppression factor.
+    pub heartbeat_suppression: f64,
+}
+
+/// Flush window used by the batched phase, in milliseconds.
+pub const RAFT_PROBE_FLUSH_MS: u64 = 2;
+
+/// The 3-region chaos topology with `zs/` + `za/` ZONE-survivable and
+/// `rs/` REGION-survivable ranges homed in region 0, plus `cold<i>/`
+/// ranges no workload ever touches.
+fn raft_probe_cluster(
+    seed: u64,
+    flush: SimDuration,
+    quiesce: bool,
+    cold_ranges: u32,
+) -> mr_kv::Cluster {
+    use mr_kv::cluster::{Cluster, ClusterConfig};
+    use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal};
+
+    let regions = mr_sim::RttMatrix::paper_table1_regions();
+    let topo = mr_sim::Topology::build(
+        &regions[..3],
+        3,
+        mr_sim::RttMatrix::from_upper_millis(3, &[&[63, 87], &[132]]),
+    );
+    let mut c = Cluster::new(
+        topo,
+        ClusterConfig {
+            seed,
+            raft_flush_interval: flush,
+            raft_quiescence: quiesce,
+            ..ClusterConfig::default()
+        },
+    );
+    let db_regions: Vec<mr_sim::RegionId> = (0..3).map(mr_sim::RegionId).collect();
+    let home = mr_sim::RegionId(0);
+    let zone = |c: &mut Cluster, start: &str, end: &str| {
+        let zc = derive_zone_config(
+            home,
+            &db_regions,
+            SurvivalGoal::Zone,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        c.create_range(
+            mr_proto::Span::new(mr_proto::Key::from(start), mr_proto::Key::from(end)),
+            zc,
+        )
+        .expect("allocate range");
+    };
+    zone(&mut c, "zs/", "zs0");
+    zone(&mut c, "za/", "za0");
+    let rs = derive_zone_config(
+        home,
+        &db_regions,
+        SurvivalGoal::Region,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(
+        mr_proto::Span::new(mr_proto::Key::from("rs/"), mr_proto::Key::from("rs0")),
+        rs,
+    )
+    .expect("allocate rs range");
+    for i in 0..cold_ranges {
+        let start = format!("cold{i}/");
+        let end = format!("cold{i}0");
+        zone(&mut c, &start, &end);
+    }
+    c
+}
+
+/// Drive `clients` concurrent closed-loop writers, each running its txn
+/// shapes sequentially: read the first key (leaseholder fast path), write
+/// every key, commit. Returns the committed-transaction count.
+fn drive_concurrent_txns(
+    c: &mut mr_kv::Cluster,
+    clients: Vec<(mr_sim::NodeId, Vec<Vec<mr_proto::Key>>)>,
+) -> u64 {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Probe {
+        gateway: mr_sim::NodeId,
+        remaining: Vec<Vec<mr_proto::Key>>,
+        committed: Rc<RefCell<u64>>,
+    }
+
+    fn put_chain(
+        c: &mut mr_kv::Cluster,
+        h: mr_kv::TxnHandle,
+        mut keys: std::vec::IntoIter<mr_proto::Key>,
+        st: Rc<RefCell<Probe>>,
+    ) {
+        match keys.next() {
+            Some(key) => {
+                let val = mr_proto::Value::from("raft-probe");
+                c.txn_put(
+                    h,
+                    key,
+                    Some(val),
+                    Box::new(move |c, res| {
+                        res.unwrap_or_else(|e| panic!("probe put failed: {e}"));
+                        put_chain(c, h, keys, st);
+                    }),
+                );
+            }
+            None => c.txn_commit(
+                h,
+                Box::new(move |c, res| {
+                    res.unwrap_or_else(|e| panic!("probe commit failed: {e}"));
+                    *st.borrow_mut().committed.borrow_mut() += 1;
+                    next_txn(c, st);
+                }),
+            ),
+        }
+    }
+
+    fn next_txn(c: &mut mr_kv::Cluster, st: Rc<RefCell<Probe>>) {
+        let (gateway, shape) = {
+            let mut s = st.borrow_mut();
+            if s.remaining.is_empty() {
+                return;
+            }
+            (s.gateway, s.remaining.remove(0))
+        };
+        let h = c.txn_begin(gateway);
+        let first = shape[0].clone();
+        c.txn_get(
+            h,
+            first,
+            Box::new(move |c, res| {
+                res.unwrap_or_else(|e| panic!("probe get failed: {e}"));
+                put_chain(c, h, shape.into_iter(), st);
+            }),
+        );
+    }
+
+    let committed = Rc::new(RefCell::new(0u64));
+    for (gateway, shapes) in clients {
+        let st = Rc::new(RefCell::new(Probe {
+            gateway,
+            remaining: shapes,
+            committed: committed.clone(),
+        }));
+        next_txn(c, st);
+    }
+    let deadline = SimTime(c.now().nanos() + SimDuration::from_secs(600).nanos());
+    c.run_until_quiescent(deadline);
+    let n = *committed.borrow();
+    n
+}
+
+/// One batching phase: 4 clients on each region-0 gateway, every txn
+/// reading then writing one `zs/` and one `za/` key (multi-range, so the
+/// STAGING record and second intent live in different Raft logs).
+fn raft_batching_phase(seed: u64, flush: SimDuration, txns_per_client: usize) -> RaftPhase {
+    let mut c = raft_probe_cluster(seed, flush, true, 0);
+    c.run_until(SimTime(SimDuration::from_secs(3).nanos()));
+    c.scrape_now();
+    let before = c.metrics();
+    let t0 = c.now();
+    let mut clients = Vec::new();
+    for node in 0..3u32 {
+        for ci in 0..4u32 {
+            let shapes: Vec<Vec<mr_proto::Key>> = (0..txns_per_client)
+                .map(|i| {
+                    vec![
+                        mr_proto::Key::from(format!("zs/n{node}c{ci}_{i}").as_str()),
+                        mr_proto::Key::from(format!("za/n{node}c{ci}_{i}").as_str()),
+                    ]
+                })
+                .collect();
+            clients.push((mr_sim::NodeId(node), shapes));
+        }
+    }
+    let expected = clients.len() * txns_per_client;
+    let txns = drive_concurrent_txns(&mut c, clients);
+    assert_eq!(txns as usize, expected, "probe txns went missing");
+    let dt_secs = (c.now().nanos() - t0.nanos()) as f64 / 1e9;
+    c.scrape_now();
+    let after = c.metrics();
+    let commands = after.proposals_batched - before.proposals_batched;
+    let entries = after.entries_proposed - before.entries_proposed;
+    RaftPhase {
+        commands,
+        entries,
+        mean_occupancy: commands as f64 / entries.max(1) as f64,
+        proposals_per_sec: commands as f64 / dt_secs,
+        txns,
+        read_fast_path: after.read_fast_path - before.read_fast_path,
+    }
+}
+
+/// Heartbeat messages per simulated second over a 20s idle window on a
+/// cluster with `cold` untouched ranges, measured after a 5s settle.
+fn raft_heartbeat_phase(seed: u64, quiesce: bool, cold: u32) -> (f64, u64) {
+    let mut c = raft_probe_cluster(seed, SimDuration::ZERO, quiesce, cold);
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    let before = c.metrics().heartbeats_sent;
+    let window = SimDuration::from_secs(20);
+    c.run_until(SimTime(c.now().nanos() + window.nanos()));
+    let total = c.metrics().heartbeats_sent - before;
+    (total as f64 / 20.0, total)
+}
+
+/// Run the full raft probe: batched vs unbatched occupancy under
+/// concurrent multi-range writers, and the quiescence heartbeat A/B over
+/// `cold_ranges` idle ranges. Deterministic for a fixed seed.
+pub fn raft_probe(seed: u64, txns_per_client: usize, cold_ranges: u32) -> RaftProbeReport {
+    let batched = raft_batching_phase(
+        seed,
+        SimDuration::from_millis(RAFT_PROBE_FLUSH_MS),
+        txns_per_client,
+    );
+    let unbatched = raft_batching_phase(seed, SimDuration::ZERO, txns_per_client);
+    let read_fast_path = batched.read_fast_path + unbatched.read_fast_path;
+    let (hb_per_sec_off, hb_off) = raft_heartbeat_phase(seed, false, cold_ranges);
+    let (hb_per_sec_on, hb_on) = raft_heartbeat_phase(seed, true, cold_ranges);
+    RaftProbeReport {
+        batched,
+        unbatched,
+        read_fast_path,
+        cold_ranges,
+        hb_per_sec_off,
+        hb_per_sec_on,
+        heartbeat_suppression: hb_off as f64 / hb_on.max(1) as f64,
+    }
+}
+
+/// Render the probe as the deterministic `BENCH_raft.json` document.
+pub fn raft_probe_json(r: &RaftProbeReport) -> String {
+    let phase = |p: &RaftPhase| {
+        format!(
+            "{{\"commands\": {}, \"entries\": {}, \"mean_occupancy\": {:.3}, \"proposals_per_sec\": {:.1}, \"txns\": {}, \"read_fast_path\": {}}}",
+            p.commands, p.entries, p.mean_occupancy, p.proposals_per_sec, p.txns, p.read_fast_path
+        )
+    };
+    format!(
+        "{{\n  \"batched\": {},\n  \"unbatched\": {},\n  \"read_fast_path\": {},\n  \"quiescence\": {{\"cold_ranges\": {}, \"hb_per_sec_off\": {:.1}, \"hb_per_sec_on\": {:.1}, \"suppression\": {:.1}}}\n}}\n",
+        phase(&r.batched),
+        phase(&r.unbatched),
+        r.read_fast_path,
+        r.cold_ranges,
+        r.hb_per_sec_off,
+        r.hb_per_sec_on,
+        r.heartbeat_suppression
+    )
+}
+
 /// Render probe rows as the deterministic `BENCH_commit.json` document.
 pub fn commit_probe_json(rows: &[CommitRow]) -> String {
     let body: Vec<String> = rows

@@ -60,6 +60,10 @@ pub struct ChaosConfig {
     pub pipelined_writes: bool,
     /// Commit with a STAGING record in parallel with in-flight writes.
     pub parallel_commits: bool,
+    /// Extra `cold<i>/` ranges homed in region 0 that the workload never
+    /// touches. Their leaders quiesce shortly after startup, giving the
+    /// quiesced-leader-crash schedule block something to kill.
+    pub cold_ranges: u32,
 }
 
 impl Default for ChaosConfig {
@@ -76,6 +80,7 @@ impl Default for ChaosConfig {
             arm_premature_ack_bug: false,
             pipelined_writes: true,
             parallel_commits: true,
+            cold_ranges: 0,
         }
     }
 }
@@ -163,6 +168,29 @@ pub fn build_chaos_cluster(cfg: &ChaosConfig) -> Cluster {
     cluster
         .create_range(Span::new(Key::from("zs/"), Key::from("zs0")), zs)
         .expect("allocate zs range");
+    // Cold ranges: ZONE-survivable (all three voters on region 0's nodes)
+    // and never addressed by the workload, so after the initial lease
+    // settles their leaders go quiet and quiesce. Crashing a region-0
+    // node then tests failover on a range whose leader hasn't heartbeat
+    // in a long time: followers must notice through the liveness check,
+    // not a missed heartbeat.
+    for i in 0..cfg.cold_ranges {
+        let cold = derive_zone_config(
+            home,
+            &db_regions,
+            SurvivalGoal::Zone,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        let start = format!("cold{i}/");
+        let end = format!("cold{i}0");
+        cluster
+            .create_range(
+                Span::new(Key::from(start.as_str()), Key::from(end.as_str())),
+                cold,
+            )
+            .expect("allocate cold range");
+    }
     cluster
 }
 

@@ -61,6 +61,13 @@ pub struct ScheduleBounds {
     /// whose intents only a contender-driven status recovery can release)
     /// and restart it one hold later.
     pub coordinator_crash: bool,
+    /// Append a dedicated quiesced-leader-crash block: crash one random
+    /// region-0 node — where the cold ranges' quiesced leaders live — and
+    /// restart it one hold later. Pair with `ChaosConfig::cold_ranges` so
+    /// there are quiesced leaders to kill; their followers must detect the
+    /// dead leader via the liveness check, since a quiesced range sends no
+    /// heartbeats to miss.
+    pub quiesced_leader_crash: bool,
 }
 
 impl Default for ScheduleBounds {
@@ -75,6 +82,7 @@ impl Default for ScheduleBounds {
             max_skew_nanos: 100_000_000, // 100ms, within the 250ms offset spec
             allow_region_crash: false,
             coordinator_crash: false,
+            quiesced_leader_crash: false,
         }
     }
 }
@@ -82,7 +90,8 @@ impl Default for ScheduleBounds {
 impl ScheduleBounds {
     /// Total simulated time the schedule spans, including the final heal.
     pub fn span(&self) -> SimDuration {
-        let blocks = self.blocks + u32::from(self.coordinator_crash);
+        let blocks =
+            self.blocks + u32::from(self.coordinator_crash) + u32::from(self.quiesced_leader_crash);
         self.first_at + SimDuration((self.hold + self.gap).nanos() * blocks as u64)
     }
 }
@@ -162,6 +171,23 @@ impl FaultSchedule {
             // timing lands on — including between the STAGING record and
             // the explicit commit.
             let n = NodeId(rng.next_below(nodes as u64) as u32);
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::CrashNode(n),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::RestartNode(n),
+            });
+            t = t + bounds.gap;
+        }
+        if bounds.quiesced_leader_crash {
+            // The cold ranges are homed in region 0, so one of its nodes
+            // hosts their leaders — leaders that have long stopped
+            // heartbeating. Crashing that node proves failover does not
+            // depend on the heartbeats quiescence suppressed.
+            let n = NodeId(rng.next_below(bounds.nodes_per_region as u64) as u32);
             steps.push(FaultStep {
                 at: t,
                 fault: FaultKind::CrashNode(n),
@@ -289,6 +315,30 @@ mod tests {
             }
             assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
             // The extra block extends the declared span.
+            assert_eq!(s.span(), b.span());
+        }
+    }
+
+    #[test]
+    fn quiesced_leader_crash_appends_a_region0_crash_block() {
+        let b = ScheduleBounds {
+            quiesced_leader_crash: true,
+            ..ScheduleBounds::default()
+        };
+        for seed in 0..50 {
+            let s = FaultSchedule::random(seed, &b);
+            // 3 blocks x 2 + crash/restart pair + final HealAll.
+            assert_eq!(s.steps.len(), 9, "{s}");
+            match (&s.steps[6].fault, &s.steps[7].fault) {
+                (FaultKind::CrashNode(crash), FaultKind::RestartNode(restart)) => {
+                    assert_eq!(crash, restart, "{s}");
+                    // Region 0 owns the first `nodes_per_region` node ids;
+                    // the quiesced cold-range leaders live there.
+                    assert!(crash.0 < b.nodes_per_region, "crash outside region 0: {s}");
+                }
+                other => panic!("unexpected pair {other:?} in {s}"),
+            }
+            assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
             assert_eq!(s.span(), b.span());
         }
     }

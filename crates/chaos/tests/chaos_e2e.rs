@@ -10,8 +10,8 @@
 //! region is partitioned away.
 
 use mr_chaos::{
-    run_chaos, AvailabilityExpectation, ChaosConfig, CheckerConfig, Expect, FaultSchedule,
-    FaultStep, OpKind, Phase, ScheduleBounds,
+    build_chaos_cluster, run_chaos, AvailabilityExpectation, ChaosConfig, CheckerConfig, Expect,
+    FaultSchedule, FaultStep, OpKind, Phase, ScheduleBounds,
 };
 use mr_kv::FaultKind;
 use mr_sim::{RegionId, SimDuration, SimTime};
@@ -45,6 +45,57 @@ fn twenty_seeded_schedules_produce_clean_histories() {
         total_ops > 5_000,
         "suspiciously little traffic: {total_ops}"
     );
+}
+
+/// Range quiescence under crash faults: every schedule ends with a
+/// dedicated region-0 node crash — the node hosting the cold ranges'
+/// quiesced leaders. A quiesced range sends no heartbeats, so its
+/// followers must discover the dead leader through the node-liveness
+/// check and elect a replacement; histories must stay serializable with
+/// the online invariant monitors strict (the default).
+#[test]
+fn quiesced_leader_crash_schedules_produce_clean_histories() {
+    let bounds = ScheduleBounds {
+        quiesced_leader_crash: true,
+        ..ScheduleBounds::default()
+    };
+    for seed in 1..=20u64 {
+        let schedule = FaultSchedule::random(seed, &bounds);
+        let cfg = ChaosConfig {
+            seed,
+            cold_ranges: 2,
+            run_for: schedule.span() + secs(10),
+            ..ChaosConfig::default()
+        };
+        let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+        assert!(
+            outcome.passed(),
+            "seed {seed} failed:\n{}\n{schedule}",
+            outcome.render()
+        );
+        assert!(
+            outcome.ops_ok > 100,
+            "seed {seed}: workload barely ran ({} ok ops)",
+            outcome.ops_ok
+        );
+    }
+}
+
+/// With no workload at all, every range goes cold and every leader
+/// quiesces — the `raft.quiesced_ranges` gauge counts them after a forced
+/// scrape.
+#[test]
+fn idle_cluster_quiesces_every_range() {
+    let cfg = ChaosConfig {
+        cold_ranges: 2,
+        ..ChaosConfig::default()
+    };
+    let mut c = build_chaos_cluster(&cfg);
+    c.run_until(SimTime(secs(15).nanos()));
+    c.scrape_now();
+    let quiesced = c.obs.registry.gauge("raft.quiesced_ranges", &[]).get();
+    // rs/ + zs/ + 2 cold ranges, all idle.
+    assert_eq!(quiesced, 4, "all idle leaders should quiesce");
 }
 
 #[test]

@@ -26,7 +26,7 @@ use crate::closedts::ClosedTsParams;
 use crate::events::{EventKind, EventLog};
 use crate::metrics::{req_kind_index, rpc_span_name, KvMetrics, MetricsView};
 use crate::range::{RangeDescriptor, RangeRegistry};
-use crate::replica::{Command, Effect, EvalCtx, EvalOutcome, Replica, ReplyPath};
+use crate::replica::{Batch, Effect, EvalCtx, EvalOutcome, Replica, ReplyPath};
 use crate::report::{self, RangeStatus, ReplicationReport};
 use crate::txn::TxnState;
 use crate::zone::{ClosedTsPolicy, ZoneConfig};
@@ -79,6 +79,11 @@ pub struct ClusterConfig {
     /// pipelined intents plus its STAGING record — into one consensus
     /// round, at no added latency.
     pub raft_flush_interval: SimDuration,
+    /// Range quiescence: a leader with nothing in flight and fully
+    /// caught-up followers stops heartbeating until the next proposal (or
+    /// leadership doubt) wakes it. On by default; the `raft_probe` bench
+    /// turns it off for the A/B heartbeat-rate comparison.
+    pub raft_quiescence: bool,
     /// Print one line per request evaluation (debugging).
     pub trace: bool,
     /// Override the derived closed-timestamp `lead_slack` (ablations).
@@ -125,6 +130,7 @@ impl Default for ClusterConfig {
             pipelined_writes: true,
             parallel_commits: true,
             raft_flush_interval: SimDuration::ZERO,
+            raft_quiescence: true,
             trace: std::env::var("MR_TRACE").is_ok(),
             lead_slack_override: None,
             gc_interval: SimDuration::from_secs(60),
@@ -200,7 +206,7 @@ enum Event {
         range: RangeId,
         gen: u32,
         from_peer: Peer,
-        msg: RaftMsg<Command>,
+        msg: RaftMsg<Batch>,
     },
     RaftTick,
     /// Ship one replica's batched Raft proposals (group-commit flush).
@@ -600,6 +606,7 @@ impl Cluster {
                 learners: learners.clone(),
                 election_timeout: self.cfg.raft_election_timeout,
                 heartbeat_interval: self.cfg.raft_heartbeat,
+                quiesce: self.cfg.raft_quiescence,
             };
             let mut raft = RaftNode::new(rcfg, now);
             if p.node == leaseholder {
@@ -811,6 +818,9 @@ impl Cluster {
                         mr_raft::RaftMsg::RequestVote { .. } => "vote?".into(),
                         mr_raft::RaftMsg::VoteResp { .. } => "vote!".into(),
                         mr_raft::RaftMsg::TimeoutNow { .. } => "timeoutnow".into(),
+                        mr_raft::RaftMsg::Quiesce { commit, .. } => {
+                            format!("quiesce(commit={commit})")
+                        }
                     };
                     eprintln!(
                         "[{}] raft {from_peer}->{to_node} {range} {kind}",
@@ -977,7 +987,7 @@ impl Cluster {
         &mut self,
         from_node: NodeId,
         range: RangeId,
-        msgs: Vec<(Peer, RaftMsg<Command>)>,
+        msgs: Vec<(Peer, RaftMsg<Batch>)>,
     ) {
         if msgs.is_empty() {
             return;
@@ -1069,6 +1079,7 @@ impl Cluster {
             Request::Get { ctx, .. } | Request::Scan { ctx, .. } => Some(ctx.uncertainty_limit),
             _ => None,
         };
+        let req_is_read = req.is_read();
         let has_replica = self.nodes[node.0 as usize].replicas.contains_key(&range);
         if !has_replica {
             let err = KvError::NotLeaseholder { range, leaseholder };
@@ -1154,6 +1165,12 @@ impl Cluster {
                         Err(e) if e.is_redirect() => self.m.follower_read_redirects.inc(),
                         Err(_) => {}
                     }
+                } else if is_leaseholder && req_is_read && result.is_ok() {
+                    // Leaseholder read fast path: served off local MVCC
+                    // state under the leader lease, without touching Raft —
+                    // one avoided proposal (and, on a quiesced range, no
+                    // un-quiesce: reads don't wake the group).
+                    self.m.read_fast_path.inc();
                 }
                 self.send_response(node, path, result);
             }
@@ -1180,7 +1197,7 @@ impl Cluster {
         let Some(rep) = self.nodes[node.0 as usize].replicas.get_mut(&range) else {
             return;
         };
-        if !rep.raft.has_pending_broadcast() || rep.flush_scheduled {
+        if !rep.has_pending_batch() || rep.flush_scheduled {
             return;
         }
         rep.flush_scheduled = true;
@@ -1189,16 +1206,19 @@ impl Cluster {
 
     fn handle_raft_flush(&mut self, node: NodeId, range: RangeId) {
         let now = self.queue.now();
-        let msgs = {
+        let (msgs, effects) = {
             let Some(rep) = self.nodes[node.0 as usize].replicas.get_mut(&range) else {
                 return;
             };
             rep.flush_scheduled = false;
-            rep.raft.flush_appends(now)
+            rep.flush_batch(now)
         };
         if !self.topo.is_node_alive(node) {
             return;
         }
+        // Effects here are NotLeaseholder replies for commands whose buffer
+        // outlived this replica's leadership — they must still be answered.
+        self.dispatch_effects(node, range, effects);
         self.dispatch_raft_msgs(node, range, msgs);
         self.pump_replica(node, range);
     }
@@ -1209,7 +1229,7 @@ impl Cluster {
         range: RangeId,
         gen: u32,
         from_peer: Peer,
-        msg: RaftMsg<Command>,
+        msg: RaftMsg<Batch>,
     ) {
         if !self.topo.is_node_alive(to_node) {
             return;
@@ -1245,39 +1265,47 @@ impl Cluster {
             if effects.is_empty() {
                 return;
             }
-            for eff in effects {
-                match eff {
-                    Effect::Reply { path, result } => {
-                        let rpc_span = self.pending.get(&path.req_id).and_then(|p| p.span);
-                        if rpc_span.is_some() {
-                            let now = self.queue.now();
-                            let msg = format!(
-                                "raft applied at n{} ({}), replying",
-                                node.0,
-                                self.region_name_of(node)
-                            );
-                            self.obs.tracer.event(rpc_span, now, msg);
-                        }
-                        self.send_response(node, path, result);
+            self.dispatch_effects(node, range, effects);
+        }
+    }
+
+    /// Dispatch replica effects: client replies, re-evaluations of unparked
+    /// waiters, and lease-claim applications. Shared by the apply pump and
+    /// the batch flush (which can emit `NotLeaseholder` replies for
+    /// commands buffered across a leadership loss).
+    fn dispatch_effects(&mut self, node: NodeId, range: RangeId, effects: Vec<Effect>) {
+        for eff in effects {
+            match eff {
+                Effect::Reply { path, result } => {
+                    let rpc_span = self.pending.get(&path.req_id).and_then(|p| p.span);
+                    if rpc_span.is_some() {
+                        let now = self.queue.now();
+                        let msg = format!(
+                            "raft applied at n{} ({}), replying",
+                            node.0,
+                            self.region_name_of(node)
+                        );
+                        self.obs.tracer.event(rpc_span, now, msg);
                     }
-                    Effect::ReEval { waiter } => {
-                        let parked = {
-                            let rep = self.nodes[node.0 as usize]
-                                .replicas
-                                .get_mut(&range)
-                                .expect("replica vanished during pump");
-                            rep.unpark(waiter)
-                        };
-                        if let Some(p) = parked {
-                            self.evaluate_at(node, range, p.req, p.path);
-                        }
+                    self.send_response(node, path, result);
+                }
+                Effect::ReEval { waiter } => {
+                    let parked = {
+                        let rep = self.nodes[node.0 as usize]
+                            .replicas
+                            .get_mut(&range)
+                            .expect("replica vanished during pump");
+                        rep.unpark(waiter)
+                    };
+                    if let Some(p) = parked {
+                        self.evaluate_at(node, range, p.req, p.path);
                     }
-                    Effect::LeaseApplied {
-                        node: claimant,
-                        index,
-                    } => {
-                        self.apply_lease_claim(range, claimant, index);
-                    }
+                }
+                Effect::LeaseApplied {
+                    node: claimant,
+                    index,
+                } => {
+                    self.apply_lease_claim(range, claimant, index);
                 }
             }
         }
@@ -1428,7 +1456,9 @@ impl Cluster {
         self.queue
             .schedule(self.cfg.raft_tick_interval, Event::RaftTick);
         let now = self.queue.now();
-        let mut outbox: Vec<(NodeId, RangeId, Vec<(Peer, RaftMsg<Command>)>)> = Vec::new();
+        let mut outbox: Vec<(NodeId, RangeId, Vec<(Peer, RaftMsg<Batch>)>)> = Vec::new();
+        let mut flush_effects: Vec<(NodeId, RangeId, Vec<Effect>)> = Vec::new();
+        let mut heartbeats = 0u64;
         for node in &mut self.nodes {
             if !self.topo.is_node_alive(node.id) {
                 continue;
@@ -1442,11 +1472,71 @@ impl Cluster {
             rids.sort_unstable();
             for rid in rids {
                 let rep = node.replicas.get_mut(&rid).unwrap();
+                // Leadership doubt un-quiesces: a quiesced follower whose
+                // last known leader is dead or unreachable restarts its
+                // election clock — quiescence parks timers on the promise
+                // that the leader will send traffic when needed, and a dead
+                // leader never will.
+                if rep.raft.is_quiesced() && !rep.raft.is_leader() {
+                    if let Some(lh) = rep.raft.leader_hint() {
+                        let lh_node = rep.node_for_peer(lh);
+                        if !self.topo.is_node_alive(lh_node)
+                            || !self.topo.reachable(node.id, lh_node)
+                        {
+                            rep.raft.unquiesce(now);
+                        }
+                    }
+                }
+                // Leadership follows the lease (CRDB colocates Raft
+                // leadership with the leaseholder). A cooperative transfer
+                // issued while a previous transfer's election was still in
+                // flight finds the old leaseholder no longer leader, so its
+                // TimeoutNow is never sent and nothing else would ever make
+                // the new leaseholder campaign — the range would answer
+                // NotLeaseholder from both nodes forever. Any leader that
+                // notices the divergence hands leadership to the (live,
+                // reachable) leaseholder; if the leaseholder is dead, the
+                // orphaned-lease path reclaims the lease instead.
+                if rep.raft.is_leader() {
+                    if let Some(desc) = self.registry.get(rid) {
+                        if desc.leaseholder != node.id
+                            && self.topo.is_node_alive(desc.leaseholder)
+                            && self.topo.reachable(node.id, desc.leaseholder)
+                        {
+                            if let Some(peer) = rep.peer_for_node(desc.leaseholder) {
+                                let msgs = rep.raft.transfer_leadership(peer);
+                                if !msgs.is_empty() {
+                                    outbox.push((node.id, rid, msgs));
+                                }
+                            }
+                        }
+                    }
+                }
+                // Safety net: commands buffered for a flush that never
+                // fired (the scheduling node crashed and restarted between
+                // proposal and flush) must not sit forever.
+                if rep.has_pending_batch() && !rep.flush_scheduled {
+                    let (msgs, effs) = rep.flush_batch(now);
+                    if !msgs.is_empty() {
+                        outbox.push((node.id, rid, msgs));
+                    }
+                    if !effs.is_empty() {
+                        flush_effects.push((node.id, rid, effs));
+                    }
+                }
                 let msgs = rep.raft.tick(now);
+                heartbeats += msgs
+                    .iter()
+                    .filter(|(_, m)| matches!(m, RaftMsg::AppendEntries { .. }))
+                    .count() as u64;
                 if !msgs.is_empty() {
                     outbox.push((node.id, rid, msgs));
                 }
             }
+        }
+        self.m.heartbeats_sent.add(heartbeats);
+        for (node, range, effs) in flush_effects {
+            self.dispatch_effects(node, range, effs);
         }
         for (node, range, msgs) in outbox {
             self.dispatch_raft_msgs(node, range, msgs);
@@ -1478,6 +1568,14 @@ impl Cluster {
         if let Some(interval) = self.cfg.obs_scrape_interval {
             self.queue.schedule(interval, Event::ObsScrape);
         }
+        self.scrape_now();
+    }
+
+    /// Run one observability scrape immediately (tests and benches call
+    /// this before reading counters so scrape-drained instruments — batch
+    /// occupancy, quiesced-range counts — reflect activity since the last
+    /// periodic scrape).
+    pub fn scrape_now(&mut self) {
         let now = self.queue.now();
         // Worst (largest) closed-timestamp lag across replicas, split by
         // policy. Negative values mean the closed frontier leads present
@@ -1525,7 +1623,28 @@ impl Cluster {
                 );
             }
         }
+        // Group-commit accounting: drain per-replica batch occupancy
+        // recorded since the last scrape, and count quiesced leaders.
+        let mut quiesced = 0i64;
+        let mut occupancy: Vec<u32> = Vec::new();
+        for node in &mut self.nodes {
+            let mut rids: Vec<RangeId> = node.replicas.keys().copied().collect();
+            rids.sort_unstable();
+            for rid in rids {
+                let rep = node.replicas.get_mut(&rid).unwrap();
+                occupancy.extend(rep.take_prop_occupancy());
+                if rep.raft.is_leader() && rep.raft.is_quiesced() {
+                    quiesced += 1;
+                }
+            }
+        }
+        for n in occupancy {
+            self.m.batch_occupancy.record(n as u64);
+            self.m.proposals_batched.add(n as u64);
+            self.m.entries_proposed.inc();
+        }
         let r = &self.obs.registry;
+        r.gauge("raft.quiesced_ranges", &[]).set(quiesced);
         r.gauge("kv.closedts.lag_nanos", &[("policy", "lag")])
             .set(worst_lag.unwrap_or(0));
         r.gauge("kv.closedts.lag_nanos", &[("policy", "lead")])

@@ -105,6 +105,19 @@ pub(crate) struct KvMetrics {
     pub staging_recovery_aborts: Counter,
     /// Commit-wait durations in nanoseconds (§6.2).
     pub commit_wait_latency: HistogramHandle,
+    /// Commands that rode a coalesced multi-command Raft entry (group
+    /// commit) instead of paying their own consensus round.
+    pub proposals_batched: Counter,
+    /// Multi-command Raft entries proposed (denominator for occupancy).
+    pub entries_proposed: Counter,
+    /// Leader heartbeat broadcasts actually sent; quiescence suppresses
+    /// these, so the rate collapses once a range goes cold.
+    pub heartbeats_sent: Counter,
+    /// Leaseholder reads served off local state without touching Raft —
+    /// proposals the read fast path avoided.
+    pub read_fast_path: Counter,
+    /// Commands per proposed Raft entry (mean > 1 means batching works).
+    pub batch_occupancy: HistogramHandle,
 }
 
 impl KvMetrics {
@@ -139,6 +152,11 @@ impl KvMetrics {
             staging_recovery_commits: r.counter("kv.txn.staging_recovery.commits", &[]),
             staging_recovery_aborts: r.counter("kv.txn.staging_recovery.aborts", &[]),
             commit_wait_latency: r.histogram("kv.txn.commit_wait.latency", &[]),
+            proposals_batched: r.counter("raft.proposals_batched", &[]),
+            entries_proposed: r.counter("raft.entries_proposed", &[]),
+            heartbeats_sent: r.counter("raft.heartbeats_sent", &[]),
+            read_fast_path: r.counter("raft.read_fast_path", &[]),
+            batch_occupancy: r.histogram("raft.batch_occupancy", &[]),
         }
     }
 }
@@ -174,6 +192,10 @@ pub struct MetricsView {
     pub staging_recoveries: u64,
     pub staging_recovery_commits: u64,
     pub staging_recovery_aborts: u64,
+    pub proposals_batched: u64,
+    pub entries_proposed: u64,
+    pub heartbeats_sent: u64,
+    pub read_fast_path: u64,
 }
 
 impl KvMetrics {
@@ -205,6 +227,10 @@ impl KvMetrics {
             staging_recoveries: self.staging_recoveries.get(),
             staging_recovery_commits: self.staging_recovery_commits.get(),
             staging_recovery_aborts: self.staging_recovery_aborts.get(),
+            proposals_batched: self.proposals_batched.get(),
+            entries_proposed: self.entries_proposed.get(),
+            heartbeats_sent: self.heartbeats_sent.get(),
+            read_fast_path: self.read_fast_path.get(),
         }
     }
 }

@@ -25,7 +25,7 @@ use mr_clock::{Hlc, Timestamp};
 use mr_proto::{
     Key, KvError, RangeId, ReadCtx, Request, Response, TxnId, TxnMeta, TxnStatus, Value,
 };
-use mr_raft::{Entry, Peer, RaftMsg, RaftNode};
+use mr_raft::{Peer, RaftMsg, RaftNode};
 use mr_sim::{NodeId, SimTime};
 use mr_storage::{MvccError, MvccStore, TsCache};
 
@@ -40,6 +40,13 @@ pub struct Command {
     pub closed_ts: Timestamp,
     pub op: CmdOp,
 }
+
+/// The Raft payload: one log entry carries a *batch* of commands (group
+/// commit). Commands evaluated close together — a transaction's pipelined
+/// intents, its STAGING record, concurrent 1PC writes — coalesce into one
+/// entry and therefore one consensus round; apply fans the batch back out
+/// into per-command effects and responses.
+pub type Batch = Vec<Command>;
 
 /// Replicated operations.
 #[derive(Clone, Debug)]
@@ -127,8 +134,9 @@ pub enum EvalOutcome {
     /// are recovered.
     Parked { key: Key, holder: TxnMeta },
     /// A command was proposed; the response fires when it applies. The Raft
-    /// messages must be delivered by the caller.
-    Proposed { msgs: Vec<(Peer, RaftMsg<Command>)> },
+    /// messages must be delivered by the caller. Batched proposals produce
+    /// no messages here — they ship on the next flush (or heartbeat).
+    Proposed { msgs: Vec<(Peer, RaftMsg<Batch>)> },
 }
 
 /// Context the cluster supplies for each evaluation.
@@ -188,7 +196,7 @@ pub struct Replica {
     /// Raft peer id → node, for message addressing.
     pub peer_nodes: Vec<NodeId>,
     pub store: MvccStore,
-    pub raft: RaftNode<Command>,
+    pub raft: RaftNode<Batch>,
     pub tscache: TsCache,
     pub locks: LockTable,
     pub tracker: ClosedTsTracker,
@@ -196,7 +204,16 @@ pub struct Replica {
     pub policy: ClosedTsPolicy,
     /// Replicated transaction records (applied via `CmdOp::TxnRecord`).
     pub txn_records: HashMap<TxnId, TxnRecord>,
-    pending_props: HashMap<u64, PendingProp>,
+    /// In-flight proposals, keyed by `(log index, slot within the batch)`:
+    /// apply fans each entry back out into per-slot responses.
+    pending_props: HashMap<(u64, usize), PendingProp>,
+    /// Commands evaluated but not yet appended to the Raft log: the
+    /// group-commit staging area. Drained into a single multi-command
+    /// entry by [`Replica::flush_batch`].
+    batch_buf: Vec<(Command, Response, ReplyPath)>,
+    /// Batch sizes of flushed proposals since the last metrics scrape
+    /// (feeds the `raft.batch_occupancy` histogram).
+    prop_occupancy: Vec<u32>,
     parked: HashMap<WaiterId, ParkedReq>,
     next_waiter: WaiterId,
     /// Term in which this replica last proposed a `ClaimLease` (dedups
@@ -214,7 +231,7 @@ impl Replica {
         node: NodeId,
         peer: Peer,
         peer_nodes: Vec<NodeId>,
-        raft: RaftNode<Command>,
+        raft: RaftNode<Batch>,
         policy: ClosedTsPolicy,
     ) -> Replica {
         Replica {
@@ -231,6 +248,8 @@ impl Replica {
             policy,
             txn_records: HashMap::new(),
             pending_props: HashMap::new(),
+            batch_buf: Vec::new(),
+            prop_occupancy: Vec::new(),
             parked: HashMap::new(),
             next_waiter: 1,
             lease_claim_term: None,
@@ -258,9 +277,11 @@ impl Replica {
         self.parked.len()
     }
 
-    /// Drop all pending proposals (leadership lost); callers time out.
+    /// Drop all pending proposals and buffered commands (leadership lost);
+    /// callers time out.
     pub fn clear_pending_props(&mut self) {
         self.pending_props.clear();
+        self.batch_buf.clear();
     }
 
     // ---------------------------------------------------------------
@@ -463,6 +484,21 @@ impl Replica {
         }
     }
 
+    /// Does a write by `txn` to `key` conflict with another transaction?
+    /// Checks the in-memory lock table first, then falls back to applied
+    /// intents in the store: the lock table is leaseholder-local, so after
+    /// a lease transfer the new leaseholder starts with an empty table
+    /// while foreign intents persist in replicated MVCC state. Intents
+    /// *are* the durable lock table (CRDB's "discovered intent" path) —
+    /// ignoring them here would let a 1PC or Put pass evaluation and then
+    /// violate the lock discipline invariant at apply time.
+    fn write_conflicts(&self, key: &Key, txn_id: mr_proto::TxnId) -> bool {
+        if let Some(holder) = self.locks.holder(key) {
+            return holder.id != txn_id;
+        }
+        self.store.intent(key).is_some_and(|i| i.txn.id != txn_id)
+    }
+
     fn park(&mut self, req: Request, path: ReplyPath, key: Key) -> EvalOutcome {
         let waiter = self.next_waiter;
         self.next_waiter += 1;
@@ -584,19 +620,18 @@ impl Replica {
         hlc: &mut Hlc,
         ctx: &EvalCtx<'_>,
     ) -> EvalOutcome {
-        // Writes conflict with any foreign lock, regardless of timestamp.
-        if let Some(holder) = self.locks.holder(&key) {
-            if holder.id != txn.id {
-                return self.park(
-                    Request::Put {
-                        txn,
-                        key: key.clone(),
-                        value,
-                    },
-                    path,
-                    key,
-                );
-            }
+        // Writes conflict with any foreign lock (or discovered foreign
+        // intent), regardless of timestamp.
+        if self.write_conflicts(&key, txn.id) {
+            return self.park(
+                Request::Put {
+                    txn,
+                    key: key.clone(),
+                    value,
+                },
+                path,
+                key,
+            );
         }
         // Determine the final write timestamp.
         let mut ts = txn.write_ts;
@@ -659,10 +694,10 @@ impl Replica {
             }
             None => {}
         }
-        // Conflict check across all write keys.
+        // Conflict check across all write keys (locks and discovered
+        // intents alike).
         for (key, _) in &writes {
-            let blocked = self.locks.holder(key).is_some_and(|h| h.id != txn.id);
-            if blocked {
+            if self.write_conflicts(key, txn.id) {
                 let k = key.clone();
                 return self.park(
                     Request::CommitInline {
@@ -872,7 +907,12 @@ impl Replica {
                 commit,
             },
         };
-        self.propose(
+        // Deliberately NOT batched: the apply-time staged_ts guard decides
+        // the race between this recovery and a coordinator re-stage by log
+        // order, so the recovery must occupy its own entry at a definite
+        // log position rather than ride in a coalesced batch whose flush
+        // timing would blur that ordering.
+        self.propose_unbatched(
             cmd,
             Response::RecoverTxn {
                 status,
@@ -936,21 +976,45 @@ impl Replica {
         path: ReplyPath,
         _now: SimTime,
     ) -> EvalOutcome {
-        // Proposals append without broadcasting (raft group commit): the
-        // cluster schedules a flush, so proposals arriving close together —
-        // a transaction's pipelined intents and its STAGING record — ship
-        // in one consensus round.
-        match self.raft.propose_batched(cmd) {
-            Some(index) => {
+        // Group commit: the command is *buffered*, not yet appended — the
+        // cluster schedules a flush, so commands evaluated close together —
+        // a transaction's pipelined intents and its STAGING record — fold
+        // into a single multi-command log entry and one consensus round.
+        if !self.raft.is_leader() {
+            return EvalOutcome::Reply(Err(KvError::NotLeaseholder {
+                range: self.range,
+                leaseholder: self.raft.leader_hint().map(|p| self.node_for_peer(p)),
+            }));
+        }
+        self.batch_buf.push((cmd, response, path));
+        EvalOutcome::Proposed { msgs: Vec::new() }
+    }
+
+    /// Propose a command as its *own* log entry, broadcast immediately —
+    /// for operations whose apply-time semantics depend on strict log order
+    /// against re-proposals (see [`Replica::lh_recover_txn`]). Any buffered
+    /// batch is appended first so the log preserves evaluation order; the
+    /// broadcast ships it too.
+    fn propose_unbatched(
+        &mut self,
+        cmd: Command,
+        response: Response,
+        path: ReplyPath,
+        now: SimTime,
+    ) -> EvalOutcome {
+        self.flush_buf_into_log();
+        let term = self.raft.term();
+        match self.raft.propose(vec![cmd], now) {
+            Some((index, msgs)) => {
                 self.pending_props.insert(
-                    index,
+                    (index, 0),
                     PendingProp {
                         path,
                         response,
-                        term: self.raft.term(),
+                        term,
                     },
                 );
-                EvalOutcome::Proposed { msgs: Vec::new() }
+                EvalOutcome::Proposed { msgs }
             }
             None => EvalOutcome::Reply(Err(KvError::NotLeaseholder {
                 range: self.range,
@@ -959,10 +1023,80 @@ impl Replica {
         }
     }
 
+    /// Append the buffered commands as one multi-command entry, registering
+    /// a per-slot pending proposal for each. No-op unless this replica
+    /// leads and the buffer is non-empty.
+    fn flush_buf_into_log(&mut self) {
+        if self.batch_buf.is_empty() || !self.raft.is_leader() {
+            return;
+        }
+        let buf = std::mem::take(&mut self.batch_buf);
+        self.prop_occupancy.push(buf.len() as u32);
+        let term = self.raft.term();
+        let mut cmds = Vec::with_capacity(buf.len());
+        let mut props = Vec::with_capacity(buf.len());
+        for (cmd, response, path) in buf {
+            cmds.push(cmd);
+            props.push((response, path));
+        }
+        let index = self
+            .raft
+            .propose_batched(cmds)
+            .expect("leadership checked above");
+        for (slot, (response, path)) in props.into_iter().enumerate() {
+            self.pending_props.insert(
+                (index, slot),
+                PendingProp {
+                    path,
+                    response,
+                    term,
+                },
+            );
+        }
+    }
+
+    /// Ship the buffered batch: append it to the log and broadcast every
+    /// unsent entry. If leadership was lost since evaluation, the buffered
+    /// commands cannot be proposed — each caller gets a `NotLeaseholder`
+    /// redirect instead of a silent drop.
+    pub fn flush_batch(&mut self, now: SimTime) -> (Vec<(Peer, RaftMsg<Batch>)>, Vec<Effect>) {
+        let mut effects = Vec::new();
+        if !self.raft.is_leader() && !self.batch_buf.is_empty() {
+            let leaseholder = self.raft.leader_hint().map(|p| self.node_for_peer(p));
+            for (_cmd, _response, path) in self.batch_buf.drain(..) {
+                effects.push(Effect::Reply {
+                    path,
+                    result: Err(KvError::NotLeaseholder {
+                        range: self.range,
+                        leaseholder,
+                    }),
+                });
+            }
+            return (Vec::new(), effects);
+        }
+        self.flush_buf_into_log();
+        (self.raft.flush_appends(now), effects)
+    }
+
+    /// Whether a flush would do work: buffered commands or appended-but-
+    /// unsent entries.
+    pub fn has_pending_batch(&self) -> bool {
+        !self.batch_buf.is_empty() || self.raft.has_pending_broadcast()
+    }
+
+    /// Drain the per-proposal batch sizes accumulated since the last call
+    /// (metrics scrape).
+    pub fn take_prop_occupancy(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.prop_occupancy)
+    }
+
     /// Propose a leader no-op if this replica leads a term whose log tail
     /// predates it (commits earlier-term entries; required after elections
-    /// and leadership transfers).
-    pub fn maybe_propose_leader_noop(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<Command>)> {
+    /// and leadership transfers). Deliberately NOT batched: the no-op must
+    /// ship the instant leadership is established — nothing else may be in
+    /// flight yet, and batching it behind a flush would delay
+    /// leader-completeness for every prior-term entry.
+    pub fn maybe_propose_leader_noop(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<Batch>)> {
         if !self.raft.is_leader() || self.raft.last_log_term() == self.raft.term() {
             return Vec::new();
         }
@@ -970,7 +1104,7 @@ impl Replica {
             closed_ts: self.tracker.closed(),
             op: CmdOp::Noop,
         };
-        match self.raft.propose(cmd, now) {
+        match self.raft.propose(vec![cmd], now) {
             Some((_, msgs)) => msgs,
             None => Vec::new(),
         }
@@ -978,8 +1112,12 @@ impl Replica {
 
     /// Propose a replicated lease claim for this node (failover path). The
     /// caller decides *whether* a claim is warranted; this only guards
-    /// against duplicate in-flight proposals within one term.
-    pub fn maybe_propose_lease_claim(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<Command>)> {
+    /// against duplicate in-flight proposals within one term. Deliberately
+    /// NOT batched: committing the claim is the proof the claimant reaches
+    /// a quorum, and lease movement is gated on that commit — parking it in
+    /// a buffer behind a flush would stall every redirected client, and no
+    /// concurrent traffic exists on a range whose leaseholder just died.
+    pub fn maybe_propose_lease_claim(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<Batch>)> {
         if !self.raft.is_leader() || self.lease_claim_term == Some(self.raft.term()) {
             return Vec::new();
         }
@@ -987,7 +1125,7 @@ impl Replica {
             closed_ts: self.tracker.closed(),
             op: CmdOp::ClaimLease { node: self.node },
         };
-        match self.raft.propose(cmd, now) {
+        match self.raft.propose(vec![cmd], now) {
             Some((_, msgs)) => {
                 self.lease_claim_term = Some(self.raft.term());
                 msgs
@@ -1000,28 +1138,39 @@ impl Replica {
     // Application
     // ---------------------------------------------------------------
 
-    /// Apply all newly committed entries. Lock releases, waiter wake-ups,
-    /// and proposal responses only have observable work to do on the
-    /// replica that evaluated the requests (the leaseholder); on other
+    /// Apply all newly committed entries, fanning each multi-command batch
+    /// entry out into per-slot effects and responses. Lock releases, waiter
+    /// wake-ups, and proposal responses only have observable work to do on
+    /// the replica that evaluated the requests (the leaseholder); on other
     /// replicas those structures are empty.
     pub fn apply_committed(&mut self) -> Vec<Effect> {
         let entries = self.raft.take_committed();
         let mut effects = Vec::new();
         for entry in entries {
-            self.apply_entry(&entry, &mut effects);
+            for (slot, cmd) in entry.payload.iter().enumerate() {
+                self.apply_cmd(cmd, entry.index, entry.term, slot, &mut effects);
+            }
         }
         effects
     }
 
-    fn apply_entry(&mut self, entry: &Entry<Command>, effects: &mut Vec<Effect>) {
-        match &entry.payload.op {
+    /// Apply one command of a batch entry. `(index, slot)` addresses the
+    /// pending proposal this command answers, so errors attribute to the
+    /// exact command that failed, not the whole batch.
+    fn apply_cmd(
+        &mut self,
+        cmd: &Command,
+        index: u64,
+        term: u64,
+        slot: usize,
+        effects: &mut Vec<Effect>,
+    ) {
+        let prop_key = (index, slot);
+        match &cmd.op {
             CmdOp::Noop => {}
             CmdOp::ClaimLease { node } => {
                 self.lease_claim_term = None;
-                effects.push(Effect::LeaseApplied {
-                    node: *node,
-                    index: entry.index,
-                });
+                effects.push(Effect::LeaseApplied { node: *node, index });
             }
             CmdOp::Put { key, value, txn } => {
                 // Lock discipline prevents conflicts while this replica
@@ -1037,7 +1186,7 @@ impl Replica {
                             // the real timestamp so the coordinator refreshes
                             // (or a parallel commit restages) instead of
                             // acking at the staged timestamp.
-                            if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                            if let Some(prop) = self.pending_props.get_mut(&prop_key) {
                                 if let Response::Put { written_ts } = &mut prop.response {
                                     *written_ts = out.written_ts;
                                 }
@@ -1049,7 +1198,7 @@ impl Replica {
                         // late write is dropped. Fail the proposal so the
                         // coordinator aborts rather than acking a write that
                         // never landed.
-                        if let Some(prop) = self.pending_props.remove(&entry.index) {
+                        if let Some(prop) = self.pending_props.remove(&prop_key) {
                             let holder = self
                                 .store
                                 .intent(key)
@@ -1089,14 +1238,14 @@ impl Replica {
                             TxnStatus::Pending => false,
                         };
                         if agrees {
-                            if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                            if let Some(prop) = self.pending_props.get_mut(&prop_key) {
                                 match &mut prop.response {
                                     Response::EndTxn { commit_ts }
                                     | Response::StageTxn { commit_ts } => *commit_ts = cts,
                                     _ => {}
                                 }
                             }
-                        } else if let Some(prop) = self.pending_props.remove(&entry.index) {
+                        } else if let Some(prop) = self.pending_props.remove(&prop_key) {
                             effects.push(Effect::Reply {
                                 path: prop.path,
                                 result: Err(KvError::TxnAborted { id: *txn_id }),
@@ -1149,7 +1298,7 @@ impl Replica {
                         (TxnStatus::Aborted, Timestamp::ZERO)
                     }
                 };
-                if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                if let Some(prop) = self.pending_props.get_mut(&prop_key) {
                     if let Response::RecoverTxn {
                         status: s,
                         commit_ts: c,
@@ -1184,12 +1333,12 @@ impl Replica {
                         }
                     }
                     if status == TxnStatus::Committed {
-                        if let Some(prop) = self.pending_props.get_mut(&entry.index) {
+                        if let Some(prop) = self.pending_props.get_mut(&prop_key) {
                             if let Response::CommitInline { commit_ts } = &mut prop.response {
                                 *commit_ts = cts;
                             }
                         }
-                    } else if let Some(prop) = self.pending_props.remove(&entry.index) {
+                    } else if let Some(prop) = self.pending_props.remove(&prop_key) {
                         effects.push(Effect::Reply {
                             path: prop.path,
                             result: Err(KvError::TxnAborted { id: *txn_id }),
@@ -1222,10 +1371,9 @@ impl Replica {
                 }
             }
         }
-        self.tracker
-            .on_entry_applied(entry.payload.closed_ts, entry.index);
-        if let Some(prop) = self.pending_props.remove(&entry.index) {
-            let result = if prop.term == entry.term {
+        self.tracker.on_entry_applied(cmd.closed_ts, index);
+        if let Some(prop) = self.pending_props.remove(&prop_key) {
+            let result = if prop.term == term {
                 Ok(prop.response)
             } else {
                 // Our proposal was superseded by another leader's entry.
@@ -1290,6 +1438,7 @@ mod tests {
             learners: vec![],
             election_timeout: SimDuration::from_millis(500),
             heartbeat_interval: SimDuration::from_millis(100),
+            quiesce: true,
         };
         let mut raft = RaftNode::new(cfg, SimTime::ZERO);
         raft.bootstrap_leader(SimTime::ZERO);
@@ -1318,6 +1467,14 @@ mod tests {
         TxnMeta::new(TxnId(id), Key::from("k"), ts)
     }
 
+    /// Flush the buffered batch into the log (solo voter: commits
+    /// instantly) and apply, returning every effect.
+    fn flush_apply(r: &mut Replica) -> Vec<Effect> {
+        let (_msgs, mut effects) = r.flush_batch(SimTime::ZERO);
+        effects.extend(r.apply_committed());
+        effects
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn do_put(
         r: &mut Replica,
@@ -1340,7 +1497,7 @@ mod tests {
             &ectx(params, now_ms),
         );
         assert!(matches!(out, EvalOutcome::Proposed { .. }));
-        let effects = r.apply_committed();
+        let effects = flush_apply(r);
         match effects.iter().find_map(|e| match e {
             Effect::Reply {
                 result: Ok(Response::Put { written_ts }),
@@ -1433,7 +1590,7 @@ mod tests {
             &ectx(&params, 2),
         );
         assert!(matches!(out, EvalOutcome::Proposed { .. }));
-        let effects = r.apply_committed();
+        let effects = flush_apply(&mut r);
         let reeval: Vec<_> = effects
             .iter()
             .filter(|e| matches!(e, Effect::ReEval { .. }))
@@ -1604,7 +1761,7 @@ mod tests {
             &mut hlc,
             &ectx(&params, 0),
         );
-        r.apply_committed();
+        flush_apply(&mut r);
         let out = r.evaluate(
             Request::Negotiate {
                 spans: vec![Span::point(Key::from("k"))],
@@ -1663,7 +1820,7 @@ mod tests {
         let out = r.evaluate(req, path(), hlc, &ectx(params, 0));
         match out {
             EvalOutcome::Proposed { .. } => {
-                let effects = r.apply_committed();
+                let effects = flush_apply(r);
                 effects
                     .into_iter()
                     .find_map(|e| match e {
@@ -1891,7 +2048,7 @@ mod tests {
             &ectx(&params, 0),
         );
         assert!(matches!(out, EvalOutcome::Proposed { .. }));
-        r.apply_committed();
+        flush_apply(&mut r);
         let out = r.evaluate(
             Request::PushTxn {
                 pushee: TxnId(3),

@@ -1711,11 +1711,25 @@ impl Cluster {
         let delay = SimDuration::from_millis(100);
         self.schedule(
             delay,
-            Box::new(move |c| c.pusher_tick(node, range, key, holder)),
+            Box::new(move |c| c.pusher_tick(node, range, key, holder, 0)),
         );
     }
 
-    fn pusher_tick(&mut self, node: NodeId, range: mr_proto::RangeId, key: Key, holder: TxnMeta) {
+    /// Pushes a holder found `Pending` this many times (at 1s apart) are
+    /// escalated to an abort: the holder's coordinator is presumed dead —
+    /// CRDB's expired-heartbeat push. Without this, an intent whose
+    /// coordinator gave up before writing any record (its cleanup exhausted
+    /// its retries during a leadership change) blocks waiters forever.
+    const PUSH_EXPIRY_ROUNDS: u32 = 5;
+
+    fn pusher_tick(
+        &mut self,
+        node: NodeId,
+        range: mr_proto::RangeId,
+        key: Key,
+        holder: TxnMeta,
+        rounds: u32,
+    ) {
         // Stop when the block is gone, this replica lost the lease, or the
         // node died (waiters will time out / re-route).
         let still_leaseholder = self
@@ -1783,11 +1797,37 @@ impl Cluster {
                     // hasn't finalized (it may be dead): run status recovery.
                     c.staging_recover(node, range, key, holder, commit_ts, in_flight);
                 }
+                Ok(Response::PushTxn {
+                    status: TxnStatus::Pending,
+                    ..
+                }) if rounds + 1 >= Self::PUSH_EXPIRY_ROUNDS => {
+                    // No record after repeated pushes: the coordinator is
+                    // presumed dead, its intents abandoned. Finalize the
+                    // holder as aborted through the RecoverTxn apply-time
+                    // CAS — `staged_ts` ZERO can never match a genuine
+                    // STAGING record (staged timestamps are real HLC
+                    // readings), so a coordinator racing this abort with a
+                    // stage or commit wins or loses by log order, and the
+                    // record's authoritative disposition drives resolution.
+                    if c.cfg.trace {
+                        eprintln!("[pusher] expire {range} {key:?} holder {}", holder.id);
+                    }
+                    c.recover_finalize(
+                        node,
+                        range,
+                        key,
+                        holder,
+                        Timestamp::ZERO,
+                        false,
+                        Vec::new(),
+                        None,
+                    );
+                }
                 _ => {
                     // Still pending (or push failed): try again later.
                     c.schedule(
                         SimDuration::from_millis(1_000),
-                        Box::new(move |c2| c2.pusher_tick(node, range, key, holder)),
+                        Box::new(move |c2| c2.pusher_tick(node, range, key, holder, rounds + 1)),
                     );
                 }
             }),
@@ -1881,7 +1921,7 @@ impl Cluster {
                         c.obs.tracer.finish(rspan, now);
                         c.schedule(
                             SimDuration::from_millis(1_000),
-                            Box::new(move |c2| c2.pusher_tick(node, range, key2, holder2)),
+                            Box::new(move |c2| c2.pusher_tick(node, range, key2, holder2, 0)),
                         );
                     } else {
                         c.recover_finalize(
@@ -1973,7 +2013,7 @@ impl Cluster {
                         c.obs.tracer.finish(rspan, now);
                         c.schedule(
                             SimDuration::from_millis(1_000),
-                            Box::new(move |c2| c2.pusher_tick(node, range, key, holder)),
+                            Box::new(move |c2| c2.pusher_tick(node, range, key, holder, 0)),
                         );
                     }
                     Ok(_) => unreachable!("recover returned wrong response"),
@@ -1982,7 +2022,7 @@ impl Cluster {
                         c.obs.tracer.finish(rspan, now);
                         c.schedule(
                             SimDuration::from_millis(1_000),
-                            Box::new(move |c2| c2.pusher_tick(node, range, key, holder)),
+                            Box::new(move |c2| c2.pusher_tick(node, range, key, holder, 0)),
                         );
                     }
                 }

@@ -185,6 +185,15 @@ impl Request {
                 | Request::ResolveIntent { .. }
         )
     }
+
+    /// Whether the request only observes MVCC state. Reads never enter the
+    /// Raft log: a leaseholder serves them off local state under its lease
+    /// (the read fast path), and followers serve them under the closed
+    /// timestamp. Note `!is_read()` is not `is_write()` — `Refresh`,
+    /// `PushTxn`, `QueryIntent`, and `Negotiate` are neither.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Request::Get { .. } | Request::Scan { .. })
+    }
 }
 
 /// Successful response payloads, mirroring [`Request`] variants.

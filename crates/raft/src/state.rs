@@ -46,6 +46,20 @@ pub enum RaftMsg<P> {
     TimeoutNow {
         term: u64,
     },
+    /// Range quiescence (§ CRDB's idle-range optimization): the leader has
+    /// nothing in flight and every follower is caught up through `commit`,
+    /// so heartbeats stop until new traffic arrives. A caught-up recipient
+    /// parks its election timer; a lagging one answers with a failed
+    /// `AppendResp`, which un-quiesces the leader and triggers repair.
+    Quiesce {
+        term: u64,
+        commit: u64,
+        /// Term of the leader's entry at `commit` — the recipient may only
+        /// park if its own log matches (the AppendEntries consistency check
+        /// in miniature; without it a divergent uncommitted suffix of the
+        /// same length would be silently treated as committed).
+        last_term: u64,
+    },
 }
 
 /// Raft role.
@@ -67,6 +81,9 @@ pub struct RaftConfig {
     /// Base election timeout; staggered per replica for determinism.
     pub election_timeout: SimDuration,
     pub heartbeat_interval: SimDuration,
+    /// Allow idle ranges to quiesce (stop heartbeating). Disable for A/B
+    /// heartbeat-rate measurements (`raft_probe`).
+    pub quiesce: bool,
 }
 
 impl RaftConfig {
@@ -113,6 +130,10 @@ pub struct RaftNode<P> {
     /// Entries appended via [`RaftNode::propose_batched`] that have not
     /// been shipped yet (group commit: one broadcast covers them all).
     pending_broadcast: bool,
+    /// Quiesced: an idle leader stops heartbeating, an idle follower parks
+    /// its election timer. Any received message, proposal, or explicit
+    /// [`RaftNode::unquiesce`] wakes the replica.
+    quiesced: bool,
 }
 
 impl<P: Clone> RaftNode<P> {
@@ -133,6 +154,7 @@ impl<P: Clone> RaftNode<P> {
             last_heartbeat: now,
             last_broadcast: now,
             pending_broadcast: false,
+            quiesced: false,
         }
     }
 
@@ -226,6 +248,7 @@ impl<P: Clone> RaftNode<P> {
         });
         // Single-voter groups commit immediately.
         self.maybe_advance_commit();
+        self.quiesced = false;
         let msgs = self.broadcast_appends(now);
         Some((index, msgs))
     }
@@ -248,6 +271,7 @@ impl<P: Clone> RaftNode<P> {
         });
         // Single-voter groups commit immediately.
         self.maybe_advance_commit();
+        self.quiesced = false;
         self.pending_broadcast = true;
         Some(index)
     }
@@ -267,14 +291,70 @@ impl<P: Clone> RaftNode<P> {
         self.pending_broadcast
     }
 
+    // ---- Quiescence ----
+
+    /// Whether this replica is quiesced (leader: not heartbeating;
+    /// follower: election timer parked).
+    pub fn is_quiesced(&self) -> bool {
+        self.quiesced
+    }
+
+    /// A leader may quiesce only when the range is fully idle: nothing
+    /// unflushed, nothing unapplied, and every peer (voters *and* learners —
+    /// learners must keep receiving closed timestamps via the log) caught up
+    /// through the last index.
+    fn can_quiesce(&self) -> bool {
+        self.cfg.quiesce
+            && self.role == Role::Leader
+            && !self.pending_broadcast
+            && self.commit_index == self.last_index()
+            && self.applied_index == self.commit_index
+            && self
+                .cfg
+                .peers()
+                .all(|p| *self.match_index.get(&p).unwrap_or(&0) == self.last_index())
+    }
+
+    /// Wake a quiesced replica, restarting its election clock. The cluster
+    /// calls this on followers when it doubts the quiesced leader's
+    /// liveness (crash or partition detected out of band); a full staggered
+    /// election timeout later the follower campaigns normally.
+    pub fn unquiesce(&mut self, now: SimTime) {
+        if self.quiesced {
+            self.quiesced = false;
+            self.last_heartbeat = now;
+        }
+    }
+
     // ---- Input: timers ----
 
-    /// Advance timers. Leaders emit heartbeats; followers whose election
-    /// timeout expired campaign (voters only).
+    /// Advance timers. Leaders emit heartbeats — or a `Quiesce` broadcast
+    /// once fully idle, after which they go silent; followers whose
+    /// election timeout expired campaign (voters only, never while
+    /// quiesced).
     pub fn tick(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
+        if self.quiesced {
+            return Vec::new();
+        }
         match self.role {
             Role::Leader => {
                 if now.since(self.last_broadcast) >= self.cfg.heartbeat_interval {
+                    // A range that stayed idle for a whole heartbeat
+                    // interval turns its due heartbeat into the Quiesce
+                    // broadcast — quiescing on the heartbeat cadence (not
+                    // the instant the last entry applies) keeps a briefly
+                    // idle range hot and matches CRDB's tick-driven
+                    // quiescence check.
+                    if self.can_quiesce() {
+                        self.quiesced = true;
+                        self.last_broadcast = now;
+                        let msg = RaftMsg::Quiesce {
+                            term: self.term,
+                            commit: self.commit_index,
+                            last_term: self.last_term(),
+                        };
+                        return self.cfg.peers().map(|p| (p, msg.clone())).collect();
+                    }
                     self.broadcast_appends(now)
                 } else {
                     Vec::new()
@@ -333,6 +413,7 @@ impl<P: Clone> RaftNode<P> {
     fn broadcast_appends(&mut self, now: SimTime) -> Vec<(Peer, RaftMsg<P>)> {
         self.last_broadcast = now;
         self.pending_broadcast = false;
+        self.quiesced = false;
         let peers: Vec<Peer> = self.cfg.peers().collect();
         peers.into_iter().map(|p| (p, self.append_for(p))).collect()
     }
@@ -362,7 +443,8 @@ impl<P: Clone> RaftNode<P> {
             | RaftMsg::AppendResp { term, .. }
             | RaftMsg::RequestVote { term, .. }
             | RaftMsg::VoteResp { term, .. }
-            | RaftMsg::TimeoutNow { term } => *term,
+            | RaftMsg::TimeoutNow { term }
+            | RaftMsg::Quiesce { term, .. } => *term,
         };
         if msg_term > self.term {
             self.term = msg_term;
@@ -370,6 +452,9 @@ impl<P: Clone> RaftNode<P> {
             self.voted_for = None;
             self.votes = 0;
         }
+        // Any traffic wakes a quiesced replica; the Quiesce handler re-parks
+        // a follower that turns out to be fully caught up.
+        self.quiesced = false;
 
         match msg {
             RaftMsg::AppendEntries {
@@ -398,7 +483,55 @@ impl<P: Clone> RaftNode<P> {
                     Vec::new()
                 }
             }
+            RaftMsg::Quiesce {
+                term,
+                commit,
+                last_term,
+            } => self.handle_quiesce(from, term, commit, last_term, now),
         }
+    }
+
+    fn handle_quiesce(
+        &mut self,
+        from: Peer,
+        term: u64,
+        commit: u64,
+        last_term: u64,
+        now: SimTime,
+    ) -> Vec<(Peer, RaftMsg<P>)> {
+        if term < self.term {
+            // Depose the stale leader, same as a stale AppendEntries.
+            return vec![(
+                from,
+                RaftMsg::AppendResp {
+                    term: self.term,
+                    success: false,
+                    match_index: 0,
+                },
+            )];
+        }
+        // Valid leader for our term.
+        self.role = Role::Follower;
+        self.leader_hint = Some(from);
+        self.last_heartbeat = now;
+        if self.last_index() == commit && self.term_at(commit) == Some(last_term) {
+            // Fully caught up: park the election timer. No reply — silence
+            // is the point.
+            self.commit_index = self.commit_index.max(commit);
+            self.quiesced = true;
+            return Vec::new();
+        }
+        // Lagging (or divergent) log: refuse to quiesce and wake the leader
+        // so normal append repair takes over.
+        let hint = self.last_index().min(commit);
+        vec![(
+            from,
+            RaftMsg::AppendResp {
+                term: self.term,
+                success: false,
+                match_index: hint,
+            },
+        )]
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -609,6 +742,7 @@ mod tests {
                             learners: learners.clone(),
                             election_timeout: SimDuration::from_millis(150),
                             heartbeat_interval: SimDuration::from_millis(50),
+                            quiesce: true,
                         },
                         SimTime::ZERO,
                     )
@@ -875,6 +1009,206 @@ mod tests {
         let mut g = Group::new(vec![0, 1, 2], vec![]);
         assert!(g.node(1).propose_batched("a").is_none());
         assert!(g.node(1).flush_appends(SimTime::ZERO).is_empty());
+    }
+
+    /// Drive a bootstrapped 3-voter group to the fully-idle state: propose
+    /// one entry, replicate, apply everywhere, and deliver the commit-index
+    /// bump so every follower is caught up.
+    fn idle_group() -> Group {
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        let (_, msgs) = g.node(0).propose("a", SimTime::ZERO).unwrap();
+        let net: Net = msgs.into_iter().map(|(to, m)| (0, to, m)).collect();
+        g.settle(net, SimTime::ZERO);
+        // Followers learn the commit on the next broadcast.
+        let t = SimTime::ZERO + SimDuration::from_millis(60);
+        let net = g.tick_all(t);
+        g.settle(net, t);
+        for id in 0..3 {
+            g.node(id).take_committed();
+        }
+        g
+    }
+
+    #[test]
+    fn idle_group_quiesces_and_stops_heartbeating() {
+        let mut g = idle_group();
+        let t = SimTime::ZERO + SimDuration::from_millis(120);
+        let net = g.tick_all(t);
+        // The leader's only traffic is the Quiesce broadcast.
+        assert!(net
+            .iter()
+            .all(|(_, _, m)| matches!(m, RaftMsg::Quiesce { .. })));
+        assert_eq!(net.len(), 2, "one Quiesce per follower");
+        assert!(g.node(0).is_quiesced());
+        g.settle(net, t);
+        assert!(g.node(1).is_quiesced());
+        assert!(g.node(2).is_quiesced());
+        // From here on the group is silent: no heartbeats, no elections,
+        // even far past every timeout.
+        let later = t + SimDuration::from_secs(60);
+        assert!(g.tick_all(later).is_empty());
+        assert!(g.node(0).is_leader());
+        assert_eq!(g.node(1).role(), Role::Follower);
+    }
+
+    #[test]
+    fn proposal_unquiesces_the_group() {
+        let mut g = idle_group();
+        let t = SimTime::ZERO + SimDuration::from_millis(120);
+        let net = g.tick_all(t);
+        g.settle(net, t);
+        assert!(g.node(0).is_quiesced());
+        let (idx, msgs) = g.node(0).propose("b", t).unwrap();
+        assert!(!g.node(0).is_quiesced());
+        let net: Net = msgs.into_iter().map(|(to, m)| (0, to, m)).collect();
+        g.settle(net, t);
+        assert!(!g.node(1).is_quiesced(), "append woke the follower");
+        assert_eq!(g.node(0).commit_index(), idx);
+    }
+
+    #[test]
+    fn lagging_follower_refuses_quiesce_and_wakes_leader() {
+        let mut g = idle_group();
+        // Leave follower 2 behind: propose + replicate to follower 1 only.
+        let (_, msgs) = g.node(0).propose("b", SimTime::ZERO).unwrap();
+        let net: Net = msgs
+            .into_iter()
+            .filter(|(to, _)| *to == 1)
+            .map(|(to, m)| (0, to, m))
+            .collect();
+        g.settle(net, SimTime::ZERO);
+        // Leader cannot quiesce while follower 2 lags; it heartbeats
+        // instead.
+        let t = SimTime::ZERO + SimDuration::from_millis(120);
+        let net = g.tick_all(t);
+        assert!(net
+            .iter()
+            .any(|(from, _, m)| *from == 0 && matches!(m, RaftMsg::AppendEntries { .. })));
+        // Force the stale view: hand-deliver a Quiesce to the lagging
+        // follower. It must refuse, and its failed AppendResp must trigger
+        // log repair on the leader.
+        let commit = g.node(0).commit_index();
+        let last_term = g.node(0).last_term();
+        let term = g.node(0).term();
+        let out = g.node(2).step(
+            0,
+            RaftMsg::Quiesce {
+                term,
+                commit,
+                last_term,
+            },
+            t,
+        );
+        assert!(!g.node(2).is_quiesced());
+        assert!(matches!(
+            out[0].1,
+            RaftMsg::AppendResp { success: false, .. }
+        ));
+        let net: Net = out.into_iter().map(|(to, m)| (2, to, m)).collect();
+        g.settle(net, t);
+        assert_eq!(g.node(2).last_index(), g.node(0).last_index());
+    }
+
+    #[test]
+    fn unquiesce_restarts_the_election_clock() {
+        let mut g = idle_group();
+        let t = SimTime::ZERO + SimDuration::from_millis(120);
+        let net = g.tick_all(t);
+        g.settle(net, t);
+        assert!(g.node(1).is_quiesced());
+        // The cluster doubts the (crashed) leader's liveness and wakes
+        // follower 1. Its election clock restarts at `wake`, so it
+        // campaigns only a full staggered timeout later.
+        let wake = t + SimDuration::from_secs(5);
+        g.node(1).unquiesce(wake);
+        assert!(g.node(1).tick(wake).is_empty());
+        let elect = wake + SimDuration::from_millis(200);
+        let msgs = g.node(1).tick(elect);
+        assert!(msgs
+            .iter()
+            .any(|(_, m)| matches!(m, RaftMsg::RequestVote { .. })));
+        assert_eq!(g.node(1).role(), Role::Candidate);
+    }
+
+    #[test]
+    fn stale_quiesce_deposes_old_leader() {
+        let mut g = idle_group();
+        // Follower 1 has moved to a newer term.
+        g.node(1).term = 9;
+        let out = g.node(1).step(
+            0,
+            RaftMsg::Quiesce {
+                term: 1,
+                commit: 1,
+                last_term: 1,
+            },
+            SimTime::ZERO,
+        );
+        assert!(!g.node(1).is_quiesced());
+        match &out[0].1 {
+            RaftMsg::AppendResp { term, success, .. } => {
+                assert_eq!(*term, 9);
+                assert!(!success);
+            }
+            m => panic!("unexpected {m:?}"),
+        }
+        let net: Net = out.into_iter().map(|(to, m)| (1, to, m)).collect();
+        g.settle(net, SimTime::ZERO);
+        assert_eq!(g.node(0).role(), Role::Follower);
+        assert_eq!(g.node(0).term(), 9);
+    }
+
+    #[test]
+    fn quiesce_knob_off_keeps_heartbeats_flowing() {
+        let mut g = idle_group();
+        for n in &mut g.nodes {
+            n.cfg.quiesce = false;
+        }
+        let t = SimTime::ZERO + SimDuration::from_millis(120);
+        let net = g.tick_all(t);
+        assert!(net
+            .iter()
+            .all(|(_, _, m)| matches!(m, RaftMsg::AppendEntries { .. })));
+        assert!(!g.node(0).is_quiesced());
+    }
+
+    #[test]
+    fn divergent_same_length_log_refuses_quiesce() {
+        // Follower 2's log is the same length as the leader's but its tail
+        // entry is an uncommitted leftover from a dead term: it must NOT
+        // treat it as committed when told to quiesce.
+        let mut g = Group::new(vec![0, 1, 2], vec![]);
+        g.node(0).bootstrap_leader(SimTime::ZERO);
+        g.node(0).term = 3;
+        g.node(0).log.push(Entry {
+            index: 1,
+            term: 3,
+            payload: "committed",
+        });
+        g.node(0).commit_index = 1;
+        g.node(0).applied_index = 1;
+        g.node(2).term = 3;
+        g.node(2).log.push(Entry {
+            index: 1,
+            term: 2,
+            payload: "divergent",
+        });
+        let out = g.node(2).step(
+            0,
+            RaftMsg::Quiesce {
+                term: 3,
+                commit: 1,
+                last_term: 3,
+            },
+            SimTime::ZERO,
+        );
+        assert!(!g.node(2).is_quiesced());
+        assert_eq!(g.node(2).commit_index(), 0, "divergent entry not committed");
+        assert!(matches!(
+            out[0].1,
+            RaftMsg::AppendResp { success: false, .. }
+        ));
     }
 
     #[test]

@@ -33,6 +33,9 @@ impl Harness {
                         learners: vec![],
                         election_timeout: SimDuration::from_millis(150),
                         heartbeat_interval: SimDuration::from_millis(50),
+                        // Quiescence on: the prefix-agreement property must
+                        // hold through quiesce/unquiesce cycles too.
+                        quiesce: true,
                     },
                     SimTime::ZERO,
                 )

@@ -8,7 +8,7 @@ use mr_kv::FaultKind;
 use mr_proto::RangeId;
 use mr_sim::{SimDuration, SimTime};
 use mr_sql::types::Datum;
-use mr_testutil::{as_int, as_str, three_region_db};
+use mr_testutil::{as_int, as_str, secs, settle, three_region_db};
 
 /// `SHOW RANGES FROM TABLE` and `crdb_internal.ranges` must agree with the
 /// allocator's actual placement in the range registry.
@@ -294,4 +294,61 @@ fn exports_are_deterministic_across_same_seed_runs() {
     assert_eq!(e1, e2, "event log diverged");
     assert_eq!(r1, r2, "replication report diverged");
     assert!(r1.contains("\"violations\": 0"), "unexpected: {r1}");
+}
+
+/// The Raft batching/quiescence counters surface through
+/// `crdb_internal.node_metrics`, and an idle (quiesced) cluster stops
+/// spending heartbeats: the `raft.heartbeats_sent` counter goes flat while
+/// `raft.quiesced_ranges` covers every range.
+#[test]
+fn raft_metrics_surface_and_quiescence_suppresses_heartbeats() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 'a@x.com')")
+        .unwrap();
+    // Occupancy samples and the quiesced-range gauge are scrape-drained.
+    d.cluster.scrape_now();
+
+    let metric = |d: &mut mr_sql::exec::SqlDb, name: &str| -> i64 {
+        let q = format!("SELECT value FROM crdb_internal.node_metrics WHERE metric = '{name}'");
+        let sess = d.session_in_region("us-east1", Some("movr"));
+        let vt = d.exec_sync(&sess, &q).unwrap();
+        assert_eq!(vt.rows().len(), 1, "metric {name} missing or duplicated");
+        as_int(&vt.rows()[0][0])
+    };
+
+    // The write above rode the batched-proposal path, and the heartbeat
+    // counter row exists (it may legitimately still read zero: a range that
+    // quiesces before its first idle tick never heartbeats at all).
+    assert!(metric(&mut d, "raft.proposals_batched") >= 1);
+    assert!(metric(&mut d, "raft.batch_occupancy#count") >= 1);
+    assert!(metric(&mut d, "raft.heartbeats_sent") >= 0);
+
+    // Idle long enough for every leader to notice it has nothing to do.
+    settle(&mut d, secs(10));
+    d.cluster.scrape_now();
+    let ranges = d.cluster.registry().ids().len() as i64;
+    assert_eq!(metric(&mut d, "raft.quiesced_ranges"), ranges);
+
+    // A quiesced cluster spends nothing on heartbeats...
+    let before = metric(&mut d, "raft.heartbeats_sent");
+    settle(&mut d, secs(10));
+    let after = metric(&mut d, "raft.heartbeats_sent");
+    assert_eq!(after, before, "quiesced ranges kept heartbeating");
+
+    // ...while the same cluster with quiescence disabled pays a steady
+    // heartbeat rate over an identical idle window.
+    let mut noq = three_region_db(ClusterConfig {
+        raft_quiescence: false,
+        ..ClusterConfig::default()
+    });
+    let before = metric(&mut noq, "raft.heartbeats_sent");
+    settle(&mut noq, secs(10));
+    let after = metric(&mut noq, "raft.heartbeats_sent");
+    assert!(
+        after > before,
+        "un-quiesced ranges stopped heartbeating ({before} -> {after})"
+    );
+    noq.cluster.scrape_now();
+    assert_eq!(metric(&mut noq, "raft.quiesced_ranges"), 0);
 }

@@ -40,6 +40,15 @@ echo "==> commit_probe: parallel-commit round-trip regression guard"
 (cd "$SMOKE_DIR" && MR_COMMIT_TXNS=10 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin commit_probe >/dev/null)
 
+echo "==> raft_probe: group-commit occupancy + quiescence regression guard"
+# Drives concurrent multi-range writers through a batched-proposal flush
+# window and measures idle heartbeat rates over 100 cold ranges. Fails if
+# mean batch occupancy sinks toward one command per entry, if the flush
+# window costs real throughput, if quiescence stops suppressing idle
+# heartbeats by >=10x, or if leaseholder reads stop riding the fast path.
+(cd "$SMOKE_DIR" && MR_RAFT_TXNS=20 \
+    cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin raft_probe >/dev/null)
+
 echo "==> injected-bug canary: the checker must catch the armed stale read"
 # Compile the deliberate follower-read bug in and verify the history
 # checker still detects it — guards against the checker itself rotting.
