@@ -1,6 +1,6 @@
 // perf probe: YCSB over a REGIONAL and a GLOBAL table on the paper's five
 // regions. Latency classes are read from the cluster's own kv.op.latency
-// histograms (not harness-side timers) and summarized into BENCH_obs.json:
+// histograms (not harness-side timers) and summarized into BENCH_perf.json:
 // regional reads (lag policy), global reads (lead policy), and
 // global-transaction commits (commit wait included), plus conformance
 // counters (replication_violations, monitor_violations).
@@ -142,7 +142,7 @@ fn main() {
         report.violations(),
         db.cluster.obs.monitors.violation_count()
     );
-    std::fs::write("BENCH_obs.json", &json).unwrap();
+    std::fs::write("BENCH_perf.json", &json).unwrap();
     write_obs_exports(&db, "perf_probe");
     eprintln!("metrics: {:?}", db.cluster.metrics());
     print!("{json}");

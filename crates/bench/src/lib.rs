@@ -756,3 +756,267 @@ pub fn commit_probe_json(rows: &[CommitRow]) -> String {
         .collect();
     format!("{{\n  \"rows\": [\n{}\n  ]\n}}\n", body.join(",\n"))
 }
+
+// ---------------------------------------------------------------------------
+// Observability probe (per-range load telemetry + latency attribution)
+// ---------------------------------------------------------------------------
+
+/// Open-loop read rate the skew phase drives at the hot range (ops/sec).
+pub const OBS_READ_HZ: u64 = 50;
+/// Open-loop write rate the skew phase drives at the warm range (ops/sec).
+pub const OBS_WRITE_HZ: u64 = 5;
+
+/// Everything the obs probe measures, plus the deterministic exports the
+/// golden test pins byte-for-byte.
+pub struct ObsProbeReport {
+    /// Range id of the deliberately skewed (hot) range.
+    pub hot_range: u64,
+    /// Range id of the background (warm) write range.
+    pub warm_range: u64,
+    /// The rate the skew phase drove at the hot range, milli-qps.
+    pub driven_qps_milli: u64,
+    /// `LoadRecorder::hot_ranges` snapshot taken right as the skew ends.
+    pub hot: Vec<mr_obs::RangeLoadSnapshot>,
+    /// `kv.txn.commits` growth expected over the steady window, milli/sec.
+    pub expected_commit_rate_milli: i64,
+    /// The same rate as the tsdb reports it at each resolution.
+    pub commit_rate_fine_milli: i64,
+    pub commit_rate_coarse_milli: i64,
+    /// Retained in-window samples at each resolution.
+    pub fine_samples: usize,
+    pub coarse_samples: usize,
+    /// Latency-attribution sums over every retained transaction record.
+    pub attr_txns: usize,
+    pub attr_total_nanos: u64,
+    /// Nanos charged to a named component (rpc, replication, lock-wait,
+    /// commit-wait, retry) — the rest is `other`.
+    pub attr_named_nanos: u64,
+    pub attr_other_nanos: u64,
+    /// Registry cardinality after the run (the CI budget gate input).
+    pub instrument_count: usize,
+    /// Deterministic exports embedded into `BENCH_obs.json`.
+    pub hot_ranges_json: String,
+    pub slow_txns_json: String,
+    pub metrics_history_json: String,
+}
+
+impl ObsProbeReport {
+    /// Share of end-to-end transaction latency the named attribution
+    /// components explain (the acceptance gate wants ≥ 0.95).
+    pub fn named_fraction(&self) -> f64 {
+        if self.attr_total_nanos == 0 {
+            return 0.0;
+        }
+        self.attr_named_nanos as f64 / self.attr_total_nanos as f64
+    }
+}
+
+/// Drive the load-telemetry pipeline end to end: an open-loop read skew
+/// at one range (plus a 10x-slower write trickle at a second), then a
+/// closed-loop batch of multi-range write transactions for attribution.
+/// Deterministic for a fixed seed.
+pub fn obs_probe(seed: u64, skew_secs: u64, write_txns: usize) -> ObsProbeReport {
+    use mr_kv::cluster::{Cluster, ClusterConfig};
+    use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal};
+    use mr_obs::Resolution;
+
+    assert!(skew_secs >= 10, "skew phase too short to settle the EWMA");
+    let regions = mr_sim::RttMatrix::paper_table1_regions();
+    let topo = mr_sim::Topology::build(
+        &regions[..3],
+        3,
+        mr_sim::RttMatrix::from_upper_millis(3, &[&[63, 87], &[132]]),
+    );
+    let mut c = Cluster::new(
+        topo,
+        ClusterConfig {
+            seed,
+            ..ClusterConfig::default()
+        },
+    );
+    let db_regions: Vec<mr_sim::RegionId> = (0..3).map(mr_sim::RegionId).collect();
+    let alloc = |c: &mut Cluster, start: &str, end: &str| {
+        let zc = derive_zone_config(
+            mr_sim::RegionId(0),
+            &db_regions,
+            SurvivalGoal::Zone,
+            PlacementPolicy::Default,
+            ClosedTsPolicy::Lag,
+        );
+        c.create_range(
+            mr_proto::Span::new(mr_proto::Key::from(start), mr_proto::Key::from(end)),
+            zc,
+        )
+        .expect("allocate range")
+    };
+    let hot_range = alloc(&mut c, "zs/", "zs0");
+    let warm_range = alloc(&mut c, "za/", "za0");
+    c.run_until(SimTime(SimDuration::from_secs(3).nanos()));
+
+    // Skew phase: point reads at `zs/hot` every 1/OBS_READ_HZ seconds of
+    // sim time, with a write to the warm range every OBS_WRITE_HZ-th tick.
+    // Each op is its own (read-only or single-write) transaction so the
+    // commit counter grows at exactly OBS_READ_HZ + OBS_WRITE_HZ per
+    // second over the steady window.
+    let gw = mr_sim::NodeId(0);
+    let t0 = c.now();
+    let ticks = skew_secs * OBS_READ_HZ;
+    for i in 0..ticks {
+        c.run_until(SimTime(t0.nanos() + i * 1_000_000_000 / OBS_READ_HZ));
+        let h = c.txn_begin(gw);
+        c.txn_get(
+            h,
+            mr_proto::Key::from("zs/hot"),
+            Box::new(move |c, res| {
+                res.unwrap_or_else(|e| panic!("probe read failed: {e}"));
+                c.txn_commit(
+                    h,
+                    Box::new(|_, res| {
+                        res.unwrap_or_else(|e| panic!("probe ro commit failed: {e}"));
+                    }),
+                );
+            }),
+        );
+        if i % (OBS_READ_HZ / OBS_WRITE_HZ) == 0 {
+            let h = c.txn_begin(gw);
+            let key = mr_proto::Key::from(format!("za/w{i}").as_str());
+            c.txn_put(
+                h,
+                key,
+                Some(mr_proto::Value::from("obs-probe")),
+                Box::new(move |c, res| {
+                    res.unwrap_or_else(|e| panic!("probe write failed: {e}"));
+                    c.txn_commit(
+                        h,
+                        Box::new(|_, res| {
+                            res.unwrap_or_else(|e| panic!("probe rw commit failed: {e}"));
+                        }),
+                    );
+                }),
+            );
+        }
+    }
+    let t_skew_end = SimTime(t0.nanos() + skew_secs * 1_000_000_000);
+    c.run_until(t_skew_end);
+    c.run_until_quiescent(SimTime(
+        c.now().nanos() + SimDuration::from_secs(60).nanos(),
+    ));
+
+    // Snapshot the heat ranking right as the skew ends, before idling
+    // decays it away.
+    let hot = c.obs.load.hot_ranges(c.now());
+
+    // Counter rates over the interior of the skew window (2s trimmed from
+    // each edge so ramp-up scrapes don't bias the delta), at both
+    // resolutions.
+    let wfrom = SimTime(t0.nanos() + 2_000_000_000);
+    let wto = SimTime(t_skew_end.nanos() - 2_000_000_000);
+    let commit_rate_fine_milli = c
+        .obs
+        .tsdb
+        .rate_milli("kv.txn.commits", Resolution::Fine, wfrom, wto)
+        .unwrap_or(0);
+    let commit_rate_coarse_milli = c
+        .obs
+        .tsdb
+        .rate_milli("kv.txn.commits", Resolution::Coarse, wfrom, wto)
+        .unwrap_or(0);
+    let fine_samples = c
+        .obs
+        .tsdb
+        .window("kv.txn.commits", Resolution::Fine, wfrom, wto)
+        .len();
+    let coarse_samples = c
+        .obs
+        .tsdb
+        .window("kv.txn.commits", Resolution::Coarse, wfrom, wto)
+        .len();
+
+    // Attribution phase: closed-loop multi-range write transactions (the
+    // kind whose latency the paper dissects — intent replication plus the
+    // parallel-commit record).
+    let shapes: Vec<Vec<mr_proto::Key>> = (0..write_txns)
+        .map(|i| {
+            vec![
+                mr_proto::Key::from(format!("zs/b{i}").as_str()),
+                mr_proto::Key::from(format!("za/b{i}").as_str()),
+            ]
+        })
+        .collect();
+    let samples = drive_commit_txns(&mut c, gw, shapes);
+    assert_eq!(samples.len(), write_txns, "probe txns went missing");
+
+    let (mut total, mut named) = (0u64, 0u64);
+    let records = c.attr_log.records();
+    for r in &records {
+        total += r.breakdown.total_nanos;
+        named += r.breakdown.comp_nanos.iter().sum::<u64>();
+    }
+    c.scrape_now();
+
+    let now = c.now();
+    ObsProbeReport {
+        hot_range: hot_range.0,
+        warm_range: warm_range.0,
+        driven_qps_milli: OBS_READ_HZ * 1000,
+        expected_commit_rate_milli: ((OBS_READ_HZ + OBS_WRITE_HZ) * 1000) as i64,
+        commit_rate_fine_milli,
+        commit_rate_coarse_milli,
+        fine_samples,
+        coarse_samples,
+        attr_txns: records.len(),
+        attr_total_nanos: total,
+        attr_named_nanos: named,
+        attr_other_nanos: total - named,
+        instrument_count: c.obs.registry.instrument_count(),
+        hot_ranges_json: c.obs.load.export_json(now, 10),
+        slow_txns_json: c.attr_log.export_json(20),
+        metrics_history_json: c.obs.tsdb.export_json(&[
+            "kv.txn.commits",
+            "kv.attr.slow_txn_records",
+            "kv.load.tracked_ranges",
+        ]),
+        hot,
+    }
+}
+
+/// Render the probe as the deterministic `BENCH_obs.json` document.
+pub fn obs_probe_json(r: &ObsProbeReport) -> String {
+    let hot_rows: Vec<String> = r
+        .hot
+        .iter()
+        .take(5)
+        .map(|s| {
+            format!(
+                "{{\"range\": {}, \"qps_milli\": {}, \"read_qps_milli\": {}, \"write_qps_milli\": {}, \"write_bytes_per_sec\": {}, \"mean_latency_nanos\": {}}}",
+                s.range,
+                s.qps_milli,
+                s.read_qps_milli,
+                s.write_qps_milli,
+                s.write_bytes_per_sec,
+                s.mean_latency_nanos
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"skew\": {{\"hot_range\": {}, \"warm_range\": {}, \"driven_qps_milli\": {}, \"hot_ranges\": [{}]}},\n  \"rates\": {{\"expected_milli\": {}, \"fine_milli\": {}, \"coarse_milli\": {}, \"fine_samples\": {}, \"coarse_samples\": {}}},\n  \"attribution\": {{\"txns\": {}, \"total_nanos\": {}, \"named_nanos\": {}, \"other_nanos\": {}, \"named_fraction\": {:.4}}},\n  \"instrument_count\": {},\n  \"slow_txns\": {},\n  \"hot_ranges_export\": {},\n  \"metrics_history\": {}}}\n",
+        r.hot_range,
+        r.warm_range,
+        r.driven_qps_milli,
+        hot_rows.join(", "),
+        r.expected_commit_rate_milli,
+        r.commit_rate_fine_milli,
+        r.commit_rate_coarse_milli,
+        r.fine_samples,
+        r.coarse_samples,
+        r.attr_txns,
+        r.attr_total_nanos,
+        r.attr_named_nanos,
+        r.attr_other_nanos,
+        r.named_fraction(),
+        r.instrument_count,
+        r.slow_txns_json.trim_end(),
+        r.hot_ranges_json.trim_end(),
+        r.metrics_history_json.trim_end()
+    )
+}

@@ -22,6 +22,7 @@ use mr_raft::{Peer, RaftConfig, RaftMsg, RaftNode};
 use mr_sim::{EventQueue, Link, NodeId, SimDuration, SimRng, SimTime, Topology};
 
 use crate::allocator::{allocate, AllocError};
+use crate::attribution::{self, Component, TxnAttrLog};
 use crate::closedts::ClosedTsParams;
 use crate::events::{EventKind, EventLog};
 use crate::metrics::{req_kind_index, rpc_span_name, KvMetrics, MetricsView};
@@ -247,6 +248,20 @@ struct PendingRpc {
     span: Option<SpanId>,
 }
 
+/// Attribution context of one in-flight RPC: the transaction it serves and
+/// the latency component its round trip charges (if any), plus any time the
+/// request spent parked behind a conflicting intent at the server. Also
+/// feeds per-range latency regardless of transaction ownership.
+struct ReqAttr {
+    txn: Option<(TxnId, Component)>,
+    sent_at: SimTime,
+    range: RangeId,
+    /// Set while the request sits in a lock wait-queue at the leaseholder.
+    parked_at: Option<SimTime>,
+    /// Completed lock-wait time within this round trip.
+    parked_nanos: u64,
+}
+
 /// The simulated multi-region cluster.
 pub struct Cluster {
     pub cfg: ClusterConfig,
@@ -270,6 +285,11 @@ pub struct Cluster {
     /// Reconfiguration generation per range (guards stale raft traffic).
     range_gens: HashMap<RangeId, u32>,
     pending: HashMap<u64, PendingRpc>,
+    /// Attribution side-state for in-flight RPCs, keyed like `pending`.
+    req_attr: HashMap<u64, ReqAttr>,
+    /// Latency breakdowns of finished transactions, backing
+    /// `crdb_internal.slow_txns` and the bench attribution export.
+    pub attr_log: TxnAttrLog,
     wakes: HashMap<u64, Box<dyn FnOnce(&mut Cluster)>>,
     pub(crate) txns: HashMap<TxnId, TxnState>,
     next_req: u64,
@@ -349,6 +369,8 @@ impl Cluster {
             registry: RangeRegistry::new(),
             range_gens: HashMap::new(),
             pending: HashMap::new(),
+            req_attr: HashMap::new(),
+            attr_log: TxnAttrLog::new(),
             wakes: HashMap::new(),
             txns: HashMap::new(),
             next_req: 1,
@@ -740,6 +762,7 @@ impl Cluster {
             }
             *self.range_gens.entry(id).or_insert(0) += 1;
             self.monitor_closed.retain(|&(rid, _), _| rid != id);
+            self.obs.load.forget_range(id.0);
             self.events
                 .record(self.queue.now(), EventKind::RangeDropped { range: id });
         }
@@ -843,8 +866,13 @@ impl Cluster {
             }
             Event::RpcTimeout { req_id } => {
                 if let Some(p) = self.pending.remove(&req_id) {
+                    let now = self.queue.now();
                     self.obs.tracer.attr(p.span, "result", "timeout");
-                    self.obs.tracer.finish(p.span, self.queue.now());
+                    self.obs.tracer.finish(p.span, now);
+                    // Charge the timed-out round trip to its transaction
+                    // (real elapsed time), but keep per-range latency clean:
+                    // no response was served.
+                    self.finish_req_attr(req_id, now, false);
                     (p.cont)(self, Err(KvError::RangeUnavailable { range: RangeId(0) }));
                 }
             }
@@ -934,6 +962,16 @@ impl Cluster {
         let hlc_ts = self.nodes[gateway.0 as usize].hlc.now(now);
         match self.topo.link(gateway, target, &mut self.rng) {
             Link::Deliver(d) => {
+                self.req_attr.insert(
+                    req_id,
+                    ReqAttr {
+                        txn: attribution::req_attribution(&req),
+                        sent_at: now,
+                        range,
+                        parked_at: None,
+                        parked_nanos: 0,
+                    },
+                );
                 self.pending.insert(req_id, PendingRpc { cont, span });
                 if let Some(t) = self.cfg.rpc_timeout {
                     self.queue.schedule(t, Event::RpcTimeout { req_id });
@@ -955,6 +993,29 @@ impl Cluster {
                 self.obs.tracer.attr(span, "result", "unreachable");
                 self.obs.tracer.finish(span, now);
                 cont(self, Err(KvError::RangeUnavailable { range }));
+            }
+        }
+    }
+
+    /// Close an RPC's attribution entry: fold any still-open lock-wait
+    /// interval, record per-range latency (responses only), and charge the
+    /// round trip to the owning transaction's accumulator — carving the
+    /// parked portion out as `lock_wait`.
+    fn finish_req_attr(&mut self, req_id: u64, now: SimTime, served: bool) {
+        let Some(mut a) = self.req_attr.remove(&req_id) else {
+            return;
+        };
+        if let Some(p) = a.parked_at.take() {
+            a.parked_nanos += (now - p).nanos();
+        }
+        if served {
+            self.obs
+                .load
+                .record_latency(now, a.range.0, (now - a.sent_at).nanos());
+        }
+        if let Some((id, comp)) = a.txn {
+            if let Some(st) = self.txns.get_mut(&id) {
+                st.attr.charge_split(comp, a.sent_at, now, a.parked_nanos);
             }
         }
     }
@@ -1047,6 +1108,7 @@ impl Cluster {
                         self.obs.tracer.attr(p.span, "result", outcome);
                     }
                     self.obs.tracer.finish(p.span, now);
+                    self.finish_req_attr(env.req_id, now, true);
                     (p.cont)(self, result);
                 }
             }
@@ -1063,6 +1125,13 @@ impl Cluster {
         path: ReplyPath,
     ) {
         let now = self.queue.now();
+        // A request re-entering evaluation after being unparked closes its
+        // lock-wait interval (charged as `lock_wait` when the RPC finishes).
+        if let Some(a) = self.req_attr.get_mut(&path.req_id) {
+            if let Some(p) = a.parked_at.take() {
+                a.parked_nanos += (now - p).nanos();
+            }
+        }
         let Some(desc) = self.registry.get(range) else {
             let key = req.routing_key().clone();
             self.send_response(node, path, Err(KvError::NoSuchRange { key }));
@@ -1080,6 +1149,8 @@ impl Cluster {
             _ => None,
         };
         let req_is_read = req.is_read();
+        let req_is_write = req.is_write();
+        let wbytes = attribution::write_bytes(&req);
         let has_replica = self.nodes[node.0 as usize].replicas.contains_key(&range);
         if !has_replica {
             let err = KvError::NotLeaseholder { range, leaseholder };
@@ -1172,13 +1243,25 @@ impl Cluster {
                     // un-quiesce: reads don't wake the group).
                     self.m.read_fast_path.inc();
                 }
+                if req_is_read && result.is_ok() {
+                    // Served read: one unit of per-range read load.
+                    self.obs.load.record_read(now, range.0);
+                }
                 self.send_response(node, path, result);
             }
             EvalOutcome::Parked { key, holder } => {
                 self.m.parked_requests.inc();
+                if let Some(a) = self.req_attr.get_mut(&path.req_id) {
+                    a.parked_at = Some(now);
+                }
                 self.start_pusher(node, range, key, holder);
             }
             EvalOutcome::Proposed { msgs } => {
+                if req_is_write {
+                    // Accepted write: per-range write load with its logical
+                    // key+value payload.
+                    self.obs.load.record_write(now, range.0, wbytes);
+                }
                 self.dispatch_raft_msgs(node, range, msgs);
                 self.pump_replica(node, range);
                 self.schedule_raft_flush(node, range);
@@ -1653,6 +1736,10 @@ impl Cluster {
         r.gauge("kv.locks.held_keys", &[]).set(locked_keys as i64);
         r.gauge("kv.ops.outstanding", &[])
             .set(self.outstanding_ops as i64);
+        r.gauge("kv.load.tracked_ranges", &[])
+            .set(self.obs.load.len() as i64);
+        r.gauge("kv.attr.slow_txn_records", &[])
+            .set(self.attr_log.len() as i64);
         self.obs.scrape(now);
     }
 

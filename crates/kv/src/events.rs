@@ -1,4 +1,4 @@
-//! Append-only cluster event log.
+//! Bounded cluster event log.
 //!
 //! Structured admin-plane events — range creation, zone-config changes,
 //! lease transfers (cooperative and failover), row rehoming — recorded in
@@ -6,8 +6,14 @@
 //! `crdb_internal.cluster_events` virtual table and feeds the online
 //! invariant monitors; its JSON export is deterministic for a fixed seed
 //! (integers and fixed strings only, append order).
+//!
+//! Retention is a ring: once `cap` events are held, each new record evicts
+//! the oldest and bumps a `dropped` counter. Sequence numbers stay globally
+//! monotone across evictions, so a reader can always tell truncated history
+//! (first retained `seq` > `dropped` gap) from empty history.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use mr_proto::RangeId;
@@ -117,11 +123,29 @@ pub struct ClusterEvent {
     pub kind: EventKind,
 }
 
-/// The append-only log. Cloning shares the underlying store (the SQL layer
+/// Default event retention. Admin-plane events are low-rate (range
+/// lifecycle, lease movement), so this covers long runs; sustained chaos
+/// schedules roll over with `dropped` accounting.
+pub const DEFAULT_EVENT_CAP: usize = 65_536;
+
+struct EventLogInner {
+    events: VecDeque<ClusterEvent>,
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// The bounded log. Cloning shares the underlying store (the SQL layer
 /// holds a handle alongside the cluster).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct EventLog {
-    events: Rc<RefCell<Vec<ClusterEvent>>>,
+    inner: Rc<RefCell<EventLogInner>>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_EVENT_CAP)
+    }
 }
 
 impl EventLog {
@@ -129,31 +153,57 @@ impl EventLog {
         Self::default()
     }
 
-    /// Append one event; returns its sequence number (1-based).
+    /// A log retaining at most `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "event capacity must be positive");
+        EventLog {
+            inner: Rc::new(RefCell::new(EventLogInner {
+                events: VecDeque::new(),
+                cap,
+                next_seq: 1,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Append one event; returns its sequence number (1-based, monotone
+    /// across evictions).
     pub fn record(&self, at: SimTime, kind: EventKind) -> u64 {
-        let mut ev = self.events.borrow_mut();
-        let seq = ev.len() as u64 + 1;
-        ev.push(ClusterEvent { seq, at, kind });
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == inner.cap {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(ClusterEvent { seq, at, kind });
         seq
     }
 
+    /// Retained events (excludes evicted ones).
     pub fn len(&self) -> usize {
-        self.events.borrow().len()
+        self.inner.borrow().events.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Copy of the log in append order.
-    pub fn events(&self) -> Vec<ClusterEvent> {
-        self.events.borrow().clone()
+    /// Events evicted by the retention cap so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
     }
 
-    /// Count of events with the given kind label.
+    /// Copy of the retained log in append order.
+    pub fn events(&self) -> Vec<ClusterEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Count of retained events with the given kind label.
     pub fn count_kind(&self, label: &str) -> usize {
-        self.events
+        self.inner
             .borrow()
+            .events
             .iter()
             .filter(|e| e.kind.label() == label)
             .count()
@@ -162,7 +212,7 @@ impl EventLog {
     /// Deterministic JSON export: one object per event, append order.
     pub fn export_json(&self) -> String {
         let mut out = String::from("[\n");
-        for (i, e) in self.events.borrow().iter().enumerate() {
+        for (i, e) in self.inner.borrow().events.iter().enumerate() {
             if i > 0 {
                 out.push_str(",\n");
             }
@@ -227,5 +277,23 @@ mod tests {
         assert!(json.contains("\"range\": null"));
         // Deterministic: same content renders the same bytes.
         assert_eq!(json, log.export_json());
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_keeping_monotone_seqs() {
+        let log = EventLog::with_capacity(2);
+        for i in 0..5 {
+            let seq = log.record(SimTime(i), EventKind::RangeDropped { range: RangeId(i) });
+            assert_eq!(seq, i + 1);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let evs = log.events();
+        assert_eq!(evs.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5]);
+        // The next record continues the global sequence.
+        assert_eq!(
+            log.record(SimTime(9), EventKind::RangeDropped { range: RangeId(9) }),
+            6
+        );
     }
 }

@@ -32,6 +32,7 @@
 //!   protocol (future-time writes + commit wait).
 
 pub mod allocator;
+pub mod attribution;
 pub mod closedts;
 pub mod cluster;
 pub mod events;
@@ -45,6 +46,7 @@ pub mod txn;
 pub mod zone;
 
 pub use allocator::{allocate, AllocError, AllocationOutcome, Placement, ReplicaRole};
+pub use attribution::{AttrBreakdown, Component, TxnAttrLog, TxnAttrRecord, COMPONENTS};
 pub use closedts::{ClosedTsParams, ClosedTsTracker};
 pub use cluster::{Cluster, ClusterConfig, KvResult, ReadOptions, Staleness};
 pub use events::{ClusterEvent, EventKind, EventLog};

@@ -27,8 +27,9 @@ use std::rc::Rc;
 use mr_clock::Timestamp;
 use mr_obs::SpanId;
 use mr_proto::{Key, KvError, ReadCtx, Request, Response, Span, TxnId, TxnMeta, TxnStatus, Value};
-use mr_sim::{NodeId, SimDuration};
+use mr_sim::{NodeId, SimDuration, SimTime};
 
+use crate::attribution::{AttrAcc, Component, TxnAttrRecord, COMPONENTS};
 use crate::cluster::{Cluster, Cont, KvResult, ReadOptions, Staleness};
 use crate::zone::ClosedTsPolicy;
 
@@ -108,6 +109,11 @@ pub(crate) struct TxnState {
     /// A sent key was written again: its issued intent holds a stale value,
     /// so commit falls back to re-putting every buffered write.
     pub rewrote_sent: bool,
+    /// Latency attribution accumulator (RPC / replication / lock-wait /
+    /// commit-wait / retry components, watermark-unioned).
+    pub attr: AttrAcc,
+    /// Whether the transaction reached a commit (vs abort/rollback).
+    pub committed: bool,
 }
 
 impl TxnState {
@@ -195,6 +201,8 @@ impl Cluster {
                 pipeline: Rc::new(RefCell::new(PipelineState::default())),
                 sent: Vec::new(),
                 rewrote_sent: false,
+                attr: AttrAcc::new(self.now()),
+                committed: false,
             },
         );
         TxnHandle { id, gateway }
@@ -545,10 +553,54 @@ impl Cluster {
         self.txns.get(&id).and_then(|st| st.span)
     }
 
-    /// Close a transaction's span once it reaches a terminal state.
+    /// Close a transaction's span once it reaches a terminal state, and
+    /// roll its latency attribution up into histograms, span attributes,
+    /// and the slow-transaction log.
     fn finish_txn_span(&mut self, id: TxnId) {
         let span = self.txn_span(id);
-        self.obs.tracer.finish(span, self.now());
+        let now = self.now();
+        self.finalize_txn_attr(id, now);
+        self.obs.tracer.finish(span, now);
+    }
+
+    /// One-shot attribution rollup for a finished transaction. Straggler
+    /// RPCs completing after this (an aborted pipeline's in-flight writes)
+    /// no longer charge the accumulator.
+    fn finalize_txn_attr(&mut self, id: TxnId, now: SimTime) {
+        let Some(st) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if st.attr.is_done() {
+            return;
+        }
+        let start = st.attr.start();
+        let breakdown = st.attr.finalize(now);
+        let (gateway, span, committed) = (st.gateway, st.span, st.committed);
+        for (c, n) in COMPONENTS.iter().zip(breakdown.comp_nanos.iter()) {
+            self.obs
+                .registry
+                .histogram("kv.txn.attr.latency", &[("comp", c.label())])
+                .record(*n);
+            self.obs.tracer.attr(span, c.attr_key(), n.to_string());
+        }
+        self.obs
+            .registry
+            .histogram("kv.txn.attr.latency", &[("comp", "other")])
+            .record(breakdown.other_nanos);
+        self.obs
+            .registry
+            .histogram("kv.txn.attr.latency", &[("comp", "total")])
+            .record(breakdown.total_nanos);
+        self.obs
+            .tracer
+            .attr(span, "attr.other", breakdown.other_nanos.to_string());
+        self.attr_log.record(TxnAttrRecord {
+            txn_id: id.0,
+            gateway: gateway.0 as u64,
+            start,
+            breakdown,
+            committed,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1033,12 +1085,13 @@ impl Cluster {
             let finish: Box<dyn FnOnce(&mut Cluster)> = Box::new(move |c: &mut Cluster| {
                 if let Some(st) = c.txns.get_mut(&id) {
                     st.finished = true;
+                    st.committed = true;
                 }
                 c.m.txn_commits.inc();
                 c.finish_txn_span(id);
                 cont(c, Ok(commit_ts));
             });
-            self.commit_wait(gateway, commit_ts, tspan, finish);
+            self.commit_wait(gateway, commit_ts, Some(id), tspan, finish);
             return;
         }
         // Pipelined writes are already in flight as intents: join them and
@@ -1098,6 +1151,7 @@ impl Cluster {
                     Ok(Response::CommitInline { commit_ts }) => {
                         if let Some(st) = c.txns.get_mut(&id) {
                             st.finished = true;
+                            st.committed = true;
                             // Spanner-style ablation: locks were kept; the
                             // coordinator resolves them after commit wait.
                             if c.cfg.commit_wait_holds_locks {
@@ -1113,7 +1167,7 @@ impl Cluster {
                                 c2.finish_txn_span(id);
                                 cont(c2, Ok(commit_ts))
                             });
-                        c.commit_wait(gateway, commit_ts, tspan, finish);
+                        c.commit_wait(gateway, commit_ts, Some(id), tspan, finish);
                     }
                     Ok(_) => unreachable!("commit-inline returned unexpected response"),
                     Err(KvError::WriteTooOld { .. }) => {
@@ -1365,13 +1419,14 @@ impl Cluster {
         c.m.txn_commits.inc();
         if let Some(st) = c.txns.get_mut(&id) {
             st.finished = true;
+            st.committed = true;
         }
         let finish: Box<dyn FnOnce(&mut Cluster)> = Box::new(move |c2: &mut Cluster| {
             c2.txn_make_explicit(id, staged_ts);
             c2.finish_txn_span(id);
             cont(c2, Ok(staged_ts));
         });
-        c.commit_wait(gateway, staged_ts, tspan, finish);
+        c.commit_wait(gateway, staged_ts, Some(id), tspan, finish);
     }
 
     /// Asynchronously convert an implicit commit (STAGING record + all
@@ -1571,6 +1626,7 @@ impl Cluster {
                 Ok(Response::EndTxn { commit_ts }) => {
                     if let Some(st) = c.txns.get_mut(&id) {
                         st.finished = true;
+                        st.committed = true;
                     }
                     c.m.txn_commits.inc();
                     if c.cfg.commit_wait_holds_locks {
@@ -1582,7 +1638,7 @@ impl Cluster {
                                 c2.finish_txn_span(id);
                                 cont(c2, Ok(commit_ts));
                             });
-                        c.commit_wait(gateway, commit_ts, tspan, finish);
+                        c.commit_wait(gateway, commit_ts, Some(id), tspan, finish);
                     } else {
                         // CRDB: intent resolution proceeds concurrently with
                         // commit wait (§6.2) — locks release while we wait.
@@ -1592,7 +1648,7 @@ impl Cluster {
                                 c2.finish_txn_span(id);
                                 cont(c2, Ok(commit_ts))
                             });
-                        c.commit_wait(gateway, commit_ts, tspan, finish);
+                        c.commit_wait(gateway, commit_ts, Some(id), tspan, finish);
                     }
                 }
                 Ok(_) => unreachable!("end txn returned unexpected response"),
@@ -1636,6 +1692,7 @@ impl Cluster {
         &mut self,
         gateway: NodeId,
         ts: Timestamp,
+        txn: Option<TxnId>,
         parent: Option<SpanId>,
         f: Box<dyn FnOnce(&mut Cluster)>,
     ) {
@@ -1644,6 +1701,7 @@ impl Cluster {
         if wait == SimDuration::ZERO {
             f(self);
         } else {
+            let wait_start = now;
             self.m.commit_waits.inc();
             self.m.commit_wait_nanos.add(wait.nanos());
             self.m.commit_wait_latency.record(wait.nanos());
@@ -1657,6 +1715,11 @@ impl Cluster {
                 Box::new(move |c| {
                     let now = c.now();
                     c.obs.tracer.finish(span, now);
+                    if let Some(id) = txn {
+                        if let Some(st) = c.txns.get_mut(&id) {
+                            st.attr.charge(Component::CommitWait, wait_start, now);
+                        }
+                    }
                     // §6.2 correctness hinges on the wait being long enough:
                     // once it elapses, the gateway clock must have passed the
                     // (future-time) commit timestamp, so no later reader can

@@ -28,27 +28,34 @@
 
 pub mod export;
 pub mod histogram;
+pub mod load;
 pub mod monitor;
 pub mod registry;
 pub mod scrape;
 pub mod trace;
+pub mod tsdb;
 
 pub use histogram::{Histogram, HistogramSnapshot};
+pub use load::{DecayedCounter, LoadRecorder, RangeLoadSnapshot};
 pub use monitor::{MonitorSet, Violation};
 pub use registry::{Counter, Gauge, HistogramHandle, MetricKey, Registry, Snapshot};
 pub use scrape::{ScrapePoint, Scraper};
 pub use trace::{SpanData, SpanId, Tracer};
+pub use tsdb::{Resolution, TsDb, TsDbConfig};
 
 use mr_sim::SimTime;
 
 /// The observability bundle a cluster carries: one registry, one tracer, one
-/// scrape series, one set of online invariant monitors. Cloning shares the
+/// scrape series, one windowed time-series store, one per-range load
+/// recorder, one set of online invariant monitors. Cloning shares the
 /// underlying state.
 #[derive(Clone, Default)]
 pub struct Obs {
     pub registry: Registry,
     pub tracer: Tracer,
     pub scraper: Scraper,
+    pub tsdb: TsDb,
+    pub load: LoadRecorder,
     pub monitors: MonitorSet,
 }
 
@@ -58,7 +65,11 @@ impl Obs {
     }
 
     /// Record one scrape point at `now` from the current registry contents.
+    /// One registry walk feeds both the flat scrape series and the windowed
+    /// time-series store.
     pub fn scrape(&self, now: SimTime) {
-        self.scraper.scrape(now, &self.registry);
+        let values = scrape::collect_values(&self.registry);
+        self.tsdb.ingest(now, &values);
+        self.scraper.push(now, values);
     }
 }

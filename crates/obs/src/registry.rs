@@ -165,6 +165,14 @@ impl Registry {
             .clone()
     }
 
+    /// Total registered instruments (counters + gauges + histograms) across
+    /// all label sets. The CI cardinality guard fails when this exceeds the
+    /// budget, catching accidental per-key or per-txn label explosions.
+    pub fn instrument_count(&self) -> usize {
+        let inner = self.inner.borrow();
+        inner.counters.len() + inner.gauges.len() + inner.histograms.len()
+    }
+
     /// Sum of all counters sharing `name`, across label sets.
     pub fn counter_total(&self, name: &str) -> u64 {
         self.inner

@@ -1,12 +1,20 @@
 //! Periodic registry scrapes: time series over sim-time.
 //!
 //! The cluster schedules a scrape event on a fixed sim-time interval; each
-//! scrape copies every counter and gauge (and histogram count/sum, so rates
-//! are derivable) into an append-only series. Benches export the series as
-//! CSV to plot closed-ts lag, lease transfers, or restart rates over the run
-//! instead of only end-of-run totals.
+//! scrape copies every counter and gauge (and histogram `count`/`sum` plus
+//! derived `p50`/`p99`, so latency plots need no offline bucket math) into
+//! a bounded series. Benches export the series as CSV to plot closed-ts
+//! lag, lease transfers, or restart rates over the run instead of only
+//! end-of-run totals.
+//!
+//! Retention is a ring: once `cap` points are held, each new scrape evicts
+//! the oldest and bumps a `dropped` counter, so multi-hour runs don't
+//! accrete memory forever and readers can tell truncated history from
+//! empty history. The full-fidelity windowed store is [`crate::tsdb`]; the
+//! scraper remains the flat tail used by CSV exports.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::export::csv_field;
@@ -14,17 +22,55 @@ use crate::registry::Registry;
 use mr_sim::SimTime;
 
 /// One scrape: every instrument's value at `at`, in registry (sorted) order.
-/// Histograms contribute `<name>.count` and `<name>.sum` rows.
+/// Histograms contribute `<name>.count`, `<name>.sum`, `<name>.p50`, and
+/// `<name>.p99` rows.
 #[derive(Clone, Debug)]
 pub struct ScrapePoint {
     pub at: SimTime,
     pub values: Vec<(String, i64)>,
 }
 
-/// Append-only scrape series. Cloning shares the underlying store.
-#[derive(Clone, Default)]
+/// Flatten the registry into one scrape's worth of `(metric, value)` rows,
+/// in deterministic sorted order. Shared by the scraper and the tsdb so one
+/// registry walk feeds both.
+pub fn collect_values(registry: &Registry) -> Vec<(String, i64)> {
+    let snap = registry.snapshot();
+    let mut values = Vec::new();
+    for (k, v) in &snap.counters {
+        values.push((k.to_string(), *v as i64));
+    }
+    for (k, v) in &snap.gauges {
+        values.push((k.to_string(), *v));
+    }
+    for (k, h) in &snap.histograms {
+        values.push((format!("{k}.count"), h.count as i64));
+        values.push((format!("{k}.sum"), h.sum as i64));
+        values.push((format!("{k}.p50"), h.p50 as i64));
+        values.push((format!("{k}.p99"), h.p99 as i64));
+    }
+    values
+}
+
+/// Default scrape-point retention: at a 1s scrape interval, over an hour of
+/// history.
+pub const DEFAULT_SCRAPE_CAP: usize = 4096;
+
+struct ScraperInner {
+    points: VecDeque<ScrapePoint>,
+    cap: usize,
+    dropped: u64,
+}
+
+/// Bounded scrape series. Cloning shares the underlying store.
+#[derive(Clone)]
 pub struct Scraper {
-    points: Rc<RefCell<Vec<ScrapePoint>>>,
+    inner: Rc<RefCell<ScraperInner>>,
+}
+
+impl Default for Scraper {
+    fn default() -> Self {
+        Scraper::with_capacity(DEFAULT_SCRAPE_CAP)
+    }
 }
 
 impl Scraper {
@@ -32,38 +78,57 @@ impl Scraper {
         Self::default()
     }
 
-    pub fn scrape(&self, at: SimTime, registry: &Registry) {
-        let snap = registry.snapshot();
-        let mut values = Vec::new();
-        for (k, v) in &snap.counters {
-            values.push((k.to_string(), *v as i64));
+    /// A scraper retaining at most `cap` points.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "scrape capacity must be positive");
+        Scraper {
+            inner: Rc::new(RefCell::new(ScraperInner {
+                points: VecDeque::new(),
+                cap,
+                dropped: 0,
+            })),
         }
-        for (k, v) in &snap.gauges {
-            values.push((k.to_string(), *v));
-        }
-        for (k, h) in &snap.histograms {
-            values.push((format!("{k}.count"), h.count as i64));
-            values.push((format!("{k}.sum"), h.sum as i64));
-        }
-        self.points.borrow_mut().push(ScrapePoint { at, values });
     }
 
+    pub fn scrape(&self, at: SimTime, registry: &Registry) {
+        self.push(at, collect_values(registry));
+    }
+
+    /// Append an already-collected scrape (evicting the oldest point when
+    /// at capacity).
+    pub fn push(&self, at: SimTime, values: Vec<(String, i64)>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.points.len() == inner.cap {
+            inner.points.pop_front();
+            inner.dropped += 1;
+        }
+        inner.points.push_back(ScrapePoint { at, values });
+    }
+
+    /// Retained points (excludes evicted ones).
     pub fn len(&self) -> usize {
-        self.points.borrow().len()
+        self.inner.borrow().points.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    pub fn points(&self) -> Vec<ScrapePoint> {
-        self.points.borrow().clone()
+    /// Points evicted by the retention cap so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
     }
 
-    /// The series of one metric: `(time, value)` per scrape that carried it.
+    pub fn points(&self) -> Vec<ScrapePoint> {
+        self.inner.borrow().points.iter().cloned().collect()
+    }
+
+    /// The series of one metric: `(time, value)` per retained scrape that
+    /// carried it.
     pub fn series(&self, metric: &str) -> Vec<(SimTime, i64)> {
-        self.points
+        self.inner
             .borrow()
+            .points
             .iter()
             .filter_map(|p| {
                 p.values
@@ -77,7 +142,7 @@ impl Scraper {
     /// Long-format CSV: `time_ns,metric,value`, deterministic row order.
     pub fn export_csv(&self) -> String {
         let mut out = String::from("time_ns,metric,value\n");
-        for p in self.points.borrow().iter() {
+        for p in self.inner.borrow().points.iter() {
             for (name, v) in &p.values {
                 out.push_str(&format!("{},{},{v}\n", p.at.0, csv_field(name)));
             }
@@ -112,5 +177,48 @@ mod tests {
         let csv = sc.export_csv();
         assert!(csv.starts_with("time_ns,metric,value\n"));
         assert!(csv.contains("2000000000,kv.lease.transfers,3\n"));
+    }
+
+    #[test]
+    fn histogram_rows_include_percentiles() {
+        let r = Registry::new();
+        let h = r.histogram("kv.op.latency", &[]);
+        for v in [100, 200, 300, 10_000] {
+            h.record(v);
+        }
+        let sc = Scraper::new();
+        sc.scrape(SimTime(0), &r);
+        let p = &sc.points()[0];
+        let get = |name: &str| {
+            p.values
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("kv.op.latency.count"), 4);
+        assert_eq!(get("kv.op.latency.sum"), 10_600);
+        let (p50, p99) = (get("kv.op.latency.p50"), get("kv.op.latency.p99"));
+        // Log-bucketed: values land within one bucket (6.25%) of truth.
+        assert!((180..=220).contains(&p50), "p50 {p50}");
+        assert!((9_000..=11_000).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_and_counts_drops() {
+        let r = Registry::new();
+        let c = r.counter("c", &[]);
+        let sc = Scraper::with_capacity(2);
+        for i in 0..5u64 {
+            c.add(1);
+            sc.scrape(SimTime(i), &r);
+        }
+        assert_eq!(sc.len(), 2);
+        assert_eq!(sc.dropped(), 3);
+        let series = sc.series("c");
+        assert_eq!(
+            series.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
     }
 }

@@ -1,0 +1,119 @@
+//! Property tests for the EWMA decayed counter behind per-range load
+//! telemetry. Two properties are load-bearing for determinism and ranking
+//! stability:
+//!
+//! * **same-tick order independence** — samples recorded at the same
+//!   sim-instant accumulate in an integer pending bucket, so any
+//!   permutation (or any regrouping into partial sums) of same-tick adds
+//!   yields a bit-identical decayed sum;
+//! * **monotone idle decay** — with no new samples, the decayed sum never
+//!   increases as time advances, and drops by exactly half per half-life.
+
+use mr_obs::DecayedCounter;
+use mr_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn t(nanos: u64) -> SimTime {
+    SimTime(nanos)
+}
+
+proptest! {
+    /// Permuting (and regrouping) the samples recorded at one sim-instant
+    /// never changes the decayed sum, bit for bit.
+    #[test]
+    fn same_tick_samples_are_order_independent(
+        half_life_ms in 1u64..100_000,
+        // Earlier history at distinct instants, then a burst at one tick.
+        history in prop::collection::vec((0u64..1_000_000_000, 1u64..1000), 0..20),
+        burst in prop::collection::vec(1u64..1_000_000, 1..30),
+        perm_seed in any::<u64>(),
+        read_after_ns in 0u64..10_000_000_000,
+    ) {
+        let tick = 2_000_000_000u64;
+        let read_at = t(tick + read_after_ns);
+
+        let run = |burst: &[u64]| {
+            let mut c = DecayedCounter::new(SimDuration::from_millis(half_life_ms));
+            for &(at, n) in &history {
+                c.add(t(at), n);
+            }
+            for &n in burst {
+                c.add(t(tick), n);
+            }
+            c.decayed_sum(read_at).to_bits()
+        };
+
+        // A deterministic pseudo-shuffle of the burst.
+        let mut shuffled = burst.clone();
+        let mut s = perm_seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        prop_assert_eq!(run(&burst), run(&shuffled));
+
+        // Regrouping into one lump sum is also identical: integer pending
+        // accumulation has no float rounding to disturb.
+        let total: u64 = burst.iter().sum();
+        prop_assert_eq!(run(&burst), run(&[total]));
+    }
+
+    /// With no new samples, the decayed sum is non-increasing in time and
+    /// halves (within float tolerance) per half-life.
+    #[test]
+    fn idle_decay_is_monotone(
+        half_life_ms in 1u64..100_000,
+        samples in prop::collection::vec((0u64..1_000_000_000, 1u64..1_000_000), 1..30),
+        mut probes in prop::collection::vec(1_000_000_000u64..100_000_000_000, 2..20),
+    ) {
+        let mut c = DecayedCounter::new(SimDuration::from_millis(half_life_ms));
+        for &(at, n) in &samples {
+            c.add(t(at), n);
+        }
+        probes.sort_unstable();
+        let mut last = f64::INFINITY;
+        for &p in &probes {
+            let v = c.decayed_sum(t(p));
+            prop_assert!(v <= last, "decayed sum rose while idle: {v} > {last}");
+            prop_assert!(v >= 0.0);
+            last = v;
+        }
+
+        // Exactly one half-life later, the sum is half (modulo float eps).
+        let start = t(1_000_000_000);
+        let one_hl = t(1_000_000_000 + SimDuration::from_millis(half_life_ms).nanos());
+        let (a, b) = (c.decayed_sum(start), c.decayed_sum(one_hl));
+        if a > 0.0 {
+            prop_assert!((b / a - 0.5).abs() < 1e-9, "half-life ratio {} != 0.5", b / a);
+        }
+    }
+
+    /// Reading the decayed sum (a `&self` probe) never perturbs subsequent
+    /// reads: probing at arbitrary intermediate times leaves the final
+    /// value bit-identical to never probing.
+    #[test]
+    fn probing_is_side_effect_free(
+        half_life_ms in 1u64..100_000,
+        samples in prop::collection::vec((0u64..1_000_000_000, 1u64..1000), 1..20),
+        probes in prop::collection::vec(0u64..2_000_000_000, 0..10),
+    ) {
+        let build = || {
+            let mut c = DecayedCounter::new(SimDuration::from_millis(half_life_ms));
+            for &(at, n) in &samples {
+                c.add(t(at), n);
+            }
+            c
+        };
+        let quiet = build();
+        let probed = build();
+        for &p in &probes {
+            let _ = probed.decayed_sum(t(p));
+            let _ = probed.rate(t(p));
+        }
+        let read = t(3_000_000_000);
+        prop_assert_eq!(
+            quiet.decayed_sum(read).to_bits(),
+            probed.decayed_sum(read).to_bits()
+        );
+    }
+}

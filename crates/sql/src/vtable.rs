@@ -9,10 +9,19 @@
 //!   voter / non-voter sets;
 //! * `crdb_internal.node_metrics` — a SQL view over the observability
 //!   registry (counters, gauges, histogram percentiles);
-//! * `crdb_internal.cluster_events` — the append-only admin event log
+//! * `crdb_internal.cluster_events` — the bounded admin event log
 //!   (range lifecycle, lease transfers, zone-config changes, row rehoming);
 //! * `crdb_internal.replication_report` — per-range conformance
-//!   classification against the derived zone configs.
+//!   classification against the derived zone configs;
+//! * `crdb_internal.hot_ranges` — ranges ranked by EWMA-decayed QPS with
+//!   their read/write split, write throughput, mean latency, and
+//!   leaseholder placement;
+//! * `crdb_internal.metrics_history` — the windowed time-series store:
+//!   every retained scrape sample at both resolutions, with per-sample
+//!   instantaneous rates;
+//! * `crdb_internal.slow_txns` — slowest finished transactions with their
+//!   latency attributed to named components (rpc, replication, lock-wait,
+//!   commit-wait, retry).
 //!
 //! Row order is deterministic (sorted by id / registry order), so
 //! same-seed runs produce identical results.
@@ -21,8 +30,9 @@ use std::collections::BTreeMap;
 
 use mr_kv::cluster::Cluster;
 use mr_kv::range::RangeDescriptor;
+use mr_obs::Resolution;
 use mr_proto::RangeId;
-use mr_sim::NodeId;
+use mr_sim::{NodeId, SimTime};
 
 use crate::catalog::{Catalog, Column, Database, PartitionKey, Table, TableLocality};
 use crate::types::{ColumnType, Datum};
@@ -290,6 +300,148 @@ fn replication_report(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<D
     (schema, rows)
 }
 
+/// `crdb_internal.hot_ranges`: ranges ranked by decayed QPS (hottest
+/// first), joined with leaseholder placement from the range registry.
+fn hot_ranges(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.hot_ranges",
+        &[
+            ("rank", ColumnType::Int),
+            ("range_id", ColumnType::Int),
+            ("leaseholder_node", ColumnType::Int),
+            ("leaseholder_region", ColumnType::String),
+            ("qps_milli", ColumnType::Int),
+            ("read_qps_milli", ColumnType::Int),
+            ("write_qps_milli", ColumnType::Int),
+            ("write_bytes_per_sec", ColumnType::Int),
+            ("mean_latency_nanos", ColumnType::Int),
+        ],
+    );
+    let topo = cluster.topology();
+    let now = cluster.now();
+    let rows = cluster
+        .obs
+        .load
+        .hot_ranges(now)
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let (lh_node, lh_region) = match cluster.registry().get(RangeId(s.range)) {
+                Some(d) => (
+                    Datum::Int(d.leaseholder.0 as i64),
+                    Datum::String(topo.region_name(topo.region_of(d.leaseholder)).to_string()),
+                ),
+                None => (Datum::Null, Datum::Null),
+            };
+            vec![
+                Datum::Int(i as i64 + 1),
+                Datum::Int(s.range as i64),
+                lh_node,
+                lh_region,
+                Datum::Int(s.qps_milli as i64),
+                Datum::Int(s.read_qps_milli as i64),
+                Datum::Int(s.write_qps_milli as i64),
+                Datum::Int(s.write_bytes_per_sec as i64),
+                Datum::Int(s.mean_latency_nanos as i64),
+            ]
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// `crdb_internal.metrics_history`: every sample retained by the windowed
+/// time-series store, at both resolutions, with the instantaneous rate
+/// against the previous sample (milli-units/sec; NULL on the first sample
+/// of a series).
+fn metrics_history(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.metrics_history",
+        &[
+            ("metric", ColumnType::String),
+            ("resolution", ColumnType::String),
+            ("time_ns", ColumnType::Int),
+            ("value", ColumnType::Int),
+            ("rate_milli", ColumnType::Int),
+        ],
+    );
+    let tsdb = &cluster.obs.tsdb;
+    let now = cluster.now();
+    let mut rows = Vec::new();
+    for metric in tsdb.metrics() {
+        for res in [Resolution::Fine, Resolution::Coarse] {
+            let mut prev: Option<(SimTime, i64)> = None;
+            for (at, v) in tsdb.window(&metric, res, SimTime::ZERO, now) {
+                let rate = prev.and_then(|(pat, pv)| {
+                    let dt = (at - pat).nanos();
+                    if dt == 0 {
+                        None
+                    } else {
+                        Some(((v as i128 - pv as i128) * 1_000_000_000_000i128 / dt as i128) as i64)
+                    }
+                });
+                rows.push(vec![
+                    Datum::String(metric.clone()),
+                    Datum::String(res.as_str().to_string()),
+                    Datum::Int(at.0 as i64),
+                    Datum::Int(v),
+                    rate.map(Datum::Int).unwrap_or(Datum::Null),
+                ]);
+                prev = Some((at, v));
+            }
+        }
+    }
+    (schema, rows)
+}
+
+/// `crdb_internal.slow_txns`: the slowest finished transactions with their
+/// latency broken into attribution components.
+fn slow_txns(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.slow_txns",
+        &[
+            ("rank", ColumnType::Int),
+            ("txn_id", ColumnType::Int),
+            ("gateway_node", ColumnType::Int),
+            ("gateway_region", ColumnType::String),
+            ("start_ns", ColumnType::Int),
+            ("total_nanos", ColumnType::Int),
+            ("rpc_nanos", ColumnType::Int),
+            ("replication_nanos", ColumnType::Int),
+            ("lock_wait_nanos", ColumnType::Int),
+            ("commit_wait_nanos", ColumnType::Int),
+            ("retry_nanos", ColumnType::Int),
+            ("other_nanos", ColumnType::Int),
+            ("committed", ColumnType::Bool),
+        ],
+    );
+    let topo = cluster.topology();
+    let rows = cluster
+        .attr_log
+        .slowest(SLOW_TXN_LIMIT)
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let gw = NodeId(r.gateway as u32);
+            let mut row = vec![
+                Datum::Int(i as i64 + 1),
+                Datum::Int(r.txn_id as i64),
+                Datum::Int(r.gateway as i64),
+                Datum::String(topo.region_name(topo.region_of(gw)).to_string()),
+                Datum::Int(r.start.0 as i64),
+                Datum::Int(r.breakdown.total_nanos as i64),
+            ];
+            row.extend(r.breakdown.comp_nanos.iter().map(|&n| Datum::Int(n as i64)));
+            row.push(Datum::Int(r.breakdown.other_nanos as i64));
+            row.push(Datum::Bool(r.committed));
+            row
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// How many transactions `crdb_internal.slow_txns` surfaces.
+const SLOW_TXN_LIMIT: usize = 100;
+
 /// Materialize the named virtual table: its synthetic schema plus all rows
 /// in deterministic order. `Err` for unknown names.
 pub fn build(
@@ -302,6 +454,9 @@ pub fn build(
         "crdb_internal.node_metrics" => Ok(node_metrics(cluster)),
         "crdb_internal.cluster_events" => Ok(cluster_events(cluster)),
         "crdb_internal.replication_report" => Ok(replication_report(cluster, catalog)),
+        "crdb_internal.hot_ranges" => Ok(hot_ranges(cluster)),
+        "crdb_internal.metrics_history" => Ok(metrics_history(cluster)),
+        "crdb_internal.slow_txns" => Ok(slow_txns(cluster)),
         _ => Err(format!("unknown virtual table {name:?}")),
     }
 }

@@ -352,3 +352,102 @@ fn raft_metrics_surface_and_quiescence_suppresses_heartbeats() {
     noq.cluster.scrape_now();
     assert_eq!(metric(&mut noq, "raft.quiesced_ranges"), 0);
 }
+
+/// The load-telemetry trio: `crdb_internal.hot_ranges` ranks ranges by
+/// decayed QPS and points at the partition the workload actually hammered,
+/// `crdb_internal.slow_txns` breaks each transaction's latency into named
+/// components that sum exactly to the end-to-end total, and
+/// `crdb_internal.metrics_history` retains scraped samples at both
+/// resolutions with sane rates.
+#[test]
+fn hot_ranges_slow_txns_and_metrics_history_are_queryable() {
+    let mut d = three_region_db(ClusterConfig {
+        obs_scrape_interval: Some(SimDuration::from_millis(100)),
+        ..ClusterConfig::default()
+    });
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    // Skew the workload at one row: every statement lands on the us-east1
+    // partition of `users`.
+    d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 'a@x.com')")
+        .unwrap();
+    for _ in 0..20 {
+        d.exec_sync(&sess, "SELECT email FROM users WHERE id = 1")
+            .unwrap();
+    }
+    // Enough idle scrapes for the tsdb to close a coarse bucket (factor 10).
+    settle(&mut d, secs(2));
+
+    // The us-east1 users partition is the range we drove the reads at.
+    let show = d.exec_sync(&sess, "SHOW RANGES FROM TABLE users").unwrap();
+    let hammered: i64 = show
+        .rows()
+        .iter()
+        .find(|r| as_str(&r[1]) == "primary" && as_str(&r[2]) == "us-east1")
+        .map(|r| as_int(&r[0]))
+        .expect("us-east1 users partition");
+
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT rank, range_id, qps_milli, read_qps_milli, \
+             mean_latency_nanos, leaseholder_region \
+             FROM crdb_internal.hot_ranges",
+        )
+        .unwrap();
+    assert!(!vt.rows().is_empty());
+    let mut prev_qps = i64::MAX;
+    for (i, row) in vt.rows().iter().enumerate() {
+        assert_eq!(as_int(&row[0]), i as i64 + 1, "ranks are dense");
+        let qps = as_int(&row[2]);
+        assert!(qps <= prev_qps, "hot_ranges not sorted by qps");
+        prev_qps = qps;
+    }
+    let top = &vt.rows()[0];
+    assert_eq!(as_int(&top[1]), hammered, "hottest range is the skewed one");
+    assert!(as_int(&top[2]) > 0, "hottest range shows load");
+    assert!(as_int(&top[3]) > 0, "reads dominate the skewed range");
+    assert!(as_int(&top[4]) > 0, "served reads recorded latency");
+    assert_eq!(as_str(&top[5]), "us-east1");
+
+    // Every finished transaction's breakdown sums exactly to its total, the
+    // list is sorted slowest-first, and the committed flag survived.
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT total_nanos, rpc_nanos, replication_nanos, \
+             lock_wait_nanos, commit_wait_nanos, retry_nanos, other_nanos, \
+             committed FROM crdb_internal.slow_txns",
+        )
+        .unwrap();
+    assert!(!vt.rows().is_empty(), "no transactions recorded");
+    let mut prev_total = i64::MAX;
+    for row in vt.rows() {
+        let total = as_int(&row[0]);
+        assert!(total <= prev_total, "slow_txns not sorted by total");
+        prev_total = total;
+        let parts: i64 = (1..=6).map(|c| as_int(&row[c])).sum();
+        assert_eq!(total, parts, "attribution components must sum to total");
+        assert_eq!(row[7], Datum::Bool(true), "all txns here committed");
+    }
+
+    // The commit counter's history is monotone at fine resolution and has
+    // been downsampled into at least one coarse bucket.
+    for res in ["fine", "coarse"] {
+        let q = format!(
+            "SELECT time_ns, value FROM crdb_internal.metrics_history \
+             WHERE metric = 'kv.txn.commits' AND resolution = '{res}'"
+        );
+        let vt = d.exec_sync(&sess, &q).unwrap();
+        assert!(!vt.rows().is_empty(), "no {res} samples for kv.txn.commits");
+        let mut prev: Option<(i64, i64)> = None;
+        for row in vt.rows() {
+            let (t, v) = (as_int(&row[0]), as_int(&row[1]));
+            if let Some((pt, pv)) = prev {
+                assert!(t > pt, "{res} samples out of order");
+                assert!(v >= pv, "counter history went backwards");
+            }
+            prev = Some((t, v));
+        }
+        assert_eq!(prev.map(|(_, v)| v), Some(21), "21 committed txns");
+    }
+}

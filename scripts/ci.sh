@@ -49,6 +49,16 @@ echo "==> raft_probe: group-commit occupancy + quiescence regression guard"
 (cd "$SMOKE_DIR" && MR_RAFT_TXNS=20 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin raft_probe >/dev/null)
 
+echo "==> obs_probe: load-telemetry + attribution + metrics-cardinality guard"
+# Drives a known open-loop skew and fails if the hot-range ranking or its
+# decayed QPS drifts >10% from the driven rate, if the windowed tsdb
+# mis-reports the commit rate at either resolution, if the named latency
+# attribution components stop explaining >=95% of end-to-end transaction
+# latency, or if registry cardinality exceeds the budget (per-range load
+# must stay in the LoadRecorder, never as per-range registry instruments).
+(cd "$SMOKE_DIR" && MR_OBS_SKEW_SECS=40 MR_OBS_TXNS=10 MR_METRIC_BUDGET=128 \
+    cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin obs_probe >/dev/null)
+
 echo "==> injected-bug canary: the checker must catch the armed stale read"
 # Compile the deliberate follower-read bug in and verify the history
 # checker still detects it — guards against the checker itself rotting.
