@@ -3,8 +3,9 @@
 // into BENCH_chaos.json: committed ops/sec, recovery-time p99 (latency of
 // operations invoked while a disruption was active), and steady-state p99
 // per scenario. Any checker violation fails the probe with the violating
-// seed and schedule rendered, so CI catches consistency regressions that
-// only appear under faults.
+// seed and schedule rendered — and its incident bundle written to
+// `incident_seed<N>/` with the path printed — so CI catches consistency
+// regressions that only appear under faults, with the forensics attached.
 use mr_chaos::{run_chaos, ChaosConfig, CheckerConfig, FaultSchedule, ScheduleBounds};
 use mr_sim::SimDuration;
 
@@ -47,6 +48,13 @@ fn main() {
         );
         if !outcome.passed() {
             eprintln!("CHECKER VIOLATIONS (seed {seed}):\n{}", outcome.render());
+            if let Some(bundle) = &outcome.bundle {
+                let dir = std::path::PathBuf::from(format!("incident_seed{seed}"));
+                match bundle.write_to(&dir) {
+                    Ok(path) => eprintln!("incident bundle: {}", path.display()),
+                    Err(e) => eprintln!("failed to write incident bundle: {e}"),
+                }
+            }
             failed = true;
         }
         rows.push(format!(

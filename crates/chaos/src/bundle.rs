@@ -1,0 +1,425 @@
+//! Incident bundles: deterministic forensics captured at the moment a
+//! chaos run fails its checker or an online invariant monitor.
+//!
+//! When [`run_chaos`](crate::nemesis::run_chaos) detects a violation it
+//! assembles an [`IncidentBundle`] from the still-live cluster — the
+//! offending operations plus the surrounding history window, the fault-
+//! schedule step in effect, trace-span subtrees of transactions active
+//! around the violation, the admin event log and metrics history around
+//! the violation timestamp, and a per-range placement snapshot. The bundle
+//! is a flat list of `(filename, JSON contents)` pairs built exclusively
+//! from simulation state, so two same-seed runs produce byte-identical
+//! bundles — golden-testable, and `write_to` materializes them as a
+//! directory for a human (or CI log) to pick through.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mr_kv::cluster::Cluster;
+use mr_obs::export::json_escape;
+use mr_obs::Resolution;
+use mr_sim::{SimDuration, SimTime};
+
+use crate::checker::CheckReport;
+use crate::history::History;
+use crate::schedule::FaultSchedule;
+
+/// How much history/telemetry to keep on each side of the violation
+/// timestamps.
+const WINDOW_MARGIN: SimDuration = SimDuration::from_secs(5);
+
+/// One assembled incident bundle: ordered `(filename, contents)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IncidentBundle {
+    files: Vec<(String, String)>,
+}
+
+impl IncidentBundle {
+    /// Capture forensics from a failed run. `None` when there is nothing
+    /// to report (checker passed and no monitor violations).
+    pub fn collect(
+        cluster: &Cluster,
+        schedule: &FaultSchedule,
+        history: &History,
+        report: &CheckReport,
+    ) -> Option<IncidentBundle> {
+        let monitor_violations = cluster.obs.monitors.violations();
+        if report.passed() && monitor_violations.is_empty() {
+            return None;
+        }
+
+        // The window spans every violation timestamp plus a margin.
+        let stamps: Vec<SimTime> = report
+            .violations
+            .iter()
+            .map(|v| v.at)
+            .chain(monitor_violations.iter().map(|v| v.at))
+            .collect();
+        let lo = stamps.iter().min().copied().unwrap_or(SimTime::ZERO);
+        let hi = stamps.iter().max().copied().unwrap_or(SimTime::ZERO);
+        let from = SimTime(lo.0.saturating_sub(WINDOW_MARGIN.nanos()));
+        let to = hi + WINDOW_MARGIN;
+
+        let mut files = vec![
+            (
+                "violations.json".into(),
+                violations_json(report, schedule, cluster),
+            ),
+            ("schedule.json".into(), schedule_json(schedule)),
+            (
+                "history_window.json".into(),
+                history_json(history, report, from, to),
+            ),
+            ("spans.json".into(), spans_json(cluster, from, to)),
+            ("events_window.json".into(), events_json(cluster, from, to)),
+            (
+                "metrics_window.json".into(),
+                metrics_json(cluster, from, to),
+            ),
+            ("ranges.json".into(), ranges_json(cluster)),
+        ];
+        // The manifest goes first but is built last: it indexes the rest.
+        let manifest = manifest_json(report, &monitor_violations, from, to, &files);
+        files.insert(0, ("manifest.json".into(), manifest));
+        Some(IncidentBundle { files })
+    }
+
+    /// The bundle's files in order, `manifest.json` first.
+    pub fn files(&self) -> &[(String, String)] {
+        &self.files
+    }
+
+    /// Contents of one file by name.
+    pub fn file(&self, name: &str) -> Option<&str> {
+        self.files
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.as_str())
+    }
+
+    /// Materialize the bundle as a directory (created if missing); returns
+    /// the directory path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        for (name, contents) in &self.files {
+            std::fs::write(dir.join(name), contents)?;
+        }
+        Ok(dir.to_path_buf())
+    }
+}
+
+fn manifest_json(
+    report: &CheckReport,
+    monitor_violations: &[mr_obs::monitor::Violation],
+    from: SimTime,
+    to: SimTime,
+    files: &[(String, String)],
+) -> String {
+    let first = report
+        .violations
+        .first()
+        .map(|v| format!("\"{}\"", json_escape(v.kind)))
+        .or_else(|| {
+            monitor_violations
+                .first()
+                .map(|v| format!("\"{}\"", json_escape(v.invariant)))
+        })
+        .unwrap_or_else(|| "null".into());
+    let list = files
+        .iter()
+        .map(|(n, _)| format!("\"{n}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\n  \"seed\": {},\n  \"schedule\": \"{}\",\n  \"checker_violations\": {},\n  \
+         \"monitor_violations\": {},\n  \"first_violation\": {},\n  \"window_from_ns\": {},\n  \
+         \"window_to_ns\": {},\n  \"files\": [{}]\n}}\n",
+        report.seed,
+        json_escape(&report.schedule_name),
+        report.violations.len(),
+        monitor_violations.len(),
+        first,
+        from.0,
+        to.0,
+        list,
+    )
+}
+
+/// Checker violations (with the schedule step in effect) followed by
+/// online monitor violations.
+fn violations_json(report: &CheckReport, schedule: &FaultSchedule, cluster: &Cluster) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for v in &report.violations {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let (step_index, step_fault) = match schedule.step_before(v.at) {
+            Some((i, s)) => (
+                i.to_string(),
+                format!("\"{}\"", json_escape(&s.fault.to_string())),
+            ),
+            None => ("null".into(), "null".into()),
+        };
+        let ops = v
+            .ops
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "  {{\"source\": \"checker\", \"kind\": \"{}\", \"at_ns\": {}, \"ops\": [{}], \
+             \"step\": {}, \"fault\": {}, \"detail\": \"{}\"}}",
+            json_escape(v.kind),
+            v.at.0,
+            ops,
+            step_index,
+            step_fault,
+            json_escape(&v.detail),
+        ));
+    }
+    for v in cluster.obs.monitors.violations() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"source\": \"monitor\", \"kind\": \"{}\", \"at_ns\": {}, \"detail\": \"{}\"}}",
+            json_escape(v.invariant),
+            v.at.0,
+            json_escape(&v.detail),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn schedule_json(schedule: &FaultSchedule) -> String {
+    let mut out = format!(
+        "{{\n  \"name\": \"{}\",\n  \"steps\": [\n",
+        json_escape(&schedule.name)
+    );
+    for (i, s) in schedule.steps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "    {{\"step\": {}, \"at_offset_ns\": {}, \"fault\": \"{}\"}}",
+            i,
+            s.at.nanos(),
+            json_escape(&s.fault.to_string()),
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Ops implicated by a violation (always included, in full) plus every op
+/// invoked inside the window.
+fn history_json(history: &History, report: &CheckReport, from: SimTime, to: SimTime) -> String {
+    let implicated: std::collections::BTreeSet<u64> = report
+        .violations
+        .iter()
+        .flat_map(|v| v.ops.iter().copied())
+        .collect();
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for op in history.ops() {
+        let in_window = op.invoke_at >= from && op.invoke_at <= to;
+        let flagged = implicated.contains(&op.id);
+        if !in_window && !flagged {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let complete = op
+            .complete_at
+            .map(|t| t.0.to_string())
+            .unwrap_or_else(|| "null".into());
+        let value = op
+            .value
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "null".into());
+        let ts = op
+            .ts
+            .map(|t| format!("[{}, {}]", t.wall, t.logical))
+            .unwrap_or_else(|| "null".into());
+        let error = op
+            .error
+            .as_ref()
+            .map(|e| format!("\"{}\"", json_escape(e)))
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "  {{\"op\": {}, \"implicated\": {}, \"client\": {}, \"kind\": \"{}\", \
+             \"key\": \"{}\", \"outcome\": \"{}\", \"invoke_ns\": {}, \"complete_ns\": {}, \
+             \"value\": {}, \"ts\": {}, \"error\": {}}}",
+            op.id,
+            flagged,
+            op.client,
+            op.kind.label(),
+            json_escape(&op.key),
+            op.outcome.label(),
+            op.invoke_at.0,
+            complete,
+            value,
+            ts,
+            error,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Span subtrees of transactions alive inside the window: every retained
+/// root span whose lifetime overlaps `[from, to]`, flattened with its
+/// descendants in creation order.
+fn spans_json(cluster: &Cluster, from: SimTime, to: SimTime) -> String {
+    let tr = &cluster.obs.tracer;
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for root in tr.roots() {
+        let Some(r) = tr.try_get(root) else { continue };
+        // An unfinished span is still alive: it overlaps any window that
+        // starts before `to`.
+        let end = r.end.unwrap_or(to);
+        if end < from || r.start > to {
+            continue;
+        }
+        let mut ids = vec![root];
+        ids.extend(tr.descendants(root));
+        for id in ids {
+            let Some(s) = tr.try_get(id) else { continue };
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let parent = s
+                .parent
+                .map(|p| p.raw().to_string())
+                .unwrap_or_else(|| "null".into());
+            let end = s
+                .end
+                .map(|t| t.0.to_string())
+                .unwrap_or_else(|| "null".into());
+            let attrs = s
+                .attrs
+                .iter()
+                .map(|(k, v)| format!("\"{}\": \"{}\"", json_escape(k), json_escape(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let events = s
+                .events
+                .iter()
+                .map(|(at, m)| format!("[{}, \"{}\"]", at.0, json_escape(m)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "  {{\"id\": {}, \"root\": {}, \"parent\": {}, \"name\": \"{}\", \
+                 \"start_ns\": {}, \"end_ns\": {}, \"attrs\": {{{}}}, \"events\": [{}]}}",
+                s.id.raw(),
+                root.raw(),
+                parent,
+                json_escape(&s.name),
+                s.start.0,
+                end,
+                attrs,
+                events,
+            ));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn events_json(cluster: &Cluster, from: SimTime, to: SimTime) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for e in cluster.events.events() {
+        if e.at < from || e.at > to {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let range = e
+            .kind
+            .range()
+            .map(|r| r.0.to_string())
+            .unwrap_or_else(|| "null".into());
+        out.push_str(&format!(
+            "  {{\"seq\": {}, \"at_ns\": {}, \"kind\": \"{}\", \"range\": {}, \"detail\": \"{}\"}}",
+            e.seq,
+            e.at.0,
+            e.kind.label(),
+            range,
+            json_escape(&e.kind.detail()),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Every fine-resolution sample inside the window, per metric in store
+/// order.
+fn metrics_json(cluster: &Cluster, from: SimTime, to: SimTime) -> String {
+    let tsdb = &cluster.obs.tsdb;
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for metric in tsdb.metrics() {
+        let samples = tsdb.window(&metric, Resolution::Fine, from, to);
+        if samples.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let list = samples
+            .iter()
+            .map(|(at, v)| format!("[{}, {}]", at.0, v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("  \"{}\": [{}]", json_escape(&metric), list));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Placement snapshot of every range at capture time.
+fn ranges_json(cluster: &Cluster) -> String {
+    let topo = cluster.topology();
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for desc in cluster.registry().iter() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let mut voters: Vec<u32> = desc.voters().map(|n| n.0).collect();
+        voters.sort_unstable();
+        let mut non_voters: Vec<u32> = desc.non_voters().map(|n| n.0).collect();
+        non_voters.sort_unstable();
+        let fmt = |ns: &[u32]| {
+            ns.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!(
+            "  {{\"range\": {}, \"span\": \"{}\", \"leaseholder\": {}, \
+             \"leaseholder_region\": \"{}\", \"voters\": [{}], \"non_voters\": [{}]}}",
+            desc.id.0,
+            json_escape(&format!("{:?}", desc.span)),
+            desc.leaseholder.0,
+            json_escape(topo.region_name(topo.region_of(desc.leaseholder))),
+            fmt(&voters),
+            fmt(&non_voters),
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}

@@ -15,16 +15,23 @@
 //!   operations.
 //! * [`nemesis`] — [`run_chaos`]: cluster + schedule + closed-loop clients
 //!   + drain + check, in one call.
+//! * [`bundle`] — [`IncidentBundle`]: when a run fails, the forensics
+//!   captured before the cluster is torn down — violations with their
+//!   schedule step, the history window, implicated span subtrees, event
+//!   log, metrics history, and range placement — as a deterministic
+//!   (byte-identical per seed) JSON directory.
 //!
 //! Because the whole stack is a single-threaded discrete-event simulation
 //! seeded from one integer, any violation the checker reports is exactly
 //! reproducible: rerun the same seed and the same history falls out.
 
+pub mod bundle;
 pub mod checker;
 pub mod history;
 pub mod nemesis;
 pub mod schedule;
 
+pub use bundle::IncidentBundle;
 pub use checker::{check, AvailabilityExpectation, CheckReport, CheckerConfig, Expect, Violation};
 pub use history::{History, HistoryEvent, OpId, OpKind, OpRecord, Phase};
 pub use nemesis::{

@@ -21,6 +21,7 @@ use mr_sim::{
     LatencyRecorder, NodeId, RegionId, RttMatrix, SimDuration, SimRng, SimTime, Topology,
 };
 
+use crate::bundle::IncidentBundle;
 use crate::checker::{check, CheckReport, CheckerConfig};
 use crate::history::{History, OpKind, Phase};
 use crate::schedule::FaultSchedule;
@@ -64,6 +65,11 @@ pub struct ChaosConfig {
     /// touches. Their leaders quiesce shortly after startup, giving the
     /// quiesced-leader-crash schedule block something to kill.
     pub cold_ranges: u32,
+    /// Record trace spans for the whole run, so a failing run's incident
+    /// bundle includes the span subtrees of implicated transactions. Off
+    /// by default (spans cost memory on long runs; the retention ring
+    /// bounds it, but an evicted span is gone from the bundle too).
+    pub tracing: bool,
 }
 
 impl Default for ChaosConfig {
@@ -81,6 +87,7 @@ impl Default for ChaosConfig {
             pipelined_writes: true,
             parallel_commits: true,
             cold_ranges: 0,
+            tracing: false,
         }
     }
 }
@@ -100,6 +107,9 @@ pub struct ChaosOutcome {
     pub recovery_p99: SimDuration,
     /// p99 latency of operations invoked outside disruption windows.
     pub steady_p99: SimDuration,
+    /// Forensics captured from the live cluster when the checker or an
+    /// online monitor flagged a violation; `None` on clean runs.
+    pub bundle: Option<IncidentBundle>,
 }
 
 impl ChaosOutcome {
@@ -137,6 +147,7 @@ pub fn build_chaos_cluster(cfg: &ChaosConfig) -> Cluster {
             strict_monitors: cfg.strict_monitors,
             pipelined_writes: cfg.pipelined_writes,
             parallel_commits: cfg.parallel_commits,
+            tracing: cfg.tracing,
             ..ClusterConfig::default()
         },
     );
@@ -555,6 +566,10 @@ pub fn run_chaos(
         }
     }
 
+    // Forensics must be captured while the cluster is still alive: the
+    // tracer, event log, tsdb, and range registry all die with it.
+    let bundle = IncidentBundle::collect(&c, schedule, &hist, &report);
+
     let ops_ok = ops.iter().filter(|o| o.ok()).count();
     ChaosOutcome {
         schedule: schedule.clone(),
@@ -569,5 +584,6 @@ pub fn run_chaos(
         ops_per_sec: ops_ok as f64 * 1e9 / cfg.run_for.nanos() as f64,
         recovery_p99: recovery.quantile(0.99),
         steady_p99: steady.quantile(0.99),
+        bundle,
     }
 }

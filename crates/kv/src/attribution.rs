@@ -186,6 +186,12 @@ pub struct TxnAttrRecord {
     pub start: SimTime,
     pub breakdown: AttrBreakdown,
     pub committed: bool,
+    /// Raw id of the transaction's root trace span (`None` with tracing
+    /// off) — the join key against `crdb_internal.session_trace`.
+    pub root_span: Option<u64>,
+    /// Distinct ranges the transaction's attributed RPCs touched, sorted
+    /// ascending — joins against `crdb_internal.hot_ranges`.
+    pub ranges: Vec<u64>,
 }
 
 /// Default retention for finished-transaction attribution records.
@@ -281,10 +287,17 @@ impl TxnAttrLog {
             for (c, n) in COMPONENTS.iter().zip(r.breakdown.comp_nanos.iter()) {
                 out.push_str(&format!(", \"{}\": {}", c.label(), n));
             }
+            let root = r
+                .root_span
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".into());
+            let ranges: Vec<String> = r.ranges.iter().map(|r| r.to_string()).collect();
             out.push_str(&format!(
-                ", \"other_nanos\": {}, \"committed\": {}}}",
+                ", \"other_nanos\": {}, \"committed\": {}, \"root_span\": {}, \"ranges\": [{}]}}",
                 r.breakdown.other_nanos,
-                if r.committed { "true" } else { "false" }
+                if r.committed { "true" } else { "false" },
+                root,
+                ranges.join(", ")
             ));
         }
         out.push_str("\n]\n");
@@ -394,6 +407,8 @@ mod tests {
                 other_nanos: total,
             },
             committed: true,
+            root_span: Some(id),
+            ranges: vec![1, 2],
         };
         log.record(rec(1, 50));
         log.record(rec(2, 80));
@@ -405,7 +420,57 @@ mod tests {
         assert_eq!(top, vec![2, 3]);
         let json = log.export_json(10);
         assert!(json.contains("\"total_nanos\": 80"));
+        assert!(json.contains("\"root_span\": 2"));
+        assert!(json.contains("\"ranges\": [1, 2]"));
         assert_eq!(json, log.export_json(10));
+    }
+
+    /// A refresh after timestamp forwarding (the in-transaction retry
+    /// machinery) charges `retry`, and the breakdown still sums exactly.
+    #[test]
+    fn refresh_round_trips_charge_retry_and_sum_exactly() {
+        let mut a = AttrAcc::new(t(0));
+        a.charge(Component::Replication, t(0), t(100)); // Put hits WriteTooOld
+        a.charge(Component::Retry, t(100), t(160)); // Refresh round trip
+        a.charge(Component::Replication, t(160), t(260)); // re-issued Put
+        a.charge(Component::CommitWait, t(260), t(300));
+        let b = a.finalize(t(300));
+        assert_eq!(b.comp_nanos[Component::Retry.index()], 60);
+        assert_eq!(
+            b.comp_nanos.iter().sum::<u64>() + b.other_nanos,
+            b.total_nanos
+        );
+        assert_eq!(b.other_nanos, 0);
+    }
+
+    /// Statement-level retries restart the transaction: the aborted
+    /// attempt's whole busy time is charged to `retry` in the statement
+    /// aggregate (the way EXPLAIN ANALYZE folds attempts together), and the
+    /// merged breakdown still sums exactly to end-to-end latency.
+    #[test]
+    fn aborted_attempt_folds_into_retry_with_exact_sum() {
+        // Attempt 1: a write that aborts at t=120 after 100ns of
+        // replication work.
+        let mut attempt1 = AttrAcc::new(t(0));
+        attempt1.charge(Component::Replication, t(0), t(100));
+        let b1 = attempt1.finalize(t(120));
+
+        // Attempt 2 (the retry, beginning where attempt 1 ended) commits.
+        let mut attempt2 = AttrAcc::new(t(120));
+        attempt2.charge(Component::Replication, t(120), t(250));
+        attempt2.charge(Component::CommitWait, t(250), t(280));
+        let b2 = attempt2.finalize(t(280));
+
+        // Statement view: final attempt keeps its components; every prior
+        // attempt's total (busy + idle) is retry overhead.
+        let mut comp = b2.comp_nanos;
+        comp[Component::Retry.index()] += b1.total_nanos;
+        let other = b2.other_nanos;
+        let stmt_total = 280; // end-to-end from first attempt's start
+        assert_eq!(comp[Component::Retry.index()], 120);
+        assert_eq!(comp[Component::Replication.index()], 130);
+        assert_eq!(comp[Component::CommitWait.index()], 30);
+        assert_eq!(comp.iter().sum::<u64>() + other, stmt_total);
     }
 
     #[test]

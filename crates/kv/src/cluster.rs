@@ -262,6 +262,19 @@ struct ReqAttr {
     parked_nanos: u64,
 }
 
+/// One in-flight transaction, as surfaced by [`Cluster::active_txns`].
+#[derive(Clone, Debug)]
+pub struct ActiveTxn {
+    pub id: u64,
+    pub gateway: NodeId,
+    /// When the transaction opened (sim-time).
+    pub start: SimTime,
+    /// Its root trace span (`None` with tracing off).
+    pub span: Option<SpanId>,
+    /// Distinct ranges touched so far, sorted ascending.
+    pub ranges: Vec<u64>,
+}
+
 /// The simulated multi-region cluster.
 pub struct Cluster {
     pub cfg: ClusterConfig,
@@ -277,6 +290,9 @@ pub struct Cluster {
     /// client operations (txn begin, stale reads) open their spans. The SQL
     /// layer points this at the current statement's span.
     pub trace_parent: Option<SpanId>,
+    /// Root span of the most recently *finished* SQL statement (set by the
+    /// SQL layer), backing `crdb_internal.session_trace`.
+    pub last_stmt_span: Option<SpanId>,
     queue: EventQueue<Event>,
     topo: Topology,
     rng: SimRng,
@@ -362,6 +378,7 @@ impl Cluster {
             events: EventLog::new(),
             m,
             trace_parent: None,
+            last_stmt_span: None,
             queue: EventQueue::new(),
             topo,
             rng,
@@ -423,6 +440,25 @@ impl Cluster {
     /// queries — labels, histograms, dumps — go through `obs.registry`.
     pub fn metrics(&self) -> MetricsView {
         self.m.view()
+    }
+
+    /// In-flight (unfinished) transactions, sorted by id — the live
+    /// registry behind `crdb_internal.active_operations`.
+    pub fn active_txns(&self) -> Vec<ActiveTxn> {
+        let mut out: Vec<ActiveTxn> = self
+            .txns
+            .values()
+            .filter(|st| !st.finished)
+            .map(|st| ActiveTxn {
+                id: st.id.0,
+                gateway: st.gateway,
+                start: st.attr.start(),
+                span: st.span,
+                ranges: st.ranges.clone(),
+            })
+            .collect();
+        out.sort_by_key(|t| t.id);
+        out
     }
 
     /// Replication conformance report over every range, classified against
@@ -1016,6 +1052,9 @@ impl Cluster {
         if let Some((id, comp)) = a.txn {
             if let Some(st) = self.txns.get_mut(&id) {
                 st.attr.charge_split(comp, a.sent_at, now, a.parked_nanos);
+                if let Err(i) = st.ranges.binary_search(&a.range.0) {
+                    st.ranges.insert(i, a.range.0);
+                }
             }
         }
     }
@@ -1740,6 +1779,10 @@ impl Cluster {
             .set(self.obs.load.len() as i64);
         r.gauge("kv.attr.slow_txn_records", &[])
             .set(self.attr_log.len() as i64);
+        r.gauge("obs.trace.retained_spans", &[])
+            .set(self.obs.tracer.len() as i64);
+        r.gauge("obs.trace.dropped_spans", &[])
+            .set(self.obs.tracer.dropped() as i64);
         self.obs.scrape(now);
     }
 

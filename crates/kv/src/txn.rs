@@ -114,6 +114,8 @@ pub(crate) struct TxnState {
     pub attr: AttrAcc,
     /// Whether the transaction reached a commit (vs abort/rollback).
     pub committed: bool,
+    /// Distinct ranges touched by attributed RPCs, sorted ascending.
+    pub ranges: Vec<u64>,
 }
 
 impl TxnState {
@@ -203,6 +205,7 @@ impl Cluster {
                 rewrote_sent: false,
                 attr: AttrAcc::new(self.now()),
                 committed: false,
+                ranges: Vec::new(),
             },
         );
         TxnHandle { id, gateway }
@@ -576,6 +579,7 @@ impl Cluster {
         let start = st.attr.start();
         let breakdown = st.attr.finalize(now);
         let (gateway, span, committed) = (st.gateway, st.span, st.committed);
+        let ranges = st.ranges.clone();
         for (c, n) in COMPONENTS.iter().zip(breakdown.comp_nanos.iter()) {
             self.obs
                 .registry
@@ -600,6 +604,8 @@ impl Cluster {
             start,
             breakdown,
             committed,
+            root_span: span.map(|s| s.raw()),
+            ranges,
         });
     }
 

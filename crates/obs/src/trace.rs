@@ -11,16 +11,40 @@
 //! `None`) so instrumented hot paths cost one branch when tracing is off.
 //! Exports: Chrome-trace JSON (load in `chrome://tracing` or Perfetto) and an
 //! indented human-readable tree.
+//!
+//! Retention is a ring: once `cap` spans are held, each new span evicts the
+//! oldest and bumps a `dropped` counter, so long-running traced workloads
+//! hold memory under a fixed cap. Span ids stay **globally monotone** across
+//! evictions and [`Tracer::clear`] — an id is never reused, so a stale
+//! `SpanId` held across either simply resolves to nothing (mutations become
+//! no-ops, `try_get` returns `None`) instead of aliasing a newer span.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::export::json_escape;
 use mr_sim::{SimDuration, SimTime};
 
-/// Opaque span handle. Ids are assigned sequentially from 1.
+/// Opaque span handle. Ids are assigned sequentially from 1 and never
+/// reused, even across [`Tracer::clear`] or ring eviction.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw numeric id (stable join key for SQL surfaces and exports).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from a raw id (the inverse of [`SpanId::raw`], for
+    /// joining SQL-visible ids back into the trace store). Unknown or
+    /// evicted ids are safe: lookups through [`Tracer::try_get`] return
+    /// `None` and mutations no-op.
+    pub fn from_raw(raw: u64) -> SpanId {
+        SpanId(raw)
+    }
+}
 
 /// One recorded span.
 #[derive(Clone, Debug)]
@@ -47,15 +71,45 @@ impl SpanData {
     }
 }
 
-#[derive(Default)]
+/// Default span retention. Statements open a handful of spans each, so this
+/// covers tens of thousands of recent statements; long chaos runs roll over
+/// with `dropped` accounting.
+pub const DEFAULT_SPAN_CAP: usize = 65_536;
+
 struct Inner {
     enabled: bool,
-    spans: Vec<SpanData>,
+    spans: VecDeque<SpanData>,
+    /// Count of spans ever allocated before the first retained one, so
+    /// `spans[i].id == base + i + 1`. Bumped by eviction and `clear`.
+    base: u64,
+    cap: usize,
+    /// Spans evicted by the retention cap (clears are not counted).
+    dropped: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            enabled: false,
+            spans: VecDeque::new(),
+            base: 0,
+            cap: DEFAULT_SPAN_CAP,
+            dropped: 0,
+        }
+    }
 }
 
 impl Inner {
-    fn get_mut(&mut self, id: SpanId) -> &mut SpanData {
-        &mut self.spans[(id.0 - 1) as usize]
+    /// Ring index of a live span; `None` for evicted/cleared or
+    /// not-yet-allocated ids.
+    fn index(&self, id: SpanId) -> Option<usize> {
+        let idx = id.0.checked_sub(self.base + 1)?;
+        ((idx as usize) < self.spans.len()).then_some(idx as usize)
+    }
+
+    fn get_mut(&mut self, id: SpanId) -> Option<&mut SpanData> {
+        let i = self.index(id)?;
+        Some(&mut self.spans[i])
     }
 }
 
@@ -78,9 +132,30 @@ impl Tracer {
         self.inner.borrow().enabled
     }
 
-    /// Drop all recorded spans (keeps the enabled flag).
+    /// Drop all recorded spans (keeps the enabled flag). Span ids are not
+    /// reused: handles held across a clear become no-ops rather than
+    /// aliasing spans recorded afterwards.
     pub fn clear(&self) {
-        self.inner.borrow_mut().spans.clear();
+        let mut inner = self.inner.borrow_mut();
+        inner.base += inner.spans.len() as u64;
+        inner.spans.clear();
+    }
+
+    /// Change the retention cap, evicting oldest spans if over it.
+    pub fn set_capacity(&self, cap: usize) {
+        assert!(cap > 0, "span capacity must be positive");
+        let mut inner = self.inner.borrow_mut();
+        inner.cap = cap;
+        while inner.spans.len() > cap {
+            inner.spans.pop_front();
+            inner.base += 1;
+            inner.dropped += 1;
+        }
+    }
+
+    /// Spans evicted by the retention cap so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
     }
 
     /// Open a span. Returns `None` when tracing is disabled; every other
@@ -90,8 +165,13 @@ impl Tracer {
         if !inner.enabled {
             return None;
         }
-        let id = SpanId(inner.spans.len() as u64 + 1);
-        inner.spans.push(SpanData {
+        if inner.spans.len() == inner.cap {
+            inner.spans.pop_front();
+            inner.base += 1;
+            inner.dropped += 1;
+        }
+        let id = SpanId(inner.base + inner.spans.len() as u64 + 1);
+        inner.spans.push_back(SpanData {
             id,
             parent,
             name: name.to_string(),
@@ -105,30 +185,26 @@ impl Tracer {
 
     pub fn attr(&self, span: Option<SpanId>, key: &'static str, value: impl Into<String>) {
         if let Some(id) = span {
-            self.inner
-                .borrow_mut()
-                .get_mut(id)
-                .attrs
-                .push((key, value.into()));
+            if let Some(s) = self.inner.borrow_mut().get_mut(id) {
+                s.attrs.push((key, value.into()));
+            }
         }
     }
 
     pub fn event(&self, span: Option<SpanId>, now: SimTime, message: impl Into<String>) {
         if let Some(id) = span {
-            self.inner
-                .borrow_mut()
-                .get_mut(id)
-                .events
-                .push((now, message.into()));
+            if let Some(s) = self.inner.borrow_mut().get_mut(id) {
+                s.events.push((now, message.into()));
+            }
         }
     }
 
     pub fn finish(&self, span: Option<SpanId>, now: SimTime) {
         if let Some(id) = span {
-            let mut inner = self.inner.borrow_mut();
-            let s = inner.get_mut(id);
-            if s.end.is_none() {
-                s.end = Some(now);
+            if let Some(s) = self.inner.borrow_mut().get_mut(id) {
+                if s.end.is_none() {
+                    s.end = Some(now);
+                }
             }
         }
     }
@@ -143,8 +219,15 @@ impl Tracer {
         self.len() == 0
     }
 
+    /// A retained span, or `None` if the id was evicted or cleared.
+    pub fn try_get(&self, id: SpanId) -> Option<SpanData> {
+        let inner = self.inner.borrow();
+        inner.index(id).map(|i| inner.spans[i].clone())
+    }
+
     pub fn get(&self, id: SpanId) -> SpanData {
-        self.inner.borrow().spans[(id.0 - 1) as usize].clone()
+        self.try_get(id)
+            .unwrap_or_else(|| panic!("span {} is evicted or unknown", id.0))
     }
 
     /// Spans with no parent, in creation order.
@@ -180,17 +263,19 @@ impl Tracer {
     }
 
     /// Every span transitively below `id` (not including `id`), in creation
-    /// order.
+    /// order. Evicted ancestors break the chain: only links through retained
+    /// spans (or directly to `id`) count.
     pub fn descendants(&self, id: SpanId) -> Vec<SpanId> {
         let inner = self.inner.borrow();
         let mut below = vec![false; inner.spans.len()];
         let mut out = Vec::new();
-        for s in &inner.spans {
+        for (i, s) in inner.spans.iter().enumerate() {
             let is_below = match s.parent {
-                Some(p) => p == id || below[(p.0 - 1) as usize],
+                Some(p) if p == id => true,
+                Some(p) => inner.index(p).map(|pi| below[pi]).unwrap_or(false),
                 None => false,
             };
-            below[(s.id.0 - 1) as usize] = is_below;
+            below[i] = is_below;
             if is_below {
                 out.push(s.id);
             }
@@ -198,12 +283,16 @@ impl Tracer {
         out
     }
 
-    /// Walk up the parent chain to this span's root.
+    /// Walk up the parent chain to this span's root (or to the deepest
+    /// retained ancestor, when the chain crosses an evicted span).
     pub fn root_of(&self, id: SpanId) -> SpanId {
         let inner = self.inner.borrow();
         let mut cur = id;
-        while let Some(p) = inner.spans[(cur.0 - 1) as usize].parent {
-            cur = p;
+        while let Some(i) = inner.index(cur) {
+            match inner.spans[i].parent {
+                Some(p) if inner.index(p).is_some() => cur = p,
+                _ => break,
+            }
         }
         cur
     }
@@ -335,5 +424,62 @@ mod tests {
         let json = build().export_chrome_json();
         assert!(json.contains("\"ph\": \"X\""));
         assert!(json.contains("\"ts\": 1000.000"));
+    }
+
+    /// Regression: span ids used to restart at 1 after `clear`, so a stale
+    /// handle aliased whatever span was recorded next. Ids must stay
+    /// globally monotone and stale handles must become no-ops.
+    #[test]
+    fn stale_handles_across_clear_do_not_alias_new_spans() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        let old = tr.start("before", None, t(0));
+        tr.clear();
+        let new = tr.start("after", None, t(10));
+        assert_ne!(old, new, "cleared ids must never be reused");
+
+        // Mutations through the stale handle are no-ops, not cross-writes.
+        tr.attr(old, "k", "stale");
+        tr.event(old, t(11), "stale event");
+        tr.finish(old, t(12));
+        assert!(tr.try_get(old.unwrap()).is_none());
+        let fresh = tr.get(new.unwrap());
+        assert!(fresh.attrs.is_empty() && fresh.events.is_empty());
+        assert_eq!(fresh.end, None);
+        assert_eq!(fresh.name, "after");
+    }
+
+    #[test]
+    fn retention_cap_evicts_oldest_with_monotone_ids_and_dropped_counter() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.set_capacity(2);
+        let a = tr.start("a", None, t(0)).unwrap();
+        let b = tr.start("b", None, t(1)).unwrap();
+        let c = tr.start("c", Some(b), t(2)).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 1);
+        assert!(tr.try_get(a).is_none(), "oldest span evicted");
+        assert_eq!(tr.get(c).parent, Some(b));
+        // Queries survive eviction: indices derive from the monotone ids.
+        assert_eq!(tr.descendants(b), vec![c]);
+        assert_eq!(tr.root_of(c), b);
+        assert_eq!(tr.roots(), vec![b]);
+        // Mutating the evicted span is a no-op; live spans still work.
+        tr.finish(Some(a), t(5));
+        tr.finish(Some(c), t(5));
+        assert_eq!(tr.get(c).end, Some(t(5)));
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        let ids: Vec<_> = (0..5).map(|i| tr.start("s", None, t(i)).unwrap()).collect();
+        tr.set_capacity(2);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        assert!(tr.try_get(ids[2]).is_none());
+        assert!(tr.try_get(ids[3]).is_some());
     }
 }

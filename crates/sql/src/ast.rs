@@ -225,6 +225,11 @@ pub enum Stmt {
     /// `EXPLAIN SELECT ...`: describe the read plan (index, partition
     /// strategy, uniqueness probes are shown by EXPLAIN on INSERT).
     Explain(Box<Stmt>),
+    /// `EXPLAIN ANALYZE <stmt>`: execute the statement, then render the
+    /// plan annotated with execution stats from its trace-span subtree and
+    /// latency attribution (rows, RPCs, ranges, regions, retries, and
+    /// per-component times).
+    ExplainAnalyze(Box<Stmt>),
     Begin,
     Commit,
     Rollback,

@@ -59,6 +59,7 @@ fn stmt_kind(stmt: &Stmt) -> &'static str {
         Stmt::Rollback => "rollback",
         Stmt::Use { .. } => "use",
         Stmt::Explain(_) => "explain",
+        Stmt::ExplainAnalyze(_) => "explain_analyze",
     }
 }
 
@@ -265,6 +266,11 @@ impl SqlDb {
                 c.obs.tracer.event(span, now, format!("err: {e}"));
             }
             c.obs.tracer.finish(span, now);
+            // The finished statement becomes "the last statement" that
+            // `crdb_internal.session_trace` flattens.
+            if span.is_some() {
+                c.last_stmt_span = span;
+            }
             cont(c, res)
         });
         self.exec_stmt(sess, stmt, cont);
@@ -391,6 +397,16 @@ impl SqlDb {
                 let res = explain(&mut self.cluster, &ctx, &inner);
                 cont(&mut self.cluster, res);
             }
+            Stmt::ExplainAnalyze(inner) => {
+                let ctx = match self.ctx(sess) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        cont(&mut self.cluster, Err(e));
+                        return;
+                    }
+                };
+                self.exec_explain_analyze(sess, ctx, *inner, cont);
+            }
             // Virtual tables: materialized synchronously from live cluster
             // and catalog state — no KV reads, no transaction.
             Stmt::Select { ref table, .. } if crate::vtable::is_virtual(table) => {
@@ -472,6 +488,181 @@ impl SqlDb {
             los_enabled: self.los_enabled,
         })
     }
+
+    /// `EXPLAIN ANALYZE <stmt>`: execute the statement for real under a
+    /// dedicated trace root (forcing the tracer on for its duration if
+    /// necessary), then render the plan annotated with execution stats
+    /// pulled from the span subtree and the attribution rollup.
+    fn exec_explain_analyze(
+        &mut self,
+        sess: &Session,
+        ctx: ExecCtx,
+        inner: Stmt,
+        cont: SqlCont<SqlResult>,
+    ) {
+        let was_enabled = self.cluster.obs.tracer.enabled();
+        self.cluster.obs.tracer.set_enabled(true);
+        let now = self.cluster.now();
+        let root = self
+            .cluster
+            .obs
+            .tracer
+            .start("sql.analyze", self.cluster.trace_parent, now);
+        self.cluster
+            .obs
+            .tracer
+            .attr(root, "stmt", stmt_kind(&inner));
+        let prev_parent = std::mem::replace(&mut self.cluster.trace_parent, root);
+        let inner = Rc::new(inner);
+        let inner2 = Rc::clone(&inner);
+        let wrapped: SqlCont<SqlResult> = Box::new(move |c, res| {
+            let now = c.now();
+            c.obs.tracer.finish(root, now);
+            if !was_enabled {
+                c.obs.tracer.set_enabled(false);
+            }
+            // Even with session tracing off, the forced trace backs
+            // `crdb_internal.session_trace` for the analyzed statement.
+            c.last_stmt_span = root;
+            match res {
+                Ok(result) => {
+                    let rows = render_analyze(c, &ctx, &inner2, root, &result);
+                    cont(c, Ok(SqlResult::Rows(rows)));
+                }
+                Err(e) => cont(c, Err(e)),
+            }
+        });
+        self.exec_stmt(sess, (*inner).clone(), wrapped);
+        // Like `exec`: the entry path is synchronous up to the first KV op.
+        self.cluster.trace_parent = prev_parent;
+    }
+}
+
+/// Aggregate execution stats of one analyzed statement, computed from the
+/// trace-span subtree under its `sql.analyze` root.
+struct AnalyzeStats {
+    /// End-to-end statement latency in nanos (root span duration).
+    total_nanos: u64,
+    /// RPCs issued (every `rpc.*` span below the root, including re-routed
+    /// attempts).
+    rpcs: u64,
+    /// Distinct ranges those RPCs targeted.
+    ranges: Vec<u64>,
+    /// Distinct regions hosting an RPC target, sorted.
+    regions: Vec<String>,
+    /// Transaction attempts (statement-level restarts re-begin the txn).
+    attempts: u64,
+    /// Named component nanos, indexed like [`mr_kv::COMPONENTS`]; the
+    /// aborted attempts' whole durations are folded into `retry`.
+    comp_nanos: [u64; mr_kv::COMPONENTS.len()],
+}
+
+impl AnalyzeStats {
+    fn collect(cluster: &Cluster, root: Option<mr_obs::SpanId>) -> Option<AnalyzeStats> {
+        let root = root?;
+        let tr = &cluster.obs.tracer;
+        let root_data = tr.try_get(root)?;
+        let total_nanos = root_data.duration().map(|d| d.nanos()).unwrap_or(0);
+        let mut rpcs = 0u64;
+        let mut ranges = std::collections::BTreeSet::new();
+        let mut regions = std::collections::BTreeSet::new();
+        let mut txn_spans = Vec::new();
+        for id in tr.descendants(root) {
+            let Some(s) = tr.try_get(id) else { continue };
+            if s.name.starts_with("rpc.") {
+                rpcs += 1;
+                if let Some(r) = s.attr("range") {
+                    if let Ok(n) = r.trim_start_matches("rng").parse::<u64>() {
+                        ranges.insert(n);
+                    }
+                }
+                if let Some(r) = s.attr("to_region") {
+                    regions.insert(r.to_string());
+                }
+            } else if s.name == "txn" {
+                txn_spans.push(s);
+            }
+        }
+        let attempts = txn_spans.len() as u64;
+        let mut comp_nanos = [0u64; mr_kv::COMPONENTS.len()];
+        if let Some((last, aborted)) = txn_spans.split_last() {
+            for (i, c) in mr_kv::COMPONENTS.iter().enumerate() {
+                if let Some(v) = last.attr(c.attr_key()) {
+                    comp_nanos[i] = v.parse().unwrap_or(0);
+                }
+            }
+            // Every earlier attempt was rolled back and restarted: its whole
+            // wall time (busy + backoff) is retry overhead of the statement.
+            let retry_idx = mr_kv::COMPONENTS
+                .iter()
+                .position(|c| c.label() == "retry")
+                .unwrap();
+            for s in aborted {
+                comp_nanos[retry_idx] += s.duration().map(|d| d.nanos()).unwrap_or(0);
+            }
+        }
+        Some(AnalyzeStats {
+            total_nanos,
+            rpcs,
+            ranges: ranges.into_iter().collect(),
+            regions: regions.into_iter().collect(),
+            attempts,
+            comp_nanos,
+        })
+    }
+}
+
+/// Render the EXPLAIN ANALYZE result: the optimizer's plan tree followed by
+/// an `execution stats:` section with integer-nanos component lines that sum
+/// (with `other_nanos`) exactly to `total_nanos`.
+fn render_analyze(
+    cluster: &mut Cluster,
+    ctx: &ExecCtx,
+    stmt: &Stmt,
+    root: Option<mr_obs::SpanId>,
+    result: &SqlResult,
+) -> Vec<Vec<Datum>> {
+    let mut rows = match explain(cluster, ctx, stmt) {
+        Ok(SqlResult::Rows(rows)) => rows,
+        _ => vec![vec![Datum::String(format!(
+            "explain analyze {}",
+            stmt_kind(stmt)
+        ))]],
+    };
+    let mut line = |s: String| rows.push(vec![Datum::String(s)]);
+    line("execution stats:".into());
+    line(format!("  rows: {}", result.count()));
+    let Some(stats) = AnalyzeStats::collect(cluster, root) else {
+        line("  (no trace recorded)".into());
+        return rows;
+    };
+    line(format!(
+        "  attempts: {} (retries: {})",
+        stats.attempts,
+        stats.attempts.saturating_sub(1)
+    ));
+    line(format!("  rpcs: {}", stats.rpcs));
+    line(format!(
+        "  ranges: {}",
+        stats
+            .ranges
+            .iter()
+            .map(|r| format!("rng{r}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    line(format!("  regions: {}", stats.regions.join(",")));
+    line(format!("  total_nanos: {}", stats.total_nanos));
+    let mut charged = 0u64;
+    for (c, n) in mr_kv::COMPONENTS.iter().zip(stats.comp_nanos.iter()) {
+        charged += n;
+        line(format!("  {}_nanos: {}", c.label(), n));
+    }
+    line(format!(
+        "  other_nanos: {}",
+        stats.total_nanos.saturating_sub(charged)
+    ));
+    rows
 }
 
 /// Per-statement execution context, cloneable into continuations.

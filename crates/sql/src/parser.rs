@@ -191,6 +191,10 @@ impl Parser {
             return Ok(Stmt::ShowRegions { db });
         }
         if self.kw("EXPLAIN") {
+            if self.kw("ANALYZE") {
+                let inner = self.statement()?;
+                return Ok(Stmt::ExplainAnalyze(Box::new(inner)));
+            }
             let inner = self.statement()?;
             return Ok(Stmt::Explain(Box::new(inner)));
         }

@@ -21,7 +21,11 @@
 //!   instantaneous rates;
 //! * `crdb_internal.slow_txns` — slowest finished transactions with their
 //!   latency attributed to named components (rpc, replication, lock-wait,
-//!   commit-wait, retry).
+//!   commit-wait, retry), plus the root trace-span id and range set;
+//! * `crdb_internal.session_trace` — the flattened span tree (attrs and
+//!   events included) of the most recently finished SQL statement;
+//! * `crdb_internal.active_operations` — transactions currently in flight,
+//!   with their root span and elapsed sim-time.
 //!
 //! Row order is deterministic (sorted by id / registry order), so
 //! same-seed runs produce identical results.
@@ -412,6 +416,8 @@ fn slow_txns(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
             ("retry_nanos", ColumnType::Int),
             ("other_nanos", ColumnType::Int),
             ("committed", ColumnType::Bool),
+            ("root_span", ColumnType::Int),
+            ("ranges", ColumnType::String),
         ],
     );
     let topo = cluster.topology();
@@ -433,7 +439,120 @@ fn slow_txns(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
             row.extend(r.breakdown.comp_nanos.iter().map(|&n| Datum::Int(n as i64)));
             row.push(Datum::Int(r.breakdown.other_nanos as i64));
             row.push(Datum::Bool(r.committed));
+            row.push(
+                r.root_span
+                    .map(|s| Datum::Int(s as i64))
+                    .unwrap_or(Datum::Null),
+            );
+            row.push(Datum::String(range_list(&r.ranges)));
             row
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn range_list(ranges: &[u64]) -> String {
+    ranges
+        .iter()
+        .map(|r| format!("rng{r}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `crdb_internal.session_trace`: the span tree of the most recently
+/// finished SQL statement (set when tracing was on for it), flattened
+/// root-first in creation order. Spans evicted by the retention ring are
+/// simply absent.
+fn session_trace(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.session_trace",
+        &[
+            ("span_id", ColumnType::Int),
+            ("parent_id", ColumnType::Int),
+            ("name", ColumnType::String),
+            ("start_ns", ColumnType::Int),
+            ("duration_nanos", ColumnType::Int),
+            ("attrs", ColumnType::String),
+            ("events", ColumnType::String),
+        ],
+    );
+    let tr = &cluster.obs.tracer;
+    let mut rows = Vec::new();
+    if let Some(root) = cluster.last_stmt_span {
+        let mut ids = vec![root];
+        ids.extend(tr.descendants(root));
+        for id in ids {
+            let Some(s) = tr.try_get(id) else { continue };
+            rows.push(vec![
+                Datum::Int(s.id.raw() as i64),
+                s.parent
+                    .map(|p| Datum::Int(p.raw() as i64))
+                    .unwrap_or(Datum::Null),
+                Datum::String(s.name.clone()),
+                Datum::Int(s.start.0 as i64),
+                s.duration()
+                    .map(|d| Datum::Int(d.nanos() as i64))
+                    .unwrap_or(Datum::Null),
+                Datum::String(
+                    s.attrs
+                        .iter()
+                        .map(|(k, v)| format!("{k}={v}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+                Datum::String(
+                    s.events
+                        .iter()
+                        .map(|(at, msg)| format!("{}:{msg}", at.0))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+            ]);
+        }
+    }
+    (schema, rows)
+}
+
+/// `crdb_internal.active_operations`: transactions currently in flight,
+/// with the root span (when traced) and elapsed sim-time, sorted by txn id.
+fn active_operations(cluster: &Cluster) -> (Table, Vec<Vec<Datum>>) {
+    let schema = vtab(
+        "crdb_internal.active_operations",
+        &[
+            ("txn_id", ColumnType::Int),
+            ("gateway_node", ColumnType::Int),
+            ("gateway_region", ColumnType::String),
+            ("start_ns", ColumnType::Int),
+            ("elapsed_nanos", ColumnType::Int),
+            ("root_span", ColumnType::Int),
+            ("current_span", ColumnType::String),
+            ("ranges", ColumnType::String),
+        ],
+    );
+    let topo = cluster.topology();
+    let now = cluster.now();
+    let tr = &cluster.obs.tracer;
+    let rows = cluster
+        .active_txns()
+        .iter()
+        .map(|t| {
+            let span_name = t
+                .span
+                .and_then(|s| tr.try_get(s))
+                .map(|s| Datum::String(s.name))
+                .unwrap_or(Datum::Null);
+            vec![
+                Datum::Int(t.id as i64),
+                Datum::Int(t.gateway.0 as i64),
+                Datum::String(topo.region_name(topo.region_of(t.gateway)).to_string()),
+                Datum::Int(t.start.0 as i64),
+                Datum::Int((now - t.start).nanos() as i64),
+                t.span
+                    .map(|s| Datum::Int(s.raw() as i64))
+                    .unwrap_or(Datum::Null),
+                span_name,
+                Datum::String(range_list(&t.ranges)),
+            ]
         })
         .collect();
     (schema, rows)
@@ -457,6 +576,8 @@ pub fn build(
         "crdb_internal.hot_ranges" => Ok(hot_ranges(cluster)),
         "crdb_internal.metrics_history" => Ok(metrics_history(cluster)),
         "crdb_internal.slow_txns" => Ok(slow_txns(cluster)),
+        "crdb_internal.session_trace" => Ok(session_trace(cluster)),
+        "crdb_internal.active_operations" => Ok(active_operations(cluster)),
         _ => Err(format!("unknown virtual table {name:?}")),
     }
 }

@@ -1,0 +1,360 @@
+//! End-to-end tests for the statement-diagnostics surface: `EXPLAIN
+//! ANALYZE`, `crdb_internal.session_trace`, `crdb_internal.active_operations`,
+//! the extended `crdb_internal.slow_txns` columns, and the bounded
+//! span-retention gauges.
+
+use mr_kv::cluster::ClusterConfig;
+use mr_sim::{NodeId, RttMatrix, SimDuration, SimTime, Topology};
+use mr_sql::exec::SqlDb;
+use mr_sql::types::Datum;
+use mr_testutil::{as_int, as_str, secs, settle, three_region_db};
+
+/// The canonical movr fixture at an arbitrary uniform inter-region RTT.
+fn db_at_rtt(rtt: SimDuration, cfg: ClusterConfig) -> SqlDb {
+    let topo = Topology::build(
+        &["us-east1", "europe-west2", "asia-northeast1"],
+        3,
+        RttMatrix::uniform(3, rtt),
+    );
+    let mut d = SqlDb::new(topo, cfg);
+    let sess = d.session(NodeId(0), None);
+    d.exec_script(
+        &sess,
+        r#"
+        CREATE DATABASE movr PRIMARY REGION "us-east1"
+            REGIONS "europe-west2", "asia-northeast1";
+        CREATE TABLE users (
+            id INT PRIMARY KEY,
+            email STRING UNIQUE NOT NULL
+        ) LOCALITY REGIONAL BY ROW;
+        CREATE TABLE promo_codes (
+            code STRING PRIMARY KEY,
+            description STRING
+        ) LOCALITY GLOBAL;
+        "#,
+    )
+    .unwrap();
+    d.cluster
+        .run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    d
+}
+
+/// Flatten an EXPLAIN ANALYZE result into its text lines.
+fn lines(res: &mr_sql::exec::SqlResult) -> Vec<String> {
+    res.rows()
+        .iter()
+        .map(|r| as_str(&r[0]).to_string())
+        .collect()
+}
+
+/// Extract an integer stat from an `  <key>: <value>` line.
+fn stat(lines: &[String], key: &str) -> i64 {
+    let prefix = format!("  {key}: ");
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("no {key:?} line in {lines:#?}"))
+        .split(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap_or_else(|e| panic!("unparseable {key:?} line: {e}"))
+}
+
+fn stat_str<'a>(lines: &'a [String], key: &str) -> &'a str {
+    let prefix = format!("  {key}: ");
+    lines
+        .iter()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .unwrap_or_else(|| panic!("no {key:?} line in {lines:#?}"))
+}
+
+/// The acceptance criterion: at two different simulated RTTs, the named
+/// attribution components of a cross-region write sum to within 5% of the
+/// measured end-to-end statement latency.
+#[test]
+fn explain_analyze_components_sum_within_5pct_at_two_rtts() {
+    for rtt_ms in [60u64, 150] {
+        let mut d = db_at_rtt(SimDuration::from_millis(rtt_ms), ClusterConfig::default());
+        // Gateway in Europe writing a us-east1-homed row: every consensus
+        // round crosses an ocean, so the total is dominated by named
+        // components, not untraced time.
+        let sess = d.session_in_region("europe-west2", Some("movr"));
+        let res = d
+            .exec_sync(
+                &sess,
+                "EXPLAIN ANALYZE INSERT INTO users (id, email, crdb_region) \
+                 VALUES (7, 'x@y.com', 'us-east1')",
+            )
+            .unwrap();
+        let ls = lines(&res);
+        assert!(
+            ls.iter().any(|l| l == "execution stats:"),
+            "missing stats section: {ls:#?}"
+        );
+
+        let total = stat(&ls, "total_nanos");
+        assert!(total > 0, "rtt {rtt_ms}ms: zero total");
+        // The write crossed the Atlantic at least once: the statement cannot
+        // be faster than one RTT.
+        assert!(
+            total >= SimDuration::from_millis(rtt_ms).nanos() as i64,
+            "rtt {rtt_ms}ms: total {total} below one RTT"
+        );
+        let named: i64 = [
+            "rpc_nanos",
+            "replication_nanos",
+            "lock_wait_nanos",
+            "commit_wait_nanos",
+            "retry_nanos",
+        ]
+        .iter()
+        .map(|k| stat(&ls, k))
+        .sum();
+        let other = stat(&ls, "other_nanos");
+        assert_eq!(named + other, total, "breakdown must tile the total");
+        assert!(
+            (total - named).abs() * 20 <= total,
+            "rtt {rtt_ms}ms: named components {named} not within 5% of {total}"
+        );
+
+        assert_eq!(stat(&ls, "rows"), 1);
+        assert!(stat(&ls, "rpcs") >= 1);
+        assert!(stat_str(&ls, "ranges").contains("rng"));
+        // Gateway region plus the remote leaseholder region both served RPCs.
+        let regions = stat_str(&ls, "regions");
+        assert!(
+            regions.contains("us-east1"),
+            "rtt {rtt_ms}ms: write never reached the home region: {regions}"
+        );
+    }
+}
+
+/// A local follower read: EXPLAIN ANALYZE shows the statement never left the
+/// gateway's region and returned the expected row count.
+#[test]
+fn explain_analyze_follower_read_stays_local() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let us = d.session_in_region("us-east1", Some("movr"));
+    d.exec_sync(
+        &us,
+        "INSERT INTO promo_codes (code) VALUES ('five_on_first')",
+    )
+    .unwrap();
+    // Let the closed timestamp catch up past the write.
+    settle(&mut d, secs(5));
+
+    let eu = d.session_in_region("europe-west2", Some("movr"));
+    let res = d
+        .exec_sync(
+            &eu,
+            "EXPLAIN ANALYZE SELECT * FROM promo_codes \
+             AS OF SYSTEM TIME follower_read_timestamp()",
+        )
+        .unwrap();
+    let ls = lines(&res);
+    assert_eq!(stat(&ls, "rows"), 1);
+    assert_eq!(
+        stat_str(&ls, "regions"),
+        "europe-west2",
+        "follower read left the gateway region: {ls:#?}"
+    );
+    // Served locally: far cheaper than one inter-region RTT (60ms).
+    let total = stat(&ls, "total_nanos");
+    assert!(
+        total < SimDuration::from_millis(60).nanos() as i64,
+        "local follower read cost an ocean crossing: {total}"
+    );
+    // Stale reads bypass the transaction layer: no txn attempts at all.
+    assert_eq!(stat_str(&ls, "attempts"), "0 (retries: 0)");
+}
+
+/// `crdb_internal.session_trace` exposes the span tree of the last
+/// statement; EXPLAIN ANALYZE forces a trace even when session tracing is
+/// off.
+#[test]
+fn session_trace_exposes_last_statement_spans() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+
+    // Tracing is off: plain statements leave no session trace.
+    d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 'a@x.com')")
+        .unwrap();
+    let vt = d
+        .exec_sync(&sess, "SELECT name FROM crdb_internal.session_trace")
+        .unwrap();
+    assert!(vt.rows().is_empty(), "untraced stmt left spans");
+
+    // EXPLAIN ANALYZE force-traces its statement.
+    d.exec_sync(
+        &sess,
+        "EXPLAIN ANALYZE INSERT INTO users (id, email) VALUES (2, 'b@x.com')",
+    )
+    .unwrap();
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT span_id, parent_id, name, duration_nanos, attrs \
+             FROM crdb_internal.session_trace",
+        )
+        .unwrap();
+    let names: Vec<&str> = vt.rows().iter().map(|r| as_str(&r[2])).collect();
+    assert_eq!(names[0], "sql.analyze", "root first: {names:?}");
+    assert_eq!(vt.rows()[0][1], Datum::Null, "root has no parent");
+    assert!(names.contains(&"txn"), "no txn span: {names:?}");
+    assert!(
+        names.iter().any(|n| n.starts_with("rpc.")),
+        "no rpc spans: {names:?}"
+    );
+    let root_id = as_int(&vt.rows()[0][0]);
+    assert_ne!(vt.rows()[0][3], Datum::Null, "root span unfinished");
+    for row in &vt.rows()[1..] {
+        assert_ne!(row[1], Datum::Null, "non-root span without parent");
+        assert!(as_int(&row[0]) > root_id, "ids are creation-ordered");
+        // Child spans may legitimately still be open (async intent
+        // resolution outlives the statement ack), so only the root's
+        // duration is asserted above.
+    }
+    // The txn span carries the attribution attrs written at finalize.
+    let txn_attrs = vt
+        .rows()
+        .iter()
+        .find(|r| as_str(&r[2]) == "txn")
+        .map(|r| as_str(&r[4]))
+        .unwrap();
+    assert!(
+        txn_attrs.contains("attr.replication="),
+        "txn span missing attribution attrs: {txn_attrs}"
+    );
+
+    // With session tracing on, plain statements populate it too.
+    let mut d = three_region_db(ClusterConfig {
+        tracing: true,
+        ..ClusterConfig::default()
+    });
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 'a@x.com')")
+        .unwrap();
+    let vt = d
+        .exec_sync(&sess, "SELECT name FROM crdb_internal.session_trace")
+        .unwrap();
+    assert_eq!(as_str(&vt.rows()[0][0]), "sql.stmt");
+}
+
+/// `crdb_internal.active_operations` surfaces a transaction held open by an
+/// explicit BEGIN, and drops it after COMMIT.
+#[test]
+fn active_operations_shows_open_transactions() {
+    let mut d = three_region_db(ClusterConfig {
+        tracing: true,
+        ..ClusterConfig::default()
+    });
+    let writer = d.session_in_region("us-east1", Some("movr"));
+    let watcher = d.session_in_region("us-east1", Some("movr"));
+
+    d.exec_sync(&writer, "BEGIN").unwrap();
+    d.exec_sync(
+        &writer,
+        "INSERT INTO users (id, email) VALUES (9, 'open@x.com')",
+    )
+    .unwrap();
+    settle(&mut d, secs(1));
+
+    let vt = d
+        .exec_sync(
+            &watcher,
+            "SELECT txn_id, gateway_region, elapsed_nanos, root_span, \
+             current_span, ranges FROM crdb_internal.active_operations",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 1, "exactly the open txn: {:?}", vt.rows());
+    let row = &vt.rows()[0];
+    assert_eq!(as_str(&row[1]), "us-east1");
+    assert!(
+        as_int(&row[2]) >= secs(1).nanos() as i64,
+        "elapsed below the idle window"
+    );
+    assert_ne!(row[3], Datum::Null, "traced txn has a root span");
+    assert_eq!(as_str(&row[4]), "txn");
+    assert!(as_str(&row[5]).contains("rng"), "no ranges: {:?}", row[5]);
+
+    d.exec_sync(&writer, "COMMIT").unwrap();
+    let vt = d
+        .exec_sync(
+            &watcher,
+            "SELECT txn_id FROM crdb_internal.active_operations",
+        )
+        .unwrap();
+    assert!(vt.rows().is_empty(), "committed txn still active");
+}
+
+/// `crdb_internal.slow_txns` joins against the trace: its new columns carry
+/// the txn root span id (matching `session_trace`) and the range set.
+#[test]
+fn slow_txns_carries_root_span_and_ranges() {
+    let mut d = three_region_db(ClusterConfig {
+        tracing: true,
+        ..ClusterConfig::default()
+    });
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    d.exec_sync(&sess, "INSERT INTO users (id, email) VALUES (1, 'a@x.com')")
+        .unwrap();
+
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT txn_id, root_span, ranges FROM crdb_internal.slow_txns",
+        )
+        .unwrap();
+    assert!(!vt.rows().is_empty());
+    let row = &vt.rows()[0];
+    assert_ne!(row[1], Datum::Null, "traced txn lost its root span");
+    assert!(as_str(&row[2]).contains("rng"), "no ranges: {:?}", row[2]);
+
+    // The root span resolves to an actual `txn` span in the trace store.
+    let txn_span = d
+        .cluster
+        .obs
+        .tracer
+        .try_get(mr_obs::SpanId::from_raw(as_int(&row[1]) as u64))
+        .expect("slow_txns points at a retained span");
+    assert_eq!(txn_span.name, "txn");
+}
+
+/// Span retention is bounded: shrinking the cap evicts eagerly, statements
+/// keep working against a full ring, and the retained/dropped gauges are
+/// visible through `crdb_internal.node_metrics`.
+#[test]
+fn span_retention_is_bounded_with_visible_dropped_counter() {
+    let mut d = three_region_db(ClusterConfig {
+        tracing: true,
+        ..ClusterConfig::default()
+    });
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    d.cluster.obs.tracer.set_capacity(16);
+    for i in 0..10 {
+        d.exec_sync(
+            &sess,
+            &format!("INSERT INTO users (id, email) VALUES ({i}, 'u{i}@x.com')"),
+        )
+        .unwrap();
+    }
+    assert!(d.cluster.obs.tracer.len() <= 16, "retention cap ignored");
+    assert!(d.cluster.obs.tracer.dropped() > 0, "nothing was evicted");
+
+    d.cluster.scrape_now();
+    let metric = |d: &mut SqlDb, name: &str| -> i64 {
+        let sess = d.session_in_region("us-east1", Some("movr"));
+        let vt = d
+            .exec_sync(
+                &sess,
+                &format!("SELECT value FROM crdb_internal.node_metrics WHERE metric = '{name}'"),
+            )
+            .unwrap();
+        assert_eq!(vt.rows().len(), 1, "metric {name} missing");
+        as_int(&vt.rows()[0][0])
+    };
+    let retained = metric(&mut d, "obs.trace.retained_spans");
+    assert!((1..=16).contains(&retained), "retained gauge: {retained}");
+    assert!(metric(&mut d, "obs.trace.dropped_spans") > 0);
+}

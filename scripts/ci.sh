@@ -21,16 +21,39 @@ echo "==> strict-monitor perf_probe smoke"
 ROOT="$(pwd)"
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+# Every probe must leave its BENCH_<name>.json behind, and the file must be
+# well-formed JSON — a probe that silently stops writing results would
+# otherwise pass CI while producing nothing.
+assert_bench() {
+    local probe="$1" file="$SMOKE_DIR/$2"
+    if [ ! -s "$file" ]; then
+        echo "FAIL: $probe did not write $2" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null; then
+        python3 -m json.tool "$file" >/dev/null \
+            || { echo "FAIL: $probe wrote malformed JSON to $2" >&2; exit 1; }
+    elif command -v jq >/dev/null; then
+        jq . "$file" >/dev/null \
+            || { echo "FAIL: $probe wrote malformed JSON to $2" >&2; exit 1; }
+    fi
+}
+
 (cd "$SMOKE_DIR" && OPS=50 MR_STRICT_MONITORS=1 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin perf_probe >/dev/null)
+assert_bench perf_probe BENCH_perf.json
 
 echo "==> chaos_smoke: seeded nemesis schedules + history checker"
 # Five fixed-seed fault schedules through the full chaos harness with every
 # online invariant monitor escalated to a panic. The offline checker gates
 # too: any serializability/recency/availability violation fails CI with the
 # seed and schedule step named.
+# On a violation the probe exits nonzero after writing the incident bundle
+# directory and printing its path (see chaos_probe.rs).
 (cd "$SMOKE_DIR" && MR_STRICT_MONITORS=1 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin chaos_probe >/dev/null)
+assert_bench chaos_probe BENCH_chaos.json
 
 echo "==> commit_probe: parallel-commit round-trip regression guard"
 # Measures begin→commit-ack latency per gateway region under legacy vs
@@ -39,6 +62,7 @@ echo "==> commit_probe: parallel-commit round-trip regression guard"
 # legacy), and pipelining must never be slower than the legacy path.
 (cd "$SMOKE_DIR" && MR_COMMIT_TXNS=10 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin commit_probe >/dev/null)
+assert_bench commit_probe BENCH_commit.json
 
 echo "==> raft_probe: group-commit occupancy + quiescence regression guard"
 # Drives concurrent multi-range writers through a batched-proposal flush
@@ -48,6 +72,7 @@ echo "==> raft_probe: group-commit occupancy + quiescence regression guard"
 # heartbeats by >=10x, or if leaseholder reads stop riding the fast path.
 (cd "$SMOKE_DIR" && MR_RAFT_TXNS=20 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin raft_probe >/dev/null)
+assert_bench raft_probe BENCH_raft.json
 
 echo "==> obs_probe: load-telemetry + attribution + metrics-cardinality guard"
 # Drives a known open-loop skew and fails if the hot-range ranking or its
@@ -58,10 +83,17 @@ echo "==> obs_probe: load-telemetry + attribution + metrics-cardinality guard"
 # must stay in the LoadRecorder, never as per-range registry instruments).
 (cd "$SMOKE_DIR" && MR_OBS_SKEW_SECS=40 MR_OBS_TXNS=10 MR_METRIC_BUDGET=128 \
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin obs_probe >/dev/null)
+assert_bench obs_probe BENCH_obs.json
 
 echo "==> injected-bug canary: the checker must catch the armed stale read"
 # Compile the deliberate follower-read bug in and verify the history
 # checker still detects it — guards against the checker itself rotting.
 cargo test -q -p mr-chaos --features injected-bug >/dev/null
+
+echo "==> forensics_canary: the armed bug must yield a deterministic bundle"
+# The same injected bug, asserted through the incident-forensics path: the
+# violating run captures a bundle with the expected violation kind and
+# non-empty span subtrees, byte-identical across same-seed runs.
+cargo test -q -p mr-chaos --features injected-bug --test forensics >/dev/null
 
 echo "CI OK"
