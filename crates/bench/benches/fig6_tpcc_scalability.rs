@@ -35,23 +35,35 @@ struct Outcome {
     p50_by_region: (f64, f64),
     p90_by_region: (f64, f64),
     errors: u64,
+    ranges: usize,
+    splits: usize,
 }
 
-fn run(nregions: usize, restricted: bool, seed: u64) -> Outcome {
+fn run(nregions: usize, restricted: bool, warehouses: u32, lifecycle: bool, seed: u64) -> Outcome {
     let region_names: Vec<String> = (0..nregions).map(|i| format!("region-{i}")).collect();
     let mut builder = ClusterBuilder::new()
         .rtt_matrix(RttMatrix::synthetic(nregions))
         .seed(seed)
         // Large clusters: skip the stale-read side transport for the many
         // REGIONAL ranges (TPC-C uses none); GLOBAL ranges keep theirs.
-        .config(|c| c.lag_side_transport = false);
+        .config(|c| {
+            c.lag_side_transport = false;
+            if lifecycle {
+                // Dynamic topology: the loaded warehouse rows push the
+                // per-region table ranges over the size trigger, so the
+                // controller splits them while terminals run. Requests in
+                // flight across a surgery must time out and retry.
+                c.lifecycle.enabled = true;
+                c.rpc_timeout = Some(SimDuration::from_millis(800));
+            }
+        });
     for r in &region_names {
         builder = builder.region(r, 3);
     }
     let mut db: SqlDb = builder.build();
 
     let mut cfg = TpccConfig::new(region_names.clone());
-    cfg.warehouses_per_region = warehouses_per_region();
+    cfg.warehouses_per_region = warehouses;
     cfg.items = 20;
     cfg.districts_per_warehouse = 2;
     cfg.customers_per_district = 10;
@@ -128,6 +140,8 @@ fn run(nregions: usize, restricted: bool, seed: u64) -> Outcome {
         p50_by_region: span(&p50s),
         p90_by_region: span(&p90s),
         errors: stats.failed,
+        ranges: db.cluster.registry().len(),
+        splits: db.cluster.events.count_kind("range_split"),
     }
 }
 
@@ -144,7 +158,7 @@ fn main() {
     );
     let mut results = Vec::new();
     for (i, n) in [4usize, 10, 26].iter().enumerate() {
-        let out = run(*n, false, 90 + i as u64);
+        let out = run(*n, false, wh, false, 90 + i as u64);
         println!(
             "{:>8} {:>12} {:>12.0} {:>12.0} {:>9.1}% {:>12} {:>14}",
             out.regions,
@@ -161,7 +175,7 @@ fn main() {
         results.push(out);
     }
     // PLACEMENT RESTRICTED comparison at 10 regions (§7.4).
-    let restricted = run(10, true, 99);
+    let restricted = run(10, true, wh, false, 99);
     println!(
         "\nPLACEMENT RESTRICTED, 10 regions: tpmC {:.0}, efficiency {:.1}%, p50 {:.0}-{:.0}ms, p90 {:.0}-{:.0}ms",
         restricted.tpmc,
@@ -182,5 +196,26 @@ fn main() {
             "tpmC per region: {:.1} / {:.1} / {:.1} (flat = linear scaling)",
             per_region[0], per_region[1], per_region[2]
         );
+    }
+
+    // Range-lifecycle section: the same 4-region cluster at a warehouse
+    // count whose loaded rows push the per-region table ranges over the
+    // split-size trigger, with the controller enabled. tpmC must hold up
+    // while the topology reshapes under the terminals.
+    let split_wh = std::env::var("MR_TPCC_WH_SPLIT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(wh.max(40));
+    let dynamic = run(4, false, split_wh, true, 90);
+    println!(
+        "\nrange lifecycle, 4 regions x {split_wh} warehouses: tpmC {:.0}, efficiency {:.1}%, \
+         {} splits -> {} ranges (static 4-region run had {} ranges)",
+        dynamic.tpmc, dynamic.efficiency, dynamic.splits, dynamic.ranges, results[0].ranges
+    );
+    if dynamic.splits == 0 {
+        eprintln!("  WARNING: warehouse count did not force any splits");
+    }
+    if dynamic.errors > 0 {
+        eprintln!("  ({} errors)", dynamic.errors);
     }
 }

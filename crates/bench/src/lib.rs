@@ -735,6 +735,309 @@ pub fn raft_probe_json(r: &RaftProbeReport) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Range lifecycle probe (splits + load-based rebalancing)
+// ---------------------------------------------------------------------------
+
+/// One lifecycle phase: a skewed remote workload against a keyspace that
+/// starts as a single range homed far from its traffic.
+pub struct SplitPhase {
+    /// Transactions committed (fixed per phase; elapsed time varies).
+    pub txns: u64,
+    /// Transactions retried after a surgery- or lease-move-induced abort.
+    pub retries: u64,
+    /// Committed transactions per simulated second — the closed-loop
+    /// throughput the phase sustained.
+    pub ops_per_sec: f64,
+    /// Live ranges when the workload drained.
+    pub ranges: usize,
+    /// `range_split` / `range_merge` / `lease_rebalance` events during the
+    /// workload.
+    pub splits: usize,
+    pub merges: usize,
+    pub lease_rebalances: usize,
+    /// p99 of descriptor-surgery latency (propose → apply) in ms; 0 when
+    /// no split happened.
+    pub split_p99_ms: f64,
+    /// The hottest range's share of total QPS at drain time, in milli
+    /// (1000 = all load on one range — the static baseline by definition).
+    pub hottest_share_milli: u64,
+    /// Lifecycle ticks from workload start until the controller's last
+    /// action — how fast the topology converged.
+    pub convergence_ticks: u64,
+    /// Live ranges after a 90s idle tail: cold-range merges should fold
+    /// the split topology back down.
+    pub ranges_after_idle: usize,
+}
+
+/// The full probe: the same workload with the lifecycle controller off
+/// (static single range) and on (splits + rebalancing).
+pub struct SplitProbeReport {
+    pub baseline: SplitPhase,
+    pub lifecycle: SplitPhase,
+}
+
+/// The split-probe cluster: 3-region paper corner, one REGION-survivable
+/// range over the whole keyspace homed in region 0 — every client is in
+/// regions 1 and 2, so the static topology pays cross-region RTT on each
+/// op until the controller splits at the load median and moves each
+/// half's lease toward its demand.
+fn split_probe_cluster(seed: u64, lifecycle_on: bool) -> mr_kv::Cluster {
+    use mr_kv::cluster::{Cluster, ClusterConfig, LifecycleConfig};
+    use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal};
+
+    let regions = mr_sim::RttMatrix::paper_table1_regions();
+    let topo = mr_sim::Topology::build(
+        &regions[..3],
+        3,
+        mr_sim::RttMatrix::from_upper_millis(3, &[&[63, 87], &[132]]),
+    );
+    let mut c = Cluster::new(
+        topo,
+        ClusterConfig {
+            seed,
+            // Descriptor surgery drops in-flight requests to the old
+            // incarnation; they must time out and retry, not hang — and the
+            // stall is pure dead time, so keep it just above the worst RTT.
+            rpc_timeout: Some(SimDuration::from_millis(400)),
+            lifecycle: LifecycleConfig {
+                enabled: lifecycle_on,
+                // ~12 remote closed-loop clients sustain 50-100 qps on the
+                // single range; split well below that, and keep the
+                // rebalance floor low enough that each post-split half
+                // (half the traffic) still clears it. Tick and cooldown are
+                // tightened so convergence is a prefix of the run, not the
+                // whole run.
+                split_qps_milli: 40_000,
+                rebalance_min_qps_milli: 500,
+                interval: SimDuration::from_secs(1),
+                cooldown: SimDuration::from_secs(3),
+                ..LifecycleConfig::default()
+            },
+            ..ClusterConfig::default()
+        },
+    );
+    let db_regions: Vec<mr_sim::RegionId> = (0..3).map(mr_sim::RegionId).collect();
+    let zc = derive_zone_config(
+        mr_sim::RegionId(0),
+        &db_regions,
+        SurvivalGoal::Region,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(mr_proto::Span::all(), zc)
+        .expect("allocate range");
+    c
+}
+
+/// Drive closed-loop single-key read-write transactions, one txn per key
+/// in each client's list, retrying a txn from scratch when descriptor
+/// surgery or a lease move aborts it mid-flight. Returns `(committed,
+/// retries)`.
+fn drive_retry_txns(
+    c: &mut mr_kv::Cluster,
+    clients: Vec<(mr_sim::NodeId, Vec<mr_proto::Key>)>,
+) -> (u64, u64) {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Probe {
+        gateway: mr_sim::NodeId,
+        remaining: Vec<mr_proto::Key>,
+        attempts: u32,
+        committed: Rc<RefCell<u64>>,
+        retries: Rc<RefCell<u64>>,
+    }
+
+    fn next_txn(c: &mut mr_kv::Cluster, st: Rc<RefCell<Probe>>) {
+        let (gateway, key) = {
+            let s = st.borrow();
+            match s.remaining.last() {
+                Some(k) => (s.gateway, k.clone()),
+                None => return,
+            }
+        };
+        let h = c.txn_begin(gateway);
+        let st2 = Rc::clone(&st);
+        let key2 = key.clone();
+        c.txn_get(
+            h,
+            key.clone(),
+            Box::new(move |c, res| match res {
+                Err(_) => retry(c, h, st2),
+                Ok(_) => {
+                    let st3 = Rc::clone(&st2);
+                    c.txn_put(
+                        h,
+                        key2,
+                        Some(mr_proto::Value::from("split-probe")),
+                        Box::new(move |c, res| match res {
+                            Err(_) => retry(c, h, st3),
+                            Ok(()) => {
+                                let st4 = Rc::clone(&st3);
+                                c.txn_commit(
+                                    h,
+                                    Box::new(move |c, res| match res {
+                                        Err(_) => retry(c, h, st4),
+                                        Ok(_) => {
+                                            {
+                                                let mut s = st4.borrow_mut();
+                                                s.remaining.pop();
+                                                s.attempts = 0;
+                                                *s.committed.borrow_mut() += 1;
+                                            }
+                                            next_txn(c, st4);
+                                        }
+                                    }),
+                                );
+                            }
+                        }),
+                    );
+                }
+            }),
+        );
+    }
+
+    fn retry(c: &mut mr_kv::Cluster, h: mr_kv::TxnHandle, st: Rc<RefCell<Probe>>) {
+        {
+            let mut s = st.borrow_mut();
+            s.attempts += 1;
+            *s.retries.borrow_mut() += 1;
+            assert!(
+                s.attempts < 50,
+                "split probe txn stuck: 50 aborts in a row at gateway {}",
+                s.gateway
+            );
+        }
+        c.txn_rollback(h, Box::new(move |c, _| next_txn(c, st)));
+    }
+
+    let committed = Rc::new(RefCell::new(0u64));
+    let retries = Rc::new(RefCell::new(0u64));
+    for (gateway, keys) in clients {
+        let st = Rc::new(RefCell::new(Probe {
+            gateway,
+            remaining: keys,
+            attempts: 0,
+            committed: committed.clone(),
+            retries: retries.clone(),
+        }));
+        next_txn(c, st);
+    }
+    let deadline = SimTime(c.now().nanos() + SimDuration::from_secs(1_200).nanos());
+    c.run_until_quiescent(deadline);
+    let n = *committed.borrow();
+    let r = *retries.borrow();
+    (n, r)
+}
+
+/// Run one phase: 2 clients on each node of regions 1 and 2, each
+/// committing `txns_per_client` single-key read-write transactions on its
+/// own small key set (`u1/...` sorts wholly before `u2/...`, so the load
+/// median falls on the region boundary).
+fn split_phase(seed: u64, lifecycle_on: bool, txns_per_client: usize) -> SplitPhase {
+    let mut c = split_probe_cluster(seed, lifecycle_on);
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    let mut clients = Vec::new();
+    for region in 1..3u32 {
+        for node in (region * 3)..(region * 3 + 3) {
+            for ci in 0..2u32 {
+                let keys: Vec<mr_proto::Key> = (0..txns_per_client)
+                    .map(|i| {
+                        mr_proto::Key::from(format!("u{region}/n{node}c{ci}k{}", i % 4).as_str())
+                    })
+                    .collect();
+                clients.push((mr_sim::NodeId(node), keys));
+            }
+        }
+    }
+    let expected = clients.len() * txns_per_client;
+    let t0 = c.now();
+    let (txns, retries) = drive_retry_txns(&mut c, clients);
+    assert_eq!(txns as usize, expected, "split probe txns went missing");
+    let drained = c.now();
+    let dt_secs = (drained.nanos() - t0.nanos()) as f64 / 1e9;
+
+    let hot = c.obs.load.hot_ranges(drained);
+    let total_qps: u64 = hot.iter().map(|s| s.qps_milli).sum();
+    let hottest_share_milli = hot
+        .first()
+        .map_or(1000, |s| s.qps_milli * 1000 / total_qps.max(1));
+    let mut lat: Vec<u64> = c.split_latencies().to_vec();
+    lat.sort_unstable();
+    let split_p99_ms = if lat.is_empty() {
+        0.0
+    } else {
+        lat[(lat.len() - 1).min(lat.len() * 99 / 100)] as f64 / 1e6
+    };
+    let convergence_ticks = c
+        .last_lifecycle_action()
+        .map_or(0, |t| t.0.saturating_sub(t0.0))
+        .div_ceil(c.cfg.lifecycle.interval.nanos().max(1));
+    let (splits, merges, lease_rebalances, ranges) = (
+        c.events.count_kind("range_split"),
+        c.events.count_kind("range_merge"),
+        c.events.count_kind("lease_rebalance"),
+        c.registry().len(),
+    );
+
+    // Idle tail: traffic is gone, so the halves go cold and the merge pass
+    // should fold the keyspace back down (and leases re-home).
+    c.run_until(SimTime(
+        drained.nanos() + SimDuration::from_secs(90).nanos(),
+    ));
+    SplitPhase {
+        txns,
+        retries,
+        ops_per_sec: txns as f64 / dt_secs,
+        ranges,
+        splits,
+        merges,
+        lease_rebalances,
+        split_p99_ms,
+        hottest_share_milli,
+        convergence_ticks,
+        ranges_after_idle: c.registry().len(),
+    }
+}
+
+/// Run the full split probe: static baseline vs lifecycle-enabled run of
+/// the same skewed remote workload. Deterministic for a fixed seed.
+pub fn split_probe(seed: u64, txns_per_client: usize) -> SplitProbeReport {
+    SplitProbeReport {
+        baseline: split_phase(seed, false, txns_per_client),
+        lifecycle: split_phase(seed, true, txns_per_client),
+    }
+}
+
+/// Render the probe as the deterministic `BENCH_split.json` document.
+pub fn split_probe_json(r: &SplitProbeReport) -> String {
+    let phase = |p: &SplitPhase| {
+        format!(
+            "{{\"txns\": {}, \"retries\": {}, \"ops_per_sec\": {:.1}, \"ranges\": {}, \"splits\": {}, \
+             \"merges\": {}, \"lease_rebalances\": {}, \"split_p99_ms\": {:.3}, \
+             \"hottest_share_milli\": {}, \"convergence_ticks\": {}, \"ranges_after_idle\": {}}}",
+            p.txns,
+            p.retries,
+            p.ops_per_sec,
+            p.ranges,
+            p.splits,
+            p.merges,
+            p.lease_rebalances,
+            p.split_p99_ms,
+            p.hottest_share_milli,
+            p.convergence_ticks,
+            p.ranges_after_idle
+        )
+    };
+    format!(
+        "{{\n  \"baseline\": {},\n  \"lifecycle\": {},\n  \"speedup\": {:.3}\n}}\n",
+        phase(&r.baseline),
+        phase(&r.lifecycle),
+        r.lifecycle.ops_per_sec / r.baseline.ops_per_sec.max(1e-9)
+    )
+}
+
 /// Render probe rows as the deterministic `BENCH_commit.json` document.
 pub fn commit_probe_json(rows: &[CommitRow]) -> String {
     let body: Vec<String> = rows

@@ -14,7 +14,7 @@
 //! export.
 
 use mr_clock::Timestamp;
-use mr_kv::cluster::{Cluster, ClusterConfig, ReadOptions, Staleness};
+use mr_kv::cluster::{Cluster, ClusterConfig, LifecycleConfig, ReadOptions, Staleness};
 use mr_kv::zone::{derive_zone_config, ClosedTsPolicy, PlacementPolicy, SurvivalGoal};
 use mr_proto::{Key, KvError, Span, Value};
 use mr_sim::{
@@ -70,6 +70,21 @@ pub struct ChaosConfig {
     /// by default (spans cost memory on long runs; the retention ring
     /// bounds it, but an evicted span is gone from the bundle too).
     pub tracing: bool,
+    /// Enable the range-lifecycle controller (automatic splits, merges,
+    /// and load-based rebalancing) on the chaos cluster. Pair with
+    /// `ScheduleBounds::lifecycle_storm`, which additionally forces
+    /// splits and merges mid-disruption via admin faults.
+    pub range_lifecycle: bool,
+    /// Make half the stale reads *recent* (50–250ms into the past, inside
+    /// the closed-ts lag) so they fall back to the leaseholder and leave
+    /// fresh timestamp-cache entries — the state a split must carry to
+    /// both halves, and the detection channel for the split-tscache bug.
+    pub recent_stale_reads: bool,
+    /// Arm the intentionally injected split bug (the RHS of a split gets a
+    /// zero timestamp-cache bound; requires the `injected-bug` feature;
+    /// panics otherwise). Used to prove the checker catches a split that
+    /// forgets the reads the parent range already served.
+    pub arm_split_tscache_bug: bool,
 }
 
 impl Default for ChaosConfig {
@@ -88,6 +103,9 @@ impl Default for ChaosConfig {
             parallel_commits: true,
             cold_ranges: 0,
             tracing: false,
+            range_lifecycle: false,
+            recent_stale_reads: false,
+            arm_split_tscache_bug: false,
         }
     }
 }
@@ -110,6 +128,10 @@ pub struct ChaosOutcome {
     /// Forensics captured from the live cluster when the checker or an
     /// online monitor flagged a violation; `None` on clean runs.
     pub bundle: Option<IncidentBundle>,
+    /// Range splits applied during the run (admin faults + automatic).
+    pub splits: usize,
+    /// Range merges applied during the run.
+    pub merges: usize,
 }
 
 impl ChaosOutcome {
@@ -148,6 +170,15 @@ pub fn build_chaos_cluster(cfg: &ChaosConfig) -> Cluster {
             pipelined_writes: cfg.pipelined_writes,
             parallel_commits: cfg.parallel_commits,
             tracing: cfg.tracing,
+            lifecycle: LifecycleConfig {
+                enabled: cfg.range_lifecycle,
+                // The workload only has 8 distinct keys, so splits and
+                // merges are forced by schedule faults rather than the
+                // size trigger; a short cooldown lets a forced split be
+                // merged back within the same run.
+                cooldown: SimDuration::from_secs(5),
+                ..LifecycleConfig::default()
+            },
             ..ClusterConfig::default()
         },
     );
@@ -156,6 +187,9 @@ pub fn build_chaos_cluster(cfg: &ChaosConfig) -> Cluster {
     }
     if cfg.arm_premature_ack_bug {
         arm_ack_bug(&mut cluster);
+    }
+    if cfg.arm_split_tscache_bug {
+        arm_split_bug(&mut cluster);
     }
     let db_regions: Vec<RegionId> = (0..3).map(RegionId).collect();
     let home = RegionId(0);
@@ -225,6 +259,16 @@ fn arm_ack_bug(_cluster: &mut Cluster) {
     panic!("arm_premature_ack_bug requires building mr-chaos with --features injected-bug");
 }
 
+#[cfg(feature = "injected-bug")]
+fn arm_split_bug(cluster: &mut Cluster) {
+    cluster.arm_split_tscache_bug();
+}
+
+#[cfg(not(feature = "injected-bug"))]
+fn arm_split_bug(_cluster: &mut Cluster) {
+    panic!("arm_split_tscache_bug requires building mr-chaos with --features injected-bug");
+}
+
 /// One closed-loop register client, moved through its continuation chain.
 struct Client {
     id: u32,
@@ -233,6 +277,7 @@ struct Client {
     until: SimTime,
     think: SimDuration,
     keys_per_class: u64,
+    recent_stale: bool,
     hist: History,
 }
 
@@ -446,8 +491,16 @@ fn fresh_read(c: &mut Cluster, cl: Client, key: String) {
 fn stale_read(c: &mut Cluster, mut cl: Client, key: String) {
     // Read 4–8s into the past: past the 3s closed-ts lag when healthy, and
     // ahead of a frontier frozen by a partition — exactly what the
-    // follower-read gate must refuse to serve.
-    let ago = SimDuration::from_millis(4_000 + cl.rng.next_below(4_000));
+    // follower-read gate must refuse to serve. With `recent_stale_reads`,
+    // half the stale reads instead target 50–250ms ago — inside the
+    // closed-ts lag, so the follower refuses and the read falls back to
+    // the leaseholder, recording a near-now timestamp-cache entry that a
+    // subsequent split is obliged to honor on both halves.
+    let ago = if cl.recent_stale && cl.rng.chance(0.5) {
+        SimDuration::from_millis(50 + cl.rng.next_below(200))
+    } else {
+        SimDuration::from_millis(4_000 + cl.rng.next_below(4_000))
+    };
     let now_ts = c.hlc_now(cl.gateway);
     let read_ts = Timestamp::new(now_ts.wall.saturating_sub(ago.nanos()), 0);
     let hist = cl.hist.clone();
@@ -521,6 +574,7 @@ pub fn run_chaos(
                 until,
                 think: cfg.think,
                 keys_per_class: cfg.keys_per_class,
+                recent_stale: cfg.recent_stale_reads,
                 hist: hist.clone(),
             };
             id += 1;
@@ -569,6 +623,8 @@ pub fn run_chaos(
     // Forensics must be captured while the cluster is still alive: the
     // tracer, event log, tsdb, and range registry all die with it.
     let bundle = IncidentBundle::collect(&c, schedule, &hist, &report);
+    let splits = c.events.count_kind("range_split");
+    let merges = c.events.count_kind("range_merge");
 
     let ops_ok = ops.iter().filter(|o| o.ok()).count();
     ChaosOutcome {
@@ -585,5 +641,7 @@ pub fn run_chaos(
         recovery_p99: recovery.quantile(0.99),
         steady_p99: steady.quantile(0.99),
         bundle,
+        splits,
+        merges,
     }
 }

@@ -14,6 +14,7 @@ use std::fmt;
 
 use mr_kv::cluster::Cluster;
 use mr_kv::FaultKind;
+use mr_proto::Key;
 use mr_sim::{NodeId, RegionId, SimDuration, SimRng, SimTime, ZoneId};
 
 /// One timed step of a schedule.
@@ -68,6 +69,13 @@ pub struct ScheduleBounds {
     /// dead leader via the liveness check, since a quiesced range sends no
     /// heartbeats to miss.
     pub quiesced_leader_crash: bool,
+    /// Append three range-lifecycle blocks racing splits and merges against
+    /// the workload *while* a disruption is active: a split mid-partition, a
+    /// merge mid-leaseholder-crash, and a split mid-clock-skew. The
+    /// lifecycle faults target the workload keyspace (`rs/`, `zs/`) and are
+    /// no-ops when the tiling doesn't allow them (e.g. the merge before any
+    /// split applied), so every seed stays valid.
+    pub lifecycle_storm: bool,
 }
 
 impl Default for ScheduleBounds {
@@ -83,6 +91,7 @@ impl Default for ScheduleBounds {
             allow_region_crash: false,
             coordinator_crash: false,
             quiesced_leader_crash: false,
+            lifecycle_storm: false,
         }
     }
 }
@@ -90,8 +99,10 @@ impl Default for ScheduleBounds {
 impl ScheduleBounds {
     /// Total simulated time the schedule spans, including the final heal.
     pub fn span(&self) -> SimDuration {
-        let blocks =
-            self.blocks + u32::from(self.coordinator_crash) + u32::from(self.quiesced_leader_crash);
+        let blocks = self.blocks
+            + u32::from(self.coordinator_crash)
+            + u32::from(self.quiesced_leader_crash)
+            + 3 * u32::from(self.lifecycle_storm);
         self.first_at + SimDuration((self.hold + self.gap).nanos() * blocks as u64)
     }
 }
@@ -196,6 +207,74 @@ impl FaultSchedule {
             steps.push(FaultStep {
                 at: t,
                 fault: FaultKind::RestartNode(n),
+            });
+            t = t + bounds.gap;
+        }
+        if bounds.lifecycle_storm {
+            // Three blocks racing range-descriptor surgery against live
+            // disruptions. The lifecycle fault fires mid-hold, so the split
+            // or merge commits while the disruption is still active. Keys
+            // sit inside the workload keyspace ("{class}k0".."k3"), so
+            // racing transactions straddle the new boundary.
+            let half = SimDuration(bounds.hold.nanos() / 2);
+            // Split the region-survivable range while two regions are
+            // partitioned from each other.
+            let a = rng.next_below(bounds.regions as u64) as u32;
+            let b = (a + 1 + rng.next_below(bounds.regions as u64 - 1) as u32) % bounds.regions;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::PartitionRegions(RegionId(a), RegionId(b)),
+            });
+            steps.push(FaultStep {
+                at: t + half,
+                fault: FaultKind::SplitAt(Key::from("rs/k2")),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::HealPartition(RegionId(a), RegionId(b)),
+            });
+            t = t + bounds.gap;
+            // Merge the halves back while a region-0 node — the leaseholder
+            // region for both workload ranges — is down. (A no-op if the
+            // earlier split never applied; the schedule stays valid.)
+            let n = NodeId(rng.next_below(bounds.nodes_per_region as u64) as u32);
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::CrashNode(n),
+            });
+            steps.push(FaultStep {
+                at: t + half,
+                fault: FaultKind::MergeAt(Key::from("rs/k0")),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::RestartNode(n),
+            });
+            t = t + bounds.gap;
+            // Split the zone-survivable range under clock skew: the split
+            // must seed both halves' timestamp-cache bounds above every
+            // read any skewed gateway could have been served.
+            let node = NodeId(rng.next_below(nodes as u64) as u32);
+            // At least 1ns of skew, so the disrupt step never reads as a heal.
+            let mag = 1 + rng.next_below(bounds.max_skew_nanos.unsigned_abs()) as i64;
+            let skew_nanos = if rng.chance(0.5) { mag } else { -mag };
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::SkewClock { node, skew_nanos },
+            });
+            steps.push(FaultStep {
+                at: t + half,
+                fault: FaultKind::SplitAt(Key::from("zs/k2")),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::SkewClock {
+                    node,
+                    skew_nanos: 0,
+                },
             });
             t = t + bounds.gap;
         }
@@ -337,6 +416,47 @@ mod tests {
                     assert!(crash.0 < b.nodes_per_region, "crash outside region 0: {s}");
                 }
                 other => panic!("unexpected pair {other:?} in {s}"),
+            }
+            assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
+            assert_eq!(s.span(), b.span());
+        }
+    }
+
+    #[test]
+    fn lifecycle_storm_appends_split_merge_blocks_mid_disruption() {
+        let b = ScheduleBounds {
+            lifecycle_storm: true,
+            ..ScheduleBounds::default()
+        };
+        for seed in 0..50 {
+            let s = FaultSchedule::random(seed, &b);
+            // 3 blocks x 2 + 3 lifecycle blocks x 3 + final HealAll.
+            assert_eq!(s.steps.len(), 16, "{s}");
+            // Each lifecycle block is disrupt → lifecycle fault → heal, with
+            // the lifecycle fault strictly inside the disruption window.
+            let splits = s
+                .steps
+                .iter()
+                .filter(|st| matches!(st.fault, FaultKind::SplitAt(_)))
+                .count();
+            let merges = s
+                .steps
+                .iter()
+                .filter(|st| matches!(st.fault, FaultKind::MergeAt(_)))
+                .count();
+            assert_eq!((splits, merges), (2, 1), "{s}");
+            for block in s.steps[6..15].chunks(3) {
+                assert!(!block[0].fault.is_heal(), "{s}");
+                assert!(
+                    matches!(
+                        block[1].fault,
+                        FaultKind::SplitAt(_) | FaultKind::MergeAt(_)
+                    ),
+                    "{s}"
+                );
+                assert!(block[1].at > block[0].at, "{s}");
+                assert!(block[1].at < block[2].at, "{s}");
+                assert!(block[2].fault.is_heal(), "{s}");
             }
             assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
             assert_eq!(s.span(), b.span());

@@ -14,7 +14,8 @@ use mr_chaos::{
     FaultSchedule, FaultStep, OpKind, Phase, ScheduleBounds,
 };
 use mr_kv::FaultKind;
-use mr_sim::{RegionId, SimDuration, SimTime};
+use mr_proto::Key;
+use mr_sim::{NodeId, RegionId, SimDuration, SimTime};
 use mr_testutil::{at, secs};
 
 #[test]
@@ -393,6 +394,177 @@ fn premature_ack_scenario_without_bug_is_clean() {
     };
     let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
     assert!(outcome.passed(), "{}", outcome.render());
+}
+
+/// Range lifecycle under chaos: every schedule appends three blocks that
+/// force a split mid-partition, a merge mid-leaseholder-crash, and a
+/// split mid-clock-skew — all while the register workload keeps racing
+/// transactions across the moving range boundaries, half the stale reads
+/// land inside the closed-ts lag (leaseholder fallback, fresh tscache
+/// entries a split must honor), and the lifecycle controller runs its
+/// periodic tick. Histories must stay serializable with the online
+/// invariant monitors strict (the default).
+#[test]
+fn lifecycle_storm_schedules_produce_clean_histories() {
+    let bounds = ScheduleBounds {
+        lifecycle_storm: true,
+        ..ScheduleBounds::default()
+    };
+    let (mut total_splits, mut total_merges) = (0usize, 0usize);
+    for seed in 1..=20u64 {
+        let schedule = FaultSchedule::random(seed, &bounds);
+        let cfg = ChaosConfig {
+            seed,
+            run_for: schedule.span() + secs(10),
+            range_lifecycle: true,
+            recent_stale_reads: true,
+            ..ChaosConfig::default()
+        };
+        let outcome = run_chaos(&cfg, &schedule, &CheckerConfig::default());
+        assert!(
+            outcome.passed(),
+            "seed {seed} failed:\n{}\n{schedule}",
+            outcome.render()
+        );
+        assert!(
+            outcome.ops_ok > 100,
+            "seed {seed}: workload barely ran ({} ok ops)",
+            outcome.ops_ok
+        );
+        total_splits += outcome.splits;
+        total_merges += outcome.merges;
+    }
+    // The storm must actually have exercised descriptor surgery: a split
+    // or merge step can individually no-op (its leaseholder may be down
+    // mid-disruption), but across 20 seeds both must land many times.
+    assert!(total_splits >= 20, "only {total_splits} splits applied");
+    assert!(total_merges >= 5, "only {total_merges} merges applied");
+}
+
+/// A scripted schedule for the split-tscache canary: the remote gateways
+/// run 200ms ahead (within the 250ms offset spec), while the workload
+/// ranges are repeatedly split and merged back. An ahead-clock gateway's
+/// reads are served — and timestamp-cached — up to 200ms in the future;
+/// the split is obliged to carry that high-water to BOTH halves (its new
+/// bound is `hlc + max_offset`, which covers any in-spec clock). The
+/// armed bug zeroes the RHS bound, so an honest-clock write invoked
+/// *after* such a read completes can commit below the read's timestamp —
+/// a real-time-order inversion the offline checker must flag.
+fn split_storm_schedule() -> FaultSchedule {
+    let mut steps = Vec::new();
+    // Skew the non-home-region gateways ahead; region 0 keeps honest
+    // clocks, so its writes are the ones that can slip under a dropped
+    // future read timestamp.
+    for n in [3u32, 4, 5, 6, 7, 8] {
+        steps.push(FaultStep {
+            at: secs(4),
+            fault: FaultKind::SkewClock {
+                node: NodeId(n),
+                skew_nanos: 200_000_000,
+            },
+        });
+    }
+    let mut t = 15u64;
+    while t + 6 <= 54 {
+        steps.push(FaultStep {
+            at: secs(t),
+            fault: FaultKind::SplitAt(Key::from("rs/k1")),
+        });
+        steps.push(FaultStep {
+            at: secs(t + 3),
+            fault: FaultKind::MergeAt(Key::from("rs/k0")),
+        });
+        steps.push(FaultStep {
+            at: secs(t + 3),
+            fault: FaultKind::SplitAt(Key::from("zs/k1")),
+        });
+        steps.push(FaultStep {
+            at: secs(t + 6),
+            fault: FaultKind::MergeAt(Key::from("zs/k0")),
+        });
+        t += 6;
+    }
+    steps.push(FaultStep {
+        at: secs(58),
+        fault: FaultKind::HealAll,
+    });
+    FaultSchedule::scripted("split-storm", steps)
+}
+
+fn split_storm_config(seed: u64, armed: bool) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        run_for: secs(60),
+        // Two keys per class concentrate traffic on the split boundary
+        // (the RHS of the rs/zs splits is exactly {rs/k1} / {zs/k1}).
+        keys_per_class: 2,
+        clients_per_region: 3,
+        think: SimDuration::from_millis(20),
+        recent_stale_reads: true,
+        arm_split_tscache_bug: armed,
+        // The offline checker is the detector under test; relaxed
+        // monitors in BOTH runs so the armed/control diff is the bug.
+        strict_monitors: false,
+        ..ChaosConfig::default()
+    }
+}
+
+/// The acceptance gate for split correctness coverage: with the injected
+/// split-tscache bug armed (the RHS of every split forgets the reads the
+/// parent served), a behind-clock gateway can commit a write below an
+/// already-served read's timestamp, and the offline checker must flag the
+/// history. Any single seed's race window is probabilistic, so the gate
+/// is: at least one of the seeds is caught.
+#[cfg(feature = "injected-bug")]
+#[test]
+fn injected_split_tscache_bug_is_caught() {
+    let schedule = split_storm_schedule();
+    let mut caught = 0usize;
+    for seed in 1..=8u64 {
+        let outcome = run_chaos(
+            &split_storm_config(seed, true),
+            &schedule,
+            &CheckerConfig::default(),
+        );
+        assert!(outcome.splits >= 5, "seed {seed}: storm barely split");
+        if !outcome.passed() {
+            assert!(
+                outcome
+                    .report
+                    .violations
+                    .iter()
+                    .any(|v| v.kind == "stale-read-skew"
+                        || v.kind == "stale-fresh-read"
+                        || v.kind == "real-time-order"
+                        || v.kind == "serialization-cycle"),
+                "seed {seed}: unexpected violation kinds:\n{}",
+                outcome.render()
+            );
+            caught += 1;
+        }
+    }
+    assert!(
+        caught >= 1,
+        "the armed split-tscache bug was never detected across 8 seeds"
+    );
+}
+
+/// Control for the split-tscache canary: the identical storm (same seeds,
+/// same skew, same relaxed monitors) without the bug armed must be clean
+/// on EVERY seed — the zeroed RHS bound is the only difference.
+#[test]
+fn split_storm_without_bug_is_clean() {
+    let schedule = split_storm_schedule();
+    for seed in 1..=8u64 {
+        let outcome = run_chaos(
+            &split_storm_config(seed, false),
+            &schedule,
+            &CheckerConfig::default(),
+        );
+        assert!(outcome.passed(), "seed {seed}:\n{}", outcome.render());
+        assert!(outcome.splits >= 5, "seed {seed}: storm barely split");
+        assert!(outcome.merges >= 1, "seed {seed}: storm never merged");
+    }
 }
 
 /// Parallel commits under coordinator failure: every schedule ends with a

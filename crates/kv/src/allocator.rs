@@ -257,6 +257,64 @@ pub struct AllocationOutcome {
     pub leaseholder: NodeId,
 }
 
+/// Load-based lease rebalancing: the voting replica of `desc` in `toward`
+/// the lease should move to when that region dominates the range's traffic.
+/// Deterministic (lowest live node id); `None` when the range has no live
+/// voter there (the rebalancer then considers a replica move instead).
+pub fn plan_lease_transfer(
+    topo: &Topology,
+    desc: &crate::range::RangeDescriptor,
+    toward: RegionId,
+) -> Option<NodeId> {
+    desc.replicas
+        .iter()
+        .filter(|p| p.voting && topo.is_node_alive(p.node) && topo.region_of(p.node) == toward)
+        .map(|p| p.node)
+        .min_by_key(|n| n.0)
+}
+
+/// Load-based replica rebalancing: relocate one non-voting replica toward
+/// `toward` without violating the zone config. Returns `(from, to)` — the
+/// replica to move and its destination (the lowest-id live node in `toward`
+/// without a replica) — or `None` when the range already has a replica
+/// there, no destination exists, or every candidate move would leave the
+/// range under-replicated or constraint-violating. Voters are never moved
+/// this way: quorum placement is the survivability plan, not load's.
+pub fn plan_replica_move(
+    topo: &Topology,
+    desc: &crate::range::RangeDescriptor,
+    toward: RegionId,
+) -> Option<(NodeId, NodeId)> {
+    if desc
+        .replicas
+        .iter()
+        .any(|p| topo.region_of(p.node) == toward)
+    {
+        return None;
+    }
+    let to = topo
+        .node_ids()
+        .filter(|&n| {
+            topo.region_of(n) == toward && topo.is_node_alive(n) && !desc.has_replica_on(n)
+        })
+        .min_by_key(|n| n.0)?;
+    for p in desc.replicas.iter().filter(|p| !p.voting) {
+        let mut cand = desc.clone();
+        for q in cand.replicas.iter_mut() {
+            if q.node == p.node {
+                q.node = to;
+            }
+        }
+        let c = crate::report::classify(&cand, topo);
+        if !c.has(crate::report::RangeStatus::ViolatingConstraints)
+            && !c.has(crate::report::RangeStatus::UnderReplicated)
+        {
+            return Some((p.node, to));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +497,67 @@ mod tests {
         nodes.sort_unstable_by_key(|n| n.0);
         nodes.dedup();
         assert_eq!(nodes.len(), before);
+    }
+
+    #[test]
+    fn lease_and_replica_rebalance_planning() {
+        use crate::range::RangeDescriptor;
+        use mr_proto::{Key, RangeId, Span};
+        let mut topo = topo5x3();
+        let mut zc = ZoneConfig::single_region(RegionId(0));
+        zc.constraints = vec![];
+        zc.voter_constraints = vec![];
+        let desc = RangeDescriptor {
+            id: RangeId(1),
+            span: Span::new(Key::from("a"), Key::from("b")),
+            replicas: vec![
+                Placement {
+                    node: NodeId(0),
+                    voting: true,
+                },
+                Placement {
+                    node: NodeId(1),
+                    voting: true,
+                },
+                Placement {
+                    node: NodeId(3), // region 1
+                    voting: true,
+                },
+                Placement {
+                    node: NodeId(6), // region 2
+                    voting: false,
+                },
+            ],
+            leaseholder: NodeId(0),
+            zone_config: zc,
+        };
+        // Lease toward region 1: its voting replica.
+        assert_eq!(
+            plan_lease_transfer(&topo, &desc, RegionId(1)),
+            Some(NodeId(3))
+        );
+        // No voter in region 2 → no lease plan there.
+        assert_eq!(plan_lease_transfer(&topo, &desc, RegionId(2)), None);
+        // A replica already sits in region 2 → nothing to move.
+        assert_eq!(plan_replica_move(&topo, &desc, RegionId(2)), None);
+        // Region 3 has no replica: the non-voter relocates to its lowest
+        // live node.
+        assert_eq!(
+            plan_replica_move(&topo, &desc, RegionId(3)),
+            Some((NodeId(6), NodeId(9)))
+        );
+        // Dead candidates are skipped entirely.
+        topo.fail_node(NodeId(3));
+        assert_eq!(plan_lease_transfer(&topo, &desc, RegionId(1)), None);
+        // While a voter is down the planner refuses to shuffle replicas at
+        // all (the range is under-replicated; load can wait).
+        assert_eq!(plan_replica_move(&topo, &desc, RegionId(3)), None);
+        topo.revive_node(NodeId(3));
+        topo.fail_node(NodeId(9));
+        assert_eq!(
+            plan_replica_move(&topo, &desc, RegionId(3)),
+            Some((NodeId(6), NodeId(10)))
+        );
     }
 
     #[test]

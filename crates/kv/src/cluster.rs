@@ -19,15 +19,15 @@ use mr_clock::{ClockConfig, Hlc, SkewedClock, Timestamp};
 use mr_obs::{Obs, SpanId};
 use mr_proto::{Key, KvError, RangeId, Request, Response, Span, TxnId, Value};
 use mr_raft::{Peer, RaftConfig, RaftMsg, RaftNode};
-use mr_sim::{EventQueue, Link, NodeId, SimDuration, SimRng, SimTime, Topology};
+use mr_sim::{EventQueue, Link, NodeId, RegionId, SimDuration, SimRng, SimTime, Topology};
 
 use crate::allocator::{allocate, AllocError};
 use crate::attribution::{self, Component, TxnAttrLog};
 use crate::closedts::ClosedTsParams;
 use crate::events::{EventKind, EventLog};
 use crate::metrics::{req_kind_index, rpc_span_name, KvMetrics, MetricsView};
-use crate::range::{RangeDescriptor, RangeRegistry};
-use crate::replica::{Batch, Effect, EvalCtx, EvalOutcome, Replica, ReplyPath};
+use crate::range::{RangeDescriptor, RangeLineage, RangeRegistry};
+use crate::replica::{Batch, CmdOp, Effect, EvalCtx, EvalOutcome, Replica, ReplyPath};
 use crate::report::{self, RangeStatus, ReplicationReport};
 use crate::txn::TxnState;
 use crate::zone::{ClosedTsPolicy, ZoneConfig};
@@ -108,6 +108,55 @@ pub struct ClusterConfig {
     /// deliberately break an invariant turn it off and inspect
     /// `obs.monitors` instead.
     pub strict_monitors: bool,
+    /// Dynamic range lifecycle: size/QPS-triggered splits, cold-range
+    /// merges, and load-based lease/replica rebalancing. Off by default —
+    /// clusters that enable it should also set `rpc_timeout`, because a
+    /// split or merge drops uncommitted proposals and parked waiters of the
+    /// reshaped ranges (clients recover by timeout + re-route).
+    pub lifecycle: LifecycleConfig,
+}
+
+/// Trigger thresholds and pacing for the dynamic range lifecycle
+/// (splits / merges / load-based rebalancing). See DESIGN.md §13.
+#[derive(Clone, Copy, Debug)]
+pub struct LifecycleConfig {
+    /// Master switch; when false no lifecycle tick is ever scheduled.
+    pub enabled: bool,
+    /// Interval between lifecycle passes over the registry.
+    pub interval: SimDuration,
+    /// Split when a range's leaseholder store holds at least this many
+    /// distinct keys.
+    pub split_size_keys: usize,
+    /// Split when a range's decayed QPS (read + write) reaches this many
+    /// milli-queries/sec.
+    pub split_qps_milli: u64,
+    /// Merge a range into its left neighbor when *both* are below this
+    /// decayed QPS (and jointly under half the size threshold).
+    pub merge_qps_milli: u64,
+    /// Hysteresis: a range touched by a split/merge (or an in-flight
+    /// proposal) is left alone for this long, so fresh halves aren't
+    /// immediately re-merged and vice versa.
+    pub cooldown: SimDuration,
+    /// Rebalance the lease toward a gateway region only when it generates
+    /// at least this share (milli, 0..=1000) of the range's traffic.
+    pub rebalance_share_milli: u64,
+    /// Ignore ranges below this decayed QPS when rebalancing (noise floor).
+    pub rebalance_min_qps_milli: u64,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            enabled: false,
+            interval: SimDuration::from_secs(2),
+            split_size_keys: 512,
+            split_qps_milli: 200_000,
+            merge_qps_milli: 2_000,
+            cooldown: SimDuration::from_secs(10),
+            rebalance_share_milli: 600,
+            rebalance_min_qps_milli: 10_000,
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -139,6 +188,7 @@ impl Default for ClusterConfig {
             tracing: false,
             obs_scrape_interval: Some(SimDuration::from_secs(1)),
             strict_monitors: true,
+            lifecycle: LifecycleConfig::default(),
         }
     }
 }
@@ -228,6 +278,10 @@ enum Event {
     /// Periodic observability scrape: refresh derived gauges and snapshot
     /// the registry into the scrape series.
     ObsScrape,
+    /// Periodic range-lifecycle pass: split/merge triggers and one
+    /// load-based rebalance step (scheduled only when
+    /// `cfg.lifecycle.enabled`).
+    LifecycleTick,
 }
 
 struct Envelope {
@@ -336,6 +390,29 @@ pub struct Cluster {
     /// range apply the same claim entry; only the first application moves
     /// the lease).
     lease_claims: HashMap<RangeId, u64>,
+    /// Lifecycle lineage per range id (boot/split/merge origin, rebalance
+    /// counters) — the `crdb_internal.ranges` lineage columns. Entries for
+    /// retired ids (merged away) are kept as history.
+    lineage: HashMap<RangeId, RangeLineage>,
+    /// Last lifecycle action (proposal or application) touching a range;
+    /// drives the split/merge cooldown hysteresis.
+    last_lifecycle: HashMap<RangeId, SimTime>,
+    /// Ranges whose lease was recently moved by the *load-based*
+    /// rebalancer, possibly outside the configured preference. The
+    /// replication report grants these a grace window (one cooldown) before
+    /// flagging `WrongLeaseholder` — the next rebalance tick either keeps
+    /// the move (still hot) or re-homes the lease.
+    lease_rebalanced: HashMap<RangeId, SimTime>,
+    /// Proposal time of an in-flight split, keyed by the parent range.
+    split_pending: HashMap<RangeId, SimTime>,
+    /// Propose→apply latency of every completed split, in order (nanos).
+    split_latencies: Vec<u64>,
+    /// When the lifecycle last split, merged, or rebalanced anything
+    /// (convergence detection for benches).
+    last_lifecycle_action: Option<SimTime>,
+    /// Whether the feature-gated split-tscache bug is armed (see
+    /// `arm_split_tscache_bug`). Always false in normal builds.
+    split_tscache_bug: bool,
 }
 
 impl Cluster {
@@ -400,6 +477,13 @@ impl Cluster {
             premature_ack_bug: false,
             orphaned_leases: std::collections::HashSet::new(),
             lease_claims: HashMap::new(),
+            lineage: HashMap::new(),
+            last_lifecycle: HashMap::new(),
+            lease_rebalanced: HashMap::new(),
+            split_pending: HashMap::new(),
+            split_latencies: Vec::new(),
+            last_lifecycle_action: None,
+            split_tscache_bug: false,
         };
         c.queue.schedule(cfg.raft_tick_interval, Event::RaftTick);
         c.queue
@@ -407,6 +491,10 @@ impl Cluster {
         c.queue.schedule(cfg.gc_interval, Event::GcTick);
         if let Some(interval) = cfg.obs_scrape_interval {
             c.queue.schedule(interval, Event::ObsScrape);
+        }
+        if cfg.lifecycle.enabled {
+            c.queue
+                .schedule(cfg.lifecycle.interval, Event::LifecycleTick);
         }
         c
     }
@@ -462,9 +550,36 @@ impl Cluster {
     }
 
     /// Replication conformance report over every range, classified against
-    /// its own zone config at the current sim-time.
+    /// its own zone config at the current sim-time. Ranges whose lease was
+    /// moved by the load-based rebalancer within the lifecycle cooldown get
+    /// a `WrongLeaseholder` grace window: the next rebalance tick either
+    /// confirms the move (still hot) or re-homes the lease, so a transient
+    /// load-following transfer is not reported as a violation.
     pub fn replication_report(&self) -> ReplicationReport {
-        ReplicationReport::build(self.queue.now(), &self.registry, &self.topo)
+        ReplicationReport::build_with_grace(
+            self.queue.now(),
+            &self.registry,
+            &self.topo,
+            &self.lease_rebalanced,
+            self.cfg.lifecycle.cooldown,
+        )
+    }
+
+    /// Lifecycle lineage of a range (split/merge origin, rebalance
+    /// counters). `None` for ids never seen by the admin plane.
+    pub fn lineage_of(&self, id: RangeId) -> Option<&RangeLineage> {
+        self.lineage.get(&id)
+    }
+
+    /// Propose→apply latency of every completed split so far, in
+    /// application order (nanoseconds).
+    pub fn split_latencies(&self) -> &[u64] {
+        &self.split_latencies
+    }
+
+    /// When the lifecycle last split, merged, or rebalanced anything.
+    pub fn last_lifecycle_action(&self) -> Option<SimTime> {
+        self.last_lifecycle_action
     }
 
     /// Invariant check after (re)placement: the allocator must never emit a
@@ -609,6 +724,16 @@ impl Cluster {
         self.premature_ack_bug = true;
     }
 
+    /// Arm the intentionally injected split bug: a range split installs the
+    /// RHS half *without* carrying over the parent's timestamp-cache bound,
+    /// so a write racing the split can commit below a timestamp the parent
+    /// range already served a read at. Exists solely to prove the chaos
+    /// history checker catches a split that loses replicated read state.
+    #[cfg(feature = "chaos-bug-split-tscache")]
+    pub fn arm_split_tscache_bug(&mut self) {
+        self.split_tscache_bug = true;
+    }
+
     // ------------------------------------------------------------------
     // Admin: ranges
     // ------------------------------------------------------------------
@@ -622,6 +747,8 @@ impl Cluster {
         let out = allocate(&self.topo, &zone_config)?;
         let id = self.registry.next_range_id();
         self.install_range(id, span, zone_config, &out.replicas, out.leaseholder, None);
+        self.lineage
+            .insert(id, RangeLineage::boot(self.queue.now()));
         self.events.record(
             self.queue.now(),
             EventKind::RangeCreated {
@@ -690,6 +817,10 @@ impl Cluster {
             zone_config,
         });
         *self.range_gens.entry(id).or_insert(0) += 1;
+        // The fresh Raft group restarts log indices from scratch, so any
+        // per-log-index dedup state from a previous incarnation would
+        // wrongly swallow this group's first claims.
+        self.lease_claims.remove(&id);
     }
 
     /// Re-place a range under a new zone configuration (used by `ALTER
@@ -834,6 +965,558 @@ impl Cluster {
     }
 
     // ------------------------------------------------------------------
+    // Admin: range lifecycle (splits, merges, load-based rebalancing)
+    // ------------------------------------------------------------------
+
+    /// Force a split of the range containing `key` at exactly `key` (admin
+    /// split; also the nemesis entry point). Returns the reserved RHS id if
+    /// a split was proposed, `None` when preconditions fail (boundary key,
+    /// unknown range, dead or non-leader leaseholder) — a no-op, so random
+    /// fault schedules stay valid whatever the current tiling is.
+    pub fn admin_split_at(&mut self, key: Key) -> Option<RangeId> {
+        let desc = self.registry.lookup(&key)?.clone();
+        if key == desc.span.start {
+            return None;
+        }
+        self.propose_split(&desc, key)
+    }
+
+    /// Force the range containing `key` to merge with its right-hand
+    /// neighbor. Same no-op semantics as [`Cluster::admin_split_at`] when
+    /// preconditions (adjacency, identical zone config, live leaseholders)
+    /// don't hold. Returns whether a merge was proposed.
+    pub fn admin_merge_at(&mut self, key: Key) -> bool {
+        let Some(ld) = self.registry.lookup(&key).cloned() else {
+            return false;
+        };
+        if ld.span.end.is_empty() {
+            return false; // unbounded span: no right-hand neighbor
+        }
+        let Some(rd) = self.registry.lookup(&ld.span.end).cloned() else {
+            return false;
+        };
+        if rd.span.start != ld.span.end || rd.zone_config != ld.zone_config {
+            return false;
+        }
+        self.propose_merge(&ld, rd.id)
+    }
+
+    /// The node whose replica currently leads `desc`'s Raft group, if any.
+    /// Lifecycle commands must be proposed here: after a lease transfer the
+    /// leaseholder and the Raft leader can be different replicas, and a
+    /// proposal at a non-leader is refused.
+    fn raft_leader_of(&self, desc: &RangeDescriptor) -> Option<NodeId> {
+        desc.replicas.iter().map(|p| p.node).find(|&n| {
+            self.topo.is_node_alive(n)
+                && self.nodes[n.0 as usize]
+                    .replicas
+                    .get(&desc.id)
+                    .is_some_and(|r| r.raft.is_leader())
+        })
+    }
+
+    /// Propose a Raft-replicated `Split` through `desc`'s Raft leader. The
+    /// RHS id is reserved *now* (concurrent proposals must not collide);
+    /// the descriptor surgery happens when the entry applies
+    /// ([`Cluster::apply_split`]), strictly after every command proposed
+    /// before it — that log ordering is what makes a transaction straddling
+    /// the split find its intents on the correct half.
+    fn propose_split(&mut self, desc: &RangeDescriptor, split_key: Key) -> Option<RangeId> {
+        let now = self.queue.now();
+        // The surgery snapshots the leaseholder replica's state at apply
+        // time, so a dead leaseholder means the split cannot complete.
+        if !self.topo.is_node_alive(desc.leaseholder) {
+            return None;
+        }
+        let leader = self.raft_leader_of(desc)?;
+        let rhs = self.registry.next_range_id();
+        let msgs = self.nodes[leader.0 as usize]
+            .replicas
+            .get_mut(&desc.id)?
+            .propose_lifecycle(CmdOp::Split { split_key, rhs }, now)?;
+        self.split_pending.insert(desc.id, now);
+        self.last_lifecycle.insert(desc.id, now);
+        self.dispatch_raft_msgs(leader, desc.id, msgs);
+        self.pump_replica(leader, desc.id);
+        Some(rhs)
+    }
+
+    /// Propose a Raft-replicated `Merge` of `rhs` into `ld` through `ld`'s
+    /// Raft leader.
+    fn propose_merge(&mut self, ld: &RangeDescriptor, rhs: RangeId) -> bool {
+        let now = self.queue.now();
+        let Some(rd) = self.registry.get(rhs) else {
+            return false;
+        };
+        if !self.topo.is_node_alive(ld.leaseholder) || !self.topo.is_node_alive(rd.leaseholder) {
+            return false;
+        }
+        let Some(leader) = self.raft_leader_of(ld) else {
+            return false;
+        };
+        let msgs = self.nodes[leader.0 as usize]
+            .replicas
+            .get_mut(&ld.id)
+            .and_then(|rep| rep.propose_lifecycle(CmdOp::Merge { rhs }, now));
+        let Some(msgs) = msgs else {
+            return false;
+        };
+        self.last_lifecycle.insert(ld.id, now);
+        self.last_lifecycle.insert(rhs, now);
+        self.dispatch_raft_msgs(leader, ld.id, msgs);
+        self.pump_replica(leader, ld.id);
+        true
+    }
+
+    /// A replicated `Split` entry applied: divide the parent's descriptor,
+    /// MVCC store (intents included), transaction records, closed-timestamp
+    /// tracker, and timestamp-cache bound between the two halves, atomically
+    /// at one sim-instant. Self-deduplicating: the first application
+    /// installs `rhs`, so a re-delivered effect finds it and bails (and the
+    /// generation bump kills the old group's remaining Raft traffic).
+    fn apply_split(&mut self, lhs: RangeId, split_key: Key, rhs: RangeId, _index: u64) {
+        if self.registry.get(rhs).is_some() {
+            return;
+        }
+        let Some(desc) = self.registry.get(lhs).cloned() else {
+            return;
+        };
+        if split_key == desc.span.start || !desc.span.contains(&split_key) {
+            return;
+        }
+        let now = self.queue.now();
+        let lh = desc.leaseholder;
+        let hlc_now = self.nodes[lh.0 as usize].hlc.now(now);
+        let Some(rep) = self.nodes[lh.0 as usize].replicas.get(&lhs) else {
+            return;
+        };
+        // Authoritative applied state from the leaseholder. Log order means
+        // every command proposed before the split entry has already been
+        // applied to this store — a transaction straddling the split finds
+        // its intents (and record) on whichever half each key landed.
+        let mut lhs_store = rep.store.clone();
+        let txn_records = rep.txn_records.clone();
+        let tracker = rep.tracker.clone();
+        let promised = rep.lease.promised();
+        let low_water = rep.tscache.low_water();
+        let rhs_store = lhs_store.split_off(&split_key);
+        // Reads the parent served are invisible to the halves' empty
+        // timestamp caches, so both must refuse writes below anything the
+        // parent could have served: its HLC plus the clock uncertainty
+        // window (the same rule as a lease transfer).
+        let bound = low_water.max(hlc_now.add_duration(self.cfg.clock.max_offset));
+        let rhs_bound = if self.split_tscache_bug {
+            // Injected canary: the RHS forgets the parent's read history.
+            Timestamp::ZERO
+        } else {
+            bound
+        };
+        for n in desc.replica_nodes().collect::<Vec<_>>() {
+            self.nodes[n.0 as usize].replicas.remove(&lhs);
+        }
+        self.registry.remove(lhs);
+        let lhs_span = Span::new(desc.span.start.clone(), split_key.clone());
+        let rhs_span = Span::new(split_key.clone(), desc.span.end.clone());
+        self.install_range(
+            lhs,
+            lhs_span,
+            desc.zone_config.clone(),
+            &desc.replicas,
+            lh,
+            Some(SeedState {
+                store: lhs_store,
+                txn_records: txn_records.clone(),
+                tracker: tracker.clone(),
+                promised,
+                tscache_low_water: bound,
+            }),
+        );
+        self.install_range(
+            rhs,
+            rhs_span,
+            desc.zone_config.clone(),
+            &desc.replicas,
+            lh,
+            Some(SeedState {
+                store: rhs_store,
+                txn_records,
+                tracker,
+                promised,
+                tscache_low_water: rhs_bound,
+            }),
+        );
+        self.monitor_closed.retain(|&(rid, _), _| rid != lhs);
+        // Both halves restart load accounting: the parent's decayed rates
+        // and key samples no longer describe either half alone.
+        self.obs.load.forget_range(lhs.0);
+        self.last_lifecycle.insert(lhs, now);
+        self.last_lifecycle.insert(rhs, now);
+        let key_disp = format!("{split_key:?}");
+        if let Some(l) = self.lineage.get_mut(&lhs) {
+            l.splits += 1;
+        }
+        self.lineage
+            .insert(rhs, RangeLineage::split_child(lhs, key_disp.clone(), now));
+        if let Some(t0) = self.split_pending.remove(&lhs) {
+            self.split_latencies.push((now - t0).nanos());
+        }
+        self.last_lifecycle_action = Some(now);
+        self.events.record(
+            now,
+            EventKind::RangeSplit {
+                range: lhs,
+                rhs,
+                split_key: key_disp,
+            },
+        );
+    }
+
+    /// A replicated `Merge` entry applied on the LHS group: absorb the
+    /// right-hand neighbor's MVCC store, transaction records, and
+    /// timestamp-cache bound, and re-install the union under the LHS id.
+    /// Self-deduplicating: the first application removes `rhs` from the
+    /// registry, so re-deliveries bail on the lookup.
+    fn apply_merge(&mut self, lhs: RangeId, rhs: RangeId, _index: u64) {
+        let Some(ld) = self.registry.get(lhs).cloned() else {
+            return;
+        };
+        let Some(rd) = self.registry.get(rhs).cloned() else {
+            return;
+        };
+        if ld.span.end.is_empty()
+            || rd.span.start != ld.span.end
+            || ld.zone_config != rd.zone_config
+        {
+            return;
+        }
+        let now = self.queue.now();
+        let lh = ld.leaseholder;
+        let off = self.cfg.clock.max_offset;
+        let lhs_hlc = self.nodes[lh.0 as usize].hlc.now(now);
+        let rhs_hlc = self.nodes[rd.leaseholder.0 as usize].hlc.now(now);
+        let Some(lrep) = self.nodes[lh.0 as usize].replicas.get(&lhs) else {
+            return;
+        };
+        let mut store = lrep.store.clone();
+        let mut txn_records = lrep.txn_records.clone();
+        let ltracker = lrep.tracker.clone();
+        let lpromised = lrep.lease.promised();
+        let llow = lrep.tscache.low_water();
+        let Some(rrep) = self.nodes[rd.leaseholder.0 as usize].replicas.get(&rhs) else {
+            return;
+        };
+        let rstore = rrep.store.clone();
+        let rrecords = rrep.txn_records.clone();
+        let rtracker = rrep.tracker.clone();
+        let rpromised = rrep.lease.promised();
+        let rlow = rrep.tscache.low_water();
+        store.absorb(rstore);
+        // Txn records are anchored at one key, which lives in exactly one
+        // of the two spans — collisions cannot happen; keep both sides.
+        for (id, rec) in rrecords {
+            txn_records.entry(id).or_insert(rec);
+        }
+        // The merged closed frontier may take the further-ahead side: no
+        // write below either side's lease promise can commit afterwards
+        // (the merged lease inherits the max), so the stronger promise
+        // holds for the whole union.
+        let tracker = if rtracker.closed() > ltracker.closed() {
+            rtracker
+        } else {
+            ltracker
+        };
+        let promised = lpromised.max(rpromised);
+        let bound = llow
+            .max(rlow)
+            .max(lhs_hlc.add_duration(off))
+            .max(rhs_hlc.add_duration(off));
+        for n in ld.replica_nodes().collect::<Vec<_>>() {
+            self.nodes[n.0 as usize].replicas.remove(&lhs);
+        }
+        for n in rd.replica_nodes().collect::<Vec<_>>() {
+            self.nodes[n.0 as usize].replicas.remove(&rhs);
+        }
+        self.registry.remove(lhs);
+        self.registry.remove(rhs);
+        // Kill the absorbed group's stale Raft traffic (the install below
+        // only bumps the surviving id's generation).
+        *self.range_gens.entry(rhs).or_insert(0) += 1;
+        self.install_range(
+            lhs,
+            Span::new(ld.span.start.clone(), rd.span.end.clone()),
+            ld.zone_config.clone(),
+            &ld.replicas,
+            lh,
+            Some(SeedState {
+                store,
+                txn_records,
+                tracker,
+                promised,
+                tscache_low_water: bound,
+            }),
+        );
+        self.monitor_closed
+            .retain(|&(rid, _), _| rid != lhs && rid != rhs);
+        self.obs.load.forget_range(lhs.0);
+        self.obs.load.forget_range(rhs.0);
+        self.lease_claims.remove(&rhs);
+        self.orphaned_leases.remove(&rhs);
+        self.lease_rebalanced.remove(&rhs);
+        self.split_pending.remove(&rhs);
+        self.last_lifecycle.insert(lhs, now);
+        self.last_lifecycle.remove(&rhs);
+        if let Some(l) = self.lineage.get_mut(&lhs) {
+            l.merges_absorbed += 1;
+        }
+        if let Some(l) = self.lineage.get_mut(&rhs) {
+            l.merged_into = Some(lhs);
+        }
+        self.last_lifecycle_action = Some(now);
+        self.events
+            .record(now, EventKind::RangeMerge { range: lhs, rhs });
+    }
+
+    /// One lifecycle pass (`cfg.lifecycle.interval`): QPS/size-triggered
+    /// splits with the split key at the sampled-load median, cold-range
+    /// merges of adjacent same-config neighbors, then one load-based
+    /// rebalance step. Every trigger honors the per-range cooldown.
+    fn handle_lifecycle_tick(&mut self) {
+        self.queue
+            .schedule(self.cfg.lifecycle.interval, Event::LifecycleTick);
+        let now = self.queue.now();
+        let lc = self.cfg.lifecycle;
+        // Splits. Iterate a stable id snapshot: a proposal on a
+        // single-voter group commits (and reshapes the registry)
+        // synchronously.
+        for id in self.registry.ids() {
+            let Some(desc) = self.registry.get(id).cloned() else {
+                continue;
+            };
+            if !self.cooldown_passed(id, now) || !self.topo.is_node_alive(desc.leaseholder) {
+                continue;
+            }
+            let Some(rep) = self.nodes[desc.leaseholder.0 as usize].replicas.get(&id) else {
+                continue;
+            };
+            let keys = rep.store.key_count();
+            let qps = self
+                .obs
+                .load
+                .snapshot_range(now, id.0)
+                .map_or(0, |s| s.qps_milli);
+            if keys < lc.split_size_keys && qps < lc.split_qps_milli {
+                continue;
+            }
+            let Some(raw) = self.obs.load.split_key_suggestion(id.0) else {
+                continue;
+            };
+            let split_key = Key::from_vec(raw);
+            if split_key == desc.span.start || !desc.span.contains(&split_key) {
+                continue;
+            }
+            self.propose_split(&desc, split_key);
+        }
+        // Merges: a cold range absorbs its cold right-hand neighbor when
+        // both sit under the merge QPS floor and their joint size is well
+        // below the split threshold (a merge must not immediately
+        // re-trigger a split).
+        for id in self.registry.ids() {
+            let Some(ld) = self.registry.get(id).cloned() else {
+                continue;
+            };
+            if ld.span.end.is_empty() || !self.cooldown_passed(id, now) {
+                continue;
+            }
+            let Some(rd) = self.registry.lookup(&ld.span.end).cloned() else {
+                continue;
+            };
+            if rd.span.start != ld.span.end
+                || rd.zone_config != ld.zone_config
+                || !self.cooldown_passed(rd.id, now)
+            {
+                continue;
+            }
+            let cold = |rid: RangeId| {
+                self.obs
+                    .load
+                    .snapshot_range(now, rid.0)
+                    .map_or(0, |s| s.qps_milli)
+                    < lc.merge_qps_milli
+            };
+            if !cold(id) || !cold(rd.id) {
+                continue;
+            }
+            let joint_keys: usize = [&ld, &rd]
+                .iter()
+                .filter_map(|d| {
+                    self.nodes[d.leaseholder.0 as usize]
+                        .replicas
+                        .get(&d.id)
+                        .map(|r| r.store.key_count())
+                })
+                .sum();
+            if joint_keys * 2 >= lc.split_size_keys {
+                continue;
+            }
+            self.propose_merge(&ld, rd.id);
+        }
+        self.rebalance_step(now);
+    }
+
+    /// Whether `id` is outside its lifecycle cooldown window.
+    fn cooldown_passed(&self, id: RangeId, now: SimTime) -> bool {
+        match self.last_lifecycle.get(&id) {
+            Some(&t) => now - t >= self.cfg.lifecycle.cooldown,
+            None => true,
+        }
+    }
+
+    /// One load-based rebalance step: for the hottest range whose traffic
+    /// is dominated by a region other than its leaseholder's, transfer the
+    /// lease toward demand (a voting replica there) or move a non-voting
+    /// replica into the region; then re-home previously-rebalanced leases
+    /// whose hot spell has ended. At most one move per tick keeps
+    /// convergence observable and the event stream readable.
+    fn rebalance_step(&mut self, now: SimTime) {
+        let lc = self.cfg.lifecycle;
+        for s in self.obs.load.hot_ranges(now) {
+            if s.qps_milli < lc.rebalance_min_qps_milli {
+                break; // sorted hottest-first
+            }
+            let id = RangeId(s.range);
+            let Some(desc) = self.registry.get(id).cloned() else {
+                continue;
+            };
+            let Some((reg, share)) = self.obs.load.dominant_region(now, id.0) else {
+                continue;
+            };
+            if share < lc.rebalance_share_milli {
+                continue;
+            }
+            let dom = RegionId(reg);
+            if dom == self.topo.region_of(desc.leaseholder) {
+                continue;
+            }
+            if let Some(to) = crate::allocator::plan_lease_transfer(&self.topo, &desc, dom) {
+                let from = desc.leaseholder;
+                self.transfer_lease(id, to);
+                self.lease_rebalanced.insert(id, now);
+                if let Some(l) = self.lineage.get_mut(&id) {
+                    l.lease_rebalances += 1;
+                }
+                self.last_lifecycle_action = Some(now);
+                self.events.record(
+                    now,
+                    EventKind::LeaseRebalance {
+                        range: id,
+                        from,
+                        to,
+                    },
+                );
+                return;
+            }
+            if let Some((from, to)) = crate::allocator::plan_replica_move(&self.topo, &desc, dom) {
+                self.move_replica(&desc, from, to, now);
+                return;
+            }
+        }
+        self.rehome_leases(now);
+    }
+
+    /// Relocate one replica (instant state transfer, like
+    /// `reconfigure_range`), keeping the leaseholder in place.
+    fn move_replica(&mut self, desc: &RangeDescriptor, from: NodeId, to: NodeId, now: SimTime) {
+        let id = desc.id;
+        let lh = desc.leaseholder;
+        let Some(rep) = self.nodes[lh.0 as usize].replicas.get(&id) else {
+            return;
+        };
+        let seed = SeedState {
+            store: rep.store.clone(),
+            txn_records: rep.txn_records.clone(),
+            tracker: rep.tracker.clone(),
+            promised: rep.lease.promised(),
+            tscache_low_water: rep.tscache.low_water(),
+        };
+        let mut replicas = desc.replicas.clone();
+        for p in replicas.iter_mut() {
+            if p.node == from {
+                p.node = to;
+            }
+        }
+        for n in desc.replica_nodes().collect::<Vec<_>>() {
+            self.nodes[n.0 as usize].replicas.remove(&id);
+        }
+        self.registry.remove(id);
+        self.install_range(
+            id,
+            desc.span.clone(),
+            desc.zone_config.clone(),
+            &replicas,
+            lh,
+            Some(seed),
+        );
+        self.monitor_closed.retain(|&(rid, _), _| rid != id);
+        self.last_lifecycle.insert(id, now);
+        if let Some(l) = self.lineage.get_mut(&id) {
+            l.replica_rebalances += 1;
+        }
+        self.last_lifecycle_action = Some(now);
+        self.events.record(
+            now,
+            EventKind::ReplicaRebalance {
+                range: id,
+                from,
+                to,
+            },
+        );
+    }
+
+    /// Leases previously moved by load: once the out-of-preference region
+    /// no longer dominates, move the lease back into the configured
+    /// preference and end the report grace window.
+    fn rehome_leases(&mut self, now: SimTime) {
+        let lc = self.cfg.lifecycle;
+        let mut ids: Vec<RangeId> = self.lease_rebalanced.keys().copied().collect();
+        ids.sort_unstable_by_key(|id| id.0);
+        for id in ids {
+            let Some(desc) = self.registry.get(id).cloned() else {
+                self.lease_rebalanced.remove(&id);
+                continue;
+            };
+            let prefs = desc.zone_config.lease_preferences.clone();
+            let cur = self.topo.region_of(desc.leaseholder);
+            if prefs.is_empty() || prefs.contains(&cur) {
+                self.lease_rebalanced.remove(&id);
+                continue;
+            }
+            // Still hot from where the lease sits? Keep it, refreshing the
+            // grace window (the report keeps treating it as transient).
+            let qps = self
+                .obs
+                .load
+                .snapshot_range(now, id.0)
+                .map_or(0, |s| s.qps_milli);
+            if qps >= lc.rebalance_min_qps_milli {
+                if let Some((reg, share)) = self.obs.load.dominant_region(now, id.0) {
+                    if RegionId(reg) == cur && share >= lc.rebalance_share_milli {
+                        self.lease_rebalanced.insert(id, now);
+                        continue;
+                    }
+                }
+            }
+            for pref in prefs {
+                if let Some(to) = crate::allocator::plan_lease_transfer(&self.topo, &desc, pref) {
+                    self.transfer_lease(id, to);
+                    self.lease_rebalanced.remove(&id);
+                    self.last_lifecycle_action = Some(now);
+                    break;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // The event loop
     // ------------------------------------------------------------------
 
@@ -849,7 +1532,7 @@ impl Cluster {
             Event::RaftTick => self.m.ev_tick.inc(),
             Event::SideTransport | Event::SideTransportDeliver { .. } => self.m.ev_side.inc(),
             Event::Wake(_) => self.m.ev_wake.inc(),
-            Event::RpcTimeout { .. } | Event::GcTick | Event::ObsScrape => {}
+            Event::RpcTimeout { .. } | Event::GcTick | Event::ObsScrape | Event::LifecycleTick => {}
         }
         match ev {
             Event::Rpc { from, to, env } => self.handle_rpc(from, to, env),
@@ -913,6 +1596,7 @@ impl Cluster {
                 }
             }
             Event::ObsScrape => self.handle_obs_scrape(),
+            Event::LifecycleTick => self.handle_lifecycle_tick(),
         }
         true
     }
@@ -979,6 +1663,14 @@ impl Cluster {
         self.m.rpcs_sent.inc();
         self.m.rpcs_by_kind[req_kind_index(&req)].inc();
         let now = self.queue.now();
+        // Lifecycle signals: which gateway region drives this range (lease
+        // rebalancing) and which keys it is asked for (split-point median).
+        self.obs
+            .load
+            .record_gateway(now, range.0, self.topo.region_of(gateway).0);
+        self.obs
+            .load
+            .sample_key(range.0, req.routing_key().as_slice().to_vec());
         let span = self.obs.tracer.start(rpc_span_name(&req), parent, now);
         if span.is_some() {
             self.obs
@@ -1176,6 +1868,19 @@ impl Cluster {
             self.send_response(node, path, Err(KvError::NoSuchRange { key }));
             return;
         };
+        // A split may have narrowed this range while the RPC was in flight:
+        // the id still routes, but the key now belongs to the other half.
+        // Redirect so the dist-sender re-resolves against the registry —
+        // serving from the narrowed replica would silently miss the moved
+        // keys.
+        if !desc.span.contains(req.routing_key()) {
+            let err = KvError::NotLeaseholder {
+                range,
+                leaseholder: None,
+            };
+            self.send_response(node, path, Err(err));
+            return;
+        }
         let is_leaseholder = desc.leaseholder == node;
         let leaseholder = Some(desc.leaseholder);
         let params = self.cfg.closed_ts;
@@ -1412,13 +2117,13 @@ impl Cluster {
                     self.send_response(node, path, result);
                 }
                 Effect::ReEval { waiter } => {
-                    let parked = {
-                        let rep = self.nodes[node.0 as usize]
-                            .replicas
-                            .get_mut(&range)
-                            .expect("replica vanished during pump");
-                        rep.unpark(waiter)
-                    };
+                    // A split/merge applied earlier in this same effects
+                    // batch may have removed the replica (surgery drops
+                    // parked waiters; their RPCs time out and re-route).
+                    let parked = self.nodes[node.0 as usize]
+                        .replicas
+                        .get_mut(&range)
+                        .and_then(|rep| rep.unpark(waiter));
                     if let Some(p) = parked {
                         self.evaluate_at(node, range, p.req, p.path);
                     }
@@ -1428,6 +2133,16 @@ impl Cluster {
                     index,
                 } => {
                     self.apply_lease_claim(range, claimant, index);
+                }
+                Effect::SplitApplied {
+                    split_key,
+                    rhs,
+                    index,
+                } => {
+                    self.apply_split(range, split_key, rhs, index);
+                }
+                Effect::MergeApplied { rhs, index } => {
+                    self.apply_merge(range, rhs, index);
                 }
             }
         }

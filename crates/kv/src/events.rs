@@ -51,6 +51,28 @@ pub enum EventKind {
         step: Option<u32>,
         detail: String,
     },
+    /// A range split: `range` (the LHS, which keeps its id) shed everything
+    /// at or above `split_key` into the new range `rhs`.
+    RangeSplit {
+        range: RangeId,
+        rhs: RangeId,
+        split_key: String,
+    },
+    /// Two adjacent ranges merged: `rhs` was absorbed into `range`.
+    RangeMerge { range: RangeId, rhs: RangeId },
+    /// The load-based rebalancer moved the lease toward demand (outside the
+    /// configured preference is allowed, transiently).
+    LeaseRebalance {
+        range: RangeId,
+        from: NodeId,
+        to: NodeId,
+    },
+    /// The load-based rebalancer moved a non-voting replica toward demand.
+    ReplicaRebalance {
+        range: RangeId,
+        from: NodeId,
+        to: NodeId,
+    },
 }
 
 impl EventKind {
@@ -63,6 +85,10 @@ impl EventKind {
             EventKind::LeaseTransfer { .. } => "lease_transfer",
             EventKind::RowRehomed { .. } => "row_rehomed",
             EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::RangeSplit { .. } => "range_split",
+            EventKind::RangeMerge { .. } => "range_merge",
+            EventKind::LeaseRebalance { .. } => "lease_rebalance",
+            EventKind::ReplicaRebalance { .. } => "replica_rebalance",
         }
     }
 
@@ -72,7 +98,11 @@ impl EventKind {
             EventKind::RangeCreated { range, .. }
             | EventKind::RangeDropped { range }
             | EventKind::ZoneConfigChanged { range, .. }
-            | EventKind::LeaseTransfer { range, .. } => Some(*range),
+            | EventKind::LeaseTransfer { range, .. }
+            | EventKind::RangeSplit { range, .. }
+            | EventKind::RangeMerge { range, .. }
+            | EventKind::LeaseRebalance { range, .. }
+            | EventKind::ReplicaRebalance { range, .. } => Some(*range),
             EventKind::RowRehomed { .. } => None,
             EventKind::FaultInjected { range, .. } => *range,
         }
@@ -111,6 +141,16 @@ impl EventKind {
                 Some(s) => format!("step {s}: {detail}"),
                 None => detail.clone(),
             },
+            EventKind::RangeSplit { rhs, split_key, .. } => {
+                format!("at {split_key} -> rng{}", rhs.0)
+            }
+            EventKind::RangeMerge { rhs, .. } => format!("absorbed rng{}", rhs.0),
+            EventKind::LeaseRebalance { from, to, .. } => {
+                format!("n{} -> n{} (load)", from.0, to.0)
+            }
+            EventKind::ReplicaRebalance { from, to, .. } => {
+                format!("n{} -> n{} (load)", from.0, to.0)
+            }
         }
     }
 }

@@ -57,6 +57,15 @@ pub enum FaultKind {
     /// Heal every partition and isolation and restart every crashed node.
     /// Clock skews are left as-is (skew is not a network fault).
     HealAll,
+    /// Force a range split at `key` (admin split; the nemesis racing the
+    /// topology against transactions). A no-op when the key's range cannot
+    /// split there (boundary key, range unknown, leaseholder unreachable) —
+    /// random schedules must stay valid whatever the current tiling is.
+    SplitAt(mr_proto::Key),
+    /// Force the range containing `key` to merge with its right-hand
+    /// neighbor. Same no-op semantics as `SplitAt` when preconditions
+    /// (adjacency, same zone config, live leaseholders) don't hold.
+    MergeAt(mr_proto::Key),
 }
 
 impl FaultKind {
@@ -104,6 +113,8 @@ impl fmt::Display for FaultKind {
                 write!(f, "regress closed ts of {range} at {node} by {delta}")
             }
             FaultKind::HealAll => write!(f, "heal all"),
+            FaultKind::SplitAt(key) => write!(f, "split at {key:?}"),
+            FaultKind::MergeAt(key) => write!(f, "merge at {key:?}"),
         }
     }
 }
@@ -141,6 +152,12 @@ impl Cluster {
                 for n in self.topo_mut().node_ids().collect::<Vec<_>>() {
                     self.revive_node(n);
                 }
+            }
+            FaultKind::SplitAt(key) => {
+                self.admin_split_at(key.clone());
+            }
+            FaultKind::MergeAt(key) => {
+                self.admin_merge_at(key.clone());
             }
         }
         let now = self.now();
@@ -230,5 +247,11 @@ mod tests {
         assert!(!f.is_heal());
         assert!(FaultKind::HealAll.is_heal());
         assert_eq!(f.range(), Some(RangeId(3)));
+        let s = FaultKind::SplitAt(mr_proto::Key::from("rs/k1"));
+        assert_eq!(s.to_string(), "split at /rs/k1");
+        assert!(!s.is_heal());
+        let m = FaultKind::MergeAt(mr_proto::Key::from("zs/k1"));
+        assert_eq!(m.to_string(), "merge at /zs/k1");
+        assert!(!m.is_heal());
     }
 }

@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use mr_proto::{Key, RangeId, Span};
-use mr_sim::{NodeId, Topology};
+use mr_sim::{NodeId, SimTime, Topology};
 
 use crate::allocator::Placement;
 use crate::zone::ZoneConfig;
@@ -50,6 +50,63 @@ impl RangeDescriptor {
             .map(|p| p.node)
             .filter(|&n| topo.is_node_alive(n))
             .min_by_key(|&n| (topo.nominal_rtt(from, n), n.0))
+    }
+}
+
+/// How a range came to exist and what the lifecycle machinery has done to
+/// it since — the provenance behind `crdb_internal.ranges`' split/merge
+/// lineage and rebalance columns. Lineage entries outlive merged-away
+/// ranges (their `merged_into` points at the survivor) so ancestry chains
+/// stay walkable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangeLineage {
+    /// `"boot"` for ranges created by the admin plane, `"split"` for a
+    /// right-hand half carved out of `parent`.
+    pub origin: &'static str,
+    /// The LHS this range was split off from, if `origin == "split"`.
+    pub parent: Option<RangeId>,
+    /// Display form of the split key that created this range.
+    pub split_key: Option<String>,
+    /// When this range came to exist.
+    pub at: SimTime,
+    /// The survivor this range was absorbed into, once merged away.
+    pub merged_into: Option<RangeId>,
+    /// Lifecycle counters, accumulated while the range is live.
+    pub splits: u64,
+    pub merges_absorbed: u64,
+    pub lease_rebalances: u64,
+    pub replica_rebalances: u64,
+}
+
+impl RangeLineage {
+    /// Lineage of an admin-created range.
+    pub fn boot(at: SimTime) -> RangeLineage {
+        RangeLineage {
+            origin: "boot",
+            parent: None,
+            split_key: None,
+            at,
+            merged_into: None,
+            splits: 0,
+            merges_absorbed: 0,
+            lease_rebalances: 0,
+            replica_rebalances: 0,
+        }
+    }
+
+    /// Lineage of a right-hand half carved out of `parent` at `split_key`.
+    pub fn split_child(parent: RangeId, split_key: String, at: SimTime) -> RangeLineage {
+        RangeLineage {
+            origin: "split",
+            parent: Some(parent),
+            split_key: Some(split_key),
+            at,
+            merged_into: None,
+            splits: 0,
+            merges_absorbed: 0,
+            lease_rebalances: 0,
+            replica_rebalances: 0,
+        }
     }
 }
 

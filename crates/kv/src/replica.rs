@@ -98,6 +98,18 @@ pub enum CmdOp {
         writes: Vec<(Key, Option<Value>)>,
         resolve_inline: bool,
     },
+    /// Range split: a replicated range-descriptor mutation. Committing it
+    /// through this range's log serializes the split against every write
+    /// that precedes it — the cluster performs the descriptor surgery (and
+    /// carves the MVCC store at `split_key` into the new range `rhs`) when
+    /// the entry applies, so a transaction straddling the split sees either
+    /// the whole pre-split range or two well-formed halves, never a torn
+    /// keyspace.
+    Split { split_key: Key, rhs: RangeId },
+    /// Range merge: the adjacent right-hand range `rhs` is absorbed into
+    /// this one. Like `Split`, committing through the log orders the merge
+    /// against in-flight writes; the cluster applies the surgery.
+    Merge { rhs: RangeId },
 }
 
 /// Where to send the RPC response.
@@ -122,6 +134,15 @@ pub enum Effect {
     /// registry (deduplicated by log index — every replica applies the
     /// same entry).
     LeaseApplied { node: NodeId, index: u64 },
+    /// A replicated split applied; the cluster performs the descriptor and
+    /// store surgery (deduplicated by log index, like `LeaseApplied`).
+    SplitApplied {
+        split_key: Key,
+        rhs: RangeId,
+        index: u64,
+    },
+    /// A replicated merge applied; the cluster absorbs `rhs`.
+    MergeApplied { rhs: RangeId, index: u64 },
 }
 
 /// Outcome of evaluating a request.
@@ -219,6 +240,10 @@ pub struct Replica {
     /// Term in which this replica last proposed a `ClaimLease` (dedups
     /// re-proposals while the claim is in flight; a new term re-arms).
     lease_claim_term: Option<u64>,
+    /// Term in which this replica last proposed a `Split`/`Merge` (dedups
+    /// re-proposals while one is in flight; cleared when any lifecycle
+    /// entry applies or a new term starts).
+    lifecycle_term: Option<u64>,
     /// Whether a raft group-commit flush event is already on the calendar
     /// for this replica (dedups flush scheduling per batch).
     pub flush_scheduled: bool,
@@ -253,6 +278,7 @@ impl Replica {
             parked: HashMap::new(),
             next_waiter: 1,
             lease_claim_term: None,
+            lifecycle_term: None,
             flush_scheduled: false,
         }
     }
@@ -1134,6 +1160,36 @@ impl Replica {
         }
     }
 
+    /// Propose a range-lifecycle mutation (`Split` or `Merge`) as its own
+    /// log entry. Deliberately NOT batched: the surgery the cluster runs at
+    /// apply time re-installs every replica of the range, so the entry must
+    /// sit at a definite log position with every previously evaluated write
+    /// flushed ahead of it — log order is what makes a transaction
+    /// straddling the split see a consistent keyspace. Returns `None` when
+    /// this replica does not lead or an earlier lifecycle proposal is still
+    /// in flight this term.
+    pub fn propose_lifecycle(
+        &mut self,
+        op: CmdOp,
+        now: SimTime,
+    ) -> Option<Vec<(Peer, RaftMsg<Batch>)>> {
+        if !self.raft.is_leader() || self.lifecycle_term == Some(self.raft.term()) {
+            return None;
+        }
+        self.flush_buf_into_log();
+        let cmd = Command {
+            closed_ts: self.tracker.closed(),
+            op,
+        };
+        match self.raft.propose(vec![cmd], now) {
+            Some((_, msgs)) => {
+                self.lifecycle_term = Some(self.raft.term());
+                Some(msgs)
+            }
+            None => None,
+        }
+    }
+
     // ---------------------------------------------------------------
     // Application
     // ---------------------------------------------------------------
@@ -1347,6 +1403,21 @@ impl Replica {
                 } else {
                     self.apply_commit_1pc(txn_id, commit_ts, writes, *resolve_inline, effects);
                 }
+            }
+            CmdOp::Split { split_key, rhs } => {
+                // The descriptor/store surgery is cluster-level (it spans
+                // replicas on several nodes); signal it, deduplicated there
+                // by log index.
+                self.lifecycle_term = None;
+                effects.push(Effect::SplitApplied {
+                    split_key: split_key.clone(),
+                    rhs: *rhs,
+                    index,
+                });
+            }
+            CmdOp::Merge { rhs } => {
+                self.lifecycle_term = None;
+                effects.push(Effect::MergeApplied { rhs: *rhs, index });
             }
             CmdOp::Resolve {
                 key,

@@ -91,6 +91,32 @@ impl ReplicationReport {
         ReplicationReport { at, ranges }
     }
 
+    /// Like [`ReplicationReport::build`], but suppress `WrongLeaseholder`
+    /// for ranges whose lease was deliberately moved by the load-based
+    /// rebalancer within the last `grace` window (`rebalanced` maps range →
+    /// time of the move). A transient, intentional out-of-preference lease
+    /// is not a conformance violation; once the grace window lapses without
+    /// the rebalancer re-homing or re-affirming the lease, the report flags
+    /// it again.
+    pub fn build_with_grace(
+        at: SimTime,
+        registry: &RangeRegistry,
+        topo: &Topology,
+        rebalanced: &std::collections::HashMap<RangeId, SimTime>,
+        grace: mr_sim::SimDuration,
+    ) -> ReplicationReport {
+        let mut report = ReplicationReport::build(at, registry, topo);
+        for c in report.ranges.iter_mut() {
+            if let Some(&t) = rebalanced.get(&c.range) {
+                if at.0.saturating_sub(t.0) <= grace.nanos() {
+                    c.problems
+                        .retain(|&(s, _)| s != RangeStatus::WrongLeaseholder);
+                }
+            }
+        }
+        report
+    }
+
     /// Number of ranges whose most severe status is `status`.
     pub fn count(&self, status: RangeStatus) -> usize {
         self.ranges.iter().filter(|c| c.status() == status).count()
@@ -312,6 +338,54 @@ mod tests {
         let c = classify(&d, &t);
         assert_eq!(c.status(), RangeStatus::WrongLeaseholder);
         assert!(c.detail().contains("n3 in eu outside preferred region us"));
+    }
+
+    #[test]
+    fn grace_window_suppresses_wrong_leaseholder_only_transiently() {
+        let t = topo();
+        let mut reg = RangeRegistry::new();
+        let mut zc = ZoneConfig::single_region(RegionId(0));
+        zc.constraints = vec![];
+        zc.voter_constraints = vec![];
+        // Leaseholder in eu while us is preferred: WrongLeaseholder.
+        let mut d = desc(&[(3, true), (4, true), (5, true)], 3, zc);
+        d.id = reg.next_range_id();
+        reg.insert(d);
+
+        let mut rebalanced = std::collections::HashMap::new();
+        rebalanced.insert(RangeId(1), SimTime(1_000));
+        let grace = SimDuration::from_secs(10);
+
+        // Within the grace window the deliberate move is not a violation.
+        let fresh = ReplicationReport::build_with_grace(
+            SimTime(1_000 + SimDuration::from_secs(5).nanos()),
+            &reg,
+            &t,
+            &rebalanced,
+            grace,
+        );
+        assert_eq!(fresh.violations(), 0);
+        assert_eq!(fresh.count(RangeStatus::Conforming), 1);
+
+        // Past the window the same state is flagged again.
+        let stale = ReplicationReport::build_with_grace(
+            SimTime(1_000 + SimDuration::from_secs(11).nanos()),
+            &reg,
+            &t,
+            &rebalanced,
+            grace,
+        );
+        assert_eq!(stale.count(RangeStatus::WrongLeaseholder), 1);
+
+        // Ranges never rebalanced are unaffected.
+        let other = ReplicationReport::build_with_grace(
+            SimTime(2_000),
+            &reg,
+            &t,
+            &std::collections::HashMap::new(),
+            grace,
+        );
+        assert_eq!(other.count(RangeStatus::WrongLeaseholder), 1);
     }
 
     #[test]

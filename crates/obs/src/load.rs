@@ -98,6 +98,11 @@ impl DecayedCounter {
     }
 }
 
+/// Cap on per-range sampled request keys kept for split-point estimation.
+/// A bounded ring of the most recent keys is enough: the split trigger only
+/// needs a load-weighted median, not a full histogram.
+pub const KEY_SAMPLE_CAP: usize = 64;
+
 /// Load state of one range.
 #[derive(Clone, Debug)]
 struct RangeLoad {
@@ -108,6 +113,12 @@ struct RangeLoad {
     /// a decayed mean request latency.
     latency_nanos: DecayedCounter,
     latency_count: DecayedCounter,
+    /// Ring of recently-requested keys (raw bytes), newest last. Feeds
+    /// [`LoadRecorder::split_key_suggestion`].
+    key_samples: std::collections::VecDeque<Vec<u8>>,
+    /// Decayed request rate per gateway region, keyed by region index.
+    /// Feeds [`LoadRecorder::dominant_region`] (lease rebalancing).
+    gateway: BTreeMap<u32, DecayedCounter>,
 }
 
 impl RangeLoad {
@@ -118,6 +129,8 @@ impl RangeLoad {
             write_bytes: DecayedCounter::new(half_life),
             latency_nanos: DecayedCounter::new(half_life),
             latency_count: DecayedCounter::new(half_life),
+            key_samples: std::collections::VecDeque::new(),
+            gateway: BTreeMap::new(),
         }
     }
 }
@@ -206,7 +219,77 @@ impl LoadRecorder {
         });
     }
 
-    /// Forget a range (dropped / merged away).
+    /// Record the raw key a request against `range` addressed. Kept in a
+    /// bounded ring ([`KEY_SAMPLE_CAP`]) so the split trigger can estimate
+    /// the load median without unbounded memory.
+    pub fn sample_key(&self, range: u64, key: Vec<u8>) {
+        self.with_range(range, |r| {
+            if r.key_samples.len() == KEY_SAMPLE_CAP {
+                r.key_samples.pop_front();
+            }
+            r.key_samples.push_back(key);
+        });
+    }
+
+    /// Suggested split key for `range`: the median of the *distinct* keys
+    /// sampled recently, never the smallest one (so a valid suggestion is
+    /// always strictly above the lowest sampled key — the caller still
+    /// validates it against the range's actual span). `None` until at least
+    /// two distinct keys have been sampled.
+    pub fn split_key_suggestion(&self, range: u64) -> Option<Vec<u8>> {
+        let inner = self.inner.borrow();
+        let r = inner.ranges.get(&range)?;
+        let mut distinct: Vec<&Vec<u8>> = r.key_samples.iter().collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        if distinct.len() < 2 {
+            return None;
+        }
+        Some(distinct[(distinct.len() / 2).max(1)].clone())
+    }
+
+    /// One request against `range` arrived through a gateway in `region`.
+    pub fn record_gateway(&self, now: SimTime, range: u64, region: u32) {
+        self.with_range(range, |r| {
+            let hl = r.reads.half_life;
+            r.gateway
+                .entry(region)
+                .or_insert_with(|| DecayedCounter::new(hl))
+                .add(now, 1);
+        });
+    }
+
+    /// Decayed request rate per gateway region (milli-QPS), ascending by
+    /// region index.
+    pub fn region_qps_milli(&self, now: SimTime, range: u64) -> Vec<(u32, u64)> {
+        let inner = self.inner.borrow();
+        match inner.ranges.get(&range) {
+            Some(r) => r
+                .gateway
+                .iter()
+                .map(|(&reg, c)| (reg, c.rate_milli(now)))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The gateway region generating the most load on `range`, with its
+    /// share of the total in milli (0..=1000). Ties break toward the lower
+    /// region index; `None` when no gateway traffic has been recorded.
+    pub fn dominant_region(&self, now: SimTime, range: u64) -> Option<(u32, u64)> {
+        let rates = self.region_qps_milli(now, range);
+        let total: u64 = rates.iter().map(|(_, q)| q).sum();
+        if total == 0 {
+            return None;
+        }
+        let (reg, best) = rates
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
+        Some((reg, best * 1000 / total))
+    }
+
+    /// Forget a range (dropped / merged away / re-keyed by a split).
     pub fn forget_range(&self, range: u64) {
         self.inner.borrow_mut().ranges.remove(&range);
     }
@@ -344,6 +427,50 @@ mod tests {
         let json = lr.export_json(secs(1), 2);
         assert!(json.contains("\"rank\": 1, \"range\": 7"));
         assert!(!json.contains("\"range\": 9"));
+    }
+
+    #[test]
+    fn split_suggestion_is_median_never_lowest() {
+        let lr = LoadRecorder::new(SimDuration::from_secs(10));
+        assert!(lr.split_key_suggestion(1).is_none());
+        lr.sample_key(1, b"a".to_vec());
+        lr.sample_key(1, b"a".to_vec());
+        // One distinct key: no usable split point yet.
+        assert!(lr.split_key_suggestion(1).is_none());
+        lr.sample_key(1, b"b".to_vec());
+        assert_eq!(lr.split_key_suggestion(1), Some(b"b".to_vec()));
+        for k in ["c", "d", "e"] {
+            lr.sample_key(1, k.as_bytes().to_vec());
+        }
+        // Distinct sorted keys a..e: the median is c.
+        assert_eq!(lr.split_key_suggestion(1), Some(b"c".to_vec()));
+        // The ring is bounded: ancient samples eventually fall out.
+        for i in 0..KEY_SAMPLE_CAP {
+            lr.sample_key(1, format!("z{i:03}").into_bytes());
+        }
+        let s = lr.split_key_suggestion(1).unwrap();
+        assert!(s.starts_with(b"z"));
+    }
+
+    #[test]
+    fn dominant_region_tracks_gateway_share() {
+        let lr = LoadRecorder::new(SimDuration::from_secs(10));
+        assert!(lr.dominant_region(secs(1), 1).is_none());
+        for _ in 0..9 {
+            lr.record_gateway(secs(1), 1, 2);
+        }
+        lr.record_gateway(secs(1), 1, 0);
+        let (reg, share) = lr.dominant_region(secs(1), 1).unwrap();
+        assert_eq!(reg, 2);
+        assert_eq!(share, 900);
+        let rates = lr.region_qps_milli(secs(1), 1);
+        assert_eq!(rates.len(), 2);
+        assert_eq!(rates[0].0, 0);
+        // Ties break toward the lower region index.
+        let lr2 = LoadRecorder::new(SimDuration::from_secs(10));
+        lr2.record_gateway(secs(1), 7, 1);
+        lr2.record_gateway(secs(1), 7, 3);
+        assert_eq!(lr2.dominant_region(secs(1), 7).unwrap().0, 1);
     }
 
     #[test]

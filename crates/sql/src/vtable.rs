@@ -120,6 +120,24 @@ fn range_names(catalog: &Catalog) -> BTreeMap<RangeId, RangeNames> {
     out
 }
 
+/// Resolve a range to its nearest catalog-known ancestor by walking the
+/// split lineage: a range carved out by a load-driven split is not in any
+/// index's range map, but its parent chain ends at one that is. The walk is
+/// bounded (lineage chains grow one link per split).
+fn catalog_ancestor(
+    cluster: &Cluster,
+    names: &BTreeMap<RangeId, RangeNames>,
+    mut id: RangeId,
+) -> Option<RangeId> {
+    for _ in 0..64 {
+        if names.contains_key(&id) {
+            return Some(id);
+        }
+        id = cluster.lineage_of(id)?.parent?;
+    }
+    None
+}
+
 fn node_list(mut nodes: Vec<NodeId>) -> String {
     nodes.sort();
     nodes
@@ -166,6 +184,13 @@ fn ranges(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<Datum>>) {
             ("leaseholder_region", ColumnType::String),
             ("voters", ColumnType::String),
             ("non_voters", ColumnType::String),
+            ("origin", ColumnType::String),
+            ("parent_range", ColumnType::Int),
+            ("split_key", ColumnType::String),
+            ("splits", ColumnType::Int),
+            ("merges_absorbed", ColumnType::Int),
+            ("lease_rebalances", ColumnType::Int),
+            ("replica_rebalances", ColumnType::Int),
         ],
     );
     let names = range_names(catalog);
@@ -174,7 +199,8 @@ fn ranges(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<Datum>>) {
         .iter()
         .map(|desc| {
             let mut row = vec![Datum::Int(desc.id.0 as i64)];
-            match names.get(&desc.id) {
+            // Split children resolve schema names through their ancestry.
+            match catalog_ancestor(cluster, &names, desc.id).and_then(|a| names.get(&a)) {
                 Some(n) => row.extend([
                     Datum::String(n.db.clone()),
                     Datum::String(n.table.clone()),
@@ -184,6 +210,23 @@ fn ranges(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<Datum>>) {
                 None => row.extend([Datum::Null, Datum::Null, Datum::Null, Datum::Null]),
             }
             row.extend(placement(cluster, desc));
+            match cluster.lineage_of(desc.id) {
+                Some(l) => row.extend([
+                    Datum::String(l.origin.to_string()),
+                    l.parent
+                        .map(|p| Datum::Int(p.0 as i64))
+                        .unwrap_or(Datum::Null),
+                    l.split_key
+                        .clone()
+                        .map(Datum::String)
+                        .unwrap_or(Datum::Null),
+                    Datum::Int(l.splits as i64),
+                    Datum::Int(l.merges_absorbed as i64),
+                    Datum::Int(l.lease_rebalances as i64),
+                    Datum::Int(l.replica_rebalances as i64),
+                ]),
+                None => row.extend(std::iter::repeat_n(Datum::Null, 7)),
+            }
             row
         })
         .collect();
@@ -584,7 +627,9 @@ pub fn build(
 
 /// Rows for `SHOW RANGES FROM TABLE t`: (range_id, index, partition,
 /// home_region, leaseholder_node, leaseholder_region, voters, non_voters),
-/// sorted by range id.
+/// sorted by range id. Live split descendants of the table's ranges are
+/// included (resolved through their lineage), so a table splitting under
+/// load shows every current range, not just the ones the catalog created.
 pub fn show_ranges(
     cluster: &Cluster,
     catalog: &Catalog,
@@ -594,25 +639,24 @@ pub fn show_ranges(
     let database = catalog
         .db(db)
         .ok_or_else(|| format!("unknown database {db:?}"))?;
-    let t = database
+    database
         .tables
         .get(table)
         .ok_or_else(|| format!("unknown table {table:?}"))?;
-    let mut ids: Vec<(RangeId, String, String)> = Vec::new();
-    for index in &t.indexes {
-        for (key, rid) in &index.ranges {
-            ids.push((*rid, index.name.clone(), partition_label(key)));
-        }
-    }
-    ids.sort_by_key(|(rid, _, _)| rid.0);
-    let rows = ids
-        .into_iter()
-        .filter_map(|(rid, index, part)| {
-            let desc = cluster.registry().get(rid)?;
+    let names = range_names(catalog);
+    let rows = cluster
+        .registry()
+        .iter()
+        .filter_map(|desc| {
+            let anc = catalog_ancestor(cluster, &names, desc.id)?;
+            let n = &names[&anc];
+            if n.db != db || n.table != table {
+                return None;
+            }
             let mut row = vec![
-                Datum::Int(rid.0 as i64),
-                Datum::String(index),
-                Datum::String(part),
+                Datum::Int(desc.id.0 as i64),
+                Datum::String(n.index.clone()),
+                Datum::String(n.partition.clone()),
             ];
             row.extend(placement(cluster, desc));
             Some(row)

@@ -150,6 +150,60 @@ fn replication_report_flags_mishomed_range() {
     assert_eq!(d.cluster.replication_report().violations(), 0);
 }
 
+/// A range split is visible end-to-end through SQL: `SHOW RANGES` lists the
+/// new half under its table (resolved through the split lineage), and
+/// `crdb_internal.ranges` exposes the origin / parent / split-key columns
+/// alongside a `range_split` cluster event.
+#[test]
+fn split_lineage_is_visible_through_sql() {
+    let mut d = three_region_db(ClusterConfig::default());
+    let sess = d.session_in_region("us-east1", Some("movr"));
+    let show = d.exec_sync(&sess, "SHOW RANGES FROM TABLE users").unwrap();
+    let before = show.rows().len();
+    let parent = RangeId(as_int(&show.rows()[0][0]) as u64);
+
+    // Split the first users range in the middle of its span: any key
+    // extending the span start stays inside the prefix region.
+    let desc = d.cluster.registry().get(parent).unwrap().clone();
+    let mut split_raw = desc.span.start.as_slice().to_vec();
+    split_raw.extend_from_slice(b"split-here");
+    let split_key = mr_proto::Key::from_vec(split_raw);
+    let rhs = d.cluster.admin_split_at(split_key).expect("split proposed");
+    settle(&mut d, secs(5));
+
+    // SHOW RANGES now lists the child under the same table + partition.
+    let show = d.exec_sync(&sess, "SHOW RANGES FROM TABLE users").unwrap();
+    assert_eq!(show.rows().len(), before + 1);
+    assert!(
+        show.rows().iter().any(|r| as_int(&r[0]) == rhs.0 as i64),
+        "child range missing from SHOW RANGES"
+    );
+
+    // The virtual table exposes the lineage columns.
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT range_id, origin, parent_range, split_key \
+             FROM crdb_internal.ranges WHERE origin = 'split'",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 1);
+    assert_eq!(as_int(&vt.rows()[0][0]), rhs.0 as i64);
+    assert_eq!(as_int(&vt.rows()[0][2]), parent.0 as i64);
+    assert!(as_str(&vt.rows()[0][3]).ends_with("split-here"));
+
+    // And the event log recorded it.
+    let vt = d
+        .exec_sync(
+            &sess,
+            "SELECT range_id FROM crdb_internal.cluster_events \
+             WHERE kind = 'range_split'",
+        )
+        .unwrap();
+    assert_eq!(vt.rows().len(), 1);
+    assert_eq!(as_int(&vt.rows()[0][0]), parent.0 as i64);
+}
+
 /// Metrics and the event log are queryable via virtual tables.
 #[test]
 fn node_metrics_and_cluster_events_are_queryable() {

@@ -333,6 +333,27 @@ impl MvccStore {
         out
     }
 
+    /// Split the store at `split_key`: every chain at or above it moves
+    /// into the returned store, this one keeps `[.., split_key)`. Chains
+    /// move wholesale — intents included — so a range split carves the
+    /// replicated MVCC state into two halves without disturbing any
+    /// in-flight transaction's provisional writes.
+    pub fn split_off(&mut self, split_key: &Key) -> MvccStore {
+        MvccStore {
+            data: self.data.split_off(split_key),
+        }
+    }
+
+    /// Merge `other`'s chains into this store (range merge). The two
+    /// keyspaces are disjoint by construction (adjacent ranges), so no
+    /// chain can collide; debug builds assert it.
+    pub fn absorb(&mut self, other: MvccStore) {
+        for (k, chain) in other.data {
+            let prev = self.data.insert(k, chain);
+            debug_assert!(prev.is_none(), "absorb collided on a key");
+        }
+    }
+
     /// Directly install a committed version, bypassing the intent protocol.
     /// Used only for bulk preloading of experiment datasets (the paper's
     /// "initial import"); never during simulated execution.
@@ -652,6 +673,30 @@ mod tests {
         assert_eq!(removed, 1); // v1 dropped; v2 visible at 25; v3 above.
         assert_eq!(read(&s, "k", 25), Some(Value::from("v2")));
         assert_eq!(read(&s, "k", 35), Some(Value::from("v3")));
+    }
+
+    #[test]
+    fn split_off_and_absorb_partition_chains() {
+        let mut s = MvccStore::new();
+        commit_put(&mut s, "a", "va", 1, 10);
+        commit_put(&mut s, "m", "vm", 2, 10);
+        // An open intent on the right half must travel with it.
+        let t = txn(3, 20);
+        s.put(&Key::from("z"), Some(Value::from("vz")), &t).unwrap();
+        let rhs = s.split_off(&Key::from("m"));
+        assert_eq!(s.key_count(), 1);
+        assert_eq!(rhs.key_count(), 2);
+        assert_eq!(read(&s, "a", 100), Some(Value::from("va")));
+        assert_eq!(read(&s, "m", 100), None);
+        assert_eq!(read(&rhs, "m", 100), Some(Value::from("vm")));
+        assert!(rhs.intent(&Key::from("z")).is_some());
+        // Merging back restores the original contents.
+        let mut merged = s.clone();
+        merged.absorb(rhs);
+        assert_eq!(merged.key_count(), 3);
+        assert_eq!(read(&merged, "a", 100), Some(Value::from("va")));
+        assert_eq!(read(&merged, "m", 100), Some(Value::from("vm")));
+        assert!(merged.intent(&Key::from("z")).is_some());
     }
 
     #[test]

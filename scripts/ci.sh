@@ -85,6 +85,26 @@ echo "==> obs_probe: load-telemetry + attribution + metrics-cardinality guard"
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin obs_probe >/dev/null)
 assert_bench obs_probe BENCH_obs.json
 
+echo "==> split_probe: range-lifecycle regression guard"
+# The same skewed remote workload against a static single range and
+# against the lifecycle controller. Fails if splits stop firing under
+# load, if post-split throughput stops beating the single-range baseline,
+# if load stops dispersing across the split ranges, if no lease moves
+# toward demand, or if cold-range merges stop folding the keyspace back
+# down once traffic ends.
+(cd "$SMOKE_DIR" && \
+    cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin split_probe >/dev/null)
+assert_bench split_probe BENCH_split.json
+
+echo "==> split-tscache canary: the armed RHS-bound drop must be caught"
+# Arms the deliberate split bug that zeroes the right half's timestamp-
+# cache bound and drives a split storm under ahead-of-time clock skew: the
+# checker must flag the resulting stale reads, and the identical unarmed
+# runs must stay clean — guards the split surgery's tscache carryover.
+cargo test -q -p mr-chaos --features injected-bug --test chaos_e2e \
+    injected_split_tscache_bug_is_caught >/dev/null
+cargo test -q -p mr-chaos --test chaos_e2e split_storm_without_bug_is_clean >/dev/null
+
 echo "==> injected-bug canary: the checker must catch the armed stale read"
 # Compile the deliberate follower-read bug in and verify the history
 # checker still detects it — guards against the checker itself rotting.
