@@ -1,0 +1,84 @@
+//! Durable-storage probe: drives the WAL + LSM + MVCC-GC engine directly
+//! through a cold-key bloom workload, an overwrite-heavy GC workload
+//! under an active protected timestamp, and a closing crash-recovery
+//! smoke. Writes `BENCH_storage.json`.
+//!
+//! Exits non-zero if the bloom filters stop pruning cold-run probes
+//! (skip rate < 90%), GC stops reclaiming shadowed history (< 50% of
+//! versions on the overwrite workload), a protected AOST read breaks, a
+//! below-threshold read stops erroring, or WAL replay loses versions —
+//! CI uses this binary as the storage regression guard.
+
+use mr_bench::{storage_probe, storage_probe_json};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed must be a u64"))
+        .unwrap_or(1);
+
+    eprintln!("storage_probe: seed {seed}");
+    let r = storage_probe(seed);
+    let json = storage_probe_json(&r);
+    std::fs::write("BENCH_storage.json", &json).expect("write BENCH_storage.json");
+    print!("{json}");
+
+    let mut failures = Vec::new();
+    // The acceptance bar: cold-key lookups are answered by the bloom
+    // filters for (nearly) every run that does not hold the key.
+    if r.bloom_skip_milli < 900 {
+        failures.push(format!(
+            "bloom skip rate {}/1000 under the 900 floor ({} skips / {} probes over {} runs)",
+            r.bloom_skip_milli, r.bloom_skips, r.bloom_probes, r.bloom_runs
+        ));
+    }
+    // GC must reclaim at least half the overwrite-heavy history even
+    // while a protection pins a mid-history timestamp.
+    if r.gc_reclaim_milli < 500 {
+        failures.push(format!(
+            "gc reclaimed only {}/1000 of the overwritten versions ({} -> {})",
+            r.gc_reclaim_milli, r.gc_versions_before, r.gc_versions_protected
+        ));
+    }
+    if !r.protected_read_ok {
+        failures.push("AOST read at the protected timestamp broke after GC".into());
+    }
+    if !r.below_threshold_read_errors {
+        failures
+            .push("read below the GC threshold returned data instead of BelowGcThreshold".into());
+    }
+    // Released protection: history folds to one live version per key.
+    if r.gc_versions_after >= r.gc_versions_protected {
+        failures.push(format!(
+            "releasing the protection reclaimed nothing ({} -> {})",
+            r.gc_versions_protected, r.gc_versions_after
+        ));
+    }
+    // Crash-recovery smoke: replay reconstructs the exact surviving state.
+    if r.recovered_versions != r.gc_versions_after {
+        failures.push(format!(
+            "WAL replay recovered {} versions, expected {}",
+            r.recovered_versions, r.gc_versions_after
+        ));
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("REGRESSION: {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "storage_probe: bloom skipped {}/1000 of {} probes across {} runs; gc reclaimed \
+         {}/1000 of {} versions under an active protection (then {} -> {} on release); \
+         recovery replayed {} wal records — all guards passed",
+        r.bloom_skip_milli,
+        r.bloom_probes,
+        r.bloom_runs,
+        r.gc_reclaim_milli,
+        r.gc_versions_before,
+        r.gc_versions_protected,
+        r.gc_versions_after,
+        r.wal_replayed
+    );
+}

@@ -85,6 +85,11 @@ pub struct ChaosConfig {
     /// panics otherwise). Used to prove the checker catches a split that
     /// forgets the reads the parent range already served.
     pub arm_split_tscache_bug: bool,
+    /// Arm the intentionally injected durability bug (writes acknowledged
+    /// before the WAL/Raft-log fsync point; requires the `injected-bug`
+    /// feature; panics otherwise). Used to prove the checker catches a
+    /// volatile crash that loses acked writes.
+    pub arm_wal_skip_fsync_bug: bool,
 }
 
 impl Default for ChaosConfig {
@@ -106,6 +111,7 @@ impl Default for ChaosConfig {
             range_lifecycle: false,
             recent_stale_reads: false,
             arm_split_tscache_bug: false,
+            arm_wal_skip_fsync_bug: false,
         }
     }
 }
@@ -132,6 +138,8 @@ pub struct ChaosOutcome {
     pub splits: usize,
     /// Range merges applied during the run.
     pub merges: usize,
+    /// Replica WAL recoveries performed during the run (volatile crashes).
+    pub wal_recoveries: usize,
 }
 
 impl ChaosOutcome {
@@ -190,6 +198,9 @@ pub fn build_chaos_cluster(cfg: &ChaosConfig) -> Cluster {
     }
     if cfg.arm_split_tscache_bug {
         arm_split_bug(&mut cluster);
+    }
+    if cfg.arm_wal_skip_fsync_bug {
+        arm_fsync_bug(&mut cluster);
     }
     let db_regions: Vec<RegionId> = (0..3).map(RegionId).collect();
     let home = RegionId(0);
@@ -267,6 +278,16 @@ fn arm_split_bug(cluster: &mut Cluster) {
 #[cfg(not(feature = "injected-bug"))]
 fn arm_split_bug(_cluster: &mut Cluster) {
     panic!("arm_split_tscache_bug requires building mr-chaos with --features injected-bug");
+}
+
+#[cfg(feature = "injected-bug")]
+fn arm_fsync_bug(cluster: &mut Cluster) {
+    cluster.arm_wal_skip_fsync_bug();
+}
+
+#[cfg(not(feature = "injected-bug"))]
+fn arm_fsync_bug(_cluster: &mut Cluster) {
+    panic!("arm_wal_skip_fsync_bug requires building mr-chaos with --features injected-bug");
 }
 
 /// One closed-loop register client, moved through its continuation chain.
@@ -625,6 +646,7 @@ pub fn run_chaos(
     let bundle = IncidentBundle::collect(&c, schedule, &hist, &report);
     let splits = c.events.count_kind("range_split");
     let merges = c.events.count_kind("range_merge");
+    let wal_recoveries = c.events.count_kind("wal_recovered");
 
     let ops_ok = ops.iter().filter(|o| o.ok()).count();
     ChaosOutcome {
@@ -643,5 +665,6 @@ pub fn run_chaos(
         bundle,
         splits,
         merges,
+        wal_recoveries,
     }
 }

@@ -76,6 +76,12 @@ pub struct ScheduleBounds {
     /// no-ops when the tiling doesn't allow them (e.g. the merge before any
     /// split applied), so every seed stays valid.
     pub lifecycle_storm: bool,
+    /// Append three durability blocks built on *volatile* crashes (the
+    /// node's memtable and unsynced WAL tail are dropped; recovery is
+    /// solely WAL + SST replay): one random node, then all of region 0 at
+    /// once — taking the ZONE-survivable range's whole Raft group through
+    /// crash-restart — then a split racing a node mid-recovery.
+    pub durability_storm: bool,
 }
 
 impl Default for ScheduleBounds {
@@ -92,6 +98,7 @@ impl Default for ScheduleBounds {
             coordinator_crash: false,
             quiesced_leader_crash: false,
             lifecycle_storm: false,
+            durability_storm: false,
         }
     }
 }
@@ -102,7 +109,8 @@ impl ScheduleBounds {
         let blocks = self.blocks
             + u32::from(self.coordinator_crash)
             + u32::from(self.quiesced_leader_crash)
-            + 3 * u32::from(self.lifecycle_storm);
+            + 3 * u32::from(self.lifecycle_storm)
+            + 3 * u32::from(self.durability_storm);
         self.first_at + SimDuration((self.hold + self.gap).nanos() * blocks as u64)
     }
 }
@@ -275,6 +283,55 @@ impl FaultSchedule {
                     node,
                     skew_nanos: 0,
                 },
+            });
+            t = t + bounds.gap;
+        }
+        if bounds.durability_storm {
+            // Three durability blocks: volatile crashes force recovery from
+            // the write-ahead log while transactions race.
+            // Crash one random node, dropping its volatile state.
+            let n = NodeId(rng.next_below(nodes as u64) as u32);
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::CrashNodeVolatile(n),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::RestartNode(n),
+            });
+            t = t + bounds.gap;
+            // Crash all of region 0 — home of the ZONE-survivable range —
+            // so its entire Raft group loses volatile state simultaneously
+            // and the range comes back solely from WAL + SST replay.
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::CrashRegionVolatile(RegionId(0)),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::RestartRegion(RegionId(0)),
+            });
+            t = t + bounds.gap;
+            // Split the zone-survivable range while one of its replicas is
+            // down mid volatile recovery: the surviving quorum splits, and
+            // the recovered node must reconcile its replayed state with the
+            // new tiling. (A no-op if the tiling disallows the split.)
+            let half = SimDuration(bounds.hold.nanos() / 2);
+            let n = NodeId(rng.next_below(bounds.nodes_per_region as u64) as u32);
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::CrashNodeVolatile(n),
+            });
+            steps.push(FaultStep {
+                at: t + half,
+                fault: FaultKind::SplitAt(Key::from("zs/k2")),
+            });
+            t = t + bounds.hold;
+            steps.push(FaultStep {
+                at: t,
+                fault: FaultKind::RestartNode(n),
             });
             t = t + bounds.gap;
         }
@@ -457,6 +514,52 @@ mod tests {
                 assert!(block[1].at > block[0].at, "{s}");
                 assert!(block[1].at < block[2].at, "{s}");
                 assert!(block[2].fault.is_heal(), "{s}");
+            }
+            assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
+            assert_eq!(s.span(), b.span());
+        }
+    }
+
+    #[test]
+    fn durability_storm_appends_volatile_crash_blocks() {
+        let b = ScheduleBounds {
+            durability_storm: true,
+            ..ScheduleBounds::default()
+        };
+        for seed in 0..50 {
+            let s = FaultSchedule::random(seed, &b);
+            // 3 base blocks x 2 + node block (2) + region block (2) +
+            // split-race block (3) + final HealAll.
+            assert_eq!(s.steps.len(), 14, "{s}");
+            match (&s.steps[6].fault, &s.steps[7].fault) {
+                (FaultKind::CrashNodeVolatile(a), FaultKind::RestartNode(b)) => {
+                    assert_eq!(a, b, "{s}");
+                }
+                other => panic!("unexpected node block {other:?} in {s}"),
+            }
+            assert_eq!(
+                s.steps[8].fault,
+                FaultKind::CrashRegionVolatile(RegionId(0)),
+                "{s}"
+            );
+            assert_eq!(
+                s.steps[9].fault,
+                FaultKind::RestartRegion(RegionId(0)),
+                "{s}"
+            );
+            match (&s.steps[10].fault, &s.steps[11].fault, &s.steps[12].fault) {
+                (
+                    FaultKind::CrashNodeVolatile(crash),
+                    FaultKind::SplitAt(_),
+                    FaultKind::RestartNode(restart),
+                ) => {
+                    assert_eq!(crash, restart, "{s}");
+                    // The crashed node hosts a zs/ replica (region 0).
+                    assert!(crash.0 < b.nodes_per_region, "crash outside region 0: {s}");
+                    assert!(s.steps[11].at > s.steps[10].at, "{s}");
+                    assert!(s.steps[11].at < s.steps[12].at, "{s}");
+                }
+                other => panic!("unexpected split-race block {other:?} in {s}"),
             }
             assert_eq!(s.steps.last().unwrap().fault, FaultKind::HealAll);
             assert_eq!(s.span(), b.span());

@@ -20,6 +20,7 @@ use mr_obs::{Obs, SpanId};
 use mr_proto::{Key, KvError, RangeId, Request, Response, Span, TxnId, Value};
 use mr_raft::{Peer, RaftConfig, RaftMsg, RaftNode};
 use mr_sim::{EventQueue, Link, NodeId, RegionId, SimDuration, SimRng, SimTime, Topology};
+use mr_storage::ProtectedTimestamps;
 
 use crate::allocator::{allocate, AllocError};
 use crate::attribution::{self, Component, TxnAttrLog};
@@ -89,11 +90,16 @@ pub struct ClusterConfig {
     pub trace: bool,
     /// Override the derived closed-timestamp `lead_slack` (ablations).
     pub lead_slack_override: Option<SimDuration>,
-    /// MVCC garbage collection: versions older than `gc_ttl` below the
-    /// newest are collected every `gc_interval` (CRDB's GC TTL, scaled to
-    /// simulation time). Must exceed the closed-timestamp lag plus the
-    /// oldest stale-read horizon in use.
+    /// MVCC garbage-collection cadence: every `gc_interval`, each range's
+    /// GC threshold advances to the minimum of `now - gc.ttl` (the
+    /// per-range [`ZoneConfig::gc_ttl`] knob), the closed-timestamp
+    /// frontier of its live replicas, and the oldest protected timestamp;
+    /// shadowed versions below the threshold are reclaimed at the next
+    /// flush/compaction.
     pub gc_interval: SimDuration,
+    /// Legacy cluster-wide GC TTL. Superseded by the per-range
+    /// [`ZoneConfig::gc_ttl`] zone knob, which is what the GC pass reads;
+    /// retained for configs that predate per-range TTLs.
     pub gc_ttl: SimDuration,
     /// Record structured trace spans from construction on (equivalent to
     /// `cluster.obs.tracer.set_enabled(true)` right after `new`).
@@ -267,6 +273,11 @@ enum Event {
     },
     SideTransport,
     GcTick,
+    /// Periodic WAL fsync pass, scheduled only while the feature-gated
+    /// `wal_skip_fsync_bug` is armed: with per-apply syncs deferred, this
+    /// tick is the *only* fsync point, opening a window where acked writes
+    /// are volatile.
+    WalSyncTick,
     SideTransportDeliver {
         to: NodeId,
         updates: Vec<(RangeId, Timestamp, u64)>,
@@ -327,6 +338,22 @@ pub struct ActiveTxn {
     pub span: Option<SpanId>,
     /// Distinct ranges touched so far, sorted ascending.
     pub ranges: Vec<u64>,
+}
+
+/// Storage-engine/GC introspection of one range's leaseholder replica (see
+/// [`Cluster::storage_info_of`]).
+#[derive(Clone, Copy, Debug)]
+pub struct RangeStorageInfo {
+    /// The range's `gc.ttl` zone knob.
+    pub gc_ttl: SimDuration,
+    /// MVCC GC threshold: reads below this fail, history below is
+    /// reclaimable.
+    pub gc_threshold: Timestamp,
+    pub memtable_versions: usize,
+    pub sst_runs: usize,
+    pub sst_versions: usize,
+    pub wal_bytes: usize,
+    pub wal_records: u64,
 }
 
 /// The simulated multi-region cluster.
@@ -413,6 +440,12 @@ pub struct Cluster {
     /// Whether the feature-gated split-tscache bug is armed (see
     /// `arm_split_tscache_bug`). Always false in normal builds.
     split_tscache_bug: bool,
+    /// Active protected timestamps (AOST/backup pins): per-range GC
+    /// thresholds never advance past the oldest active protection.
+    protected: ProtectedTimestamps,
+    /// Whether the feature-gated WAL fsync-skip bug is armed (see
+    /// `arm_wal_skip_fsync_bug`). Always false in normal builds.
+    wal_skip_fsync_bug: bool,
 }
 
 impl Cluster {
@@ -484,6 +517,8 @@ impl Cluster {
             split_latencies: Vec::new(),
             last_lifecycle_action: None,
             split_tscache_bug: false,
+            protected: ProtectedTimestamps::new(),
+            wal_skip_fsync_bug: false,
         };
         c.queue.schedule(cfg.raft_tick_interval, Event::RaftTick);
         c.queue
@@ -639,6 +674,105 @@ impl Cluster {
         self.topo.revive_node(n);
     }
 
+    /// Crash `n` AND drop its volatile state: each replica recovers right
+    /// away from its durable WAL + SSTs (see [`Replica::crash_volatile`]),
+    /// so a later [`Cluster::revive_node`] resumes from exactly what was
+    /// fsynced before the crash.
+    pub fn crash_node_volatile(&mut self, n: NodeId) {
+        self.fail_node(n);
+        self.recover_node_volatile(n);
+    }
+
+    /// [`Cluster::crash_node_volatile`] for every node in a region.
+    pub fn crash_region_volatile(&mut self, r: RegionId) {
+        let nodes = self.topo.all_nodes_in_region(r);
+        self.topo.fail_region(r);
+        self.mark_orphaned_leases();
+        for n in nodes {
+            self.recover_node_volatile(n);
+        }
+    }
+
+    /// Replay every replica of `n` from durable state. The Raft log
+    /// truncates to its fsynced horizon only under the armed fsync-skip
+    /// bug — a correct node syncs its log at append time, so nothing is
+    /// ever above the horizon.
+    fn recover_node_volatile(&mut self, n: NodeId) {
+        let now = self.queue.now();
+        let params = self.cfg.closed_ts;
+        let max_off = self.cfg.clock.max_offset;
+        let drop_log = self.wal_skip_fsync_bug;
+        let hlc_now = self.nodes[n.0 as usize].hlc.now(now);
+        // Past any read or promise the old incarnation could have served:
+        // its own uncertainty bound, forwarded to the closed-timestamp
+        // policy target (lead ranges promise future timestamps).
+        let bound = hlc_now.add_duration(max_off);
+        let mut recovered: Vec<(RangeId, u64, u64)> = Vec::new();
+        {
+            let node = &mut self.nodes[n.0 as usize];
+            let mut rids: Vec<RangeId> = node.replicas.keys().copied().collect();
+            rids.sort_unstable();
+            for rid in rids {
+                let rep = node.replicas.get_mut(&rid).unwrap();
+                let conservative = bound.forward(params.target(rep.policy, bound));
+                let info = rep.crash_volatile(conservative, drop_log);
+                recovered.push((rid, info.replayed_records, info.applied_index));
+            }
+        }
+        for (range, replayed, applied_index) in recovered {
+            // The recovered closed frontier comes from the last durable
+            // entry record — legitimately below side-transport promises the
+            // old incarnation observed. Reset the monotonicity monitor's
+            // baseline for the new incarnation.
+            self.monitor_closed.remove(&(range, n));
+            self.events.record(
+                now,
+                EventKind::WalRecovered {
+                    range,
+                    node: n,
+                    replayed,
+                    applied_index,
+                },
+            );
+        }
+    }
+
+    /// Pin `ts` against garbage collection cluster-wide: per-range GC
+    /// thresholds will not pass it until the returned handle is
+    /// [released](Cluster::release_protected_timestamp). Backs AOST reads
+    /// and backups that must reach arbitrarily far back.
+    pub fn protect_timestamp(&mut self, ts: Timestamp) -> u64 {
+        self.protected.protect(ts)
+    }
+
+    /// Release a protected-timestamp pin. Idempotent.
+    pub fn release_protected_timestamp(&mut self, id: u64) -> bool {
+        self.protected.release(id)
+    }
+
+    /// Active protected-timestamp pins.
+    pub fn protected_timestamp_count(&self) -> usize {
+        self.protected.len()
+    }
+
+    /// Storage/GC introspection of one range, read from its leaseholder
+    /// replica. Backs the `crdb_internal.ranges` gc/storage columns.
+    pub fn storage_info_of(&self, range: RangeId) -> Option<RangeStorageInfo> {
+        let desc = self.registry.get(range)?;
+        let rep = self.nodes[desc.leaseholder.0 as usize]
+            .replicas
+            .get(&range)?;
+        Some(RangeStorageInfo {
+            gc_ttl: desc.zone_config.gc_ttl,
+            gc_threshold: rep.store.gc_threshold(),
+            memtable_versions: rep.store.mem_version_count(),
+            sst_runs: rep.store.sst_count(),
+            sst_versions: rep.store.sst_version_count(),
+            wal_bytes: rep.store.wal_bytes(),
+            wal_records: rep.store.wal_record_count(),
+        })
+    }
+
     pub fn fail_region_by_name(&mut self, name: &str) {
         let r = self
             .topo
@@ -734,6 +868,25 @@ impl Cluster {
         self.split_tscache_bug = true;
     }
 
+    /// Arm the intentionally injected durability bug: per-apply WAL fsyncs
+    /// and Raft-log syncs are deferred, and a periodic [`Event::WalSyncTick`]
+    /// becomes the *only* fsync point. A volatile crash between ticks loses
+    /// writes the cluster already acknowledged. Exists solely to prove the
+    /// chaos history checker catches a node that acks before its WAL fsync
+    /// point.
+    #[cfg(feature = "chaos-bug-wal-skip-fsync")]
+    pub fn arm_wal_skip_fsync_bug(&mut self) {
+        self.wal_skip_fsync_bug = true;
+        for node in &mut self.nodes {
+            for rep in node.replicas.values_mut() {
+                rep.store.defer_sync = true;
+                rep.raft.set_defer_log_sync(true);
+            }
+        }
+        self.queue
+            .schedule(SimDuration::from_secs(3), Event::WalSyncTick);
+    }
+
     // ------------------------------------------------------------------
     // Admin: ranges
     // ------------------------------------------------------------------
@@ -802,10 +955,26 @@ impl Cluster {
                 rep.store = seed.store.clone();
                 rep.txn_records = seed.txn_records.clone();
                 rep.tracker = seed.tracker.clone();
+                // The cloned engine still carries the previous incarnation's
+                // WAL identity (old apply indices); this Raft group restarts
+                // log indices from scratch, so re-anchor the engine on a
+                // fresh durable checkpoint at applied index 0.
+                rep.store.rebaseline(
+                    seed.txn_records
+                        .iter()
+                        .map(|(id, r)| (id.0, r.to_storage())),
+                    0,
+                    seed.tracker.closed(),
+                    now.nanos(),
+                );
                 if p.node == leaseholder {
                     rep.lease.inherit(seed.promised);
                     rep.tscache.raise_low_water(seed.tscache_low_water);
                 }
+            }
+            if self.wal_skip_fsync_bug {
+                rep.store.defer_sync = true;
+                rep.raft.set_defer_log_sync(true);
             }
             self.nodes[p.node.0 as usize].replicas.insert(id, rep);
         }
@@ -1532,7 +1701,11 @@ impl Cluster {
             Event::RaftTick => self.m.ev_tick.inc(),
             Event::SideTransport | Event::SideTransportDeliver { .. } => self.m.ev_side.inc(),
             Event::Wake(_) => self.m.ev_wake.inc(),
-            Event::RpcTimeout { .. } | Event::GcTick | Event::ObsScrape | Event::LifecycleTick => {}
+            Event::RpcTimeout { .. }
+            | Event::GcTick
+            | Event::WalSyncTick
+            | Event::ObsScrape
+            | Event::LifecycleTick => {}
         }
         match ev {
             Event::Rpc { from, to, env } => self.handle_rpc(from, to, env),
@@ -1575,6 +1748,7 @@ impl Cluster {
             Event::RaftFlush { node, range } => self.handle_raft_flush(node, range),
             Event::SideTransport => self.handle_side_transport(),
             Event::GcTick => self.handle_gc_tick(),
+            Event::WalSyncTick => self.handle_wal_sync_tick(),
             Event::SideTransportDeliver { to, updates } => {
                 self.handle_side_transport_deliver(to, updates)
             }
@@ -2082,12 +2256,17 @@ impl Cluster {
     /// Apply committed entries on a replica and dispatch resulting effects,
     /// looping until no more effects are produced.
     fn pump_replica(&mut self, node: NodeId, range: RangeId) {
+        let now_nanos = self.queue.now().nanos();
         loop {
             let effects = {
                 let Some(rep) = self.nodes[node.0 as usize].replicas.get_mut(&range) else {
                     return;
                 };
-                rep.apply_committed()
+                let effects = rep.apply_committed();
+                // Fsync point: every applied entry is sealed into the WAL;
+                // sync before acking (no-op under the armed fsync-skip bug).
+                rep.store.sync(now_nanos);
+                effects
             };
             if effects.is_empty() {
                 return;
@@ -2381,21 +2560,74 @@ impl Cluster {
         }
     }
 
-    /// Collect MVCC versions older than the GC TTL on every replica.
+    /// Per-range MVCC garbage collection. Each range's threshold candidate
+    /// is the minimum of three bounds: `now - gc.ttl` (zone config), the
+    /// minimum applied closed timestamp across the range's *live* replicas
+    /// (follower reads must keep working), and the oldest active protected
+    /// timestamp. Each replica ratchets its local threshold monotonically
+    /// and reclaims shadowed history at its next flush/compaction.
     fn handle_gc_tick(&mut self) {
         self.queue.schedule(self.cfg.gc_interval, Event::GcTick);
         let now = self.queue.now();
-        let threshold = Timestamp::new(now.nanos().saturating_sub(self.cfg.gc_ttl.nanos()), 0);
-        if threshold.is_zero() {
-            return;
-        }
-        let mut removed = 0;
-        for node in &mut self.nodes {
-            for rep in node.replicas.values_mut() {
-                removed += rep.store.gc(threshold);
+        let protected_min = self.protected.min();
+        let mut removed = 0usize;
+        let plans: Vec<(RangeId, Vec<NodeId>, SimDuration)> = self
+            .registry
+            .iter()
+            .map(|d| {
+                let nodes: Vec<NodeId> = d
+                    .replica_nodes()
+                    .filter(|&n| self.topo.is_node_alive(n))
+                    .collect();
+                (d.id, nodes, d.zone_config.gc_ttl)
+            })
+            .collect();
+        for (range, live, ttl) in plans {
+            // The frontier bound: no live replica may lose history it can
+            // still serve follower reads from.
+            let mut min_closed = Timestamp::MAX;
+            for &n in &live {
+                if let Some(rep) = self.nodes[n.0 as usize].replicas.get(&range) {
+                    min_closed = min_closed.min(rep.tracker.closed());
+                }
+            }
+            if min_closed == Timestamp::MAX {
+                continue;
+            }
+            let candidate =
+                mr_storage::gc_threshold(now.nanos(), ttl.nanos(), min_closed, protected_min);
+            if candidate.is_zero() {
+                continue;
+            }
+            for &n in &live {
+                if let Some(rep) = self.nodes[n.0 as usize].replicas.get_mut(&range) {
+                    let report = rep.store.maintain(candidate, now.nanos());
+                    removed += report.mem_gc_removed + report.compact_removed;
+                }
             }
         }
         self.m.gc_versions_removed.add(removed as u64);
+    }
+
+    /// Fsync every live replica's WAL and Raft log. Scheduled only while
+    /// the `wal_skip_fsync_bug` is armed, where it is the sole fsync point
+    /// (see [`Event::WalSyncTick`]).
+    fn handle_wal_sync_tick(&mut self) {
+        if !self.wal_skip_fsync_bug {
+            return;
+        }
+        self.queue
+            .schedule(SimDuration::from_secs(3), Event::WalSyncTick);
+        let now_nanos = self.queue.now().nanos();
+        for node in &mut self.nodes {
+            if !self.topo.is_node_alive(node.id) {
+                continue;
+            }
+            for rep in node.replicas.values_mut() {
+                rep.store.sync_now(now_nanos);
+                rep.raft.mark_log_synced();
+            }
+        }
     }
 
     /// Refresh derived gauges (closed-timestamp lag per policy, lock
@@ -2480,7 +2712,54 @@ impl Cluster {
             self.m.proposals_batched.add(n as u64);
             self.m.entries_proposed.inc();
         }
+        // Storage-engine accounting, summed across replicas: WAL footprint,
+        // LSM shape, bloom effectiveness, GC reclamation, recoveries.
+        let mut wal_bytes = 0u64;
+        let mut wal_records = 0u64;
+        let mut sst_count = 0u64;
+        let mut sst_versions = 0u64;
+        let mut mem_versions = 0u64;
+        let mut bloom_probes = 0u64;
+        let mut bloom_skips = 0u64;
+        let mut gc_reclaimed = 0u64;
+        let mut flushes = 0u64;
+        let mut compactions = 0u64;
+        let mut recoveries = 0u64;
+        for node in &self.nodes {
+            for rep in node.replicas.values() {
+                let s = rep.store.stats();
+                wal_bytes += rep.store.wal_bytes() as u64;
+                wal_records += rep.store.wal_record_count();
+                sst_count += rep.store.sst_count() as u64;
+                sst_versions += rep.store.sst_version_count() as u64;
+                mem_versions += rep.store.mem_version_count() as u64;
+                bloom_probes += s.bloom_probes.get();
+                bloom_skips += s.bloom_skips.get();
+                gc_reclaimed += s.gc_reclaimed;
+                flushes += s.flushes;
+                compactions += s.compactions;
+                recoveries += s.recoveries;
+            }
+        }
         let r = &self.obs.registry;
+        r.gauge("storage.wal_bytes", &[]).set(wal_bytes as i64);
+        r.gauge("storage.wal_records", &[]).set(wal_records as i64);
+        r.gauge("storage.sst_count", &[]).set(sst_count as i64);
+        r.gauge("storage.sst_versions", &[])
+            .set(sst_versions as i64);
+        r.gauge("storage.memtable_versions", &[])
+            .set(mem_versions as i64);
+        r.gauge("storage.bloom_probes", &[])
+            .set(bloom_probes as i64);
+        r.gauge("storage.bloom_skips", &[]).set(bloom_skips as i64);
+        r.gauge("storage.gc_reclaimed", &[])
+            .set(gc_reclaimed as i64);
+        r.gauge("storage.flushes", &[]).set(flushes as i64);
+        r.gauge("storage.compactions", &[]).set(compactions as i64);
+        r.gauge("storage.wal_recoveries", &[])
+            .set(recoveries as i64);
+        r.gauge("storage.protected_timestamps", &[])
+            .set(self.protected.len() as i64);
         r.gauge("raft.quiesced_ranges", &[]).set(quiesced);
         r.gauge("kv.closedts.lag_nanos", &[("policy", "lag")])
             .set(worst_lag.unwrap_or(0));
@@ -2582,7 +2861,7 @@ impl Cluster {
 
 /// State copied into new replicas during reconfiguration.
 struct SeedState {
-    store: mr_storage::MvccStore,
+    store: mr_storage::lsm::Engine,
     txn_records: HashMap<TxnId, crate::replica::TxnRecord>,
     tracker: crate::closedts::ClosedTsTracker,
     promised: Timestamp,

@@ -73,6 +73,15 @@ pub enum EventKind {
         from: NodeId,
         to: NodeId,
     },
+    /// A replica recovered from its write-ahead log after a volatile
+    /// crash: `replayed` durable records rebuilt the memtable, resuming at
+    /// Raft `applied_index`.
+    WalRecovered {
+        range: RangeId,
+        node: NodeId,
+        replayed: u64,
+        applied_index: u64,
+    },
 }
 
 impl EventKind {
@@ -89,6 +98,7 @@ impl EventKind {
             EventKind::RangeMerge { .. } => "range_merge",
             EventKind::LeaseRebalance { .. } => "lease_rebalance",
             EventKind::ReplicaRebalance { .. } => "replica_rebalance",
+            EventKind::WalRecovered { .. } => "wal_recovered",
         }
     }
 
@@ -102,7 +112,8 @@ impl EventKind {
             | EventKind::RangeSplit { range, .. }
             | EventKind::RangeMerge { range, .. }
             | EventKind::LeaseRebalance { range, .. }
-            | EventKind::ReplicaRebalance { range, .. } => Some(*range),
+            | EventKind::ReplicaRebalance { range, .. }
+            | EventKind::WalRecovered { range, .. } => Some(*range),
             EventKind::RowRehomed { .. } => None,
             EventKind::FaultInjected { range, .. } => *range,
         }
@@ -151,6 +162,15 @@ impl EventKind {
             EventKind::ReplicaRebalance { from, to, .. } => {
                 format!("n{} -> n{} (load)", from.0, to.0)
             }
+            EventKind::WalRecovered {
+                node,
+                replayed,
+                applied_index,
+                ..
+            } => format!(
+                "n{} replayed {replayed} wal records to applied index {applied_index}",
+                node.0
+            ),
         }
     }
 }

@@ -24,6 +24,13 @@ use crate::events::EventKind;
 pub enum FaultKind {
     /// Fail-stop one node (its raft log and MVCC state survive restart).
     CrashNode(NodeId),
+    /// Crash one node AND drop its volatile state: the memtable, unsynced
+    /// WAL tail, lock table, and timestamp cache vanish. Each replica
+    /// recovers solely from its durable WAL + SSTs, so a later
+    /// `RestartNode` resumes from exactly what was fsynced.
+    CrashNodeVolatile(NodeId),
+    /// [`FaultKind::CrashNodeVolatile`] for every node in a region.
+    CrashRegionVolatile(RegionId),
     /// Bring a crashed node back.
     RestartNode(NodeId),
     /// Crash every node in one availability zone.
@@ -97,6 +104,10 @@ impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FaultKind::CrashNode(n) => write!(f, "crash {n}"),
+            FaultKind::CrashNodeVolatile(n) => write!(f, "crash {n} (drop volatile)"),
+            FaultKind::CrashRegionVolatile(r) => {
+                write!(f, "crash region {r} (drop volatile)")
+            }
             FaultKind::RestartNode(n) => write!(f, "restart {n}"),
             FaultKind::CrashZone(z) => write!(f, "crash zone {z}"),
             FaultKind::RestartZone(z) => write!(f, "restart zone {z}"),
@@ -126,6 +137,8 @@ impl Cluster {
     pub fn inject_fault(&mut self, fault: &FaultKind, step: Option<u32>) {
         match fault {
             FaultKind::CrashNode(n) => self.fail_node(*n),
+            FaultKind::CrashNodeVolatile(n) => self.crash_node_volatile(*n),
+            FaultKind::CrashRegionVolatile(r) => self.crash_region_volatile(*r),
             FaultKind::RestartNode(n) => self.revive_node(*n),
             FaultKind::CrashZone(z) => {
                 self.topo_mut().fail_zone(*z);

@@ -27,7 +27,7 @@ use mr_proto::{
 };
 use mr_raft::{Peer, RaftMsg, RaftNode};
 use mr_sim::{NodeId, SimTime};
-use mr_storage::{MvccError, MvccStore, TsCache};
+use mr_storage::{lsm::Engine, wal::TxnRecData, MvccError, RecoveryInfo, TsCache};
 
 use crate::closedts::{ClosedTsLeaseState, ClosedTsParams, ClosedTsTracker};
 use crate::locks::{LockTable, WaiterId};
@@ -198,6 +198,24 @@ impl TxnRecord {
             in_flight: Vec::new(),
         }
     }
+
+    /// The storage-engine image of this record (WAL/checkpoint durability).
+    pub fn to_storage(&self) -> TxnRecData {
+        TxnRecData {
+            status: self.status,
+            commit_ts: self.commit_ts,
+            in_flight: self.in_flight.clone(),
+        }
+    }
+
+    /// Rebuild from the storage-engine image after crash recovery.
+    pub fn from_storage(rec: &TxnRecData) -> TxnRecord {
+        TxnRecord {
+            status: rec.status,
+            commit_ts: rec.commit_ts,
+            in_flight: rec.in_flight.clone(),
+        }
+    }
 }
 
 /// A request parked in a lock wait-queue.
@@ -216,7 +234,7 @@ pub struct Replica {
     pub peer: Peer,
     /// Raft peer id → node, for message addressing.
     pub peer_nodes: Vec<NodeId>,
-    pub store: MvccStore,
+    pub store: Engine,
     pub raft: RaftNode<Batch>,
     pub tscache: TsCache,
     pub locks: LockTable,
@@ -264,7 +282,7 @@ impl Replica {
             node,
             peer,
             peer_nodes,
-            store: MvccStore::new(),
+            store: Engine::new(),
             raft,
             tscache: TsCache::new(Timestamp::ZERO),
             locks: LockTable::new(),
@@ -308,6 +326,49 @@ impl Replica {
     pub fn clear_pending_props(&mut self) {
         self.pending_props.clear();
         self.batch_buf.clear();
+    }
+
+    /// Simulate a process crash that loses all volatile state. The storage
+    /// engine recovers solely from its durable WAL + SSTs, the Raft log
+    /// truncates to its fsynced horizon (`drop_unsynced_log`), and every
+    /// purely in-memory structure restarts cold:
+    ///
+    /// * transaction records rebuild from the replayed WAL;
+    /// * the closed-timestamp tracker resumes from the recovered frontier
+    ///   (durable, carried in WAL entry records);
+    /// * the timestamp cache is gone — its low-water rises to
+    ///   `conservative` (past any read the old incarnation could have
+    ///   served), and the lease promise inherits the same bound so no
+    ///   post-restart write lands below a pre-crash promise;
+    /// * the lock table, parked waiters, and pending proposals vanish
+    ///   (their RPCs time out and re-route).
+    pub fn crash_volatile(
+        &mut self,
+        conservative: Timestamp,
+        drop_unsynced_log: bool,
+    ) -> RecoveryInfo {
+        let info = self.store.crash_and_recover();
+        self.raft
+            .crash_volatile(info.applied_index, drop_unsynced_log);
+        self.txn_records = info
+            .txn_records
+            .iter()
+            .map(|(id, rec)| (TxnId(*id), TxnRecord::from_storage(rec)))
+            .collect();
+        let mut tracker = ClosedTsTracker::new();
+        tracker.on_entry_applied(info.closed_ts, info.applied_index);
+        self.tracker = tracker;
+        self.lease.inherit(conservative);
+        let mut tscache = TsCache::new(Timestamp::ZERO);
+        tscache.raise_low_water(conservative);
+        self.tscache = tscache;
+        self.locks = LockTable::new();
+        self.parked.clear();
+        self.clear_pending_props();
+        self.lease_claim_term = None;
+        self.lifecycle_term = None;
+        self.flush_scheduled = false;
+        info
     }
 
     // ---------------------------------------------------------------
@@ -410,6 +471,9 @@ impl Replica {
                 read_ts,
                 value_ts,
             },
+            MvccError::BelowGcThreshold { read_ts, threshold } => {
+                KvError::BatchTimestampBeforeGC { read_ts, threshold }
+            }
         }
     }
 
@@ -587,6 +651,9 @@ impl Replica {
                 self.tscache.record_read(&key, rctx.read_ts, own);
                 EvalOutcome::Reply(Err(self.map_mvcc_err(e, None)))
             }
+            Err(e @ MvccError::BelowGcThreshold { .. }) => {
+                EvalOutcome::Reply(Err(self.map_mvcc_err(e, None)))
+            }
         }
     }
 
@@ -632,6 +699,9 @@ impl Replica {
             ),
             Err(e @ MvccError::Uncertainty { .. }) => {
                 self.tscache.record_span_read(&span, rctx.read_ts);
+                EvalOutcome::Reply(Err(self.map_mvcc_err(e, None)))
+            }
+            Err(e @ MvccError::BelowGcThreshold { .. }) => {
                 EvalOutcome::Reply(Err(self.map_mvcc_err(e, None)))
             }
         }
@@ -1203,11 +1273,30 @@ impl Replica {
         let entries = self.raft.take_committed();
         let mut effects = Vec::new();
         for entry in entries {
+            let mut closed = Timestamp::ZERO;
             for (slot, cmd) in entry.payload.iter().enumerate() {
+                closed = closed.max(cmd.closed_ts);
                 self.apply_cmd(cmd, entry.index, entry.term, slot, &mut effects);
             }
+            // Append on every Raft apply: the store mutations of this entry
+            // become one framed WAL record (durable at the next sync).
+            self.store.seal_entry(entry.index, closed);
         }
         effects
+    }
+
+    /// Install a transaction record, mirroring it into the storage engine's
+    /// durable shadow so crash recovery restores coordinator state.
+    fn put_txn_record(&mut self, txn_id: TxnId, rec: TxnRecord) {
+        self.store.note_txn_record(
+            txn_id.0,
+            TxnRecData {
+                status: rec.status,
+                commit_ts: rec.commit_ts,
+                in_flight: rec.in_flight.clone(),
+            },
+        );
+        self.txn_records.insert(txn_id, rec);
     }
 
     /// Apply one command of a batch entry. `(index, slot)` addresses the
@@ -1311,7 +1400,7 @@ impl Replica {
                     // No record yet, or a STAGING record being re-staged or
                     // finalized: the new entry takes effect.
                     _ => {
-                        self.txn_records.insert(
+                        self.put_txn_record(
                             *txn_id,
                             TxnRecord {
                                 status: *status,
@@ -1338,7 +1427,7 @@ impl Replica {
                         } else {
                             (TxnStatus::Aborted, Timestamp::ZERO)
                         };
-                        self.txn_records.insert(*txn_id, TxnRecord::finalized(s, c));
+                        self.put_txn_record(*txn_id, TxnRecord::finalized(s, c));
                         (s, c)
                     }
                     // Re-staged or already finalized: leave the record and
@@ -1347,7 +1436,7 @@ impl Replica {
                     None => {
                         // Never staged (the stage proposal was lost): write
                         // an abort so a late stage can no longer commit.
-                        self.txn_records.insert(
+                        self.put_txn_record(
                             *txn_id,
                             TxnRecord::finalized(TxnStatus::Aborted, Timestamp::ZERO),
                         );
@@ -1487,7 +1576,7 @@ impl Replica {
             // else: the intent stays locked until the coordinator's
             // post-commit-wait resolve (Spanner-style ablation).
         }
-        self.txn_records.insert(
+        self.put_txn_record(
             *txn_id,
             TxnRecord::finalized(TxnStatus::Committed, *commit_ts),
         );

@@ -9,7 +9,12 @@
 //! the paper describes (3 voters in-home for ZONE survivability, 5 voters
 //! with 2 in-home for REGION survivability, non-voters elsewhere, etc.).
 
-use mr_sim::RegionId;
+use mr_sim::{RegionId, SimDuration};
+
+/// Default MVCC garbage-collection TTL (`gc.ttl`): history younger than
+/// this is always retained. Sim-scaled (CockroachDB defaults to hours;
+/// simulated workloads live in seconds).
+pub const DEFAULT_GC_TTL: SimDuration = SimDuration::from_secs(10);
 
 /// The failure domain a database must survive (§2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +65,9 @@ pub struct ZoneConfig {
     pub lease_preferences: Vec<RegionId>,
     /// Closed-timestamp policy for ranges governed by this config.
     pub closed_ts_policy: ClosedTsPolicy,
+    /// MVCC GC TTL (`gc.ttl`): committed history younger than this is
+    /// never reclaimed, bounding how far back AOST reads can reach.
+    pub gc_ttl: SimDuration,
 }
 
 impl ZoneConfig {
@@ -78,6 +86,7 @@ impl ZoneConfig {
             voter_constraints: vec![(home, 3)],
             lease_preferences: vec![home],
             closed_ts_policy: ClosedTsPolicy::Lag,
+            gc_ttl: DEFAULT_GC_TTL,
         }
     }
 }
@@ -122,6 +131,7 @@ pub fn derive_zone_config(
                 voter_constraints: vec![(home, 3)],
                 lease_preferences: vec![home],
                 closed_ts_policy: policy,
+                gc_ttl: DEFAULT_GC_TTL,
             }
         }
         SurvivalGoal::Region => {
@@ -144,6 +154,7 @@ pub fn derive_zone_config(
                 voter_constraints: vec![(home, 2)],
                 lease_preferences: vec![home],
                 closed_ts_policy: policy,
+                gc_ttl: DEFAULT_GC_TTL,
             }
         }
     }

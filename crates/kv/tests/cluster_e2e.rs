@@ -821,3 +821,100 @@ fn gc_collects_old_versions_without_breaking_reads() {
     let (val, _) = read_key(&mut c, gw(2), "k1", opts);
     assert_eq!(val.unwrap(), Some(Value::from("v9")));
 }
+
+#[test]
+fn aost_read_below_gc_threshold_errors_unless_protected() {
+    let cfg = ClusterConfig {
+        gc_interval: SimDuration::from_secs(5),
+        ..ClusterConfig::default()
+    };
+    let mut c = cluster(cfg);
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    // Default zone gc.ttl: 10s.
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+    let (old_ts, _) = write_key(&mut c, gw(0), "k1", "old");
+    c.run_until(SimTime(SimDuration::from_secs(6).nanos()));
+    // Pin the old version's timestamp before GC can pass it.
+    let pin = c.protect_timestamp(old_ts);
+    // Overwrite-heavy phase, far past the TTL.
+    for i in 0..20 {
+        write_key(&mut c, gw(0), "k1", &format!("v{i}"));
+        let t = c.now();
+        c.run_until(SimTime(t.nanos() + SimDuration::from_secs(2).nanos()));
+    }
+    let aost = |ts| ReadOptions {
+        staleness: Staleness::ExactAt(ts),
+        fallback_to_leaseholder: true,
+    };
+    // The protection held the threshold: the AOST read reaches history
+    // far older than the TTL and sees exactly the old value.
+    let (val, _) = read_key(&mut c, gw(1), "k1", aost(old_ts));
+    assert_eq!(
+        val.unwrap(),
+        Some(Value::from("old")),
+        "protected AOST read must see the pinned version"
+    );
+    // Release the pin; the next GC pass advances the threshold past it.
+    assert!(c.release_protected_timestamp(pin));
+    let t = c.now();
+    c.run_until(SimTime(t.nanos() + SimDuration::from_secs(20).nanos()));
+    let (val, _) = read_key(&mut c, gw(1), "k1", aost(old_ts));
+    match val {
+        Err(KvError::BatchTimestampBeforeGC { read_ts, threshold }) => {
+            assert_eq!(read_ts, old_ts);
+            assert!(threshold > read_ts);
+        }
+        other => panic!("expected BatchTimestampBeforeGC, got {other:?}"),
+    }
+    // Fresh reads are untouched by GC.
+    let (val, _) = read_key(&mut c, gw(0), "k1", fresh());
+    assert_eq!(val.unwrap(), Some(Value::from("v19")));
+}
+
+#[test]
+fn volatile_crash_recovers_from_wal_and_serves_all_acked_writes() {
+    let mut c = cluster(ClusterConfig::default());
+    let zc = derive_zone_config(
+        US_EAST,
+        &all_regions(),
+        SurvivalGoal::Zone,
+        PlacementPolicy::Default,
+        ClosedTsPolicy::Lag,
+    );
+    c.create_range(Span::all(), zc).unwrap();
+    c.run_until(SimTime(SimDuration::from_secs(5).nanos()));
+
+    write_key(&mut c, gw(0), "k1", "v1");
+    write_key(&mut c, gw(0), "k2", "v2");
+
+    // Crash the home-region leaseholder, dropping its volatile state: the
+    // memtable and unsynced tail are gone; the replica replays its WAL.
+    c.inject_fault(&mr_kv::fault::FaultKind::CrashNodeVolatile(NodeId(0)), None);
+    assert!(
+        c.events.count_kind("wal_recovered") >= 1,
+        "volatile crash must trigger WAL recovery"
+    );
+    let t = c.now();
+    c.run_until(SimTime(t.nanos() + SimDuration::from_secs(2).nanos()));
+
+    // The range fails over and keeps accepting writes while n0 is down
+    // (via a live gateway in the same region).
+    write_key(&mut c, NodeId(1), "k3", "v3");
+
+    // Revive: the recovered replica catches up through normal replication
+    // and every acknowledged write is still there.
+    c.inject_fault(&mr_kv::fault::FaultKind::RestartNode(NodeId(0)), None);
+    let t = c.now();
+    c.run_until(SimTime(t.nanos() + SimDuration::from_secs(5).nanos()));
+    for (k, v) in [("k1", "v1"), ("k2", "v2"), ("k3", "v3")] {
+        let (val, _) = read_key(&mut c, gw(0), k, fresh());
+        assert_eq!(val.unwrap(), Some(Value::from(v)), "lost {k} across crash");
+    }
+}

@@ -82,6 +82,14 @@ pub enum KvError {
     /// not yet applied (lock held, proposal in flight): the outcome cannot
     /// be decided yet — retry after the proposal lands or is lost.
     WriteInFlight { key: Key },
+    /// The read timestamp is below the replica's MVCC GC threshold: the
+    /// history it needs may already be reclaimed, so the read fails loudly
+    /// rather than returning silently incomplete data. Retry at a newer
+    /// timestamp, or pin the timestamp with a protected timestamp first.
+    BatchTimestampBeforeGC {
+        read_ts: Timestamp,
+        threshold: Timestamp,
+    },
 }
 
 impl KvError {
@@ -105,6 +113,7 @@ impl KvError {
                 | KvError::RangeUnavailable { .. }
                 | KvError::NoSuchRange { .. }
                 | KvError::LockWaitTimeout { .. }
+                | KvError::BatchTimestampBeforeGC { .. }
         )
     }
 }
@@ -163,6 +172,10 @@ impl fmt::Display for KvError {
             KvError::WriteInFlight { key } => {
                 write!(f, "queried write on {key:?} still in flight")
             }
+            KvError::BatchTimestampBeforeGC { read_ts, threshold } => write!(
+                f,
+                "batch timestamp {read_ts} must be after replica GC threshold {threshold}"
+            ),
         }
     }
 }

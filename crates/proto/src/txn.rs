@@ -45,7 +45,7 @@ impl TxnStatus {
 
 /// The subset of transaction state that rides along with requests and is
 /// stored in write intents. Mirrors CockroachDB's `TxnMeta`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TxnMeta {
     pub id: TxnId,
     /// Key of the range holding the transaction record (the anchor is the

@@ -134,6 +134,13 @@ pub struct RaftNode<P> {
     /// its election timer. Any received message, proposal, or explicit
     /// [`RaftNode::unquiesce`] wakes the replica.
     quiesced: bool,
+    /// Highest log index durably fsynced. Normally tracks the log tail
+    /// (entries are synced at append, the Raft durability contract);
+    /// with `defer_log_sync` it only advances on [`RaftNode::mark_log_synced`]
+    /// — the armed `wal_skip_fsync_bug` acks entries before their fsync.
+    log_synced_index: u64,
+    /// When set, appends do NOT advance `log_synced_index`.
+    defer_log_sync: bool,
 }
 
 impl<P: Clone> RaftNode<P> {
@@ -155,6 +162,8 @@ impl<P: Clone> RaftNode<P> {
             last_broadcast: now,
             pending_broadcast: false,
             quiesced: false,
+            log_synced_index: 0,
+            defer_log_sync: false,
         }
     }
 
@@ -213,6 +222,61 @@ impl<P: Clone> RaftNode<P> {
         &self.cfg
     }
 
+    /// Log durability bookkeeping after any append or truncation: entries
+    /// are fsynced at append unless syncs are deferred (armed fsync bug).
+    /// A truncation can only lower the synced horizon.
+    fn after_log_change(&mut self) {
+        let tail = self.last_index();
+        if self.defer_log_sync {
+            self.log_synced_index = self.log_synced_index.min(tail);
+        } else {
+            self.log_synced_index = tail;
+        }
+    }
+
+    /// Highest durably fsynced log index.
+    pub fn log_synced_index(&self) -> u64 {
+        self.log_synced_index
+    }
+
+    /// Arm or disarm deferred log syncs (the `wal_skip_fsync_bug` canary:
+    /// entries are acked before they are durable).
+    pub fn set_defer_log_sync(&mut self, defer: bool) {
+        self.defer_log_sync = defer;
+        if !defer {
+            self.after_log_change();
+        }
+    }
+
+    /// Fsync the log tail now (the periodic sync tick under deferred mode).
+    pub fn mark_log_synced(&mut self) {
+        self.log_synced_index = self.last_index();
+    }
+
+    /// Crash losing volatile state and come back as a cold follower. The
+    /// log survives up to its fsynced horizon (`drop_unsynced_log` models
+    /// the armed fsync bug, where acked-but-unsynced entries are lost);
+    /// `recovered_applied` is the apply index the storage engine recovered
+    /// to — commit/apply progress regresses there and the entries above it
+    /// re-commit through normal replication.
+    pub fn crash_volatile(&mut self, recovered_applied: u64, drop_unsynced_log: bool) {
+        if drop_unsynced_log {
+            self.log.truncate(self.log_synced_index as usize);
+        }
+        self.after_log_change();
+        self.role = Role::Follower;
+        self.leader_hint = None;
+        self.votes = 0;
+        self.next_index.clear();
+        self.match_index.clear();
+        self.sent_index.clear();
+        self.pending_broadcast = false;
+        self.quiesced = false;
+        let resume = recovered_applied.min(self.last_index());
+        self.applied_index = resume;
+        self.commit_index = resume;
+    }
+
     fn last_term(&self) -> u64 {
         self.log.last().map_or(0, |e| e.term)
     }
@@ -246,6 +310,7 @@ impl<P: Clone> RaftNode<P> {
             term: self.term,
             payload,
         });
+        self.after_log_change();
         // Single-voter groups commit immediately.
         self.maybe_advance_commit();
         self.quiesced = false;
@@ -269,6 +334,7 @@ impl<P: Clone> RaftNode<P> {
             term: self.term,
             payload,
         });
+        self.after_log_change();
         // Single-voter groups commit immediately.
         self.maybe_advance_commit();
         self.quiesced = false;
@@ -586,6 +652,7 @@ impl<P: Clone> RaftNode<P> {
                 }
             }
         }
+        self.after_log_change();
         let match_index = self.last_index();
         self.commit_index = self.commit_index.max(commit.min(match_index));
         vec![(

@@ -517,6 +517,7 @@ fn override_zone_config(
         voter_constraints,
         lease_preferences,
         closed_ts_policy: ClosedTsPolicy::Lag,
+        gc_ttl: mr_kv::zone::DEFAULT_GC_TTL,
     })
 }
 

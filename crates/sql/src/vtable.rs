@@ -191,6 +191,12 @@ fn ranges(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<Datum>>) {
             ("merges_absorbed", ColumnType::Int),
             ("lease_rebalances", ColumnType::Int),
             ("replica_rebalances", ColumnType::Int),
+            ("gc_ttl_millis", ColumnType::Int),
+            ("gc_threshold", ColumnType::Int),
+            ("memtable_versions", ColumnType::Int),
+            ("sst_runs", ColumnType::Int),
+            ("sst_versions", ColumnType::Int),
+            ("wal_bytes", ColumnType::Int),
         ],
     );
     let names = range_names(catalog);
@@ -226,6 +232,17 @@ fn ranges(cluster: &Cluster, catalog: &Catalog) -> (Table, Vec<Vec<Datum>>) {
                     Datum::Int(l.replica_rebalances as i64),
                 ]),
                 None => row.extend(std::iter::repeat_n(Datum::Null, 7)),
+            }
+            match cluster.storage_info_of(desc.id) {
+                Some(s) => row.extend([
+                    Datum::Int(s.gc_ttl.nanos() as i64 / 1_000_000),
+                    Datum::Int(s.gc_threshold.wall as i64),
+                    Datum::Int(s.memtable_versions as i64),
+                    Datum::Int(s.sst_runs as i64),
+                    Datum::Int(s.sst_versions as i64),
+                    Datum::Int(s.wal_bytes as i64),
+                ]),
+                None => row.extend(std::iter::repeat_n(Datum::Null, 6)),
             }
             row
         })

@@ -18,8 +18,16 @@
 //! read, so leaseholders can forward writes above prior reads and preserve
 //! serializability.
 
+pub mod bloom;
+pub mod gc;
+pub mod lsm;
 pub mod mvcc;
 pub mod tscache;
+pub mod wal;
 
-pub use mvcc::{MvccError, MvccStore, PutOutcome, ReadOutcome};
+pub use bloom::BloomFilter;
+pub use gc::{gc_threshold, ProtectedTimestamps};
+pub use lsm::{Engine, EngineStats, MaintainReport, RecoveryInfo, SortedRun};
+pub use mvcc::{Intent, MvccError, MvccStore, PutOutcome, ReadOutcome, Version, VersionChain};
 pub use tscache::TsCache;
+pub use wal::{TxnRecData, Wal, WalOp, WalRecord};

@@ -1,0 +1,1052 @@
+//! The LSM storage engine: mutable memtable, immutable sorted runs with
+//! bloom filters, WAL durability, and GC-aware compaction.
+//!
+//! [`Engine`] is the per-replica storage stack. It mirrors the
+//! [`MvccStore`] API (the replica apply path is engine-agnostic) while
+//! adding the durability machinery the paper's correctness story assumes:
+//!
+//! * **Memtable** — an [`MvccStore`] holding open intents and
+//!   recently-committed versions.
+//! * **Sorted runs ("SSTs")** — immutable key-ordered version arrays
+//!   produced by flushes, each with a bloom filter so point lookups skip
+//!   runs that certainly lack the key. Reads merge the memtable chain with
+//!   run versions and apply the exact MVCC read rules via
+//!   [`VersionChain::read`].
+//! * **WAL** — every mutation is buffered as a [`WalOp`]; applying a Raft
+//!   entry seals one framed record ([`Engine::seal_entry`]), and
+//!   [`Engine::sync`] advances the fsync pointer. Runs and checkpoints are
+//!   durable the moment they are written (SST + manifest sync); the WAL
+//!   covers only the memtable.
+//! * **Crash recovery** — [`Engine::crash_and_recover`] drops all volatile
+//!   state (memtable, unsynced WAL tail) and rebuilds from the checkpoint
+//!   record plus the durable WAL suffix, truncating torn tails detected by
+//!   per-record checksums.
+//! * **GC** — [`Engine::maintain`] ratchets the GC threshold (computed by
+//!   [`crate::gc::gc_threshold`] from closed timestamps, `gc.ttl`, and
+//!   protected timestamps), flushes a full memtable, and compacts runs,
+//!   dropping versions below the threshold (keeping the newest at-or-below
+//!   one per key unless it is a tombstone). Reads below the threshold fail
+//!   with [`MvccError::BelowGcThreshold`].
+//!
+//! Invariant the tombstone-elision and write paths rely on: *memtable
+//! versions are always newer than run versions for the same key*. Flush
+//! moves every committed version out of the memtable, and
+//! [`Engine::put`] forwards write timestamps above the newest run version.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use mr_clock::Timestamp;
+use mr_proto::{Key, ReadCtx, Span, TxnId, TxnMeta, Value};
+
+use crate::bloom::BloomFilter;
+use crate::mvcc::{Intent, MvccError, MvccStore, PutOutcome, ReadOutcome, Version, VersionChain};
+use crate::wal::{codec, replay, TxnRecData, Wal, WalOp, WalRecord};
+
+/// One immutable sorted run: key-ordered committed versions (newest-first
+/// per key) plus a bloom filter over the key set.
+#[derive(Clone, Debug)]
+pub struct SortedRun {
+    entries: Vec<(Key, Vec<Version>)>,
+    bloom: BloomFilter,
+}
+
+impl SortedRun {
+    fn from_entries(entries: Vec<(Key, Vec<Version>)>) -> SortedRun {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let mut bloom = BloomFilter::with_capacity(entries.len());
+        for (k, _) in &entries {
+            bloom.insert(k.as_slice());
+        }
+        SortedRun { entries, bloom }
+    }
+
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn version_count(&self) -> usize {
+        self.entries.iter().map(|(_, v)| v.len()).sum()
+    }
+}
+
+/// Monotone operation counters. Bloom counters use `Cell` so read paths
+/// stay `&self`.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    pub bloom_probes: Cell<u64>,
+    pub bloom_skips: Cell<u64>,
+    pub flushes: u64,
+    pub compactions: u64,
+    pub gc_reclaimed: u64,
+    pub recoveries: u64,
+    pub replayed_records: u64,
+    pub torn_tails: u64,
+}
+
+/// What one [`Engine::maintain`] pass did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaintainReport {
+    pub mem_gc_removed: usize,
+    pub flushed_versions: usize,
+    pub compact_removed: usize,
+    pub flushed: bool,
+    pub compacted: bool,
+}
+
+/// State returned by crash recovery, for the replica to re-seed its
+/// volatile mirrors (Raft applied index, closed-ts tracker, txn records).
+#[derive(Clone, Debug)]
+pub struct RecoveryInfo {
+    pub applied_index: u64,
+    pub closed_ts: Timestamp,
+    pub gc_threshold: Timestamp,
+    pub txn_records: Vec<(u64, TxnRecData)>,
+    pub replayed_records: u64,
+    pub torn_tail: bool,
+}
+
+/// The per-replica LSM storage engine.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    mem: MvccStore,
+    runs: Vec<SortedRun>,
+    wal: Wal,
+    /// Ops of the Raft entry currently being applied, sealed into one WAL
+    /// record by [`Engine::seal_entry`].
+    pending: Vec<WalOp>,
+    /// Durable shadow of the replica's transaction records.
+    txn_records: BTreeMap<u64, TxnRecData>,
+    gc_threshold: Timestamp,
+    applied_index: u64,
+    closed_ts: Timestamp,
+    /// When set (armed `wal_skip_fsync_bug`), [`Engine::sync`] is a no-op
+    /// and durability waits for a periodic [`Engine::sync_now`] tick — the
+    /// node acks writes before its WAL fsync point.
+    pub defer_sync: bool,
+    /// Flush the memtable once it holds at least this many committed
+    /// versions (checked during maintenance).
+    pub flush_min_versions: usize,
+    stats: EngineStats,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        let mut e = Engine {
+            mem: MvccStore::new(),
+            runs: Vec::new(),
+            wal: Wal::new(),
+            pending: Vec::new(),
+            txn_records: BTreeMap::new(),
+            gc_threshold: Timestamp::ZERO,
+            applied_index: 0,
+            closed_ts: Timestamp::ZERO,
+            defer_sync: false,
+            flush_min_versions: 32,
+            stats: EngineStats::default(),
+        };
+        // An empty durable checkpoint anchors the log.
+        e.wal.reset_to_checkpoint(e.encode_checkpoint(), 0);
+        e
+    }
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Reads (merged memtable ∪ runs)
+    // ------------------------------------------------------------------
+
+    fn check_gc(&self, read_ts: Timestamp) -> Result<(), MvccError> {
+        if read_ts < self.gc_threshold {
+            return Err(MvccError::BelowGcThreshold {
+                read_ts,
+                threshold: self.gc_threshold,
+            });
+        }
+        Ok(())
+    }
+
+    /// Versions of `key` held by the runs, bloom filters consulted first.
+    fn run_versions(&self, key: &Key) -> Vec<Version> {
+        let mut out = Vec::new();
+        for run in &self.runs {
+            self.stats
+                .bloom_probes
+                .set(self.stats.bloom_probes.get() + 1);
+            if !run.bloom.may_contain(key.as_slice()) {
+                self.stats.bloom_skips.set(self.stats.bloom_skips.get() + 1);
+                continue;
+            }
+            if let Ok(i) = run.entries.binary_search_by(|e| e.0.cmp(key)) {
+                out.extend_from_slice(&run.entries[i].1);
+            }
+        }
+        out
+    }
+
+    /// The merged per-key view: memtable chain (intent + versions) plus
+    /// run versions, deduplicated by timestamp.
+    fn merged_chain(&self, key: &Key) -> Option<VersionChain> {
+        let mem = self.mem.chain(key);
+        let rv = self.run_versions(key);
+        if rv.is_empty() {
+            return mem.cloned();
+        }
+        let mut c = mem.cloned().unwrap_or_default();
+        for v in rv {
+            c.insert_version(v.ts, v.value);
+        }
+        Some(c)
+    }
+
+    /// Distinct keys (memtable ∪ runs) in `span`, sorted.
+    fn keys_in(&self, span: &Span) -> Vec<Key> {
+        let mut set: BTreeSet<Key> = self.mem.range(span).map(|(k, _)| k.clone()).collect();
+        for run in &self.runs {
+            let start = run.entries.partition_point(|e| e.0 < span.start);
+            for (k, _) in &run.entries[start..] {
+                if !span.end.is_empty() && *k >= span.end {
+                    break;
+                }
+                set.insert(k.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Point read at `ctx.read_ts` with uncertainty detection, merged
+    /// across memtable and runs. Fails below the GC threshold.
+    pub fn get(&self, key: &Key, ctx: &ReadCtx) -> Result<ReadOutcome, MvccError> {
+        self.check_gc(ctx.read_ts)?;
+        match self.merged_chain(key) {
+            Some(chain) => chain.read(key, ctx),
+            None => Ok(ReadOutcome {
+                value: None,
+                value_ts: Timestamp::ZERO,
+            }),
+        }
+    }
+
+    /// Scan `[span.start, span.end)` at `ctx.read_ts`, up to `max_keys`
+    /// live rows.
+    pub fn scan(
+        &self,
+        span: &Span,
+        ctx: &ReadCtx,
+        max_keys: usize,
+    ) -> Result<Vec<(Key, Value, Timestamp)>, MvccError> {
+        self.check_gc(ctx.read_ts)?;
+        let mut out = Vec::new();
+        for key in self.keys_in(span) {
+            let Some(chain) = self.merged_chain(&key) else {
+                continue;
+            };
+            let r = chain.read(&key, ctx)?;
+            if let Some(v) = r.value {
+                out.push((key, v, r.value_ts));
+                if out.len() >= max_keys {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The intent currently on `key`, if any (intents live only in the
+    /// memtable — they are never flushed).
+    pub fn intent(&self, key: &Key) -> Option<&Intent> {
+        self.mem.intent(key)
+    }
+
+    /// Validate that no committed version or foreign intent landed in
+    /// `(from_ts, to_ts]` anywhere in `span` — the read-refresh check.
+    pub fn refresh_span(
+        &self,
+        span: &Span,
+        from_ts: Timestamp,
+        to_ts: Timestamp,
+        txn_id: TxnId,
+    ) -> Result<(), Timestamp> {
+        for key in self.keys_in(span) {
+            let Some(chain) = self.merged_chain(&key) else {
+                continue;
+            };
+            if let Some(v) = chain.committed_in(from_ts, to_ts) {
+                return Err(v.ts);
+            }
+            if let Some(intent) = &chain.intent {
+                if intent.txn.id != txn_id && intent.txn.write_ts <= to_ts {
+                    return Err(intent.txn.write_ts);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Latest committed timestamp on `key` across memtable and runs.
+    pub fn latest_committed_ts(&self, key: &Key) -> Option<Timestamp> {
+        let run_latest = self.run_latest_ts(key);
+        match (self.mem.latest_committed_ts(key), run_latest) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn run_latest_ts(&self, key: &Key) -> Option<Timestamp> {
+        let mut latest: Option<Timestamp> = None;
+        for run in &self.runs {
+            self.stats
+                .bloom_probes
+                .set(self.stats.bloom_probes.get() + 1);
+            if !run.bloom.may_contain(key.as_slice()) {
+                self.stats.bloom_skips.set(self.stats.bloom_skips.get() + 1);
+                continue;
+            }
+            if let Ok(i) = run.entries.binary_search_by(|e| e.0.cmp(key)) {
+                if let Some(v) = run.entries[i].1.first() {
+                    latest = Some(latest.map_or(v.ts, |l| l.max(v.ts)));
+                }
+            }
+        }
+        latest
+    }
+
+    /// The lowest intent timestamp in `span`, if any (bounded-staleness
+    /// negotiation).
+    pub fn min_intent_ts_in(&self, span: &Span) -> Option<Timestamp> {
+        self.mem.min_intent_ts_in(span)
+    }
+
+    /// Scan live rows, treating open intents as their provisional values
+    /// (newest state wins).
+    pub fn scan_latest_including_intents(&self, span: &Span) -> Vec<(Key, Value)> {
+        let mut out = Vec::new();
+        for key in self.keys_in(span) {
+            let Some(chain) = self.merged_chain(&key) else {
+                continue;
+            };
+            let candidate = match &chain.intent {
+                Some(intent) => intent.value.clone(),
+                None => chain.versions.first().and_then(|v| v.value.clone()),
+            };
+            if let Some(v) = candidate {
+                out.push((key, v));
+            }
+        }
+        out
+    }
+
+    /// Number of distinct keys with any state, across memtable and runs.
+    pub fn key_count(&self) -> usize {
+        let mut set: BTreeSet<&Key> = self.mem.chains().map(|(k, _)| k).collect();
+        for run in &self.runs {
+            set.extend(run.entries.iter().map(|(k, _)| k));
+        }
+        set.len()
+    }
+
+    /// Total committed versions across memtable and runs.
+    pub fn version_count(&self) -> usize {
+        self.mem.version_count() + self.runs.iter().map(|r| r.version_count()).sum::<usize>()
+    }
+
+    // ------------------------------------------------------------------
+    // Writes (memtable + WAL)
+    // ------------------------------------------------------------------
+
+    /// Lay down (or update) an intent for `txn`, forwarding the write
+    /// timestamp above any newer committed version in memtable *or* runs.
+    pub fn put(
+        &mut self,
+        key: &Key,
+        value: Option<Value>,
+        txn: &TxnMeta,
+    ) -> Result<PutOutcome, MvccError> {
+        let mut meta = txn.clone();
+        let mut write_too_old = false;
+        if let Some(l) = self.run_latest_ts(key) {
+            if l >= meta.write_ts {
+                meta.write_ts = l.next();
+                write_too_old = true;
+            }
+        }
+        let out = self.mem.put(key, value.clone(), &meta)?;
+        let mut logged = txn.clone();
+        logged.write_ts = out.written_ts;
+        self.pending.push(WalOp::PutIntent {
+            key: key.clone(),
+            value,
+            txn: logged,
+        });
+        Ok(PutOutcome {
+            written_ts: out.written_ts,
+            write_too_old: out.write_too_old || write_too_old,
+        })
+    }
+
+    /// Promote `txn_id`'s intent on `key` to a committed version.
+    pub fn commit_intent(&mut self, key: &Key, txn_id: TxnId, commit_ts: Timestamp) -> bool {
+        let done = self.mem.commit_intent(key, txn_id, commit_ts);
+        if done {
+            self.pending.push(WalOp::CommitIntent {
+                key: key.clone(),
+                txn_id,
+                commit_ts,
+            });
+        }
+        done
+    }
+
+    /// Discard `txn_id`'s intent on `key`.
+    pub fn abort_intent(&mut self, key: &Key, txn_id: TxnId) -> bool {
+        let done = self.mem.abort_intent(key, txn_id);
+        if done {
+            self.pending.push(WalOp::AbortIntent {
+                key: key.clone(),
+                txn_id,
+            });
+        }
+        done
+    }
+
+    /// Record (upsert) a transaction record in the durable shadow.
+    pub fn note_txn_record(&mut self, txn_id: u64, rec: TxnRecData) {
+        self.txn_records.insert(txn_id, rec.clone());
+        self.pending.push(WalOp::TxnRecord {
+            txn_id: TxnId(txn_id),
+            rec,
+        });
+    }
+
+    /// Directly install a committed version (bulk preload). The caller
+    /// should checkpoint after a bulk load (see [`Engine::rebaseline`]).
+    pub fn preload(&mut self, key: Key, value: Value, ts: Timestamp) {
+        self.mem.preload(key.clone(), value.clone(), ts);
+        self.pending.push(WalOp::Preload { key, value, ts });
+    }
+
+    // ------------------------------------------------------------------
+    // Durability: sealing, syncing, checkpoints
+    // ------------------------------------------------------------------
+
+    /// Seal the buffered ops of one applied Raft entry into a WAL record.
+    /// Called once per applied entry — "append on every Raft apply". The
+    /// record is volatile until the next sync.
+    pub fn seal_entry(&mut self, apply_index: u64, closed_ts: Timestamp) {
+        self.applied_index = apply_index;
+        self.closed_ts = self.closed_ts.max(closed_ts);
+        let ops = std::mem::take(&mut self.pending);
+        let payload = codec::encode_record(&WalRecord::Entry {
+            apply_index,
+            closed_ts,
+            ops,
+        });
+        self.wal.append(&payload);
+    }
+
+    /// Advance the WAL fsync pointer — unless syncs are deferred by the
+    /// armed `wal_skip_fsync_bug`.
+    pub fn sync(&mut self, now_nanos: u64) {
+        if !self.defer_sync {
+            self.wal.sync(now_nanos);
+        }
+    }
+
+    /// Unconditionally advance the fsync pointer (the periodic sync tick
+    /// of the armed-bug mode, and maintenance).
+    pub fn sync_now(&mut self, now_nanos: u64) {
+        self.wal.sync(now_nanos);
+    }
+
+    fn encode_checkpoint(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u64(&mut out, self.applied_index);
+        codec::put_ts(&mut out, self.closed_ts);
+        codec::put_ts(&mut out, self.gc_threshold);
+        let n = self.mem.chains().count();
+        codec::put_u32(&mut out, n as u32);
+        for (k, chain) in self.mem.chains() {
+            codec::put_key(&mut out, k);
+            match &chain.intent {
+                Some(i) => {
+                    out.push(1);
+                    codec::put_opt_value(&mut out, &i.value);
+                    codec::put_txn_meta(&mut out, &i.txn);
+                }
+                None => out.push(0),
+            }
+            codec::put_u32(&mut out, chain.versions.len() as u32);
+            for v in &chain.versions {
+                codec::put_ts(&mut out, v.ts);
+                codec::put_opt_value(&mut out, &v.value);
+            }
+        }
+        codec::put_u32(&mut out, self.txn_records.len() as u32);
+        for (id, rec) in &self.txn_records {
+            codec::put_u64(&mut out, *id);
+            codec::put_txn_rec(&mut out, rec);
+        }
+        out
+    }
+
+    fn restore_checkpoint(&mut self, image: &[u8]) -> Result<(), codec::DecodeError> {
+        let mut c = codec::Cursor::new(image);
+        self.applied_index = c.u64()?;
+        self.closed_ts = c.ts()?;
+        self.gc_threshold = c.ts()?;
+        let nchains = c.u32()? as usize;
+        for _ in 0..nchains {
+            let key = c.key()?;
+            if c.u8()? == 1 {
+                let value = c.opt_value()?;
+                let txn = c.txn_meta()?;
+                self.mem.force_intent(key.clone(), txn, value);
+            }
+            let nvers = c.u32()? as usize;
+            for _ in 0..nvers {
+                let ts = c.ts()?;
+                let value = c.opt_value()?;
+                self.mem.force_version(key.clone(), ts, value);
+            }
+        }
+        let nrecs = c.u32()? as usize;
+        for _ in 0..nrecs {
+            let id = c.u64()?;
+            let rec = c.txn_rec()?;
+            self.txn_records.insert(id, rec);
+        }
+        Ok(())
+    }
+
+    /// Write a fresh durable checkpoint and truncate the WAL to it.
+    /// Models an SST/manifest write, durable immediately.
+    pub fn checkpoint_now(&mut self, now_nanos: u64) {
+        self.pending.clear();
+        let image = self.encode_checkpoint();
+        self.wal.reset_to_checkpoint(image, now_nanos);
+    }
+
+    /// Re-seed the engine's durable identity after range surgery (install,
+    /// split, merge, bulk preload): replace the txn-record shadow, pin the
+    /// applied index and closed timestamp, and checkpoint.
+    pub fn rebaseline(
+        &mut self,
+        txn_records: impl IntoIterator<Item = (u64, TxnRecData)>,
+        applied_index: u64,
+        closed_ts: Timestamp,
+        now_nanos: u64,
+    ) {
+        self.txn_records = txn_records.into_iter().collect();
+        self.applied_index = applied_index;
+        self.closed_ts = closed_ts;
+        self.checkpoint_now(now_nanos);
+    }
+
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /// Drop all volatile state (memtable, pending ops, unsynced WAL tail)
+    /// and rebuild from the durable checkpoint + WAL records. Sorted runs
+    /// survive (they are durable files). Ends with a fresh checkpoint so
+    /// the post-recovery log is clean.
+    pub fn crash_and_recover(&mut self) -> RecoveryInfo {
+        self.wal.crash();
+        self.pending.clear();
+        self.mem = MvccStore::new();
+        self.txn_records.clear();
+        self.applied_index = 0;
+        self.closed_ts = Timestamp::ZERO;
+        self.gc_threshold = Timestamp::ZERO;
+
+        let outcome = replay(self.wal.bytes());
+        let mut replayed = 0u64;
+        for rec in outcome.records {
+            match rec {
+                WalRecord::Checkpoint(image) => {
+                    // A checkpoint is always the first record of its log
+                    // generation; decode failure means a bug, not a torn
+                    // tail (the CRC already passed), so fail loudly.
+                    self.restore_checkpoint(&image)
+                        .expect("checkpoint image decode failed after CRC pass");
+                }
+                WalRecord::Entry {
+                    apply_index,
+                    closed_ts,
+                    ops,
+                } => {
+                    for op in ops {
+                        self.replay_op(op);
+                    }
+                    self.applied_index = self.applied_index.max(apply_index);
+                    self.closed_ts = self.closed_ts.max(closed_ts);
+                    replayed += 1;
+                }
+            }
+        }
+        self.stats.recoveries += 1;
+        self.stats.replayed_records += replayed;
+        if outcome.torn_tail {
+            self.stats.torn_tails += 1;
+        }
+        let info = RecoveryInfo {
+            applied_index: self.applied_index,
+            closed_ts: self.closed_ts,
+            gc_threshold: self.gc_threshold,
+            txn_records: self
+                .txn_records
+                .iter()
+                .map(|(id, r)| (*id, r.clone()))
+                .collect(),
+            replayed_records: replayed,
+            torn_tail: outcome.torn_tail,
+        };
+        let sync_mark = self.wal.last_sync_nanos;
+        self.checkpoint_now(sync_mark);
+        info
+    }
+
+    fn replay_op(&mut self, op: WalOp) {
+        match op {
+            WalOp::PutIntent { key, value, txn } => self.mem.force_intent(key, txn, value),
+            WalOp::CommitIntent {
+                key,
+                txn_id,
+                commit_ts,
+            } => {
+                self.mem.commit_intent(&key, txn_id, commit_ts);
+            }
+            WalOp::AbortIntent { key, txn_id } => {
+                self.mem.abort_intent(&key, txn_id);
+            }
+            WalOp::TxnRecord { txn_id, rec } => {
+                self.txn_records.insert(txn_id.0, rec);
+            }
+            WalOp::Preload { key, value, ts } => {
+                self.mem.force_version(key, ts, Some(value));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Flush, compaction, GC
+    // ------------------------------------------------------------------
+
+    fn flush_internal(&mut self) -> usize {
+        let chains = self.mem.drain_committed();
+        if chains.is_empty() {
+            return 0;
+        }
+        let run = SortedRun::from_entries(chains);
+        let n = run.version_count();
+        self.runs.push(run);
+        self.stats.flushes += 1;
+        n
+    }
+
+    /// Flush the memtable's committed versions to a new immutable run and
+    /// checkpoint (the flush is what makes those versions SST-durable, so
+    /// the WAL no longer needs to carry them).
+    pub fn flush(&mut self, now_nanos: u64) -> usize {
+        let n = self.flush_internal();
+        self.checkpoint_now(now_nanos);
+        n
+    }
+
+    fn compact_internal(&mut self) -> usize {
+        let thr = self.gc_threshold;
+        let mut merged: BTreeMap<Key, VersionChain> = BTreeMap::new();
+        for run in self.runs.drain(..) {
+            for (k, versions) in run.entries {
+                let chain = merged.entry(k).or_default();
+                for v in versions {
+                    chain.insert_version(v.ts, v.value);
+                }
+            }
+        }
+        let mut removed = 0usize;
+        let mut entries = Vec::new();
+        for (k, chain) in merged {
+            let versions = chain.versions;
+            let keep_from = versions.partition_point(|v| v.ts > thr);
+            let mut kept: Vec<Version> = versions[..keep_from].to_vec();
+            // Newest at-or-below the threshold stays — reads at exactly the
+            // threshold must see it — unless it is a tombstone: with every
+            // older version dropped too, "nothing" reads identically to
+            // "deleted" (memtable versions are strictly newer, so nothing
+            // can resurrect underneath).
+            if let Some(v) = versions.get(keep_from) {
+                if v.value.is_some() {
+                    kept.push(v.clone());
+                }
+            }
+            removed += versions.len() - kept.len();
+            if !kept.is_empty() {
+                entries.push((k, kept));
+            }
+        }
+        if !entries.is_empty() {
+            self.runs.push(SortedRun::from_entries(entries));
+        }
+        self.stats.compactions += 1;
+        removed
+    }
+
+    /// One maintenance pass: ratchet the GC threshold, GC the memtable,
+    /// flush if it is full, compact the runs (merging them and dropping
+    /// shadowed/expired versions), and checkpoint. Thresholds only ever
+    /// rise; passing an older threshold is harmless.
+    pub fn maintain(&mut self, threshold: Timestamp, now_nanos: u64) -> MaintainReport {
+        self.gc_threshold = self.gc_threshold.max(threshold);
+        let mem_gc_removed = self.mem.gc_with(self.gc_threshold, self.runs.is_empty());
+        let mut flushed_versions = 0;
+        let flushed = self.mem.version_count() >= self.flush_min_versions;
+        if flushed {
+            flushed_versions = self.flush_internal();
+        }
+        let compacted = !self.runs.is_empty();
+        let compact_removed = if compacted {
+            self.compact_internal()
+        } else {
+            0
+        };
+        self.stats.gc_reclaimed += (mem_gc_removed + compact_removed) as u64;
+        self.checkpoint_now(now_nanos);
+        MaintainReport {
+            mem_gc_removed,
+            flushed_versions,
+            compact_removed,
+            flushed,
+            compacted,
+        }
+    }
+
+    /// Legacy direct-GC entry point (tests): ratchet the threshold and
+    /// reclaim without flushing or checkpointing.
+    pub fn gc(&mut self, threshold: Timestamp) -> usize {
+        self.gc_threshold = self.gc_threshold.max(threshold);
+        let mut removed = self.mem.gc_with(self.gc_threshold, self.runs.is_empty());
+        if !self.runs.is_empty() {
+            removed += self.compact_internal();
+        }
+        self.stats.gc_reclaimed += removed as u64;
+        removed
+    }
+
+    // ------------------------------------------------------------------
+    // Range surgery
+    // ------------------------------------------------------------------
+
+    /// Split at `split_key`: chains and run entries at or above it move to
+    /// the returned engine. The caller must [`Engine::rebaseline`] both
+    /// halves afterwards (their WALs restart from fresh checkpoints).
+    pub fn split_off(&mut self, split_key: &Key) -> Engine {
+        let mem_rhs = self.mem.split_off(split_key);
+        let mut rhs_runs = Vec::new();
+        for run in &mut self.runs {
+            let idx = run.entries.partition_point(|e| e.0 < *split_key);
+            if idx < run.entries.len() {
+                rhs_runs.push(SortedRun::from_entries(run.entries.split_off(idx)));
+            }
+        }
+        self.runs.retain(|r| !r.entries.is_empty());
+        // Shrunk left-hand runs keep their (now slightly over-full) bloom
+        // filters: false positives are a perf cost, never a correctness
+        // one, and the next compaction rebuilds them tight.
+        let mut rhs = Engine::new();
+        rhs.mem = mem_rhs;
+        rhs.runs = rhs_runs;
+        rhs.gc_threshold = self.gc_threshold;
+        rhs.defer_sync = self.defer_sync;
+        rhs.flush_min_versions = self.flush_min_versions;
+        rhs
+    }
+
+    /// Absorb an adjacent range's engine (range merge). Keyspaces are
+    /// disjoint. The caller must [`Engine::rebaseline`] afterwards.
+    pub fn absorb(&mut self, other: Engine) {
+        self.mem.absorb(other.mem);
+        self.runs.extend(other.runs);
+        // The merged range must not read below either half's threshold.
+        self.gc_threshold = self.gc_threshold.max(other.gc_threshold);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn gc_threshold(&self) -> Timestamp {
+        self.gc_threshold
+    }
+    pub fn applied_index(&self) -> u64 {
+        self.applied_index
+    }
+    pub fn closed_ts(&self) -> Timestamp {
+        self.closed_ts
+    }
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+    pub fn wal_bytes(&self) -> usize {
+        self.wal.len()
+    }
+    pub fn wal_durable_bytes(&self) -> usize {
+        self.wal.durable_len()
+    }
+    pub fn wal_record_count(&self) -> u64 {
+        self.wal.record_count()
+    }
+    pub fn wal_syncs(&self) -> u64 {
+        self.wal.syncs
+    }
+    pub fn wal_last_sync_nanos(&self) -> u64 {
+        self.wal.last_sync_nanos
+    }
+    pub fn sst_count(&self) -> usize {
+        self.runs.len()
+    }
+    pub fn sst_version_count(&self) -> usize {
+        self.runs.iter().map(|r| r.version_count()).sum()
+    }
+    pub fn mem_version_count(&self) -> usize {
+        self.mem.version_count()
+    }
+    pub fn txn_record_shadow_len(&self) -> usize {
+        self.txn_records.len()
+    }
+
+    /// Test hook: deterministic byte image of the full recoverable state
+    /// (memtable, txn records, runs, thresholds) for byte-identical
+    /// recovery assertions.
+    pub fn state_image(&self) -> Vec<u8> {
+        let mut out = self.encode_checkpoint();
+        codec::put_u32(&mut out, self.runs.len() as u32);
+        for run in &self.runs {
+            codec::put_u32(&mut out, run.entries.len() as u32);
+            for (k, versions) in &run.entries {
+                codec::put_key(&mut out, k);
+                codec::put_u32(&mut out, versions.len() as u32);
+                for v in versions {
+                    codec::put_ts(&mut out, v.ts);
+                    codec::put_opt_value(&mut out, &v.value);
+                }
+            }
+        }
+        out
+    }
+
+    /// Test hook: mutable access to the WAL for crash-point sweeps.
+    pub fn wal_mut(&mut self) -> &mut Wal {
+        &mut self.wal
+    }
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(id: u64, ts: u64) -> TxnMeta {
+        TxnMeta::new(TxnId(id), Key::from("anchor"), Timestamp::new(ts, 0))
+    }
+
+    fn commit_put(e: &mut Engine, key: &str, val: &str, id: u64, ts: u64) -> Timestamp {
+        let t = txn(id, ts);
+        let out = e.put(&Key::from(key), Some(Value::from(val)), &t).unwrap();
+        assert!(e.commit_intent(&Key::from(key), t.id, out.written_ts));
+        out.written_ts
+    }
+
+    fn read(e: &Engine, key: &str, ts: u64) -> Option<Value> {
+        e.get(&Key::from(key), &ReadCtx::stale(Timestamp::new(ts, 0)))
+            .unwrap()
+            .value
+    }
+
+    #[test]
+    fn reads_merge_memtable_and_runs() {
+        let mut e = Engine::new();
+        commit_put(&mut e, "k", "v1", 1, 10);
+        e.flush(0);
+        assert_eq!(e.sst_count(), 1);
+        assert_eq!(e.mem_version_count(), 0);
+        commit_put(&mut e, "k", "v2", 2, 20);
+        assert_eq!(read(&e, "k", 15), Some(Value::from("v1")));
+        assert_eq!(read(&e, "k", 25), Some(Value::from("v2")));
+        // Scan sees the merged view too.
+        let span = Span::new(Key::from("a"), Key::from("z"));
+        let rows = e
+            .scan(&span, &ReadCtx::stale(Timestamp::new(25, 0)), 10)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, Value::from("v2"));
+    }
+
+    #[test]
+    fn put_forwards_above_run_versions() {
+        let mut e = Engine::new();
+        commit_put(&mut e, "k", "new", 1, 100);
+        e.flush(0);
+        let t = txn(2, 50);
+        let out = e
+            .put(&Key::from("k"), Some(Value::from("late")), &t)
+            .unwrap();
+        assert!(out.write_too_old);
+        assert_eq!(out.written_ts, Timestamp::new(100, 1));
+    }
+
+    #[test]
+    fn crash_recovers_from_checkpoint_plus_wal() {
+        let mut e = Engine::new();
+        commit_put(&mut e, "a", "v1", 1, 10);
+        e.seal_entry(1, Timestamp::new(5, 0));
+        e.sync(100);
+        e.flush(100); // checkpoint: a@10 in a run
+        commit_put(&mut e, "b", "v2", 2, 20);
+        e.seal_entry(2, Timestamp::new(15, 0));
+        e.sync(200);
+        let t = txn(3, 30);
+        e.put(&Key::from("c"), Some(Value::from("open")), &t)
+            .unwrap();
+        e.seal_entry(3, Timestamp::new(25, 0));
+        e.sync(300);
+        let before = e.state_image();
+
+        let info = e.crash_and_recover();
+        assert_eq!(info.applied_index, 3);
+        assert!(!info.torn_tail);
+        assert_eq!(e.state_image(), before);
+        assert_eq!(read(&e, "a", 100), Some(Value::from("v1")));
+        assert_eq!(read(&e, "b", 100), Some(Value::from("v2")));
+        // The open intent survived as an intent.
+        assert!(e.intent(&Key::from("c")).is_some());
+        assert_eq!(e.stats().recoveries, 1);
+    }
+
+    #[test]
+    fn unsynced_tail_is_lost_on_crash() {
+        let mut e = Engine::new();
+        commit_put(&mut e, "a", "v1", 1, 10);
+        e.seal_entry(1, Timestamp::ZERO);
+        e.sync(100);
+        commit_put(&mut e, "b", "v2", 2, 20);
+        e.seal_entry(2, Timestamp::ZERO);
+        // No sync: entry 2 is volatile.
+        let info = e.crash_and_recover();
+        assert_eq!(info.applied_index, 1);
+        assert_eq!(read(&e, "a", 100), Some(Value::from("v1")));
+        assert_eq!(read(&e, "b", 100), None);
+    }
+
+    #[test]
+    fn deferred_sync_loses_acked_writes() {
+        let mut e = Engine::new();
+        e.defer_sync = true;
+        commit_put(&mut e, "a", "v1", 1, 10);
+        e.seal_entry(1, Timestamp::ZERO);
+        e.sync(100); // no-op: deferred
+        let info = e.crash_and_recover();
+        assert_eq!(info.applied_index, 0);
+        assert_eq!(read(&e, "a", 100), None);
+    }
+
+    #[test]
+    fn maintain_gc_reclaims_and_reads_below_threshold_fail() {
+        let mut e = Engine::new();
+        for i in 0..10u64 {
+            commit_put(&mut e, "k", &format!("v{i}"), i + 1, (i + 1) * 10);
+        }
+        e.flush(0);
+        let before = e.version_count();
+        let rep = e.maintain(Timestamp::new(95, 0), 0);
+        assert!(rep.compacted);
+        // One version at/below 95 (v9@100 is above? no: ts 100 > 95 stays,
+        // v8@90 is the newest at-or-below and stays, older 8 go).
+        assert_eq!(rep.compact_removed, 8);
+        assert!(e.version_count() < before);
+        assert_eq!(read(&e, "k", 95), Some(Value::from("v8")));
+        assert_eq!(read(&e, "k", 100), Some(Value::from("v9")));
+        let err = e
+            .get(&Key::from("k"), &ReadCtx::stale(Timestamp::new(50, 0)))
+            .unwrap_err();
+        assert!(matches!(err, MvccError::BelowGcThreshold { .. }));
+    }
+
+    #[test]
+    fn compaction_drops_expired_tombstones() {
+        let mut e = Engine::new();
+        commit_put(&mut e, "k", "v1", 1, 10);
+        let t = txn(2, 20);
+        let out = e.put(&Key::from("k"), None, &t).unwrap();
+        e.commit_intent(&Key::from("k"), t.id, out.written_ts);
+        e.flush(0);
+        e.maintain(Timestamp::new(100, 0), 0);
+        assert_eq!(e.version_count(), 0);
+        assert_eq!(e.key_count(), 0);
+    }
+
+    #[test]
+    fn split_and_absorb_partition_runs() {
+        let mut e = Engine::new();
+        commit_put(&mut e, "a", "va", 1, 10);
+        commit_put(&mut e, "m", "vm", 2, 10);
+        commit_put(&mut e, "z", "vz", 3, 10);
+        e.flush(0);
+        commit_put(&mut e, "a", "va2", 4, 20);
+        commit_put(&mut e, "z", "vz2", 5, 20);
+        let mut rhs = e.split_off(&Key::from("m"));
+        assert_eq!(read(&e, "a", 100), Some(Value::from("va2")));
+        assert_eq!(read(&e, "m", 100), None);
+        assert_eq!(read(&rhs, "m", 100), Some(Value::from("vm")));
+        assert_eq!(read(&rhs, "z", 100), Some(Value::from("vz2")));
+        rhs.rebaseline(Vec::new(), 0, Timestamp::ZERO, 0);
+        e.rebaseline(Vec::new(), 0, Timestamp::ZERO, 0);
+        e.absorb(rhs);
+        assert_eq!(read(&e, "a", 100), Some(Value::from("va2")));
+        assert_eq!(read(&e, "z", 100), Some(Value::from("vz2")));
+        assert_eq!(e.key_count(), 3);
+    }
+
+    #[test]
+    fn recovery_after_flush_does_not_duplicate() {
+        let mut e = Engine::new();
+        commit_put(&mut e, "a", "v1", 1, 10);
+        e.seal_entry(1, Timestamp::ZERO);
+        e.sync(50);
+        e.flush(60);
+        let before = e.state_image();
+        e.crash_and_recover();
+        assert_eq!(e.state_image(), before);
+        assert_eq!(e.version_count(), 1);
+    }
+
+    #[test]
+    fn bloom_skips_cold_runs() {
+        let mut e = Engine::new();
+        for i in 0..100u64 {
+            commit_put(&mut e, &format!("left-{i:03}"), "v", i + 1, i + 1);
+        }
+        e.flush(0);
+        for i in 0..100u64 {
+            commit_put(&mut e, &format!("right-{i:03}"), "v", 200 + i, 200 + i);
+        }
+        e.flush(0);
+        assert_eq!(e.sst_count(), 2);
+        let before_probes = e.stats().bloom_probes.get();
+        for i in 0..100u64 {
+            assert!(read(&e, &format!("right-{i:03}"), 1000).is_some());
+        }
+        let probes = e.stats().bloom_probes.get() - before_probes;
+        let skips = e.stats().bloom_skips.get();
+        // Every lookup probes both runs; the "left" run should be skipped
+        // nearly always.
+        assert_eq!(probes, 200);
+        assert!(skips >= 90, "bloom skips too low: {skips}");
+    }
+}

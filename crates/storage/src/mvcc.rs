@@ -16,29 +16,32 @@ pub struct Intent {
 }
 
 /// One committed version. `value: None` is a tombstone.
-#[derive(Clone, Debug)]
-struct Version {
-    ts: Timestamp,
-    value: Option<Value>,
+#[derive(Clone, Debug, PartialEq)]
+pub struct Version {
+    pub ts: Timestamp,
+    pub value: Option<Value>,
 }
 
 /// Per-key state: an optional intent plus committed versions, newest first.
+/// Public so the LSM engine ([`crate::lsm`]) can build merged per-key views
+/// spanning the memtable and immutable sorted runs with the exact same
+/// read semantics.
 #[derive(Clone, Debug, Default)]
-struct VersionChain {
-    intent: Option<Intent>,
-    versions: Vec<Version>,
+pub struct VersionChain {
+    pub intent: Option<Intent>,
+    pub versions: Vec<Version>,
 }
 
 impl VersionChain {
     /// Latest committed version at or below `ts`. Versions are sorted
     /// newest-first, so binary search keeps hot keys (long chains) cheap.
-    fn visible_at(&self, ts: Timestamp) -> Option<&Version> {
+    pub fn visible_at(&self, ts: Timestamp) -> Option<&Version> {
         let idx = self.versions.partition_point(|v| v.ts > ts);
         self.versions.get(idx)
     }
 
     /// Earliest committed version strictly above `lo` and at or below `hi`.
-    fn committed_in(&self, lo: Timestamp, hi: Timestamp) -> Option<&Version> {
+    pub fn committed_in(&self, lo: Timestamp, hi: Timestamp) -> Option<&Version> {
         // Newest-first order: everything before `start` is above `hi`,
         // everything from `end` on is at or below `lo`.
         let start = self.versions.partition_point(|v| v.ts > hi);
@@ -50,17 +53,72 @@ impl VersionChain {
         }
     }
 
-    fn latest_ts(&self) -> Option<Timestamp> {
+    pub fn latest_ts(&self) -> Option<Timestamp> {
         self.versions.first().map(|v| v.ts)
     }
 
-    fn insert_version(&mut self, ts: Timestamp, value: Option<Value>) {
+    /// Insert keeping newest-first order. An exact-timestamp duplicate is
+    /// dropped: the same `(key, ts)` can only ever carry the same value
+    /// (MVCC forbids two commits at one timestamp on one key), and merged
+    /// chains are assembled from sources that may overlap.
+    pub fn insert_version(&mut self, ts: Timestamp, value: Option<Value>) {
         let pos = self.versions.partition_point(|v| v.ts > ts);
+        if self.versions.get(pos).is_some_and(|v| v.ts == ts) {
+            return;
+        }
         self.versions.insert(pos, Version { ts, value });
     }
 
-    fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.intent.is_none() && self.versions.is_empty()
+    }
+
+    /// The MVCC point-read over this (possibly merged) chain: own-intent
+    /// read-your-writes, foreign-intent conflicts, uncertainty-interval
+    /// restarts, then snapshot visibility. Single source of truth shared by
+    /// [`MvccStore::get`] and the LSM engine's merged reads.
+    pub fn read(&self, key: &Key, ctx: &ReadCtx) -> Result<ReadOutcome, MvccError> {
+        if let Some(intent) = &self.intent {
+            let own = ctx
+                .txn
+                .as_ref()
+                .is_some_and(|t| t.id == intent.txn.id && t.epoch == intent.txn.epoch);
+            if own {
+                // Read-your-writes: the provisional value, at its write ts.
+                return Ok(ReadOutcome {
+                    value: intent.value.clone(),
+                    value_ts: intent.txn.write_ts,
+                });
+            }
+            // An intent at or below the uncertainty limit cannot be skipped:
+            // it may commit at a timestamp the reader must observe.
+            if intent.txn.write_ts <= ctx.uncertainty_limit {
+                return Err(MvccError::WriteIntent {
+                    key: key.clone(),
+                    intent_txn: intent.txn.clone(),
+                });
+            }
+        }
+        // Committed value inside the uncertainty interval forces a restart.
+        if ctx.uncertainty_limit > ctx.read_ts {
+            if let Some(v) = self.committed_in(ctx.read_ts, ctx.uncertainty_limit) {
+                return Err(MvccError::Uncertainty {
+                    key: key.clone(),
+                    read_ts: ctx.read_ts,
+                    value_ts: v.ts,
+                });
+            }
+        }
+        match self.visible_at(ctx.read_ts) {
+            Some(v) => Ok(ReadOutcome {
+                value: v.value.clone(),
+                value_ts: v.ts,
+            }),
+            None => Ok(ReadOutcome {
+                value: None,
+                value_ts: Timestamp::ZERO,
+            }),
+        }
     }
 }
 
@@ -75,6 +133,15 @@ pub enum MvccError {
         key: Key,
         read_ts: Timestamp,
         value_ts: Timestamp,
+    },
+    /// The read timestamp is below the replica's MVCC GC threshold: the
+    /// history it needs may already be reclaimed, so the read fails loudly
+    /// instead of returning silently incomplete data. Raised by the LSM
+    /// engine ([`crate::lsm::Engine`]); avoid it by pinning a protected
+    /// timestamp before reading that far in the past.
+    BelowGcThreshold {
+        read_ts: Timestamp,
+        threshold: Timestamp,
     },
 }
 
@@ -126,47 +193,7 @@ impl MvccStore {
         chain: &VersionChain,
         ctx: &ReadCtx,
     ) -> Result<ReadOutcome, MvccError> {
-        if let Some(intent) = &chain.intent {
-            let own = ctx
-                .txn
-                .as_ref()
-                .is_some_and(|t| t.id == intent.txn.id && t.epoch == intent.txn.epoch);
-            if own {
-                // Read-your-writes: the provisional value, at its write ts.
-                return Ok(ReadOutcome {
-                    value: intent.value.clone(),
-                    value_ts: intent.txn.write_ts,
-                });
-            }
-            // An intent at or below the uncertainty limit cannot be skipped:
-            // it may commit at a timestamp the reader must observe.
-            if intent.txn.write_ts <= ctx.uncertainty_limit {
-                return Err(MvccError::WriteIntent {
-                    key: key.clone(),
-                    intent_txn: intent.txn.clone(),
-                });
-            }
-        }
-        // Committed value inside the uncertainty interval forces a restart.
-        if ctx.uncertainty_limit > ctx.read_ts {
-            if let Some(v) = chain.committed_in(ctx.read_ts, ctx.uncertainty_limit) {
-                return Err(MvccError::Uncertainty {
-                    key: key.clone(),
-                    read_ts: ctx.read_ts,
-                    value_ts: v.ts,
-                });
-            }
-        }
-        match chain.visible_at(ctx.read_ts) {
-            Some(v) => Ok(ReadOutcome {
-                value: v.value.clone(),
-                value_ts: v.ts,
-            }),
-            None => Ok(ReadOutcome {
-                value: None,
-                value_ts: Timestamp::ZERO,
-            }),
-        }
+        chain.read(key, ctx)
     }
 
     /// Scan `[span.start, span.end)` at `ctx.read_ts`, returning up to
@@ -191,7 +218,8 @@ impl MvccStore {
         Ok(out)
     }
 
-    fn range<'a>(&'a self, span: &Span) -> impl Iterator<Item = (&'a Key, &'a VersionChain)> {
+    /// Iterate the chains whose keys fall in `span`.
+    pub fn range<'a>(&'a self, span: &Span) -> impl Iterator<Item = (&'a Key, &'a VersionChain)> {
         let start = Bound::Included(span.start.clone());
         let end = if span.end.is_empty() {
             Bound::Unbounded
@@ -364,6 +392,43 @@ impl MvccStore {
             .insert_version(ts, Some(value));
     }
 
+    /// The full chain for `key`, if any state exists.
+    pub fn chain(&self, key: &Key) -> Option<&VersionChain> {
+        self.data.get(key)
+    }
+
+    /// Iterate every chain in key order (checkpoint encoding, flush).
+    pub fn chains(&self) -> impl Iterator<Item = (&Key, &VersionChain)> {
+        self.data.iter()
+    }
+
+    /// Install an intent verbatim — WAL replay. The logged `txn.write_ts`
+    /// is already forwarded, so no conflict or forwarding logic reruns.
+    pub fn force_intent(&mut self, key: Key, txn: TxnMeta, value: Option<Value>) {
+        self.data.entry(key).or_default().intent = Some(Intent { txn, value });
+    }
+
+    /// Install a committed version verbatim (possibly a tombstone) — WAL
+    /// replay and checkpoint restore.
+    pub fn force_version(&mut self, key: Key, ts: Timestamp, value: Option<Value>) {
+        self.data.entry(key).or_default().insert_version(ts, value);
+    }
+
+    /// Move every committed version out of the memtable (flush to an
+    /// immutable sorted run). Intents stay put — they are provisional
+    /// state, not yet part of durable MVCC history. Chains left with
+    /// neither intent nor versions are dropped. Returns key-ordered chains.
+    pub fn drain_committed(&mut self) -> Vec<(Key, Vec<Version>)> {
+        let mut out = Vec::new();
+        self.data.retain(|key, chain| {
+            if !chain.versions.is_empty() {
+                out.push((key.clone(), std::mem::take(&mut chain.versions)));
+            }
+            !chain.is_empty()
+        });
+        out
+    }
+
     /// Number of keys with any state (intents or versions).
     pub fn key_count(&self) -> usize {
         self.data.len()
@@ -378,6 +443,14 @@ impl MvccStore {
     /// version at or below `threshold` (keeping that one as the visible
     /// value for reads at the threshold). Returns versions removed.
     pub fn gc(&mut self, threshold: Timestamp) -> usize {
+        self.gc_with(threshold, true)
+    }
+
+    /// GC with explicit control over tombstone elision. `drop_tombstones`
+    /// must be false when older versions of these keys may exist in
+    /// another store (the LSM's sorted runs): dropping a tombstone there
+    /// would resurrect the older value underneath it.
+    pub fn gc_with(&mut self, threshold: Timestamp, drop_tombstones: bool) -> usize {
         let mut removed = 0;
         self.data.retain(|_, chain| {
             let keep_from = chain.versions.partition_point(|v| v.ts > threshold);
@@ -386,7 +459,8 @@ impl MvccStore {
             removed += chain.versions.len() - keep;
             chain.versions.truncate(keep);
             // Drop fully-tombstoned singleton chains.
-            if chain.intent.is_none()
+            if drop_tombstones
+                && chain.intent.is_none()
                 && chain.versions.len() == 1
                 && chain.versions[0].ts <= threshold
                 && chain.versions[0].value.is_none()

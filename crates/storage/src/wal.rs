@@ -1,0 +1,644 @@
+//! Write-ahead log: framed byte records with per-record checksums and an
+//! explicit fsync pointer.
+//!
+//! The WAL is the durability boundary of the storage engine. Every applied
+//! Raft entry seals one record; a record is only *durable* once a sync
+//! point advances `durable_len` past it. Crash recovery replays exactly the
+//! durable prefix: [`Wal::crash`] discards the unsynced tail, and
+//! [`replay`] walks the frames, stopping at the first torn or corrupt
+//! record (detected by the per-record CRC32) and truncating there rather
+//! than replaying garbage.
+//!
+//! Frame layout (little-endian): `[len: u32][crc32(payload): u32][payload]`.
+//! The payloads themselves are encoded by [`codec`] — pure hand-rolled
+//! byte encoding, so the round trip is exercised on every simulated apply
+//! and every chaos crash, not just in dedicated tests.
+
+use mr_clock::Timestamp;
+use mr_proto::{Key, TxnId, TxnMeta, TxnStatus, Value};
+
+/// One logical operation inside a WAL entry record. Mirrors every mutation
+/// the MVCC memtable can take, so replaying the ops of the durable records
+/// in order reconstructs the memtable exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalOp {
+    /// Lay down (or overwrite) an intent. `txn.write_ts` is the *final*
+    /// forwarded timestamp, so replay installs it verbatim.
+    PutIntent {
+        key: Key,
+        value: Option<Value>,
+        txn: TxnMeta,
+    },
+    /// Promote an intent to a committed version.
+    CommitIntent {
+        key: Key,
+        txn_id: TxnId,
+        commit_ts: Timestamp,
+    },
+    /// Discard an intent.
+    AbortIntent { key: Key, txn_id: TxnId },
+    /// Upsert a transaction record (coordinator state for recovery).
+    TxnRecord { txn_id: TxnId, rec: TxnRecData },
+    /// Directly install a committed version (bulk preload path).
+    Preload {
+        key: Key,
+        value: Value,
+        ts: Timestamp,
+    },
+}
+
+/// Storage-level image of a replica's transaction record. The kv layer
+/// converts to/from its own `TxnRecord`; keeping a local copy avoids a
+/// dependency cycle while still making records crash-durable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnRecData {
+    pub status: TxnStatus,
+    pub commit_ts: Timestamp,
+    /// In-flight write set of a STAGING record.
+    pub in_flight: Vec<Key>,
+}
+
+/// One decoded WAL record.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// Full engine image: replay starts here. WAL truncation writes a new
+    /// checkpoint as the first record of the fresh log.
+    Checkpoint(Vec<u8>),
+    /// Ops of one applied Raft entry.
+    Entry {
+        apply_index: u64,
+        closed_ts: Timestamp,
+        ops: Vec<WalOp>,
+    },
+}
+
+/// CRC32 (IEEE 802.3, reflected), computed bitwise — the log is small and
+/// hermetic determinism beats table setup.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Byte codec for WAL payloads and checkpoints.
+pub mod codec {
+    use super::*;
+
+    pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn put_ts(out: &mut Vec<u8>, ts: Timestamp) {
+        put_u64(out, ts.wall);
+        put_u32(out, ts.logical);
+        out.push(ts.synthetic as u8);
+    }
+    pub fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+        put_u32(out, b.len() as u32);
+        out.extend_from_slice(b);
+    }
+    pub fn put_key(out: &mut Vec<u8>, k: &Key) {
+        put_bytes(out, k.as_slice());
+    }
+    pub fn put_opt_value(out: &mut Vec<u8>, v: &Option<Value>) {
+        match v {
+            Some(v) => {
+                out.push(1);
+                put_bytes(out, &v.0);
+            }
+            None => out.push(0),
+        }
+    }
+    pub fn put_txn_meta(out: &mut Vec<u8>, t: &TxnMeta) {
+        put_u64(out, t.id.0);
+        put_key(out, &t.anchor);
+        put_ts(out, t.write_ts);
+        put_u32(out, t.epoch);
+    }
+    fn status_byte(s: TxnStatus) -> u8 {
+        match s {
+            TxnStatus::Pending => 0,
+            TxnStatus::Staging => 1,
+            TxnStatus::Committed => 2,
+            TxnStatus::Aborted => 3,
+        }
+    }
+    pub fn put_txn_rec(out: &mut Vec<u8>, r: &TxnRecData) {
+        out.push(status_byte(r.status));
+        put_ts(out, r.commit_ts);
+        put_u32(out, r.in_flight.len() as u32);
+        for k in &r.in_flight {
+            put_key(out, k);
+        }
+    }
+
+    /// A decode cursor. Every read is bounds-checked; failure means the
+    /// record is corrupt (should have been caught by the CRC, but decode
+    /// stays defensive).
+    pub struct Cursor<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct DecodeError;
+
+    impl<'a> Cursor<'a> {
+        pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+            Cursor { buf, pos: 0 }
+        }
+        pub fn is_empty(&self) -> bool {
+            self.pos >= self.buf.len()
+        }
+        fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+            let end = self.pos.checked_add(n).ok_or(DecodeError)?;
+            if end > self.buf.len() {
+                return Err(DecodeError);
+            }
+            let s = &self.buf[self.pos..end];
+            self.pos = end;
+            Ok(s)
+        }
+        pub fn u8(&mut self) -> Result<u8, DecodeError> {
+            Ok(self.take(1)?[0])
+        }
+        pub fn u32(&mut self) -> Result<u32, DecodeError> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+        pub fn u64(&mut self) -> Result<u64, DecodeError> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+        pub fn ts(&mut self) -> Result<Timestamp, DecodeError> {
+            let wall = self.u64()?;
+            let logical = self.u32()?;
+            let synthetic = self.u8()? != 0;
+            let mut t = Timestamp::new(wall, logical);
+            t.synthetic = synthetic;
+            Ok(t)
+        }
+        pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+            let n = self.u32()? as usize;
+            self.take(n)
+        }
+        pub fn key(&mut self) -> Result<Key, DecodeError> {
+            Ok(Key::from_slice(self.bytes()?))
+        }
+        pub fn opt_value(&mut self) -> Result<Option<Value>, DecodeError> {
+            Ok(match self.u8()? {
+                0 => None,
+                _ => Some(Value(bytes::Bytes::copy_from_slice(self.bytes()?))),
+            })
+        }
+        pub fn txn_meta(&mut self) -> Result<TxnMeta, DecodeError> {
+            let id = TxnId(self.u64()?);
+            let anchor = self.key()?;
+            let write_ts = self.ts()?;
+            let epoch = self.u32()?;
+            let mut m = TxnMeta::new(id, anchor, write_ts);
+            m.epoch = epoch;
+            Ok(m)
+        }
+        pub fn txn_rec(&mut self) -> Result<TxnRecData, DecodeError> {
+            let status = match self.u8()? {
+                0 => TxnStatus::Pending,
+                1 => TxnStatus::Staging,
+                2 => TxnStatus::Committed,
+                3 => TxnStatus::Aborted,
+                _ => return Err(DecodeError),
+            };
+            let commit_ts = self.ts()?;
+            let n = self.u32()? as usize;
+            let mut in_flight = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                in_flight.push(self.key()?);
+            }
+            Ok(TxnRecData {
+                status,
+                commit_ts,
+                in_flight,
+            })
+        }
+    }
+
+    pub fn encode_op(out: &mut Vec<u8>, op: &WalOp) {
+        match op {
+            WalOp::PutIntent { key, value, txn } => {
+                out.push(0);
+                put_key(out, key);
+                put_opt_value(out, value);
+                put_txn_meta(out, txn);
+            }
+            WalOp::CommitIntent {
+                key,
+                txn_id,
+                commit_ts,
+            } => {
+                out.push(1);
+                put_key(out, key);
+                put_u64(out, txn_id.0);
+                put_ts(out, *commit_ts);
+            }
+            WalOp::AbortIntent { key, txn_id } => {
+                out.push(2);
+                put_key(out, key);
+                put_u64(out, txn_id.0);
+            }
+            WalOp::TxnRecord { txn_id, rec } => {
+                out.push(3);
+                put_u64(out, txn_id.0);
+                put_txn_rec(out, rec);
+            }
+            WalOp::Preload { key, value, ts } => {
+                out.push(4);
+                put_key(out, key);
+                put_bytes(out, &value.0);
+                put_ts(out, *ts);
+            }
+        }
+    }
+
+    pub fn decode_op(c: &mut Cursor<'_>) -> Result<WalOp, DecodeError> {
+        Ok(match c.u8()? {
+            0 => WalOp::PutIntent {
+                key: c.key()?,
+                value: c.opt_value()?,
+                txn: c.txn_meta()?,
+            },
+            1 => WalOp::CommitIntent {
+                key: c.key()?,
+                txn_id: TxnId(c.u64()?),
+                commit_ts: c.ts()?,
+            },
+            2 => WalOp::AbortIntent {
+                key: c.key()?,
+                txn_id: TxnId(c.u64()?),
+            },
+            3 => WalOp::TxnRecord {
+                txn_id: TxnId(c.u64()?),
+                rec: c.txn_rec()?,
+            },
+            4 => WalOp::Preload {
+                key: c.key()?,
+                value: Value(bytes::Bytes::copy_from_slice(c.bytes()?)),
+                ts: c.ts()?,
+            },
+            _ => return Err(DecodeError),
+        })
+    }
+
+    /// Record payload: `[kind: u8]` + body.
+    pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+        let mut out = Vec::new();
+        match rec {
+            WalRecord::Checkpoint(image) => {
+                out.push(0);
+                put_bytes(&mut out, image);
+            }
+            WalRecord::Entry {
+                apply_index,
+                closed_ts,
+                ops,
+            } => {
+                out.push(1);
+                put_u64(&mut out, *apply_index);
+                put_ts(&mut out, *closed_ts);
+                put_u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    encode_op(&mut out, op);
+                }
+            }
+        }
+        out
+    }
+
+    pub fn decode_record(payload: &[u8]) -> Result<WalRecord, DecodeError> {
+        let mut c = Cursor::new(payload);
+        let rec = match c.u8()? {
+            0 => WalRecord::Checkpoint(c.bytes()?.to_vec()),
+            1 => {
+                let apply_index = c.u64()?;
+                let closed_ts = c.ts()?;
+                let n = c.u32()? as usize;
+                let mut ops = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ops.push(decode_op(&mut c)?);
+                }
+                WalRecord::Entry {
+                    apply_index,
+                    closed_ts,
+                    ops,
+                }
+            }
+            _ => return Err(DecodeError),
+        };
+        if !c.is_empty() {
+            return Err(DecodeError);
+        }
+        Ok(rec)
+    }
+}
+
+/// Outcome of a replay scan over a byte log.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Records decoded from intact frames, in log order.
+    pub records: Vec<WalRecord>,
+    /// True when the scan stopped early at a torn or corrupt frame. The
+    /// torn tail is *not* replayed; [`ReplayOutcome::valid_len`] is where
+    /// the log should be truncated.
+    pub torn_tail: bool,
+    /// Byte length of the intact prefix.
+    pub valid_len: usize,
+}
+
+/// Walk `bytes` frame by frame. A short frame, a CRC mismatch, or an
+/// undecodable payload ends the scan (torn tail): everything before it is
+/// returned, nothing after it is trusted.
+pub fn replay(bytes: &[u8]) -> ReplayOutcome {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if pos + 8 > bytes.len() {
+            return ReplayOutcome {
+                records,
+                torn_tail: true,
+                valid_len: pos,
+            };
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let start = pos + 8;
+        let Some(end) = start.checked_add(len) else {
+            return ReplayOutcome {
+                records,
+                torn_tail: true,
+                valid_len: pos,
+            };
+        };
+        if end > bytes.len() {
+            return ReplayOutcome {
+                records,
+                torn_tail: true,
+                valid_len: pos,
+            };
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            return ReplayOutcome {
+                records,
+                torn_tail: true,
+                valid_len: pos,
+            };
+        }
+        match codec::decode_record(payload) {
+            Ok(rec) => records.push(rec),
+            Err(_) => {
+                return ReplayOutcome {
+                    records,
+                    torn_tail: true,
+                    valid_len: pos,
+                }
+            }
+        }
+        pos = end;
+    }
+    ReplayOutcome {
+        records,
+        torn_tail: false,
+        valid_len: pos,
+    }
+}
+
+/// The per-replica write-ahead log: an append-only byte buffer plus the
+/// fsync pointer separating the durable prefix from the volatile tail.
+#[derive(Clone, Debug, Default)]
+pub struct Wal {
+    buf: Vec<u8>,
+    /// Bytes at or below this offset survive a crash.
+    durable_len: usize,
+    /// Total records appended since the last truncation.
+    records: u64,
+    /// Sim-time (nanos) of the most recent fsync point, and how many syncs
+    /// have been issued — the "fsync-point markers" chaos forensics read.
+    pub last_sync_nanos: u64,
+    pub syncs: u64,
+}
+
+impl Wal {
+    pub fn new() -> Wal {
+        Wal::default()
+    }
+
+    /// Frame and append one record payload. Volatile until the next sync.
+    pub fn append(&mut self, payload: &[u8]) {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        codec::put_u32(&mut frame, payload.len() as u32);
+        codec::put_u32(&mut frame, crc32(payload));
+        frame.extend_from_slice(payload);
+        self.buf.extend_from_slice(&frame);
+        self.records += 1;
+    }
+
+    /// Advance the fsync pointer to the current end of log, marking the
+    /// point in sim-time.
+    pub fn sync(&mut self, now_nanos: u64) {
+        self.durable_len = self.buf.len();
+        self.last_sync_nanos = now_nanos;
+        self.syncs += 1;
+    }
+
+    /// Simulate the crash: the unsynced tail is gone.
+    pub fn crash(&mut self) {
+        self.buf.truncate(self.durable_len);
+    }
+
+    /// Replace the entire log with a single (durable) checkpoint record.
+    pub fn reset_to_checkpoint(&mut self, image: Vec<u8>, now_nanos: u64) {
+        self.buf.clear();
+        self.records = 0;
+        self.append(&codec::encode_record(&WalRecord::Checkpoint(image)));
+        self.sync(now_nanos);
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+    pub fn durable_len(&self) -> usize {
+        self.durable_len
+    }
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+
+    /// Test hook: crash with the durability horizon forced to `len` bytes
+    /// (simulates a torn write ending mid-frame).
+    pub fn crash_at(&mut self, len: usize) {
+        self.buf.truncate(len.min(self.buf.len()));
+        self.durable_len = self.buf.len();
+    }
+
+    /// Byte offsets of every frame boundary in the current log, including
+    /// 0 and the final length — the crash points the recovery test sweeps.
+    pub fn frame_boundaries(&self) -> Vec<usize> {
+        let mut out = vec![0];
+        let mut pos = 0usize;
+        while pos + 8 <= self.buf.len() {
+            let len = u32::from_le_bytes(self.buf[pos..pos + 4].try_into().unwrap()) as usize;
+            let end = pos + 8 + len;
+            if end > self.buf.len() {
+                break;
+            }
+            out.push(end);
+            pos = end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u64, key: &str) -> WalRecord {
+        WalRecord::Entry {
+            apply_index: i,
+            closed_ts: Timestamp::new(i * 10, 1),
+            ops: vec![WalOp::CommitIntent {
+                key: Key::from(key),
+                txn_id: TxnId(i),
+                commit_ts: Timestamp::new(i * 10, 2),
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_op_kinds() {
+        let mut meta = TxnMeta::new(TxnId(7), Key::from("a"), Timestamp::new(5, 3));
+        meta.epoch = 2;
+        let mut future = Timestamp::new(99, 0);
+        future.synthetic = true;
+        let ops = vec![
+            WalOp::PutIntent {
+                key: Key::from("k1"),
+                value: Some(Value::from("v1")),
+                txn: meta.clone(),
+            },
+            WalOp::PutIntent {
+                key: Key::from("k2"),
+                value: None,
+                txn: meta,
+            },
+            WalOp::CommitIntent {
+                key: Key::from("k1"),
+                txn_id: TxnId(7),
+                commit_ts: future,
+            },
+            WalOp::AbortIntent {
+                key: Key::from("k2"),
+                txn_id: TxnId(7),
+            },
+            WalOp::TxnRecord {
+                txn_id: TxnId(7),
+                rec: TxnRecData {
+                    status: TxnStatus::Staging,
+                    commit_ts: Timestamp::new(8, 0),
+                    in_flight: vec![Key::from("k1"), Key::from("k2")],
+                },
+            },
+            WalOp::Preload {
+                key: Key::from("k3"),
+                value: Value::from("seed"),
+                ts: Timestamp::new(1, 0),
+            },
+        ];
+        let rec = WalRecord::Entry {
+            apply_index: 42,
+            closed_ts: Timestamp::new(40, 0),
+            ops,
+        };
+        let bytes = codec::encode_record(&rec);
+        let back = codec::decode_record(&bytes).unwrap();
+        assert_eq!(back, rec);
+        // The synthetic flag must survive (it is excluded from Timestamp
+        // equality, so check it explicitly).
+        if let WalRecord::Entry { ops, .. } = &back {
+            if let WalOp::CommitIntent { commit_ts, .. } = &ops[2] {
+                assert!(commit_ts.synthetic);
+            } else {
+                panic!("op order changed");
+            }
+        }
+    }
+
+    #[test]
+    fn replay_stops_at_crc_mismatch() {
+        let mut wal = Wal::new();
+        for i in 1..=3 {
+            wal.append(&codec::encode_record(&entry(i, "k")));
+        }
+        wal.sync(100);
+        // Flip a payload byte of the last record.
+        let boundaries = wal.frame_boundaries();
+        let corrupt_at = boundaries[boundaries.len() - 2] + 10;
+        wal.buf[corrupt_at] ^= 0xff;
+        let out = replay(wal.bytes());
+        assert!(out.torn_tail);
+        assert_eq!(out.records.len(), 2);
+        assert_eq!(out.valid_len, boundaries[boundaries.len() - 2]);
+    }
+
+    #[test]
+    fn crash_discards_unsynced_tail() {
+        let mut wal = Wal::new();
+        wal.append(&codec::encode_record(&entry(1, "a")));
+        wal.sync(50);
+        wal.append(&codec::encode_record(&entry(2, "b")));
+        // No sync: record 2 is volatile.
+        wal.crash();
+        let out = replay(wal.bytes());
+        assert!(!out.torn_tail);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0], entry(1, "a"));
+        assert_eq!(wal.syncs, 1);
+        assert_eq!(wal.last_sync_nanos, 50);
+    }
+
+    #[test]
+    fn torn_mid_frame_truncates_cleanly() {
+        let mut wal = Wal::new();
+        wal.append(&codec::encode_record(&entry(1, "a")));
+        wal.append(&codec::encode_record(&entry(2, "b")));
+        let cut = wal.frame_boundaries()[1] + 5; // mid-second-frame
+        wal.crash_at(cut);
+        let out = replay(wal.bytes());
+        assert!(out.torn_tail);
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.valid_len, wal.frame_boundaries()[1]);
+    }
+
+    #[test]
+    fn reset_to_checkpoint_restarts_log() {
+        let mut wal = Wal::new();
+        wal.append(&codec::encode_record(&entry(1, "a")));
+        wal.sync(10);
+        wal.reset_to_checkpoint(vec![1, 2, 3], 20);
+        let out = replay(wal.bytes());
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(out.records[0], WalRecord::Checkpoint(vec![1, 2, 3]));
+        assert_eq!(wal.durable_len(), wal.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! Property tier: random interleavings of writes, deletes, flushes,
+//! GC/compaction passes, and crash-replays preserve the merged-iterator
+//! view — the engine (memtable ∪ sorted runs) reads identically to a
+//! reference `BTreeMap` of version history at every visible timestamp —
+//! and bloom filters never produce false negatives.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use mr_clock::Timestamp;
+use mr_proto::{Key, ReadCtx, Span, TxnId, TxnMeta, Value};
+use mr_storage::lsm::Engine;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Commit `value` (None = tombstone) on key `key_idx`; sealed + synced.
+    Write { key_idx: usize, value: Option<u8> },
+    /// Flush the memtable to a sorted run.
+    Flush,
+    /// Maintenance pass (GC + flush-if-full + compaction) at a threshold
+    /// `lag` ticks behind the current write frontier.
+    Maintain { lag: u64 },
+    /// Crash losing all volatile state, recover from WAL + runs. Every
+    /// entry is synced at seal time, so recovery must be lossless.
+    CrashRecover,
+    /// Lay down an intent and abort it (exercises the abort WAL path).
+    WriteAbort { key_idx: usize },
+}
+
+fn write_strategy() -> impl Strategy<Value = Op> {
+    (0usize..6, prop::option::of(any::<u8>()))
+        .prop_map(|(key_idx, value)| Op::Write { key_idx, value })
+}
+
+// The vendored `prop_oneof!` picks uniformly, so writes are listed several
+// times to dominate the mix.
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        write_strategy(),
+        write_strategy(),
+        write_strategy(),
+        write_strategy(),
+        write_strategy(),
+        Just(Op::Flush),
+        (0u64..40).prop_map(|lag| Op::Maintain { lag }),
+        Just(Op::CrashRecover),
+        (0usize..6).prop_map(|key_idx| Op::WriteAbort { key_idx }),
+    ]
+}
+
+fn key(i: usize) -> Key {
+    Key::from(format!("pk-{i}").into_bytes())
+}
+
+/// Reference model: full version history per key, plus the highest GC
+/// threshold ever applied (reads below it are out of contract).
+#[derive(Default)]
+struct Model {
+    history: BTreeMap<Key, Vec<(Timestamp, Option<Value>)>>,
+    gc_floor: Timestamp,
+}
+
+impl Model {
+    fn visible(&self, k: &Key, at: Timestamp) -> Option<Value> {
+        self.history
+            .get(k)?
+            .iter()
+            .rev()
+            .find(|(ts, _)| *ts <= at)
+            .and_then(|(_, v)| v.clone())
+    }
+}
+
+fn run_ops(ops: &[Op]) -> (Engine, Model, u64) {
+    let mut e = Engine::new();
+    e.flush_min_versions = 8; // small, so maintenance flushes often
+    let mut model = Model::default();
+    let mut tick = 0u64; // strictly increasing logical time
+    let mut idx = 0u64; // raft apply index
+    let mut txn_seq = 1_000u64;
+
+    for op in ops {
+        tick += 10;
+        match op {
+            Op::Write { key_idx, value } => {
+                txn_seq += 1;
+                idx += 1;
+                let k = key(*key_idx);
+                let val = value.map(|b| Value::from(format!("v{b}").as_str()));
+                let txn = TxnMeta::new(TxnId(txn_seq), k.clone(), Timestamp::new(tick, 0));
+                let out = e.put(&k, val.clone(), &txn).expect("no open intents");
+                assert!(e.commit_intent(&k, txn.id, out.written_ts));
+                e.seal_entry(idx, Timestamp::ZERO);
+                e.sync(tick);
+                model
+                    .history
+                    .entry(k)
+                    .or_default()
+                    .push((out.written_ts, val));
+            }
+            Op::Flush => {
+                e.flush(tick);
+            }
+            Op::Maintain { lag } => {
+                let thr = Timestamp::new(tick.saturating_sub(lag * 10), 0);
+                e.maintain(thr, tick);
+                model.gc_floor = model.gc_floor.max(e.gc_threshold());
+            }
+            Op::CrashRecover => {
+                let info = e.crash_and_recover();
+                assert_eq!(info.applied_index, idx, "synced entries must all replay");
+            }
+            Op::WriteAbort { key_idx } => {
+                txn_seq += 1;
+                idx += 1;
+                let k = key(*key_idx);
+                let txn = TxnMeta::new(TxnId(txn_seq), k.clone(), Timestamp::new(tick, 0));
+                e.put(&k, Some(Value::from("doomed")), &txn)
+                    .expect("no open intents");
+                assert!(e.abort_intent(&k, txn.id));
+                e.seal_entry(idx, Timestamp::ZERO);
+                e.sync(tick);
+                // Aborted writes leave no trace in the model.
+            }
+        }
+    }
+    (e, model, tick)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The merged engine view equals the reference at every timestamp that
+    /// is at or above the GC floor.
+    #[test]
+    fn merged_view_matches_reference(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let (e, model, last_tick) = run_ops(&ops);
+
+        // Probe at every version timestamp, just after it, and far future.
+        let mut probes: Vec<Timestamp> = model
+            .history
+            .values()
+            .flatten()
+            .map(|(ts, _)| *ts)
+            .collect();
+        probes.extend(probes.clone().iter().map(|t| t.next()));
+        probes.push(Timestamp::new(last_tick + 1_000, 0));
+
+        for at in probes {
+            if at < e.gc_threshold() {
+                continue; // below the floor, reads are out of contract
+            }
+            prop_assert!(at >= model.gc_floor);
+            let ctx = ReadCtx::stale(at);
+            for i in 0..6 {
+                let k = key(i);
+                let got = e.get(&k, &ctx).expect("read at/above floor").value;
+                let want = model.visible(&k, at);
+                prop_assert_eq!(
+                    got, want,
+                    "key {:?} at {:?} diverged (gc floor {:?})", k, at, e.gc_threshold()
+                );
+            }
+        }
+
+        // Scans agree with point reads at the newest probe.
+        let at = Timestamp::new(last_tick + 1_000, 0);
+        let span = Span::new(Key::from("pk-"), Key::from("pk-~"));
+        let rows = e.scan(&span, &ReadCtx::stale(at), 100).unwrap();
+        let want: Vec<(Key, Value)> = (0..6)
+            .filter_map(|i| model.visible(&key(i), at).map(|v| (key(i), v)))
+            .collect();
+        let got: Vec<(Key, Value)> = rows.into_iter().map(|(k, v, _)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Reads below the GC threshold always fail loudly, never return
+    /// silently incomplete data.
+    #[test]
+    fn reads_below_threshold_error(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let (e, _, _) = run_ops(&ops);
+        let thr = e.gc_threshold();
+        if thr > Timestamp::ZERO {
+            let below = Timestamp::new(thr.wall.saturating_sub(1), 0);
+            let err = e.get(&key(0), &ReadCtx::stale(below)).unwrap_err();
+            let is_gc_error =
+                matches!(err, mr_storage::MvccError::BelowGcThreshold { .. });
+            prop_assert!(is_gc_error, "expected BelowGcThreshold, got {:?}", err);
+        }
+    }
+
+    /// Bloom filters never produce false negatives: every key with live
+    /// engine state is found, regardless of flush/compaction shape.
+    #[test]
+    fn bloom_never_false_negative(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let (e, model, last_tick) = run_ops(&ops);
+        let at = Timestamp::new(last_tick + 1_000, 0);
+        for (k, _) in model.history.iter() {
+            let want = model.visible(k, at);
+            let got = e.get(k, &ReadCtx::stale(at)).unwrap().value;
+            // A bloom false negative would skip the run holding the only
+            // copy and read as absent.
+            prop_assert_eq!(got, want);
+            if want.is_some() {
+                prop_assert!(e.latest_committed_ts(k).is_some());
+            }
+        }
+    }
+}

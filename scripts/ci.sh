@@ -96,6 +96,32 @@ echo "==> split_probe: range-lifecycle regression guard"
     cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin split_probe >/dev/null)
 assert_bench split_probe BENCH_split.json
 
+echo "==> storage_probe: WAL/LSM/GC durability regression guard"
+# Drives the storage engine through a cold-key bloom workload, an
+# overwrite-heavy GC workload under an active protected timestamp, and a
+# crash-recovery smoke. Fails if the bloom skip rate drops under 90%, if
+# GC reclaims under 50% of the overwritten history, if a protected AOST
+# read breaks, if below-threshold reads stop erroring, or if WAL replay
+# loses versions.
+(cd "$SMOKE_DIR" && \
+    cargo run -q --release --manifest-path "$ROOT/Cargo.toml" -p mr-bench --bin storage_probe >/dev/null)
+assert_bench storage_probe BENCH_storage.json
+
+echo "==> durability tier: volatile crashes recover from WAL + SSTs"
+# 20 seed-derived durability_storm schedules (volatile node crashes, a
+# full region-0 volatile crash, a split racing a recovery) plus the
+# scripted full-group recovery — every restart rebuilds state solely from
+# WAL + SST replay and the checker must stay clean.
+cargo test -q -p mr-chaos --test durability >/dev/null
+
+echo "==> wal-fsync canary: the armed sync-skip bug must be caught"
+# Arms the deliberate bug that defers WAL fsyncs (and Raft log syncs) to a
+# periodic tick, crashes region 0 volatile between ticks, and requires the
+# offline checker to flag the acknowledged-but-lost writes — proving the
+# durability tier detects a node that acks before its fsync point.
+cargo test -q -p mr-chaos --features injected-bug --test durability \
+    injected_wal_skip_fsync_bug_is_caught >/dev/null
+
 echo "==> split-tscache canary: the armed RHS-bound drop must be caught"
 # Arms the deliberate split bug that zeroes the right half's timestamp-
 # cache bound and drives a split storm under ahead-of-time clock skew: the
